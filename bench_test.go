@@ -1,0 +1,222 @@
+package strudel
+
+// One benchmark per table and figure of the paper's evaluation section,
+// driving the same code as `strudel-bench`. Each iteration regenerates the
+// experiment at a reduced scale so `go test -bench=.` completes in minutes;
+// run `strudel-bench -paper` for the full protocol. Micro-benchmarks for
+// the hot paths (dialect detection, feature extraction, Algorithms 1 and 2,
+// forest training and prediction) follow.
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/datagen"
+	"strudel/internal/experiments"
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// benchConfig is the reduced experiment configuration used by benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Scale = 0.25
+	cfg.Folds = 3
+	cfg.Repeats = 1
+	cfg.Trees = 20
+	cfg.MaxCellsPerFile = 300
+	return cfg
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Diversity regenerates Table 3 (cell-class diversity
+// degrees per dataset).
+func BenchmarkTable3Diversity(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4CorpusSummary regenerates Table 4 (corpus sizes).
+func BenchmarkTable4CorpusSummary(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5ClassDistribution regenerates Table 5 (elements per class).
+func BenchmarkTable5ClassDistribution(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6LineClassification regenerates Table 6 top: CRF^L vs
+// Pytheas^L vs Strudel^L under file-grouped cross-validation.
+func BenchmarkTable6LineClassification(b *testing.B) { runExperiment(b, "table6-line") }
+
+// BenchmarkTable6CellClassification regenerates Table 6 bottom: Line^C vs
+// RNN^C vs Strudel^C.
+func BenchmarkTable6CellClassification(b *testing.B) { runExperiment(b, "table6-cell") }
+
+// BenchmarkFigure3ConfusionMatrices regenerates Figure 3 (ensemble
+// confusion matrices for Strudel^L and Strudel^C).
+func BenchmarkFigure3ConfusionMatrices(b *testing.B) { runExperiment(b, "figure3") }
+
+// BenchmarkTable7OutOfDomain regenerates Table 7 (train SAUS+CIUS+DeEx,
+// test Troy).
+func BenchmarkTable7OutOfDomain(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkTable8PlainText regenerates Table 8 (test on Mendeley
+// plain-text files).
+func BenchmarkTable8PlainText(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkFigure4FeatureImportance regenerates Figure 4 (one-vs-rest
+// permutation feature importance).
+func BenchmarkFigure4FeatureImportance(b *testing.B) { runExperiment(b, "figure4") }
+
+// BenchmarkScalability regenerates the Section 6.3.4 runtime-vs-size
+// measurement.
+func BenchmarkScalability(b *testing.B) { runExperiment(b, "scale") }
+
+// BenchmarkAblationClassifiers regenerates the Section 6.1.2 backbone
+// bake-off (NB / KNN / SVM / forest).
+func BenchmarkAblationClassifiers(b *testing.B) { runExperiment(b, "ablate-clf") }
+
+// BenchmarkAblationFeatureGroups regenerates the feature-group ablation
+// (Strudel^L minus content / contextual / computational features).
+func BenchmarkAblationFeatureGroups(b *testing.B) { runExperiment(b, "ablate-feat") }
+
+// BenchmarkAblationAggregations measures Algorithm 2 under sum-only,
+// sum+mean, and extended (min/max) aggregation sets.
+func BenchmarkAblationAggregations(b *testing.B) { runExperiment(b, "ablate-agg") }
+
+// BenchmarkAblationPostProcess compares Strudel^C with and without the
+// Koci-style misclassification repair.
+func BenchmarkAblationPostProcess(b *testing.B) { runExperiment(b, "ablate-post") }
+
+// BenchmarkAblationColumns compares Strudel^C with and without
+// column-probability features (the paper's future-work question iii).
+func BenchmarkAblationColumns(b *testing.B) { runExperiment(b, "ablate-col") }
+
+// BenchmarkActiveLearning runs the uncertainty-vs-random active learning
+// comparison.
+func BenchmarkActiveLearning(b *testing.B) { runExperiment(b, "active") }
+
+// BenchmarkImportanceComparison contrasts Gini and permutation feature
+// importance (the Section 6.3.5 methodological choice).
+func BenchmarkImportanceComparison(b *testing.B) { runExperiment(b, "importance") }
+
+// BenchmarkExtraction measures downstream relational extraction quality
+// under predicted vs gold line classes.
+func BenchmarkExtraction(b *testing.B) { runExperiment(b, "extraction") }
+
+// BenchmarkHardCases reproduces the Section 6.3.6 difficult-case analysis
+// from the ensemble confusion matrices.
+func BenchmarkHardCases(b *testing.B) { runExperiment(b, "hardcases") }
+
+// BenchmarkBoundary evaluates table-boundary discovery (Pytheas's native
+// task) for both approaches.
+func BenchmarkBoundary(b *testing.B) { runExperiment(b, "boundary") }
+
+// BenchmarkAblationContext compares closest-non-empty-neighbor context
+// against strict physical adjacency.
+func BenchmarkAblationContext(b *testing.B) { runExperiment(b, "ablate-ctx") }
+
+// --- micro-benchmarks ------------------------------------------------------
+
+func benchTable() *table.Table {
+	p := datagen.SAUS()
+	p.Files = 1
+	p.DataRows = [2]int{40, 40}
+	return datagen.Generate(p).Files[0]
+}
+
+func BenchmarkDialectDetection(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("Region;Year;Count;Rate\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("North;2019;1234;5,6\n")
+	}
+	text := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectDialect(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLineFeatureExtraction(b *testing.B) {
+	t := benchTable()
+	opts := features.DefaultLineOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.LineFeatures(t, opts)
+	}
+}
+
+func BenchmarkCellFeatureExtraction(b *testing.B) {
+	t := benchTable()
+	opts := features.DefaultCellOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.CellFeatures(t, nil, opts)
+	}
+}
+
+func BenchmarkBlockSizeAlgorithm1(b *testing.B) {
+	t := benchTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.BlockSizes(t)
+	}
+}
+
+func BenchmarkDerivedDetectionAlgorithm2(b *testing.B) {
+	t := benchTable()
+	opts := features.DefaultDerivedOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.DetectDerived(t, opts)
+	}
+}
+
+func BenchmarkForestTrain(b *testing.B) {
+	files, err := GenerateCorpus("saus", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var X [][]float64
+	var y []int
+	lopts := features.DefaultLineOptions()
+	for _, t := range files {
+		fs := features.LineFeatures(t, lopts)
+		for r := 0; r < t.Height(); r++ {
+			if idx := t.LineClasses[r].Index(); idx >= 0 && !t.IsEmptyLine(r) {
+				X = append(X, fs[r])
+				y = append(y, idx)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Fit(X, y, table.NumClasses, forest.Options{NumTrees: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelAnnotate(b *testing.B) {
+	files, err := GenerateCorpus("saus", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Train(files, TrainOptions{Trees: 20, Seed: 1, MaxCellsPerFile: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := benchTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Annotate(t)
+	}
+}

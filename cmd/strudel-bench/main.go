@@ -1,0 +1,75 @@
+// Command strudel-bench regenerates the paper's tables and figures on the
+// synthetic corpora.
+//
+// Usage:
+//
+//	strudel-bench -exp table6-line          # one experiment
+//	strudel-bench -exp all                  # the whole evaluation section
+//	strudel-bench -exp table6-cell -paper   # full 10x10 CV, full corpora
+//
+// Experiments: table3 table4 table5 table6-line table6-cell figure3 table7
+// table8 figure4 scale ablate-clf ablate-feat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"strudel/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment name or 'all'")
+		paper   = flag.Bool("paper", false, "use the paper's full protocol (10x10 CV, full corpora, 100 trees)")
+		scale   = flag.Float64("scale", 0, "corpus scale override")
+		folds   = flag.Int("folds", 0, "CV folds override")
+		repeats = flag.Int("repeats", 0, "CV repeats override")
+		trees   = flag.Int("trees", 0, "forest size override")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *paper {
+		cfg = experiments.Paper()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *folds > 0 {
+		cfg.Folds = *folds
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	if *trees > 0 {
+		cfg.Trees = *trees
+	}
+	cfg.Seed = *seed
+	cfg.Out = os.Stdout
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		if err := experiments.Run(name, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "strudel-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,133 @@
+// Command strudel-eval scores a trained model against an annotated corpus
+// directory (as written by strudel-datagen), reporting per-class F1,
+// accuracy, and macro average for both the line and the cell task.
+//
+// Usage:
+//
+//	strudel-eval -model strudel.model -dir corpus/troy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strudel"
+	"strudel/internal/corpusio"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "strudel.model", "trained model path")
+		dir       = flag.String("dir", "", "annotated corpus directory")
+		cells     = flag.Bool("cells", true, "also score the cell task")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: strudel-eval -model m -dir corpus/name")
+		os.Exit(2)
+	}
+
+	model, err := strudel.LoadModelFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	files, err := corpusio.ReadCorpus(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no .csv files in %s", *dir))
+	}
+
+	var lineStats, cellStats stats
+	for _, f := range files {
+		if !f.Annotated() {
+			fatal(fmt.Errorf("%s has no annotations", f.Name))
+		}
+		pred := model.ClassifyLines(f)
+		for r := 0; r < f.Height(); r++ {
+			lineStats.add(pred[r], f.LineClasses[r])
+		}
+		if *cells {
+			cp := model.ClassifyCells(f)
+			for r := 0; r < f.Height(); r++ {
+				for c := 0; c < f.Width(); c++ {
+					if !f.IsEmptyCell(r, c) {
+						cellStats.add(cp[r][c], f.CellClasses[r][c])
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Printf("evaluated %d files from %s\n\n", len(files), *dir)
+	fmt.Println("line task:")
+	lineStats.print()
+	if *cells {
+		fmt.Println("\ncell task:")
+		cellStats.print()
+	}
+}
+
+// stats accumulates per-class true positives and errors.
+type stats struct {
+	tp, fp, fn [strudel.NumClasses]int
+	correct    int
+	total      int
+}
+
+func (s *stats) add(pred, gold strudel.Class) {
+	g := gold.Index()
+	if g < 0 {
+		return
+	}
+	s.total++
+	if pred == gold {
+		s.correct++
+		s.tp[g]++
+		return
+	}
+	s.fn[g]++
+	if p := pred.Index(); p >= 0 {
+		s.fp[p]++
+	}
+}
+
+func (s *stats) print() {
+	fmt.Printf("  %-10s %10s %10s %10s %10s\n", "class", "precision", "recall", "F1", "support")
+	macro, n := 0.0, 0
+	for i, cls := range strudel.Classes {
+		tp, fp, fn := float64(s.tp[i]), float64(s.fp[i]), float64(s.fn[i])
+		var p, r, f1 float64
+		if tp+fp > 0 {
+			p = tp / (tp + fp)
+		}
+		if tp+fn > 0 {
+			r = tp / (tp + fn)
+		}
+		if p+r > 0 {
+			f1 = 2 * p * r / (p + r)
+		}
+		support := s.tp[i] + s.fn[i]
+		if support > 0 {
+			macro += f1
+			n++
+		}
+		fmt.Printf("  %-10s %10.3f %10.3f %10.3f %10d\n", cls, p, r, f1, support)
+	}
+	acc := 0.0
+	if s.total > 0 {
+		acc = float64(s.correct) / float64(s.total)
+	}
+	if n > 0 {
+		macro /= float64(n)
+	}
+	fmt.Printf("  %-10s %32.3f\n", "accuracy", acc)
+	fmt.Printf("  %-10s %32.3f\n", "macro-F1", macro)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strudel-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command strudel-train fits a Strudel model and saves it to disk.
+//
+// Training data comes either from annotated corpus directories written by
+// strudel-datagen (-dir, repeatable via comma separation) or from built-in
+// synthetic corpora (-corpora).
+//
+// Usage:
+//
+//	strudel-train -corpora saus,cius,deex -out strudel.model
+//	strudel-train -dir corpus/saus,corpus/cius -out strudel.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"strudel"
+	"strudel/internal/corpusio"
+)
+
+func main() {
+	var (
+		corpora  = flag.String("corpora", "", "built-in synthetic corpora to train on (e.g. saus,cius,deex)")
+		dirs     = flag.String("dir", "", "annotated corpus directories (comma-separated)")
+		out      = flag.String("out", "strudel.model", "output model path")
+		trees    = flag.Int("trees", 100, "forest size")
+		seed     = flag.Int64("seed", 1, "training seed")
+		scale    = flag.Float64("scale", 1.0, "scale factor for built-in corpora")
+		maxCells = flag.Int("max-cells", 2000, "per-file training cell cap (0 = unlimited)")
+		lineOnly = flag.Bool("line-only", false, "train only the line model")
+	)
+	flag.Parse()
+
+	var files []*strudel.Table
+	for _, name := range splitList(*corpora) {
+		fs, err := strudel.GenerateCorpus(name, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, fs...)
+		fmt.Printf("generated %-10s %4d files\n", name, len(fs))
+	}
+	for _, dir := range splitList(*dirs) {
+		fs, err := corpusio.ReadCorpus(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range fs {
+			if !f.Annotated() {
+				fatal(fmt.Errorf("%s/%s has no .labels sidecar", dir, f.Name))
+			}
+			files = append(files, f)
+		}
+		fmt.Printf("loaded    %-10s %4d files\n", dir, len(fs))
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "strudel-train: no training data; pass -corpora or -dir")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	model, err := strudel.Train(files, strudel.TrainOptions{
+		Trees:           *trees,
+		Seed:            *seed,
+		MaxCellsPerFile: *maxCells,
+		LineOnly:        *lineOnly,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained on %d files in %v\n", len(files), time.Since(start).Round(time.Millisecond))
+	if err := model.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	info, _ := os.Stat(*out)
+	fmt.Printf("saved %s (%.1f MB)\n", *out, float64(info.Size())/1e6)
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strudel-train:", err)
+	os.Exit(1)
+}

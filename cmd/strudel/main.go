@@ -1,0 +1,183 @@
+// Command strudel classifies the lines and cells of a verbose CSV file.
+//
+// Usage:
+//
+//	strudel -model strudel.model [flags] file.csv...
+//
+// Without -model, a small model is trained on the synthetic GovUK+SAUS
+// corpora at startup (slower, but zero-setup).
+//
+// Flags:
+//
+//	-model path    load a model saved by strudel-train
+//	-cells         also print per-cell classes
+//	-extract       print the extracted relational table (header + data)
+//	-json          machine-readable output
+//	-dialect d     force a delimiter instead of detecting (e.g. ';' or 'tab')
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"strudel"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to a trained model (default: train a small built-in model)")
+		showCells = flag.Bool("cells", false, "print per-cell classes")
+		extract   = flag.Bool("extract", false, "print the extracted relational table")
+		asJSON    = flag.Bool("json", false, "emit JSON")
+		delimFlag = flag.String("dialect", "", "force delimiter: ',', ';', '|', 'tab', ...")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: strudel [flags] file.csv...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	model, err := loadOrTrainModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, path := range flag.Args() {
+		if err := classifyFile(model, path, *delimFlag, *showCells, *extract, *asJSON); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadOrTrainModel(path string) (*strudel.Model, error) {
+	if path != "" {
+		return strudel.LoadModelFile(path)
+	}
+	fmt.Fprintln(os.Stderr, "strudel: no -model given; training a small built-in model...")
+	var files []*strudel.Table
+	for _, name := range []string{"govuk", "saus"} {
+		fs, err := strudel.GenerateCorpus(name, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, fs...)
+	}
+	return strudel.Train(files, strudel.TrainOptions{Trees: 40, Seed: 1, MaxCellsPerFile: 500})
+}
+
+func classifyFile(model *strudel.Model, path, delimFlag string, showCells, extract, asJSON bool) error {
+	var tbl *strudel.Table
+	var d strudel.Dialect
+	var err error
+	switch {
+	case delimFlag != "":
+		raw, rerr := readInput(path)
+		if rerr != nil {
+			return rerr
+		}
+		d = strudel.DefaultDialect
+		d.Delimiter = parseDelim(delimFlag)
+		tbl = strudel.Parse(raw, d)
+		tbl.Name = path
+	case path == "-":
+		raw, rerr := readInput(path)
+		if rerr != nil {
+			return rerr
+		}
+		if d, err = strudel.DetectDialect(raw); err != nil {
+			return err
+		}
+		tbl = strudel.Parse(raw, d)
+		tbl.Name = "stdin"
+	default:
+		tbl, d, err = strudel.LoadFile(path)
+		if err != nil {
+			return err
+		}
+	}
+
+	ann := model.Annotate(tbl)
+
+	if asJSON {
+		return printJSON(path, d, tbl, ann, showCells)
+	}
+	fmt.Printf("# %s (%s, %dx%d)\n", path, d, tbl.Height(), tbl.Width())
+	for r := 0; r < tbl.Height(); r++ {
+		line := strings.Join(tbl.Row(r), "|")
+		if len(line) > 70 {
+			line = line[:67] + "..."
+		}
+		fmt.Printf("%4d  %-9s %s\n", r+1, ann.Lines[r], line)
+		if showCells && !tbl.IsEmptyLine(r) {
+			var cells []string
+			for c := 0; c < tbl.Width(); c++ {
+				cells = append(cells, ann.Cells[r][c].String())
+			}
+			fmt.Printf("      cells:   %s\n", strings.Join(cells, ","))
+		}
+	}
+	if extract {
+		header, rows := strudel.ExtractData(tbl, ann)
+		fmt.Println("\n# extracted relational table")
+		fmt.Println(strings.Join(header, ","))
+		for _, row := range rows {
+			fmt.Println(strings.Join(row, ","))
+		}
+	}
+	return nil
+}
+
+func printJSON(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.Annotation, showCells bool) error {
+	out := struct {
+		File    string     `json:"file"`
+		Dialect string     `json:"dialect"`
+		Lines   []string   `json:"lines"`
+		Cells   [][]string `json:"cells,omitempty"`
+	}{File: path, Dialect: d.String()}
+	for _, c := range ann.Lines {
+		out.Lines = append(out.Lines, c.String())
+	}
+	if showCells {
+		for _, row := range ann.Cells {
+			var names []string
+			for _, c := range row {
+				names = append(names, c.String())
+			}
+			out.Cells = append(out.Cells, names)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// readInput reads a file, or standard input when path is "-".
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func parseDelim(s string) rune {
+	switch strings.ToLower(s) {
+	case "tab", "\\t":
+		return '\t'
+	case "space":
+		return ' '
+	default:
+		return []rune(s)[0]
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strudel:", err)
+	os.Exit(1)
+}

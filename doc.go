@@ -1,0 +1,22 @@
+// Package strudel detects the structure of verbose CSV files.
+//
+// A verbose CSV file mixes content of different purposes — titles, column
+// headers, group labels, data, aggregates, footnotes — in one
+// comma-separated grid. Strudel (EDBT 2021) classifies every line and every
+// cell of such a file into one of six semantic classes using a multi-class
+// random forest over content, contextual, and computational features.
+//
+// The typical flow is: load a file (dialect detection included), train a
+// model on an annotated corpus or load a pre-trained one, and annotate:
+//
+//	tbl, _, err := strudel.LoadFile("report.csv")
+//	if err != nil { ... }
+//	model, err := strudel.LoadModelFile("strudel.model")
+//	if err != nil { ... }
+//	ann := model.Annotate(tbl)
+//	for r, class := range ann.Lines { ... }
+//
+// Annotated training corpora can be synthesized with GenerateCorpus, which
+// reproduces the structural statistics of the paper's six evaluation
+// datasets.
+package strudel

@@ -1,0 +1,68 @@
+package strudel_test
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel"
+)
+
+// ExampleDetectDialect shows dialect detection on a semicolon-delimited
+// file with decimal commas — the classic case where naive comma splitting
+// shreds the values.
+func ExampleDetectDialect() {
+	text := "name;v1;v2\na;1,5;2,5\nb;3,5;4,5\nc;5,5;6,5\n"
+	d, err := strudel.DetectDialect(text)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d)
+	tbl := strudel.Parse(text, d)
+	fmt.Println(tbl.Height(), "x", tbl.Width())
+	// Output:
+	// delim=';' quote='"'
+	// 4 x 3
+}
+
+// ExampleParse shows grid construction and margin cropping.
+func ExampleParse() {
+	tbl := strudel.Parse(",,,\n,a,b,\n,c,d,\n,,,\n", strudel.DefaultDialect)
+	fmt.Println(tbl.Height(), "x", tbl.Width())
+	fmt.Println(tbl.Cell(0, 0), tbl.Cell(1, 1))
+	// Output:
+	// 2 x 2
+	// a d
+}
+
+// ExampleDetectDerivedCells audits the arithmetic of a small report: the
+// anchored Total line is recognized as an aggregation of the data above it.
+func ExampleDetectDerivedCells() {
+	tbl, _, err := strudel.Load(strings.NewReader(
+		"Item,Q1,Q2\napples,10,20\npears,30,40\nTotal,40,60\n"))
+	if err != nil {
+		panic(err)
+	}
+	derived := strudel.DetectDerivedCells(tbl)
+	fmt.Println("total Q1 derived:", derived[3][1])
+	fmt.Println("data  Q1 derived:", derived[1][1])
+	// Output:
+	// total Q1 derived: true
+	// data  Q1 derived: false
+}
+
+// ExampleContainsAggregationWord shows the Section 4 keyword dictionary.
+func ExampleContainsAggregationWord() {
+	fmt.Println(strudel.ContainsAggregationWord("Grand total"))
+	fmt.Println(strudel.ContainsAggregationWord("totally unrelated"))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleParseClass round-trips a class name.
+func ExampleParseClass() {
+	c, _ := strudel.ParseClass("derived")
+	fmt.Println(c)
+	// Output:
+	// derived
+}

@@ -1,0 +1,93 @@
+// Audit: use the derived-cell detection of Algorithm 2 to check the
+// arithmetic of a statistical report. Lines that announce an aggregation
+// ("Total", "Average", ...) but whose numbers cannot be reproduced from the
+// surrounding data are flagged. In the example report the first table's
+// totals are correct; the second table's totals were mangled.
+//
+// Run with:
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"strudel"
+)
+
+const report = `Quarterly Widget Shipments,,,
+,,,
+Factory,Q1,Q2,Q3
+Lyon,120,150,170
+Porto,80,90,110
+Gdansk,200,210,190
+Total,400,450,470
+,,,
+Returned Units,,,
+Factory,Q1,Q2,Q3
+Lyon,12,15,17
+Porto,8,9,11
+Gdansk,20,21,19
+Total,40,245,947
+`
+
+func main() {
+	tbl, _, err := strudel.Load(strings.NewReader(report))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	derived := strudel.DetectDerivedCells(tbl)
+
+	fmt.Println("arithmetic audit")
+	fmt.Println("================")
+	clean := true
+	for r := 0; r < tbl.Height(); r++ {
+		// Only audit lines that claim to aggregate.
+		announces := false
+		numeric := 0
+		detected := 0
+		for c := 0; c < tbl.Width(); c++ {
+			v := strings.TrimSpace(tbl.Cell(r, c))
+			if strudel.ContainsAggregationWord(v) {
+				announces = true
+			}
+			if v != "" && isNumeric(v) {
+				numeric++
+				if derived[r][c] {
+					detected++
+				}
+			}
+		}
+		if !announces || numeric == 0 {
+			continue
+		}
+		label := strings.TrimSpace(tbl.Cell(r, 0))
+		if detected > 0 {
+			fmt.Printf("line %2d (%s): ok — %d/%d values verified as aggregations\n",
+				r+1, label, detected, numeric)
+			continue
+		}
+		clean = false
+		fmt.Printf("line %2d (%s): SUSPICIOUS — announced totals cannot be reproduced from the data\n",
+			r+1, label)
+	}
+	if clean {
+		fmt.Println("\nall announced aggregates check out")
+	} else {
+		fmt.Println("\nsome announced aggregates do not match their data — check the report")
+	}
+}
+
+// isNumeric is a loose digit test; the library's own type inference does
+// the real work inside DetectDerivedCells.
+func isNumeric(v string) bool {
+	for _, r := range v {
+		if (r < '0' || r > '9') && r != '.' && r != ',' && r != '-' {
+			return false
+		}
+	}
+	return true
+}

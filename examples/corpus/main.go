@@ -1,0 +1,70 @@
+// Corpus: generate the paper-shaped synthetic corpora, train on three of
+// them, and measure cross-domain transfer on a fourth — the Table 7
+// experiment in miniature, built entirely on the public API.
+//
+// Run with:
+//
+//	go run ./examples/corpus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"strudel"
+)
+
+func main() {
+	// Assemble the training set the paper uses for its transfer study.
+	var train []*strudel.Table
+	for _, name := range []string{"saus", "cius", "deex"} {
+		files, err := strudel.GenerateCorpus(name, 0.3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %-6s: %d files\n", name, len(files))
+		train = append(train, files...)
+	}
+
+	model, err := strudel.Train(train, strudel.TrainOptions{
+		Trees: 40, Seed: 11, MaxCellsPerFile: 400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score line predictions on the out-of-domain Troy corpus.
+	test, err := strudel.GenerateCorpus("troy", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated troy  : %d files (held out)\n\n", len(test))
+
+	var correct, total [strudel.NumClasses]int
+	for _, f := range test {
+		pred := model.ClassifyLines(f)
+		for r := 0; r < f.Height(); r++ {
+			gold := f.LineClasses[r]
+			idx := gold.Index()
+			if idx < 0 {
+				continue
+			}
+			total[idx]++
+			if pred[r] == gold {
+				correct[idx]++
+			}
+		}
+	}
+
+	fmt.Println("out-of-domain per-class line recall (train SAUS+CIUS+DeEx, test Troy):")
+	for i, cls := range strudel.Classes {
+		if total[i] == 0 {
+			continue
+		}
+		fmt.Printf("  %-9s %5.1f%%  (%d lines)\n",
+			cls, 100*float64(correct[i])/float64(total[i]), total[i])
+	}
+	fmt.Println("\nderived lines suffer out of domain because Troy's aggregation")
+	fmt.Println("lines rarely carry anchoring keywords — the failure mode the")
+	fmt.Println("paper analyzes in Section 6.3.3.")
+}

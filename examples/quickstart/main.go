@@ -1,0 +1,72 @@
+// Quickstart: train a small Strudel model on a synthetic corpus and
+// annotate a verbose CSV file, printing the class of every line and cell.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"strudel"
+)
+
+// report is a typical verbose CSV file: title, blank separator, header,
+// data, an aggregation line, and a footnote.
+const report = `Drug Seizures by Substance 2019,,,
+,,,
+Substance,Seizures,Arrests,Convictions
+Cannabis,1204,801,512
+Heroin,310,205,118
+Cocaine,415,300,199
+Sale/Manufacturing:,,,
+Methamphetamine,98,75,44
+Total,2027,1381,873
+,,,
+Source: national enforcement registry,,,
+`
+
+func main() {
+	// 1. Train a model. Real deployments load a saved model instead
+	// (strudel.LoadModelFile); here we fit a small one on the synthetic
+	// SAUS-like corpus so the example is self-contained.
+	corpus, err := strudel.GenerateCorpus("saus", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := strudel.Train(corpus, strudel.TrainOptions{
+		Trees: 30, Seed: 42, MaxCellsPerFile: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Load the verbose file. Dialect detection is automatic.
+	tbl, dialect, err := strudel.Load(strings.NewReader(report))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %dx%d table (%s)\n\n", tbl.Height(), tbl.Width(), dialect)
+
+	// 3. Annotate lines and cells.
+	ann := model.Annotate(tbl)
+	for r := 0; r < tbl.Height(); r++ {
+		fmt.Printf("%2d %-9s %s\n", r+1, ann.Lines[r], strings.Join(tbl.Row(r), " | "))
+	}
+
+	// 4. Per-cell view of the aggregation line: the leading label is a
+	// group cell, the numbers are derived cells.
+	fmt.Println("\ncells of the 'Total' line:")
+	for c := 0; c < tbl.Width(); c++ {
+		fmt.Printf("  %-22q %s\n", tbl.Cell(8, c), ann.Cells[8][c])
+	}
+
+	// 5. Line-level confidence from Strudel-L.
+	fmt.Println("\nconfidence for line 9 (Total):")
+	for i, cls := range strudel.Classes {
+		fmt.Printf("  %-9s %.3f\n", cls, ann.LineProbabilities[8][i])
+	}
+}

@@ -1,0 +1,250 @@
+// Package active implements file-level active learning for line
+// classification, adapting the rule-assisted active learning idea of Chen
+// et al. (2017) that the paper reviews in Section 2.2: instead of labeling
+// a whole corpus, an annotator labels only the files the current model is
+// most uncertain about, and the model is retrained after each round.
+//
+// Here the "annotator" is the gold annotation already attached to the
+// synthetic corpora, so the package measures how quickly uncertainty
+// sampling approaches full-corpus quality compared to random sampling.
+package active
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"strudel/internal/core"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// Strategy selects which unlabeled files to annotate next.
+type Strategy int
+
+const (
+	// Uncertainty picks the files whose lines the model is least sure
+	// about (highest mean 1 - max class probability).
+	Uncertainty Strategy = iota
+	// Random picks files uniformly at random (the baseline).
+	Random
+	// Margin picks the files with the smallest mean gap between the top
+	// two class probabilities — a finer-grained uncertainty notion that
+	// distinguishes "confidently torn between two classes" from "diffusely
+	// unsure".
+	Margin
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Uncertainty:
+		return "uncertainty"
+	case Margin:
+		return "margin"
+	default:
+		return "random"
+	}
+}
+
+// Options configures an active learning run.
+type Options struct {
+	// InitialFiles seeds the labeled pool; 0 means 3.
+	InitialFiles int
+	// Rounds is the number of selection rounds; 0 means 5.
+	Rounds int
+	// PerRound is how many files are labeled each round; 0 means 2.
+	PerRound int
+	// Trees is the forest size for the intermediate models; 0 means 30.
+	Trees int
+	// Seed drives the initial selection and the Random strategy.
+	Seed int64
+}
+
+// Result records the progression of one run.
+type Result struct {
+	Strategy Strategy
+	// Accuracy[i] is the test line accuracy after round i (index 0 is the
+	// seed model, before any selection).
+	Accuracy []float64
+	// LabeledCounts[i] is the number of labeled files behind Accuracy[i].
+	LabeledCounts []int
+	// Selected lists the file names chosen across rounds, in order.
+	Selected []string
+}
+
+// Run executes an active learning loop: train on the labeled seed, select
+// files from pool by the strategy, move them (with their gold labels) into
+// the training set, retrain, and measure line accuracy on test after every
+// round.
+func Run(pool, test []*table.Table, strategy Strategy, opts Options) (*Result, error) {
+	if opts.InitialFiles <= 0 {
+		opts.InitialFiles = 3
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 5
+	}
+	if opts.PerRound <= 0 {
+		opts.PerRound = 2
+	}
+	if opts.Trees <= 0 {
+		opts.Trees = 30
+	}
+	if len(pool) <= opts.InitialFiles {
+		return nil, errors.New("active: pool too small for the initial seed")
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := rng.Perm(len(pool))
+	var labeled []*table.Table
+	var unlabeled []*table.Table
+	for i, p := range order {
+		if i < opts.InitialFiles {
+			labeled = append(labeled, pool[p])
+		} else {
+			unlabeled = append(unlabeled, pool[p])
+		}
+	}
+
+	res := &Result{Strategy: strategy}
+	train := func(round int) (*core.LineModel, error) {
+		o := core.DefaultLineTrainOptions()
+		o.Forest = forest.Options{NumTrees: opts.Trees, Seed: opts.Seed + int64(round)}
+		return core.TrainLine(labeled, o)
+	}
+	record := func(m *core.LineModel) {
+		res.Accuracy = append(res.Accuracy, lineAccuracy(m, test))
+		res.LabeledCounts = append(res.LabeledCounts, len(labeled))
+	}
+
+	model, err := train(0)
+	if err != nil {
+		return nil, err
+	}
+	record(model)
+
+	for round := 1; round <= opts.Rounds && len(unlabeled) > 0; round++ {
+		k := opts.PerRound
+		if k > len(unlabeled) {
+			k = len(unlabeled)
+		}
+		var picks []int
+		switch strategy {
+		case Uncertainty:
+			picks = topBy(unlabeled, k, func(f *table.Table) float64 {
+				return FileUncertainty(model, f)
+			})
+		case Margin:
+			picks = topBy(unlabeled, k, func(f *table.Table) float64 {
+				return -FileMargin(model, f) // smallest margin first
+			})
+		case Random:
+			picks = rng.Perm(len(unlabeled))[:k]
+			sort.Ints(picks)
+		default:
+			return nil, fmt.Errorf("active: unknown strategy %d", strategy)
+		}
+		// Move picks from unlabeled to labeled (descending removal).
+		sort.Sort(sort.Reverse(sort.IntSlice(picks)))
+		for _, i := range picks {
+			res.Selected = append(res.Selected, unlabeled[i].Name)
+			labeled = append(labeled, unlabeled[i])
+			unlabeled = append(unlabeled[:i], unlabeled[i+1:]...)
+		}
+		if model, err = train(round); err != nil {
+			return nil, err
+		}
+		record(model)
+	}
+	return res, nil
+}
+
+// topBy returns the indices of the k files with the highest score.
+func topBy(files []*table.Table, k int, score func(*table.Table) float64) []int {
+	type scored struct {
+		idx int
+		u   float64
+	}
+	all := make([]scored, len(files))
+	for i, f := range files {
+		all[i] = scored{i, score(f)}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].u > all[b].u })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].idx
+	}
+	return out
+}
+
+// FileMargin is the mean gap between the top two class probabilities over
+// the non-empty lines of a file; small margins mean hard decisions.
+func FileMargin(m *core.LineModel, f *table.Table) float64 {
+	probs := m.Probabilities(f)
+	sum, n := 0.0, 0
+	for r := 0; r < f.Height(); r++ {
+		if f.IsEmptyLine(r) {
+			continue
+		}
+		best, second := 0.0, 0.0
+		for _, p := range probs[r] {
+			if p > best {
+				best, second = p, best
+			} else if p > second {
+				second = p
+			}
+		}
+		sum += best - second
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// FileUncertainty is the mean (1 - max class probability) over the
+// non-empty lines of a file — the sheet-selection criterion.
+func FileUncertainty(m *core.LineModel, f *table.Table) float64 {
+	probs := m.Probabilities(f)
+	sum, n := 0.0, 0
+	for r := 0; r < f.Height(); r++ {
+		if f.IsEmptyLine(r) {
+			continue
+		}
+		maxP := 0.0
+		for _, p := range probs[r] {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		sum += 1 - maxP
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// lineAccuracy is the fraction of annotated lines classified correctly.
+func lineAccuracy(m *core.LineModel, files []*table.Table) float64 {
+	correct, total := 0, 0
+	for _, f := range files {
+		pred := m.Classify(f)
+		for r := 0; r < f.Height(); r++ {
+			if f.LineClasses[r].Index() < 0 {
+				continue
+			}
+			total++
+			if pred[r] == f.LineClasses[r] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,138 @@
+package active
+
+import (
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/datagen"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+func corpora() (pool, test []*table.Table) {
+	p := datagen.GovUK()
+	p.Files = 24
+	files := datagen.Generate(p).Files
+	return files[:18], files[18:]
+}
+
+func TestRunUncertainty(t *testing.T) {
+	pool, test := corpora()
+	res, err := Run(pool, test, Uncertainty, Options{
+		InitialFiles: 3, Rounds: 3, PerRound: 2, Trees: 15, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accuracy) != 4 { // seed + 3 rounds
+		t.Fatalf("accuracy points = %d, want 4", len(res.Accuracy))
+	}
+	if len(res.Selected) != 6 {
+		t.Fatalf("selected = %d files, want 6", len(res.Selected))
+	}
+	if res.LabeledCounts[0] != 3 || res.LabeledCounts[3] != 9 {
+		t.Errorf("labeled counts = %v", res.LabeledCounts)
+	}
+	for _, a := range res.Accuracy {
+		if a <= 0 || a > 1 {
+			t.Fatalf("accuracy out of range: %v", res.Accuracy)
+		}
+	}
+	// More labels should help overall (final >= seed, with slack for noise).
+	if res.Accuracy[3]+0.05 < res.Accuracy[0] {
+		t.Errorf("accuracy degraded: %v", res.Accuracy)
+	}
+}
+
+func TestRunRandomDiffersFromUncertainty(t *testing.T) {
+	pool, test := corpora()
+	u, err := Run(pool, test, Uncertainty, Options{Seed: 2, Rounds: 2, Trees: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(pool, test, Random, Options{Seed: 2, Rounds: 2, Trees: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(u.Selected) == len(r.Selected)
+	if same {
+		for i := range u.Selected {
+			if u.Selected[i] != r.Selected[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("uncertainty and random selection picked identical files")
+	}
+}
+
+func TestRunPoolTooSmall(t *testing.T) {
+	pool, test := corpora()
+	if _, err := Run(pool[:2], test, Uncertainty, Options{InitialFiles: 3}); err == nil {
+		t.Error("tiny pool should error")
+	}
+}
+
+func TestFileUncertaintyRange(t *testing.T) {
+	pool, _ := corpora()
+	o := core.DefaultLineTrainOptions()
+	o.Forest = forest.Options{NumTrees: 10, Seed: 3}
+	m, err := core.TrainLine(pool[:6], o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pool {
+		u := FileUncertainty(m, f)
+		if u < 0 || u > 1 {
+			t.Fatalf("uncertainty %v out of [0,1]", u)
+		}
+	}
+	// Uncertainty on trained files should be lower on average than on a
+	// structurally different corpus.
+	troy := datagen.Generate(func() datagen.Profile { p := datagen.Troy(); p.Files = 6; return p }())
+	trainU, troyU := 0.0, 0.0
+	for _, f := range pool[:6] {
+		trainU += FileUncertainty(m, f)
+	}
+	for _, f := range troy.Files {
+		troyU += FileUncertainty(m, f)
+	}
+	if trainU/6 >= troyU/6 {
+		t.Logf("note: in-domain uncertainty %.3f vs out-of-domain %.3f", trainU/6, troyU/6)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Uncertainty.String() != "uncertainty" || Random.String() != "random" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestMarginStrategy(t *testing.T) {
+	pool, test := corpora()
+	res, err := Run(pool, test, Margin, Options{Seed: 5, Rounds: 2, Trees: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != Margin || len(res.Accuracy) != 3 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestFileMarginRange(t *testing.T) {
+	pool, _ := corpora()
+	o := core.DefaultLineTrainOptions()
+	o.Forest = forest.Options{NumTrees: 10, Seed: 6}
+	m, err := core.TrainLine(pool[:6], o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pool {
+		v := FileMargin(m, f)
+		if v < 0 || v > 1 {
+			t.Fatalf("margin %v out of [0,1]", v)
+		}
+	}
+}

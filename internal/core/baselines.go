@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"strudel/internal/features"
+	"strudel/internal/ml/crf"
+	"strudel/internal/ml/knn"
+	"strudel/internal/ml/naive"
+	"strudel/internal/ml/nn"
+	"strudel/internal/ml/svm"
+	"strudel/internal/table"
+)
+
+// CRFLineModel adapts the linear-chain CRF to the line classification task:
+// the CRF^L baseline (Adelfio & Samet). Line features are discretized with
+// logarithmic binning; the chain runs over the non-empty lines of a file.
+// The computational DerivedCoverage feature is excluded, since the original
+// approach has no derived-cell arithmetic.
+type CRFLineModel struct {
+	M    *crf.Model
+	Opts features.LineOptions
+	Mask []int
+}
+
+// CRFLineFeatureMask is the feature subset used by CRF^L: content plus
+// contextual features (Adelfio & Samet's families, minus the stylistic ones
+// unavailable in CSV files).
+func CRFLineFeatureMask() []int {
+	mask := append([]int(nil), features.LineContentFeatures...)
+	return append(mask, features.LineContextualFeatures...)
+}
+
+// TrainCRFLine fits the CRF^L baseline on annotated tables.
+func TrainCRFLine(tables []*table.Table, fopts features.LineOptions, copts crf.Options) (*CRFLineModel, error) {
+	mask := CRFLineFeatureMask()
+	var seqs [][][]int
+	var labels [][]int
+	for _, t := range tables {
+		if t.LineClasses == nil {
+			continue
+		}
+		seq, lab, _ := crfSequence(t, fopts, mask)
+		if len(seq) == 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+		labels = append(labels, lab)
+	}
+	if len(seqs) == 0 {
+		return nil, errors.New("core: no annotated files for CRF training")
+	}
+	m, err := crf.Fit(seqs, labels, table.NumClasses, crf.NumFeatureIDs(len(mask)), copts)
+	if err != nil {
+		return nil, err
+	}
+	return &CRFLineModel{M: m, Opts: fopts, Mask: mask}, nil
+}
+
+// crfSequence converts a table into the CRF's discrete representation:
+// one item per non-empty line. rows maps sequence positions back to line
+// indices.
+func crfSequence(t *table.Table, fopts features.LineOptions, mask []int) (seq [][]int, labels []int, rows []int) {
+	fs := features.LineFeatures(t, fopts)
+	for r := 0; r < t.Height(); r++ {
+		if t.IsEmptyLine(r) {
+			continue
+		}
+		seq = append(seq, crf.BinizeVector(maskVector(fs[r], mask)))
+		if t.LineClasses != nil {
+			idx := t.LineClasses[r].Index()
+			if idx < 0 {
+				idx = table.ClassData.Index() // defensive: unlabeled non-empty line
+			}
+			labels = append(labels, idx)
+		}
+		rows = append(rows, r)
+	}
+	return seq, labels, rows
+}
+
+// Classify predicts one class per line via Viterbi decoding.
+func (m *CRFLineModel) Classify(t *table.Table) []table.Class {
+	out := make([]table.Class, t.Height())
+	seq, _, rows := crfSequence(t, m.Opts, m.Mask)
+	if len(seq) == 0 {
+		return out
+	}
+	pred := m.M.Decode(seq)
+	for i, r := range rows {
+		out[r] = table.ClassAt(pred[i])
+	}
+	return out
+}
+
+// RNNCellModel adapts the recurrent network to the cell classification
+// task: the RNN^C baseline (Ghasemi-Gol et al.). The network runs over the
+// non-empty cells of each line; inputs are the Table 2 cell features minus
+// the Strudel-specific LineClassProbability and IsAggregation components
+// (the original approach has neither).
+type RNNCellModel struct {
+	M    *nn.Model
+	Opts features.CellOptions
+	Mask []int
+}
+
+// RNNCellFeatureMask is the cell feature subset visible to RNN^C.
+func RNNCellFeatureMask() []int {
+	var mask []int
+	mask = append(mask, features.CellContentFeatures...)
+	mask = append(mask, features.CellContextualFeatures...)
+	return mask
+}
+
+// TrainRNNCell fits the RNN^C baseline on annotated tables.
+func TrainRNNCell(tables []*table.Table, fopts features.CellOptions, nopts nn.Options) (*RNNCellModel, error) {
+	mask := RNNCellFeatureMask()
+	var seqs [][][]float64
+	var labels [][]int
+	for _, t := range tables {
+		if t.CellClasses == nil {
+			continue
+		}
+		fs := features.CellFeatures(t, nil, fopts)
+		for r := 0; r < t.Height(); r++ {
+			var seq [][]float64
+			var lab []int
+			for c := 0; c < t.Width(); c++ {
+				idx := t.CellClasses[r][c].Index()
+				if idx < 0 || t.IsEmptyCell(r, c) {
+					continue
+				}
+				seq = append(seq, maskVector(fs[r][c], mask))
+				lab = append(lab, idx)
+			}
+			if len(seq) > 0 {
+				seqs = append(seqs, seq)
+				labels = append(labels, lab)
+			}
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, errors.New("core: no annotated cells for RNN training")
+	}
+	m, err := nn.Fit(seqs, labels, table.NumClasses, nopts)
+	if err != nil {
+		return nil, err
+	}
+	return &RNNCellModel{M: m, Opts: fopts, Mask: mask}, nil
+}
+
+// Classify predicts one class per cell; empty cells get ClassEmpty.
+func (m *RNNCellModel) Classify(t *table.Table) [][]table.Class {
+	fs := features.CellFeatures(t, nil, m.Opts)
+	out := make([][]table.Class, t.Height())
+	for r := 0; r < t.Height(); r++ {
+		out[r] = make([]table.Class, t.Width())
+		var seq [][]float64
+		var cols []int
+		for c := 0; c < t.Width(); c++ {
+			if t.IsEmptyCell(r, c) {
+				continue
+			}
+			seq = append(seq, maskVector(fs[r][c], m.Mask))
+			cols = append(cols, c)
+		}
+		if len(seq) == 0 {
+			continue
+		}
+		pred := m.M.PredictSeq(seq)
+		for i, c := range cols {
+			out[r][c] = table.ClassAt(pred[i])
+		}
+	}
+	return out
+}
+
+// probaClassifier is the common surface of the interchangeable flat
+// classifiers used in the Section 6.1.2 backbone ablation.
+type probaClassifier interface {
+	PredictProba(x []float64) []float64
+}
+
+// AltLineModel wraps an alternative flat classifier (naive Bayes, KNN,
+// linear SVM) behind the Strudel^L feature pipeline, for the classifier
+// bake-off of Section 6.1.2.
+type AltLineModel struct {
+	C    probaClassifier
+	Name string
+	Opts features.LineOptions
+}
+
+// TrainAltLine fits one of the alternative backbones on the Strudel^L
+// features. kind is one of "naive", "knn", "svm".
+func TrainAltLine(tables []*table.Table, kind string, fopts features.LineOptions, seed int64) (*AltLineModel, error) {
+	var X [][]float64
+	var y []int
+	for _, t := range tables {
+		if t.LineClasses == nil {
+			continue
+		}
+		fs := features.LineFeatures(t, fopts)
+		for r := 0; r < t.Height(); r++ {
+			idx := t.LineClasses[r].Index()
+			if idx < 0 || t.IsEmptyLine(r) {
+				continue
+			}
+			X = append(X, maskVector(fs[r], nil))
+			y = append(y, idx)
+		}
+	}
+	if len(X) == 0 {
+		return nil, errors.New("core: no annotated lines to train on")
+	}
+	var c probaClassifier
+	var err error
+	switch kind {
+	case "naive":
+		c, err = naive.Fit(X, y, table.NumClasses)
+	case "knn":
+		c, err = knn.Fit(X, y, table.NumClasses, 5)
+	case "svm":
+		c, err = svm.Fit(X, y, table.NumClasses, svm.Options{Seed: seed})
+	default:
+		return nil, fmt.Errorf("core: unknown classifier kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &AltLineModel{C: c, Name: kind, Opts: fopts}, nil
+}
+
+// Classify predicts one class per line of t; empty lines get ClassEmpty.
+func (m *AltLineModel) Classify(t *table.Table) []table.Class {
+	fs := features.LineFeatures(t, m.Opts)
+	out := make([]table.Class, t.Height())
+	for r := 0; r < t.Height(); r++ {
+		if t.IsEmptyLine(r) {
+			continue
+		}
+		out[r] = table.ClassAt(argMax(m.C.PredictProba(fs[r])))
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/postprocess"
+	"strudel/internal/table"
+)
+
+// CellModel is a trained Strudel^C classifier. It embeds the Strudel^L
+// model whose class probabilities feed the LineClassProbability features.
+type CellModel struct {
+	Forest *forest.Forest
+	Line   *LineModel
+	Opts   features.CellOptions
+	// Mask selects a subset of cell features (for ablations); nil = all.
+	Mask []int
+	// Column, when non-nil, appends per-column class probabilities to each
+	// cell's feature vector (the future-work extension of the paper's
+	// conclusion).
+	Column *ColumnModel
+	// PostProcess applies the Koci-style misclassification repair to
+	// Classify results.
+	PostProcess bool
+}
+
+// CellTrainOptions configures Strudel^C training.
+type CellTrainOptions struct {
+	Forest   forest.Options
+	Features features.CellOptions
+	// Line configures the embedded Strudel^L model. Leave zero for
+	// defaults; the forest seed is reused.
+	Line LineTrainOptions
+	// FeatureMask restricts training to these cell feature indices.
+	FeatureMask []int
+	// MaxCellsPerFile caps the training cells sampled from each file
+	// (0 = use every cell). Sampling is deterministic in Forest.Seed and
+	// always keeps minority-class cells, which are the scarce signal.
+	MaxCellsPerFile int
+	// UseColumnProbs trains a column classifier alongside Strudel^C and
+	// appends its per-column probability vectors to the cell features.
+	UseColumnProbs bool
+	// PostProcess enables the Koci-style misclassification repair on
+	// predictions.
+	PostProcess bool
+}
+
+// DefaultCellTrainOptions mirrors the paper's setup.
+func DefaultCellTrainOptions() CellTrainOptions {
+	return CellTrainOptions{
+		Forest:   forest.DefaultOptions(),
+		Features: features.DefaultCellOptions(),
+		Line:     DefaultLineTrainOptions(),
+	}
+}
+
+// TrainCell fits Strudel^C on annotated tables: it first trains the
+// embedded Strudel^L, then uses its per-line probability vectors as cell
+// features (Section 5.4).
+func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error) {
+	if opts.Line.Forest.NumTrees == 0 {
+		opts.Line = DefaultLineTrainOptions()
+	}
+	opts.Line.Forest.Seed = opts.Forest.Seed
+	lineModel, err := TrainLine(tables, opts.Line)
+	if err != nil {
+		return nil, err
+	}
+
+	var colModel *ColumnModel
+	if opts.UseColumnProbs {
+		colModel, err = TrainColumn(tables, opts.Features, opts.Forest)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Forest.Seed + 1))
+	var X [][]float64
+	var y []int
+	for _, t := range tables {
+		if t.CellClasses == nil {
+			continue
+		}
+		probs := lineModel.Probabilities(t)
+		fs := features.CellFeatures(t, probs, opts.Features)
+		if colModel != nil {
+			appendColumnProbs(t, fs, colModel)
+		}
+		fileX, fileY := collectCells(t, fs, opts.FeatureMask)
+		if opts.MaxCellsPerFile > 0 && len(fileX) > opts.MaxCellsPerFile {
+			fileX, fileY = subsampleCells(fileX, fileY, opts.MaxCellsPerFile, rng)
+		}
+		X = append(X, fileX...)
+		y = append(y, fileY...)
+	}
+	if len(X) == 0 {
+		return nil, errors.New("core: no annotated cells to train on")
+	}
+	f, err := forest.Fit(X, y, table.NumClasses, opts.Forest)
+	if err != nil {
+		return nil, err
+	}
+	return &CellModel{
+		Forest: f, Line: lineModel, Opts: opts.Features, Mask: opts.FeatureMask,
+		Column: colModel, PostProcess: opts.PostProcess,
+	}, nil
+}
+
+// appendColumnProbs extends every cell's feature vector with its column's
+// class probability vector. FeatureMask indices keep referring to the base
+// features; the appended components are always retained.
+func appendColumnProbs(t *table.Table, fs [][][]float64, colModel *ColumnModel) {
+	colProbs := colModel.Probabilities(t)
+	for r := range fs {
+		for c := range fs[r] {
+			fs[r][c] = append(fs[r][c], colProbs[c]...)
+		}
+	}
+}
+
+func collectCells(t *table.Table, fs [][][]float64, mask []int) ([][]float64, []int) {
+	mask = extendMask(mask, fs)
+	var X [][]float64
+	var y []int
+	for r := 0; r < t.Height(); r++ {
+		for c := 0; c < t.Width(); c++ {
+			idx := t.CellClasses[r][c].Index()
+			if idx < 0 || t.IsEmptyCell(r, c) {
+				continue
+			}
+			X = append(X, maskVector(fs[r][c], mask))
+			y = append(y, idx)
+		}
+	}
+	return X, y
+}
+
+// extendMask widens a feature mask to cover components appended beyond the
+// base cell feature set (column probabilities), which are always kept.
+func extendMask(mask []int, fs [][][]float64) []int {
+	if mask == nil || len(fs) == 0 || len(fs[0]) == 0 {
+		return mask
+	}
+	total := len(fs[0][0])
+	if total <= features.NumCellFeatures {
+		return mask
+	}
+	out := append([]int(nil), mask...)
+	for i := features.NumCellFeatures; i < total; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// subsampleCells keeps every non-data cell (the scarce classes) and fills
+// the remaining budget with a uniform sample of data cells.
+func subsampleCells(X [][]float64, y []int, cap int, rng *rand.Rand) ([][]float64, []int) {
+	dataIdx := table.ClassData.Index()
+	var keep []int
+	var data []int
+	for i, label := range y {
+		if label == dataIdx {
+			data = append(data, i)
+		} else {
+			keep = append(keep, i)
+		}
+	}
+	budget := cap - len(keep)
+	if budget < 0 {
+		budget = 0
+	}
+	rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	if budget > len(data) {
+		budget = len(data)
+	}
+	keep = append(keep, data[:budget]...)
+	outX := make([][]float64, len(keep))
+	outY := make([]int, len(keep))
+	for i, idx := range keep {
+		outX[i], outY[i] = X[idx], y[idx]
+	}
+	return outX, outY
+}
+
+// Probabilities returns one class probability vector per cell. Empty cells
+// get all-zero vectors.
+func (m *CellModel) Probabilities(t *table.Table) [][][]float64 {
+	lineProbs := m.Line.Probabilities(t)
+	fs := features.CellFeatures(t, lineProbs, m.Opts)
+	if m.Column != nil {
+		appendColumnProbs(t, fs, m.Column)
+	}
+	out := make([][][]float64, t.Height())
+	mask := extendMask(m.Mask, fs)
+	var batch [][]float64
+	type pos struct{ r, c int }
+	var cells []pos
+	for r := 0; r < t.Height(); r++ {
+		out[r] = make([][]float64, t.Width())
+		for c := 0; c < t.Width(); c++ {
+			if t.IsEmptyCell(r, c) {
+				out[r][c] = make([]float64, table.NumClasses)
+				continue
+			}
+			batch = append(batch, maskVector(fs[r][c], mask))
+			cells = append(cells, pos{r, c})
+		}
+	}
+	probs := m.Forest.PredictProbaBatch(batch)
+	for i, p := range cells {
+		out[p.r][p.c] = probs[i]
+	}
+	return out
+}
+
+// Classify predicts one class per cell of t; empty cells get ClassEmpty.
+// When PostProcess is set, the Koci-style misclassification repair runs on
+// the raw predictions.
+func (m *CellModel) Classify(t *table.Table) [][]table.Class {
+	probs := m.Probabilities(t)
+	out := make([][]table.Class, t.Height())
+	for r := 0; r < t.Height(); r++ {
+		out[r] = make([]table.Class, t.Width())
+		for c := 0; c < t.Width(); c++ {
+			if t.IsEmptyCell(r, c) {
+				continue
+			}
+			out[r][c] = table.ClassAt(argMax(probs[r][c]))
+		}
+	}
+	if m.PostProcess {
+		out = postprocess.Repair(t, out, postprocess.Options{})
+	}
+	return out
+}

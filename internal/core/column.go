@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// ColumnModel classifies whole columns — the paper's future-work direction
+// (iii). A column's gold class is the majority class of its non-empty
+// cells; the model's probability vectors can be appended to Strudel^C's
+// cell features (CellTrainOptions.UseColumnProbs) to test whether column
+// context boosts cell quality.
+type ColumnModel struct {
+	Forest *forest.Forest
+	Opts   features.CellOptions
+}
+
+// ColumnGold returns the majority cell class per column of an annotated
+// table (ClassEmpty for columns without classified cells).
+func ColumnGold(t *table.Table) []table.Class {
+	w := t.Width()
+	out := make([]table.Class, w)
+	if t.CellClasses == nil {
+		return out
+	}
+	for c := 0; c < w; c++ {
+		var counts [table.NumClasses]int
+		for r := 0; r < t.Height(); r++ {
+			if t.IsEmptyCell(r, c) {
+				continue
+			}
+			if idx := t.CellClasses[r][c].Index(); idx >= 0 {
+				counts[idx]++
+			}
+		}
+		best, bestN := -1, 0
+		for i, n := range counts {
+			if n > bestN {
+				best, bestN = i, n
+			}
+		}
+		if best >= 0 {
+			out[c] = table.ClassAt(best)
+		}
+	}
+	return out
+}
+
+// TrainColumn fits a column classifier on annotated tables.
+func TrainColumn(tables []*table.Table, fopts features.CellOptions, forestOpts forest.Options) (*ColumnModel, error) {
+	var X [][]float64
+	var y []int
+	for _, t := range tables {
+		if t.CellClasses == nil {
+			continue
+		}
+		fs := features.ColumnFeatures(t, fopts)
+		gold := ColumnGold(t)
+		for c := 0; c < t.Width(); c++ {
+			if idx := gold[c].Index(); idx >= 0 {
+				X = append(X, fs[c])
+				y = append(y, idx)
+			}
+		}
+	}
+	if len(X) == 0 {
+		return nil, errors.New("core: no annotated columns to train on")
+	}
+	f, err := forest.Fit(X, y, table.NumClasses, forestOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &ColumnModel{Forest: f, Opts: fopts}, nil
+}
+
+// Probabilities returns one class probability vector per column.
+func (m *ColumnModel) Probabilities(t *table.Table) [][]float64 {
+	fs := features.ColumnFeatures(t, m.Opts)
+	return m.Forest.PredictProbaBatch(fs)
+}
+
+// Classify predicts one class per column.
+func (m *ColumnModel) Classify(t *table.Table) []table.Class {
+	probs := m.Probabilities(t)
+	out := make([]table.Class, t.Width())
+	for c := range probs {
+		out[c] = table.ClassAt(argMax(probs[c]))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+func TestColumnGold(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"Item", "Q1", "Total"},
+		{"a", "1", "1"},
+		{"b", "2", "2"},
+	})
+	tb.EnsureAnnotations()
+	tb.CellClasses[0][0] = table.ClassHeader
+	tb.CellClasses[0][1] = table.ClassHeader
+	tb.CellClasses[0][2] = table.ClassHeader
+	for r := 1; r <= 2; r++ {
+		tb.CellClasses[r][0] = table.ClassData
+		tb.CellClasses[r][1] = table.ClassData
+		tb.CellClasses[r][2] = table.ClassDerived
+	}
+	gold := ColumnGold(tb)
+	if gold[0] != table.ClassData || gold[1] != table.ClassData {
+		t.Errorf("label/data column gold = %v %v, want data", gold[0], gold[1])
+	}
+	if gold[2] != table.ClassDerived {
+		t.Errorf("total column gold = %v, want derived", gold[2])
+	}
+}
+
+func TestColumnGoldUnannotated(t *testing.T) {
+	tb := table.FromRows([][]string{{"a", "b"}})
+	gold := ColumnGold(tb)
+	for _, g := range gold {
+		if g != table.ClassEmpty {
+			t.Error("unannotated table should yield empty column gold")
+		}
+	}
+}
+
+func TestColumnFeaturesShape(t *testing.T) {
+	tb := smallCorpus[0]
+	fs := features.ColumnFeatures(tb, features.DefaultCellOptions())
+	if len(fs) != tb.Width() {
+		t.Fatalf("%d column vectors for width %d", len(fs), tb.Width())
+	}
+	for c, f := range fs {
+		if len(f) != features.NumColumnFeatures {
+			t.Fatalf("column %d: %d features", c, len(f))
+		}
+	}
+}
+
+func TestTrainColumnAndClassify(t *testing.T) {
+	m, err := TrainColumn(smallCorpus, features.DefaultCellOptions(), forest.Options{NumTrees: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, f := range smallCorpus[:10] {
+		pred := m.Classify(f)
+		gold := ColumnGold(f)
+		for c := range pred {
+			if gold[c].Index() < 0 {
+				continue
+			}
+			total++
+			if pred[c] == gold[c] {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("column training accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestCellModelWithColumnProbs(t *testing.T) {
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(10)
+	opts.Line.Forest = fastForest(10)
+	opts.MaxCellsPerFile = 200
+	opts.UseColumnProbs = true
+	m, err := TrainCell(smallCorpus[:12], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Column == nil {
+		t.Fatal("column model not trained")
+	}
+	// The forest must see base + column probability features.
+	want := features.NumCellFeatures + table.NumClasses
+	if m.Forest.NumFeats != want {
+		t.Errorf("forest features = %d, want %d", m.Forest.NumFeats, want)
+	}
+	pred := m.Classify(smallCorpus[0])
+	if len(pred) != smallCorpus[0].Height() {
+		t.Error("prediction shape wrong")
+	}
+}
+
+func TestCellModelWithColumnProbsAndMask(t *testing.T) {
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(11)
+	opts.Line.Forest = fastForest(11)
+	opts.MaxCellsPerFile = 150
+	opts.UseColumnProbs = true
+	opts.FeatureMask = []int{0, 1, 2, 3}
+	m, err := TrainCell(smallCorpus[:8], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 + table.NumClasses // masked base + appended column probs
+	if m.Forest.NumFeats != want {
+		t.Errorf("forest features = %d, want %d", m.Forest.NumFeats, want)
+	}
+	_ = m.Classify(smallCorpus[0]) // must not panic on dimension mismatch
+}
+
+func TestCellModelPostProcess(t *testing.T) {
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(12)
+	opts.Line.Forest = fastForest(12)
+	opts.MaxCellsPerFile = 150
+	opts.PostProcess = true
+	m, err := TrainCell(smallCorpus[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smallCorpus[0]
+	pred := m.Classify(f)
+	// Repair may only relabel non-empty cells.
+	for r := 0; r < f.Height(); r++ {
+		for c := 0; c < f.Width(); c++ {
+			if f.IsEmptyCell(r, c) && pred[r][c] != table.ClassEmpty {
+				t.Fatal("post-processing touched an empty cell")
+			}
+		}
+	}
+}

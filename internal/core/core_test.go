@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"strudel/internal/datagen"
+	"strudel/internal/ml/crf"
+	"strudel/internal/ml/forest"
+	"strudel/internal/ml/nn"
+	"strudel/internal/table"
+)
+
+// smallCorpus generates a compact training corpus once per test binary.
+var smallCorpus = func() []*table.Table {
+	p := datagen.SAUS()
+	p.Files = 25
+	return datagen.Generate(p).Files
+}()
+
+// fastForest keeps unit tests quick.
+func fastForest(seed int64) forest.Options {
+	return forest.Options{NumTrees: 15, Seed: seed}
+}
+
+func lineAccuracy(pred, gold []table.Class) (int, int) {
+	correct, total := 0, 0
+	for i := range gold {
+		if gold[i].Index() < 0 {
+			continue
+		}
+		total++
+		if pred[i] == gold[i] {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+func TestTrainLineAndClassify(t *testing.T) {
+	opts := DefaultLineTrainOptions()
+	opts.Forest = fastForest(1)
+	m, err := TrainLine(smallCorpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, f := range smallCorpus {
+		pred := m.Classify(f)
+		c, n := lineAccuracy(pred, f.LineClasses)
+		correct += c
+		total += n
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("line training accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestLineProbabilitiesShape(t *testing.T) {
+	opts := DefaultLineTrainOptions()
+	opts.Forest = fastForest(2)
+	m, err := TrainLine(smallCorpus[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smallCorpus[0]
+	probs := m.Probabilities(f)
+	if len(probs) != f.Height() {
+		t.Fatalf("prob rows = %d, want %d", len(probs), f.Height())
+	}
+	for r, p := range probs {
+		if len(p) != table.NumClasses {
+			t.Fatalf("row %d: %d probs", r, len(p))
+		}
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if f.IsEmptyLine(r) {
+			if sum != 0 {
+				t.Errorf("empty line %d should have zero probs", r)
+			}
+		} else if sum < 0.999 || sum > 1.001 {
+			t.Errorf("line %d probs sum to %v", r, sum)
+		}
+	}
+}
+
+func TestClassifyEmptyLinesStayEmpty(t *testing.T) {
+	opts := DefaultLineTrainOptions()
+	opts.Forest = fastForest(3)
+	m, err := TrainLine(smallCorpus[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range smallCorpus[:5] {
+		pred := m.Classify(f)
+		for r := range pred {
+			if f.IsEmptyLine(r) && pred[r] != table.ClassEmpty {
+				t.Fatalf("empty line %d predicted %v", r, pred[r])
+			}
+		}
+	}
+}
+
+func TestFeatureMaskReducesDimensions(t *testing.T) {
+	opts := DefaultLineTrainOptions()
+	opts.Forest = fastForest(4)
+	opts.FeatureMask = []int{0, 1, 2}
+	m, err := TrainLine(smallCorpus[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Forest.NumFeats != 3 {
+		t.Errorf("masked model has %d features, want 3", m.Forest.NumFeats)
+	}
+	// Must still classify without panicking.
+	_ = m.Classify(smallCorpus[0])
+}
+
+func TestTrainLineNoData(t *testing.T) {
+	un := table.FromRows([][]string{{"a"}})
+	if _, err := TrainLine([]*table.Table{un}, DefaultLineTrainOptions()); err == nil {
+		t.Error("training on unannotated tables should error")
+	}
+}
+
+func TestTrainCellAndClassify(t *testing.T) {
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(5)
+	opts.Line.Forest = fastForest(5)
+	opts.MaxCellsPerFile = 300
+	m, err := TrainCell(smallCorpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, f := range smallCorpus[:10] {
+		pred := m.Classify(f)
+		for r := 0; r < f.Height(); r++ {
+			for c := 0; c < f.Width(); c++ {
+				if f.CellClasses[r][c].Index() < 0 || f.IsEmptyCell(r, c) {
+					continue
+				}
+				total++
+				if pred[r][c] == f.CellClasses[r][c] {
+					correct++
+				}
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("cell training accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestCellModelEmptyCellsStayEmpty(t *testing.T) {
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(6)
+	opts.Line.Forest = fastForest(6)
+	opts.MaxCellsPerFile = 200
+	m, err := TrainCell(smallCorpus[:8], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smallCorpus[0]
+	pred := m.Classify(f)
+	for r := 0; r < f.Height(); r++ {
+		for c := 0; c < f.Width(); c++ {
+			if f.IsEmptyCell(r, c) && pred[r][c] != table.ClassEmpty {
+				t.Fatalf("empty cell (%d,%d) predicted %v", r, c, pred[r][c])
+			}
+		}
+	}
+}
+
+func TestLineCBaseline(t *testing.T) {
+	opts := DefaultLineTrainOptions()
+	opts.Forest = fastForest(7)
+	m, err := TrainLine(smallCorpus[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smallCorpus[0]
+	lines := m.Classify(f)
+	cells := m.ClassifyCells(f)
+	for r := 0; r < f.Height(); r++ {
+		for c := 0; c < f.Width(); c++ {
+			want := table.ClassEmpty
+			if !f.IsEmptyCell(r, c) {
+				want = lines[r]
+			}
+			if cells[r][c] != want {
+				t.Fatalf("Line^C cell (%d,%d) = %v, want %v", r, c, cells[r][c], want)
+			}
+		}
+	}
+}
+
+func TestTrainCRFLine(t *testing.T) {
+	m, err := TrainCRFLine(smallCorpus[:15], DefaultLineTrainOptions().Features, crf.Options{Epochs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, f := range smallCorpus[:15] {
+		pred := m.Classify(f)
+		c, n := lineAccuracy(pred, f.LineClasses)
+		correct += c
+		total += n
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Errorf("CRF training accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestTrainRNNCell(t *testing.T) {
+	m, err := TrainRNNCell(smallCorpus[:6], DefaultCellTrainOptions().Features,
+		nn.Options{Hidden: 12, Epochs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smallCorpus[0]
+	pred := m.Classify(f)
+	correct, total := 0, 0
+	for r := 0; r < f.Height(); r++ {
+		for c := 0; c < f.Width(); c++ {
+			if f.CellClasses[r][c].Index() < 0 || f.IsEmptyCell(r, c) {
+				continue
+			}
+			total++
+			if pred[r][c] == f.CellClasses[r][c] {
+				correct++
+			}
+		}
+	}
+	// The RNN only needs to beat chance comfortably here; full training is
+	// exercised by the benchmark harness.
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Errorf("RNN training accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+func TestTrainAltLineKinds(t *testing.T) {
+	for _, kind := range []string{"naive", "knn", "svm"} {
+		m, err := TrainAltLine(smallCorpus[:10], kind, DefaultLineTrainOptions().Features, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		pred := m.Classify(smallCorpus[0])
+		if len(pred) != smallCorpus[0].Height() {
+			t.Fatalf("%s: prediction length mismatch", kind)
+		}
+	}
+	if _, err := TrainAltLine(smallCorpus[:5], "bogus", DefaultLineTrainOptions().Features, 1); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestSubsampleKeepsMinorityCells(t *testing.T) {
+	X := make([][]float64, 100)
+	y := make([]int, 100)
+	dataIdx := table.ClassData.Index()
+	hdrIdx := table.ClassHeader.Index()
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		if i < 90 {
+			y[i] = dataIdx
+		} else {
+			y[i] = hdrIdx
+		}
+	}
+	opts := DefaultCellTrainOptions()
+	_ = opts
+	outX, outY := subsampleCells(X, y, 20, newTestRng())
+	if len(outX) != 20 {
+		t.Fatalf("kept %d cells, want 20", len(outX))
+	}
+	minority := 0
+	for _, label := range outY {
+		if label == hdrIdx {
+			minority++
+		}
+	}
+	if minority != 10 {
+		t.Errorf("kept %d minority cells, want all 10", minority)
+	}
+}
+
+func newTestRng() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution: the Strudel^L line
+// classifier (Section 4), the Strudel^C cell classifier (Section 5) with
+// its line-class-probability feature, and the Line^C baseline, plus
+// table-level adapters for the CRF^L and RNN^C reference approaches.
+package core
+
+import (
+	"errors"
+
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// LineModel is a trained Strudel^L classifier.
+type LineModel struct {
+	Forest *forest.Forest
+	// Opts is the feature extraction configuration used at train time; it
+	// must be reused at prediction time.
+	Opts features.LineOptions
+	// Mask selects a subset of line features (for ablations); nil = all.
+	Mask []int
+}
+
+// LineTrainOptions configures Strudel^L training.
+type LineTrainOptions struct {
+	Forest   forest.Options
+	Features features.LineOptions
+	// FeatureMask restricts training to these feature indices; nil = all.
+	FeatureMask []int
+}
+
+// DefaultLineTrainOptions mirrors the paper's setup: scikit-learn-default
+// random forest over the full Table 1 feature set.
+func DefaultLineTrainOptions() LineTrainOptions {
+	return LineTrainOptions{
+		Forest:   forest.DefaultOptions(),
+		Features: features.DefaultLineOptions(),
+	}
+}
+
+// TrainLine fits Strudel^L on annotated tables. Only non-empty lines with a
+// semantic class participate.
+func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error) {
+	var X [][]float64
+	var y []int
+	for _, t := range tables {
+		if t.LineClasses == nil {
+			continue
+		}
+		fs := features.LineFeatures(t, opts.Features)
+		for r := 0; r < t.Height(); r++ {
+			idx := t.LineClasses[r].Index()
+			if idx < 0 || t.IsEmptyLine(r) {
+				continue
+			}
+			X = append(X, maskVector(fs[r], opts.FeatureMask))
+			y = append(y, idx)
+		}
+	}
+	if len(X) == 0 {
+		return nil, errors.New("core: no annotated lines to train on")
+	}
+	f, err := forest.Fit(X, y, table.NumClasses, opts.Forest)
+	if err != nil {
+		return nil, err
+	}
+	return &LineModel{Forest: f, Opts: opts.Features, Mask: opts.FeatureMask}, nil
+}
+
+// Probabilities returns one class probability vector per line of t. Empty
+// lines get all-zero vectors. This is the LineClassProbability feature
+// source for Strudel^C (Section 5.4).
+func (m *LineModel) Probabilities(t *table.Table) [][]float64 {
+	fs := features.LineFeatures(t, m.Opts)
+	out := make([][]float64, t.Height())
+	var batch [][]float64
+	var rows []int
+	for r := 0; r < t.Height(); r++ {
+		if t.IsEmptyLine(r) {
+			out[r] = make([]float64, table.NumClasses)
+			continue
+		}
+		batch = append(batch, maskVector(fs[r], m.Mask))
+		rows = append(rows, r)
+	}
+	probs := m.Forest.PredictProbaBatch(batch)
+	for i, r := range rows {
+		out[r] = probs[i]
+	}
+	return out
+}
+
+// Classify predicts one class per line of t; empty lines get ClassEmpty.
+func (m *LineModel) Classify(t *table.Table) []table.Class {
+	probs := m.Probabilities(t)
+	out := make([]table.Class, t.Height())
+	for r := 0; r < t.Height(); r++ {
+		if t.IsEmptyLine(r) {
+			continue
+		}
+		out[r] = table.ClassAt(argMax(probs[r]))
+	}
+	return out
+}
+
+// ClassifyCells is the Line^C baseline (Section 6.1.2): the predicted line
+// class is extended to every non-empty cell of the line.
+func (m *LineModel) ClassifyCells(t *table.Table) [][]table.Class {
+	lines := m.Classify(t)
+	out := make([][]table.Class, t.Height())
+	for r := 0; r < t.Height(); r++ {
+		out[r] = make([]table.Class, t.Width())
+		for c := 0; c < t.Width(); c++ {
+			if !t.IsEmptyCell(r, c) {
+				out[r][c] = lines[r]
+			}
+		}
+	}
+	return out
+}
+
+// maskVector projects x onto the selected feature indices. A nil mask
+// returns a copy of x.
+func maskVector(x []float64, mask []int) []float64 {
+	if mask == nil {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, len(mask))
+	for i, f := range mask {
+		out[i] = x[f]
+	}
+	return out
+}
+
+func argMax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

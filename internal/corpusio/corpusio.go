@@ -1,0 +1,143 @@
+// Package corpusio reads and writes annotated corpora on disk.
+//
+// Each table is stored as a plain CSV file (RFC 4180 dialect) plus a
+// sidecar annotation file with the same name and the extension ".labels".
+// The sidecar holds one line per table line: the line class, a tab, and the
+// comma-separated cell classes. Empty elements use the class name "empty".
+// This keeps the data files ordinary CSV that any tool can open, while the
+// annotations stay human-diffable.
+package corpusio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"strudel/internal/dialect"
+	"strudel/internal/table"
+)
+
+// LabelExt is the sidecar annotation extension.
+const LabelExt = ".labels"
+
+// WriteTable writes t as CSV plus its sidecar annotations (when present)
+// into dir, using t.Name's base name.
+func WriteTable(dir string, t *table.Table) error {
+	base := filepath.Base(t.Name)
+	if base == "" || base == "." {
+		return fmt.Errorf("corpusio: table has no name")
+	}
+	rows := make([][]string, t.Height())
+	for r := range rows {
+		rows[r] = t.Row(r)
+	}
+	csvPath := filepath.Join(dir, base)
+	if err := os.WriteFile(csvPath, []byte(dialect.Join(rows, dialect.Default)), 0o644); err != nil {
+		return err
+	}
+	if !t.Annotated() {
+		return nil
+	}
+	var b strings.Builder
+	for r := 0; r < t.Height(); r++ {
+		b.WriteString(t.LineClasses[r].String())
+		b.WriteByte('\t')
+		for c := 0; c < t.Width(); c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(t.CellClasses[r][c].String())
+		}
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(csvPath+LabelExt, []byte(b.String()), 0o644)
+}
+
+// WriteCorpus writes every table of files into dir, creating it if needed.
+func WriteCorpus(dir string, files []*table.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range files {
+		if err := WriteTable(dir, t); err != nil {
+			return fmt.Errorf("corpusio: %s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// ReadTable loads one CSV file and, if present, its sidecar annotations.
+func ReadTable(csvPath string) (*table.Table, error) {
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	t := table.FromRows(dialect.Split(string(raw), dialect.Default))
+	t.Name = filepath.Base(csvPath)
+
+	labRaw, err := os.ReadFile(csvPath + LabelExt)
+	if os.IsNotExist(err) {
+		return t, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(labRaw), "\n"), "\n")
+	if len(lines) != t.Height() {
+		return nil, fmt.Errorf("corpusio: %s: %d label lines for %d table lines",
+			csvPath, len(lines), t.Height())
+	}
+	t.EnsureAnnotations()
+	for r, line := range lines {
+		lineCls, cellPart, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("corpusio: %s line %d: missing tab", csvPath, r+1)
+		}
+		cl, err := table.ParseClass(lineCls)
+		if err != nil {
+			return nil, fmt.Errorf("corpusio: %s line %d: %w", csvPath, r+1, err)
+		}
+		t.LineClasses[r] = cl
+		cells := strings.Split(cellPart, ",")
+		if len(cells) != t.Width() {
+			return nil, fmt.Errorf("corpusio: %s line %d: %d cell labels for width %d",
+				csvPath, r+1, len(cells), t.Width())
+		}
+		for c, name := range cells {
+			ccl, err := table.ParseClass(name)
+			if err != nil {
+				return nil, fmt.Errorf("corpusio: %s line %d col %d: %w", csvPath, r+1, c+1, err)
+			}
+			t.CellClasses[r][c] = ccl
+		}
+	}
+	return t, nil
+}
+
+// ReadCorpus loads every .csv file in dir (sorted by name) together with
+// available annotations.
+func ReadCorpus(dir string) ([]*table.Table, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var out []*table.Table
+	for _, name := range names {
+		t, err := ReadTable(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package corpusio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strudel/internal/datagen"
+	"strudel/internal/table"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := datagen.SAUS()
+	p.Files = 5
+	files := datagen.Generate(p).Files
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, files); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(files) {
+		t.Fatalf("read %d files, want %d", len(back), len(files))
+	}
+	for i := range files {
+		a, b := files[i], back[i]
+		if a.Height() != b.Height() || a.Width() != b.Width() {
+			t.Fatalf("file %d: shape %dx%d vs %dx%d", i, a.Height(), a.Width(), b.Height(), b.Width())
+		}
+		for r := 0; r < a.Height(); r++ {
+			if a.LineClasses[r] != b.LineClasses[r] {
+				t.Fatalf("file %d line %d: class %v vs %v", i, r, a.LineClasses[r], b.LineClasses[r])
+			}
+			for c := 0; c < a.Width(); c++ {
+				if a.Cell(r, c) != b.Cell(r, c) {
+					t.Fatalf("file %d cell (%d,%d): %q vs %q", i, r, c, a.Cell(r, c), b.Cell(r, c))
+				}
+				if a.CellClasses[r][c] != b.CellClasses[r][c] {
+					t.Fatalf("file %d cell class (%d,%d) differs", i, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestReadTableWithoutLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plain.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ReadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Annotated() {
+		t.Error("plain CSV should load unannotated")
+	}
+	if tb.Cell(1, 1) != "2" {
+		t.Errorf("cell = %q", tb.Cell(1, 1))
+	}
+}
+
+func TestReadTableBadLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.csv")
+	os.WriteFile(path, []byte("a,b\n"), 0o644)
+	os.WriteFile(path+LabelExt, []byte("data\tdata,data\nextra\tdata,data\n"), 0o644)
+	if _, err := ReadTable(path); err == nil {
+		t.Error("label line count mismatch should error")
+	}
+	os.WriteFile(path+LabelExt, []byte("badclass\tdata,data\n"), 0o644)
+	if _, err := ReadTable(path); err == nil {
+		t.Error("unknown class should error")
+	}
+	os.WriteFile(path+LabelExt, []byte("data no-tab\n"), 0o644)
+	if _, err := ReadTable(path); err == nil {
+		t.Error("missing tab should error")
+	}
+}
+
+func TestWriteTableNoName(t *testing.T) {
+	tb := table.FromRows([][]string{{"x"}})
+	if err := WriteTable(t.TempDir(), tb); err == nil {
+		t.Error("unnamed table should error")
+	}
+}
+
+func TestReadCorpusMissingDir(t *testing.T) {
+	if _, err := ReadCorpus("/nonexistent/dir"); err == nil {
+		t.Error("missing dir should error")
+	}
+}
+
+func TestWriteCorpusCreatesDir(t *testing.T) {
+	p := datagen.SAUS()
+	p.Files = 2
+	files := datagen.Generate(p).Files
+	dir := filepath.Join(t.TempDir(), "nested", "corpus")
+	if err := WriteCorpus(dir, files); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(dir)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("read back %d files, err %v", len(back), err)
+	}
+}
+
+func TestReadCorpusSkipsNonCSV(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "a.csv"), []byte("x,y\n"), 0o644)
+	files, err := ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Errorf("files = %d, want 1", len(files))
+	}
+}

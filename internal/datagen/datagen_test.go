@@ -1,0 +1,283 @@
+package datagen
+
+import (
+	"testing"
+
+	"strudel/internal/features"
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := SAUS()
+	p.Files = 5
+	a := Generate(p)
+	b := Generate(p)
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("file counts differ")
+	}
+	for i := range a.Files {
+		if a.Files[i].String() != b.Files[i].String() {
+			t.Fatalf("file %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateAllProfiles(t *testing.T) {
+	for name, p := range Profiles() {
+		p.Files = 3
+		if name == "mendeley" {
+			p.DataRows = [2]int{30, 60} // keep the test fast
+		}
+		c := Generate(p)
+		if len(c.Files) != 3 {
+			t.Errorf("%s: %d files, want 3", name, len(c.Files))
+		}
+		for _, f := range c.Files {
+			if f.Height() == 0 || f.Width() == 0 {
+				t.Errorf("%s: empty file generated", name)
+			}
+			if !f.Annotated() {
+				t.Errorf("%s: file lacks annotations", name)
+			}
+		}
+	}
+}
+
+func TestAnnotationsConsistent(t *testing.T) {
+	p := GovUK()
+	p.Files = 8
+	c := Generate(p)
+	for _, f := range c.Files {
+		for r := 0; r < f.Height(); r++ {
+			lineCls := f.LineClasses[r]
+			if f.IsEmptyLine(r) {
+				if lineCls != table.ClassEmpty {
+					t.Fatalf("%s line %d: empty line labeled %v", f.Name, r, lineCls)
+				}
+				continue
+			}
+			if lineCls == table.ClassEmpty {
+				t.Fatalf("%s line %d: non-empty line has no class", f.Name, r)
+			}
+			for col := 0; col < f.Width(); col++ {
+				cellCls := f.CellClasses[r][col]
+				if f.IsEmptyCell(r, col) {
+					if cellCls != table.ClassEmpty {
+						t.Fatalf("%s (%d,%d): empty cell labeled %v", f.Name, r, col, cellCls)
+					}
+				} else if cellCls == table.ClassEmpty {
+					t.Fatalf("%s (%d,%d): non-empty cell unlabeled", f.Name, r, col)
+				}
+			}
+		}
+	}
+}
+
+func TestAllClassesPresent(t *testing.T) {
+	p := GovUK()
+	p.Files = 30
+	cc := CountClasses(Generate(p))
+	for i, cl := range table.Classes {
+		if cc.Lines[i] == 0 && cl != table.ClassDerived {
+			t.Errorf("class %v has no lines in a 30-file GovUK corpus", cl)
+		}
+		if cc.Cells[i] == 0 {
+			t.Errorf("class %v has no cells", cl)
+		}
+	}
+	// Data must dominate, as in every corpus of the paper.
+	if cc.Lines[table.ClassData.Index()] < cc.TotalLines()/2 {
+		t.Error("data lines should be the majority class")
+	}
+}
+
+// TestDerivedLinesActuallyAggregate verifies the generated arithmetic: for
+// anchored derived lines, Algorithm 2 must rediscover most derived cells.
+func TestDerivedLinesActuallyAggregate(t *testing.T) {
+	p := CIUS()
+	p.Files = 20
+	p.PUnanchored = 0 // every derived line anchored
+	p.PNoHeader = 0   // headerless tables would leave derived columns unanchored
+	p.PMissing = 0
+	c := Generate(p)
+
+	found, totalCells := 0, 0
+	for _, f := range c.Files {
+		det := features.DetectDerived(f, features.DefaultDerivedOptions())
+		for r := 0; r < f.Height(); r++ {
+			for col := 0; col < f.Width(); col++ {
+				if f.CellClasses[r][col] == table.ClassDerived {
+					totalCells++
+					if det[r][col] {
+						found++
+					}
+				}
+			}
+		}
+	}
+	if totalCells == 0 {
+		t.Fatal("no derived cells generated")
+	}
+	if recall := float64(found) / float64(totalCells); recall < 0.7 {
+		t.Errorf("Algorithm 2 recall on anchored synthetic data = %v, want >= 0.7", recall)
+	}
+}
+
+func TestUnanchoredDerivedMostlyMissed(t *testing.T) {
+	p := Troy()
+	p.Files = 15
+	p.PUnanchored = 1 // nothing anchored
+	p.PDerivedCol = 0 // "Total" column headers would anchor columns
+	c := Generate(p)
+	found, totalCells := 0, 0
+	for _, f := range c.Files {
+		det := features.DetectDerived(f, features.DefaultDerivedOptions())
+		for r := 0; r < f.Height(); r++ {
+			for col := 0; col < f.Width(); col++ {
+				if f.CellClasses[r][col] == table.ClassDerived {
+					totalCells++
+					if det[r][col] {
+						found++
+					}
+				}
+			}
+		}
+	}
+	if totalCells == 0 {
+		t.Skip("no derived cells in this draw")
+	}
+	if recall := float64(found) / float64(totalCells); recall > 0.3 {
+		t.Errorf("unanchored derived recall = %v; keyword anchoring should miss these", recall)
+	}
+}
+
+func TestTemplateCorpusSharesStructure(t *testing.T) {
+	p := CIUS()
+	p.Files = p.Templates * 2
+	c := Generate(p)
+	for i := 0; i < p.Templates; i++ {
+		a, b := c.Files[i], c.Files[i+p.Templates]
+		if a.Height() != b.Height() || a.Width() != b.Width() {
+			t.Errorf("template %d: instances differ in shape (%dx%d vs %dx%d)",
+				i, a.Height(), a.Width(), b.Height(), b.Width())
+		}
+		for r := 0; r < a.Height(); r++ {
+			if a.LineClasses[r] != b.LineClasses[r] {
+				t.Errorf("template %d line %d: class drift", i, r)
+				break
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := SAUS()
+	p.Files = 4
+	c := Generate(p)
+	s := c.Summarize()
+	if s.Files != 4 || s.Lines == 0 || s.Cells == 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Cells < s.Lines {
+		t.Error("cells should outnumber lines")
+	}
+}
+
+func TestDiversityDistribution(t *testing.T) {
+	p := SAUS()
+	p.Files = 15
+	c := Generate(p)
+	d := DiversityDistribution(c)
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	// Most lines are homogeneous (Table 3: >= 86% at degree 1).
+	if d[0] < 0.7 {
+		t.Errorf("degree-1 fraction = %v, want >= 0.7", d[0])
+	}
+	// Degrees beyond 2 are rare.
+	if d[2]+d[3]+d[4]+d[5] > 0.05 {
+		t.Errorf("degrees 3+ fraction = %v, want tiny", d[2]+d[3]+d[4]+d[5])
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	c, err := GenerateDataset("saus", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Files) == 0 {
+		t.Error("no files")
+	}
+	if _, err := GenerateDataset("bogus", 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestMendeleyDelimiterDilemma(t *testing.T) {
+	p := Mendeley()
+	p.Files = 5
+	p.DataRows = [2]int{30, 60}
+	p.PSplitProse = 1
+	c := Generate(p)
+	split := false
+	for _, f := range c.Files {
+		for r := 0; r < f.Height(); r++ {
+			cls := f.LineClasses[r]
+			if (cls == table.ClassMetadata || cls == table.ClassNotes) && f.NonEmptyCellsInLine(r) > 1 {
+				split = true
+			}
+		}
+	}
+	if !split {
+		t.Error("split prose lines expected in Mendeley profile")
+	}
+}
+
+func TestThousandsFormatting(t *testing.T) {
+	cases := map[string]string{
+		"1":        "1",
+		"12":       "12",
+		"123":      "123",
+		"1234":     "1,234",
+		"1234567":  "1,234,567",
+		"-9876543": "-9,876,543",
+	}
+	for in, want := range cases {
+		if got := addThousands(in); got != want {
+			t.Errorf("addThousands(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestGeneratedNumbersParse(t *testing.T) {
+	p := SAUS()
+	p.Files = 5
+	c := Generate(p)
+	for _, f := range c.Files {
+		for r := 0; r < f.Height(); r++ {
+			for col := 0; col < f.Width(); col++ {
+				if f.CellClasses[r][col] == table.ClassDerived {
+					if _, ok := types.ParseNumber(f.Cell(r, col)); !ok {
+						t.Fatalf("derived cell %q does not parse as a number", f.Cell(r, col))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := SAUS()
+	if got := p.Scale(0.5).Files; got != p.Files/2 {
+		t.Errorf("Scale(0.5) files = %d", got)
+	}
+	if got := p.Scale(0.0001).Files; got != 1 {
+		t.Errorf("tiny scale should clamp to 1 file, got %d", got)
+	}
+}

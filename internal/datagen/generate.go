@@ -1,0 +1,500 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"strudel/internal/table"
+)
+
+// Corpus is a generated set of annotated verbose CSV files.
+type Corpus struct {
+	Name  string
+	Files []*table.Table
+}
+
+// Generate produces the corpus described by p, deterministically from
+// p.Seed.
+func Generate(p Profile) *Corpus {
+	structRng := rand.New(rand.NewSource(p.Seed))
+	valueRng := rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D))
+
+	var specs []fileSpec
+	if p.Templates > 0 {
+		specs = make([]fileSpec, p.Templates)
+		for i := range specs {
+			specs[i] = genSpec(p, structRng)
+		}
+	}
+
+	c := &Corpus{Name: p.Name}
+	for i := 0; i < p.Files; i++ {
+		var spec fileSpec
+		if p.Templates > 0 {
+			spec = specs[i%p.Templates]
+		} else {
+			spec = genSpec(p, structRng)
+		}
+		name := fmt.Sprintf("%s_%04d.csv", p.Name, i)
+		c.Files = append(c.Files, genFile(p, spec, valueRng, name))
+	}
+	return c
+}
+
+// GenerateDataset generates the named standard corpus ("govuk", "saus",
+// "cius", "deex", "mendeley", "troy") at the given scale (1.0 = the
+// default file counts of Profiles).
+func GenerateDataset(name string, scale float64) (*Corpus, error) {
+	p, ok := Profiles()[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	if scale > 0 && scale != 1 {
+		p = p.Scale(scale)
+	}
+	return Generate(p), nil
+}
+
+// fileSpec fixes the structural choices of one file; template corpora share
+// specs across files.
+type fileSpec struct {
+	metaLines, noteLines      int
+	metaAsTable, notesAsTable bool
+	separators                bool
+	noMeta                    bool
+	interNotes                bool
+	numericMeta               bool
+	tables                    []tableSpec
+}
+
+type tableSpec struct {
+	cols             int // value columns, excluding the label column
+	twoRowHeader     bool
+	numericHeader    bool
+	noHeader         bool
+	groupAboveHeader bool
+	notesRight       bool
+	notesRightRows   int
+	fractions        int
+	rowsPerFraction  []int
+	derivedLine      []bool
+	derivedTop       []bool
+	derivedTopGap    []bool
+	unanchored       []bool
+	meanAgg          []bool
+	grandTotal       bool
+	derivedCol       bool
+	floats           bool
+	thousands        bool
+	entityRows       bool // entity labels instead of state names
+	baseYear         int
+	magnitude        float64
+}
+
+func genSpec(p Profile, rng *rand.Rand) fileSpec {
+	spec := fileSpec{
+		metaLines:    randRange(rng, p.MetaLines),
+		noteLines:    randRange(rng, p.NoteLines),
+		metaAsTable:  rng.Float64() < p.PMetaAsTable,
+		notesAsTable: rng.Float64() < p.PNotesAsTable,
+		separators:   rng.Float64() < p.PSeparators,
+		noMeta:       rng.Float64() < p.PNoMeta,
+		interNotes:   rng.Float64() < p.PInterNotes,
+		numericMeta:  rng.Float64() < p.PNumericMeta,
+	}
+	nTables := 1
+	if rng.Float64() < p.PMultiTable && p.MaxTables > 1 {
+		nTables = 2 + rng.Intn(p.MaxTables-1)
+	}
+	for t := 0; t < nTables; t++ {
+		ts := tableSpec{
+			cols:             randRange(rng, p.Cols),
+			twoRowHeader:     rng.Float64() < p.PTwoRowHeader,
+			numericHeader:    rng.Float64() < p.PNumericHeader,
+			noHeader:         rng.Float64() < p.PNoHeader,
+			groupAboveHeader: rng.Float64() < p.PGroupAboveHeader,
+			notesRight:       rng.Float64() < p.PNotesRight,
+			notesRightRows:   1 + rng.Intn(2),
+			fractions:        1,
+			derivedCol:       rng.Float64() < p.PDerivedCol,
+			floats:           rng.Float64() < p.PFloatValues,
+			thousands:        rng.Float64() < p.PThousands,
+			entityRows:       rng.Float64() < 0.5,
+			baseYear:         1995 + rng.Intn(25),
+			magnitude:        math.Pow(10, 1+rng.Float64()*4),
+		}
+		if rng.Float64() < p.PGroups && p.MaxFractions > 1 {
+			ts.fractions = 2 + rng.Intn(p.MaxFractions-1)
+		}
+		for f := 0; f < ts.fractions; f++ {
+			ts.rowsPerFraction = append(ts.rowsPerFraction, randRange(rng, p.DataRows))
+			ts.derivedLine = append(ts.derivedLine, rng.Float64() < p.PDerivedLine)
+			ts.derivedTop = append(ts.derivedTop, rng.Float64() < p.PDerivedTop)
+			ts.derivedTopGap = append(ts.derivedTopGap, rng.Intn(2) == 0)
+			ts.unanchored = append(ts.unanchored, rng.Float64() < p.PUnanchored)
+			ts.meanAgg = append(ts.meanAgg, rng.Float64() < p.PMeanAgg)
+		}
+		ts.grandTotal = ts.fractions > 1 && rng.Float64() < p.PDerivedLine*0.5
+		spec.tables = append(spec.tables, ts)
+	}
+	return spec
+}
+
+func randRange(rng *rand.Rand, bounds [2]int) int {
+	if bounds[1] <= bounds[0] {
+		return bounds[0]
+	}
+	return bounds[0] + rng.Intn(bounds[1]-bounds[0]+1)
+}
+
+// fileBuilder accumulates annotated rows of varying widths.
+type fileBuilder struct {
+	rows    [][]string
+	rowCls  [][]table.Class
+	lineCls []table.Class
+	width   int
+}
+
+func (b *fileBuilder) add(cells []string, classes []table.Class, line table.Class) {
+	b.rows = append(b.rows, cells)
+	b.rowCls = append(b.rowCls, classes)
+	b.lineCls = append(b.lineCls, line)
+	if len(cells) > b.width {
+		b.width = len(cells)
+	}
+}
+
+func (b *fileBuilder) blank() {
+	b.add(nil, nil, table.ClassEmpty)
+}
+
+func (b *fileBuilder) build(name string) *table.Table {
+	t := table.FromRows(b.rows)
+	t.Name = name
+	t.EnsureAnnotations()
+	copy(t.LineClasses, b.lineCls)
+	for r, cls := range b.rowCls {
+		copy(t.CellClasses[r], cls)
+	}
+	return t
+}
+
+// prose emits a free-text line: a single leading cell, or — under the
+// delimiter dilemma — the text split across several cells.
+func (b *fileBuilder) prose(text string, cls table.Class, split bool, rng *rand.Rand) {
+	if !split {
+		b.add([]string{text}, []table.Class{cls}, cls)
+		return
+	}
+	words := strings.Fields(text)
+	var cells []string
+	var classes []table.Class
+	for len(words) > 0 {
+		n := 1 + rng.Intn(3)
+		if n > len(words) {
+			n = len(words)
+		}
+		cells = append(cells, strings.Join(words[:n], " "))
+		classes = append(classes, cls)
+		words = words[n:]
+	}
+	b.add(cells, classes, cls)
+}
+
+// attachRight appends an empty spacer cell and a classified text cell to an
+// already-emitted line.
+func (b *fileBuilder) attachRight(line int, text string, cls table.Class) {
+	b.rows[line] = append(b.rows[line], "", text)
+	b.rowCls[line] = append(b.rowCls[line], table.ClassEmpty, cls)
+	if len(b.rows[line]) > b.width {
+		b.width = len(b.rows[line])
+	}
+}
+
+func genFile(p Profile, spec fileSpec, rng *rand.Rand, name string) *table.Table {
+	b := &fileBuilder{}
+
+	// Metadata block.
+	if !spec.noMeta {
+		title := pick(rng, titleWords) + " " + pick(rng, titleSuffixes)
+		if spec.numericMeta {
+			title += fmt.Sprintf(" %d", 1995+rng.Intn(25))
+		}
+		if spec.metaAsTable {
+			metaTable(b, rng, spec.metaLines+1, table.ClassMetadata)
+		} else {
+			b.prose(title, table.ClassMetadata, rng.Float64() < p.PSplitProse, rng)
+			for i := 1; i < spec.metaLines; i++ {
+				extra := pick(rng, metadataExtras)
+				if spec.numericMeta && rng.Intn(2) == 0 {
+					extra += fmt.Sprintf(", %d-%02d-%02d", 2000+rng.Intn(20), 1+rng.Intn(12), 1+rng.Intn(28))
+				}
+				b.prose(extra, table.ClassMetadata, rng.Float64() < p.PSplitProse, rng)
+			}
+		}
+		if spec.separators {
+			b.blank()
+		}
+	}
+
+	for ti, ts := range spec.tables {
+		if ti > 0 {
+			if spec.separators {
+				b.blank()
+			}
+			if spec.interNotes {
+				b.prose(pick(rng, noteTexts), table.ClassNotes, false, rng)
+			}
+			b.prose(pick(rng, titleWords)+" — continued", table.ClassMetadata, false, rng)
+		}
+		dataLines := emitTable(b, p, ts, rng)
+		if ts.notesRight && len(dataLines) > 0 {
+			// Place note text to the right of the first data rows — the
+			// "notes as data" hard case of Section 6.3.6.
+			n := ts.notesRightRows
+			for i := 0; i < n && i < len(dataLines); i++ {
+				b.attachRight(dataLines[i], pick(rng, noteTexts), table.ClassNotes)
+			}
+		}
+	}
+
+	// Notes block.
+	if spec.noteLines > 0 || spec.notesAsTable {
+		if spec.separators {
+			b.blank()
+		}
+		if spec.notesAsTable {
+			metaTable(b, rng, maxInt(spec.noteLines, 2), table.ClassNotes)
+		} else {
+			for i := 0; i < spec.noteLines; i++ {
+				b.prose(pick(rng, noteTexts), table.ClassNotes, rng.Float64() < p.PSplitProse, rng)
+			}
+		}
+	}
+	return b.build(name)
+}
+
+// metaTable emits a small key/value table whose cells all carry the given
+// prose class (DeEx organizes metadata and notes as small tables).
+func metaTable(b *fileBuilder, rng *rand.Rand, rows int, cls table.Class) {
+	keys := []string{"Source", "Unit", "Period", "Coverage", "Contact", "Revision"}
+	vals := []string{"registry", "thousands", "annual", "national", "statistics office", "final"}
+	for i := 0; i < rows; i++ {
+		k := keys[rng.Intn(len(keys))]
+		v := vals[rng.Intn(len(vals))]
+		b.add([]string{k, v}, []table.Class{cls, cls}, cls)
+	}
+}
+
+// emitTable renders one table: headers, fractions with group labels, data
+// rows, derived lines and columns — all with consistent arithmetic so that
+// derived cells really aggregate their fraction. It returns the builder
+// line indices of the emitted data rows.
+func emitTable(b *fileBuilder, p Profile, ts tableSpec, rng *rand.Rand) (dataLines []int) {
+	width := 1 + ts.cols
+	if ts.derivedCol {
+		width++
+	}
+
+	// Optional group label above the header block (Section 3.2 allows both
+	// positions).
+	if ts.groupAboveHeader {
+		g := make([]string, width)
+		gCls := make([]table.Class, width)
+		g[0] = groupLabels[rng.Intn(len(groupLabels))]
+		gCls[0] = table.ClassGroup
+		b.add(g, gCls, table.ClassGroup)
+	}
+
+	// Header block.
+	if !ts.noHeader {
+		if ts.twoRowHeader {
+			span := make([]string, width)
+			spanCls := make([]table.Class, width)
+			for c := 1; c < width; c += 2 {
+				span[c] = pick(rng, titleWords)
+				spanCls[c] = table.ClassHeader
+			}
+			b.add(span, spanCls, table.ClassHeader)
+		}
+		hdr := make([]string, width)
+		hdrCls := make([]table.Class, width)
+		hdr[0] = "Item"
+		hdrCls[0] = table.ClassHeader
+		for c := 1; c <= ts.cols; c++ {
+			if ts.numericHeader {
+				hdr[c] = fmt.Sprintf("%d", ts.baseYear+c-1)
+			} else {
+				hdr[c] = pick(rng, columnLabels)
+			}
+			hdrCls[c] = table.ClassHeader
+		}
+		if ts.derivedCol {
+			hdr[width-1] = "Total"
+			hdrCls[width-1] = table.ClassHeader
+		}
+		b.add(hdr, hdrCls, table.ClassHeader)
+	}
+
+	labels := rowLabels
+	if ts.entityRows {
+		labels = entityLabels
+	}
+
+	grand := make([]float64, ts.cols)
+	grandRows := 0
+	for f := 0; f < ts.fractions; f++ {
+		if ts.fractions > 1 && !(f == 0 && ts.groupAboveHeader) {
+			g := make([]string, width)
+			gCls := make([]table.Class, width)
+			g[0] = groupLabels[(f+rng.Intn(3))%len(groupLabels)]
+			gCls[0] = table.ClassGroup
+			b.add(g, gCls, table.ClassGroup)
+		}
+
+		// Pre-generate the fraction's values so derived lines can be
+		// emitted above or below the data with consistent sums.
+		rows := ts.rowsPerFraction[f]
+		sums := make([]float64, ts.cols)
+		cellsByRow := make([][]string, rows)
+		clsByRow := make([][]table.Class, rows)
+		for r := 0; r < rows; r++ {
+			cells := make([]string, width)
+			cls := make([]table.Class, width)
+			cells[0] = labels[(f*rows+r)%len(labels)]
+			cls[0] = table.ClassData
+			rowTotal := 0.0
+			for c := 0; c < ts.cols; c++ {
+				if rng.Float64() < p.PMissing {
+					continue // missing value: empty cell
+				}
+				v := genValue(rng, ts)
+				sums[c] += v
+				rowTotal += v
+				cells[c+1] = formatValue(v, ts)
+				cls[c+1] = table.ClassData
+			}
+			if ts.derivedCol {
+				cells[width-1] = formatValue(rowTotal, ts)
+				cls[width-1] = table.ClassDerived
+			}
+			cellsByRow[r], clsByRow[r] = cells, cls
+		}
+
+		derivedAtTop := ts.derivedLine[f] && ts.derivedTop[f]
+		if derivedAtTop {
+			emitDerivedLine(b, ts, rng, width, sums, rows, ts.meanAgg[f], ts.unanchored[f])
+			if ts.derivedTopGap[f] {
+				b.blank() // the "derived as header" trap: separated by empty lines
+			}
+		}
+		for r := 0; r < rows; r++ {
+			dataLines = append(dataLines, len(b.rows))
+			b.add(cellsByRow[r], clsByRow[r], table.ClassData)
+		}
+		for c := range grand {
+			grand[c] += sums[c]
+		}
+		grandRows += rows
+
+		if ts.derivedLine[f] && !derivedAtTop {
+			emitDerivedLine(b, ts, rng, width, sums, rows, ts.meanAgg[f], ts.unanchored[f])
+		}
+	}
+
+	if ts.grandTotal {
+		emitDerivedLine(b, ts, rng, width, grand, grandRows, false, false)
+	}
+	return dataLines
+}
+
+// emitDerivedLine renders an aggregation line: a leading textual cell
+// (annotated group, per the paper's reforged labels) followed by derived
+// numeric cells. Unanchored lines use labels with no aggregation keyword.
+func emitDerivedLine(b *fileBuilder, ts tableSpec, rng *rand.Rand, width int, sums []float64, rows int, mean, unanchored bool) {
+	cells := make([]string, width)
+	cls := make([]table.Class, width)
+	label := pick(rng, aggregateLabels)
+	if unanchored {
+		label = pick(rng, unanchoredAggLabels)
+	}
+	if mean && !unanchored {
+		label = "Average"
+	}
+	cells[0] = label
+	cls[0] = table.ClassGroup
+	total := 0.0
+	for c := 0; c < len(sums); c++ {
+		v := sums[c]
+		if mean && rows > 0 {
+			v = sums[c] / float64(rows)
+		}
+		total += v
+		cells[c+1] = formatValue(v, ts)
+		cls[c+1] = table.ClassDerived
+	}
+	if ts.derivedCol {
+		cells[width-1] = formatValue(total, ts)
+		cls[width-1] = table.ClassDerived
+	}
+	b.add(cells, cls, table.ClassDerived)
+}
+
+// genValue draws one data value, already rounded to its display precision
+// so that sums of displayed values stay exact.
+func genValue(rng *rand.Rand, ts tableSpec) float64 {
+	v := rng.Float64() * ts.magnitude
+	if ts.floats {
+		return math.Round(v*100) / 100
+	}
+	return math.Round(v)
+}
+
+func formatValue(v float64, ts tableSpec) string {
+	if ts.floats {
+		return fmt.Sprintf("%.2f", v)
+	}
+	s := fmt.Sprintf("%.0f", v)
+	if ts.thousands {
+		return addThousands(s)
+	}
+	return s
+}
+
+func addThousands(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+		if len(s) > pre {
+			b.WriteByte(',')
+		}
+	}
+	for i := pre; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+func pick(rng *rand.Rand, list []string) string {
+	return list[rng.Intn(len(list))]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

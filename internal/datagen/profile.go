@@ -1,0 +1,265 @@
+// Package datagen synthesizes annotated verbose CSV corpora.
+//
+// The paper evaluates on six hand-annotated corpora (GovUK, SAUS, CIUS,
+// DeEx, Mendeley, Troy) that are not redistributable. This package stands in
+// for them: each Profile encodes the structural statistics the paper reports
+// for one corpus — class mix, header complexity, group usage, derived-line
+// anchoring, multi-table stacking, template reuse, prose splitting — and the
+// generator emits deterministic, fully labeled tables with those
+// characteristics. Ground-truth line and cell classes come for free, so the
+// evaluation harness exercises exactly the pipeline of the paper.
+package datagen
+
+// Profile describes the structural distribution of one synthetic corpus.
+// Probabilities are in [0, 1]; ranges are inclusive.
+type Profile struct {
+	// Name identifies the corpus (used in file names and reports).
+	Name string
+	// Files is the number of files to generate.
+	Files int
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// DataRows bounds the data lines per table fraction.
+	DataRows [2]int
+	// Cols bounds the number of value columns (excluding the label column).
+	Cols [2]int
+
+	// PMultiTable is the chance a file stacks more than one table;
+	// MaxTables bounds how many.
+	PMultiTable float64
+	MaxTables   int
+
+	// PGroups is the chance a table is split into labeled fractions;
+	// MaxFractions bounds how many.
+	PGroups      float64
+	MaxFractions int
+
+	// PDerivedLine is the chance a table (or fraction) ends with an
+	// aggregation line; PUnanchored is the chance that line carries no
+	// aggregation keyword (the hard case for Algorithm 2); PMeanAgg is the
+	// chance the aggregation is a mean rather than a sum.
+	PDerivedLine float64
+	PUnanchored  float64
+	PMeanAgg     float64
+
+	// PDerivedCol is the chance the table carries a rightmost derived
+	// (row-total) column.
+	PDerivedCol float64
+
+	// PNumericHeader is the chance column headers are years rather than
+	// words (the "header as data" hard case); PTwoRowHeader is the chance
+	// of a two-line header.
+	PNumericHeader float64
+	PTwoRowHeader  float64
+
+	// PSeparators is the chance blocks are separated by blank lines.
+	PSeparators float64
+
+	// MetaLines and NoteLines bound the metadata and notes blocks.
+	MetaLines [2]int
+	NoteLines [2]int
+
+	// PMissing is the chance a data cell is empty.
+	PMissing float64
+
+	// PNotesAsTable / PMetaAsTable are the chances that the notes /
+	// metadata area is organized as a small table (DeEx's hard case).
+	PNotesAsTable float64
+	PMetaAsTable  float64
+
+	// PSplitProse is the chance a prose (metadata/notes) line is split
+	// across several cells by the table delimiter — the Mendeley
+	// "delimiter dilemma" of Section 6.3.4.
+	PSplitProse float64
+
+	// Structural hard cases described in the paper's error analysis
+	// (Sections 3.2 and 6.3.6):
+
+	// PNoMeta is the chance a file starts directly with its table.
+	PNoMeta float64
+	// PNoHeader is the chance a table has no header line at all.
+	PNoHeader float64
+	// PGroupAboveHeader is the chance the first group label appears above
+	// the header block rather than below it.
+	PGroupAboveHeader float64
+	// PDerivedTop is the chance a fraction's derived line sits between the
+	// header and the data area ("derived as header" errors).
+	PDerivedTop float64
+	// PNotesRight is the chance note text is placed to the right of the
+	// table's data rows ("notes as data" errors).
+	PNotesRight float64
+	// PInterNotes is the chance note lines appear between stacked tables.
+	PInterNotes float64
+	// PNumericMeta is the chance metadata lines embed years or dates.
+	PNumericMeta float64
+
+	// Templates, when positive, fixes the corpus to this many structural
+	// templates: every file instantiates one of them with fresh values
+	// (CIUS consists of yearly reports sharing templates).
+	Templates int
+
+	// PFloatValues is the chance a table uses float rather than integer
+	// values; PThousands is the chance integers carry thousands separators.
+	PFloatValues float64
+	PThousands   float64
+}
+
+// Profiles returns the six per-corpus profiles, keyed by the paper's
+// dataset names. Files counts are scaled-down versions of the real corpora
+// (scale factor applies uniformly); Scale adjusts them.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		"govuk":    GovUK(),
+		"saus":     SAUS(),
+		"cius":     CIUS(),
+		"deex":     DeEx(),
+		"mendeley": Mendeley(),
+		"troy":     Troy(),
+	}
+}
+
+// GovUK models the heterogeneous open-data spreadsheets of data.gov.uk:
+// varied widths, frequent groups and multi-table stacking, moderate derived
+// usage.
+func GovUK() Profile {
+	return Profile{
+		Name: "govuk", Files: 60, Seed: 101,
+		DataRows: [2]int{6, 40}, Cols: [2]int{2, 9},
+		PMultiTable: 0.30, MaxTables: 3,
+		PGroups: 0.45, MaxFractions: 3,
+		PDerivedLine: 0.40, PUnanchored: 0.30, PMeanAgg: 0.15,
+		PDerivedCol:    0.25,
+		PNumericHeader: 0.30, PTwoRowHeader: 0.25,
+		PSeparators: 0.70,
+		MetaLines:   [2]int{1, 3}, NoteLines: [2]int{0, 3},
+		PMissing:     0.08,
+		PFloatValues: 0.35, PThousands: 0.30,
+		PNoMeta: 0.20, PNoHeader: 0.15, PGroupAboveHeader: 0.20,
+		PDerivedTop: 0.20, PNotesRight: 0.15, PInterNotes: 0.20,
+		PNumericMeta: 0.40,
+	}
+}
+
+// SAUS models the Statistical Abstract of the United States: groups and
+// simple one-line headers, but many unanchored derived lines (the paper
+// reports poor derived F1 here for exactly that reason).
+func SAUS() Profile {
+	return Profile{
+		Name: "saus", Files: 55, Seed: 202,
+		DataRows: [2]int{5, 20}, Cols: [2]int{3, 8},
+		PMultiTable: 0.10, MaxTables: 2,
+		PGroups: 0.55, MaxFractions: 3,
+		PDerivedLine: 0.55, PUnanchored: 0.55, PMeanAgg: 0.10,
+		PDerivedCol:    0.20,
+		PNumericHeader: 0.35, PTwoRowHeader: 0.15,
+		PSeparators: 0.60,
+		MetaLines:   [2]int{1, 3}, NoteLines: [2]int{1, 3},
+		PMissing:     0.05,
+		PFloatValues: 0.30, PThousands: 0.45,
+		PNoMeta: 0.10, PNoHeader: 0.10, PGroupAboveHeader: 0.15,
+		PDerivedTop: 0.15, PNotesRight: 0.10, PInterNotes: 0.10,
+		PNumericMeta: 0.35,
+	}
+}
+
+// CIUS models Crime in the United States: yearly reports instantiated from
+// a small set of shared templates (few structural outliers — the easiest
+// corpus in the paper), heavy group usage, derived lines often without
+// keywords in the schema.
+func CIUS() Profile {
+	return Profile{
+		Name: "cius", Files: 65, Seed: 303,
+		DataRows: [2]int{6, 25}, Cols: [2]int{3, 7},
+		PMultiTable: 0.05, MaxTables: 2,
+		PGroups: 0.70, MaxFractions: 4,
+		PDerivedLine: 0.45, PUnanchored: 0.45, PMeanAgg: 0.05,
+		PDerivedCol:    0.15,
+		PNumericHeader: 0.25, PTwoRowHeader: 0.30,
+		PSeparators: 0.50,
+		MetaLines:   [2]int{2, 3}, NoteLines: [2]int{1, 2},
+		PMissing:     0.04,
+		Templates:    10,
+		PFloatValues: 0.15, PThousands: 0.50,
+		PNoHeader: 0.05, PGroupAboveHeader: 0.20, PDerivedTop: 0.10,
+		PNumericMeta: 0.30,
+	}
+}
+
+// DeEx models the DeExcelerator business corpus: complicated structures,
+// notes and metadata organized as small tables, numeric headers, frequent
+// stacking (the hardest corpus for every approach in the paper).
+func DeEx() Profile {
+	return Profile{
+		Name: "deex", Files: 80, Seed: 404,
+		DataRows: [2]int{5, 35}, Cols: [2]int{2, 10},
+		PMultiTable: 0.45, MaxTables: 4,
+		PGroups: 0.35, MaxFractions: 3,
+		PDerivedLine: 0.35, PUnanchored: 0.40, PMeanAgg: 0.20,
+		PDerivedCol:    0.30,
+		PNumericHeader: 0.45, PTwoRowHeader: 0.30,
+		PSeparators: 0.55,
+		MetaLines:   [2]int{1, 4}, NoteLines: [2]int{0, 4},
+		PMissing:      0.10,
+		PNotesAsTable: 0.35, PMetaAsTable: 0.20,
+		PFloatValues: 0.45, PThousands: 0.20,
+		PNoMeta: 0.30, PNoHeader: 0.25, PGroupAboveHeader: 0.25,
+		PDerivedTop: 0.25, PNotesRight: 0.30, PInterNotes: 0.30,
+		PNumericMeta: 0.50,
+	}
+}
+
+// Mendeley models plain-text research data files: tall, almost entirely
+// data, with prose lines mangled by the table delimiter (the "delimiter
+// dilemma"). Used only for testing, never training, as in the paper.
+func Mendeley() Profile {
+	return Profile{
+		Name: "mendeley", Files: 20, Seed: 505,
+		DataRows: [2]int{150, 900}, Cols: [2]int{3, 12},
+		PMultiTable: 0.05, MaxTables: 2,
+		PGroups: 0.05, MaxFractions: 2,
+		PDerivedLine: 0.05, PUnanchored: 0.50, PMeanAgg: 0.10,
+		PDerivedCol:    0.05,
+		PNumericHeader: 0.20, PTwoRowHeader: 0.05,
+		PSeparators: 0.40,
+		MetaLines:   [2]int{1, 5}, NoteLines: [2]int{0, 3},
+		PMissing:     0.03,
+		PSplitProse:  0.60,
+		PFloatValues: 0.70, PThousands: 0.05,
+		PNoMeta: 0.25, PNoHeader: 0.20, PNumericMeta: 0.60,
+	}
+}
+
+// Troy models the Troy_200 statistical web tables: small international
+// statistics files kept unseen during design; most derived lines carry no
+// anchoring keyword, which is what breaks Algorithm 2 out of domain
+// (Table 7 of the paper).
+func Troy() Profile {
+	return Profile{
+		Name: "troy", Files: 50, Seed: 606,
+		DataRows: [2]int{4, 15}, Cols: [2]int{2, 6},
+		PMultiTable: 0.10, MaxTables: 2,
+		PGroups: 0.30, MaxFractions: 2,
+		PDerivedLine: 0.60, PUnanchored: 0.80, PMeanAgg: 0.10,
+		PDerivedCol:    0.20,
+		PNumericHeader: 0.40, PTwoRowHeader: 0.20,
+		PSeparators: 0.50,
+		MetaLines:   [2]int{1, 2}, NoteLines: [2]int{1, 3},
+		PMissing:     0.06,
+		PFloatValues: 0.40, PThousands: 0.25,
+		PNoMeta: 0.15, PNoHeader: 0.20, PGroupAboveHeader: 0.20,
+		PDerivedTop: 0.25, PNotesRight: 0.20, PInterNotes: 0.15,
+		PNumericMeta: 0.45,
+	}
+}
+
+// Scale returns a copy of p with the file count multiplied by f (minimum 1
+// file). Benchmarks use small scales; the CLI can run the full corpora.
+func (p Profile) Scale(f float64) Profile {
+	n := int(float64(p.Files) * f)
+	if n < 1 {
+		n = 1
+	}
+	p.Files = n
+	return p
+}

@@ -1,0 +1,106 @@
+package datagen
+
+import "strudel/internal/table"
+
+// Summary holds the per-corpus counts of Table 4 of the paper (non-empty
+// lines and cells only, as in the paper).
+type Summary struct {
+	Name  string
+	Files int
+	Lines int
+	Cells int
+}
+
+// Summarize computes a corpus summary.
+func (c *Corpus) Summarize() Summary {
+	s := Summary{Name: c.Name, Files: len(c.Files)}
+	for _, t := range c.Files {
+		s.Lines += t.NonEmptyLines()
+		s.Cells += t.NonEmptyCells()
+	}
+	return s
+}
+
+// ClassCounts holds per-class element counts (Table 5 of the paper).
+type ClassCounts struct {
+	Lines [table.NumClasses]int
+	Cells [table.NumClasses]int
+}
+
+// CellsPerLine returns the average number of cells per line for a class, or
+// 0 when the class has no lines.
+func (cc ClassCounts) CellsPerLine(classIdx int) float64 {
+	if cc.Lines[classIdx] == 0 {
+		return 0
+	}
+	return float64(cc.Cells[classIdx]) / float64(cc.Lines[classIdx])
+}
+
+// TotalLines is the number of classified lines.
+func (cc ClassCounts) TotalLines() int {
+	n := 0
+	for _, v := range cc.Lines {
+		n += v
+	}
+	return n
+}
+
+// TotalCells is the number of classified cells.
+func (cc ClassCounts) TotalCells() int {
+	n := 0
+	for _, v := range cc.Cells {
+		n += v
+	}
+	return n
+}
+
+// CountClasses tallies the gold line and cell classes of one or more
+// corpora.
+func CountClasses(corpora ...*Corpus) ClassCounts {
+	var cc ClassCounts
+	for _, c := range corpora {
+		for _, t := range c.Files {
+			for r := 0; r < t.Height(); r++ {
+				if idx := t.LineClasses[r].Index(); idx >= 0 {
+					cc.Lines[idx]++
+				}
+				for col := 0; col < t.Width(); col++ {
+					if t.IsEmptyCell(r, col) {
+						continue
+					}
+					if idx := t.CellClasses[r][col].Index(); idx >= 0 {
+						cc.Cells[idx]++
+					}
+				}
+			}
+		}
+	}
+	return cc
+}
+
+// DiversityDistribution returns the fraction of non-empty lines having each
+// cell-class diversity degree 1..NumClasses (Table 3 of the paper). Index 0
+// of the result corresponds to degree 1.
+func DiversityDistribution(c *Corpus) [table.NumClasses]float64 {
+	var counts [table.NumClasses]float64
+	total := 0.0
+	for _, t := range c.Files {
+		for r := 0; r < t.Height(); r++ {
+			d := t.DiversityDegree(r)
+			if d == 0 {
+				continue
+			}
+			if d > table.NumClasses {
+				d = table.NumClasses
+			}
+			counts[d-1]++
+			total++
+		}
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}

@@ -1,0 +1,81 @@
+package datagen
+
+// Word lists used to synthesize realistic verbose CSV content. The
+// vocabulary deliberately echoes the administrative/business domains of the
+// paper's corpora (SAUS and CIUS are administrative, DeEx is business data,
+// GovUK is open government data).
+
+var titleWords = []string{
+	"Crime", "Population", "Revenue", "Expenditure", "Employment", "Health",
+	"Education", "Transport", "Housing", "Energy", "Trade", "Agriculture",
+	"Tourism", "Migration", "Income", "Production", "Sales", "Investment",
+}
+
+var titleSuffixes = []string{
+	"in the United States", "by Region", "by Sector", "Annual Report",
+	"Quarterly Summary", "Statistical Overview", "by Local Authority",
+	"per Capita", "Historical Series", "Key Indicators",
+}
+
+var rowLabels = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Michigan", "Minnesota", "Missouri", "Montana",
+	"Nebraska", "Nevada", "Ohio", "Oregon", "Texas", "Utah", "Vermont",
+	"Virginia", "Washington", "Wisconsin", "Wyoming",
+}
+
+var entityLabels = []string{
+	"Manufacturing", "Construction", "Retail trade", "Wholesale trade",
+	"Transportation", "Information", "Finance", "Real estate",
+	"Professional services", "Administration", "Public services",
+	"Arts and recreation", "Accommodation", "Mining", "Utilities",
+	"Forestry", "Fishing", "Warehousing", "Telecommunications", "Insurance",
+	"Transportation, air", "Food, beverage and tobacco", "Arts, entertainment",
+}
+
+var columnLabels = []string{
+	"Count", "Rate", "Share", "Amount", "Value", "Index", "Change",
+	"Level", "Volume", "Price", "Cost", "Balance", "Ratio", "Score",
+}
+
+var groupLabels = []string{
+	"Violent crime:", "Property crime:", "Sale/Manufacturing:",
+	"Possession:", "Northeast", "Midwest", "South", "West",
+	"Public sector:", "Private sector:", "Goods:", "Services:",
+	"Urban areas:", "Rural areas:",
+}
+
+var noteTexts = []string{
+	"Source: national statistics office",
+	"Note: figures may not add to totals due to rounding",
+	"1) preliminary figure, subject to revision",
+	"2) excludes territories and dependencies",
+	"Data collected through the annual establishment survey",
+	"Rates are per 100,000 inhabitants",
+	"See methodology annex for definitions",
+	"(c) Crown copyright",
+	"Values in thousands unless otherwise stated",
+	"* estimate based on partial returns",
+}
+
+var metadataExtras = []string{
+	"Released under the Open Government Licence",
+	"Figures are seasonally adjusted",
+	"Reference period: calendar year",
+	"Compiled from administrative records",
+	"Last updated in the spring publication cycle",
+}
+
+var aggregateLabels = []string{
+	"Total", "Total, all items", "All sectors, total", "Sum",
+	"Average", "Mean value", "Grand total",
+}
+
+// unanchoredAggLabels lead derived lines without any aggregation keyword —
+// the hard case that defeats the anchor-based Algorithm 2 (Section 6.3.3).
+var unanchoredAggLabels = []string{
+	"United States", "Nationwide", "Whole economy", "Both sexes",
+	"England and Wales", "Combined",
+}

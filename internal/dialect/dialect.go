@@ -1,0 +1,292 @@
+// Package dialect detects and applies CSV dialects.
+//
+// Verbose CSV files rarely announce their dialect (delimiter, quote
+// character, escape character). The paper preprocesses every input with the
+// data-consistency approach of van den Burg et al. (2019): enumerate
+// candidate dialects, parse the file under each, and score the result by the
+// product of a pattern score (how regular the row-pattern abstraction is)
+// and a type score (what fraction of resulting cells have a recognizable
+// data type). This package re-implements that scheme and provides a parser
+// that turns raw text into rows under a chosen dialect.
+package dialect
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math"
+	"strings"
+
+	"strudel/internal/types"
+)
+
+// Dialect describes how a delimited text file is tokenized.
+type Dialect struct {
+	// Delimiter separates cells within a line.
+	Delimiter rune
+	// Quote is the quoting character, or 0 for no quoting.
+	Quote rune
+	// Escape is the escape character inside quoted fields, or 0 when quotes
+	// are escaped by doubling (the RFC 4180 convention).
+	Escape rune
+}
+
+// Default is the RFC 4180 dialect: comma-delimited, double-quoted,
+// quote-doubling escapes.
+var Default = Dialect{Delimiter: ',', Quote: '"'}
+
+// String renders the dialect compactly, e.g. `delim=',' quote='"'`.
+func (d Dialect) String() string {
+	var b strings.Builder
+	b.WriteString("delim=")
+	writeRune(&b, d.Delimiter)
+	b.WriteString(" quote=")
+	writeRune(&b, d.Quote)
+	if d.Escape != 0 {
+		b.WriteString(" escape=")
+		writeRune(&b, d.Escape)
+	}
+	return b.String()
+}
+
+func writeRune(b *strings.Builder, r rune) {
+	if r == 0 {
+		b.WriteString("none")
+		return
+	}
+	b.WriteByte('\'')
+	switch r {
+	case '\t':
+		b.WriteString(`\t`)
+	default:
+		b.WriteRune(r)
+	}
+	b.WriteByte('\'')
+}
+
+// candidateDelimiters are the delimiters enumerated during detection,
+// following the potential-dialect construction of van den Burg et al.
+var candidateDelimiters = []rune{',', ';', '\t', '|', ':', ' ', '#', '~', '^'}
+
+// candidateQuotes are the quote characters enumerated during detection.
+var candidateQuotes = []rune{'"', '\'', 0}
+
+// Detect parses the text under every candidate dialect and returns the one
+// with the highest consistency score. It returns an error for empty input.
+func Detect(text string) (Dialect, error) {
+	if strings.TrimSpace(text) == "" {
+		return Dialect{}, errors.New("dialect: empty input")
+	}
+	best, bestScore := Default, math.Inf(-1)
+	for _, delim := range candidateDelimiters {
+		if !strings.ContainsRune(text, delim) && delim != ',' {
+			continue // a delimiter that never occurs cannot win
+		}
+		for _, quote := range candidateQuotes {
+			d := Dialect{Delimiter: delim, Quote: quote}
+			score := ConsistencyScore(text, d)
+			if score > bestScore {
+				best, bestScore = d, score
+			}
+		}
+	}
+	return best, nil
+}
+
+// ConsistencyScore computes the data-consistency measure Q(d) = P(d) * T(d)
+// for parsing text under dialect d, where P is the pattern score and T is
+// the type score.
+func ConsistencyScore(text string, d Dialect) float64 {
+	rows := Split(text, d)
+	return patternScore(rows) * typeScore(rows)
+}
+
+// patternScore measures row-pattern regularity. Each row is abstracted to
+// its cell count; the score rewards patterns that are frequent and wide:
+//
+//	P = sum over distinct patterns k of N_k/N * (L_k - 1) / L_k'
+//
+// where N_k is how many rows have pattern k, L_k the number of cells in the
+// pattern, and the (L_k - 1) term penalizes the trivial single-cell pattern,
+// following eq. (2) of van den Burg et al. (simplified to cell counts, since
+// verbose files have no per-cell pattern variation after splitting).
+func patternScore(rows [][]string) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	for _, row := range rows {
+		counts[len(row)]++
+	}
+	n := float64(len(rows))
+	score := 0.0
+	for width, c := range counts {
+		if width == 0 {
+			continue
+		}
+		lk := float64(width)
+		alpha := (lk - 1) / lk
+		if width == 1 {
+			alpha = 0.5 / lk // small non-zero weight for single-cell rows
+		}
+		score += float64(c) / n * alpha * float64(c) / n
+	}
+	return score
+}
+
+// typeScore is the fraction of non-empty cells whose inferred type is not
+// plain free text, smoothed so that an all-string parse still gets a small
+// positive score (eq. (3) of van den Burg et al. uses type recognition the
+// same way).
+func typeScore(rows [][]string) float64 {
+	total, typed := 0, 0
+	for _, row := range rows {
+		for _, cell := range row {
+			v := strings.TrimSpace(cell)
+			if v == "" {
+				continue
+			}
+			total++
+			switch types.Infer(v) {
+			case types.Int, types.Float, types.Date:
+				typed++
+			default:
+				if looksClean(v) {
+					typed++ // short clean tokens count as well-typed
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1e-3
+	}
+	return math.Max(float64(typed)/float64(total), 1e-3)
+}
+
+// looksClean reports whether a string cell looks like a well-formed field
+// (short, no stray delimiters or unbalanced quotes) rather than a fragment
+// of an incorrectly split sentence.
+func looksClean(v string) bool {
+	if len(v) > 64 {
+		return false
+	}
+	if strings.Count(v, `"`)%2 != 0 || strings.Count(v, `'`)%2 != 0 {
+		return false
+	}
+	// A field still containing one of the rarer candidate delimiters is
+	// probably an under-split fragment, not a clean value.
+	if strings.ContainsAny(v, ";|\t^~") {
+		return false
+	}
+	return strings.Count(v, " ") <= 4
+}
+
+// Split parses text into rows of cells under dialect d. Lines are separated
+// by \n (with \r\n tolerated); newlines inside quoted fields are preserved.
+// A leading UTF-8 byte-order mark is dropped, as spreadsheet exports often
+// carry one.
+func Split(text string, d Dialect) [][]string {
+	text = strings.TrimPrefix(text, "\ufeff")
+	var rows [][]string
+	var row []string
+	var cell strings.Builder
+	inQuotes := false
+
+	flushCell := func() {
+		row = append(row, cell.String())
+		cell.Reset()
+	}
+	flushRow := func() {
+		flushCell()
+		rows = append(rows, row)
+		row = nil
+	}
+
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		c := runes[i]
+		switch {
+		case d.Escape != 0 && c == d.Escape && inQuotes && i+1 < len(runes):
+			i++
+			cell.WriteRune(runes[i])
+		case d.Quote != 0 && c == d.Quote:
+			if inQuotes {
+				// Doubled quote inside a quoted field is a literal quote.
+				if d.Escape == 0 && i+1 < len(runes) && runes[i+1] == d.Quote {
+					cell.WriteRune(d.Quote)
+					i++
+				} else {
+					inQuotes = false
+				}
+			} else if cell.Len() == 0 {
+				inQuotes = true
+			} else {
+				cell.WriteRune(c)
+			}
+		case c == d.Delimiter && !inQuotes:
+			flushCell()
+		case c == '\r' && !inQuotes:
+			// swallow; \n handles the row break
+		case c == '\n' && !inQuotes:
+			flushRow()
+		default:
+			cell.WriteRune(c)
+		}
+	}
+	if cell.Len() > 0 || len(row) > 0 {
+		flushRow()
+	}
+	return rows
+}
+
+// Join renders rows back to text under dialect d, quoting cells that contain
+// the delimiter, the quote character, or a newline. It is the inverse of
+// Split for round-trippable content.
+func Join(rows [][]string, d Dialect) string {
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteRune(d.Delimiter)
+			}
+			writeCell(&b, cell, d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writeCell(b *strings.Builder, cell string, d Dialect) {
+	needsQuote := strings.ContainsRune(cell, d.Delimiter) ||
+		strings.ContainsAny(cell, "\r\n") ||
+		(d.Quote != 0 && strings.ContainsRune(cell, d.Quote)) ||
+		// A leading BOM would be eaten by Split's BOM stripping when the
+		// cell opens the file; quoting protects it.
+		strings.HasPrefix(cell, "\ufeff")
+	if !needsQuote || d.Quote == 0 {
+		b.WriteString(cell)
+		return
+	}
+	b.WriteRune(d.Quote)
+	for _, r := range cell {
+		if r == d.Quote {
+			if d.Escape != 0 {
+				b.WriteRune(d.Escape)
+			} else {
+				b.WriteRune(d.Quote)
+			}
+		}
+		b.WriteRune(r)
+	}
+	b.WriteRune(d.Quote)
+}
+
+// ReadAll reads everything from r and splits it under dialect d.
+func ReadAll(r io.Reader, d Dialect) ([][]string, error) {
+	br := bufio.NewReader(r)
+	var b strings.Builder
+	if _, err := io.Copy(&b, br); err != nil {
+		return nil, err
+	}
+	return Split(b.String(), d), nil
+}

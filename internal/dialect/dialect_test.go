@@ -1,0 +1,222 @@
+package dialect
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitBasic(t *testing.T) {
+	rows := Split("a,b,c\n1,2,3\n", Default)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0][1] != "b" || rows[1][2] != "3" {
+		t.Errorf("unexpected cells: %v", rows)
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	rows := Split(`"a,b",c`+"\n", Default)
+	if len(rows) != 1 || len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "a,b" {
+		t.Errorf("quoted cell = %q, want %q", rows[0][0], "a,b")
+	}
+}
+
+func TestSplitDoubledQuote(t *testing.T) {
+	rows := Split(`"say ""hi""",x`+"\n", Default)
+	if rows[0][0] != `say "hi"` {
+		t.Errorf("cell = %q", rows[0][0])
+	}
+}
+
+func TestSplitEscapeChar(t *testing.T) {
+	d := Dialect{Delimiter: ',', Quote: '"', Escape: '\\'}
+	rows := Split(`"a\"b",c`+"\n", d)
+	if rows[0][0] != `a"b` {
+		t.Errorf("cell = %q", rows[0][0])
+	}
+}
+
+func TestSplitNewlineInQuotes(t *testing.T) {
+	rows := Split("\"line1\nline2\",x\n", Default)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0][0] != "line1\nline2" {
+		t.Errorf("cell = %q", rows[0][0])
+	}
+}
+
+func TestSplitCRLF(t *testing.T) {
+	rows := Split("a,b\r\nc,d\r\n", Default)
+	if len(rows) != 2 || rows[0][1] != "b" || rows[1][0] != "c" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestSplitNoTrailingNewline(t *testing.T) {
+	rows := Split("a,b\nc,d", Default)
+	if len(rows) != 2 || rows[1][1] != "d" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestSplitSemicolon(t *testing.T) {
+	d := Dialect{Delimiter: ';', Quote: '"'}
+	rows := Split("a;b\n1,5;2,5\n", d)
+	if rows[1][0] != "1,5" {
+		t.Errorf("cell = %q, want 1,5", rows[1][0])
+	}
+}
+
+func TestJoinSplitRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b c", "1,2", `q"q`, "", "x\ny", "42"}
+		nrows := rng.Intn(5) + 1
+		rows := make([][]string, nrows)
+		for r := range rows {
+			ncols := rng.Intn(4) + 1
+			rows[r] = make([]string, ncols)
+			for c := range rows[r] {
+				rows[r][c] = alphabet[rng.Intn(len(alphabet))]
+			}
+		}
+		got := Split(Join(rows, Default), Default)
+		if len(got) != len(rows) {
+			return false
+		}
+		for r := range rows {
+			if len(got[r]) != len(rows[r]) {
+				return false
+			}
+			for c := range rows[r] {
+				if got[r][c] != rows[r][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectComma(t *testing.T) {
+	text := "name,year,count\nalpha,2001,5\nbeta,2002,7\ngamma,2003,9\n"
+	d, err := Detect(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ',' {
+		t.Errorf("delimiter = %q, want ','", d.Delimiter)
+	}
+}
+
+func TestDetectSemicolonWithDecimalCommas(t *testing.T) {
+	text := "name;v1;v2\na;1,5;2,5\nb;3,5;4,5\nc;5,5;6,5\nd;7,5;8,5\n"
+	d, err := Detect(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ';' {
+		t.Errorf("delimiter = %q, want ';'", d.Delimiter)
+	}
+}
+
+func TestDetectTab(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("id\tvalue\tdate\n")
+	for i := 0; i < 8; i++ {
+		b.WriteString("7\t8.5\t2020-01-02\n")
+	}
+	d, err := Detect(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != '\t' {
+		t.Errorf("delimiter = %q, want tab", d.Delimiter)
+	}
+}
+
+func TestDetectPipe(t *testing.T) {
+	text := "a|b|c\n1|2|3\n4|5|6\n7|8|9\n"
+	d, err := Detect(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != '|' {
+		t.Errorf("delimiter = %q, want '|'", d.Delimiter)
+	}
+}
+
+func TestDetectEmptyInput(t *testing.T) {
+	if _, err := Detect("   \n "); err == nil {
+		t.Error("Detect on blank input should fail")
+	}
+}
+
+func TestDetectPrefersConsistentWidth(t *testing.T) {
+	// Commas appear but only as prose; semicolons give a consistent grid.
+	text := "title; note about a, b, and c\n1;2\n3;4\n5;6\n7;8\n9;10\n"
+	d, err := Detect(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ';' {
+		t.Errorf("delimiter = %q, want ';'", d.Delimiter)
+	}
+}
+
+func TestConsistencyScoreOrdering(t *testing.T) {
+	text := "a,b,c\n1,2,3\n4,5,6\n"
+	good := ConsistencyScore(text, Default)
+	bad := ConsistencyScore(text, Dialect{Delimiter: ';', Quote: '"'})
+	if good <= bad {
+		t.Errorf("score(comma)=%v should beat score(semicolon)=%v", good, bad)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	rows, err := ReadAll(strings.NewReader("x,y\n1,2\n"), Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][1] != "2" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDialectString(t *testing.T) {
+	s := Dialect{Delimiter: '\t', Quote: '"', Escape: '\\'}.String()
+	if !strings.Contains(s, `\t`) || !strings.Contains(s, "escape") {
+		t.Errorf("String() = %q", s)
+	}
+	s2 := Dialect{Delimiter: ','}.String()
+	if !strings.Contains(s2, "none") {
+		t.Errorf("String() = %q, want quote=none", s2)
+	}
+}
+
+func TestSplitStripsBOM(t *testing.T) {
+	rows := Split("\ufeffa,b\n1,2\n", Default)
+	if rows[0][0] != "a" {
+		t.Errorf("BOM not stripped: %q", rows[0][0])
+	}
+}
+
+func TestDetectWithBOM(t *testing.T) {
+	d, err := Detect("\ufeffx;y\n1;2\n3;4\n5;6\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ';' {
+		t.Errorf("delimiter = %q, want ';'", d.Delimiter)
+	}
+}

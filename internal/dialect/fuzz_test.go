@@ -1,0 +1,38 @@
+package dialect
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSplit checks that arbitrary input never panics the parser and that
+// Join∘Split is width-stable for delimiter-free content.
+func FuzzSplit(f *testing.F) {
+	f.Add("a,b,c\n1,2,3\n")
+	f.Add(`"quoted,cell",x`)
+	f.Add("\ufeffbom,line\r\nnext,row")
+	f.Add(`"unterminated`)
+	f.Add("\"say \"\"hi\"\"\",x\n")
+	f.Add(";;;\n|||")
+	f.Fuzz(func(t *testing.T, text string) {
+		if !utf8.ValidString(text) {
+			t.Skip()
+		}
+		rows := Split(text, Default)
+		// Rows must round-trip through Join/Split with identical shape.
+		again := Split(Join(rows, Default), Default)
+		if len(again) != len(rows) {
+			t.Fatalf("round trip changed row count: %d -> %d", len(rows), len(again))
+		}
+		for r := range rows {
+			if len(again[r]) != len(rows[r]) {
+				t.Fatalf("row %d width changed: %d -> %d", r, len(rows[r]), len(again[r]))
+			}
+			for c := range rows[r] {
+				if again[r][c] != rows[r][c] {
+					t.Fatalf("cell (%d,%d) changed: %q -> %q", r, c, rows[r][c], again[r][c])
+				}
+			}
+		}
+	})
+}

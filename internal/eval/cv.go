@@ -1,0 +1,335 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"strudel/internal/table"
+)
+
+// LineClassifier predicts one class per line of a table.
+type LineClassifier interface {
+	Classify(t *table.Table) []table.Class
+}
+
+// CellClassifier predicts one class per cell of a table.
+type CellClassifier interface {
+	Classify(t *table.Table) [][]table.Class
+}
+
+// LineTrainer builds a line classifier from a training split. The seed
+// varies across CV repetitions so stochastic trainers decorrelate.
+type LineTrainer func(train []*table.Table, seed int64) (LineClassifier, error)
+
+// CellTrainer builds a cell classifier from a training split.
+type CellTrainer func(train []*table.Table, seed int64) (CellClassifier, error)
+
+// CVOptions configures cross-validation. The paper uses 10 folds repeated
+// 10 times, grouping all elements of a file into the same side of the split.
+type CVOptions struct {
+	Folds   int // 0 means 10
+	Repeats int // 0 means 10
+	Seed    int64
+	// SkipGoldClasses are gold classes excluded from scoring (used for
+	// Pytheas^L, which has no derived class: Section 6.2.1 leaves derived
+	// lines out of its measurements).
+	SkipGoldClasses []table.Class
+}
+
+func (o *CVOptions) fill() {
+	if o.Folds <= 0 {
+		o.Folds = 10
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 10
+	}
+}
+
+// LineCVResult aggregates a repeated cross-validation run on the line task.
+type LineCVResult struct {
+	counts       Counts
+	repeatCounts []Counts
+	// votes[file][row][class] tallies the predictions of every repetition,
+	// backing the ensemble confusion matrix of Figure 3.
+	votes     [][][table.NumClasses]int
+	files     []*table.Table
+	classFreq [table.NumClasses]int
+}
+
+// CrossValidateLines runs file-grouped repeated k-fold cross-validation on
+// the line classification task.
+func CrossValidateLines(files []*table.Table, trainer LineTrainer, opts CVOptions) (*LineCVResult, error) {
+	opts.fill()
+	if len(files) < opts.Folds {
+		return nil, fmt.Errorf("eval: %d files cannot fill %d folds", len(files), opts.Folds)
+	}
+	res := &LineCVResult{files: files}
+	res.votes = make([][][table.NumClasses]int, len(files))
+	for i, f := range files {
+		res.votes[i] = make([][table.NumClasses]int, f.Height())
+		for r := 0; r < f.Height(); r++ {
+			if idx := f.LineClasses[r].Index(); idx >= 0 {
+				res.classFreq[idx]++
+			}
+		}
+	}
+
+	skip := skipSet(opts.SkipGoldClasses)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res.repeatCounts = make([]Counts, opts.Repeats)
+	for rep := 0; rep < opts.Repeats; rep++ {
+		folds := assignFolds(len(files), opts.Folds, rng)
+		for fold := 0; fold < opts.Folds; fold++ {
+			train, test := split(files, folds, fold)
+			model, err := trainer(train, opts.Seed+int64(rep*opts.Folds+fold))
+			if err != nil {
+				return nil, fmt.Errorf("eval: fold %d repeat %d: %w", fold, rep, err)
+			}
+			for _, ti := range test {
+				f := files[ti]
+				pred := model.Classify(f)
+				for r := 0; r < f.Height(); r++ {
+					gold := f.LineClasses[r]
+					if gold.Index() < 0 || skip[gold] {
+						continue
+					}
+					res.counts.Add(pred[r], gold)
+					res.repeatCounts[rep].Add(pred[r], gold)
+					if pi := pred[r].Index(); pi >= 0 {
+						res.votes[ti][r][pi]++
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MacroF1MeanStd returns the mean and standard deviation of the
+// macro-average F1 across the CV repetitions, quantifying fold-split
+// sensitivity.
+func (r *LineCVResult) MacroF1MeanStd() (mean, std float64) {
+	return macroMeanStd(r.repeatCounts)
+}
+
+// Scores returns the measurements pooled over every repetition.
+func (r *LineCVResult) Scores() Scores { return r.counts.Scores() }
+
+// Confusion builds the ensemble confusion matrix: per line, the repeated
+// predictions are reduced by majority vote, with ties resolved in favor of
+// the rarer class (Section 6.3.1).
+func (r *LineCVResult) Confusion() *Confusion {
+	m := &Confusion{}
+	for fi, f := range r.files {
+		for row := 0; row < f.Height(); row++ {
+			gold := f.LineClasses[row]
+			if gold.Index() < 0 {
+				continue
+			}
+			if pred, ok := majorityVote(r.votes[fi][row], r.classFreq); ok {
+				m.Add(pred, gold)
+			}
+		}
+	}
+	return m
+}
+
+// CellCVResult aggregates a repeated cross-validation run on the cell task.
+type CellCVResult struct {
+	counts       Counts
+	repeatCounts []Counts
+	votes        [][][table.NumClasses]int // [file][row*width+col][class]
+	files        []*table.Table
+	classFreq    [table.NumClasses]int
+}
+
+// CrossValidateCells runs file-grouped repeated k-fold cross-validation on
+// the cell classification task.
+func CrossValidateCells(files []*table.Table, trainer CellTrainer, opts CVOptions) (*CellCVResult, error) {
+	opts.fill()
+	if len(files) < opts.Folds {
+		return nil, fmt.Errorf("eval: %d files cannot fill %d folds", len(files), opts.Folds)
+	}
+	res := &CellCVResult{files: files}
+	res.votes = make([][][table.NumClasses]int, len(files))
+	for i, f := range files {
+		res.votes[i] = make([][table.NumClasses]int, f.Height()*f.Width())
+		for r := 0; r < f.Height(); r++ {
+			for c := 0; c < f.Width(); c++ {
+				if idx := f.CellClasses[r][c].Index(); idx >= 0 && !f.IsEmptyCell(r, c) {
+					res.classFreq[idx]++
+				}
+			}
+		}
+	}
+
+	skip := skipSet(opts.SkipGoldClasses)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res.repeatCounts = make([]Counts, opts.Repeats)
+	for rep := 0; rep < opts.Repeats; rep++ {
+		folds := assignFolds(len(files), opts.Folds, rng)
+		for fold := 0; fold < opts.Folds; fold++ {
+			train, test := split(files, folds, fold)
+			model, err := trainer(train, opts.Seed+int64(rep*opts.Folds+fold))
+			if err != nil {
+				return nil, fmt.Errorf("eval: fold %d repeat %d: %w", fold, rep, err)
+			}
+			for _, ti := range test {
+				f := files[ti]
+				pred := model.Classify(f)
+				for row := 0; row < f.Height(); row++ {
+					for col := 0; col < f.Width(); col++ {
+						gold := f.CellClasses[row][col]
+						if gold.Index() < 0 || f.IsEmptyCell(row, col) || skip[gold] {
+							continue
+						}
+						res.counts.Add(pred[row][col], gold)
+						res.repeatCounts[rep].Add(pred[row][col], gold)
+						if pi := pred[row][col].Index(); pi >= 0 {
+							res.votes[ti][row*f.Width()+col][pi]++
+						}
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MacroF1MeanStd returns the mean and standard deviation of the
+// macro-average F1 across the CV repetitions.
+func (r *CellCVResult) MacroF1MeanStd() (mean, std float64) {
+	return macroMeanStd(r.repeatCounts)
+}
+
+// macroMeanStd computes mean and population standard deviation of the
+// per-repeat macro F1 values.
+func macroMeanStd(repeats []Counts) (mean, std float64) {
+	if len(repeats) == 0 {
+		return 0, 0
+	}
+	vals := make([]float64, len(repeats))
+	for i := range repeats {
+		vals[i] = repeats[i].Scores().MacroF1
+		mean += vals[i]
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std
+}
+
+// Scores returns the measurements pooled over every repetition.
+func (r *CellCVResult) Scores() Scores { return r.counts.Scores() }
+
+// Confusion builds the ensemble (majority-vote) confusion matrix.
+func (r *CellCVResult) Confusion() *Confusion {
+	m := &Confusion{}
+	for fi, f := range r.files {
+		for row := 0; row < f.Height(); row++ {
+			for col := 0; col < f.Width(); col++ {
+				gold := f.CellClasses[row][col]
+				if gold.Index() < 0 || f.IsEmptyCell(row, col) {
+					continue
+				}
+				if pred, ok := majorityVote(r.votes[fi][row*f.Width()+col], r.classFreq); ok {
+					m.Add(pred, gold)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// EvaluateLinesOn scores a trained line classifier on held-out files (the
+// out-of-domain experiments of Tables 7 and 8).
+func EvaluateLinesOn(model LineClassifier, files []*table.Table) Scores {
+	var c Counts
+	for _, f := range files {
+		pred := model.Classify(f)
+		for r := 0; r < f.Height(); r++ {
+			if f.LineClasses[r].Index() < 0 {
+				continue
+			}
+			c.Add(pred[r], f.LineClasses[r])
+		}
+	}
+	return c.Scores()
+}
+
+// EvaluateCellsOn scores a trained cell classifier on held-out files.
+func EvaluateCellsOn(model CellClassifier, files []*table.Table) Scores {
+	var c Counts
+	for _, f := range files {
+		pred := model.Classify(f)
+		for row := 0; row < f.Height(); row++ {
+			for col := 0; col < f.Width(); col++ {
+				if f.CellClasses[row][col].Index() < 0 || f.IsEmptyCell(row, col) {
+					continue
+				}
+				c.Add(pred[row][col], f.CellClasses[row][col])
+			}
+		}
+	}
+	return c.Scores()
+}
+
+// assignFolds deals file indices into folds of near-equal size, shuffled.
+func assignFolds(n, folds int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	out := make([]int, n)
+	for i, p := range perm {
+		out[p] = i % folds
+	}
+	return out
+}
+
+// split partitions files into a training set (copies) and the indices of
+// the test files for the given fold.
+func split(files []*table.Table, folds []int, fold int) (train []*table.Table, testIdx []int) {
+	for i, f := range files {
+		if folds[i] == fold {
+			testIdx = append(testIdx, i)
+		} else {
+			train = append(train, f)
+		}
+	}
+	return train, testIdx
+}
+
+// majorityVote reduces vote tallies to a single class; ties go to the class
+// with fewer instances in the dataset ("the fewer instances of a class
+// included in the dataset, the more prior the class", Section 6.3.1).
+func majorityVote(votes [table.NumClasses]int, freq [table.NumClasses]int) (table.Class, bool) {
+	best, bestVotes := -1, 0
+	for i, v := range votes {
+		if v == 0 {
+			continue
+		}
+		switch {
+		case v > bestVotes:
+			best, bestVotes = i, v
+		case v == bestVotes && freq[i] < freq[best]:
+			best = i
+		}
+	}
+	if best < 0 {
+		return table.ClassEmpty, false
+	}
+	return table.ClassAt(best), true
+}
+
+func skipSet(classes []table.Class) map[table.Class]bool {
+	if len(classes) == 0 {
+		return nil
+	}
+	out := make(map[table.Class]bool, len(classes))
+	for _, c := range classes {
+		out[c] = true
+	}
+	return out
+}

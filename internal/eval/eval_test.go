@@ -1,0 +1,356 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/datagen"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+func TestCountsScoresPerfect(t *testing.T) {
+	var c Counts
+	for _, cl := range table.Classes {
+		c.Add(cl, cl)
+	}
+	s := c.Scores()
+	if s.Accuracy != 1 || s.MacroF1 != 1 {
+		t.Errorf("accuracy=%v macro=%v, want 1", s.Accuracy, s.MacroF1)
+	}
+	for i := range s.F1 {
+		if s.F1[i] != 1 {
+			t.Errorf("F1[%d] = %v", i, s.F1[i])
+		}
+	}
+}
+
+func TestCountsScoresKnownValues(t *testing.T) {
+	var c Counts
+	// data: 3 gold, 2 predicted correctly, 1 predicted header.
+	c.Add(table.ClassData, table.ClassData)
+	c.Add(table.ClassData, table.ClassData)
+	c.Add(table.ClassHeader, table.ClassData)
+	// header: 1 gold, predicted data.
+	c.Add(table.ClassData, table.ClassHeader)
+	s := c.Scores()
+
+	d := table.ClassData.Index()
+	h := table.ClassHeader.Index()
+	// data: P = 2/3, R = 2/3, F1 = 2/3.
+	if math.Abs(s.F1[d]-2.0/3) > 1e-9 {
+		t.Errorf("data F1 = %v, want 2/3", s.F1[d])
+	}
+	// header: P = 0, R = 0.
+	if s.F1[h] != 0 {
+		t.Errorf("header F1 = %v, want 0", s.F1[h])
+	}
+	if math.Abs(s.Accuracy-0.5) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.5", s.Accuracy)
+	}
+	// Macro over the two supported classes: (2/3 + 0)/2 = 1/3.
+	if math.Abs(s.MacroF1-1.0/3) > 1e-9 {
+		t.Errorf("macro = %v, want 1/3", s.MacroF1)
+	}
+}
+
+func TestCountsIgnoresEmptyGold(t *testing.T) {
+	var c Counts
+	c.Add(table.ClassData, table.ClassEmpty)
+	if c.Total != 0 {
+		t.Error("empty gold must not count")
+	}
+}
+
+func TestConfusionNormalized(t *testing.T) {
+	m := &Confusion{}
+	m.Add(table.ClassData, table.ClassData)
+	m.Add(table.ClassData, table.ClassData)
+	m.Add(table.ClassHeader, table.ClassData)
+	m.Add(table.ClassData, table.ClassDerived)
+	norm := m.Normalized()
+	d := table.ClassData.Index()
+	h := table.ClassHeader.Index()
+	dv := table.ClassDerived.Index()
+	if math.Abs(norm[d][d]-2.0/3) > 1e-9 || math.Abs(norm[d][h]-1.0/3) > 1e-9 {
+		t.Errorf("data row = %v", norm[d])
+	}
+	if norm[dv][d] != 1 {
+		t.Errorf("derived row = %v", norm[dv])
+	}
+	// Row sums are 0 or 1.
+	for g := range norm {
+		sum := 0.0
+		for _, v := range norm[g] {
+			sum += v
+		}
+		if sum != 0 && math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", g, sum)
+		}
+	}
+}
+
+func TestMajorityVoteTieBreaksToRareClass(t *testing.T) {
+	var votes [table.NumClasses]int
+	votes[table.ClassData.Index()] = 5
+	votes[table.ClassDerived.Index()] = 5
+	var freq [table.NumClasses]int
+	freq[table.ClassData.Index()] = 1000
+	freq[table.ClassDerived.Index()] = 10
+	got, ok := majorityVote(votes, freq)
+	if !ok || got != table.ClassDerived {
+		t.Errorf("tie vote = %v, want derived", got)
+	}
+}
+
+func TestMajorityVoteNoVotes(t *testing.T) {
+	var votes, freq [table.NumClasses]int
+	if _, ok := majorityVote(votes, freq); ok {
+		t.Error("no votes should report !ok")
+	}
+}
+
+func TestAssignFoldsBalanced(t *testing.T) {
+	rng := newRng(1)
+	folds := assignFolds(25, 10, rng)
+	counts := map[int]int{}
+	for _, f := range folds {
+		counts[f]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("%d folds used, want 10", len(counts))
+	}
+	for f, n := range counts {
+		if n < 2 || n > 3 {
+			t.Errorf("fold %d has %d files", f, n)
+		}
+	}
+}
+
+func corpusFiles(n int) []*table.Table {
+	p := datagen.SAUS()
+	p.Files = n
+	return datagen.Generate(p).Files
+}
+
+func strudelTrainer(opts core.LineTrainOptions) LineTrainer {
+	return func(train []*table.Table, seed int64) (LineClassifier, error) {
+		o := opts
+		o.Forest.Seed = seed
+		return core.TrainLine(train, o)
+	}
+}
+
+func TestCrossValidateLines(t *testing.T) {
+	files := corpusFiles(20)
+	opts := core.DefaultLineTrainOptions()
+	opts.Forest = forest.Options{NumTrees: 10}
+	res, err := CrossValidateLines(files, strudelTrainer(opts), CVOptions{Folds: 4, Repeats: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Scores()
+	if s.Accuracy < 0.8 {
+		t.Errorf("CV accuracy = %v, want >= 0.8", s.Accuracy)
+	}
+	if s.F1[table.ClassData.Index()] < 0.9 {
+		t.Errorf("data F1 = %v", s.F1[table.ClassData.Index()])
+	}
+	// Every annotated line scored in every repetition: total = 2 * lines.
+	lines := 0
+	for _, f := range files {
+		for r := 0; r < f.Height(); r++ {
+			if f.LineClasses[r].Index() >= 0 {
+				lines++
+			}
+		}
+	}
+	if res.counts.Total != 2*lines {
+		t.Errorf("scored %d elements, want %d", res.counts.Total, 2*lines)
+	}
+	conf := res.Confusion()
+	norm := conf.Normalized()
+	d := table.ClassData.Index()
+	if norm[d][d] < 0.9 {
+		t.Errorf("confusion data-data = %v", norm[d][d])
+	}
+}
+
+func TestCrossValidateLinesSkipClasses(t *testing.T) {
+	files := corpusFiles(12)
+	opts := core.DefaultLineTrainOptions()
+	opts.Forest = forest.Options{NumTrees: 5}
+	res, err := CrossValidateLines(files, strudelTrainer(opts),
+		CVOptions{Folds: 3, Repeats: 1, Seed: 2, SkipGoldClasses: []table.Class{table.ClassDerived}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores().Support[table.ClassDerived.Index()] != 0 {
+		t.Error("derived gold lines should be excluded from scoring")
+	}
+}
+
+func TestCrossValidateTooFewFiles(t *testing.T) {
+	files := corpusFiles(3)
+	opts := core.DefaultLineTrainOptions()
+	if _, err := CrossValidateLines(files, strudelTrainer(opts), CVOptions{Folds: 10}); err == nil {
+		t.Error("3 files in 10 folds should error")
+	}
+}
+
+func TestCrossValidateCells(t *testing.T) {
+	files := corpusFiles(12)
+	trainer := func(train []*table.Table, seed int64) (CellClassifier, error) {
+		o := core.DefaultCellTrainOptions()
+		o.Forest = forest.Options{NumTrees: 8, Seed: seed}
+		o.Line.Forest = forest.Options{NumTrees: 8, Seed: seed}
+		o.MaxCellsPerFile = 150
+		return core.TrainCell(train, o)
+	}
+	res, err := CrossValidateCells(files, trainer, CVOptions{Folds: 3, Repeats: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Scores()
+	if s.Accuracy < 0.75 {
+		t.Errorf("cell CV accuracy = %v, want >= 0.75", s.Accuracy)
+	}
+	if res.Confusion() == nil {
+		t.Error("nil confusion")
+	}
+}
+
+func TestEvaluateOnHeldOut(t *testing.T) {
+	train := corpusFiles(15)
+	testP := datagen.Troy()
+	testP.Files = 5
+	test := datagen.Generate(testP).Files
+
+	opts := core.DefaultLineTrainOptions()
+	opts.Forest = forest.Options{NumTrees: 10, Seed: 4}
+	m, err := core.TrainLine(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := EvaluateLinesOn(m, test)
+	if s.Accuracy < 0.6 {
+		t.Errorf("out-of-domain accuracy = %v, want >= 0.6", s.Accuracy)
+	}
+}
+
+func TestPermutationImportance(t *testing.T) {
+	// Feature 0 fully determines a binary task; feature 1 is noise.
+	X := make([][]float64, 200)
+	y := make([]int, 200)
+	rng := newRng(5)
+	for i := range X {
+		cls := i % 2
+		X[i] = []float64{float64(cls), rng.Float64()}
+		if cls == 1 {
+			y[i] = table.ClassData.Index()
+		} else {
+			y[i] = table.ClassHeader.Index()
+		}
+	}
+	imp, err := PermutationImportance(X, y, ImportanceOptions{
+		Repeats: 3, Forest: forest.Options{NumTrees: 10}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := table.ClassData.Index()
+	if imp[d][0] <= imp[d][1] {
+		t.Errorf("informative feature importance %v should beat noise %v", imp[d][0], imp[d][1])
+	}
+	// Classes with no instances have all-zero importance.
+	g := table.ClassGroup.Index()
+	for f := range imp[g] {
+		if imp[g][f] != 0 {
+			t.Errorf("absent class has importance %v at feature %d", imp[g][f], f)
+		}
+	}
+}
+
+func TestNormalizeImportance(t *testing.T) {
+	imp := [][]float64{{2, 2}, {0, 0}}
+	norm := NormalizeImportance(imp)
+	if norm[0][0] != 0.5 || norm[0][1] != 0.5 {
+		t.Errorf("row 0 = %v", norm[0])
+	}
+	if norm[1][0] != 0 || norm[1][1] != 0 {
+		t.Errorf("all-zero row should stay zero: %v", norm[1])
+	}
+}
+
+func TestGroupImportance(t *testing.T) {
+	imp := [][]float64{{1, 2, 3, 4}}
+	names := []string{"a", "n1", "n2", "b"}
+	gNames, gImp := GroupImportance(imp, names, map[string][]int{"N": {1, 2}})
+	if len(gNames) != 3 {
+		t.Fatalf("names = %v", gNames)
+	}
+	want := map[string]float64{"a": 1, "N": 5, "b": 4}
+	for i, n := range gNames {
+		if gImp[0][i] != want[n] {
+			t.Errorf("group %s = %v, want %v", n, gImp[0][i], want[n])
+		}
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestMacroF1MeanStd(t *testing.T) {
+	files := corpusFiles(12)
+	opts := core.DefaultLineTrainOptions()
+	opts.Forest = forest.Options{NumTrees: 8}
+	res, err := CrossValidateLines(files, strudelTrainer(opts), CVOptions{Folds: 3, Repeats: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std := res.MacroF1MeanStd()
+	if mean <= 0 || mean > 1 {
+		t.Errorf("mean = %v out of (0,1]", mean)
+	}
+	if std < 0 || std > 0.5 {
+		t.Errorf("std = %v implausible", std)
+	}
+	// Pooled macro should be in the vicinity of the per-repeat mean.
+	pooled := res.Scores().MacroF1
+	if math.Abs(pooled-mean) > 0.2 {
+		t.Errorf("pooled macro %v far from repeat mean %v", pooled, mean)
+	}
+}
+
+func TestMacroMeanStdEmpty(t *testing.T) {
+	mean, std := macroMeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Errorf("empty repeats should give 0, 0; got %v, %v", mean, std)
+	}
+}
+
+func TestPermutationImportanceEmpty(t *testing.T) {
+	if _, err := PermutationImportance(nil, nil, DefaultImportanceOptions()); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestScoresString(t *testing.T) {
+	var c Counts
+	c.Add(table.ClassData, table.ClassData)
+	s := c.Scores().String()
+	if !strings.Contains(s, "acc") || !strings.Contains(s, "macro") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	m := &Confusion{}
+	m.Add(table.ClassData, table.ClassData)
+	out := m.String()
+	if !strings.Contains(out, "data") {
+		t.Errorf("String() missing class names: %q", out)
+	}
+}

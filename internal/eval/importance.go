@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"errors"
+	"math/rand"
+
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// ImportanceOptions configures permutation feature importance.
+type ImportanceOptions struct {
+	// Repeats is how many times each feature is permuted; the paper uses 5.
+	Repeats int
+	// Forest configures the one-vs-rest binary forests.
+	Forest forest.Options
+	Seed   int64
+}
+
+// DefaultImportanceOptions mirrors the paper (5 permutation repeats).
+func DefaultImportanceOptions() ImportanceOptions {
+	return ImportanceOptions{Repeats: 5, Forest: forest.Options{NumTrees: 50}}
+}
+
+// PermutationImportance computes per-class permutation feature importance
+// in the one-vs-rest fashion of Section 6.3.5: for every class a binary
+// forest is trained, and each feature's importance is the drop in the
+// positive-class F1 when that feature's column is shuffled, averaged over
+// Repeats permutations. The result is indexed [class][feature]; negative
+// drops are clamped to zero.
+func PermutationImportance(X [][]float64, y []int, opts ImportanceOptions) ([][]float64, error) {
+	if len(X) == 0 {
+		return nil, errors.New("eval: no samples for importance")
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 5
+	}
+	nf := len(X[0])
+	out := make([][]float64, table.NumClasses)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for cls := 0; cls < table.NumClasses; cls++ {
+		out[cls] = make([]float64, nf)
+		// One-vs-rest labels.
+		yb := make([]int, len(y))
+		pos := 0
+		for i, label := range y {
+			if label == cls {
+				yb[i] = 1
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(y) {
+			continue // class absent (or universal): no signal to attribute
+		}
+		fopts := opts.Forest
+		fopts.Seed = opts.Seed + int64(cls)
+		model, err := forest.Fit(X, yb, 2, fopts)
+		if err != nil {
+			return nil, err
+		}
+		base := binaryF1(model, X, yb)
+
+		col := make([]float64, len(X))
+		perm := make([]int, len(X))
+		for f := 0; f < nf; f++ {
+			for i := range X {
+				col[i] = X[i][f]
+			}
+			drop := 0.0
+			for rep := 0; rep < opts.Repeats; rep++ {
+				copyPerm(perm, rng)
+				for i := range X {
+					X[i][f] = col[perm[i]]
+				}
+				drop += base - binaryF1(model, X, yb)
+			}
+			// Restore the column.
+			for i := range X {
+				X[i][f] = col[i]
+			}
+			imp := drop / float64(opts.Repeats)
+			if imp > 0 {
+				out[cls][f] = imp
+			}
+		}
+	}
+	return out, nil
+}
+
+func copyPerm(perm []int, rng *rand.Rand) {
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+}
+
+// binaryF1 is the F1 of the positive class of a binary forest on (X, y).
+func binaryF1(m *forest.Forest, X [][]float64, y []int) float64 {
+	pred := m.PredictBatch(X)
+	tp, fp, fn := 0, 0, 0
+	for i := range y {
+		switch {
+		case pred[i] == 1 && y[i] == 1:
+			tp++
+		case pred[i] == 1 && y[i] == 0:
+			fp++
+		case pred[i] == 0 && y[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}
+
+// NormalizeImportance scales each class's importances to sum to 1 (the
+// 100%-stacked-bar presentation of Figure 4). All-zero rows stay zero.
+func NormalizeImportance(imp [][]float64) [][]float64 {
+	out := make([][]float64, len(imp))
+	for c, row := range imp {
+		out[c] = make([]float64, len(row))
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		for f, v := range row {
+			out[c][f] = v / sum
+		}
+	}
+	return out
+}
+
+// GroupImportance merges feature columns into named groups by summing their
+// importances — used to fold the 16 neighbor-profile features into two
+// groups as in Figure 4. groups maps a group name to feature indices;
+// features not covered by any group keep their own name. The result is a
+// parallel pair of (names, values-per-class).
+func GroupImportance(imp [][]float64, featureNames []string, groups map[string][]int) ([]string, [][]float64) {
+	covered := map[int]string{}
+	for name, idxs := range groups {
+		for _, i := range idxs {
+			covered[i] = name
+		}
+	}
+	var names []string
+	index := map[string]int{}
+	for f, n := range featureNames {
+		name := n
+		if g, ok := covered[f]; ok {
+			name = g
+		}
+		if _, seen := index[name]; !seen {
+			index[name] = len(names)
+			names = append(names, name)
+		}
+	}
+	out := make([][]float64, len(imp))
+	for c, row := range imp {
+		out[c] = make([]float64, len(names))
+		for f, v := range row {
+			name := featureNames[f]
+			if g, ok := covered[f]; ok {
+				name = g
+			}
+			out[c][index[name]] += v
+		}
+	}
+	return names, out
+}

@@ -1,0 +1,147 @@
+// Package eval implements the paper's evaluation protocol: per-class F1 /
+// accuracy / macro-average scoring, file-grouped repeated 10-fold
+// cross-validation, ensemble confusion matrices (Figure 3), and one-vs-rest
+// permutation feature importance (Figure 4).
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/table"
+)
+
+// Counts accumulates per-class true/false positives and negatives over any
+// number of predictions.
+type Counts struct {
+	TP, FP, FN [table.NumClasses]int
+	Correct    int
+	Total      int
+}
+
+// Add records one prediction against its gold class. Elements whose gold
+// class is ClassEmpty are ignored (they are not elements at all).
+func (c *Counts) Add(pred, gold table.Class) {
+	g := gold.Index()
+	if g < 0 {
+		return
+	}
+	p := pred.Index()
+	c.Total++
+	if p == g {
+		c.Correct++
+		c.TP[g]++
+		return
+	}
+	c.FN[g]++
+	if p >= 0 {
+		c.FP[p]++
+	}
+}
+
+// Scores derives the final measurements from the accumulated counts.
+func (c *Counts) Scores() Scores {
+	var s Scores
+	macro, n := 0.0, 0
+	for i := 0; i < table.NumClasses; i++ {
+		tp, fp, fn := float64(c.TP[i]), float64(c.FP[i]), float64(c.FN[i])
+		if tp+fp > 0 {
+			s.Precision[i] = tp / (tp + fp)
+		}
+		if tp+fn > 0 {
+			s.Recall[i] = tp / (tp + fn)
+		}
+		if s.Precision[i]+s.Recall[i] > 0 {
+			s.F1[i] = 2 * s.Precision[i] * s.Recall[i] / (s.Precision[i] + s.Recall[i])
+		}
+		s.Support[i] = c.TP[i] + c.FN[i]
+		if s.Support[i] > 0 {
+			macro += s.F1[i]
+			n++
+		}
+	}
+	if n > 0 {
+		s.MacroF1 = macro / float64(n)
+	}
+	if c.Total > 0 {
+		s.Accuracy = float64(c.Correct) / float64(c.Total)
+	}
+	return s
+}
+
+// Scores holds the evaluation measurements reported in the paper's tables:
+// per-class F1 (plus precision/recall), overall accuracy, and the macro
+// average over classes with support.
+type Scores struct {
+	F1        [table.NumClasses]float64
+	Precision [table.NumClasses]float64
+	Recall    [table.NumClasses]float64
+	Support   [table.NumClasses]int
+	Accuracy  float64
+	MacroF1   float64
+}
+
+// String renders the scores as one table row (per-class F1, accuracy,
+// macro-avg), in the column order of Table 6.
+func (s Scores) String() string {
+	var b strings.Builder
+	for i := range s.F1 {
+		fmt.Fprintf(&b, "%.3f ", s.F1[i])
+	}
+	fmt.Fprintf(&b, "| acc %.3f | macro %.3f", s.Accuracy, s.MacroF1)
+	return b.String()
+}
+
+// Confusion is a class-by-class confusion matrix; rows are actual classes,
+// columns predicted, in canonical class order.
+type Confusion struct {
+	Counts [table.NumClasses][table.NumClasses]int
+}
+
+// Add records one (gold, predicted) pair. Pairs whose gold class is
+// ClassEmpty, or whose prediction is ClassEmpty, are ignored.
+func (m *Confusion) Add(pred, gold table.Class) {
+	g, p := gold.Index(), pred.Index()
+	if g < 0 || p < 0 {
+		return
+	}
+	m.Counts[g][p]++
+}
+
+// Normalized returns the matrix with each row divided by its total (the
+// per-class normalization used in Figure 3). Empty rows stay zero.
+func (m *Confusion) Normalized() [table.NumClasses][table.NumClasses]float64 {
+	var out [table.NumClasses][table.NumClasses]float64
+	for g := range m.Counts {
+		total := 0
+		for _, v := range m.Counts[g] {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		for p, v := range m.Counts[g] {
+			out[g][p] = float64(v) / float64(total)
+		}
+	}
+	return out
+}
+
+// String renders the normalized matrix with class names.
+func (m *Confusion) String() string {
+	norm := m.Normalized()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range table.Classes {
+		fmt.Fprintf(&b, "%-10s", c)
+	}
+	b.WriteByte('\n')
+	for g, row := range norm {
+		fmt.Fprintf(&b, "%-10s", table.ClassAt(g))
+		for _, v := range row {
+			fmt.Fprintf(&b, "%-10.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"time"
+
+	"strudel/internal/core"
+	"strudel/internal/dialect"
+	"strudel/internal/eval"
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+)
+
+// AblateClassifiers reproduces the backbone bake-off of Section 6.1.2:
+// naive Bayes, KNN, linear SVM, and random forest, all on the identical
+// Strudel^L feature pipeline, cross-validated on SAUS. The paper reports
+// that random forest consistently won; this experiment shows the same
+// ordering on the synthetic corpus.
+func AblateClassifiers(cfg Config) error {
+	cfg.fill()
+	files := corpus("saus", cfg.Scale).Files
+	cfg.printf("Ablation A1: classifier backbones on the line task (SAUS)\n")
+	printHeader(cfg)
+	approaches := []struct {
+		name    string
+		trainer eval.LineTrainer
+	}{
+		{"NaiveBayes", altLineTrainer("naive")},
+		{"KNN", altLineTrainer("knn")},
+		{"SVM", altLineTrainer("svm")},
+		{"Forest", strudelLineTrainer(cfg)},
+	}
+	for _, a := range approaches {
+		res, err := eval.CrossValidateLines(files, a.trainer, eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		printRow(cfg, "saus", a.name, res.Scores())
+	}
+	return nil
+}
+
+// AblateFeatures drops one feature group of Table 1 at a time (content,
+// contextual, computational) and reruns Strudel^L, quantifying each
+// group's contribution — the design-choice analysis DESIGN.md calls out.
+func AblateFeatures(cfg Config) error {
+	cfg.fill()
+	files := corpus("saus", cfg.Scale).Files
+	cfg.printf("Ablation A2: Strudel-L minus one feature group (SAUS)\n")
+	printHeader(cfg)
+
+	all := make([]int, features.NumLineFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	variants := []struct {
+		name string
+		drop []int
+	}{
+		{"full", nil},
+		{"-content", features.LineContentFeatures},
+		{"-context", features.LineContextualFeatures},
+		{"-comput", features.LineComputationalFeatures},
+	}
+	for _, v := range variants {
+		mask := complement(all, v.drop)
+		res, err := eval.CrossValidateLines(files, maskedLineTrainer(cfg, mask), eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		printRow(cfg, "saus", v.name, res.Scores())
+	}
+	return nil
+}
+
+// complement returns all \ drop (nil drop returns all).
+func complement(all, drop []int) []int {
+	if len(drop) == 0 {
+		out := make([]int, len(all))
+		copy(out, all)
+		return out
+	}
+	dropped := map[int]bool{}
+	for _, i := range drop {
+		dropped[i] = true
+	}
+	var out []int
+	for _, i := range all {
+		if !dropped[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Scalability measures end-to-end classification time (dialect detection,
+// feature creation, prediction) against file size, reproducing the
+// linear-runtime observation of Section 6.3.4.
+func Scalability(cfg Config) error {
+	cfg.fill()
+	// Train once on a small corpus.
+	train := corpus("saus", 0.3).Files
+	opts := core.DefaultCellTrainOptions()
+	opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: cfg.Seed}
+	opts.Line.Forest = opts.Forest
+	opts.MaxCellsPerFile = 500
+	model, err := core.TrainCell(train, opts)
+	if err != nil {
+		return err
+	}
+
+	cfg.printf("Scalability (Section 6.3.4): end-to-end cell classification time vs file size\n")
+	cfg.printf("%10s %12s %12s %14s\n", "lines", "bytes", "time", "us/line")
+	p := mendeleyAt(400)
+	for _, lines := range []int{200, 400, 800, 1600} {
+		p.DataRows = [2]int{lines, lines}
+		p.Files = 1
+		f := generateOne(p)
+		raw := renderCSV(f)
+
+		start := time.Now()
+		d, err := dialect.Detect(raw)
+		if err != nil {
+			return err
+		}
+		t := parseAndCrop(raw, d)
+		_ = model.Classify(t)
+		elapsed := time.Since(start)
+
+		cfg.printf("%10d %12d %12s %14.1f\n",
+			t.Height(), len(raw), elapsed.Round(time.Millisecond),
+			float64(elapsed.Microseconds())/float64(t.Height()))
+	}
+	return nil
+}

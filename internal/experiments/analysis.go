@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"sort"
+
+	"strudel/internal/core"
+	"strudel/internal/eval"
+	"strudel/internal/extract"
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// HardCases reproduces the Section 6.3.6 analysis: from the ensemble
+// confusion matrices of Strudel^L per dataset, list the misclassification
+// pairs that exceed 10% of a class's instances (e.g. "derived as data"),
+// which is exactly how the paper compiles its difficult-case list.
+func HardCases(cfg Config) error {
+	cfg.fill()
+	cfg.printf("Difficult cases (Section 6.3.6): misclassification pairs over 10%%\n")
+	cfg.printf("%-10s %-22s %8s\n", "dataset", "actual as predicted", "rate")
+	for _, ds := range lineDatasets {
+		files := corpus(ds, cfg.Scale).Files
+		res, err := eval.CrossValidateLines(files, strudelLineTrainer(cfg), eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		norm := res.Confusion().Normalized()
+		type pair struct {
+			gold, pred int
+			rate       float64
+		}
+		var pairs []pair
+		for g := range norm {
+			for p := range norm[g] {
+				if g != p && norm[g][p] > 0.10 {
+					pairs = append(pairs, pair{g, p, norm[g][p]})
+				}
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].rate > pairs[b].rate })
+		if len(pairs) == 0 {
+			cfg.printf("%-10s %-22s %8s\n", ds, "(none over 10%)", "-")
+			continue
+		}
+		for _, pr := range pairs {
+			label := table.ClassAt(pr.gold).String() + " as " + table.ClassAt(pr.pred).String()
+			cfg.printf("%-10s %-22s %7.1f%%\n", ds, label, pr.rate*100)
+		}
+	}
+	return nil
+}
+
+// Boundary evaluates table-boundary discovery — Pytheas's native task —
+// for both approaches: the table regions induced by predicted line classes
+// are matched against gold regions, and a region counts as found when its
+// line-range Jaccard overlap with a gold region exceeds 0.8.
+func Boundary(cfg Config) error {
+	cfg.fill()
+	cfg.printf("Table boundary discovery (region Jaccard >= 0.8)\n")
+	cfg.printf("%-10s %-10s %10s %10s %10s\n", "dataset", "approach", "precision", "recall", "F1")
+
+	for _, ds := range []string{"govuk", "deex"} {
+		files := corpus(ds, cfg.Scale).Files
+		// Train once on the other corpora to keep this out-of-fold.
+		var train []*table.Table
+		for _, other := range []string{"saus", "cius"} {
+			train = append(train, corpus(other, cfg.Scale).Files...)
+		}
+		lopts := core.DefaultLineTrainOptions()
+		lopts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: cfg.Seed}
+		strudelM, err := core.TrainLine(train, lopts)
+		if err != nil {
+			return err
+		}
+		pytheasM := pytheasLineTrainerModel(train)
+
+		for _, approach := range []struct {
+			name     string
+			classify func(f *table.Table) []table.Class
+		}{
+			{"Pytheas-L", pytheasM},
+			{"Strudel-L", strudelM.Classify},
+		} {
+			var tp, fp, fn int
+			for _, f := range files {
+				gold := tableSpans(f.LineClasses)
+				pred := tableSpans(approach.classify(f))
+				matched := make([]bool, len(gold))
+				for _, pr := range pred {
+					hit := false
+					for gi, g := range gold {
+						if !matched[gi] && jaccard(pr, g) >= 0.8 {
+							matched[gi] = true
+							hit = true
+							break
+						}
+					}
+					if hit {
+						tp++
+					} else {
+						fp++
+					}
+				}
+				for _, m := range matched {
+					if !m {
+						fn++
+					}
+				}
+			}
+			p, r, f1 := prf(tp, fp, fn)
+			cfg.printf("%-10s %-10s %10.3f %10.3f %10.3f\n", ds, approach.name, p, r, f1)
+		}
+	}
+	return nil
+}
+
+// pytheasLineTrainerModel trains a Pytheas model and returns its classify
+// function.
+func pytheasLineTrainerModel(train []*table.Table) func(f *table.Table) []table.Class {
+	trainer := pytheasLineTrainer()
+	m, _ := trainer(train, 0) // Pytheas training cannot fail
+	return m.Classify
+}
+
+// tableSpans lists the [top, bottom] line ranges of the table regions
+// induced by a line classification.
+func tableSpans(lines []table.Class) [][2]int {
+	var out [][2]int
+	for _, reg := range extract.Segment(lines) {
+		if reg.Kind == extract.RegionTable {
+			out = append(out, [2]int{reg.Top, reg.Bottom})
+		}
+	}
+	return out
+}
+
+// jaccard is the overlap of two inclusive line ranges.
+func jaccard(a, b [2]int) float64 {
+	lo := maxI(a[0], b[0])
+	hi := minI(a[1], b[1])
+	inter := hi - lo + 1
+	if inter <= 0 {
+		return 0
+	}
+	union := maxI(a[1], b[1]) - minI(a[0], b[0]) + 1
+	return float64(inter) / float64(union)
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AblateContext compares the paper's closest-non-empty-neighbor context
+// against strict physical adjacency for the Strudel^L contextual features
+// (design choice 3 in DESIGN.md).
+func AblateContext(cfg Config) error {
+	cfg.fill()
+	files := corpus("govuk", cfg.Scale).Files
+	cfg.printf("Ablation A6: contextual neighbor selection (GovUK)\n")
+	printHeader(cfg)
+	for _, strict := range []bool{false, true} {
+		name := "skip-empty"
+		if strict {
+			name = "strict-adj"
+		}
+		fopts := features.DefaultLineOptions()
+		fopts.StrictAdjacency = strict
+		trainer := func(train []*table.Table, seed int64) (eval.LineClassifier, error) {
+			opts := core.DefaultLineTrainOptions()
+			opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: seed}
+			opts.Features = fopts
+			return core.TrainLine(train, opts)
+		}
+		res, err := eval.CrossValidateLines(files, trainer, eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		printRow(cfg, "govuk", name, res.Scores())
+	}
+	return nil
+}

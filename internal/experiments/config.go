@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic corpora: the comparative line and
+// cell classification results (Table 6), the corpus statistics (Tables 3,
+// 4, 5), the confusion matrices (Figure 3), the out-of-domain and
+// plain-text transfers (Tables 7, 8), the permutation feature importance
+// (Figure 4), the scalability measurement (Section 6.3.4), and the
+// classifier / feature-group ablations (Sections 6.1.2 and 4).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config controls experiment size and determinism. The paper's full
+// protocol is 10-fold cross-validation repeated 10 times on the full
+// corpora; the default here is scaled down so the whole suite runs in
+// minutes. Pass Paper() for the full protocol.
+type Config struct {
+	// Scale multiplies the per-corpus file counts.
+	Scale float64
+	// Folds and Repeats control cross-validation.
+	Folds, Repeats int
+	// Trees is the random forest size.
+	Trees int
+	// Seed drives every random choice.
+	Seed int64
+	// MaxCellsPerFile caps per-file cell sampling during training.
+	MaxCellsPerFile int
+	// Out receives the report; defaults to io.Discard when nil.
+	Out io.Writer
+}
+
+// Default returns the quick configuration used by `go test -bench` and the
+// CLI default: scaled-down corpora, 5x2 cross-validation, 50-tree forests.
+func Default() Config {
+	return Config{
+		Scale: 0.5, Folds: 5, Repeats: 2,
+		Trees: 50, Seed: 1, MaxCellsPerFile: 800,
+	}
+}
+
+// Paper returns the paper's full protocol (10-fold, 10 repeats, 100 trees,
+// full-size corpora). Expect a long run.
+func Paper() Config {
+	return Config{
+		Scale: 1, Folds: 10, Repeats: 10,
+		Trees: 100, Seed: 1, MaxCellsPerFile: 0,
+	}
+}
+
+func (c *Config) fill() {
+	if c.Scale <= 0 {
+		c.Scale = 0.5
+	}
+	if c.Folds <= 0 {
+		c.Folds = 5
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 2
+	}
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+}
+
+func (c *Config) printf(format string, args ...any) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// runner is an experiment entry point.
+type runner func(Config) error
+
+var registry = map[string]runner{
+	"table3":      Table3,
+	"table4":      Table4,
+	"table5":      Table5,
+	"table6-line": Table6Line,
+	"table6-cell": Table6Cell,
+	"figure3":     Figure3,
+	"table7":      Table7,
+	"table8":      Table8,
+	"figure4":     Figure4,
+	"scale":       Scalability,
+	"ablate-clf":  AblateClassifiers,
+	"ablate-feat": AblateFeatures,
+	"ablate-agg":  AblateAggregations,
+	"ablate-post": AblatePostProcess,
+	"ablate-col":  AblateColumns,
+	"active":      ActiveLearning,
+	"importance":  ImportanceComparison,
+	"extraction":  Extraction,
+	"hardcases":   HardCases,
+	"boundary":    Boundary,
+	"ablate-ctx":  AblateContext,
+}
+
+// Names lists the available experiment identifiers, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, cfg Config) error {
+	r, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}

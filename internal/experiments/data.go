@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"sync"
+
+	"strudel/internal/core"
+	"strudel/internal/datagen"
+	"strudel/internal/eval"
+	"strudel/internal/features"
+	"strudel/internal/ml/crf"
+	"strudel/internal/ml/forest"
+	"strudel/internal/ml/nn"
+	"strudel/internal/pytheas"
+	"strudel/internal/table"
+)
+
+// corpusCache memoizes generated corpora per (name, scale) within one
+// process, since several experiments share them.
+var corpusCache sync.Map
+
+type corpusKey struct {
+	name  string
+	scale float64
+}
+
+func corpus(name string, scale float64) *datagen.Corpus {
+	key := corpusKey{name, scale}
+	if v, ok := corpusCache.Load(key); ok {
+		return v.(*datagen.Corpus)
+	}
+	c, err := datagen.GenerateDataset(name, scale)
+	if err != nil {
+		panic(err) // names are internal constants; this is a programming error
+	}
+	corpusCache.Store(key, c)
+	return c
+}
+
+// lineDatasets are the corpora of the line-classification half of Table 6.
+var lineDatasets = []string{"govuk", "saus", "cius", "deex"}
+
+// cellDatasets are the corpora of the cell-classification half of Table 6.
+var cellDatasets = []string{"saus", "cius", "deex"}
+
+// trainingTriple is the SAUS+CIUS+DeEx union used by Tables 7, 8 and
+// Figure 4.
+func trainingTriple(scale float64) []*table.Table {
+	var out []*table.Table
+	for _, name := range []string{"saus", "cius", "deex"} {
+		out = append(out, corpus(name, scale).Files...)
+	}
+	return out
+}
+
+// --- trainers -------------------------------------------------------------
+
+func strudelLineTrainer(cfg Config) eval.LineTrainer {
+	return func(train []*table.Table, seed int64) (eval.LineClassifier, error) {
+		opts := core.DefaultLineTrainOptions()
+		opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: seed}
+		return core.TrainLine(train, opts)
+	}
+}
+
+func crfLineTrainer(cfg Config) eval.LineTrainer {
+	return func(train []*table.Table, seed int64) (eval.LineClassifier, error) {
+		return core.TrainCRFLine(train, features.DefaultLineOptions(),
+			crf.Options{Epochs: 15, Seed: seed})
+	}
+}
+
+// pytheasAdapter exposes pytheas.Model through the eval.LineClassifier
+// interface.
+type pytheasAdapter struct{ m *pytheas.Model }
+
+func (a pytheasAdapter) Classify(t *table.Table) []table.Class {
+	return a.m.ClassifyLines(t)
+}
+
+func pytheasLineTrainer() eval.LineTrainer {
+	return func(train []*table.Table, seed int64) (eval.LineClassifier, error) {
+		return pytheasAdapter{pytheas.Train(train)}, nil
+	}
+}
+
+// defaultCellOpts builds the standard Strudel^C training options for a
+// fold seed.
+func defaultCellOpts(cfg Config, seed int64) core.CellTrainOptions {
+	opts := core.DefaultCellTrainOptions()
+	opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: seed}
+	opts.Line.Forest = forest.Options{NumTrees: cfg.Trees, Seed: seed}
+	opts.MaxCellsPerFile = cfg.MaxCellsPerFile
+	return opts
+}
+
+// trainCell adapts core.TrainCell to the eval.CellClassifier interface.
+func trainCell(train []*table.Table, opts core.CellTrainOptions) (eval.CellClassifier, error) {
+	return core.TrainCell(train, opts)
+}
+
+func strudelCellTrainer(cfg Config) eval.CellTrainer {
+	return func(train []*table.Table, seed int64) (eval.CellClassifier, error) {
+		return trainCell(train, defaultCellOpts(cfg, seed))
+	}
+}
+
+// lineCellAdapter exposes a line model's Line^C extension as a cell
+// classifier.
+type lineCellAdapter struct{ m *core.LineModel }
+
+func (a lineCellAdapter) Classify(t *table.Table) [][]table.Class {
+	return a.m.ClassifyCells(t)
+}
+
+func lineCBaselineTrainer(cfg Config) eval.CellTrainer {
+	return func(train []*table.Table, seed int64) (eval.CellClassifier, error) {
+		opts := core.DefaultLineTrainOptions()
+		opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: seed}
+		m, err := core.TrainLine(train, opts)
+		if err != nil {
+			return nil, err
+		}
+		return lineCellAdapter{m}, nil
+	}
+}
+
+func rnnCellTrainer(cfg Config) eval.CellTrainer {
+	return func(train []*table.Table, seed int64) (eval.CellClassifier, error) {
+		return core.TrainRNNCell(train, features.DefaultCellOptions(),
+			nn.Options{Hidden: 24, Epochs: 8, Seed: seed})
+	}
+}
+
+// altLineTrainer wraps the NB/KNN/SVM backbones for the A1 ablation.
+func altLineTrainer(kind string) eval.LineTrainer {
+	return func(train []*table.Table, seed int64) (eval.LineClassifier, error) {
+		return core.TrainAltLine(train, kind, features.DefaultLineOptions(), seed)
+	}
+}
+
+// maskedLineTrainer trains Strudel^L on a feature subset (A2 ablation).
+func maskedLineTrainer(cfg Config, mask []int) eval.LineTrainer {
+	return func(train []*table.Table, seed int64) (eval.LineClassifier, error) {
+		opts := core.DefaultLineTrainOptions()
+		opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: seed}
+		opts.FeatureMask = mask
+		return core.TrainLine(train, opts)
+	}
+}

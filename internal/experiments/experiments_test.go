@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/table"
+)
+
+// tinyConfig keeps every experiment fast enough for unit tests.
+func tinyConfig(buf *strings.Builder) Config {
+	return Config{
+		Scale: 0.15, Folds: 3, Repeats: 1,
+		Trees: 10, Seed: 1, MaxCellsPerFile: 150,
+		Out: buf,
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names() returned %d, registry has %d", len(names), len(registry))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", Config{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestStatisticsExperiments(t *testing.T) {
+	for _, name := range []string{"table3", "table4", "table5"} {
+		var buf strings.Builder
+		if err := Run(name, tinyConfig(&buf)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestTable6LineShape(t *testing.T) {
+	var buf strings.Builder
+	cfg := tinyConfig(&buf)
+	results, err := Table6LineResults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4*3 {
+		t.Fatalf("results = %d, want 12 (4 datasets x 3 approaches)", len(results))
+	}
+	// Pytheas never scores derived lines (they are excluded).
+	for _, r := range results {
+		if r.Approach == "Pytheas-L" && r.Scores.Support[table.ClassDerived.Index()] != 0 {
+			t.Error("Pytheas scoring should exclude derived gold lines")
+		}
+		if r.Scores.Accuracy <= 0.5 {
+			t.Errorf("%s on %s: implausible accuracy %v", r.Approach, r.Dataset, r.Scores.Accuracy)
+		}
+	}
+}
+
+func TestTable6CellShape(t *testing.T) {
+	var buf strings.Builder
+	cfg := tinyConfig(&buf)
+	cfg.Scale = 0.12
+	results, err := Table6CellResults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3*3 {
+		t.Fatalf("results = %d, want 9", len(results))
+	}
+	// Strudel-C should beat the Line-C baseline on macro average for at
+	// least two of the three datasets even at tiny scale.
+	wins := 0
+	for _, ds := range []string{"saus", "cius", "deex"} {
+		var lineC, strudelC float64
+		for _, r := range results {
+			if r.Dataset != ds {
+				continue
+			}
+			switch r.Approach {
+			case "Line-C":
+				lineC = r.Scores.MacroF1
+			case "Strudel-C":
+				strudelC = r.Scores.MacroF1
+			}
+		}
+		if strudelC >= lineC {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Errorf("Strudel-C won macro on only %d/3 datasets", wins)
+	}
+}
+
+func TestTransferAndFigures(t *testing.T) {
+	for _, name := range []string{"table7", "table8", "figure3"} {
+		var buf strings.Builder
+		cfg := tinyConfig(&buf)
+		cfg.Scale = 0.12
+		if err := Run(name, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "Strudel") {
+			t.Errorf("%s output lacks approach rows:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestAblationsAndExtensions(t *testing.T) {
+	for _, name := range []string{"ablate-clf", "ablate-feat", "ablate-agg", "ablate-post", "ablate-col", "ablate-ctx", "importance", "extraction", "hardcases", "boundary"} {
+		var buf strings.Builder
+		cfg := tinyConfig(&buf)
+		cfg.Scale = 0.12
+		if err := Run(name, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestActiveAndScale(t *testing.T) {
+	for _, name := range []string{"active", "scale"} {
+		var buf strings.Builder
+		cfg := tinyConfig(&buf)
+		cfg.Scale = 0.4 // active learning needs a reasonable pool
+		if err := Run(name, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFigure4Importance(t *testing.T) {
+	var buf strings.Builder
+	cfg := tinyConfig(&buf)
+	cfg.Scale = 0.12
+	if err := Run("figure4", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NeighborValueLength") || !strings.Contains(out, "IsAggregation") {
+		t.Errorf("figure4 output missing grouped features:\n%s", out)
+	}
+}
+
+func TestCorpusCacheReuses(t *testing.T) {
+	a := corpus("saus", 0.15)
+	b := corpus("saus", 0.15)
+	if a != b {
+		t.Error("corpus cache should return the same pointer")
+	}
+	c := corpus("saus", 0.2)
+	if a == c {
+		t.Error("different scales must not share cache entries")
+	}
+}

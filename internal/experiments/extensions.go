@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"sort"
+
+	"strudel/internal/active"
+	"strudel/internal/eval"
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// AblateAggregations measures Algorithm 2 directly against the gold
+// derived cells of each corpus under three configurations: sum only,
+// sum+mean (the paper's setting), and sum+mean+min/max (the future-work
+// extension). Precision and recall are over non-empty numeric derived
+// cells.
+func AblateAggregations(cfg Config) error {
+	cfg.fill()
+	cfg.printf("Ablation A3: Algorithm 2 aggregation functions (derived cell detection)\n")
+	cfg.printf("%-10s %-12s %10s %10s %10s\n", "dataset", "functions", "precision", "recall", "F1")
+	variants := []struct {
+		name string
+		opts features.DerivedOptions
+	}{
+		{"sum", func() features.DerivedOptions {
+			o := features.DefaultDerivedOptions()
+			o.DetectMean = false
+			return o
+		}()},
+		{"sum+mean", features.DefaultDerivedOptions()},
+		{"all", features.ExtendedDerivedOptions()},
+	}
+	for _, ds := range []string{"saus", "cius", "deex", "troy"} {
+		files := corpus(ds, cfg.Scale).Files
+		for _, v := range variants {
+			tp, fp, fn := 0, 0, 0
+			for _, f := range files {
+				det := features.DetectDerived(f, v.opts)
+				for r := 0; r < f.Height(); r++ {
+					for c := 0; c < f.Width(); c++ {
+						if f.IsEmptyCell(r, c) {
+							continue
+						}
+						gold := f.CellClasses[r][c] == table.ClassDerived
+						switch {
+						case det[r][c] && gold:
+							tp++
+						case det[r][c] && !gold:
+							fp++
+						case !det[r][c] && gold:
+							fn++
+						}
+					}
+				}
+			}
+			p, rec, f1 := prf(tp, fp, fn)
+			cfg.printf("%-10s %-12s %10.3f %10.3f %10.3f\n", ds, v.name, p, rec, f1)
+		}
+	}
+	return nil
+}
+
+func prf(tp, fp, fn int) (p, r, f1 float64) {
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return p, r, f1
+}
+
+// AblatePostProcess compares Strudel^C with and without the Koci-style
+// misclassification repair (Section 2.2 related work, implemented in
+// internal/postprocess).
+func AblatePostProcess(cfg Config) error {
+	cfg.fill()
+	files := corpus("saus", cfg.Scale).Files
+	cfg.printf("Ablation A4: Strudel-C with and without misclassification repair (SAUS)\n")
+	printHeader(cfg)
+	for _, post := range []bool{false, true} {
+		name := "Strudel-C"
+		if post {
+			name = "+repair"
+		}
+		trainer := cellTrainerWith(cfg, post, false)
+		res, err := eval.CrossValidateCells(files, trainer, eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		printRow(cfg, "saus", name, res.Scores())
+	}
+	return nil
+}
+
+// AblateColumns compares Strudel^C with and without the column-probability
+// features — the future-work question (iii) of the paper's conclusion.
+func AblateColumns(cfg Config) error {
+	cfg.fill()
+	files := corpus("saus", cfg.Scale).Files
+	cfg.printf("Ablation A5: Strudel-C with and without column classification features (SAUS)\n")
+	printHeader(cfg)
+	for _, cols := range []bool{false, true} {
+		name := "Strudel-C"
+		if cols {
+			name = "+columns"
+		}
+		trainer := cellTrainerWith(cfg, false, cols)
+		res, err := eval.CrossValidateCells(files, trainer, eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		printRow(cfg, "saus", name, res.Scores())
+	}
+	return nil
+}
+
+// ActiveLearning runs the file-level active learning loop (uncertainty vs
+// random selection) on GovUK and reports the accuracy progression — the
+// Chen et al. style extension of Section 2.2.
+func ActiveLearning(cfg Config) error {
+	cfg.fill()
+	files := corpus("govuk", cfg.Scale).Files
+	if len(files) < 10 {
+		files = corpus("govuk", 1).Files
+	}
+	split := len(files) * 3 / 4
+	pool, test := files[:split], files[split:]
+
+	cfg.printf("Active learning: line accuracy vs labeled files (GovUK)\n")
+	cfg.printf("%-12s", "strategy")
+	opts := active.Options{
+		InitialFiles: 3, Rounds: 5, PerRound: 2,
+		Trees: cfg.Trees, Seed: cfg.Seed,
+	}
+	var results []*active.Result
+	for _, s := range []active.Strategy{active.Uncertainty, active.Margin, active.Random} {
+		res, err := active.Run(pool, test, s, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	for _, n := range results[0].LabeledCounts {
+		cfg.printf("%8d", n)
+	}
+	cfg.printf("  (labeled files)\n")
+	for _, res := range results {
+		cfg.printf("%-12s", res.Strategy)
+		for _, a := range res.Accuracy {
+			cfg.printf("%8.3f", a)
+		}
+		cfg.printf("\n")
+	}
+	return nil
+}
+
+// ImportanceComparison contrasts Gini (mean decrease in impurity) and
+// permutation feature importance on the Strudel^L task — the methodological
+// choice Section 6.3.5 explains ("permutation ... does not favor high
+// cardinality features").
+func ImportanceComparison(cfg Config) error {
+	cfg.fill()
+	train := trainingTriple(cfg.Scale)
+
+	var X [][]float64
+	var y []int
+	lopts := features.DefaultLineOptions()
+	for _, t := range train {
+		fs := features.LineFeatures(t, lopts)
+		for r := 0; r < t.Height(); r++ {
+			if idx := t.LineClasses[r].Index(); idx >= 0 && !t.IsEmptyLine(r) {
+				X = append(X, fs[r])
+				y = append(y, idx)
+			}
+		}
+	}
+	f, err := forest.Fit(X, y, table.NumClasses, forest.Options{NumTrees: cfg.Trees, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	gini := f.GiniImportance()
+
+	impOpts := eval.DefaultImportanceOptions()
+	impOpts.Forest.NumTrees = cfg.Trees / 2
+	impOpts.Seed = cfg.Seed
+	perClass, err := eval.PermutationImportance(X, y, impOpts)
+	if err != nil {
+		return err
+	}
+	// Collapse permutation importance over classes for a single ranking.
+	perm := make([]float64, len(gini))
+	for _, row := range perClass {
+		for i, v := range row {
+			perm[i] += v
+		}
+	}
+	normalize(perm)
+
+	cfg.printf("Importance comparison on Strudel-L features (SAUS+CIUS+DeEx)\n")
+	cfg.printf("%-28s %10s %14s\n", "feature", "gini", "permutation")
+	order := rankDesc(gini)
+	for _, i := range order {
+		cfg.printf("%-28s %9.1f%% %13.1f%%\n", features.LineFeatureNames[i], gini[i]*100, perm[i]*100)
+	}
+	return nil
+}
+
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+func rankDesc(v []float64) []int {
+	order := make([]int, len(v))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return v[order[a]] > v[order[b]] })
+	return order
+}
+
+// cellTrainerWith builds a Strudel^C trainer with the extension toggles.
+func cellTrainerWith(cfg Config, post, cols bool) eval.CellTrainer {
+	return func(train []*table.Table, seed int64) (eval.CellClassifier, error) {
+		opts := defaultCellOpts(cfg, seed)
+		opts.PostProcess = post
+		opts.UseColumnProbs = cols
+		return trainCell(train, opts)
+	}
+}

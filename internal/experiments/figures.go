@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strudel/internal/core"
+	"strudel/internal/eval"
+	"strudel/internal/features"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// Figure3 produces the per-dataset confusion matrices of Strudel^L (top)
+// and Strudel^C (bottom), built from ensemble majority votes over the
+// repeated cross-validation predictions, normalized per actual class —
+// exactly the construction of Section 6.3.1.
+func Figure3(cfg Config) error {
+	cfg.fill()
+	cfg.printf("Figure 3 (top): Strudel-L confusion matrices\n")
+	for _, ds := range lineDatasets {
+		files := corpus(ds, cfg.Scale).Files
+		res, err := eval.CrossValidateLines(files, strudelLineTrainer(cfg), eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.printf("\n[%s]\n%s", ds, res.Confusion())
+	}
+	cfg.printf("\nFigure 3 (bottom): Strudel-C confusion matrices\n")
+	for _, ds := range cellDatasets {
+		files := corpus(ds, cfg.Scale).Files
+		res, err := eval.CrossValidateCells(files, strudelCellTrainer(cfg), eval.CVOptions{
+			Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.printf("\n[%s]\n%s", ds, res.Confusion())
+	}
+	return nil
+}
+
+// Figure4 computes per-class permutation feature importance for Strudel^L
+// and Strudel^C trained on SAUS+CIUS+DeEx, with neighbor-profile features
+// grouped as in the paper's plot.
+func Figure4(cfg Config) error {
+	cfg.fill()
+	train := trainingTriple(cfg.Scale)
+
+	// --- line model ---
+	var X [][]float64
+	var y []int
+	lopts := features.DefaultLineOptions()
+	for _, t := range train {
+		fs := features.LineFeatures(t, lopts)
+		for r := 0; r < t.Height(); r++ {
+			if idx := t.LineClasses[r].Index(); idx >= 0 && !t.IsEmptyLine(r) {
+				X = append(X, fs[r])
+				y = append(y, idx)
+			}
+		}
+	}
+	impOpts := eval.DefaultImportanceOptions()
+	impOpts.Forest.NumTrees = cfg.Trees / 2
+	impOpts.Seed = cfg.Seed
+	imp, err := eval.PermutationImportance(X, y, impOpts)
+	if err != nil {
+		return err
+	}
+	printImportance(cfg, "Figure 4 (top): Strudel-L permutation feature importance",
+		features.LineFeatureNames, eval.NormalizeImportance(imp))
+
+	// --- cell model (uses the line model's probabilities, as at inference) ---
+	lineModel, err := trainLineOnTriple(cfg, train)
+	if err != nil {
+		return err
+	}
+	var cX [][]float64
+	var cy []int
+	copts := features.DefaultCellOptions()
+	budget := cfg.MaxCellsPerFile
+	for _, t := range train {
+		probs := lineModel.Probabilities(t)
+		fs := features.CellFeatures(t, probs, copts)
+		n := 0
+		for r := 0; r < t.Height(); r++ {
+			for c := 0; c < t.Width(); c++ {
+				idx := t.CellClasses[r][c].Index()
+				if idx < 0 || t.IsEmptyCell(r, c) {
+					continue
+				}
+				if budget > 0 && n >= budget && idx == table.ClassData.Index() {
+					continue // keep minority classes, cap the data flood
+				}
+				cX = append(cX, fs[r][c])
+				cy = append(cy, idx)
+				n++
+			}
+		}
+	}
+	cImp, err := eval.PermutationImportance(cX, cy, impOpts)
+	if err != nil {
+		return err
+	}
+	groups := map[string][]int{}
+	for i, name := range features.CellFeatureNames {
+		switch {
+		case hasPrefix(name, "NeighborValueLength_"):
+			groups["NeighborValueLength"] = append(groups["NeighborValueLength"], i)
+		case hasPrefix(name, "NeighborDataType_"):
+			groups["NeighborDataType"] = append(groups["NeighborDataType"], i)
+		}
+	}
+	gNames, gImp := eval.GroupImportance(cImp, features.CellFeatureNames, groups)
+	printImportance(cfg, "Figure 4 (bottom): Strudel-C permutation feature importance",
+		gNames, eval.NormalizeImportance(gImp))
+	return nil
+}
+
+func trainLineOnTriple(cfg Config, train []*table.Table) (*core.LineModel, error) {
+	opts := core.DefaultLineTrainOptions()
+	opts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: cfg.Seed}
+	return core.TrainLine(train, opts)
+}
+
+func printImportance(cfg Config, title string, names []string, imp [][]float64) {
+	cfg.printf("\n%s\n", title)
+	cfg.printf("%-28s", "feature")
+	for _, cl := range table.Classes {
+		cfg.printf("%10s", cl)
+	}
+	cfg.printf("\n")
+	for f, name := range names {
+		cfg.printf("%-28s", name)
+		for c := range imp {
+			cfg.printf("%9.1f%%", imp[c][f]*100)
+		}
+		cfg.printf("\n")
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}

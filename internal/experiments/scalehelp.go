@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strudel/internal/datagen"
+	"strudel/internal/dialect"
+	"strudel/internal/table"
+)
+
+// mendeleyAt returns the Mendeley profile pinned to a fixed data-row count,
+// used to grow files for the scalability measurement.
+func mendeleyAt(rows int) datagen.Profile {
+	p := datagen.Mendeley()
+	p.DataRows = [2]int{rows, rows}
+	p.PMultiTable = 0
+	p.PGroups = 0
+	return p
+}
+
+// generateOne renders the first file of a one-file corpus.
+func generateOne(p datagen.Profile) *table.Table {
+	p.Files = 1
+	return datagen.Generate(p).Files[0]
+}
+
+// renderCSV serializes a table back to RFC 4180 text, as a stand-in for a
+// raw input file.
+func renderCSV(t *table.Table) string {
+	rows := make([][]string, t.Height())
+	for r := range rows {
+		rows[r] = t.Row(r)
+	}
+	return dialect.Join(rows, dialect.Default)
+}
+
+// parseAndCrop runs the standard preprocessing: split under the detected
+// dialect, build the grid, crop the margins.
+func parseAndCrop(raw string, d dialect.Dialect) *table.Table {
+	return table.FromRows(dialect.Split(raw, d)).Crop()
+}

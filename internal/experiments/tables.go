@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strudel/internal/core"
+	"strudel/internal/datagen"
+	"strudel/internal/eval"
+	"strudel/internal/ml/forest"
+	"strudel/internal/table"
+)
+
+// Table3 reports the cell-class diversity degree distribution per dataset
+// (paper Table 3: most lines carry a single cell class).
+func Table3(cfg Config) error {
+	cfg.fill()
+	cfg.printf("Table 3: percentage of lines per cell-class diversity degree\n")
+	cfg.printf("%-10s", "dataset")
+	for d := 1; d <= table.NumClasses; d++ {
+		cfg.printf("%8d", d)
+	}
+	cfg.printf("\n")
+	for _, name := range cellDatasets {
+		dist := datagen.DiversityDistribution(corpus(name, cfg.Scale))
+		cfg.printf("%-10s", name)
+		for _, v := range dist {
+			cfg.printf("%7.1f%%", v*100)
+		}
+		cfg.printf("\n")
+	}
+	return nil
+}
+
+// Table4 reports the per-corpus summary (paper Table 4: files, non-empty
+// lines, non-empty cells).
+func Table4(cfg Config) error {
+	cfg.fill()
+	cfg.printf("Table 4: corpus summary (synthetic, scale %.2f)\n", cfg.Scale)
+	cfg.printf("%-10s %8s %10s %12s\n", "dataset", "#files", "#lines", "#cells")
+	for _, name := range []string{"govuk", "saus", "cius", "deex", "mendeley", "troy"} {
+		s := corpus(name, cfg.Scale).Summarize()
+		cfg.printf("%-10s %8d %10d %12d\n", name, s.Files, s.Lines, s.Cells)
+	}
+	return nil
+}
+
+// Table5 reports the class distribution over SAUS+CIUS+DeEx (paper Table 5).
+func Table5(cfg Config) error {
+	cfg.fill()
+	cc := datagen.CountClasses(
+		corpus("saus", cfg.Scale), corpus("cius", cfg.Scale), corpus("deex", cfg.Scale))
+	cfg.printf("Table 5: lines and cells per class (SAUS + CIUS + DeEx)\n")
+	cfg.printf("%-10s %10s %12s %12s\n", "class", "#lines", "#cells", "cells/line")
+	for i, cl := range table.Classes {
+		cfg.printf("%-10s %10d %12d %12.2f\n", cl, cc.Lines[i], cc.Cells[i], cc.CellsPerLine(i))
+	}
+	cfg.printf("%-10s %10d %12d\n", "overall", cc.TotalLines(), cc.TotalCells())
+	return nil
+}
+
+// LineComparisonResult holds one approach's cross-validation scores on one
+// dataset, for programmatic inspection by tests and benchmarks.
+type LineComparisonResult struct {
+	Dataset, Approach string
+	Scores            eval.Scores
+}
+
+// Table6Line runs the line classification comparison (paper Table 6 top):
+// CRF^L vs Pytheas^L vs Strudel^L with file-grouped repeated k-fold CV.
+// Derived gold lines are excluded from Pytheas^L scoring, as in the paper.
+func Table6Line(cfg Config) error {
+	_, err := Table6LineResults(cfg)
+	return err
+}
+
+// Table6LineResults runs the comparison and returns the scores.
+func Table6LineResults(cfg Config) ([]LineComparisonResult, error) {
+	cfg.fill()
+	cfg.printf("Table 6 (top): line classification F1 (%d-fold CV x%d)\n", cfg.Folds, cfg.Repeats)
+	printHeader(cfg)
+	var out []LineComparisonResult
+	for _, ds := range lineDatasets {
+		files := corpus(ds, cfg.Scale).Files
+		approaches := []struct {
+			name    string
+			trainer eval.LineTrainer
+			skip    []table.Class
+		}{
+			{"CRF-L", crfLineTrainer(cfg), nil},
+			{"Pytheas-L", pytheasLineTrainer(), []table.Class{table.ClassDerived}},
+			{"Strudel-L", strudelLineTrainer(cfg), nil},
+		}
+		for _, a := range approaches {
+			res, err := eval.CrossValidateLines(files, a.trainer, eval.CVOptions{
+				Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+				SkipGoldClasses: a.skip,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s := res.Scores()
+			printRow(cfg, ds, a.name, s)
+			out = append(out, LineComparisonResult{ds, a.name, s})
+		}
+	}
+	return out, nil
+}
+
+// Table6Cell runs the cell classification comparison (paper Table 6
+// bottom): Line^C vs RNN^C vs Strudel^C.
+func Table6Cell(cfg Config) error {
+	_, err := Table6CellResults(cfg)
+	return err
+}
+
+// Table6CellResults runs the comparison and returns the scores.
+func Table6CellResults(cfg Config) ([]LineComparisonResult, error) {
+	cfg.fill()
+	cfg.printf("Table 6 (bottom): cell classification F1 (%d-fold CV x%d)\n", cfg.Folds, cfg.Repeats)
+	printHeader(cfg)
+	var out []LineComparisonResult
+	for _, ds := range cellDatasets {
+		files := corpus(ds, cfg.Scale).Files
+		approaches := []struct {
+			name    string
+			trainer eval.CellTrainer
+		}{
+			{"Line-C", lineCBaselineTrainer(cfg)},
+			{"RNN-C", rnnCellTrainer(cfg)},
+			{"Strudel-C", strudelCellTrainer(cfg)},
+		}
+		for _, a := range approaches {
+			res, err := eval.CrossValidateCells(files, a.trainer, eval.CVOptions{
+				Folds: cfg.Folds, Repeats: cfg.Repeats, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s := res.Scores()
+			printRow(cfg, ds, a.name, s)
+			out = append(out, LineComparisonResult{ds, a.name, s})
+		}
+	}
+	return out, nil
+}
+
+// Table7 trains on SAUS+CIUS+DeEx and tests on the unseen Troy corpus
+// (paper Table 7: out-of-domain generalization; derived suffers because
+// Troy's aggregation lines are mostly unanchored).
+func Table7(cfg Config) error {
+	return transferExperiment(cfg, "troy", "Table 7: out-of-domain (train SAUS+CIUS+DeEx, test Troy)")
+}
+
+// Table8 trains on SAUS+CIUS+DeEx and tests on Mendeley plain-text files
+// (paper Table 8: tall data files with the delimiter dilemma).
+func Table8(cfg Config) error {
+	return transferExperiment(cfg, "mendeley", "Table 8: plain-text files (train SAUS+CIUS+DeEx, test Mendeley)")
+}
+
+func transferExperiment(cfg Config, testCorpus, title string) error {
+	cfg.fill()
+	train := trainingTriple(cfg.Scale)
+	test := corpus(testCorpus, cfg.Scale).Files
+
+	cfg.printf("%s\n", title)
+	printHeader(cfg)
+
+	lopts := core.DefaultLineTrainOptions()
+	lopts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: cfg.Seed}
+	lm, err := core.TrainLine(train, lopts)
+	if err != nil {
+		return err
+	}
+	printRow(cfg, testCorpus, "Strudel-L", eval.EvaluateLinesOn(lm, test))
+
+	copts := core.DefaultCellTrainOptions()
+	copts.Forest = forest.Options{NumTrees: cfg.Trees, Seed: cfg.Seed}
+	copts.Line.Forest = copts.Forest
+	copts.MaxCellsPerFile = cfg.MaxCellsPerFile
+	cm, err := core.TrainCell(train, copts)
+	if err != nil {
+		return err
+	}
+	printRow(cfg, testCorpus, "Strudel-C", eval.EvaluateCellsOn(cm, test))
+	return nil
+}
+
+func printHeader(cfg Config) {
+	cfg.printf("%-10s %-10s", "dataset", "approach")
+	for _, cl := range table.Classes {
+		cfg.printf("%9s", cl)
+	}
+	cfg.printf("%9s %9s\n", "accuracy", "macro")
+}
+
+func printRow(cfg Config, ds, approach string, s eval.Scores) {
+	cfg.printf("%-10s %-10s", ds, approach)
+	for i := range s.F1 {
+		if s.Support[i] == 0 {
+			cfg.printf("%9s", "-")
+			continue
+		}
+		cfg.printf("%9.3f", s.F1[i])
+	}
+	cfg.printf("%9.3f %9.3f\n", s.Accuracy, s.MacroF1)
+}

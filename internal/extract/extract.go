@@ -1,0 +1,215 @@
+// Package extract turns classified verbose CSV files into clean relational
+// tables — the downstream task that motivates structure detection. Given
+// per-line classes, it segments a file into regions, reconstructs each
+// table region's header (merging multi-line headers), denormalizes group
+// labels into an extra column, and drops derived rows.
+package extract
+
+import (
+	"strings"
+
+	"strudel/internal/table"
+)
+
+// Region is a maximal block of lines serving one purpose.
+type Region struct {
+	// Top and Bottom are inclusive line indices.
+	Top, Bottom int
+	// Kind is RegionTable for table bodies (header/group/data/derived
+	// lines) or the prose class (metadata/notes) for text blocks.
+	Kind Kind
+}
+
+// Kind labels a region.
+type Kind uint8
+
+// Region kinds.
+const (
+	RegionTable Kind = iota
+	RegionMetadata
+	RegionNotes
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case RegionTable:
+		return "table"
+	case RegionMetadata:
+		return "metadata"
+	default:
+		return "notes"
+	}
+}
+
+// kindOf maps a line class to its region kind; table-ish classes group
+// together.
+func kindOf(c table.Class) (Kind, bool) {
+	switch c {
+	case table.ClassHeader, table.ClassGroup, table.ClassData, table.ClassDerived:
+		return RegionTable, true
+	case table.ClassMetadata:
+		return RegionMetadata, true
+	case table.ClassNotes:
+		return RegionNotes, true
+	}
+	return 0, false
+}
+
+// Segment splits a file into regions based on per-line classes. Empty
+// lines never start a region; they extend the current region only when the
+// same kind resumes after them.
+func Segment(lines []table.Class) []Region {
+	var out []Region
+	cur := -1 // index into out, or -1
+	for i, c := range lines {
+		kind, ok := kindOf(c)
+		if !ok {
+			continue // empty line: decided when the next element arrives
+		}
+		if cur >= 0 && out[cur].Kind == kind {
+			out[cur].Bottom = i
+			continue
+		}
+		out = append(out, Region{Top: i, Bottom: i, Kind: kind})
+		cur = len(out) - 1
+	}
+	return out
+}
+
+// Relation is a reconstructed relational table.
+type Relation struct {
+	// Header holds the column names; empty when the region had no header.
+	Header []string
+	// Rows holds the data tuples (group labels denormalized into the first
+	// column when the region used group lines).
+	Rows [][]string
+	// SourceLines maps each row back to its line in the input file.
+	SourceLines []int
+	// HasGroupColumn reports whether column 0 was synthesized from group
+	// labels.
+	HasGroupColumn bool
+}
+
+// Tables reconstructs every table region of t under the given line
+// classes. Derived lines are dropped (they repeat information); group
+// labels become a leading column on the rows they scope.
+func Tables(t *table.Table, lines []table.Class) []Relation {
+	var out []Relation
+	for _, reg := range Segment(lines) {
+		if reg.Kind != RegionTable {
+			continue
+		}
+		if rel := buildRelation(t, lines, reg); len(rel.Rows) > 0 {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+func buildRelation(t *table.Table, lines []table.Class, reg Region) Relation {
+	var rel Relation
+	var headerLines []int
+	group := ""
+	usedGroups := false
+
+	// First pass: does the region use group labels at all?
+	for r := reg.Top; r <= reg.Bottom; r++ {
+		if lines[r] == table.ClassGroup {
+			usedGroups = true
+			break
+		}
+	}
+
+	for r := reg.Top; r <= reg.Bottom; r++ {
+		switch lines[r] {
+		case table.ClassHeader:
+			if len(rel.Rows) == 0 { // headers below data start a new logical table; keep it simple
+				headerLines = append(headerLines, r)
+			}
+		case table.ClassGroup:
+			group = firstNonEmpty(t, r)
+		case table.ClassData:
+			row := append([]string(nil), t.Row(r)...)
+			if usedGroups {
+				row = append([]string{strings.TrimSuffix(group, ":")}, row...)
+			}
+			rel.Rows = append(rel.Rows, row)
+			rel.SourceLines = append(rel.SourceLines, r)
+		}
+	}
+	rel.HasGroupColumn = usedGroups
+	rel.Header = mergeHeader(t, headerLines)
+	if rel.Header != nil && usedGroups {
+		rel.Header = append([]string{"Group"}, rel.Header...)
+	}
+	return rel
+}
+
+// mergeHeader combines one or more header lines into a single row of
+// column names. Multi-line headers are merged per column, joining the
+// non-empty parts with " / "; spanning labels propagate rightward until
+// the next non-empty cell of their line.
+func mergeHeader(t *table.Table, headerLines []int) []string {
+	if len(headerLines) == 0 {
+		return nil
+	}
+	w := t.Width()
+	out := make([]string, w)
+	last := headerLines[len(headerLines)-1]
+	for _, r := range headerLines {
+		span := ""
+		for c := 0; c < w; c++ {
+			v := strings.TrimSpace(t.Cell(r, c))
+			if r == last {
+				// The bottom header line is literal: its cells are the
+				// column names.
+				span = v
+			} else if v != "" {
+				// Earlier lines are spanning labels: propagate rightward.
+				span = v
+			}
+			if span == "" {
+				continue
+			}
+			if out[c] == "" {
+				out[c] = span
+			} else if !strings.Contains(out[c], span) {
+				out[c] = out[c] + " / " + span
+			}
+		}
+	}
+	return out
+}
+
+func firstNonEmpty(t *table.Table, r int) string {
+	for c := 0; c < t.Width(); c++ {
+		if !t.IsEmptyCell(r, c) {
+			return strings.TrimSpace(t.Cell(r, c))
+		}
+	}
+	return ""
+}
+
+// Prose collects the text of every metadata or notes region, one string
+// per region, reading non-empty cells left to right, top to bottom.
+func Prose(t *table.Table, lines []table.Class, kind Kind) []string {
+	var out []string
+	for _, reg := range Segment(lines) {
+		if reg.Kind != kind {
+			continue
+		}
+		var parts []string
+		for r := reg.Top; r <= reg.Bottom; r++ {
+			for c := 0; c < t.Width(); c++ {
+				if !t.IsEmptyCell(r, c) {
+					parts = append(parts, strings.TrimSpace(t.Cell(r, c)))
+				}
+			}
+		}
+		if len(parts) > 0 {
+			out = append(out, strings.Join(parts, " "))
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package extract
+
+import (
+	"reflect"
+	"testing"
+
+	"strudel/internal/table"
+)
+
+// annotated builds a table plus parallel line classes from a compact spec.
+func annotated(rows [][]string, codes string) (*table.Table, []table.Class) {
+	t := table.FromRows(rows)
+	classes := make([]table.Class, len(codes))
+	for i, c := range codes {
+		switch c {
+		case 'm':
+			classes[i] = table.ClassMetadata
+		case 'h':
+			classes[i] = table.ClassHeader
+		case 'g':
+			classes[i] = table.ClassGroup
+		case 'd':
+			classes[i] = table.ClassData
+		case 'v':
+			classes[i] = table.ClassDerived
+		case 'n':
+			classes[i] = table.ClassNotes
+		case '.':
+			classes[i] = table.ClassEmpty
+		}
+	}
+	return t, classes
+}
+
+func TestSegment(t *testing.T) {
+	_, classes := annotated([][]string{
+		{"t"}, {""}, {"h"}, {"d"}, {"d"}, {"v"}, {""}, {"n"}, {"n"},
+	}, "m.hddv.nn")
+	regions := Segment(classes)
+	want := []Region{
+		{Top: 0, Bottom: 0, Kind: RegionMetadata},
+		{Top: 2, Bottom: 5, Kind: RegionTable},
+		{Top: 7, Bottom: 8, Kind: RegionNotes},
+	}
+	if !reflect.DeepEqual(regions, want) {
+		t.Errorf("regions = %+v, want %+v", regions, want)
+	}
+}
+
+func TestSegmentEmptyGapWithinSameKind(t *testing.T) {
+	_, classes := annotated([][]string{
+		{"d"}, {""}, {"d"},
+	}, "d.d")
+	regions := Segment(classes)
+	if len(regions) != 1 || regions[0].Top != 0 || regions[0].Bottom != 2 {
+		t.Errorf("regions = %+v, want one table region spanning all", regions)
+	}
+}
+
+func TestTablesBasic(t *testing.T) {
+	tb, classes := annotated([][]string{
+		{"Report", "", ""},
+		{"Region", "A", "B"},
+		{"North", "1", "2"},
+		{"South", "3", "4"},
+		{"Total", "4", "6"},
+		{"source", "", ""},
+	}, "mhddvn")
+	rels := Tables(tb, classes)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %d, want 1", len(rels))
+	}
+	rel := rels[0]
+	if !reflect.DeepEqual(rel.Header, []string{"Region", "A", "B"}) {
+		t.Errorf("header = %v", rel.Header)
+	}
+	if len(rel.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (derived dropped)", len(rel.Rows))
+	}
+	if rel.Rows[0][0] != "North" || rel.Rows[1][2] != "4" {
+		t.Errorf("rows = %v", rel.Rows)
+	}
+	if rel.HasGroupColumn {
+		t.Error("no group lines, no group column")
+	}
+	if !reflect.DeepEqual(rel.SourceLines, []int{2, 3}) {
+		t.Errorf("source lines = %v", rel.SourceLines)
+	}
+}
+
+func TestTablesGroupDenormalization(t *testing.T) {
+	tb, classes := annotated([][]string{
+		{"Item", "V"},
+		{"Violent crime:", ""},
+		{"a", "1"},
+		{"b", "2"},
+		{"Property crime:", ""},
+		{"c", "3"},
+	}, "hgddgd")
+	rels := Tables(tb, classes)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %d", len(rels))
+	}
+	rel := rels[0]
+	if !rel.HasGroupColumn {
+		t.Fatal("group column expected")
+	}
+	if !reflect.DeepEqual(rel.Header, []string{"Group", "Item", "V"}) {
+		t.Errorf("header = %v", rel.Header)
+	}
+	if rel.Rows[0][0] != "Violent crime" || rel.Rows[2][0] != "Property crime" {
+		t.Errorf("group labels = %v / %v", rel.Rows[0][0], rel.Rows[2][0])
+	}
+}
+
+func TestTablesMultiLineHeader(t *testing.T) {
+	tb, classes := annotated([][]string{
+		{"", "2019", "", "2020", ""},
+		{"Item", "Count", "Rate", "Count", "Rate"},
+		{"a", "1", "2", "3", "4"},
+	}, "hhd")
+	rels := Tables(tb, classes)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %d", len(rels))
+	}
+	want := []string{"Item", "2019 / Count", "2019 / Rate", "2020 / Count", "2020 / Rate"}
+	if !reflect.DeepEqual(rels[0].Header, want) {
+		t.Errorf("header = %v, want %v", rels[0].Header, want)
+	}
+}
+
+func TestTablesMultipleStacked(t *testing.T) {
+	tb, classes := annotated([][]string{
+		{"h1", "h2"},
+		{"a", "1"},
+		{""},
+		{"note", ""},
+		{""},
+		{"h3", "h4"},
+		{"b", "2"},
+	}, "hd.n.hd")
+	rels := Tables(tb, classes)
+	if len(rels) != 2 {
+		t.Fatalf("relations = %d, want 2", len(rels))
+	}
+	if rels[0].Header[0] != "h1" || rels[1].Header[0] != "h3" {
+		t.Errorf("headers = %v / %v", rels[0].Header, rels[1].Header)
+	}
+}
+
+func TestTablesHeaderless(t *testing.T) {
+	tb, classes := annotated([][]string{
+		{"a", "1"},
+		{"b", "2"},
+	}, "dd")
+	rels := Tables(tb, classes)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %d", len(rels))
+	}
+	if rels[0].Header != nil {
+		t.Errorf("headerless table should have nil header, got %v", rels[0].Header)
+	}
+	if len(rels[0].Rows) != 2 {
+		t.Errorf("rows = %d", len(rels[0].Rows))
+	}
+}
+
+func TestProse(t *testing.T) {
+	tb, classes := annotated([][]string{
+		{"Crime", "Report", ""},
+		{"h", "v", ""},
+		{"a", "1", ""},
+		{"see", "annex", ""},
+	}, "mhdn")
+	meta := Prose(tb, classes, RegionMetadata)
+	if len(meta) != 1 || meta[0] != "Crime Report" {
+		t.Errorf("metadata prose = %v", meta)
+	}
+	notes := Prose(tb, classes, RegionNotes)
+	if len(notes) != 1 || notes[0] != "see annex" {
+		t.Errorf("notes prose = %v", notes)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if RegionTable.String() != "table" || RegionMetadata.String() != "metadata" || RegionNotes.String() != "notes" {
+		t.Error("kind names wrong")
+	}
+}

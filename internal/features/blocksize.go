@@ -1,0 +1,63 @@
+package features
+
+import "strudel/internal/table"
+
+// BlockSizes implements Algorithm 1 of the paper: for every non-empty cell,
+// the size of the connected component of non-empty cells containing it
+// (4-adjacency), normalized to [0, 1] by the size of the file (height x
+// width). Empty cells get 0.
+//
+// The returned grid has the same dimensions as t. The algorithm visits every
+// non-empty cell exactly once and checks its four neighbors, so it runs in
+// O(n) for n non-empty cells.
+func BlockSizes(t *table.Table) [][]float64 {
+	h, w := t.Height(), t.Width()
+	out := make([][]float64, h)
+	backing := make([]float64, h*w)
+	for r := range out {
+		out[r], backing = backing[:w:w], backing[w:]
+	}
+	if h == 0 || w == 0 {
+		return out
+	}
+
+	visited := make([]bool, h*w)
+	idx := func(r, c int) int { return r*w + c }
+	norm := float64(h * w)
+
+	var stack [][2]int
+	var block [][2]int
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if visited[idx(r, c)] || t.IsEmptyCell(r, c) {
+				continue
+			}
+			// Flood-fill the connected component starting at (r, c).
+			stack = append(stack[:0], [2]int{r, c})
+			block = block[:0]
+			visited[idx(r, c)] = true
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				block = append(block, cur)
+				cr, cc := cur[0], cur[1]
+				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					nr, nc := cr+d[0], cc+d[1]
+					if nr < 0 || nr >= h || nc < 0 || nc >= w {
+						continue
+					}
+					if visited[idx(nr, nc)] || t.IsEmptyCell(nr, nc) {
+						continue
+					}
+					visited[idx(nr, nc)] = true
+					stack = append(stack, [2]int{nr, nc})
+				}
+			}
+			bs := float64(len(block)) / norm
+			for _, cell := range block {
+				out[cell[0]][cell[1]] = bs
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package features
+
+import (
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+// CellFeatureNames lists the Strudel^C features of Table 2, in vector order.
+// The LineClassProbability feature contributes six components (one per
+// class) and the neighbor profile contributes eight value-length and eight
+// data-type features, one per surrounding cell.
+var CellFeatureNames = buildCellFeatureNames()
+
+// NumCellFeatures is the length of a cell feature vector.
+var NumCellFeatures = len(CellFeatureNames)
+
+// neighborOffsets enumerates the eight surrounding cells in reading order.
+var neighborOffsets = [8][2]int{
+	{-1, -1}, {-1, 0}, {-1, 1},
+	{0, -1}, {0, 1},
+	{1, -1}, {1, 0}, {1, 1},
+}
+
+var neighborNames = [8]string{"NW", "N", "NE", "W", "E", "SW", "S", "SE"}
+
+func buildCellFeatureNames() []string {
+	names := []string{
+		// Content features.
+		"ValueLength",
+		"DataType",
+		"HasDerivedKeywords",
+		"RowHasDerivedKeywords",
+		"ColumnHasDerivedKeywords",
+		"RowPosition",
+		"ColumnPosition",
+	}
+	for _, c := range table.Classes {
+		names = append(names, "LineClassProbability_"+c.String())
+	}
+	names = append(names,
+		// Contextual features.
+		"IsEmptyRowBefore",
+		"IsEmptyRowAfter",
+		"IsEmptyColumnLeft",
+		"IsEmptyColumnRight",
+		"RowEmptyCellRatio",
+		"ColumnEmptyCellRatio",
+		"BlockSize",
+	)
+	for _, n := range neighborNames {
+		names = append(names, "NeighborValueLength_"+n)
+	}
+	for _, n := range neighborNames {
+		names = append(names, "NeighborDataType_"+n)
+	}
+	// Computational feature.
+	names = append(names, "IsAggregation")
+	return names
+}
+
+// Feature-group index sets for the cell ablation experiments.
+var (
+	CellContentFeatures       = indexRange(0, 7)
+	CellLineProbFeatures      = indexRange(7, 13)
+	CellContextualFeatures    = indexRange(13, 13+7+16)
+	CellComputationalFeatures = []int{NumCellFeatures - 1}
+)
+
+func indexRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// CellOptions configures cell feature extraction.
+type CellOptions struct {
+	// Derived configures the Algorithm 2 run backing IsAggregation.
+	Derived DerivedOptions
+}
+
+// DefaultCellOptions returns the paper's configuration.
+func DefaultCellOptions() CellOptions {
+	return CellOptions{Derived: DefaultDerivedOptions()}
+}
+
+// CellFeatures extracts one feature vector per cell of t. lineProbs, when
+// non-nil, must hold one six-component class probability vector per line
+// (the Strudel^L output, Section 5.4); nil leaves the LineClassProbability
+// components at zero. The result is indexed [row][col][feature].
+func CellFeatures(t *table.Table, lineProbs [][]float64, opts CellOptions) [][][]float64 {
+	h, w := t.Height(), t.Width()
+	out := make([][][]float64, h)
+	for r := range out {
+		out[r] = make([][]float64, w)
+		backing := make([]float64, w*NumCellFeatures)
+		for c := range out[r] {
+			out[r][c], backing = backing[:NumCellFeatures:NumCellFeatures], backing[NumCellFeatures:]
+		}
+	}
+	if h == 0 || w == 0 {
+		return out
+	}
+
+	// Per-table precomputation shared across cells.
+	typeGrid := make([][]types.Type, h)
+	maxLen := 1
+	for r := 0; r < h; r++ {
+		typeGrid[r] = types.RowTypes(t.Row(r))
+		for _, v := range t.Row(r) {
+			if len(v) > maxLen {
+				maxLen = len(v)
+			}
+		}
+	}
+	blocks := BlockSizes(t)
+	derived := DetectDerived(t, opts.Derived)
+
+	rowHasKw := make([]bool, h)
+	colHasKw := make([]bool, w)
+	rowEmpty := make([]float64, h)
+	colEmptyCount := make([]int, w)
+	for r := 0; r < h; r++ {
+		e := 0
+		for c := 0; c < w; c++ {
+			if typeGrid[r][c] == types.Empty {
+				e++
+				colEmptyCount[c]++
+				continue
+			}
+			if ContainsAggregationWord(t.Cell(r, c)) {
+				rowHasKw[r] = true
+				colHasKw[c] = true
+			}
+		}
+		rowEmpty[r] = float64(e) / float64(w)
+	}
+	colEmpty := make([]float64, w)
+	colAllEmpty := make([]bool, w)
+	for c := 0; c < w; c++ {
+		colEmpty[c] = float64(colEmptyCount[c]) / float64(h)
+		colAllEmpty[c] = colEmptyCount[c] == h
+	}
+	lineEmpty := make([]bool, h)
+	for r := 0; r < h; r++ {
+		lineEmpty[r] = t.IsEmptyLine(r)
+	}
+
+	emptyRowAt := func(r int) float64 {
+		if r < 0 || r >= h || lineEmpty[r] {
+			return 1
+		}
+		return 0
+	}
+	emptyColAt := func(c int) float64 {
+		if c < 0 || c >= w || colAllEmpty[c] {
+			return 1
+		}
+		return 0
+	}
+
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			f := out[r][c]
+			i := 0
+			// Content features.
+			f[i] = float64(len(t.Cell(r, c))) / float64(maxLen)
+			i++
+			f[i] = float64(typeGrid[r][c])
+			i++
+			if typeGrid[r][c] != types.Empty && ContainsAggregationWord(t.Cell(r, c)) {
+				f[i] = 1
+			}
+			i++
+			if rowHasKw[r] {
+				f[i] = 1
+			}
+			i++
+			if colHasKw[c] {
+				f[i] = 1
+			}
+			i++
+			if h > 1 {
+				f[i] = float64(r) / float64(h-1)
+			}
+			i++
+			if w > 1 {
+				f[i] = float64(c) / float64(w-1)
+			}
+			i++
+			// Line class probabilities.
+			if lineProbs != nil {
+				copy(f[i:i+table.NumClasses], lineProbs[r])
+			}
+			i += table.NumClasses
+			// Contextual features.
+			f[i] = emptyRowAt(r - 1)
+			i++
+			f[i] = emptyRowAt(r + 1)
+			i++
+			f[i] = emptyColAt(c - 1)
+			i++
+			f[i] = emptyColAt(c + 1)
+			i++
+			f[i] = rowEmpty[r]
+			i++
+			f[i] = colEmpty[c]
+			i++
+			f[i] = blocks[r][c]
+			i++
+			// Neighbor profile: value lengths then data types, with -1 for
+			// cells beyond the margins (Section 5.3).
+			for _, d := range neighborOffsets {
+				nr, nc := r+d[0], c+d[1]
+				if !t.InBounds(nr, nc) {
+					f[i] = -1
+				} else {
+					f[i] = float64(len(t.Cell(nr, nc))) / float64(maxLen)
+				}
+				i++
+			}
+			for _, d := range neighborOffsets {
+				nr, nc := r+d[0], c+d[1]
+				if !t.InBounds(nr, nc) {
+					f[i] = -1
+				} else {
+					f[i] = float64(typeGrid[nr][nc])
+				}
+				i++
+			}
+			// Computational feature.
+			if derived[r][c] {
+				f[i] = 1
+			}
+		}
+	}
+	return out
+}

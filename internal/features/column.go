@@ -1,0 +1,127 @@
+package features
+
+import (
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+// ColumnFeatureNames lists the column classification features, in vector
+// order. Column classification is the future-work direction the paper's
+// conclusion raises ("whether column classification can help boost the
+// classification quality"); these features mirror the line features of
+// Table 1, transposed to the vertical axis.
+var ColumnFeatureNames = []string{
+	"ColumnEmptyCellRatio",
+	"ColumnNumericRatio",
+	"ColumnStringRatio",
+	"ColumnPosition",
+	"DominantType",
+	"TypeHomogeneity",
+	"ColumnHasAggKeyword",
+	"DistinctValueRatio",
+	"MeanValueLength",
+	"DerivedColumnCoverage",
+	"FirstCellIsString",
+	"HeaderTypeMismatch",
+}
+
+// NumColumnFeatures is the length of a column feature vector.
+var NumColumnFeatures = len(ColumnFeatureNames)
+
+// ColumnFeatures extracts one feature vector per column of t.
+func ColumnFeatures(t *table.Table, opts CellOptions) [][]float64 {
+	h, w := t.Height(), t.Width()
+	out := make([][]float64, w)
+	backing := make([]float64, w*NumColumnFeatures)
+	for c := range out {
+		out[c], backing = backing[:NumColumnFeatures:NumColumnFeatures], backing[NumColumnFeatures:]
+	}
+	if h == 0 || w == 0 {
+		return out
+	}
+
+	typeGrid := make([][]types.Type, h)
+	maxLen := 1
+	for r := 0; r < h; r++ {
+		typeGrid[r] = types.RowTypes(t.Row(r))
+		for _, v := range t.Row(r) {
+			if len(v) > maxLen {
+				maxLen = len(v)
+			}
+		}
+	}
+	derived := DetectDerived(t, opts.Derived)
+
+	for c := 0; c < w; c++ {
+		f := out[c]
+		var typeCounts [types.NumTypes]int
+		empty, numeric, str := 0, 0, 0
+		hasAgg := false
+		lenSum, nonEmpty := 0, 0
+		distinct := map[string]struct{}{}
+		numDerived, numNumeric := 0, 0
+		firstType := types.Empty
+		for r := 0; r < h; r++ {
+			ty := typeGrid[r][c]
+			typeCounts[ty]++
+			switch {
+			case ty == types.Empty:
+				empty++
+				continue
+			case ty.IsNumeric():
+				numeric++
+				numNumeric++
+				if derived[r][c] {
+					numDerived++
+				}
+			default:
+				str++
+			}
+			if firstType == types.Empty {
+				firstType = ty
+			}
+			nonEmpty++
+			v := t.Cell(r, c)
+			lenSum += len(v)
+			distinct[v] = struct{}{}
+			if !hasAgg && ContainsAggregationWord(v) {
+				hasAgg = true
+			}
+		}
+		fh := float64(h)
+		f[0] = float64(empty) / fh
+		f[1] = float64(numeric) / fh
+		f[2] = float64(str) / fh
+		if w > 1 {
+			f[3] = float64(c) / float64(w-1)
+		}
+		// Dominant non-empty type and its share.
+		domType, domCount := types.Empty, 0
+		for ty := types.Int; ty <= types.String; ty++ {
+			if typeCounts[ty] > domCount {
+				domType, domCount = ty, typeCounts[ty]
+			}
+		}
+		f[4] = float64(domType)
+		if nonEmpty > 0 {
+			f[5] = float64(domCount) / float64(nonEmpty)
+			f[7] = float64(len(distinct)) / float64(nonEmpty)
+			f[8] = float64(lenSum) / float64(nonEmpty) / float64(maxLen)
+		}
+		if hasAgg {
+			f[6] = 1
+		}
+		if numNumeric > 0 {
+			f[9] = float64(numDerived) / float64(numNumeric)
+		}
+		if firstType == types.String || firstType == types.Date {
+			f[10] = 1
+		}
+		// HeaderTypeMismatch: the first non-empty cell's type differs from
+		// the dominant type of the rest (a header sitting on the column).
+		if firstType != types.Empty && domType != types.Empty && firstType != domType {
+			f[11] = 1
+		}
+	}
+	return out
+}

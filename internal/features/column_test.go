@@ -1,0 +1,93 @@
+package features
+
+import (
+	"testing"
+
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+func columnTestTable() *table.Table {
+	return table.FromRows([][]string{
+		{"Item", "2019", "2020", "Total"},
+		{"Manufacturing", "10", "20", "30"},
+		{"Retail", "5", "15", "20"},
+		{"", "3", "7", "10"},
+	})
+}
+
+func TestColumnFeaturesShapes(t *testing.T) {
+	tb := columnTestTable()
+	fs := ColumnFeatures(tb, DefaultCellOptions())
+	if len(fs) != tb.Width() {
+		t.Fatalf("%d vectors for width %d", len(fs), tb.Width())
+	}
+	for c, f := range fs {
+		if len(f) != NumColumnFeatures {
+			t.Fatalf("column %d has %d features, want %d", c, len(f), NumColumnFeatures)
+		}
+	}
+}
+
+func TestColumnFeatureSemantics(t *testing.T) {
+	tb := columnTestTable()
+	fs := ColumnFeatures(tb, DefaultCellOptions())
+	idx := func(name string) int { return featureIndex(t, ColumnFeatureNames, name) }
+
+	// Column 0 ("Item" labels) has one empty cell out of four.
+	if got := fs[0][idx("ColumnEmptyCellRatio")]; got != 0.25 {
+		t.Errorf("empty ratio col 0 = %v, want 0.25", got)
+	}
+	// Column 3 carries the aggregation keyword "Total".
+	if fs[3][idx("ColumnHasAggKeyword")] != 1 || fs[1][idx("ColumnHasAggKeyword")] != 0 {
+		t.Error("ColumnHasAggKeyword wrong")
+	}
+	// Column 3's numeric cells are all derived (row sums anchored by the
+	// header keyword).
+	if got := fs[3][idx("DerivedColumnCoverage")]; got != 1 {
+		t.Errorf("derived coverage col 3 = %v, want 1", got)
+	}
+	if got := fs[1][idx("DerivedColumnCoverage")]; got != 0 {
+		t.Errorf("derived coverage col 1 = %v, want 0", got)
+	}
+	// Column positions span [0, 1].
+	if fs[0][idx("ColumnPosition")] != 0 || fs[3][idx("ColumnPosition")] != 1 {
+		t.Error("ColumnPosition wrong")
+	}
+	// Value columns: header is numeric (a year), so no type mismatch; the
+	// label column's first cell is a string over strings (no mismatch).
+	if got := fs[0][idx("HeaderTypeMismatch")]; got != 0 {
+		t.Errorf("label column mismatch = %v, want 0", got)
+	}
+	// Dominant type of value columns is Int.
+	if got := fs[1][idx("DominantType")]; got != float64(types.Int) {
+		t.Errorf("dominant type col 1 = %v, want int", got)
+	}
+	if got := fs[1][idx("TypeHomogeneity")]; got != 1 {
+		t.Errorf("homogeneity col 1 = %v, want 1", got)
+	}
+}
+
+func TestColumnFeaturesHeaderMismatch(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"Count"},
+		{"5"},
+		{"7"},
+	})
+	fs := ColumnFeatures(tb, DefaultCellOptions())
+	i := featureIndex(t, ColumnFeatureNames, "HeaderTypeMismatch")
+	if fs[0][i] != 1 {
+		t.Error("string header over int column should flag a mismatch")
+	}
+	j := featureIndex(t, ColumnFeatureNames, "FirstCellIsString")
+	if fs[0][j] != 1 {
+		t.Error("FirstCellIsString wrong")
+	}
+}
+
+func TestColumnFeaturesEmptyTable(t *testing.T) {
+	fs := ColumnFeatures(table.New(0, 0), DefaultCellOptions())
+	if len(fs) != 0 {
+		t.Errorf("len = %d", len(fs))
+	}
+}

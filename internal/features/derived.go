@@ -1,0 +1,265 @@
+package features
+
+import (
+	"math"
+
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+// DerivedOptions configures the derived cell detection of Algorithm 2.
+type DerivedOptions struct {
+	// Delta is the aggregation slack d: a candidate matches when the
+	// accumulated aggregate is within Delta (relatively, with an absolute
+	// floor of Delta itself) of the candidate's value. Paper default 0.1.
+	Delta float64
+	// Coverage is the threshold c: the fraction of candidates that must
+	// match before the whole candidate set is marked derived. Paper
+	// default 0.5.
+	Coverage float64
+	// MaxSpan bounds how far from the anchor the accumulation walks. The
+	// paper walks to the table edge; 0 keeps that behavior. A positive
+	// value trades a little recall for speed on very tall files.
+	MaxSpan int
+	// DetectMean also tests the mean aggregation function alongside sum
+	// (observation iii in Section 5.5: sum and mean dominate).
+	DetectMean bool
+	// DetectMinMax additionally tests min and max aggregations — the
+	// "recognizing more aggregation functions" extension the paper's
+	// conclusion proposes as future work.
+	DetectMinMax bool
+}
+
+// DefaultDerivedOptions returns the configuration used in the paper's
+// experiments (d = 0.1, c = 0.5, sum and mean).
+func DefaultDerivedOptions() DerivedOptions {
+	return DerivedOptions{Delta: 0.1, Coverage: 0.5, DetectMean: true}
+}
+
+// ExtendedDerivedOptions enables every supported aggregation function
+// (sum, mean, min, max).
+func ExtendedDerivedOptions() DerivedOptions {
+	o := DefaultDerivedOptions()
+	o.DetectMinMax = true
+	return o
+}
+
+// DetectDerived implements Algorithm 2: it returns a boolean grid marking
+// the cells detected as derived (aggregations of neighboring numeric cells).
+//
+// Candidates are restricted to numeric cells sharing a row or column with an
+// anchoring cell — a cell containing an aggregation keyword — and are tested
+// against running sums (and optionally means) accumulated upwards,
+// downwards, leftwards, and rightwards from the candidate line.
+func DetectDerived(t *table.Table, opts DerivedOptions) [][]bool {
+	h, w := t.Height(), t.Width()
+	out := make([][]bool, h)
+	backing := make([]bool, h*w)
+	for r := range out {
+		out[r], backing = backing[:w:w], backing[w:]
+	}
+	if h == 0 || w == 0 {
+		return out
+	}
+
+	// Pre-parse the numeric grid once.
+	vals := make([][]float64, h)
+	isNum := make([][]bool, h)
+	vb := make([]float64, h*w)
+	nb := make([]bool, h*w)
+	for r := range vals {
+		vals[r], vb = vb[:w:w], vb[w:]
+		isNum[r], nb = nb[:w:w], nb[w:]
+		for c := 0; c < w; c++ {
+			if v, ok := types.ParseNumber(t.Cell(r, c)); ok {
+				vals[r][c], isNum[r][c] = v, true
+			}
+		}
+	}
+
+	// Line 2: getAnchoringCells — cells containing aggregation keywords.
+	type pos struct{ r, c int }
+	var anchors []pos
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if !t.IsEmptyCell(r, c) && ContainsAggregationWord(t.Cell(r, c)) {
+				anchors = append(anchors, pos{r, c})
+			}
+		}
+	}
+	if len(anchors) == 0 {
+		return out
+	}
+
+	// Rows and columns already expanded, to avoid re-walking per anchor.
+	doneRow := make([]bool, h)
+	doneCol := make([]bool, w)
+
+	for _, a := range anchors {
+		if !doneRow[a.r] {
+			doneRow[a.r] = true
+			detectRowCandidates(t, vals, isNum, a.r, opts, out)
+		}
+		if !doneCol[a.c] {
+			doneCol[a.c] = true
+			detectColCandidates(t, vals, isNum, a.c, opts, out)
+		}
+	}
+	return out
+}
+
+// detectRowCandidates tests the numeric cells of row ia against vertical
+// aggregations accumulated upwards and then downwards (lines 9-19 of
+// Algorithm 2 and its mirrored repeat).
+func detectRowCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ia int, opts DerivedOptions, out [][]bool) {
+	w := t.Width()
+	var cand []float64
+	var cols []int
+	for c := 0; c < w; c++ {
+		if isNum[ia][c] {
+			cand = append(cand, vals[ia][c])
+			cols = append(cols, c)
+		}
+	}
+	if len(cand) == 0 {
+		return
+	}
+	mark := func() {
+		for _, c := range cols {
+			out[ia][c] = true
+		}
+	}
+	for _, dir := range [2]int{-1, +1} {
+		if scanAgg(len(cand), opts, func(step int, row []float64, present []bool) bool {
+			r := ia + dir*step
+			if r < 0 || r >= t.Height() {
+				return false
+			}
+			for k, c := range cols {
+				row[k], present[k] = vals[r][c], isNum[r][c]
+			}
+			return true
+		}, cand) {
+			mark()
+			break
+		}
+	}
+}
+
+// detectColCandidates mirrors detectRowCandidates for the numeric cells of
+// column ja, accumulating leftwards then rightwards (lines 20-30).
+func detectColCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ja int, opts DerivedOptions, out [][]bool) {
+	h := t.Height()
+	var cand []float64
+	var rows []int
+	for r := 0; r < h; r++ {
+		if isNum[r][ja] {
+			cand = append(cand, vals[r][ja])
+			rows = append(rows, r)
+		}
+	}
+	if len(cand) == 0 {
+		return
+	}
+	mark := func() {
+		for _, r := range rows {
+			out[r][ja] = true
+		}
+	}
+	for _, dir := range [2]int{-1, +1} {
+		if scanAgg(len(cand), opts, func(step int, col []float64, present []bool) bool {
+			c := ja + dir*step
+			if c < 0 || c >= t.Width() {
+				return false
+			}
+			for k, r := range rows {
+				col[k], present[k] = vals[r][c], isNum[r][c]
+			}
+			return true
+		}, cand) {
+			mark()
+			break
+		}
+	}
+}
+
+// scanAgg drives the accumulation loop shared by the four directions. The
+// fetch callback fills the values present at distance step (one slot per
+// candidate) and reports whether the walk is still in bounds. scanAgg
+// reports whether at any step the coverage of close-enough candidates
+// exceeded the threshold under any enabled aggregation function.
+func scanAgg(n int, opts DerivedOptions, fetch func(step int, vals []float64, present []bool) bool, cand []float64) bool {
+	sum := make([]float64, n)
+	mins := make([]float64, n)
+	maxs := make([]float64, n)
+	seen := make([]bool, n)
+	row := make([]float64, n)
+	present := make([]bool, n)
+	for step := 1; ; step++ {
+		if opts.MaxSpan > 0 && step > opts.MaxSpan {
+			return false
+		}
+		if !fetch(step, row, present) {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if !present[k] {
+				continue
+			}
+			sum[k] += row[k]
+			if !seen[k] || row[k] < mins[k] {
+				mins[k] = row[k]
+			}
+			if !seen[k] || row[k] > maxs[k] {
+				maxs[k] = row[k]
+			}
+			seen[k] = true
+		}
+		if step < 2 {
+			// A one-line "aggregation" is just a copy of the adjacent line;
+			// requiring at least two contributing lines avoids marking
+			// every repeated value as derived.
+			continue
+		}
+		if coverage(cand, sum, 1, opts.Delta) > opts.Coverage {
+			return true
+		}
+		if opts.DetectMean && coverage(cand, sum, float64(step), opts.Delta) > opts.Coverage {
+			return true
+		}
+		if opts.DetectMinMax {
+			if coverage(cand, mins, 1, opts.Delta) > opts.Coverage && distinct(mins, sum) {
+				return true
+			}
+			if coverage(cand, maxs, 1, opts.Delta) > opts.Coverage && distinct(maxs, sum) {
+				return true
+			}
+		}
+	}
+}
+
+// distinct reports whether the aggregate vector differs from the running
+// sum — a min/max that coincides with the sum carries no extra evidence
+// (it happens when only one line contributed so far).
+func distinct(agg, sum []float64) bool {
+	for k := range agg {
+		if agg[k] != sum[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// coverage returns the fraction of candidates whose value is within delta of
+// sum[k]/div. Closeness is relative with an absolute floor: a candidate v
+// matches when |v - agg| <= delta * max(1, |v|).
+func coverage(cand, sum []float64, div, delta float64) float64 {
+	match := 0
+	for k, v := range cand {
+		agg := sum[k] / div
+		if math.Abs(v-agg) <= delta*math.Max(1, math.Abs(v)) {
+			match++
+		}
+	}
+	return float64(match) / float64(len(cand))
+}

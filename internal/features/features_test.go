@@ -1,0 +1,486 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/table"
+)
+
+func TestContainsAggregationWord(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"Total", true},
+		{"TOTAL", true},
+		{"Grand total:", true},
+		{"Sale/Manufacturing: total", true},
+		{"Average income", true},
+		{"avg", true},
+		{"Mean value", true},
+		{"median", true},
+		{"All persons", true},
+		{"totally", false}, // substring, not a word
+		{"summary", false},
+		{"overall", false}, // 'all' embedded in a word
+		{"", false},
+		{"12345", false},
+	}
+	for _, c := range cases {
+		if got := ContainsAggregationWord(c.in); got != c.want {
+			t.Errorf("ContainsAggregationWord(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"hello", 1},
+		{"hello world", 2},
+		{"a-b c_d", 4}, // '-' and '_' break words
+		{"  x  ", 1},
+		{"12 34", 2},
+		{"Crime in the U.S. 2016", 6},
+	}
+	for _, c := range cases {
+		if got := WordCount(c.in); got != c.want {
+			t.Errorf("WordCount(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	// Two components: a 2x2 block (size 4) and a lone cell (size 1) in a
+	// 3x4 grid (normalizer 12).
+	tb := table.FromRows([][]string{
+		{"a", "b", "", ""},
+		{"c", "d", "", ""},
+		{"", "", "", "x"},
+	})
+	bs := BlockSizes(tb)
+	if got, want := bs[0][0], 4.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("block at (0,0) = %v, want %v", got, want)
+	}
+	if bs[0][0] != bs[1][1] || bs[0][0] != bs[0][1] || bs[0][0] != bs[1][0] {
+		t.Error("all cells of a component must share one block size")
+	}
+	if got, want := bs[2][3], 1.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("lone cell block = %v, want %v", got, want)
+	}
+	if bs[0][2] != 0 {
+		t.Error("empty cells must have block size 0")
+	}
+}
+
+func TestBlockSizesDiagonalNotConnected(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"a", ""},
+		{"", "b"},
+	})
+	bs := BlockSizes(tb)
+	if bs[0][0] != 0.25 || bs[1][1] != 0.25 {
+		t.Errorf("diagonal cells must be separate components: %v %v", bs[0][0], bs[1][1])
+	}
+}
+
+func TestBlockSizesCoverAllNonEmpty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := rng.Intn(8)+1, rng.Intn(8)+1
+		tb := table.New(h, w)
+		for r := 0; r < h; r++ {
+			for c := 0; c < w; c++ {
+				if rng.Intn(2) == 0 {
+					tb.SetCell(r, c, "v")
+				}
+			}
+		}
+		bs := BlockSizes(tb)
+		for r := 0; r < h; r++ {
+			for c := 0; c < w; c++ {
+				if tb.IsEmptyCell(r, c) != (bs[r][c] == 0) {
+					return false
+				}
+				if bs[r][c] < 0 || bs[r][c] > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sumTable builds a small table whose last line is a keyword-anchored sum of
+// the data lines above it.
+func sumTable() *table.Table {
+	return table.FromRows([][]string{
+		{"Item", "Q1", "Q2"},
+		{"apples", "10", "20"},
+		{"pears", "30", "40"},
+		{"plums", "5", "5"},
+		{"Total", "45", "65"},
+	})
+}
+
+func TestDetectDerivedSumRow(t *testing.T) {
+	tb := sumTable()
+	d := DetectDerived(tb, DefaultDerivedOptions())
+	if !d[4][1] || !d[4][2] {
+		t.Fatalf("sum cells not detected: %v", d[4])
+	}
+	// Data cells must not be marked.
+	for r := 1; r <= 3; r++ {
+		for c := 1; c <= 2; c++ {
+			if d[r][c] {
+				t.Errorf("data cell (%d,%d) wrongly marked derived", r, c)
+			}
+		}
+	}
+}
+
+func TestDetectDerivedMeanRow(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"Item", "V"},
+		{"a", "10"},
+		{"b", "20"},
+		{"c", "30"},
+		{"Average", "20"},
+	})
+	d := DetectDerived(tb, DefaultDerivedOptions())
+	if !d[4][1] {
+		t.Error("mean cell not detected")
+	}
+	opts := DefaultDerivedOptions()
+	opts.DetectMean = false
+	d = DetectDerived(tb, opts)
+	if d[4][1] {
+		t.Error("mean detection should be off")
+	}
+}
+
+func TestDetectDerivedColumn(t *testing.T) {
+	// The rightmost column sums the two value columns; the keyword sits in
+	// the header of that column, anchoring column candidates.
+	tb := table.FromRows([][]string{
+		{"Item", "Q1", "Q2", "Total"},
+		{"a", "10", "20", "30"},
+		{"b", "5", "5", "10"},
+		{"c", "1", "2", "3"},
+	})
+	d := DetectDerived(tb, DefaultDerivedOptions())
+	for r := 1; r <= 3; r++ {
+		if !d[r][3] {
+			t.Errorf("derived column cell (%d,3) not detected", r)
+		}
+	}
+}
+
+func TestDetectDerivedNoAnchorsNoDetection(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"a", "10", "20"},
+		{"b", "30", "40"},
+		{"c", "40", "60"}, // a sum line, but unanchored
+	})
+	d := DetectDerived(tb, DefaultDerivedOptions())
+	for r := range d {
+		for c := range d[r] {
+			if d[r][c] {
+				t.Errorf("unanchored cell (%d,%d) marked derived", r, c)
+			}
+		}
+	}
+}
+
+func TestDetectDerivedRespectsDelta(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"x", "100"},
+		{"y", "100"},
+		{"Total", "900"}, // way off: 100+100 = 200
+	})
+	d := DetectDerived(tb, DefaultDerivedOptions())
+	if d[2][1] {
+		t.Error("badly mismatched total must not be derived")
+	}
+}
+
+func TestDetectDerivedMaxSpan(t *testing.T) {
+	rows := [][]string{{"hdr", "v"}}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []string{"d", "1"})
+	}
+	rows = append(rows, []string{"Total", "10"})
+	tb := table.FromRows(rows)
+	opts := DefaultDerivedOptions()
+	opts.MaxSpan = 3 // too short to accumulate the full sum
+	d := DetectDerived(tb, opts)
+	if d[11][1] {
+		t.Error("MaxSpan should prevent detection")
+	}
+	opts.MaxSpan = 0
+	d = DetectDerived(tb, opts)
+	if !d[11][1] {
+		t.Error("unbounded span should detect the sum")
+	}
+}
+
+func TestLineFeaturesShapeAndRanges(t *testing.T) {
+	tb := sumTable()
+	fs := LineFeatures(tb, DefaultLineOptions())
+	if len(fs) != tb.Height() {
+		t.Fatalf("rows = %d, want %d", len(fs), tb.Height())
+	}
+	for r, f := range fs {
+		if len(f) != NumLineFeatures {
+			t.Fatalf("line %d: %d features, want %d", r, len(f), NumLineFeatures)
+		}
+		for i, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("line %d feature %s is %v", r, LineFeatureNames[i], v)
+			}
+			if v < -1 || v > 1+1e-9 {
+				t.Errorf("line %d feature %s = %v out of range", r, LineFeatureNames[i], v)
+			}
+		}
+	}
+}
+
+func TestLineFeatureSemantics(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"Report Title", "", "", ""},
+		{"", "", "", ""},
+		{"col1", "col2", "col3", "col4"},
+		{"a", "1", "2", "3"},
+		{"b", "4", "5", "6"},
+		{"Total", "5", "7", "9"},
+	})
+	fs := LineFeatures(tb, DefaultLineOptions())
+	idx := featureIndex(t, LineFeatureNames, "EmptyCellRatio")
+	if got := fs[0][idx]; got != 0.75 {
+		t.Errorf("EmptyCellRatio(line 0) = %v, want 0.75", got)
+	}
+	idx = featureIndex(t, LineFeatureNames, "AggregationWord")
+	if fs[5][idx] != 1 || fs[3][idx] != 0 {
+		t.Error("AggregationWord wrong")
+	}
+	idx = featureIndex(t, LineFeatureNames, "LinePosition")
+	if fs[0][idx] != 0 || fs[5][idx] != 1 {
+		t.Error("LinePosition must span [0,1]")
+	}
+	idx = featureIndex(t, LineFeatureNames, "NumericalCellRatio")
+	if got := fs[3][idx]; got != 0.75 {
+		t.Errorf("NumericalCellRatio(line 3) = %v, want 0.75", got)
+	}
+	idx = featureIndex(t, LineFeatureNames, "DerivedCoverage")
+	if got := fs[5][idx]; got != 1 {
+		t.Errorf("DerivedCoverage(total line) = %v, want 1", got)
+	}
+	if got := fs[3][idx]; got != 0 {
+		t.Errorf("DerivedCoverage(data line) = %v, want 0", got)
+	}
+	// Data lines adjacent to data lines have high type matching.
+	idx = featureIndex(t, LineFeatureNames, "DataTypeMatchingBelow")
+	if got := fs[3][idx]; got != 1 {
+		t.Errorf("DataTypeMatchingBelow(line 3) = %v, want 1", got)
+	}
+	// DataTypeMatching skips the empty separator line 1.
+	idx = featureIndex(t, LineFeatureNames, "DataTypeMatchingAbove")
+	if got := fs[2][idx]; got != 0.25 {
+		t.Errorf("DataTypeMatchingAbove(line 2) = %v, want 0.25 (vs line 0)", got)
+	}
+}
+
+func TestDCGFavorsLeft(t *testing.T) {
+	left := table.FromRows([][]string{{"x", "", "", ""}})
+	right := table.FromRows([][]string{{"", "", "", "x"}})
+	fl := LineFeatures(left, DefaultLineOptions())
+	fr := LineFeatures(right, DefaultLineOptions())
+	i := featureIndex(nil, LineFeatureNames, "DiscountedCumulativeGain")
+	if fl[0][i] <= fr[0][i] {
+		t.Errorf("DCG(left)=%v should exceed DCG(right)=%v", fl[0][i], fr[0][i])
+	}
+}
+
+func TestCellLengthDifferenceIdenticalLines(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"aa", "bb", "cc"},
+		{"dd", "ee", "ff"},
+	})
+	fs := LineFeatures(tb, DefaultLineOptions())
+	i := featureIndex(nil, LineFeatureNames, "CellLengthDifferenceBelow")
+	if got := fs[0][i]; got > 1e-9 {
+		t.Errorf("identical length profiles should differ by 0, got %v", got)
+	}
+}
+
+func TestCellFeaturesShape(t *testing.T) {
+	tb := sumTable()
+	fs := CellFeatures(tb, nil, DefaultCellOptions())
+	if len(fs) != tb.Height() || len(fs[0]) != tb.Width() {
+		t.Fatalf("shape = %dx%d", len(fs), len(fs[0]))
+	}
+	for r := range fs {
+		for c := range fs[r] {
+			if len(fs[r][c]) != NumCellFeatures {
+				t.Fatalf("cell (%d,%d): %d features, want %d", r, c, len(fs[r][c]), NumCellFeatures)
+			}
+			for i, v := range fs[r][c] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("cell (%d,%d) feature %s is %v", r, c, CellFeatureNames[i], v)
+				}
+			}
+		}
+	}
+}
+
+func TestCellFeatureSemantics(t *testing.T) {
+	tb := sumTable()
+	probs := make([][]float64, tb.Height())
+	for r := range probs {
+		probs[r] = []float64{0.1, 0.2, 0.3, 0.1, 0.2, 0.1}
+	}
+	fs := CellFeatures(tb, probs, DefaultCellOptions())
+
+	i := featureIndex(t, CellFeatureNames, "IsAggregation")
+	if fs[4][1][i] != 1 {
+		t.Error("total cell should have IsAggregation=1")
+	}
+	if fs[1][1][i] != 0 {
+		t.Error("data cell should have IsAggregation=0")
+	}
+
+	i = featureIndex(t, CellFeatureNames, "HasDerivedKeywords")
+	if fs[4][0][i] != 1 || fs[1][0][i] != 0 {
+		t.Error("HasDerivedKeywords wrong")
+	}
+	i = featureIndex(t, CellFeatureNames, "RowHasDerivedKeywords")
+	if fs[4][2][i] != 1 || fs[1][2][i] != 0 {
+		t.Error("RowHasDerivedKeywords wrong")
+	}
+	i = featureIndex(t, CellFeatureNames, "ColumnHasDerivedKeywords")
+	if fs[1][0][i] != 1 { // column 0 contains "Total"
+		t.Error("ColumnHasDerivedKeywords wrong")
+	}
+
+	i = featureIndex(t, CellFeatureNames, "LineClassProbability_group")
+	if fs[2][1][i] != 0.3 {
+		t.Errorf("line prob feature = %v, want 0.3", fs[2][1][i])
+	}
+
+	i = featureIndex(t, CellFeatureNames, "RowPosition")
+	if fs[0][0][i] != 0 || fs[4][0][i] != 1 {
+		t.Error("RowPosition wrong")
+	}
+	i = featureIndex(t, CellFeatureNames, "ColumnPosition")
+	if fs[0][0][i] != 0 || fs[0][2][i] != 1 {
+		t.Error("ColumnPosition wrong")
+	}
+
+	// Corner cell: NW neighbor does not exist -> -1 sentinel.
+	i = featureIndex(t, CellFeatureNames, "NeighborValueLength_NW")
+	if fs[0][0][i] != -1 {
+		t.Errorf("missing neighbor sentinel = %v, want -1", fs[0][0][i])
+	}
+	i = featureIndex(t, CellFeatureNames, "NeighborDataType_E")
+	if fs[0][0][i] < 0 {
+		t.Error("existing neighbor should have a real type")
+	}
+}
+
+func TestCellFeaturesNilProbsAreZero(t *testing.T) {
+	tb := sumTable()
+	fs := CellFeatures(tb, nil, DefaultCellOptions())
+	i := featureIndex(t, CellFeatureNames, "LineClassProbability_metadata")
+	for r := range fs {
+		for c := range fs[r] {
+			if fs[r][c][i] != 0 {
+				t.Fatal("nil lineProbs must leave probability features at 0")
+			}
+		}
+	}
+}
+
+func TestFeatureGroupIndicesPartitionLine(t *testing.T) {
+	seen := map[int]bool{}
+	for _, set := range [][]int{LineContentFeatures, LineContextualFeatures, LineComputationalFeatures} {
+		for _, i := range set {
+			if seen[i] {
+				t.Fatalf("feature index %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != NumLineFeatures {
+		t.Errorf("groups cover %d features, want %d", len(seen), NumLineFeatures)
+	}
+}
+
+func TestFeatureGroupIndicesPartitionCell(t *testing.T) {
+	seen := map[int]bool{}
+	for _, set := range [][]int{CellContentFeatures, CellLineProbFeatures, CellContextualFeatures, CellComputationalFeatures} {
+		for _, i := range set {
+			if seen[i] {
+				t.Fatalf("feature index %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != NumCellFeatures {
+		t.Errorf("groups cover %d features, want %d", len(seen), NumCellFeatures)
+	}
+}
+
+func featureIndex(t *testing.T, names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	if t != nil {
+		t.Fatalf("feature %q not found", name)
+	}
+	panic("feature not found: " + name)
+}
+
+func TestDetectDerivedMinMax(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"Item", "V"},
+		{"a", "10"},
+		{"b", "25"},
+		{"c", "40"},
+		{"All, maximum", "40"},
+	})
+	// Not detected under the default sum+mean options...
+	d := DetectDerived(tb, DefaultDerivedOptions())
+	if d[4][1] {
+		t.Error("max cell detected without DetectMinMax")
+	}
+	// ...but detected with the extended aggregation set.
+	d = DetectDerived(tb, ExtendedDerivedOptions())
+	if !d[4][1] {
+		t.Error("max cell not detected with DetectMinMax")
+	}
+}
+
+func TestDetectDerivedMin(t *testing.T) {
+	tb := table.FromRows([][]string{
+		{"Item", "A", "B"},
+		{"x", "10", "7"},
+		{"y", "25", "3"},
+		{"z", "40", "9"},
+		{"All, minimum", "10", "3"},
+	})
+	d := DetectDerived(tb, ExtendedDerivedOptions())
+	if !d[4][1] || !d[4][2] {
+		t.Errorf("min cells not detected: %v", d[4])
+	}
+}

@@ -1,0 +1,59 @@
+// Package features extracts the Strudel feature sets: the line features of
+// Table 1 and the cell features of Table 2, including the BlockSize
+// computation (Algorithm 1) and the derived cell detection (Algorithm 2).
+package features
+
+import "strings"
+
+// AggregationKeywords is the pre-made dictionary of terms associated with
+// aggregation in tables (Section 4, AggregationWord feature). Matching is
+// case-insensitive on word boundaries.
+var AggregationKeywords = []string{
+	"total", "all", "sum", "average", "avg", "mean", "median",
+}
+
+// ContainsAggregationWord reports whether v contains any aggregation keyword
+// as a whole word, case-insensitively.
+func ContainsAggregationWord(v string) bool {
+	lower := strings.ToLower(v)
+	for _, kw := range AggregationKeywords {
+		idx := 0
+		for {
+			i := strings.Index(lower[idx:], kw)
+			if i < 0 {
+				break
+			}
+			start := idx + i
+			end := start + len(kw)
+			beforeOK := start == 0 || !isWordChar(lower[start-1])
+			afterOK := end == len(lower) || !isWordChar(lower[end])
+			if beforeOK && afterOK {
+				return true
+			}
+			idx = start + 1
+		}
+	}
+	return false
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// WordCount returns the number of words in v, where a word is a maximal
+// sequence of alphanumeric characters (Section 4, WordAmount feature).
+func WordCount(v string) int {
+	n := 0
+	in := false
+	for i := 0; i < len(v); i++ {
+		if isWordChar(v[i]) {
+			if !in {
+				n++
+				in = true
+			}
+		} else {
+			in = false
+		}
+	}
+	return n
+}

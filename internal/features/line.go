@@ -1,0 +1,275 @@
+package features
+
+import (
+	"math"
+
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+// LineFeatureNames lists the Strudel^L features of Table 1, in vector order.
+// Contextual features marked '*' in the paper appear twice, once for the
+// line above and once for the line below.
+var LineFeatureNames = []string{
+	// Content features.
+	"EmptyCellRatio",
+	"DiscountedCumulativeGain",
+	"AggregationWord",
+	"WordAmount",
+	"NumericalCellRatio",
+	"StringCellRatio",
+	"LinePosition",
+	// Contextual features (above, below).
+	"DataTypeMatchingAbove",
+	"DataTypeMatchingBelow",
+	"EmptyNeighboringLinesAbove",
+	"EmptyNeighboringLinesBelow",
+	"CellLengthDifferenceAbove",
+	"CellLengthDifferenceBelow",
+	// Computational feature.
+	"DerivedCoverage",
+}
+
+// NumLineFeatures is the length of a line feature vector.
+var NumLineFeatures = len(LineFeatureNames)
+
+// Indices of the three feature groups within a line feature vector, used by
+// the feature-group ablation experiment.
+var (
+	LineContentFeatures       = []int{0, 1, 2, 3, 4, 5, 6}
+	LineContextualFeatures    = []int{7, 8, 9, 10, 11, 12}
+	LineComputationalFeatures = []int{13}
+)
+
+// LineOptions configures line feature extraction.
+type LineOptions struct {
+	// Derived configures the Algorithm 2 run backing DerivedCoverage.
+	Derived DerivedOptions
+	// NeighborWindow is the number of lines inspected above/below for the
+	// EmptyNeighboringLines feature. The paper uses five.
+	NeighborWindow int
+	// StrictAdjacency makes the contextual features compare against the
+	// physically adjacent lines instead of the closest non-empty ones.
+	// The paper argues for skipping empty separator lines (Section 4,
+	// DataTypeMatching); this switch exists to ablate that choice.
+	StrictAdjacency bool
+}
+
+// DefaultLineOptions returns the paper's configuration.
+func DefaultLineOptions() LineOptions {
+	return LineOptions{Derived: DefaultDerivedOptions(), NeighborWindow: 5}
+}
+
+// LineFeatures extracts one feature vector per line of t (including empty
+// lines, whose vectors are still well defined; callers typically classify
+// only non-empty lines). The returned matrix has t.Height() rows of
+// NumLineFeatures columns.
+func LineFeatures(t *table.Table, opts LineOptions) [][]float64 {
+	h, w := t.Height(), t.Width()
+	out := make([][]float64, h)
+	backing := make([]float64, h*NumLineFeatures)
+	for r := range out {
+		out[r], backing = backing[:NumLineFeatures:NumLineFeatures], backing[NumLineFeatures:]
+	}
+	if h == 0 || w == 0 {
+		return out
+	}
+
+	// Shared per-table precomputation.
+	typeGrid := make([][]types.Type, h)
+	for r := 0; r < h; r++ {
+		typeGrid[r] = types.RowTypes(t.Row(r))
+	}
+	derived := DetectDerived(t, opts.Derived)
+
+	wordCounts := make([]float64, h)
+	maxWords := 0.0
+	minWords := math.Inf(1)
+	for r := 0; r < h; r++ {
+		n := 0.0
+		for _, v := range t.Row(r) {
+			n += float64(WordCount(v))
+		}
+		wordCounts[r] = n
+		if n > maxWords {
+			maxWords = n
+		}
+		if n < minWords {
+			minWords = n
+		}
+	}
+
+	window := opts.NeighborWindow
+	if window <= 0 {
+		window = 5
+	}
+
+	for r := 0; r < h; r++ {
+		f := out[r]
+		empty, numeric, str := 0, 0, 0
+		hasAgg := false
+		for c := 0; c < w; c++ {
+			switch typeGrid[r][c] {
+			case types.Empty:
+				empty++
+			case types.Int, types.Float:
+				numeric++
+			case types.String, types.Date:
+				str++
+			}
+			if !hasAgg && typeGrid[r][c] != types.Empty && ContainsAggregationWord(t.Cell(r, c)) {
+				hasAgg = true
+			}
+		}
+		fw := float64(w)
+		f[0] = float64(empty) / fw
+		f[1] = dcg(typeGrid[r])
+		if hasAgg {
+			f[2] = 1
+		}
+		if maxWords > minWords {
+			f[3] = (wordCounts[r] - minWords) / (maxWords - minWords)
+		}
+		f[4] = float64(numeric) / fw
+		f[5] = float64(str) / fw
+		if h > 1 {
+			f[6] = float64(r) / float64(h-1)
+		}
+
+		above := t.ClosestNonEmptyLineAbove(r)
+		below := t.ClosestNonEmptyLineBelow(r)
+		if opts.StrictAdjacency {
+			above, below = -1, -1
+			if r > 0 {
+				above = r - 1
+			}
+			if r < h-1 {
+				below = r + 1
+			}
+		}
+		f[7] = dataTypeMatching(typeGrid, r, above)
+		f[8] = dataTypeMatching(typeGrid, r, below)
+		f[9] = emptyNeighborRatio(t, r, -1, window)
+		f[10] = emptyNeighborRatio(t, r, +1, window)
+		f[11] = cellLengthDifference(t, r, above)
+		f[12] = cellLengthDifference(t, r, below)
+
+		nNum, nDer := 0, 0
+		for c := 0; c < w; c++ {
+			if typeGrid[r][c].IsNumeric() {
+				nNum++
+				if derived[r][c] {
+					nDer++
+				}
+			}
+		}
+		if nNum > 0 {
+			f[13] = float64(nDer) / float64(nNum)
+		}
+	}
+	return out
+}
+
+// dcg computes the normalized discounted cumulative gain over the
+// emptiness vector of a line: non-empty cells contribute 1/log2(pos+1),
+// normalized by the all-non-empty ideal so the value lies in [0, 1]. Left
+// positions weigh more, modeling left-to-right layout (Section 4).
+func dcg(rowTypes []types.Type) float64 {
+	sum, ideal := 0.0, 0.0
+	for i, ty := range rowTypes {
+		gain := 1 / math.Log2(float64(i)+2)
+		ideal += gain
+		if ty != types.Empty {
+			sum += gain
+		}
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return sum / ideal
+}
+
+// dataTypeMatching is the fraction of columns whose data type in line r
+// equals the type in the closest non-empty neighbor line (index other, or
+// -1 when none exists, which yields 0).
+func dataTypeMatching(typeGrid [][]types.Type, r, other int) float64 {
+	if other < 0 {
+		return 0
+	}
+	w := len(typeGrid[r])
+	if w == 0 {
+		return 0
+	}
+	match := 0
+	for c := 0; c < w; c++ {
+		if typeGrid[r][c] == typeGrid[other][c] {
+			match++
+		}
+	}
+	return float64(match) / float64(w)
+}
+
+// emptyNeighborRatio is the fraction of empty lines among the `window` lines
+// in direction dir from r. Lines beyond the file boundary count as empty,
+// matching the intuition that the first and last lines have maximally
+// "empty" surroundings.
+func emptyNeighborRatio(t *table.Table, r, dir, window int) float64 {
+	empty := 0
+	for i := 1; i <= window; i++ {
+		if t.IsEmptyLine(r + dir*i) {
+			empty++
+		}
+	}
+	return float64(empty) / float64(window)
+}
+
+// lengthBuckets are the histogram bucket upper bounds (inclusive) used by
+// cellLengthDifference. The last bucket is open-ended.
+var lengthBuckets = []int{0, 2, 5, 10, 20, 50}
+
+// cellLengthDifference is the Bhattacharyya-based histogram difference
+// between the cell-length sequences of line r and its closest non-empty
+// neighbor (index other). Result in [0, 1]: 0 for identical length
+// distributions, 1 for disjoint ones. Missing neighbors yield 1 (maximally
+// different).
+func cellLengthDifference(t *table.Table, r, other int) float64 {
+	if other < 0 {
+		return 1
+	}
+	p := lengthHistogram(t.Row(r))
+	q := lengthHistogram(t.Row(other))
+	bc := 0.0
+	for i := range p {
+		bc += math.Sqrt(p[i] * q[i])
+	}
+	if bc > 1 {
+		bc = 1
+	}
+	return math.Sqrt(1 - bc) // Hellinger form of the Bhattacharyya difference
+}
+
+func lengthHistogram(row []string) []float64 {
+	hist := make([]float64, len(lengthBuckets)+1)
+	n := 0.0
+	for _, v := range row {
+		if table.IsEmpty(v) {
+			continue
+		}
+		l := len(v)
+		b := len(lengthBuckets)
+		for i, ub := range lengthBuckets {
+			if l <= ub {
+				b = i
+				break
+			}
+		}
+		hist[b]++
+		n++
+	}
+	if n > 0 {
+		for i := range hist {
+			hist[i] /= n
+		}
+	}
+	return hist
+}

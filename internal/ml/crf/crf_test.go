@@ -1,0 +1,206 @@
+package crf
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeChainData builds sequences where the label is readable from a single
+// emission feature, plus noisy items whose label is only inferable from the
+// chain structure (label alternates 0,1,0,1,...).
+func makeChainData(seed int64, n int) (seqs [][][]int, labels [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < n; s++ {
+		T := rng.Intn(6) + 4
+		seq := make([][]int, T)
+		lab := make([]int, T)
+		for t := 0; t < T; t++ {
+			lab[t] = t % 2
+			if rng.Float64() < 0.8 {
+				seq[t] = []int{lab[t]} // informative feature
+			} else {
+				seq[t] = []int{2} // uninformative feature
+			}
+		}
+		seqs = append(seqs, seq)
+		labels = append(labels, lab)
+	}
+	return seqs, labels
+}
+
+func TestFitAndDecode(t *testing.T) {
+	seqs, labels := makeChainData(1, 60)
+	m, err := Fit(seqs, labels, 2, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for s := range seqs {
+		got := m.Decode(seqs[s])
+		for t2 := range got {
+			total++
+			if got[t2] == labels[s][t2] {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("decode accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestTransitionsLearned(t *testing.T) {
+	// Alternating labels: self-transitions must score lower than switches.
+	seqs, labels := makeChainData(2, 80)
+	m, err := Fit(seqs, labels, 2, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TransW[0][1] <= m.TransW[0][0] {
+		t.Errorf("trans 0->1 (%v) should beat 0->0 (%v)", m.TransW[0][1], m.TransW[0][0])
+	}
+	if m.TransW[1][0] <= m.TransW[1][1] {
+		t.Errorf("trans 1->0 (%v) should beat 1->1 (%v)", m.TransW[1][0], m.TransW[1][1])
+	}
+}
+
+func TestChainDisambiguatesUninformativeItems(t *testing.T) {
+	seqs, labels := makeChainData(3, 100)
+	m, err := Fit(seqs, labels, 2, 3, Options{Seed: 3, Epochs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sequence of all-uninformative middle items: informative endpoints
+	// plus learned alternation should still recover the pattern.
+	seq := [][]int{{0}, {2}, {2}, {2}, {1}}
+	got := m.Decode(seq)
+	want := []int{0, 1, 0, 1, 1}
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+		}
+	}
+	if mismatches > 1 {
+		t.Errorf("Decode = %v, want close to %v", got, want)
+	}
+	_ = labels
+}
+
+func TestMarginalsValid(t *testing.T) {
+	seqs, labels := makeChainData(4, 40)
+	m, err := Fit(seqs, labels, 2, 3, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := m.Marginals(seqs[0])
+	if len(marg) != len(seqs[0]) {
+		t.Fatalf("marginal rows = %d", len(marg))
+	}
+	for t2, p := range marg {
+		s := 0.0
+		for _, v := range p {
+			if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+				t.Fatalf("bad marginal %v", p)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("marginals at %d sum to %v", t2, s)
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	m := &Model{NumLabels: 2, NumFeatures: 1, StateW: [][]float64{{0, 0}}, TransW: [][]float64{{0, 0}, {0, 0}}}
+	if got := m.Decode(nil); got != nil {
+		t.Errorf("Decode(nil) = %v", got)
+	}
+	if got := m.Marginals(nil); got != nil {
+		t.Errorf("Marginals(nil) = %v", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, 3, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Fit([][][]int{{{0}}}, [][]int{{0, 1}}, 2, 3, Options{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestBinize(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 1},
+		{0.75, 2},
+		{0.5, 3},
+		{0.3, 3},
+		{0.2, 4},
+		{1e-9, NumBins - 1},
+	}
+	for _, c := range cases {
+		if got := Binize(c.v); got != c.want {
+			t.Errorf("Binize(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBinizeMonotoneBuckets(t *testing.T) {
+	// Smaller positive values never get smaller bins (finer near zero).
+	prev := Binize(1.0)
+	for v := 0.9; v > 1e-6; v *= 0.7 {
+		b := Binize(v)
+		if b < prev {
+			t.Fatalf("binning not monotone at %v: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBinizeVectorIDsDistinct(t *testing.T) {
+	ids := BinizeVector([]float64{0.5, 0.5, 0.5})
+	if ids[0] == ids[1] || ids[1] == ids[2] {
+		t.Error("same value in different positions must map to distinct IDs")
+	}
+	for _, id := range ids {
+		if id < 0 || id >= NumFeatureIDs(3) {
+			t.Errorf("id %d out of range", id)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	seqs, labels := makeChainData(9, 30)
+	m, err := Fit(seqs, labels, 2, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range seqs[:10] {
+		a, b := m.Decode(seqs[s]), m2.Decode(seqs[s])
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("decoding differs after round trip")
+			}
+		}
+	}
+	if _, err := Load(bytes.NewBufferString("{}")); err == nil {
+		t.Error("corrupt model should fail to load")
+	}
+}

@@ -1,0 +1,331 @@
+// Package forest implements a multi-class random forest classifier with
+// probability averaging, mirroring the scikit-learn defaults the paper uses
+// as Strudel's backbone (100 Gini trees, sqrt(p) features per split,
+// bootstrap sampling).
+package forest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"strudel/internal/ml/tree"
+)
+
+// Options configures forest training.
+type Options struct {
+	// NumTrees is the ensemble size; 0 means 100 (the scikit-learn default).
+	NumTrees int
+	// MaxFeatures is the per-split feature budget; 0 means floor(sqrt(p)).
+	MaxFeatures int
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples per leaf; 0 means 1.
+	MinSamplesLeaf int
+	// MaxSamples caps the bootstrap sample size as a fraction of the
+	// training set; 0 or >=1 means a full-size bootstrap.
+	MaxSamples float64
+	// Seed makes training deterministic. The same seed always yields the
+	// same forest.
+	Seed int64
+	// Jobs is the number of goroutines used to grow trees; 0 means
+	// GOMAXPROCS.
+	Jobs int
+}
+
+// DefaultOptions returns the paper's configuration (scikit-learn defaults).
+func DefaultOptions() Options { return Options{NumTrees: 100} }
+
+// Forest is a trained random forest.
+type Forest struct {
+	Trees      []*tree.Tree `json:"trees"`
+	NumClasses int          `json:"num_classes"`
+	NumFeats   int          `json:"num_features"`
+}
+
+// Fit trains a forest on rows X with labels y in [0, numClasses).
+func Fit(X [][]float64, y []int, numClasses int, opts Options) (*Forest, error) {
+	if len(X) == 0 {
+		return nil, errors.New("forest: no training samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("forest: %d samples but %d labels", len(X), len(y))
+	}
+	for _, label := range y {
+		if label < 0 || label >= numClasses {
+			return nil, fmt.Errorf("forest: label %d out of range [0,%d)", label, numClasses)
+		}
+	}
+	if opts.NumTrees <= 0 {
+		opts.NumTrees = 100
+	}
+	nf := len(X[0])
+	mtry := opts.MaxFeatures
+	if mtry <= 0 {
+		mtry = int(math.Sqrt(float64(nf)))
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	sampleSize := len(X)
+	if opts.MaxSamples > 0 && opts.MaxSamples < 1 {
+		sampleSize = int(opts.MaxSamples * float64(len(X)))
+		if sampleSize < 1 {
+			sampleSize = 1
+		}
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > opts.NumTrees {
+		jobs = opts.NumTrees
+	}
+
+	f := &Forest{
+		Trees:      make([]*tree.Tree, opts.NumTrees),
+		NumClasses: numClasses,
+		NumFeats:   nf,
+	}
+
+	// Pre-draw one seed per tree from the master seed so the result does
+	// not depend on goroutine scheduling.
+	master := rand.New(rand.NewSource(opts.Seed))
+	seeds := make([]int64, opts.NumTrees)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int, opts.NumTrees)
+	for i := 0; i < opts.NumTrees; i++ {
+		next <- i
+	}
+	close(next)
+
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(seeds[i]))
+				idx := make([]int, sampleSize)
+				for j := range idx {
+					idx[j] = rng.Intn(len(X))
+				}
+				t, err := tree.Fit(X, y, numClasses, idx, tree.Options{
+					MaxDepth:       opts.MaxDepth,
+					MinSamplesLeaf: opts.MinSamplesLeaf,
+					MaxFeatures:    mtry,
+					Rand:           rng,
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				f.Trees[i] = t
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f, nil
+}
+
+// PredictProba returns the class probability vector for x, averaged over
+// all trees.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	probs := make([]float64, f.NumClasses)
+	f.predictProbaInto(x, probs)
+	return probs
+}
+
+func (f *Forest) predictProbaInto(x []float64, probs []float64) {
+	for i := range probs {
+		probs[i] = 0
+	}
+	for _, t := range f.Trees {
+		p := t.PredictProba(x)
+		for c := range probs {
+			probs[c] += p[c]
+		}
+	}
+	n := float64(len(f.Trees))
+	for c := range probs {
+		probs[c] /= n
+	}
+}
+
+// Predict returns the most probable class for x.
+func (f *Forest) Predict(x []float64) int {
+	return tree.ArgMax(f.PredictProba(x))
+}
+
+// PredictProbaBatch predicts probability vectors for many rows, spreading
+// the work over GOMAXPROCS goroutines.
+func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs > len(X) {
+		jobs = len(X)
+	}
+	if jobs <= 1 {
+		for i, x := range X {
+			out[i] = f.PredictProba(x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(X) + jobs - 1) / jobs
+	for w := 0; w < jobs; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				probs := make([]float64, f.NumClasses)
+				f.predictProbaInto(X[i], probs)
+				out[i] = probs
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// PredictBatch predicts class labels for many rows.
+func (f *Forest) PredictBatch(X [][]float64) []int {
+	probs := f.PredictProbaBatch(X)
+	out := make([]int, len(X))
+	for i, p := range probs {
+		out[i] = tree.ArgMax(p)
+	}
+	return out
+}
+
+// Save writes the forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(f)
+}
+
+// Load reads a forest saved by Save.
+func Load(r io.Reader) (*Forest, error) {
+	var f Forest
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("forest: decode: %w", err)
+	}
+	if len(f.Trees) == 0 || f.NumClasses <= 0 {
+		return nil, errors.New("forest: corrupt model")
+	}
+	return &f, nil
+}
+
+// GiniImportance returns the mean decrease in Gini impurity per feature,
+// averaged over the ensemble and normalized to sum to 1. This is the
+// classical forest importance measure; the paper prefers permutation
+// importance for its Figure 4 because Gini importance favors
+// high-cardinality features — both are exposed so that choice can be
+// reproduced.
+func (f *Forest) GiniImportance() []float64 {
+	out := make([]float64, f.NumFeats)
+	for _, t := range f.Trees {
+		for i, v := range t.Importance {
+			out[i] += v
+		}
+	}
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+// FitWithOOB trains a forest and additionally returns its out-of-bag
+// accuracy estimate: each sample is predicted by the trees whose bootstrap
+// missed it, giving an unbiased generalization estimate without a holdout
+// split. Samples never out of bag (possible in tiny ensembles) are skipped.
+func FitWithOOB(X [][]float64, y []int, numClasses int, opts Options) (*Forest, float64, error) {
+	f, err := Fit(X, y, numClasses, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Reconstruct each tree's bootstrap from the same seed stream Fit used.
+	if opts.NumTrees <= 0 {
+		opts.NumTrees = 100
+	}
+	sampleSize := len(X)
+	if opts.MaxSamples > 0 && opts.MaxSamples < 1 {
+		sampleSize = int(opts.MaxSamples * float64(len(X)))
+		if sampleSize < 1 {
+			sampleSize = 1
+		}
+	}
+	master := rand.New(rand.NewSource(opts.Seed))
+	votes := make([][]float64, len(X))
+	for i := range votes {
+		votes[i] = make([]float64, numClasses)
+	}
+	inBag := make([]bool, len(X))
+	for t := 0; t < opts.NumTrees; t++ {
+		rng := rand.New(rand.NewSource(master.Int63()))
+		for i := range inBag {
+			inBag[i] = false
+		}
+		for j := 0; j < sampleSize; j++ {
+			inBag[rng.Intn(len(X))] = true
+		}
+		for i := range X {
+			if inBag[i] {
+				continue
+			}
+			p := f.Trees[t].PredictProba(X[i])
+			for c := range p {
+				votes[i][c] += p[c]
+			}
+		}
+	}
+	correct, total := 0, 0
+	for i := range X {
+		sum := 0.0
+		for _, v := range votes[i] {
+			sum += v
+		}
+		if sum == 0 {
+			continue // never out of bag
+		}
+		total++
+		if tree.ArgMax(votes[i]) == y[i] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return f, 0, nil
+	}
+	return f, float64(correct) / float64(total), nil
+}

@@ -1,0 +1,262 @@
+package forest
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates k well-separated clusters.
+func blobs(seed int64, k, perClass int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var X [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c*6), float64((c%2)*6)
+		for i := 0; i < perClass; i++ {
+			X = append(X, []float64{cx + rng.NormFloat64()*0.5, cy + rng.NormFloat64()*0.5})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestFitAndPredict(t *testing.T) {
+	X, y := blobs(1, 3, 50)
+	f, err := Fit(X, y, 3, Options{NumTrees: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if f.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.98 {
+		t.Errorf("training accuracy = %v, want >= 0.98", acc)
+	}
+}
+
+func TestPredictProbaValid(t *testing.T) {
+	X, y := blobs(2, 4, 30)
+	f, err := Fit(X, y, 4, Options{NumTrees: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:20] {
+		p := f.PredictProba(x)
+		if len(p) != 4 {
+			t.Fatalf("len(probs) = %d", len(p))
+		}
+		s := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("prob out of range: %v", p)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	X, y := blobs(3, 3, 40)
+	f1, err := Fit(X, y, 3, Options{NumTrees: 10, Seed: 99, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fit(X, y, 3, Options{NumTrees: 10, Seed: 99, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.Trees {
+		a, b := f1.Trees[i], f2.Trees[i]
+		if len(a.Nodes) != len(b.Nodes) {
+			t.Fatalf("tree %d sizes differ (parallel vs serial)", i)
+		}
+		for j := range a.Nodes {
+			if a.Nodes[j].Feature != b.Nodes[j].Feature || a.Nodes[j].Threshold != b.Nodes[j].Threshold {
+				t.Fatalf("tree %d node %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedChangesForest(t *testing.T) {
+	X, y := blobs(4, 2, 40)
+	f1, _ := Fit(X, y, 2, Options{NumTrees: 5, Seed: 1})
+	f2, _ := Fit(X, y, 2, Options{NumTrees: 5, Seed: 2})
+	same := true
+	for i := range f1.Trees {
+		if len(f1.Trees[i].Nodes) != len(f2.Trees[i].Nodes) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Sizes matching is possible; compare thresholds of first tree.
+		a, b := f1.Trees[0].Nodes, f2.Trees[0].Nodes
+		identical := len(a) == len(b)
+		if identical {
+			for i := range a {
+				if a[i].Threshold != b[i].Threshold {
+					identical = false
+					break
+				}
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical forests")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := blobs(5, 3, 30)
+	f, err := Fit(X, y, 3, Options{NumTrees: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:15] {
+		pa, pb := f.PredictProba(x), g.PredictProba(x)
+		for c := range pa {
+			if math.Abs(pa[c]-pb[c]) > 1e-12 {
+				t.Fatalf("probabilities differ after round trip: %v vs %v", pa, pb)
+			}
+		}
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{}")); err == nil {
+		t.Error("loading an empty model should fail")
+	}
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("loading junk should fail")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, Options{}); err == nil {
+		t.Error("empty training set should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0, 1}, 2, Options{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{5}, 2, Options{}); err == nil {
+		t.Error("out-of-range label should error")
+	}
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	X, y := blobs(6, 3, 30)
+	f, err := Fit(X, y, 3, Options{NumTrees: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := f.PredictProbaBatch(X)
+	for i, x := range X {
+		single := f.PredictProba(x)
+		for c := range single {
+			if math.Abs(single[c]-batch[i][c]) > 1e-12 {
+				t.Fatalf("batch differs from single at row %d", i)
+			}
+		}
+	}
+	labels := f.PredictBatch(X)
+	correct := 0
+	for i := range labels {
+		if labels[i] == y[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(y)) < 0.95 {
+		t.Error("batch accuracy too low")
+	}
+}
+
+func TestMaxSamples(t *testing.T) {
+	X, y := blobs(7, 2, 100)
+	f, err := Fit(X, y, 2, Options{NumTrees: 5, Seed: 7, MaxSamples: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trees trained on 20% subsamples are much smaller than full trees.
+	full, _ := Fit(X, y, 2, Options{NumTrees: 5, Seed: 7})
+	small, big := 0, 0
+	for i := range f.Trees {
+		small += len(f.Trees[i].Nodes)
+		big += len(full.Trees[i].Nodes)
+	}
+	if small > big {
+		t.Errorf("subsampled forest (%d nodes) bigger than full (%d)", small, big)
+	}
+}
+
+func TestGiniImportance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X := make([][]float64, 200)
+	y := make([]int, 200)
+	for i := range X {
+		c := i % 2
+		X[i] = []float64{rng.Float64(), float64(c)*4 + rng.NormFloat64()*0.2}
+		y[i] = c
+	}
+	f, err := Fit(X, y, 2, Options{NumTrees: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.GiniImportance()
+	if imp[1] <= imp[0] {
+		t.Errorf("importance = %v, informative feature should dominate", imp)
+	}
+	if s := imp[0] + imp[1]; s < 0.999 || s > 1.001 {
+		t.Errorf("importance sums to %v", s)
+	}
+}
+
+func TestFitWithOOB(t *testing.T) {
+	X, y := blobs(11, 3, 60)
+	f, oob, err := FitWithOOB(X, y, 3, Options{NumTrees: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("nil forest")
+	}
+	if oob < 0.9 {
+		t.Errorf("OOB accuracy = %v on separable blobs, want >= 0.9", oob)
+	}
+	if oob > 1 {
+		t.Errorf("OOB accuracy = %v > 1", oob)
+	}
+}
+
+func TestFitWithOOBMatchesFitForest(t *testing.T) {
+	X, y := blobs(12, 2, 40)
+	f1, _, err := FitWithOOB(X, y, 2, Options{NumTrees: 8, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fit(X, y, 2, Options{NumTrees: 8, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.Trees {
+		if len(f1.Trees[i].Nodes) != len(f2.Trees[i].Nodes) {
+			t.Fatal("FitWithOOB must train the same forest as Fit")
+		}
+	}
+}

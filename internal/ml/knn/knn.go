@@ -1,0 +1,76 @@
+// Package knn implements a k-nearest-neighbors classifier (brute-force
+// Euclidean), one of the alternative backbones evaluated in Section 6.1.2.
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Model is a fitted KNN classifier (which simply memorizes the data).
+type Model struct {
+	K          int
+	NumClasses int
+	X          [][]float64
+	Y          []int
+}
+
+// Fit stores the training data. k values < 1 default to 5 (the
+// scikit-learn default).
+func Fit(X [][]float64, y []int, numClasses, k int) (*Model, error) {
+	if len(X) == 0 {
+		return nil, errors.New("knn: no training samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("knn: %d samples but %d labels", len(X), len(y))
+	}
+	if k < 1 {
+		k = 5
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	return &Model{K: k, NumClasses: numClasses, X: X, Y: y}, nil
+}
+
+// PredictProba returns the class distribution among the k nearest
+// neighbors of x.
+func (m *Model) PredictProba(x []float64) []float64 {
+	type cand struct {
+		d2 float64
+		y  int
+	}
+	cands := make([]cand, len(m.X))
+	for i, xi := range m.X {
+		d2 := 0.0
+		for f := range x {
+			d := x[f] - xi[f]
+			d2 += d * d
+		}
+		cands[i] = cand{d2, m.Y[i]}
+	}
+	// Partial selection of the K nearest.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+	probs := make([]float64, m.NumClasses)
+	for _, c := range cands[:m.K] {
+		probs[c.y]++
+	}
+	for i := range probs {
+		probs[i] /= float64(m.K)
+	}
+	return probs
+}
+
+// Predict returns the majority class among the k nearest neighbors,
+// breaking ties toward the nearest neighbor's class.
+func (m *Model) Predict(x []float64) int {
+	p := m.PredictProba(x)
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}

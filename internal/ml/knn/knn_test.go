@@ -1,0 +1,89 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(seed int64, k, perClass int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var X [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		cx := float64(c * 8)
+		for i := 0; i < perClass; i++ {
+			X = append(X, []float64{cx + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestPredict(t *testing.T) {
+	X, y := blobs(1, 3, 30)
+	m, err := Fit(X, y, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if m.Predict([]float64{16.2, 0}) != 2 {
+		t.Error("point near third blob should be class 2")
+	}
+}
+
+func TestK1MemorizesTraining(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 1, 0, 1}
+	m, err := Fit(X, y, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if m.Predict(x) != y[i] {
+			t.Errorf("k=1 must reproduce training labels at %v", x)
+		}
+	}
+}
+
+func TestKClampedToDataSize(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	m, err := Fit(X, y, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 2 {
+		t.Errorf("K = %d, want 2", m.K)
+	}
+}
+
+func TestProbaCounts(t *testing.T) {
+	X := [][]float64{{0}, {0.1}, {0.2}, {10}}
+	y := []int{0, 0, 1, 1}
+	m, err := Fit(X, y, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba([]float64{0})
+	if math.Abs(p[0]-2.0/3) > 1e-12 || math.Abs(p[1]-1.0/3) > 1e-12 {
+		t.Errorf("probs = %v, want [2/3 1/3]", p)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, 3); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0, 1}, 2, 3); err == nil {
+		t.Error("mismatch should error")
+	}
+}

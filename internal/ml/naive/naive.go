@@ -1,0 +1,138 @@
+// Package naive implements a Gaussian naive Bayes classifier, one of the
+// alternative backbones evaluated in the classifier bake-off of Section
+// 6.1.2 (which random forest won).
+package naive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a trained Gaussian naive Bayes classifier.
+type Model struct {
+	NumClasses int
+	NumFeats   int
+	Priors     []float64   // log prior per class
+	Means      [][]float64 // [class][feature]
+	Vars       [][]float64 // [class][feature], smoothed
+}
+
+// Fit trains the model. Per-class feature likelihoods are Gaussian with a
+// small variance floor (1e-9 times the largest feature variance) to keep
+// degenerate features finite, following scikit-learn's var_smoothing.
+func Fit(X [][]float64, y []int, numClasses int) (*Model, error) {
+	if len(X) == 0 {
+		return nil, errors.New("naive: no training samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("naive: %d samples but %d labels", len(X), len(y))
+	}
+	nf := len(X[0])
+	m := &Model{
+		NumClasses: numClasses,
+		NumFeats:   nf,
+		Priors:     make([]float64, numClasses),
+		Means:      alloc2d(numClasses, nf),
+		Vars:       alloc2d(numClasses, nf),
+	}
+	counts := make([]float64, numClasses)
+	for i, x := range X {
+		c := y[i]
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("naive: label %d out of range", c)
+		}
+		counts[c]++
+		for f, v := range x {
+			m.Means[c][f] += v
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if counts[c] == 0 {
+			m.Priors[c] = math.Inf(-1)
+			continue
+		}
+		m.Priors[c] = math.Log(counts[c] / float64(len(X)))
+		for f := range m.Means[c] {
+			m.Means[c][f] /= counts[c]
+		}
+	}
+	maxVar := 0.0
+	for i, x := range X {
+		c := y[i]
+		for f, v := range x {
+			d := v - m.Means[c][f]
+			m.Vars[c][f] += d * d
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for f := range m.Vars[c] {
+			m.Vars[c][f] /= counts[c]
+			if m.Vars[c][f] > maxVar {
+				maxVar = m.Vars[c][f]
+			}
+		}
+	}
+	smooth := 1e-9 * maxVar
+	if smooth <= 0 {
+		smooth = 1e-9
+	}
+	for c := 0; c < numClasses; c++ {
+		for f := range m.Vars[c] {
+			m.Vars[c][f] += smooth
+		}
+	}
+	return m, nil
+}
+
+func alloc2d(r, c int) [][]float64 {
+	out := make([][]float64, r)
+	backing := make([]float64, r*c)
+	for i := range out {
+		out[i], backing = backing[:c:c], backing[c:]
+	}
+	return out
+}
+
+// PredictProba returns normalized class probabilities for x.
+func (m *Model) PredictProba(x []float64) []float64 {
+	logp := make([]float64, m.NumClasses)
+	maxLog := math.Inf(-1)
+	for c := 0; c < m.NumClasses; c++ {
+		lp := m.Priors[c]
+		if !math.IsInf(lp, -1) {
+			for f, v := range x {
+				d := v - m.Means[c][f]
+				lp += -0.5*math.Log(2*math.Pi*m.Vars[c][f]) - d*d/(2*m.Vars[c][f])
+			}
+		}
+		logp[c] = lp
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	sum := 0.0
+	for c := range logp {
+		logp[c] = math.Exp(logp[c] - maxLog)
+		sum += logp[c]
+	}
+	for c := range logp {
+		logp[c] /= sum
+	}
+	return logp
+}
+
+// Predict returns the most probable class for x.
+func (m *Model) Predict(x []float64) int {
+	p := m.PredictProba(x)
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}

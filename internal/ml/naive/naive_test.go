@@ -1,0 +1,102 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(seed int64, k, perClass int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var X [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		cx := float64(c * 8)
+		for i := 0; i < perClass; i++ {
+			X = append(X, []float64{cx + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestFitPredict(t *testing.T) {
+	X, y := blobs(1, 3, 60)
+	m, err := Fit(X, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Errorf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestPredictProbaValid(t *testing.T) {
+	X, y := blobs(2, 2, 40)
+	m, err := Fit(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		p := m.PredictProba(x)
+		s := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("bad prob %v", p)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", s)
+		}
+	}
+}
+
+func TestEmptyClassGetsZeroProb(t *testing.T) {
+	X := [][]float64{{0}, {1}, {0.5}}
+	y := []int{0, 0, 0}
+	m, err := Fit(X, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba([]float64{0.2})
+	if p[1] != 0 || p[2] != 0 {
+		t.Errorf("unseen classes should have zero probability: %v", p)
+	}
+	if p[0] < 0.99 {
+		t.Errorf("seen class should dominate: %v", p)
+	}
+}
+
+func TestConstantFeatureDoesNotBlowUp(t *testing.T) {
+	X := [][]float64{{1, 0}, {1, 1}, {1, 10}, {1, 11}}
+	y := []int{0, 0, 1, 1}
+	m, err := Fit(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1, 0.5}); got != 0 {
+		t.Errorf("Predict = %d, want 0", got)
+	}
+	if got := m.Predict([]float64{1, 10.5}); got != 1 {
+		t.Errorf("Predict = %d, want 1", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 2); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{9}, 2); err == nil {
+		t.Error("bad label should error")
+	}
+}

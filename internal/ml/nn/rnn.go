@@ -1,0 +1,357 @@
+// Package nn implements a bidirectional Elman recurrent network trained
+// with backpropagation through time. It backs the RNN^C baseline: the
+// cell-classification approach of Ghasemi-Gol et al. (2019) runs a
+// recurrent network over embedded cell contexts; here the embedding is a
+// trained input projection and the recurrence runs over the cells of each
+// line, with stylistic features omitted exactly as in the paper's
+// fair-comparison configuration.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options configures network training.
+type Options struct {
+	// Hidden is the hidden state width per direction; 0 means 32.
+	Hidden int
+	// Epochs is the number of training passes; 0 means 15.
+	Epochs int
+	// LearningRate is the SGD step size; 0 means 0.05 (decays per epoch).
+	LearningRate float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+	// ClipNorm bounds the per-sequence gradient norm; 0 means 5.
+	ClipNorm float64
+}
+
+// Model is a trained bidirectional Elman network.
+type Model struct {
+	D, H, K int // input, hidden (per direction), classes
+
+	WxF, WhF []float64 // forward cell: H*D, H*H
+	BF       []float64 // H
+	WxB, WhB []float64 // backward cell
+	BB       []float64
+	Wo       []float64 // K * 2H
+	Bo       []float64 // K
+}
+
+// Fit trains the network on sequences of feature vectors with one label per
+// item. All vectors must share one dimensionality.
+func Fit(seqs [][][]float64, labels [][]int, numClasses int, opts Options) (*Model, error) {
+	if len(seqs) == 0 {
+		return nil, errors.New("nn: no training sequences")
+	}
+	if len(seqs) != len(labels) {
+		return nil, fmt.Errorf("nn: %d sequences but %d label sequences", len(seqs), len(labels))
+	}
+	d := -1
+	for s := range seqs {
+		if len(seqs[s]) != len(labels[s]) {
+			return nil, fmt.Errorf("nn: sequence %d length mismatch", s)
+		}
+		for _, x := range seqs[s] {
+			if d < 0 {
+				d = len(x)
+			} else if len(x) != d {
+				return nil, errors.New("nn: inconsistent feature dimensionality")
+			}
+		}
+	}
+	if d <= 0 {
+		return nil, errors.New("nn: empty sequences")
+	}
+	if opts.Hidden <= 0 {
+		opts.Hidden = 32
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 15
+	}
+	if opts.LearningRate <= 0 {
+		opts.LearningRate = 0.05
+	}
+	if opts.ClipNorm <= 0 {
+		opts.ClipNorm = 5
+	}
+
+	h, k := opts.Hidden, numClasses
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m := &Model{
+		D: d, H: h, K: k,
+		WxF: initW(rng, h*d, d), WhF: initW(rng, h*h, h), BF: make([]float64, h),
+		WxB: initW(rng, h*d, d), WhB: initW(rng, h*h, h), BB: make([]float64, h),
+		Wo: initW(rng, k*2*h, 2*h), Bo: make([]float64, k),
+	}
+
+	g := newGrads(m)
+	order := rng.Perm(len(seqs))
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		eta := opts.LearningRate / (1 + 0.3*float64(epoch))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, s := range order {
+			if len(seqs[s]) == 0 {
+				continue
+			}
+			g.zero()
+			m.backprop(seqs[s], labels[s], g)
+			g.clip(opts.ClipNorm)
+			m.apply(g, eta)
+		}
+	}
+	return m, nil
+}
+
+func initW(rng *rand.Rand, n, fanIn int) []float64 {
+	r := 1 / math.Sqrt(float64(fanIn))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * r
+	}
+	return w
+}
+
+type grads struct {
+	wxF, whF, bF []float64
+	wxB, whB, bB []float64
+	wo, bo       []float64
+	all          [][]float64
+}
+
+func newGrads(m *Model) *grads {
+	g := &grads{
+		wxF: make([]float64, len(m.WxF)), whF: make([]float64, len(m.WhF)), bF: make([]float64, len(m.BF)),
+		wxB: make([]float64, len(m.WxB)), whB: make([]float64, len(m.WhB)), bB: make([]float64, len(m.BB)),
+		wo: make([]float64, len(m.Wo)), bo: make([]float64, len(m.Bo)),
+	}
+	g.all = [][]float64{g.wxF, g.whF, g.bF, g.wxB, g.whB, g.bB, g.wo, g.bo}
+	return g
+}
+
+func (g *grads) zero() {
+	for _, a := range g.all {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+}
+
+func (g *grads) clip(maxNorm float64) {
+	n := 0.0
+	for _, a := range g.all {
+		for _, v := range a {
+			n += v * v
+		}
+	}
+	n = math.Sqrt(n)
+	if n <= maxNorm {
+		return
+	}
+	s := maxNorm / n
+	for _, a := range g.all {
+		for i := range a {
+			a[i] *= s
+		}
+	}
+}
+
+func (m *Model) apply(g *grads, eta float64) {
+	params := [][]float64{m.WxF, m.WhF, m.BF, m.WxB, m.WhB, m.BB, m.Wo, m.Bo}
+	for p, a := range g.all {
+		w := params[p]
+		for i := range w {
+			w[i] -= eta * a[i]
+		}
+	}
+}
+
+// forward runs both directions and returns hidden states and class
+// probabilities per item.
+func (m *Model) forward(seq [][]float64) (hf, hb, probs [][]float64) {
+	T := len(seq)
+	hf = alloc2d(T, m.H)
+	hb = alloc2d(T, m.H)
+	probs = alloc2d(T, m.K)
+	prev := make([]float64, m.H)
+	for t := 0; t < T; t++ {
+		cellStep(m.WxF, m.WhF, m.BF, seq[t], prev, hf[t], m.H, m.D)
+		prev = hf[t]
+	}
+	prev = make([]float64, m.H)
+	for t := T - 1; t >= 0; t-- {
+		cellStep(m.WxB, m.WhB, m.BB, seq[t], prev, hb[t], m.H, m.D)
+		prev = hb[t]
+	}
+	for t := 0; t < T; t++ {
+		logits := probs[t]
+		for c := 0; c < m.K; c++ {
+			s := m.Bo[c]
+			row := m.Wo[c*2*m.H : (c+1)*2*m.H]
+			for j := 0; j < m.H; j++ {
+				s += row[j]*hf[t][j] + row[m.H+j]*hb[t][j]
+			}
+			logits[c] = s
+		}
+		softmaxInPlace(logits)
+	}
+	return hf, hb, probs
+}
+
+func cellStep(wx, wh, b, x, prev, out []float64, h, d int) {
+	for j := 0; j < h; j++ {
+		s := b[j]
+		rowX := wx[j*d : (j+1)*d]
+		for i, v := range x {
+			s += rowX[i] * v
+		}
+		rowH := wh[j*h : (j+1)*h]
+		for i, v := range prev {
+			s += rowH[i] * v
+		}
+		out[j] = math.Tanh(s)
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	maxv := math.Inf(-1)
+	for _, x := range v {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	sum := 0.0
+	for i := range v {
+		v[i] = math.Exp(v[i] - maxv)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// backprop accumulates gradients for one sequence (cross-entropy loss).
+func (m *Model) backprop(seq [][]float64, gold []int, g *grads) {
+	T := len(seq)
+	hf, hb, probs := m.forward(seq)
+
+	dhf := alloc2d(T, m.H)
+	dhb := alloc2d(T, m.H)
+	for t := 0; t < T; t++ {
+		for c := 0; c < m.K; c++ {
+			dl := probs[t][c]
+			if c == gold[t] {
+				dl--
+			}
+			g.bo[c] += dl
+			row := m.Wo[c*2*m.H : (c+1)*2*m.H]
+			growRow := g.wo[c*2*m.H : (c+1)*2*m.H]
+			for j := 0; j < m.H; j++ {
+				growRow[j] += dl * hf[t][j]
+				growRow[m.H+j] += dl * hb[t][j]
+				dhf[t][j] += dl * row[j]
+				dhb[t][j] += dl * row[m.H+j]
+			}
+		}
+	}
+
+	// BPTT over the forward chain (t descending).
+	carry := make([]float64, m.H)
+	dpre := make([]float64, m.H)
+	for t := T - 1; t >= 0; t-- {
+		for j := 0; j < m.H; j++ {
+			dh := dhf[t][j] + carry[j]
+			dpre[j] = dh * (1 - hf[t][j]*hf[t][j])
+		}
+		var prev []float64
+		if t > 0 {
+			prev = hf[t-1]
+		}
+		accumCell(g.wxF, g.whF, g.bF, seq[t], prev, dpre, m.H, m.D)
+		nextCarry(carry, m.WhF, dpre, m.H)
+	}
+	// BPTT over the backward chain (t ascending).
+	for j := range carry {
+		carry[j] = 0
+	}
+	for t := 0; t < T; t++ {
+		for j := 0; j < m.H; j++ {
+			dh := dhb[t][j] + carry[j]
+			dpre[j] = dh * (1 - hb[t][j]*hb[t][j])
+		}
+		var prev []float64
+		if t < T-1 {
+			prev = hb[t+1]
+		}
+		accumCell(g.wxB, g.whB, g.bB, seq[t], prev, dpre, m.H, m.D)
+		nextCarry(carry, m.WhB, dpre, m.H)
+	}
+}
+
+func accumCell(gwx, gwh, gb, x, prev, dpre []float64, h, d int) {
+	for j := 0; j < h; j++ {
+		gb[j] += dpre[j]
+		rowX := gwx[j*d : (j+1)*d]
+		for i, v := range x {
+			rowX[i] += dpre[j] * v
+		}
+		if prev != nil {
+			rowH := gwh[j*h : (j+1)*h]
+			for i, v := range prev {
+				rowH[i] += dpre[j] * v
+			}
+		}
+	}
+}
+
+// nextCarry computes Wh^T * dpre into carry.
+func nextCarry(carry, wh, dpre []float64, h int) {
+	for i := 0; i < h; i++ {
+		carry[i] = 0
+	}
+	for j := 0; j < h; j++ {
+		row := wh[j*h : (j+1)*h]
+		for i := 0; i < h; i++ {
+			carry[i] += row[i] * dpre[j]
+		}
+	}
+}
+
+func alloc2d(r, c int) [][]float64 {
+	out := make([][]float64, r)
+	backing := make([]float64, r*c)
+	for i := range out {
+		out[i], backing = backing[:c:c], backing[c:]
+	}
+	return out
+}
+
+// PredictProbaSeq returns per-item class probabilities for a sequence.
+func (m *Model) PredictProbaSeq(seq [][]float64) [][]float64 {
+	if len(seq) == 0 {
+		return nil
+	}
+	_, _, probs := m.forward(seq)
+	return probs
+}
+
+// PredictSeq returns per-item class labels for a sequence.
+func (m *Model) PredictSeq(seq [][]float64) []int {
+	probs := m.PredictProbaSeq(seq)
+	if probs == nil {
+		return nil
+	}
+	out := make([]int, len(probs))
+	for t, p := range probs {
+		best := 0
+		for c := 1; c < len(p); c++ {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		out[t] = best
+	}
+	return out
+}

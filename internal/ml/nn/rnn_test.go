@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// emissionData: the label is directly encoded in the input vector.
+func emissionData(seed int64, n, k int) (seqs [][][]float64, labels [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < n; s++ {
+		T := rng.Intn(5) + 3
+		seq := make([][]float64, T)
+		lab := make([]int, T)
+		for t := 0; t < T; t++ {
+			c := rng.Intn(k)
+			x := make([]float64, k)
+			x[c] = 1
+			x = append(x, rng.NormFloat64()*0.1)
+			seq[t] = x
+			lab[t] = c
+		}
+		seqs = append(seqs, seq)
+		labels = append(labels, lab)
+	}
+	return seqs, labels
+}
+
+func accuracy(m *Model, seqs [][][]float64, labels [][]int) float64 {
+	correct, total := 0, 0
+	for s := range seqs {
+		got := m.PredictSeq(seqs[s])
+		for t := range got {
+			total++
+			if got[t] == labels[s][t] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestFitEmission(t *testing.T) {
+	seqs, labels := emissionData(1, 80, 3)
+	m, err := Fit(seqs, labels, 3, Options{Hidden: 8, Epochs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, seqs, labels); acc < 0.95 {
+		t.Errorf("training accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+// contextData: the label of every item is the value of its LEFT neighbor's
+// input bit; only a recurrent model can solve this.
+func contextData(seed int64, n int) (seqs [][][]float64, labels [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < n; s++ {
+		T := rng.Intn(5) + 4
+		seq := make([][]float64, T)
+		lab := make([]int, T)
+		prevBit := 0
+		for t := 0; t < T; t++ {
+			bit := rng.Intn(2)
+			seq[t] = []float64{float64(bit), 1}
+			lab[t] = prevBit
+			prevBit = bit
+		}
+		seqs = append(seqs, seq)
+		labels = append(labels, lab)
+	}
+	return seqs, labels
+}
+
+func TestRecurrenceCarriesContext(t *testing.T) {
+	seqs, labels := contextData(2, 200)
+	m, err := Fit(seqs, labels, 2, Options{Hidden: 12, Epochs: 40, LearningRate: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, seqs, labels); acc < 0.9 {
+		t.Errorf("context accuracy = %v, want >= 0.9 (recurrence not learning)", acc)
+	}
+}
+
+func TestPredictProbaValid(t *testing.T) {
+	seqs, labels := emissionData(3, 30, 3)
+	m, err := Fit(seqs, labels, 3, Options{Hidden: 6, Epochs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range seqs[:10] {
+		probs := m.PredictProbaSeq(seq)
+		if len(probs) != len(seq) {
+			t.Fatalf("prob rows = %d, want %d", len(probs), len(seq))
+		}
+		for _, p := range probs {
+			s := 0.0
+			for _, v := range p {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("bad prob %v", p)
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("probs sum to %v", s)
+			}
+		}
+	}
+}
+
+func TestEmptySeq(t *testing.T) {
+	seqs, labels := emissionData(4, 10, 2)
+	m, err := Fit(seqs, labels, 2, Options{Hidden: 4, Epochs: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PredictSeq(nil); got != nil {
+		t.Errorf("PredictSeq(nil) = %v", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Fit([][][]float64{{{1}}}, [][]int{{0, 1}}, 2, Options{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][][]float64{{{1}, {1, 2}}}, [][]int{{0, 0}}, 2, Options{}); err == nil {
+		t.Error("inconsistent dimensionality should error")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	seqs, labels := emissionData(5, 20, 2)
+	m1, _ := Fit(seqs, labels, 2, Options{Hidden: 4, Epochs: 3, Seed: 7})
+	m2, _ := Fit(seqs, labels, 2, Options{Hidden: 4, Epochs: 3, Seed: 7})
+	for i := range m1.Wo {
+		if m1.Wo[i] != m2.Wo[i] {
+			t.Fatal("same seed must produce identical models")
+		}
+	}
+}

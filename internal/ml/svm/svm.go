@@ -1,0 +1,174 @@
+// Package svm implements a linear support vector machine trained with the
+// Pegasos stochastic sub-gradient algorithm, in a one-vs-rest arrangement
+// for multi-class problems. It is one of the alternative backbones
+// evaluated in Section 6.1.2.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options configures SVM training.
+type Options struct {
+	// Lambda is the L2 regularization strength; 0 means 1e-4.
+	Lambda float64
+	// Epochs is the number of passes over the data; 0 means 10.
+	Epochs int
+	// Seed drives the sample shuffling.
+	Seed int64
+}
+
+// Model is a trained one-vs-rest linear SVM.
+type Model struct {
+	NumClasses int
+	Weights    [][]float64 // [class][feature]
+	Bias       []float64
+	// feature standardization parameters
+	mean, scale []float64
+}
+
+// Fit trains one binary hinge-loss classifier per class. Features are
+// standardized internally (SVMs are scale-sensitive).
+func Fit(X [][]float64, y []int, numClasses int, opts Options) (*Model, error) {
+	if len(X) == 0 {
+		return nil, errors.New("svm: no training samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(X), len(y))
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 1e-4
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 10
+	}
+	nf := len(X[0])
+
+	m := &Model{
+		NumClasses: numClasses,
+		Weights:    make([][]float64, numClasses),
+		Bias:       make([]float64, numClasses),
+		mean:       make([]float64, nf),
+		scale:      make([]float64, nf),
+	}
+	// Standardize.
+	for _, x := range X {
+		for f, v := range x {
+			m.mean[f] += v
+		}
+	}
+	for f := range m.mean {
+		m.mean[f] /= float64(len(X))
+	}
+	for _, x := range X {
+		for f, v := range x {
+			d := v - m.mean[f]
+			m.scale[f] += d * d
+		}
+	}
+	for f := range m.scale {
+		m.scale[f] = math.Sqrt(m.scale[f] / float64(len(X)))
+		if m.scale[f] < 1e-12 {
+			m.scale[f] = 1
+		}
+	}
+	Z := make([][]float64, len(X))
+	for i, x := range X {
+		z := make([]float64, nf)
+		for f, v := range x {
+			z[f] = (v - m.mean[f]) / m.scale[f]
+		}
+		Z[i] = z
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := rng.Perm(len(Z))
+	for c := 0; c < numClasses; c++ {
+		w := make([]float64, nf)
+		b := 0.0
+		t := 0
+		for epoch := 0; epoch < opts.Epochs; epoch++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, i := range order {
+				t++
+				eta := 1 / (opts.Lambda * float64(t))
+				label := -1.0
+				if y[i] == c {
+					label = 1
+				}
+				margin := b
+				for f, v := range Z[i] {
+					margin += w[f] * v
+				}
+				margin *= label
+				// Pegasos update: shrink, then step on hinge violation.
+				shrink := 1 - eta*opts.Lambda
+				for f := range w {
+					w[f] *= shrink
+				}
+				if margin < 1 {
+					for f, v := range Z[i] {
+						w[f] += eta * label * v
+					}
+					b += eta * label * 0.1 // damped bias update
+				}
+			}
+		}
+		m.Weights[c] = w
+		m.Bias[c] = b
+	}
+	return m, nil
+}
+
+// Decision returns the raw one-vs-rest margins for x.
+func (m *Model) Decision(x []float64) []float64 {
+	out := make([]float64, m.NumClasses)
+	z := make([]float64, len(x))
+	for f, v := range x {
+		z[f] = (v - m.mean[f]) / m.scale[f]
+	}
+	for c := 0; c < m.NumClasses; c++ {
+		s := m.Bias[c]
+		for f, v := range z {
+			s += m.Weights[c][f] * v
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// PredictProba applies a softmax over the margins to obtain a probability
+// vector (Platt-style calibration is unnecessary for the ablation).
+func (m *Model) PredictProba(x []float64) []float64 {
+	d := m.Decision(x)
+	maxd := math.Inf(-1)
+	for _, v := range d {
+		if v > maxd {
+			maxd = v
+		}
+	}
+	sum := 0.0
+	for c := range d {
+		d[c] = math.Exp(d[c] - maxd)
+		sum += d[c]
+	}
+	for c := range d {
+		d[c] /= sum
+	}
+	return d
+}
+
+// Predict returns the class with the largest margin.
+func (m *Model) Predict(x []float64) int {
+	d := m.Decision(x)
+	best := 0
+	for i := 1; i < len(d); i++ {
+		if d[i] > d[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,110 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(seed int64, k, perClass int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var X [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c*10), float64((c%2)*10)
+		for i := 0; i < perClass; i++ {
+			X = append(X, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestBinarySeparable(t *testing.T) {
+	X, y := blobs(1, 2, 50)
+	m, err := Fit(X, y, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.97 {
+		t.Errorf("accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	X, y := blobs(2, 3, 50)
+	m, err := Fit(X, y, 3, Options{Seed: 2, Epochs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.9 {
+		t.Errorf("accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestPredictProbaValid(t *testing.T) {
+	X, y := blobs(3, 2, 30)
+	m, err := Fit(X, y, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		p := m.PredictProba(x)
+		s := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("bad probability vector %v", p)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", s)
+		}
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	// Internal standardization should let wildly scaled features still work.
+	rng := rand.New(rand.NewSource(4))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		X = append(X, []float64{float64(c)*1e6 + rng.NormFloat64()*1e4, rng.NormFloat64() * 1e-6})
+		y = append(y, c)
+	}
+	m, err := Fit(X, y, 2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Errorf("accuracy = %v on scaled data", acc)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, Options{}); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0, 1}, 2, Options{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

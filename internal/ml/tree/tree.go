@@ -1,0 +1,331 @@
+// Package tree implements CART-style classification trees with Gini
+// impurity, probability leaves, and per-split random feature subsampling.
+// It is the base learner for the random forest in strudel/internal/ml/forest.
+package tree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures tree induction. The zero value means: unlimited depth,
+// split nodes with at least two samples, consider every feature at every
+// split — the scikit-learn DecisionTreeClassifier defaults the paper relies
+// on (Section 6.1.2 "default settings").
+type Options struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the minimum number of samples required to split an
+	// internal node; values < 2 are treated as 2.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum number of samples in a leaf; values < 1
+	// are treated as 1.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features examined per split; 0 means all.
+	// Random forests pass sqrt(p).
+	MaxFeatures int
+	// Rand supplies randomness for feature subsampling. Nil means features
+	// are taken in order (deterministic, exhaustive).
+	Rand *rand.Rand
+}
+
+// Node is a single tree node. Leaves have Feature == -1 and carry class
+// probabilities; internal nodes route samples with x[Feature] <= Threshold
+// to Left and the rest to Right.
+type Node struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t"`
+	Left      int32     `json:"l"`
+	Right     int32     `json:"r"`
+	Probs     []float64 `json:"p,omitempty"`
+}
+
+// Tree is a trained classification tree. Nodes are stored in a flat slice
+// (index 0 is the root) so trees serialize compactly.
+type Tree struct {
+	Nodes      []Node `json:"nodes"`
+	NumClasses int    `json:"num_classes"`
+	// Importance is the per-feature mean decrease in Gini impurity
+	// accumulated while growing the tree, normalized to sum to 1 (all
+	// zeros for a single-leaf tree). This is the importance measure the
+	// paper chose NOT to use for Figure 4 because it favors
+	// high-cardinality features; both are provided so the choice can be
+	// compared.
+	Importance []float64 `json:"importance,omitempty"`
+}
+
+// ErrNoData is returned when fitting on an empty dataset.
+var ErrNoData = errors.New("tree: no training samples")
+
+// Fit trains a tree on rows X with class labels y (values in
+// [0, numClasses)). The idx slice selects which rows participate (nil means
+// all rows); forests pass bootstrap samples this way without copying X.
+func Fit(X [][]float64, y []int, numClasses int, idx []int, opts Options) (*Tree, error) {
+	if len(X) == 0 || numClasses <= 0 {
+		return nil, ErrNoData
+	}
+	if idx == nil {
+		idx = make([]int, len(X))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if len(idx) == 0 {
+		return nil, ErrNoData
+	}
+	if opts.MinSamplesSplit < 2 {
+		opts.MinSamplesSplit = 2
+	}
+	if opts.MinSamplesLeaf < 1 {
+		opts.MinSamplesLeaf = 1
+	}
+	nf := len(X[0])
+	if opts.MaxFeatures <= 0 || opts.MaxFeatures > nf {
+		opts.MaxFeatures = nf
+	}
+
+	b := &builder{
+		X: X, y: y, k: numClasses, opts: opts,
+		features:   make([]int, nf),
+		sortBuf:    make([]int, 0, len(idx)),
+		importance: make([]float64, nf),
+		total:      float64(len(idx)),
+	}
+	for i := range b.features {
+		b.features[i] = i
+	}
+	work := append([]int(nil), idx...)
+	b.build(work, 0)
+	sum := 0.0
+	for _, v := range b.importance {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range b.importance {
+			b.importance[i] /= sum
+		}
+	}
+	return &Tree{Nodes: b.nodes, NumClasses: numClasses, Importance: b.importance}, nil
+}
+
+type builder struct {
+	X          [][]float64
+	y          []int
+	k          int
+	opts       Options
+	nodes      []Node
+	features   []int
+	sortBuf    []int
+	importance []float64
+	total      float64
+}
+
+// build grows the subtree over samples idx and returns its node index.
+func (b *builder) build(idx []int, depth int) int32 {
+	counts := make([]float64, b.k)
+	for _, i := range idx {
+		counts[b.y[i]]++
+	}
+	node := int32(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Feature: -1})
+
+	total := float64(len(idx))
+	pure := false
+	for _, c := range counts {
+		if c == total {
+			pure = true
+		}
+	}
+	stop := pure ||
+		len(idx) < b.opts.MinSamplesSplit ||
+		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth)
+
+	if !stop {
+		feat, thr, gain, ok := b.bestSplit(idx, counts)
+		if ok {
+			left, right := partition(b.X, idx, feat, thr)
+			if len(left) >= b.opts.MinSamplesLeaf && len(right) >= b.opts.MinSamplesLeaf {
+				b.importance[feat] += gain * float64(len(idx)) / b.total
+				l := b.build(left, depth+1)
+				r := b.build(right, depth+1)
+				b.nodes[node].Feature = feat
+				b.nodes[node].Threshold = thr
+				b.nodes[node].Left = l
+				b.nodes[node].Right = r
+				return node
+			}
+		}
+	}
+
+	probs := make([]float64, b.k)
+	for c := range counts {
+		probs[c] = counts[c] / total
+	}
+	b.nodes[node].Probs = probs
+	return node
+}
+
+// bestSplit scans a random subset of features for the Gini-optimal split.
+func (b *builder) bestSplit(idx []int, counts []float64) (feature int, threshold float64, bestGainOut float64, ok bool) {
+	n := float64(len(idx))
+	parentGini := giniFromCounts(counts, n)
+	// Zero-gain splits are allowed (scikit-learn's min_impurity_decrease=0
+	// default); recursion still terminates because each side is non-empty.
+	bestGain := -1.0
+	feature = -1
+
+	// Choose the feature subset. With a Rand we sample without replacement
+	// (Fisher–Yates prefix); otherwise take all features.
+	feats := b.features
+	if b.opts.Rand != nil && b.opts.MaxFeatures < len(feats) {
+		for i := 0; i < b.opts.MaxFeatures; i++ {
+			j := i + b.opts.Rand.Intn(len(feats)-i)
+			feats[i], feats[j] = feats[j], feats[i]
+		}
+		feats = feats[:b.opts.MaxFeatures]
+	}
+
+	order := append(b.sortBuf[:0], idx...)
+	leftCounts := make([]float64, b.k)
+
+	for _, f := range feats {
+		sort.Slice(order, func(a, c int) bool {
+			return b.X[order[a]][f] < b.X[order[c]][f]
+		})
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		for i := 0; i < len(order)-1; i++ {
+			leftCounts[b.y[order[i]]]++
+			v, next := b.X[order[i]][f], b.X[order[i+1]][f]
+			if v == next {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			gl := giniFromLeft(leftCounts, nl)
+			gr := giniFromComplement(counts, leftCounts, nr)
+			gain := parentGini - (nl/n)*gl - (nr/n)*gr
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = v + (next-v)/2
+				if threshold == next { // midpoint rounding on tiny gaps
+					threshold = v
+				}
+			}
+		}
+	}
+	if bestGain < 0 {
+		bestGain = 0
+	}
+	return feature, threshold, bestGain, feature >= 0
+}
+
+func giniFromCounts(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range counts {
+		p := c / n
+		s += p * p
+	}
+	return 1 - s
+}
+
+func giniFromLeft(left []float64, n float64) float64 {
+	return giniFromCounts(left, n)
+}
+
+func giniFromComplement(total, left []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range total {
+		p := (total[i] - left[i]) / n
+		s += p * p
+	}
+	return 1 - s
+}
+
+// partition splits idx in place by the threshold test and returns the two
+// halves (<= goes left).
+func partition(X [][]float64, idx []int, feature int, threshold float64) (left, right []int) {
+	i, j := 0, len(idx)
+	for i < j {
+		if X[idx[i]][feature] <= threshold {
+			i++
+		} else {
+			j--
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+	return idx[:i], idx[i:]
+}
+
+// PredictProba returns the class probability vector for x.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	n := int32(0)
+	for {
+		node := &t.Nodes[n]
+		if node.Feature < 0 {
+			return node.Probs
+		}
+		if x[node.Feature] <= node.Threshold {
+			n = node.Left
+		} else {
+			n = node.Right
+		}
+	}
+}
+
+// Predict returns the most probable class for x.
+func (t *Tree) Predict(x []float64) int {
+	return ArgMax(t.PredictProba(x))
+}
+
+// Depth returns the depth of the tree (a lone leaf has depth 0).
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	var walk func(n int32) int
+	walk = func(n int32) int {
+		node := &t.Nodes[n]
+		if node.Feature < 0 {
+			return 0
+		}
+		return 1 + max(walk(node.Left), walk(node.Right))
+	}
+	return walk(0)
+}
+
+// NumLeaves counts the leaves of the tree.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ArgMax returns the index of the largest element, preferring the lowest
+// index on ties. It panics on empty input.
+func ArgMax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	if math.IsNaN(v[best]) {
+		return 0
+	}
+	return best
+}

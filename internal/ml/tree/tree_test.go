@@ -1,0 +1,240 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xorData builds a dataset a single axis-aligned split cannot separate but
+// a depth-2 tree can.
+func xorData() ([][]float64, []int) {
+	X := [][]float64{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1},
+		{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
+	}
+	y := []int{0, 1, 1, 0, 0, 1, 1, 0}
+	return X, y
+}
+
+func TestFitPerfectSeparation(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	tr, err := Fit(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := tr.Predict(x); got != y[i] {
+			t.Errorf("Predict(%v) = %d, want %d", x, got, y[i])
+		}
+	}
+	if got := tr.Predict([]float64{100}); got != 1 {
+		t.Errorf("extrapolation = %d, want 1", got)
+	}
+}
+
+func TestFitXOR(t *testing.T) {
+	X, y := xorData()
+	tr, err := Fit(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := tr.Predict(x); got != y[i] {
+			t.Errorf("xor Predict(%v) = %d, want %d", x, got, y[i])
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("xor needs depth >= 2, got %d", tr.Depth())
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	X, y := xorData()
+	tr, err := Fit(X, y, 2, nil, Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Errorf("depth = %d, want <= 1", tr.Depth())
+	}
+}
+
+func TestPureNodeIsLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr, err := Fit(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 || tr.NumLeaves() != 1 {
+		t.Errorf("pure data should give a single leaf, got %d nodes", len(tr.Nodes))
+	}
+	p := tr.PredictProba([]float64{5})
+	if p[1] != 1 || p[0] != 0 {
+		t.Errorf("probs = %v, want [0 1]", p)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 5
+		k := rng.Intn(3) + 2
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			y[i] = rng.Intn(k)
+		}
+		tr, err := Fit(X, y, k, nil, Options{MaxDepth: 4})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			p := tr.PredictProba([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+			s := 0.0
+			for _, v := range p {
+				if v < 0 {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainingAccuracyOnSeparableData(t *testing.T) {
+	// Three Gaussian-ish blobs; an unconstrained tree must memorize them.
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {5, 5}, {0, 5}}
+	for c, ctr := range centers {
+		for i := 0; i < 40; i++ {
+			X = append(X, []float64{ctr[0] + rng.NormFloat64()*0.3, ctr[1] + rng.NormFloat64()*0.3})
+			y = append(y, c)
+		}
+	}
+	tr, err := Fit(X, y, 3, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if tr.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if correct != len(X) {
+		t.Errorf("training accuracy = %d/%d, want perfect", correct, len(X))
+	}
+}
+
+func TestIdxSubsetOnlyUsesSelectedRows(t *testing.T) {
+	X := [][]float64{{0}, {1}, {100}, {101}}
+	y := []int{0, 0, 1, 1}
+	// Train only on the class-0 rows: the tree must be a pure class-0 leaf.
+	tr, err := Fit(X, y, 2, []int{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.PredictProba([]float64{100}); p[0] != 1 {
+		t.Errorf("probs = %v, want class 0 certain", p)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, nil, Options{}); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []int{0}, 2, []int{}, Options{}); err == nil {
+		t.Error("empty idx should error")
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{0, 0, 0, 1}
+	tr, err := Fit(X, y, 2, nil, Options{MinSamplesLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only useful split (3|4) leaves a 1-sample leaf, so it is vetoed.
+	if tr.NumLeaves() != 1 {
+		t.Errorf("leaves = %d, want 1 (split vetoed by MinSamplesLeaf)", tr.NumLeaves())
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Error("ArgMax wrong")
+	}
+	if ArgMax([]float64{0.5, 0.5}) != 0 {
+		t.Error("ArgMax tie should pick lowest index")
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	rngData := rand.New(rand.NewSource(3))
+	X := make([][]float64, 60)
+	y := make([]int, 60)
+	for i := range X {
+		X[i] = []float64{rngData.Float64(), rngData.Float64(), rngData.Float64(), rngData.Float64()}
+		y[i] = rngData.Intn(3)
+	}
+	fit := func() *Tree {
+		tr, err := Fit(X, y, 3, nil, Options{MaxFeatures: 2, Rand: rand.New(rand.NewSource(42))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := fit(), fit()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Feature != b.Nodes[i].Feature || a.Nodes[i].Threshold != b.Nodes[i].Threshold {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestGiniImportanceIdentifiesInformativeFeature(t *testing.T) {
+	// Feature 1 separates the classes; feature 0 is constant.
+	X := [][]float64{{5, 0}, {5, 1}, {5, 10}, {5, 11}}
+	y := []int{0, 0, 1, 1}
+	tr, err := Fit(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Importance[1] <= tr.Importance[0] {
+		t.Errorf("importance = %v, feature 1 should dominate", tr.Importance)
+	}
+	sum := tr.Importance[0] + tr.Importance[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importance sums to %v", sum)
+	}
+}
+
+func TestGiniImportanceSingleLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []int{0, 0}
+	tr, err := Fit(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Importance[0] != 0 {
+		t.Errorf("pure tree should have zero importance, got %v", tr.Importance)
+	}
+}

@@ -1,0 +1,280 @@
+// Package postprocess repairs cell classification results by detecting
+// misclassification patterns, in the spirit of Koci et al. (2016), whose
+// post-processing component the paper discusses in Section 2.2: certain
+// spatial arrangements of predicted classes are strong hints that a
+// prediction is wrong, and rewriting them improves the final labeling.
+//
+// Five patterns are detected and repaired:
+//
+//  1. Isolated cell: a non-empty cell whose non-empty 4-neighbors all agree
+//     on a different class is relabeled to that class.
+//  2. Singleton dissenter: a cell whose class appears exactly once in its
+//     line while another class holds a clear majority (>= 2/3 of the
+//     non-empty cells, at least three of them) adopts the majority class —
+//     unless it is the leading group/derived cell arrangement the paper's
+//     annotation scheme expects.
+//  3. Stranded header: a header cell strictly below the first data line of
+//     its column, with data above and below it, becomes data.
+//  4. Interior derived: a derived cell with data cells on both vertical
+//     sides and both horizontal sides (strictly interior to a data block)
+//     becomes data; real derived cells live on block margins (Section 3.2).
+//  5. Floating group: a group cell that is not the leading non-empty cell
+//     of its line and has no empty cell to its left becomes the line
+//     majority class.
+package postprocess
+
+import "strudel/internal/table"
+
+// Options bounds the repair loop.
+type Options struct {
+	// MaxIterations caps how many full passes run; 0 means 3. Each pass
+	// applies every pattern once; the loop stops early when a pass changes
+	// nothing.
+	MaxIterations int
+}
+
+// Repair returns a repaired copy of pred for table t. The input grid is not
+// modified.
+func Repair(t *table.Table, pred [][]table.Class, opts Options) [][]table.Class {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 3
+	}
+	h, w := t.Height(), t.Width()
+	out := make([][]table.Class, h)
+	for r := range out {
+		out[r] = append([]table.Class(nil), pred[r]...)
+	}
+	if h == 0 || w == 0 {
+		return out
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		changed := 0
+		changed += repairIsolated(t, out)
+		changed += repairSingletonDissenter(t, out)
+		changed += repairStrandedHeader(t, out)
+		changed += repairInteriorDerived(t, out)
+		changed += repairFloatingGroup(t, out)
+		if changed == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// repairIsolated implements pattern 1.
+func repairIsolated(t *table.Table, cls [][]table.Class) int {
+	h, w := t.Height(), t.Width()
+	changed := 0
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if t.IsEmptyCell(r, c) {
+				continue
+			}
+			var neighbor table.Class
+			agree := true
+			n, horizontal := 0, 0
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], c+d[1]
+				if t.IsEmptyCell(nr, nc) {
+					continue
+				}
+				n++
+				if d[0] == 0 {
+					horizontal++
+				}
+				if n == 1 {
+					neighbor = cls[nr][nc]
+				} else if cls[nr][nc] != neighbor {
+					agree = false
+					break
+				}
+			}
+			// Vertical-only agreement is weak evidence: a lone group label
+			// with data above and below is a legitimate layout, not a
+			// misclassification. Require at least one horizontal witness.
+			if agree && n >= 2 && horizontal >= 1 && neighbor != cls[r][c] && neighbor != table.ClassEmpty {
+				cls[r][c] = neighbor
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// repairSingletonDissenter implements pattern 2.
+func repairSingletonDissenter(t *table.Table, cls [][]table.Class) int {
+	h, w := t.Height(), t.Width()
+	changed := 0
+	for r := 0; r < h; r++ {
+		var counts [table.NumClasses]int
+		nonEmpty := 0
+		for c := 0; c < w; c++ {
+			if t.IsEmptyCell(r, c) {
+				continue
+			}
+			nonEmpty++
+			if idx := cls[r][c].Index(); idx >= 0 {
+				counts[idx]++
+			}
+		}
+		if nonEmpty < 3 {
+			continue
+		}
+		maj, majCount := -1, 0
+		for i, n := range counts {
+			if n > majCount {
+				maj, majCount = i, n
+			}
+		}
+		if maj < 0 || majCount*3 < nonEmpty*2 {
+			continue
+		}
+		majClass := table.ClassAt(maj)
+		for c := 0; c < w; c++ {
+			if t.IsEmptyCell(r, c) {
+				continue
+			}
+			cur := cls[r][c]
+			if cur == majClass || cur.Index() < 0 || counts[cur.Index()] != 1 {
+				continue
+			}
+			// Keep the expected mixed-line arrangements (Figure 1 of the
+			// paper): a leading group label among derived or data cells,
+			// and a trailing derived cell in a data line (a derived
+			// row-total column).
+			if cur == table.ClassGroup && isLeading(t, r, c) {
+				continue
+			}
+			if cur == table.ClassDerived && isTrailing(t, r, c) {
+				continue
+			}
+			cls[r][c] = majClass
+			changed++
+		}
+	}
+	return changed
+}
+
+// isTrailing reports whether (r, c) is the rightmost non-empty cell of
+// line r.
+func isTrailing(t *table.Table, r, c int) bool {
+	for cc := c + 1; cc < t.Width(); cc++ {
+		if !t.IsEmptyCell(r, cc) {
+			return false
+		}
+	}
+	return true
+}
+
+// isLeading reports whether (r, c) is the leftmost non-empty cell of line r.
+func isLeading(t *table.Table, r, c int) bool {
+	for cc := 0; cc < c; cc++ {
+		if !t.IsEmptyCell(r, cc) {
+			return false
+		}
+	}
+	return true
+}
+
+// repairStrandedHeader implements pattern 3.
+func repairStrandedHeader(t *table.Table, cls [][]table.Class) int {
+	h, w := t.Height(), t.Width()
+	changed := 0
+	for c := 0; c < w; c++ {
+		for r := 1; r < h-1; r++ {
+			if cls[r][c] != table.ClassHeader || t.IsEmptyCell(r, c) {
+				continue
+			}
+			above := closestClassAbove(t, cls, r, c)
+			below := closestClassBelow(t, cls, r, c)
+			if above == table.ClassData && below == table.ClassData {
+				cls[r][c] = table.ClassData
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// repairInteriorDerived implements pattern 4.
+func repairInteriorDerived(t *table.Table, cls [][]table.Class) int {
+	h, w := t.Height(), t.Width()
+	changed := 0
+	for r := 1; r < h-1; r++ {
+		for c := 1; c < w-1; c++ {
+			if cls[r][c] != table.ClassDerived || t.IsEmptyCell(r, c) {
+				continue
+			}
+			if cls[r-1][c] == table.ClassData && cls[r+1][c] == table.ClassData &&
+				cls[r][c-1] == table.ClassData && cls[r][c+1] == table.ClassData {
+				cls[r][c] = table.ClassData
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// repairFloatingGroup implements pattern 5.
+func repairFloatingGroup(t *table.Table, cls [][]table.Class) int {
+	h, w := t.Height(), t.Width()
+	changed := 0
+	for r := 0; r < h; r++ {
+		for c := 1; c < w; c++ {
+			if cls[r][c] != table.ClassGroup || t.IsEmptyCell(r, c) {
+				continue
+			}
+			if isLeading(t, r, c) || t.IsEmptyCell(r, c-1) {
+				continue
+			}
+			if maj := lineMajority(t, cls, r, c); maj != table.ClassEmpty {
+				cls[r][c] = maj
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// lineMajority returns the majority class of line r excluding column skip,
+// or ClassEmpty when the line has no other classified cells.
+func lineMajority(t *table.Table, cls [][]table.Class, r, skip int) table.Class {
+	var counts [table.NumClasses]int
+	for c := 0; c < t.Width(); c++ {
+		if c == skip || t.IsEmptyCell(r, c) {
+			continue
+		}
+		if idx := cls[r][c].Index(); idx >= 0 {
+			counts[idx]++
+		}
+	}
+	best, bestN := -1, 0
+	for i, n := range counts {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	if best < 0 {
+		return table.ClassEmpty
+	}
+	return table.ClassAt(best)
+}
+
+func closestClassAbove(t *table.Table, cls [][]table.Class, r, c int) table.Class {
+	for rr := r - 1; rr >= 0; rr-- {
+		if !t.IsEmptyCell(rr, c) {
+			return cls[rr][c]
+		}
+	}
+	return table.ClassEmpty
+}
+
+func closestClassBelow(t *table.Table, cls [][]table.Class, r, c int) table.Class {
+	for rr := r + 1; rr < t.Height(); rr++ {
+		if !t.IsEmptyCell(rr, c) {
+			return cls[rr][c]
+		}
+	}
+	return table.ClassEmpty
+}

@@ -1,0 +1,253 @@
+package postprocess
+
+import (
+	"testing"
+
+	"strudel/internal/table"
+)
+
+// grid builds a table and a prediction grid from parallel specs: the cell
+// values and the one-letter class codes (m h g d v n for metadata..notes,
+// '.' for empty).
+func grid(t *testing.T, values [][]string, codes []string) (*table.Table, [][]table.Class) {
+	t.Helper()
+	tb := table.FromRows(values)
+	pred := make([][]table.Class, tb.Height())
+	for r := range pred {
+		pred[r] = make([]table.Class, tb.Width())
+		for c, code := range codes[r] {
+			pred[r][c] = classOf(t, byte(code))
+		}
+	}
+	return tb, pred
+}
+
+func classOf(t *testing.T, code byte) table.Class {
+	switch code {
+	case 'm':
+		return table.ClassMetadata
+	case 'h':
+		return table.ClassHeader
+	case 'g':
+		return table.ClassGroup
+	case 'd':
+		return table.ClassData
+	case 'v':
+		return table.ClassDerived
+	case 'n':
+		return table.ClassNotes
+	case '.':
+		return table.ClassEmpty
+	}
+	t.Fatalf("bad class code %c", code)
+	return table.ClassEmpty
+}
+
+func TestIsolatedCellRepaired(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{
+			{"1", "2", "3"},
+			{"4", "5", "6"},
+			{"7", "8", "9"},
+		},
+		[]string{"ddd", "dnd", "ddd"}, // lone notes cell in a data block
+	)
+	out := Repair(tb, pred, Options{})
+	if out[1][1] != table.ClassData {
+		t.Errorf("isolated cell = %v, want data", out[1][1])
+	}
+	// Input untouched.
+	if pred[1][1] != table.ClassNotes {
+		t.Error("Repair must not modify its input")
+	}
+}
+
+func TestSingletonDissenterAdoptsMajority(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{{"a", "1", "2", "3", "4"}},
+		[]string{"ddhdd"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][2] != table.ClassData {
+		t.Errorf("dissenter = %v, want data", out[0][2])
+	}
+}
+
+func TestLeadingGroupCellSurvives(t *testing.T) {
+	// The paper's expected arrangement: group label leading derived cells.
+	tb, pred := grid(t,
+		[][]string{{"Total", "10", "20", "30"}},
+		[]string{"gvvv"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][0] != table.ClassGroup {
+		t.Errorf("leading group repaired to %v; must survive", out[0][0])
+	}
+}
+
+func TestStrandedHeaderBecomesData(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{
+			{"h1", "h2"},
+			{"1", "2"},
+			{"2001", "x"},
+			{"3", "4"},
+		},
+		[]string{"hh", "dd", "hd", "dd"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[2][0] != table.ClassData {
+		t.Errorf("stranded header = %v, want data", out[2][0])
+	}
+	if out[0][0] != table.ClassHeader {
+		t.Errorf("real header = %v, must stay header", out[0][0])
+	}
+}
+
+func TestInteriorDerivedBecomesData(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{
+			{"1", "2", "3"},
+			{"4", "5", "6"},
+			{"7", "8", "9"},
+		},
+		[]string{"ddd", "dvd", "ddd"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[1][1] != table.ClassData {
+		t.Errorf("interior derived = %v, want data", out[1][1])
+	}
+}
+
+func TestMarginDerivedSurvives(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{
+			{"a", "1", "2"},
+			{"b", "3", "4"},
+			{"Total", "4", "6"},
+		},
+		[]string{"ddd", "ddd", "gvv"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[2][1] != table.ClassDerived || out[2][2] != table.ClassDerived {
+		t.Errorf("margin derived repaired away: %v", out[2])
+	}
+}
+
+func TestFloatingGroupBecomesLineMajority(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{{"a", "b", "c", "d"}},
+		[]string{"ddgd"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][2] != table.ClassData {
+		t.Errorf("floating group = %v, want data", out[0][2])
+	}
+}
+
+func TestGroupAfterEmptySurvives(t *testing.T) {
+	// A group label separated by an empty cell is a legitimate layout.
+	tb, pred := grid(t,
+		[][]string{{"x", "", "Possession:", ""}},
+		[]string{"d.g."},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][2] != table.ClassGroup {
+		t.Errorf("group after empty cell = %v, must survive", out[0][2])
+	}
+}
+
+func TestEmptyTableNoPanic(t *testing.T) {
+	tb := table.New(0, 0)
+	out := Repair(tb, nil, Options{})
+	if len(out) != 0 {
+		t.Errorf("len = %d", len(out))
+	}
+}
+
+func TestConvergesWithinIterations(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{
+			{"1", "2", "3", "4"},
+			{"5", "6", "7", "8"},
+		},
+		[]string{"dndv", "hddd"},
+	)
+	a := Repair(tb, pred, Options{MaxIterations: 3})
+	b := Repair(tb, pred, Options{MaxIterations: 10})
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("not converged at (%d,%d): %v vs %v", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
+}
+
+func TestRepairRespectsMaxIterations(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{{"1", "2", "3"}},
+		[]string{"dhd"},
+	)
+	out := Repair(tb, pred, Options{MaxIterations: 1})
+	if out[0][1] != table.ClassData {
+		t.Errorf("one pass should fix the dissenter, got %v", out[0][1])
+	}
+}
+
+func TestStrandedHeaderAtEdgesUntouched(t *testing.T) {
+	// Headers on the first and last lines are structurally legitimate.
+	tb, pred := grid(t,
+		[][]string{
+			{"h1", "h2"},
+			{"1", "2"},
+			{"hx", "hy"},
+		},
+		[]string{"hh", "dd", "hh"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][0] != table.ClassHeader || out[2][0] != table.ClassHeader {
+		t.Errorf("edge headers must survive: %v / %v", out[0][0], out[2][0])
+	}
+}
+
+func TestLineMajorityNoOtherCells(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{{"x", "Total"}},
+		[]string{"dg"}, // group not leading, non-empty left neighbor
+	)
+	out := Repair(tb, pred, Options{})
+	// Majority among remaining cells is data.
+	if out[0][1] != table.ClassData {
+		t.Errorf("floating group = %v, want data", out[0][1])
+	}
+}
+
+func TestRepairSkipsEmptyCells(t *testing.T) {
+	tb, pred := grid(t,
+		[][]string{
+			{"1", "", "3"},
+			{"4", "", "6"},
+		},
+		[]string{"d.d", "d.d"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][1] != table.ClassEmpty || out[1][1] != table.ClassEmpty {
+		t.Error("empty cells must keep ClassEmpty")
+	}
+}
+
+func TestTrailingDerivedColumnSurvives(t *testing.T) {
+	// A derived row-total column inside data lines is a legitimate layout.
+	tb, pred := grid(t,
+		[][]string{
+			{"a", "1", "2", "3"},
+			{"b", "4", "5", "9"},
+		},
+		[]string{"dddv", "dddv"},
+	)
+	out := Repair(tb, pred, Options{})
+	if out[0][3] != table.ClassDerived || out[1][3] != table.ClassDerived {
+		t.Errorf("trailing derived column repaired away: %v / %v", out[0][3], out[1][3])
+	}
+}

@@ -1,0 +1,373 @@
+// Package pytheas re-implements the rule-based line classification approach
+// of Christodoulakis et al. (2020) used as the Pytheas^L baseline.
+//
+// The approach works in three stages, following the published structure:
+//
+//  1. A set of weighted fuzzy rules votes on whether each line is data or
+//     non-data. Rule weights are the rules' empirical precision, learned
+//     from a training corpus beforehand.
+//  2. The binary data/non-data signal drives table-boundary discovery: the
+//     top and bottom borders of the table regions in the file.
+//  3. Class-specific rules assign one of five classes — metadata, header,
+//     group, data, notes — to each line relative to the discovered table
+//     areas. Pytheas has no derived class (Section 6.2.1), so derived lines
+//     in gold data are simply outside its vocabulary.
+package pytheas
+
+import (
+	"strudel/internal/features"
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+// rule is a fuzzy rule: a predicate over a line in its file context.
+type rule struct {
+	name string
+	fire func(ctx *lineContext) bool
+}
+
+// lineContext bundles the per-line signals the rules consume.
+type lineContext struct {
+	t            *table.Table
+	row          int
+	nonEmpty     int
+	numeric      int
+	str          int
+	firstValue   string
+	maxCellLen   int
+	hasAggWord   bool
+	modalWidth   int
+	typeMatch    float64 // type agreement with closest non-empty line below
+	belowNumeric int     // numeric cells in the closest non-empty line below
+	words        int     // words in the first non-empty cell
+}
+
+func buildContext(t *table.Table, row, modalWidth int, typeGrid [][]types.Type) *lineContext {
+	ctx := &lineContext{t: t, row: row, modalWidth: modalWidth}
+	for c := 0; c < t.Width(); c++ {
+		v := t.Cell(row, c)
+		switch typeGrid[row][c] {
+		case types.Empty:
+			continue
+		case types.Int, types.Float:
+			ctx.numeric++
+		default:
+			ctx.str++
+		}
+		ctx.nonEmpty++
+		if ctx.nonEmpty == 1 {
+			ctx.firstValue = v
+		}
+		if len(v) > ctx.maxCellLen {
+			ctx.maxCellLen = len(v)
+		}
+		if !ctx.hasAggWord && features.ContainsAggregationWord(v) {
+			ctx.hasAggWord = true
+		}
+	}
+	if below := t.ClosestNonEmptyLineBelow(row); below >= 0 && t.Width() > 0 {
+		match := 0
+		for c := 0; c < t.Width(); c++ {
+			if typeGrid[row][c] == typeGrid[below][c] {
+				match++
+			}
+			if typeGrid[below][c] == types.Int || typeGrid[below][c] == types.Float {
+				ctx.belowNumeric++
+			}
+		}
+		ctx.typeMatch = float64(match) / float64(t.Width())
+	}
+	ctx.words = features.WordCount(ctx.firstValue)
+	return ctx
+}
+
+// dataRules vote that a line belongs to a table body.
+var dataRules = []rule{
+	{"TwoOrMoreNumeric", func(c *lineContext) bool { return c.numeric >= 2 }},
+	{"MajorityNumeric", func(c *lineContext) bool {
+		return c.nonEmpty > 0 && float64(c.numeric)/float64(c.nonEmpty) >= 0.5
+	}},
+	{"ConsistentWithBelow", func(c *lineContext) bool { return c.typeMatch >= 0.75 && c.nonEmpty >= 2 }},
+	{"KeyThenValues", func(c *lineContext) bool {
+		return c.nonEmpty > 2 && c.str >= 1 && c.numeric >= c.nonEmpty-1
+	}},
+	{"ModalWidth", func(c *lineContext) bool { return c.nonEmpty == c.modalWidth && c.modalWidth >= 2 }},
+	{"WideLine", func(c *lineContext) bool { return c.nonEmpty >= 4 }},
+}
+
+// nonDataRules vote that a line is outside a table body.
+var nonDataRules = []rule{
+	{"SingleCell", func(c *lineContext) bool { return c.nonEmpty == 1 }},
+	{"FewAllString", func(c *lineContext) bool { return c.nonEmpty <= 2 && c.numeric == 0 }},
+	{"AggregationKeyword", func(c *lineContext) bool { return c.hasAggWord }},
+	{"LongProse", func(c *lineContext) bool { return c.maxCellLen > 80 }},
+	{"HeaderOverNumbers", func(c *lineContext) bool {
+		return c.numeric == 0 && c.str >= 2 && c.belowNumeric >= 2
+	}},
+	{"FirstLine", func(c *lineContext) bool { return c.t.ClosestNonEmptyLineAbove(c.row) < 0 }},
+	{"LastLine", func(c *lineContext) bool { return c.t.ClosestNonEmptyLineBelow(c.row) < 0 }},
+}
+
+// Model holds the learned rule weights (empirical precisions).
+type Model struct {
+	DataWeights    []float64
+	NonDataWeights []float64
+}
+
+// Train learns rule weights from annotated tables: each rule's weight is
+// its Laplace-smoothed precision at indicating data (for data rules) or
+// non-data (for non-data rules) on the training lines.
+func Train(tables []*table.Table) *Model {
+	dataFire := make([]float64, len(dataRules))
+	dataHit := make([]float64, len(dataRules))
+	nonFire := make([]float64, len(nonDataRules))
+	nonHit := make([]float64, len(nonDataRules))
+
+	for _, t := range tables {
+		if t.LineClasses == nil {
+			continue
+		}
+		modal := modalNonEmptyWidth(t)
+		typeGrid := gridTypes(t)
+		for r := 0; r < t.Height(); r++ {
+			if t.IsEmptyLine(r) {
+				continue
+			}
+			isData := t.LineClasses[r] == table.ClassData
+			ctx := buildContext(t, r, modal, typeGrid)
+			for i, rl := range dataRules {
+				if rl.fire(ctx) {
+					dataFire[i]++
+					if isData {
+						dataHit[i]++
+					}
+				}
+			}
+			for i, rl := range nonDataRules {
+				if rl.fire(ctx) {
+					nonFire[i]++
+					if !isData {
+						nonHit[i]++
+					}
+				}
+			}
+		}
+	}
+
+	m := &Model{
+		DataWeights:    make([]float64, len(dataRules)),
+		NonDataWeights: make([]float64, len(nonDataRules)),
+	}
+	for i := range dataRules {
+		m.DataWeights[i] = (dataHit[i] + 0.5) / (dataFire[i] + 1)
+	}
+	for i := range nonDataRules {
+		m.NonDataWeights[i] = (nonHit[i] + 0.5) / (nonFire[i] + 1)
+	}
+	return m
+}
+
+func modalNonEmptyWidth(t *table.Table) int {
+	counts := map[int]int{}
+	for r := 0; r < t.Height(); r++ {
+		if n := t.NonEmptyCellsInLine(r); n > 0 {
+			counts[n]++
+		}
+	}
+	best, bestN := 0, 0
+	for w, n := range counts {
+		if n > bestN || (n == bestN && w > best) {
+			best, bestN = w, n
+		}
+	}
+	return best
+}
+
+func gridTypes(t *table.Table) [][]types.Type {
+	g := make([][]types.Type, t.Height())
+	for r := range g {
+		g[r] = types.RowTypes(t.Row(r))
+	}
+	return g
+}
+
+// dataConfidence returns the fuzzy data and non-data confidences of a line:
+// the maximum weight among the fired rules of each family.
+func (m *Model) dataConfidence(ctx *lineContext) (data, nonData float64) {
+	for i, rl := range dataRules {
+		if m.DataWeights[i] > data && rl.fire(ctx) {
+			data = m.DataWeights[i]
+		}
+	}
+	for i, rl := range nonDataRules {
+		if m.NonDataWeights[i] > nonData && rl.fire(ctx) {
+			nonData = m.NonDataWeights[i]
+		}
+	}
+	return data, nonData
+}
+
+// ClassifyLines assigns one of the five Pytheas classes to every non-empty
+// line of t; empty lines get table.ClassEmpty.
+func (m *Model) ClassifyLines(t *table.Table) []table.Class {
+	h := t.Height()
+	out := make([]table.Class, h)
+	if h == 0 {
+		return out
+	}
+	modal := modalNonEmptyWidth(t)
+	typeGrid := gridTypes(t)
+
+	// Stage 1: binary data/non-data decisions.
+	isData := make([]bool, h)
+	empty := make([]bool, h)
+	for r := 0; r < h; r++ {
+		if t.IsEmptyLine(r) {
+			empty[r] = true
+			continue
+		}
+		ctx := buildContext(t, r, modal, typeGrid)
+		d, nd := m.dataConfidence(ctx)
+		isData[r] = d > nd
+	}
+
+	// Stage 2: table boundary discovery — maximal data runs, bridging
+	// single non-data lines strictly inside a run (Pytheas tolerates
+	// isolated in-table irregularities).
+	var tables []span
+	r := 0
+	for r < h {
+		if !isData[r] {
+			r++
+			continue
+		}
+		top := r
+		bottom := r
+		for nxt := r + 1; nxt < h; nxt++ {
+			if isData[nxt] {
+				bottom = nxt
+				continue
+			}
+			// Bridge one non-empty, non-data line if data resumes right after.
+			if !empty[nxt] && nxt+1 < h && isData[nxt+1] {
+				continue
+			}
+			break
+		}
+		tables = append(tables, span{top, bottom})
+		r = bottom + 1
+	}
+
+	// Stage 3: class-specific rules relative to the table areas.
+	inTable := make([]int, h) // index into tables, or -1
+	for i := range inTable {
+		inTable[i] = -1
+	}
+	for ti, sp := range tables {
+		for i := sp.top; i <= sp.bottom; i++ {
+			inTable[i] = ti
+		}
+	}
+
+	for r := 0; r < h; r++ {
+		if empty[r] {
+			continue
+		}
+		switch {
+		case inTable[r] >= 0 && isData[r]:
+			out[r] = table.ClassData
+		case inTable[r] >= 0:
+			// Bridged non-data line inside a table: group when only the
+			// leftmost area is populated, data otherwise.
+			if leadingOnly(t, r) {
+				out[r] = table.ClassGroup
+			} else {
+				out[r] = table.ClassData
+			}
+		default:
+			out[r] = m.classifyOutside(t, r, tables, typeGrid)
+		}
+	}
+	return out
+}
+
+// leadingOnly reports whether the non-empty cells of line r sit in the
+// leftmost positions only (at most the first two columns).
+func leadingOnly(t *table.Table, r int) bool {
+	for c := 2; c < t.Width(); c++ {
+		if !t.IsEmptyCell(r, c) {
+			return false
+		}
+	}
+	return t.NonEmptyCellsInLine(r) > 0
+}
+
+// firstNonEmpty returns the leftmost non-empty cell value of line r.
+func firstNonEmpty(t *table.Table, r int) string {
+	for c := 0; c < t.Width(); c++ {
+		if !t.IsEmptyCell(r, c) {
+			return t.Cell(r, c)
+		}
+	}
+	return ""
+}
+
+// span is a discovered table area: the line indices of its top and bottom
+// data borders.
+type span struct{ top, bottom int }
+
+// classifyOutside labels a non-data line relative to the discovered tables:
+// header directly above a table top, metadata further above the first
+// table, group between a header and its table, and notes below tables.
+func (m *Model) classifyOutside(t *table.Table, r int, spans []span, typeGrid [][]types.Type) table.Class {
+	// Find the next table below and the previous table above.
+	nextTop, prevBottom := -1, -1
+	for _, sp := range spans {
+		if sp.top > r {
+			nextTop = sp.top
+			break
+		}
+		prevBottom = sp.bottom
+	}
+	if nextTop >= 0 {
+		// Count the non-empty lines strictly between r and the table top.
+		gap := 0
+		for i := r + 1; i < nextTop; i++ {
+			if !t.IsEmptyLine(i) {
+				gap++
+			}
+		}
+		stringy := true
+		for c := 0; c < t.Width(); c++ {
+			if typeGrid[r][c] == types.Int || typeGrid[r][c] == types.Float {
+				stringy = false
+				break
+			}
+		}
+		first := firstNonEmpty(t, r)
+		groupish := leadingOnly(t, r) &&
+			(len(first) > 0 && first[len(first)-1] == ':' || features.WordCount(first) <= 2)
+		switch {
+		case gap == 0 && t.NonEmptyCellsInLine(r) >= 2 && stringy:
+			return table.ClassHeader
+		case gap == 0 && groupish:
+			return table.ClassGroup
+		case gap <= 1 && t.NonEmptyCellsInLine(r) >= 2:
+			return table.ClassHeader
+		default:
+			if prevBottom < 0 {
+				return table.ClassMetadata
+			}
+			// Between tables: closer to the one below reads as metadata.
+			if nextTop-r <= r-prevBottom {
+				return table.ClassMetadata
+			}
+			return table.ClassNotes
+		}
+	}
+	if prevBottom >= 0 {
+		return table.ClassNotes
+	}
+	// No table found at all: single-cell prose defaults to metadata.
+	return table.ClassMetadata
+}

@@ -1,0 +1,153 @@
+package pytheas
+
+import (
+	"testing"
+
+	"strudel/internal/table"
+)
+
+// annotatedFile builds a small verbose file with gold line labels.
+func annotatedFile() *table.Table {
+	t := table.FromRows([][]string{
+		{"Crime Statistics 2019", "", "", ""}, // metadata
+		{"", "", "", ""},
+		{"Region", "Jan", "Feb", "Mar"}, // header
+		{"North", "10", "20", "30"},     // data
+		{"South", "15", "25", "35"},     // data
+		{"East", "5", "5", "5"},         // data
+		{"West", "1", "2", "3"},         // data
+		{"", "", "", ""},
+		{"Source: national registry", "", "", ""}, // notes
+	})
+	t.EnsureAnnotations()
+	classes := []table.Class{
+		table.ClassMetadata, table.ClassEmpty, table.ClassHeader,
+		table.ClassData, table.ClassData, table.ClassData, table.ClassData,
+		table.ClassEmpty, table.ClassNotes,
+	}
+	copy(t.LineClasses, classes)
+	for r, cl := range classes {
+		for c := 0; c < t.Width(); c++ {
+			if !t.IsEmptyCell(r, c) {
+				t.CellClasses[r][c] = cl
+			}
+		}
+	}
+	t.Name = "train.csv"
+	return t
+}
+
+// trainingSet returns a few annotated files so rule precisions are
+// estimated from more than a handful of lines.
+func trainingSet() []*table.Table {
+	return []*table.Table{annotatedFile(), annotatedFile(), annotatedFile()}
+}
+
+func TestTrainWeightsInRange(t *testing.T) {
+	m := Train(trainingSet())
+	for i, w := range m.DataWeights {
+		if w <= 0 || w >= 1 {
+			t.Errorf("data rule %d weight %v out of (0,1)", i, w)
+		}
+	}
+	for i, w := range m.NonDataWeights {
+		if w <= 0 || w >= 1 {
+			t.Errorf("non-data rule %d weight %v out of (0,1)", i, w)
+		}
+	}
+}
+
+func TestClassifySimpleFile(t *testing.T) {
+	m := Train(trainingSet())
+	tb := annotatedFile()
+	got := m.ClassifyLines(tb)
+
+	if got[1] != table.ClassEmpty || got[7] != table.ClassEmpty {
+		t.Error("empty lines must stay ClassEmpty")
+	}
+	for r := 3; r <= 6; r++ {
+		if got[r] != table.ClassData {
+			t.Errorf("line %d = %v, want data", r, got[r])
+		}
+	}
+	if got[2] != table.ClassHeader {
+		t.Errorf("line 2 = %v, want header", got[2])
+	}
+	if got[0] != table.ClassMetadata {
+		t.Errorf("line 0 = %v, want metadata", got[0])
+	}
+	if got[8] != table.ClassNotes {
+		t.Errorf("line 8 = %v, want notes", got[8])
+	}
+}
+
+func TestNeverPredictsDerived(t *testing.T) {
+	m := Train(trainingSet())
+	tb := table.FromRows([][]string{
+		{"Values", "A", "B"},
+		{"x", "1", "2"},
+		{"y", "3", "4"},
+		{"Total", "4", "6"},
+	})
+	got := m.ClassifyLines(tb)
+	for r, cl := range got {
+		if cl == table.ClassDerived {
+			t.Errorf("line %d predicted derived; Pytheas has no derived class", r)
+		}
+	}
+}
+
+func TestGroupInsideTable(t *testing.T) {
+	m := Train(trainingSet())
+	tb := table.FromRows([][]string{
+		{"Region", "Jan", "Feb", "Mar"},
+		{"North", "10", "20", "30"},
+		{"South", "15", "25", "35"},
+		{"Violent crime:", "", "", ""}, // group label bridged inside table
+		{"East", "5", "5", "5"},
+		{"West", "1", "2", "3"},
+	})
+	got := m.ClassifyLines(tb)
+	if got[3] != table.ClassGroup {
+		t.Errorf("line 3 = %v, want group", got[3])
+	}
+}
+
+func TestNotesBelowLastTable(t *testing.T) {
+	m := Train(trainingSet())
+	tb := table.FromRows([][]string{
+		{"h1", "h2", "h3"},
+		{"a", "1", "2"},
+		{"b", "3", "4"},
+		{"c", "5", "6"},
+		{"", "", ""},
+		{"1) preliminary figure", "", ""},
+		{"2) revised figure", "", ""},
+	})
+	got := m.ClassifyLines(tb)
+	if got[5] != table.ClassNotes || got[6] != table.ClassNotes {
+		t.Errorf("trailing lines = %v %v, want notes", got[5], got[6])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	m := Train(trainingSet())
+	got := m.ClassifyLines(table.New(0, 0))
+	if len(got) != 0 {
+		t.Errorf("len = %d, want 0", len(got))
+	}
+}
+
+func TestTrainIgnoresUnannotated(t *testing.T) {
+	un := table.FromRows([][]string{{"a", "1"}})
+	m := Train([]*table.Table{un, annotatedFile()})
+	if m == nil {
+		t.Fatal("Train returned nil")
+	}
+	// With only smoothing mass for the unannotated file, weights still valid.
+	for _, w := range m.DataWeights {
+		if w <= 0 || w >= 1 {
+			t.Errorf("weight %v out of range", w)
+		}
+	}
+}

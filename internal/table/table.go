@@ -1,0 +1,405 @@
+// Package table provides the two-dimensional grid model shared by every
+// component of Strudel: cells, lines, tables, and the six semantic element
+// classes defined in Section 3 of the paper.
+//
+// A Table is a dense rectangular grid of string cells. Ragged input lines are
+// padded with empty cells so that every line has the same width; this mirrors
+// the preprocessing applied by the reference implementation after dialect
+// detection. Annotations (line and cell classes) are stored alongside the
+// grid so that annotated corpora, predictions, and gold labels all share one
+// representation.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is one of the six semantic element classes from Section 3.2 of the
+// paper. Every non-empty line and cell of a verbose CSV file belongs to
+// exactly one class. ClassEmpty is used internally for empty lines and cells,
+// which carry no class of their own.
+type Class uint8
+
+// The element classes, in the canonical order used throughout the paper's
+// tables and figures.
+const (
+	ClassEmpty Class = iota // empty line or cell; not a semantic class
+	ClassMetadata
+	ClassHeader
+	ClassGroup
+	ClassData
+	ClassDerived
+	ClassNotes
+
+	// NumClasses is the number of semantic classes (excluding ClassEmpty).
+	NumClasses = 6
+)
+
+// Classes lists the six semantic classes in canonical paper order.
+var Classes = [NumClasses]Class{
+	ClassMetadata, ClassHeader, ClassGroup, ClassData, ClassDerived, ClassNotes,
+}
+
+var classNames = [...]string{
+	ClassEmpty:    "empty",
+	ClassMetadata: "metadata",
+	ClassHeader:   "header",
+	ClassGroup:    "group",
+	ClassData:     "data",
+	ClassDerived:  "derived",
+	ClassNotes:    "notes",
+}
+
+// String returns the lower-case class name used in the paper.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Index returns the position of c within Classes, or -1 for ClassEmpty and
+// unknown values. It is the column/row index used by confusion matrices and
+// probability vectors.
+func (c Class) Index() int {
+	if c >= ClassMetadata && c <= ClassNotes {
+		return int(c) - 1
+	}
+	return -1
+}
+
+// ClassAt returns the class at canonical index i (inverse of Class.Index).
+// It panics if i is out of range.
+func ClassAt(i int) Class {
+	if i < 0 || i >= NumClasses {
+		panic(fmt.Sprintf("table: class index %d out of range", i))
+	}
+	return Classes[i]
+}
+
+// ParseClass converts a class name (as printed by Class.String) back to a
+// Class. It reports an error for unknown names.
+func ParseClass(name string) (Class, error) {
+	for c, n := range classNames {
+		if n == name {
+			return Class(c), nil
+		}
+	}
+	return ClassEmpty, fmt.Errorf("table: unknown class %q", name)
+}
+
+// Table is a dense rectangular grid of cells parsed from a verbose CSV file,
+// together with optional line- and cell-level class annotations.
+//
+// The zero value is an empty table. Use New or FromRows to construct one.
+type Table struct {
+	// Name identifies the source file; used for grouping in cross-validation.
+	Name string
+
+	cells  [][]string // cells[row][col]; always rectangular
+	width  int
+	height int
+
+	// LineClasses[r] is the class of line r (ClassEmpty for empty lines).
+	// Nil when the table carries no line annotations.
+	LineClasses []Class
+	// CellClasses[r][c] is the class of cell (r, c). Nil when unannotated.
+	CellClasses [][]Class
+}
+
+// New returns an empty table with the given dimensions.
+func New(height, width int) *Table {
+	if height < 0 || width < 0 {
+		panic("table: negative dimension")
+	}
+	cells := make([][]string, height)
+	backing := make([]string, height*width)
+	for r := range cells {
+		cells[r], backing = backing[:width:width], backing[width:]
+	}
+	return &Table{cells: cells, width: width, height: height}
+}
+
+// FromRows builds a table from possibly ragged rows, padding short rows with
+// empty cells so the result is rectangular.
+func FromRows(rows [][]string) *Table {
+	width := 0
+	for _, row := range rows {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	t := New(len(rows), width)
+	for r, row := range rows {
+		copy(t.cells[r], row)
+	}
+	return t
+}
+
+// Height returns the number of lines.
+func (t *Table) Height() int { return t.height }
+
+// Width returns the number of columns.
+func (t *Table) Width() int { return t.width }
+
+// Cell returns the value of cell (row, col). It panics if out of range.
+func (t *Table) Cell(row, col int) string {
+	return t.cells[row][col]
+}
+
+// SetCell sets the value of cell (row, col). It panics if out of range.
+func (t *Table) SetCell(row, col int, v string) {
+	t.cells[row][col] = v
+}
+
+// Row returns the cells of line row. The returned slice aliases the table;
+// callers must not modify it.
+func (t *Table) Row(row int) []string {
+	return t.cells[row]
+}
+
+// InBounds reports whether (row, col) lies inside the grid.
+func (t *Table) InBounds(row, col int) bool {
+	return row >= 0 && row < t.height && col >= 0 && col < t.width
+}
+
+// IsEmptyCell reports whether cell (row, col) is empty after trimming
+// whitespace. Out-of-bounds coordinates are treated as empty, which
+// simplifies neighbor inspection at the margins.
+func (t *Table) IsEmptyCell(row, col int) bool {
+	if !t.InBounds(row, col) {
+		return true
+	}
+	return IsEmpty(t.cells[row][col])
+}
+
+// IsEmptyLine reports whether every cell of line row is empty.
+// Out-of-bounds rows are treated as empty.
+func (t *Table) IsEmptyLine(row int) bool {
+	if row < 0 || row >= t.height {
+		return true
+	}
+	for _, v := range t.cells[row] {
+		if !IsEmpty(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// NonEmptyCellsInLine counts the non-empty cells of line row.
+func (t *Table) NonEmptyCellsInLine(row int) int {
+	n := 0
+	for _, v := range t.cells[row] {
+		if !IsEmpty(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// NonEmptyLines counts lines with at least one non-empty cell.
+func (t *Table) NonEmptyLines() int {
+	n := 0
+	for r := 0; r < t.height; r++ {
+		if !t.IsEmptyLine(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// NonEmptyCells counts all non-empty cells in the table.
+func (t *Table) NonEmptyCells() int {
+	n := 0
+	for r := 0; r < t.height; r++ {
+		n += t.NonEmptyCellsInLine(r)
+	}
+	return n
+}
+
+// IsEmpty reports whether a single cell value is empty after trimming
+// whitespace. This is the shared notion of emptiness used by all features.
+func IsEmpty(v string) bool {
+	return strings.TrimSpace(v) == ""
+}
+
+// ClosestNonEmptyLineAbove returns the index of the closest non-empty line
+// strictly above row, or -1 if none exists. Empty separator lines are
+// skipped, as required by the contextual line features (Section 4).
+func (t *Table) ClosestNonEmptyLineAbove(row int) int {
+	for r := row - 1; r >= 0; r-- {
+		if !t.IsEmptyLine(r) {
+			return r
+		}
+	}
+	return -1
+}
+
+// ClosestNonEmptyLineBelow returns the index of the closest non-empty line
+// strictly below row, or -1 if none exists.
+func (t *Table) ClosestNonEmptyLineBelow(row int) int {
+	for r := row + 1; r < t.height; r++ {
+		if !t.IsEmptyLine(r) {
+			return r
+		}
+	}
+	return -1
+}
+
+// EnsureAnnotations allocates (if needed) the LineClasses and CellClasses
+// slices so the table can be annotated in place.
+func (t *Table) EnsureAnnotations() {
+	if t.LineClasses == nil {
+		t.LineClasses = make([]Class, t.height)
+	}
+	if t.CellClasses == nil {
+		t.CellClasses = make([][]Class, t.height)
+		backing := make([]Class, t.height*t.width)
+		for r := range t.CellClasses {
+			t.CellClasses[r], backing = backing[:t.width:t.width], backing[t.width:]
+		}
+	}
+}
+
+// Annotated reports whether the table carries both line and cell labels.
+func (t *Table) Annotated() bool {
+	return t.LineClasses != nil && t.CellClasses != nil
+}
+
+// LineClassFromCells derives the class of line row by majority vote over the
+// classes of its non-empty cells, breaking ties in favor of the rarer class
+// (lower canonical index wins among non-data classes; data loses ties). This
+// mirrors how the figure-1 caption describes line classes being determined.
+func (t *Table) LineClassFromCells(row int) Class {
+	if t.CellClasses == nil {
+		return ClassEmpty
+	}
+	var counts [NumClasses]int
+	for c := 0; c < t.width; c++ {
+		cl := t.CellClasses[row][c]
+		if idx := cl.Index(); idx >= 0 && !t.IsEmptyCell(row, c) {
+			counts[idx]++
+		}
+	}
+	best, bestCount := -1, 0
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if n > bestCount {
+			best, bestCount = i, n
+			continue
+		}
+		if n == bestCount {
+			// Tie: prefer the non-data class; among non-data, keep the first.
+			if ClassAt(best) == ClassData && ClassAt(i) != ClassData {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return ClassEmpty
+	}
+	return ClassAt(best)
+}
+
+// DiversityDegree returns the number of distinct non-empty cell classes in
+// line row (the "cell class diversity degree" of Table 3 in the paper), or 0
+// for lines without annotated non-empty cells.
+func (t *Table) DiversityDegree(row int) int {
+	if t.CellClasses == nil {
+		return 0
+	}
+	var seen [NumClasses]bool
+	n := 0
+	for c := 0; c < t.width; c++ {
+		cl := t.CellClasses[row][c]
+		if idx := cl.Index(); idx >= 0 && !t.IsEmptyCell(row, c) && !seen[idx] {
+			seen[idx] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Crop removes marginal empty lines and columns (Section 6.1.1 data
+// preparation: "we cropped each file by removing the marginal empty lines or
+// columns"). Annotations, if present, are cropped consistently. The receiver
+// is modified in place; the method returns the receiver for chaining.
+func (t *Table) Crop() *Table {
+	top, bottom := 0, t.height
+	for top < bottom && t.IsEmptyLine(top) {
+		top++
+	}
+	for bottom > top && t.IsEmptyLine(bottom-1) {
+		bottom--
+	}
+	emptyCol := func(c int) bool {
+		for r := top; r < bottom; r++ {
+			if !IsEmpty(t.cells[r][c]) {
+				return false
+			}
+		}
+		return true
+	}
+	left, right := 0, t.width
+	for left < right && emptyCol(left) {
+		left++
+	}
+	for right > left && emptyCol(right-1) {
+		right--
+	}
+
+	height, width := bottom-top, right-left
+	cells := make([][]string, height)
+	for r := 0; r < height; r++ {
+		cells[r] = t.cells[top+r][left:right:right]
+	}
+	t.cells = cells
+	if t.LineClasses != nil {
+		t.LineClasses = t.LineClasses[top:bottom:bottom]
+	}
+	if t.CellClasses != nil {
+		cls := make([][]Class, height)
+		for r := 0; r < height; r++ {
+			cls[r] = t.CellClasses[top+r][left:right:right]
+		}
+		t.CellClasses = cls
+	}
+	t.height, t.width = height, width
+	return t
+}
+
+// Clone returns a deep copy of the table, including annotations.
+func (t *Table) Clone() *Table {
+	c := New(t.height, t.width)
+	c.Name = t.Name
+	for r := 0; r < t.height; r++ {
+		copy(c.cells[r], t.cells[r])
+	}
+	if t.LineClasses != nil {
+		c.LineClasses = append([]Class(nil), t.LineClasses...)
+	}
+	if t.CellClasses != nil {
+		c.CellClasses = make([][]Class, t.height)
+		backing := make([]Class, t.height*t.width)
+		for r := range c.CellClasses {
+			c.CellClasses[r], backing = backing[:t.width:t.width], backing[t.width:]
+			copy(c.CellClasses[r], t.CellClasses[r])
+		}
+	}
+	return c
+}
+
+// String renders the table with '|'-separated cells, one line per row.
+// Intended for debugging and small examples, not round-tripping.
+func (t *Table) String() string {
+	var b strings.Builder
+	for r := 0; r < t.height; r++ {
+		b.WriteString(strings.Join(t.cells[r], "|"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,288 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		ClassEmpty:    "empty",
+		ClassMetadata: "metadata",
+		ClassHeader:   "header",
+		ClassGroup:    "group",
+		ClassData:     "data",
+		ClassDerived:  "derived",
+		ClassNotes:    "notes",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("ParseClass(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass(bogus) should fail")
+	}
+}
+
+func TestClassIndexInverse(t *testing.T) {
+	for i := 0; i < NumClasses; i++ {
+		if got := ClassAt(i).Index(); got != i {
+			t.Errorf("ClassAt(%d).Index() = %d", i, got)
+		}
+	}
+	if ClassEmpty.Index() != -1 {
+		t.Error("ClassEmpty.Index() should be -1")
+	}
+}
+
+func TestFromRowsPadsRagged(t *testing.T) {
+	tb := FromRows([][]string{{"a"}, {"b", "c", "d"}, {}})
+	if tb.Height() != 3 || tb.Width() != 3 {
+		t.Fatalf("dims = %dx%d, want 3x3", tb.Height(), tb.Width())
+	}
+	if tb.Cell(0, 1) != "" || tb.Cell(2, 0) != "" {
+		t.Error("padding cells should be empty")
+	}
+	if tb.Cell(1, 2) != "d" {
+		t.Errorf("Cell(1,2) = %q", tb.Cell(1, 2))
+	}
+}
+
+func TestEmptiness(t *testing.T) {
+	tb := FromRows([][]string{
+		{"x", " ", ""},
+		{"", "", ""},
+		{"", "y", ""},
+	})
+	if !tb.IsEmptyCell(0, 1) {
+		t.Error("whitespace-only cell should be empty")
+	}
+	if tb.IsEmptyCell(0, 0) {
+		t.Error("cell 'x' should be non-empty")
+	}
+	if !tb.IsEmptyCell(-1, 0) || !tb.IsEmptyCell(0, 99) {
+		t.Error("out-of-bounds cells should read as empty")
+	}
+	if !tb.IsEmptyLine(1) {
+		t.Error("line 1 should be empty")
+	}
+	if tb.IsEmptyLine(2) {
+		t.Error("line 2 should be non-empty")
+	}
+	if got := tb.NonEmptyLines(); got != 2 {
+		t.Errorf("NonEmptyLines = %d, want 2", got)
+	}
+	if got := tb.NonEmptyCells(); got != 2 {
+		t.Errorf("NonEmptyCells = %d, want 2", got)
+	}
+}
+
+func TestClosestNonEmptyLines(t *testing.T) {
+	tb := FromRows([][]string{
+		{"a"}, {""}, {""}, {"b"}, {""}, {"c"},
+	})
+	if got := tb.ClosestNonEmptyLineAbove(3); got != 0 {
+		t.Errorf("above(3) = %d, want 0", got)
+	}
+	if got := tb.ClosestNonEmptyLineBelow(3); got != 5 {
+		t.Errorf("below(3) = %d, want 5", got)
+	}
+	if got := tb.ClosestNonEmptyLineAbove(0); got != -1 {
+		t.Errorf("above(0) = %d, want -1", got)
+	}
+	if got := tb.ClosestNonEmptyLineBelow(5); got != -1 {
+		t.Errorf("below(5) = %d, want -1", got)
+	}
+}
+
+func TestCrop(t *testing.T) {
+	tb := FromRows([][]string{
+		{"", "", "", ""},
+		{"", "a", "b", ""},
+		{"", "", "c", ""},
+		{"", "", "", ""},
+	})
+	tb.EnsureAnnotations()
+	tb.LineClasses[1] = ClassHeader
+	tb.CellClasses[1][1] = ClassHeader
+	tb.Crop()
+	if tb.Height() != 2 || tb.Width() != 2 {
+		t.Fatalf("cropped dims = %dx%d, want 2x2", tb.Height(), tb.Width())
+	}
+	if tb.Cell(0, 0) != "a" || tb.Cell(1, 1) != "c" {
+		t.Errorf("cropped contents wrong: %q %q", tb.Cell(0, 0), tb.Cell(1, 1))
+	}
+	if tb.LineClasses[0] != ClassHeader {
+		t.Error("line annotations not cropped consistently")
+	}
+	if tb.CellClasses[0][0] != ClassHeader {
+		t.Error("cell annotations not cropped consistently")
+	}
+}
+
+func TestCropAllEmpty(t *testing.T) {
+	tb := FromRows([][]string{{"", ""}, {"", ""}})
+	tb.Crop()
+	if tb.Height() != 0 {
+		t.Errorf("all-empty table should crop to height 0, got %d", tb.Height())
+	}
+}
+
+func TestCropIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := rng.Intn(8)+1, rng.Intn(8)+1
+		tb := New(h, w)
+		for r := 0; r < h; r++ {
+			for c := 0; c < w; c++ {
+				if rng.Intn(3) == 0 {
+					tb.SetCell(r, c, "v")
+				}
+			}
+		}
+		tb.Crop()
+		h1, w1 := tb.Height(), tb.Width()
+		tb.Crop()
+		return tb.Height() == h1 && tb.Width() == w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineClassFromCells(t *testing.T) {
+	tb := FromRows([][]string{
+		{"Total", "1", "2", "3"},
+	})
+	tb.EnsureAnnotations()
+	tb.CellClasses[0][0] = ClassGroup
+	tb.CellClasses[0][1] = ClassDerived
+	tb.CellClasses[0][2] = ClassDerived
+	tb.CellClasses[0][3] = ClassDerived
+	if got := tb.LineClassFromCells(0); got != ClassDerived {
+		t.Errorf("majority class = %v, want derived", got)
+	}
+}
+
+func TestLineClassFromCellsTiePrefersNonData(t *testing.T) {
+	tb := FromRows([][]string{{"Total", "5"}})
+	tb.EnsureAnnotations()
+	tb.CellClasses[0][0] = ClassGroup
+	tb.CellClasses[0][1] = ClassData
+	if got := tb.LineClassFromCells(0); got != ClassGroup {
+		t.Errorf("tie-broken class = %v, want group", got)
+	}
+}
+
+func TestLineClassFromCellsIgnoresEmptyCells(t *testing.T) {
+	tb := FromRows([][]string{{"cap", "", ""}})
+	tb.EnsureAnnotations()
+	tb.CellClasses[0][0] = ClassMetadata
+	tb.CellClasses[0][1] = ClassData // annotated but empty cell: ignored
+	tb.CellClasses[0][2] = ClassData
+	if got := tb.LineClassFromCells(0); got != ClassMetadata {
+		t.Errorf("class = %v, want metadata", got)
+	}
+}
+
+func TestDiversityDegree(t *testing.T) {
+	tb := FromRows([][]string{
+		{"Total", "1", "2"},
+		{"a", "b", "c"},
+		{"", "", ""},
+	})
+	tb.EnsureAnnotations()
+	tb.CellClasses[0][0] = ClassGroup
+	tb.CellClasses[0][1] = ClassDerived
+	tb.CellClasses[0][2] = ClassDerived
+	tb.CellClasses[1][0] = ClassData
+	tb.CellClasses[1][1] = ClassData
+	tb.CellClasses[1][2] = ClassData
+	if got := tb.DiversityDegree(0); got != 2 {
+		t.Errorf("diversity(0) = %d, want 2", got)
+	}
+	if got := tb.DiversityDegree(1); got != 1 {
+		t.Errorf("diversity(1) = %d, want 1", got)
+	}
+	if got := tb.DiversityDegree(2); got != 0 {
+		t.Errorf("diversity(2) = %d, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tb := FromRows([][]string{{"a", "b"}})
+	tb.EnsureAnnotations()
+	tb.LineClasses[0] = ClassData
+	c := tb.Clone()
+	c.SetCell(0, 0, "z")
+	c.LineClasses[0] = ClassNotes
+	c.CellClasses[0][1] = ClassNotes
+	if tb.Cell(0, 0) != "a" || tb.LineClasses[0] != ClassData || tb.CellClasses[0][1] != ClassEmpty {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1, 2) should panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestStringRendering(t *testing.T) {
+	tb := FromRows([][]string{{"a", "b"}, {"c", "d"}})
+	if got := tb.String(); got != "a|b\nc|d\n" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNonEmptyCellsInLine(t *testing.T) {
+	tb := FromRows([][]string{{"a", " ", "b", ""}})
+	if got := tb.NonEmptyCellsInLine(0); got != 2 {
+		t.Errorf("NonEmptyCellsInLine = %d, want 2", got)
+	}
+}
+
+func TestClassAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ClassAt(99) should panic")
+		}
+	}()
+	ClassAt(99)
+}
+
+func TestRowAliasesTable(t *testing.T) {
+	tb := FromRows([][]string{{"x", "y"}})
+	row := tb.Row(0)
+	tb.SetCell(0, 1, "z")
+	if row[1] != "z" {
+		t.Error("Row must alias the table storage")
+	}
+}
+
+func TestEnsureAnnotationsIdempotent(t *testing.T) {
+	tb := FromRows([][]string{{"a"}})
+	tb.EnsureAnnotations()
+	tb.LineClasses[0] = ClassData
+	tb.EnsureAnnotations() // must not reset existing annotations
+	if tb.LineClasses[0] != ClassData {
+		t.Error("EnsureAnnotations reset annotations")
+	}
+}

@@ -1,0 +1,41 @@
+package types
+
+import "testing"
+
+// FuzzInfer checks the type-inference invariants on arbitrary input: no
+// panics, numeric types always parseable, empty only for blank strings.
+func FuzzInfer(f *testing.F) {
+	f.Add("42")
+	f.Add("1,234.5")
+	f.Add("(42%)")
+	f.Add("2019-03-26")
+	f.Add("-")
+	f.Add("  ")
+	f.Add("1e309")
+	f.Add("£")
+	f.Fuzz(func(t *testing.T, v string) {
+		ty := Infer(v)
+		if ty.IsNumeric() {
+			if _, ok := ParseNumber(v); !ok {
+				t.Fatalf("Infer(%q) = %v but ParseNumber failed", v, ty)
+			}
+		}
+		if ty == Empty {
+			for _, r := range v {
+				if r != ' ' && r != '\t' && r != '\n' && r != '\r' && r != '\v' && r != '\f' &&
+					r != 0x85 && r != 0xA0 && !isSpaceRune(r) {
+					t.Fatalf("Infer(%q) = Empty but value has content", v)
+				}
+			}
+		}
+	})
+}
+
+func isSpaceRune(r rune) bool {
+	switch r {
+	case 0x1680, 0x2000, 0x2001, 0x2002, 0x2003, 0x2004, 0x2005, 0x2006,
+		0x2007, 0x2008, 0x2009, 0x200A, 0x2028, 0x2029, 0x202F, 0x205F, 0x3000:
+		return true
+	}
+	return false
+}

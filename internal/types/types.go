@@ -1,0 +1,302 @@
+// Package types infers the data type of individual cell values.
+//
+// The paper's feature sets (Tables 1 and 2) rely on a four-way data type
+// distinction — int, float, string, and date — plus emptiness. This package
+// provides that inference together with numeric value parsing that tolerates
+// the formatting commonly found in statistical tables: thousands separators,
+// leading currency symbols, percent signs, accounting-style parenthesized
+// negatives, and footnote markers attached to numbers.
+package types
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Type is the inferred data type of a cell value.
+type Type uint8
+
+// The cell data types, ordered so that the integer values can be used
+// directly as the ordinal feature values of Table 2 (DataType: 0..4 with
+// empty, NeighborDataType: 0..5 with a -1 sentinel handled by the caller).
+const (
+	Empty Type = iota
+	Int
+	Float
+	Date
+	String
+
+	// NumTypes is the number of distinct Type values.
+	NumTypes = 5
+)
+
+var typeNames = [...]string{
+	Empty:  "empty",
+	Int:    "int",
+	Float:  "float",
+	Date:   "date",
+	String: "string",
+}
+
+// String returns the lower-case type name.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "type(?)"
+}
+
+// IsNumeric reports whether the type carries a numeric value.
+func (t Type) IsNumeric() bool { return t == Int || t == Float }
+
+// Infer returns the data type of a raw cell value.
+func Infer(v string) Type {
+	s := strings.TrimSpace(v)
+	if s == "" {
+		return Empty
+	}
+	if _, ok := ParseNumber(s); ok {
+		if looksIntegral(s) {
+			return Int
+		}
+		return Float
+	}
+	if IsDate(s) {
+		return Date
+	}
+	return String
+}
+
+// looksIntegral reports whether a string that parsed as a number has no
+// fractional part in its written form.
+func looksIntegral(s string) bool {
+	return !strings.ContainsAny(s, ".eE") || isYearLike(s)
+}
+
+func isYearLike(s string) bool {
+	if len(s) != 4 {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseNumber parses a cell value as a number, tolerating statistical-table
+// formatting. It reports ok=false for values that are not numbers.
+//
+// Accepted embellishments: surrounding whitespace, thousands separators
+// (1,234,567), a leading currency symbol ($ £ €), a trailing percent sign,
+// accounting negatives ((123) == -123), an explicit sign, and a single
+// trailing footnote marker (* or †) directly attached to the number.
+func ParseNumber(v string) (float64, bool) {
+	s := strings.TrimSpace(v)
+	if s == "" {
+		return 0, false
+	}
+
+	neg := false
+	// Accounting-style negative: (123.4)
+	if len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		neg = true
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	// Leading currency symbol.
+	for _, cur := range [...]string{"$", "£", "€"} {
+		if strings.HasPrefix(s, cur) {
+			s = strings.TrimSpace(s[len(cur):])
+			break
+		}
+	}
+	// Trailing footnote markers and percent.
+	s = strings.TrimRight(s, "*†")
+	if strings.HasSuffix(s, "%") {
+		s = strings.TrimSpace(s[:len(s)-1])
+	}
+	if s == "" {
+		return 0, false
+	}
+
+	// Thousands separators must group digits 3-by-3 to count as numeric;
+	// "1,2" or "12,34" are treated as strings.
+	if strings.Contains(s, ",") {
+		if !validThousands(s) {
+			return 0, false
+		}
+		s = strings.ReplaceAll(s, ",", "")
+	}
+
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// validThousands checks that commas in s group the integer part 3-by-3.
+func validThousands(s string) bool {
+	body := s
+	if i := strings.IndexAny(body, ".eE"); i >= 0 {
+		if strings.Contains(body[i:], ",") {
+			return false
+		}
+		body = body[:i]
+	}
+	body = strings.TrimLeft(body, "+-")
+	groups := strings.Split(body, ",")
+	if len(groups) < 2 {
+		return true
+	}
+	if len(groups[0]) == 0 || len(groups[0]) > 3 {
+		return false
+	}
+	if !allDigits(groups[0]) {
+		return false
+	}
+	for _, g := range groups[1:] {
+		if len(g) != 3 || !allDigits(g) {
+			return false
+		}
+	}
+	return true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// monthNames are the month words recognized by IsDate (full and 3-letter).
+var monthNames = map[string]bool{
+	"january": true, "february": true, "march": true, "april": true,
+	"may": true, "june": true, "july": true, "august": true,
+	"september": true, "october": true, "november": true, "december": true,
+	"jan": true, "feb": true, "mar": true, "apr": true, "jun": true,
+	"jul": true, "aug": true, "sep": true, "sept": true, "oct": true,
+	"nov": true, "dec": true,
+}
+
+// IsDate reports whether v looks like a calendar date. Recognized shapes:
+//
+//	2019-03-26   26/03/2019   03/26/19   26.03.2019
+//	March 2019   26 March 2019   Mar-19   2019Q1   Q1 2019
+func IsDate(v string) bool {
+	s := strings.TrimSpace(v)
+	if s == "" {
+		return false
+	}
+	if isQuarter(s) {
+		return true
+	}
+	// Numeric dates with separators.
+	for _, sep := range [...]byte{'-', '/', '.'} {
+		if ok := numericDate(s, sep); ok {
+			return true
+		}
+	}
+	// Word dates: up to three tokens, one of which is a month name.
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '-' || r == ',' || r == '/'
+	})
+	if len(fields) >= 1 && len(fields) <= 3 {
+		hasMonth, othersNumeric := false, true
+		for _, f := range fields {
+			lf := strings.ToLower(f)
+			if monthNames[lf] {
+				hasMonth = true
+				continue
+			}
+			if n, err := strconv.Atoi(f); err != nil || n < 1 || n > 3000 {
+				othersNumeric = false
+			}
+		}
+		if hasMonth && othersNumeric && len(fields) >= 2 {
+			return true
+		}
+		if hasMonth && len(fields) == 1 {
+			return false // bare month name is a string, not a date
+		}
+	}
+	return false
+}
+
+// isQuarter recognizes 2019Q1, Q1 2019, Q1-2019 and similar.
+func isQuarter(s string) bool {
+	u := strings.ToUpper(strings.ReplaceAll(strings.ReplaceAll(s, " ", ""), "-", ""))
+	if len(u) != 6 {
+		return false
+	}
+	switch {
+	case u[0] == 'Q' && u[1] >= '1' && u[1] <= '4' && allDigits(u[2:]):
+		return true
+	case allDigits(u[:4]) && u[4] == 'Q' && u[5] >= '1' && u[5] <= '4':
+		return true
+	}
+	return false
+}
+
+// numericDate checks for D<sep>M<sep>Y style dates (any ordering of a
+// 4-digit year with 1–2 digit day/month, or three short groups).
+func numericDate(s string, sep byte) bool {
+	parts := strings.Split(s, string(sep))
+	if len(parts) != 3 {
+		return false
+	}
+	var nums [3]int
+	for i, p := range parts {
+		if !allDigits(p) || len(p) > 4 {
+			return false
+		}
+		n, _ := strconv.Atoi(p)
+		nums[i] = n
+	}
+	fourDigit := -1
+	for i, p := range parts {
+		if len(p) == 4 {
+			if fourDigit >= 0 {
+				return false // two 4-digit groups
+			}
+			fourDigit = i
+		}
+	}
+	inRange := func(n, lo, hi int) bool { return n >= lo && n <= hi }
+	switch fourDigit {
+	case 0: // Y-M-D
+		return inRange(nums[0], 1000, 2999) && inRange(nums[1], 1, 12) && inRange(nums[2], 1, 31)
+	case 2: // D-M-Y or M-D-Y
+		y := nums[2]
+		if !inRange(y, 1000, 2999) {
+			return false
+		}
+		return (inRange(nums[0], 1, 31) && inRange(nums[1], 1, 12)) ||
+			(inRange(nums[0], 1, 12) && inRange(nums[1], 1, 31))
+	case 1:
+		return false
+	default: // all short groups, e.g. 03/26/19
+		return (inRange(nums[0], 1, 31) && inRange(nums[1], 1, 12) ||
+			inRange(nums[0], 1, 12) && inRange(nums[1], 1, 31)) &&
+			inRange(nums[2], 0, 99)
+	}
+}
+
+// RowTypes infers the type of every cell in a row.
+func RowTypes(row []string) []Type {
+	out := make([]Type, len(row))
+	for i, v := range row {
+		out[i] = Infer(v)
+	}
+	return out
+}

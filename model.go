@@ -1,0 +1,83 @@
+package strudel
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"strudel/internal/core"
+)
+
+// modelFile is the on-disk model format. The cell model's embedded line
+// model is stored once, in the Line field, and re-attached on load.
+type modelFile struct {
+	Version int             `json:"version"`
+	Line    *core.LineModel `json:"line"`
+	Cell    *core.CellModel `json:"cell,omitempty"`
+}
+
+const modelVersion = 1
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{Version: modelVersion, Line: m.line}
+	if m.cell != nil {
+		cell := *m.cell
+		cell.Line = nil // stored once via mf.Line
+		mf.Cell = &cell
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&mf)
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("strudel: decode model: %w", err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("strudel: unsupported model version %d", mf.Version)
+	}
+	if mf.Line == nil || mf.Line.Forest == nil || len(mf.Line.Forest.Trees) == 0 {
+		return nil, errors.New("strudel: corrupt model: missing line forest")
+	}
+	m := &Model{line: mf.Line}
+	if mf.Cell != nil {
+		if mf.Cell.Forest == nil || len(mf.Cell.Forest.Trees) == 0 {
+			return nil, errors.New("strudel: corrupt model: missing cell forest")
+		}
+		mf.Cell.Line = mf.Line
+		m.cell = mf.Cell
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := LoadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("strudel: %s: %w", path, err)
+	}
+	return m, nil
+}

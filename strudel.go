@@ -1,0 +1,251 @@
+package strudel
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"strudel/internal/core"
+	"strudel/internal/datagen"
+	"strudel/internal/dialect"
+	"strudel/internal/extract"
+	"strudel/internal/features"
+	"strudel/internal/table"
+)
+
+// Class is one of the six semantic element classes (plus ClassEmpty for
+// empty lines and cells).
+type Class = table.Class
+
+// The element classes, re-exported in canonical order.
+const (
+	ClassEmpty    = table.ClassEmpty
+	ClassMetadata = table.ClassMetadata
+	ClassHeader   = table.ClassHeader
+	ClassGroup    = table.ClassGroup
+	ClassData     = table.ClassData
+	ClassDerived  = table.ClassDerived
+	ClassNotes    = table.ClassNotes
+
+	// NumClasses is the number of semantic classes.
+	NumClasses = table.NumClasses
+)
+
+// Classes lists the semantic classes in canonical order.
+var Classes = table.Classes[:]
+
+// ParseClass converts a class name back to a Class.
+func ParseClass(name string) (Class, error) { return table.ParseClass(name) }
+
+// Table is a parsed verbose CSV file: a rectangular grid of cells with
+// optional line and cell annotations.
+type Table = table.Table
+
+// Dialect describes how a delimited file is tokenized.
+type Dialect = dialect.Dialect
+
+// DefaultDialect is the RFC 4180 dialect (comma, double quote).
+var DefaultDialect = dialect.Default
+
+// DetectDialect finds the most consistent dialect for raw file text, using
+// the data-consistency measure of van den Burg et al. (2019), the same
+// preprocessing the paper applies before classification.
+func DetectDialect(text string) (Dialect, error) { return dialect.Detect(text) }
+
+// Parse splits raw text under the given dialect into a Table. Marginal
+// empty lines and columns are cropped, as in the paper's data preparation.
+func Parse(text string, d Dialect) *Table {
+	return table.FromRows(dialect.Split(text, d)).Crop()
+}
+
+// Load reads a verbose CSV file from r, detects its dialect, and parses it.
+func Load(r io.Reader) (*Table, Dialect, error) {
+	var b strings.Builder
+	if _, err := io.Copy(&b, r); err != nil {
+		return nil, Dialect{}, fmt.Errorf("strudel: read: %w", err)
+	}
+	d, err := dialect.Detect(b.String())
+	if err != nil {
+		return nil, Dialect{}, err
+	}
+	return Parse(b.String(), d), d, nil
+}
+
+// LoadFile reads and parses the file at path.
+func LoadFile(path string) (*Table, Dialect, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Dialect{}, err
+	}
+	defer f.Close()
+	t, d, err := Load(f)
+	if err != nil {
+		return nil, Dialect{}, fmt.Errorf("strudel: %s: %w", path, err)
+	}
+	t.Name = path
+	return t, d, nil
+}
+
+// Annotation is the result of classifying a table: one class per line and
+// per cell (ClassEmpty for empty elements).
+type Annotation struct {
+	Lines []Class
+	Cells [][]Class
+	// LineProbabilities holds the Strudel^L per-class confidence for every
+	// line (all zeros for empty lines).
+	LineProbabilities [][]float64
+}
+
+// Model bundles a trained Strudel^L line classifier and Strudel^C cell
+// classifier.
+type Model struct {
+	line *core.LineModel
+	cell *core.CellModel
+}
+
+// TrainOptions configures Train. The zero value reproduces the paper's
+// setup (100-tree forests over the full feature sets).
+type TrainOptions struct {
+	// Trees is the forest size; 0 means 100.
+	Trees int
+	// Seed makes training deterministic.
+	Seed int64
+	// MaxCellsPerFile caps per-file cell sampling for the cell model
+	// (0 = use every cell). Large corpora train considerably faster with a
+	// cap of a few thousand; minority-class cells are always kept.
+	MaxCellsPerFile int
+	// LineOnly skips the cell model; ClassifyCells then falls back to the
+	// Line^C extension of line predictions.
+	LineOnly bool
+}
+
+// Train fits a model on annotated tables (tables where LineClasses and
+// CellClasses are populated, e.g. from GenerateCorpus or hand labeling).
+func Train(files []*Table, opts TrainOptions) (*Model, error) {
+	lopts := core.DefaultLineTrainOptions()
+	if opts.Trees > 0 {
+		lopts.Forest.NumTrees = opts.Trees
+	}
+	lopts.Forest.Seed = opts.Seed
+
+	if opts.LineOnly {
+		lm, err := core.TrainLine(files, lopts)
+		if err != nil {
+			return nil, err
+		}
+		return &Model{line: lm}, nil
+	}
+
+	copts := core.DefaultCellTrainOptions()
+	if opts.Trees > 0 {
+		copts.Forest.NumTrees = opts.Trees
+		copts.Line.Forest.NumTrees = opts.Trees
+	}
+	copts.Forest.Seed = opts.Seed
+	copts.MaxCellsPerFile = opts.MaxCellsPerFile
+	cm, err := core.TrainCell(files, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{line: cm.Line, cell: cm}, nil
+}
+
+// ClassifyLines predicts one class per line.
+func (m *Model) ClassifyLines(t *Table) []Class { return m.line.Classify(t) }
+
+// LineProbabilities returns the Strudel^L per-line class probabilities.
+func (m *Model) LineProbabilities(t *Table) [][]float64 { return m.line.Probabilities(t) }
+
+// ClassifyCells predicts one class per cell. Models trained with LineOnly
+// fall back to the Line^C baseline (extending line predictions to cells).
+func (m *Model) ClassifyCells(t *Table) [][]Class {
+	if m.cell == nil {
+		return m.line.ClassifyCells(t)
+	}
+	return m.cell.Classify(t)
+}
+
+// Annotate classifies both granularities in one call.
+func (m *Model) Annotate(t *Table) *Annotation {
+	return &Annotation{
+		Lines:             m.ClassifyLines(t),
+		Cells:             m.ClassifyCells(t),
+		LineProbabilities: m.LineProbabilities(t),
+	}
+}
+
+// HasCellModel reports whether the model carries a trained Strudel^C.
+func (m *Model) HasCellModel() bool { return m.cell != nil }
+
+// GenerateCorpus synthesizes one of the paper-shaped annotated corpora:
+// "govuk", "saus", "cius", "deex", "mendeley", or "troy". scale multiplies
+// the default file count (use 1 for the standard size). The returned tables
+// carry gold line and cell classes and can be passed straight to Train.
+func GenerateCorpus(name string, scale float64) ([]*Table, error) {
+	c, err := datagen.GenerateDataset(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return c.Files, nil
+}
+
+// CorpusNames lists the available synthetic corpora.
+func CorpusNames() []string {
+	return []string{"govuk", "saus", "cius", "deex", "mendeley", "troy"}
+}
+
+// DetectDerivedCells runs the paper's Algorithm 2 on a table: it returns a
+// boolean grid marking the numeric cells whose values are aggregations
+// (sums or means) of neighboring cells, anchored by aggregation keywords
+// such as "Total". Useful on its own for auditing report arithmetic.
+func DetectDerivedCells(t *Table) [][]bool {
+	return features.DetectDerived(t, features.DefaultDerivedOptions())
+}
+
+// ContainsAggregationWord reports whether a cell value contains one of the
+// aggregation keywords of Section 4 (total, sum, average, ...).
+func ContainsAggregationWord(v string) bool {
+	return features.ContainsAggregationWord(v)
+}
+
+// Relation is a relational table reconstructed from a classified verbose
+// CSV file: merged header, data tuples, group labels denormalized into a
+// leading column, derived rows dropped.
+type Relation = extract.Relation
+
+// ExtractTables reconstructs every table region of t under the predicted
+// line classes: multi-line headers are merged, group labels become a
+// leading column, and derived rows are dropped. Compared to ExtractData it
+// handles files with several stacked tables.
+func ExtractTables(t *Table, ann *Annotation) []Relation {
+	return extract.Tables(t, ann.Lines)
+}
+
+// ExtractProse collects the metadata (kind "metadata") or footnote text
+// (kind "notes") of a classified file, one string per contiguous block.
+func ExtractProse(t *Table, ann *Annotation, kind string) []string {
+	k := extract.RegionMetadata
+	if kind == "notes" {
+		k = extract.RegionNotes
+	}
+	return extract.Prose(t, ann.Lines, k)
+}
+
+// ExtractData pulls the clean relational content out of an annotated
+// table: the first header line becomes the header row, and every data line
+// contributes its cells (group labels and derived lines are skipped). This
+// is the "make it machine-readable" step motivating the paper.
+func ExtractData(t *Table, ann *Annotation) (header []string, rows [][]string) {
+	for r := 0; r < t.Height(); r++ {
+		switch ann.Lines[r] {
+		case ClassHeader:
+			if header == nil {
+				header = append([]string(nil), t.Row(r)...)
+			}
+		case ClassData:
+			rows = append(rows, append([]string(nil), t.Row(r)...))
+		}
+	}
+	return header, rows
+}

@@ -1,0 +1,352 @@
+package strudel
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `Employment by Sector 2020,,,
+,,,
+Sector,Q1,Q2,Q3
+Manufacturing,120,130,125
+Construction,80,85,90
+Retail,200,210,205
+Total,400,425,420
+,,,
+Source: labour force survey,,,
+`
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	files, err := GenerateCorpus("saus", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(files, TrainOptions{Trees: 15, Seed: 1, MaxCellsPerFile: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadAndParse(t *testing.T) {
+	tbl, d, err := Load(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ',' {
+		t.Errorf("dialect = %v", d)
+	}
+	if tbl.Height() != 9 || tbl.Width() != 4 {
+		t.Errorf("dims = %dx%d", tbl.Height(), tbl.Width())
+	}
+	if tbl.Cell(2, 0) != "Sector" {
+		t.Errorf("cell(2,0) = %q", tbl.Cell(2, 0))
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != path {
+		t.Errorf("Name = %q", tbl.Name)
+	}
+	if _, _, err := LoadFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTrainAnnotateEndToEnd(t *testing.T) {
+	m := trainedModel(t)
+	tbl, _, err := Load(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := m.Annotate(tbl)
+	if len(ann.Lines) != tbl.Height() {
+		t.Fatalf("lines = %d", len(ann.Lines))
+	}
+	// The bulk of the body must be recognized as data.
+	dataLines := 0
+	for r := 3; r <= 5; r++ {
+		if ann.Lines[r] == ClassData {
+			dataLines++
+		}
+	}
+	if dataLines < 2 {
+		t.Errorf("only %d of 3 body lines classified data: %v", dataLines, ann.Lines)
+	}
+	if ann.Lines[2] != ClassHeader {
+		t.Errorf("header line = %v", ann.Lines[2])
+	}
+	// Empty separator lines stay empty.
+	if ann.Lines[1] != ClassEmpty {
+		t.Errorf("separator = %v", ann.Lines[1])
+	}
+	if !m.HasCellModel() {
+		t.Error("full training should produce a cell model")
+	}
+	if len(ann.Cells) != tbl.Height() || len(ann.Cells[0]) != tbl.Width() {
+		t.Error("cell annotation shape wrong")
+	}
+	if len(ann.LineProbabilities) != tbl.Height() {
+		t.Error("line probabilities shape wrong")
+	}
+}
+
+func TestLineOnlyModel(t *testing.T) {
+	files, err := GenerateCorpus("saus", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(files, TrainOptions{Trees: 10, Seed: 2, LineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasCellModel() {
+		t.Error("LineOnly model should not have a cell model")
+	}
+	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	cells := m.ClassifyCells(tbl) // falls back to Line^C
+	lines := m.ClassifyLines(tbl)
+	for r := range cells {
+		for c := range cells[r] {
+			if !tbl.IsEmptyCell(r, c) && cells[r][c] != lines[r] {
+				t.Fatal("Line^C fallback must extend line classes")
+			}
+		}
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	a1 := m.Annotate(tbl)
+	a2 := m2.Annotate(tbl)
+	for r := range a1.Lines {
+		if a1.Lines[r] != a2.Lines[r] {
+			t.Fatalf("line %d differs after round trip", r)
+		}
+		for c := range a1.Cells[r] {
+			if a1.Cells[r][c] != a2.Cells[r][c] {
+				t.Fatalf("cell (%d,%d) differs after round trip", r, c)
+			}
+		}
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	files, _ := GenerateCorpus("saus", 0.2)
+	m, err := Train(files, TrainOptions{Trees: 5, Seed: 3, LineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.model")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(path + ".missing"); err == nil {
+		t.Error("missing model file should error")
+	}
+}
+
+func TestLoadModelCorrupt(t *testing.T) {
+	if _, err := LoadModel(bytes.NewBufferString("{}")); err == nil {
+		t.Error("empty model should fail")
+	}
+	if _, err := LoadModel(bytes.NewBufferString(`{"version":99}`)); err == nil {
+		t.Error("bad version should fail")
+	}
+}
+
+func TestGenerateCorpusNames(t *testing.T) {
+	for _, name := range CorpusNames() {
+		scale := 0.05
+		files, err := GenerateCorpus(name, scale)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(files) == 0 {
+			t.Errorf("%s: empty corpus", name)
+		}
+		if !files[0].Annotated() {
+			t.Errorf("%s: corpus not annotated", name)
+		}
+	}
+	if _, err := GenerateCorpus("nope", 1); err == nil {
+		t.Error("unknown corpus should error")
+	}
+}
+
+func TestExtractData(t *testing.T) {
+	m := trainedModel(t)
+	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	ann := m.Annotate(tbl)
+	header, rows := ExtractData(tbl, ann)
+	if header == nil {
+		t.Fatal("no header extracted")
+	}
+	if header[0] != "Sector" {
+		t.Errorf("header = %v", header)
+	}
+	if len(rows) < 2 {
+		t.Errorf("extracted %d data rows", len(rows))
+	}
+	for _, row := range rows {
+		if row[0] == "Total" {
+			t.Log("note: derived line leaked into extracted data (model-dependent)")
+		}
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	c, err := ParseClass("derived")
+	if err != nil || c != ClassDerived {
+		t.Errorf("ParseClass(derived) = %v, %v", c, err)
+	}
+}
+
+func TestDetectDialectSemicolon(t *testing.T) {
+	text := "a;b;c\n1;2;3\n4;5;6\n7;8;9\n"
+	d, err := DetectDialect(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ';' {
+		t.Errorf("delimiter = %q", d.Delimiter)
+	}
+	tbl := Parse(text, d)
+	if tbl.Width() != 3 {
+		t.Errorf("width = %d", tbl.Width())
+	}
+}
+
+func TestExtractTables(t *testing.T) {
+	m := trainedModel(t)
+	input := `Production Report,,,
+,,,
+Item,Q1,Q2,Q3
+Widgets,10,20,30
+Gears,5,5,5
+Total,15,25,35
+,,,
+Shipments,,,
+Item,Q1,Q2,Q3
+Widgets,8,18,28
+Gears,4,4,4
+`
+	tbl, _, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := m.Annotate(tbl)
+	rels := ExtractTables(tbl, ann)
+	if len(rels) == 0 {
+		t.Fatal("no relations extracted")
+	}
+	total := 0
+	for _, rel := range rels {
+		total += len(rel.Rows)
+		for _, row := range rel.Rows {
+			if row[0] == "Total" {
+				t.Error("derived row leaked into extraction")
+			}
+		}
+	}
+	if total < 3 {
+		t.Errorf("extracted only %d data rows", total)
+	}
+}
+
+func TestExtractProse(t *testing.T) {
+	m := trainedModel(t)
+	tbl, _, err := Load(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := m.Annotate(tbl)
+	notes := ExtractProse(tbl, ann, "notes")
+	meta := ExtractProse(tbl, ann, "metadata")
+	if len(notes)+len(meta) == 0 {
+		t.Error("no prose extracted from a file with metadata and notes")
+	}
+}
+
+func TestDetectDerivedCellsFacade(t *testing.T) {
+	tbl, _, err := Load(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DetectDerivedCells(tbl)
+	if len(d) != tbl.Height() {
+		t.Fatalf("grid height = %d", len(d))
+	}
+	// The Total row (index 6 after crop) should be detected.
+	found := false
+	for c := 0; c < tbl.Width(); c++ {
+		if d[6][c] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("anchored total row not detected")
+	}
+}
+
+func TestContainsAggregationWordFacade(t *testing.T) {
+	if !ContainsAggregationWord("Grand Total") || ContainsAggregationWord("subtotaling") {
+		t.Error("facade keyword check wrong")
+	}
+}
+
+func TestTrainNoData(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Error("training with no files should error")
+	}
+	un := Parse("a,b\n1,2\n", DefaultDialect) // unannotated
+	if _, err := Train([]*Table{un}, TrainOptions{}); err == nil {
+		t.Error("training on unannotated tables should error")
+	}
+}
+
+func TestAnnotationLineProbsMatchClasses(t *testing.T) {
+	m := trainedModel(t)
+	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	ann := m.Annotate(tbl)
+	for r := 0; r < tbl.Height(); r++ {
+		if tbl.IsEmptyLine(r) {
+			continue
+		}
+		best, bestP := 0, 0.0
+		for i, p := range ann.LineProbabilities[r] {
+			if p > bestP {
+				best, bestP = i, p
+			}
+		}
+		if Classes[best] != ann.Lines[r] {
+			t.Fatalf("line %d: argmax prob class %v != predicted %v",
+				r, Classes[best], ann.Lines[r])
+		}
+	}
+}
