@@ -1,0 +1,28 @@
+# Tier-1 verification plus static analysis and race checking.
+#
+#   make tier1   build + test (the roadmap's tier-1 gate)
+#   make check   tier1 plus `go vet` and the race detector
+#   make bench   annotate-path micro-benchmarks (single file + batch)
+
+GO ?= go
+
+.PHONY: build test vet race tier1 check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+tier1: build test
+
+check: vet tier1 race
+
+bench:
+	$(GO) test -bench 'BenchmarkAnnotate' -benchmem -run '^$$' .

@@ -1,0 +1,122 @@
+package strudel
+
+// Tests for the single-pass annotation pipeline and the batch API:
+// Annotate must run each expensive stage exactly once per file, and
+// training/annotation must be byte-identical at every parallelism level.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"strudel/internal/pipeline"
+)
+
+// TestAnnotateSinglePass asserts the pipeline acceptance criterion: one
+// Annotate call performs exactly one line feature extraction, one
+// Strudel^L probability batch, and one cell feature extraction — not one
+// per consuming stage.
+func TestAnnotateSinglePass(t *testing.T) {
+	m := trainedModel(t)
+	tbl := Parse(sampleCSV, DefaultDialect)
+
+	pipeline.ResetCounts()
+	ann := m.Annotate(tbl)
+	c := pipeline.Counts()
+	if c.LineFeatures != 1 {
+		t.Errorf("Annotate ran %d line feature extractions, want exactly 1", c.LineFeatures)
+	}
+	if c.LineProbabilities != 1 {
+		t.Errorf("Annotate ran the Strudel^L batch %d times, want exactly 1", c.LineProbabilities)
+	}
+	if c.CellFeatures != 1 {
+		t.Errorf("Annotate ran %d cell feature extractions, want exactly 1", c.CellFeatures)
+	}
+	if len(ann.Lines) != tbl.Height() || len(ann.LineProbabilities) != tbl.Height() {
+		t.Fatalf("annotation shape mismatch: %d lines, %d prob rows, table height %d",
+			len(ann.Lines), len(ann.LineProbabilities), tbl.Height())
+	}
+
+	// A corpus of N files must scale the stage counts exactly linearly.
+	files := []*Table{Parse(sampleCSV, DefaultDialect), Parse(sampleCSV, DefaultDialect), Parse(sampleCSV, DefaultDialect)}
+	pipeline.ResetCounts()
+	m.AnnotateAll(files, BatchOptions{Parallelism: 2})
+	c = pipeline.Counts()
+	if c.LineFeatures != int64(len(files)) || c.LineProbabilities != int64(len(files)) {
+		t.Errorf("AnnotateAll over %d files ran %d line extractions and %d probability batches, want %d each",
+			len(files), c.LineFeatures, c.LineProbabilities, len(files))
+	}
+}
+
+// TestAnnotateMatchesGranularAPIs pins the refactor: the single-pass
+// Annotate must return exactly what the three granular entry points return.
+func TestAnnotateMatchesGranularAPIs(t *testing.T) {
+	m := trainedModel(t)
+	tbl := Parse(sampleCSV, DefaultDialect)
+
+	ann := m.Annotate(tbl)
+	if !reflect.DeepEqual(ann.Lines, m.ClassifyLines(tbl)) {
+		t.Error("Annotate.Lines differs from ClassifyLines")
+	}
+	if !reflect.DeepEqual(ann.Cells, m.ClassifyCells(tbl)) {
+		t.Error("Annotate.Cells differs from ClassifyCells")
+	}
+	if !reflect.DeepEqual(ann.LineProbabilities, m.LineProbabilities(tbl)) {
+		t.Error("Annotate.LineProbabilities differs from LineProbabilities")
+	}
+}
+
+// TestParallelismDeterminism trains and annotates the same corpus with one
+// worker and with eight; the saved models and every prediction must be
+// byte-identical.
+func TestParallelismDeterminism(t *testing.T) {
+	files, err := GenerateCorpus("govuk", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := TrainOptions{Trees: 12, Seed: 7, MaxCellsPerFile: 150}
+
+	opts.Parallelism = 1
+	serial, err := Train(files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	parallel, err := Train(files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := serial.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("training with Parallelism 1 and 8 produced different models")
+	}
+
+	test := files[:10]
+	ann1 := serial.AnnotateAll(test, BatchOptions{Parallelism: 1})
+	ann8 := serial.AnnotateAll(test, BatchOptions{Parallelism: 8})
+	j1, err := json.Marshal(ann1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := json.Marshal(ann8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("AnnotateAll with Parallelism 1 and 8 produced different predictions")
+	}
+	for i, f := range test {
+		want := serial.Annotate(f)
+		if !reflect.DeepEqual(ann8[i], want) {
+			t.Fatalf("file %d: parallel batch annotation differs from a direct Annotate call", i)
+		}
+	}
+}

@@ -21,6 +21,7 @@ func main() {
 		modelPath = flag.String("model", "strudel.model", "trained model path")
 		dir       = flag.String("dir", "", "annotated corpus directory")
 		cells     = flag.Bool("cells", true, "also score the cell task")
+		workers   = flag.Int("workers", 0, "files annotated concurrently (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -40,21 +41,27 @@ func main() {
 		fatal(fmt.Errorf("no .csv files in %s", *dir))
 	}
 
-	var lineStats, cellStats stats
 	for _, f := range files {
 		if !f.Annotated() {
 			fatal(fmt.Errorf("%s has no annotations", f.Name))
 		}
-		pred := model.ClassifyLines(f)
+	}
+
+	// Annotate the whole corpus through the batch pipeline (line and cell
+	// predictions share one artifact per file), then score sequentially.
+	anns := model.AnnotateAll(files, strudel.BatchOptions{Parallelism: *workers})
+
+	var lineStats, cellStats stats
+	for i, f := range files {
+		ann := anns[i]
 		for r := 0; r < f.Height(); r++ {
-			lineStats.add(pred[r], f.LineClasses[r])
+			lineStats.add(ann.Lines[r], f.LineClasses[r])
 		}
 		if *cells {
-			cp := model.ClassifyCells(f)
 			for r := 0; r < f.Height(); r++ {
 				for c := 0; c < f.Width(); c++ {
 					if !f.IsEmptyCell(r, c) {
-						cellStats.add(cp[r][c], f.CellClasses[r][c])
+						cellStats.add(ann.Cells[r][c], f.CellClasses[r][c])
 					}
 				}
 			}

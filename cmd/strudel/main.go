@@ -1,11 +1,14 @@
-// Command strudel classifies the lines and cells of a verbose CSV file.
+// Command strudel classifies the lines and cells of verbose CSV files.
 //
 // Usage:
 //
-//	strudel -model strudel.model [flags] file.csv...
+//	strudel -model strudel.model [flags] file.csv|dir...
 //
-// Without -model, a small model is trained on the synthetic GovUK+SAUS
-// corpora at startup (slower, but zero-setup).
+// Inputs may be files, directories (every *.csv inside is classified), or
+// "-" for standard input. Files are annotated concurrently via the batch
+// pipeline (strudel.Model.AnnotateAll); output order always follows input
+// order. Without -model, a small model is trained on the synthetic
+// GovUK+SAUS corpora at startup (slower, but zero-setup).
 //
 // Flags:
 //
@@ -14,6 +17,7 @@
 //	-extract       print the extracted relational table (header + data)
 //	-json          machine-readable output
 //	-dialect d     force a delimiter instead of detecting (e.g. ';' or 'tab')
+//	-workers n     files annotated concurrently (0 = all CPUs)
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"strudel"
@@ -34,10 +40,11 @@ func main() {
 		extract   = flag.Bool("extract", false, "print the extracted relational table")
 		asJSON    = flag.Bool("json", false, "emit JSON")
 		delimFlag = flag.String("dialect", "", "force delimiter: ',', ';', '|', 'tab', ...")
+		workers   = flag.Int("workers", 0, "files annotated concurrently (0 = all CPUs)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: strudel [flags] file.csv...")
+		fmt.Fprintln(os.Stderr, "usage: strudel [flags] file.csv|dir...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -47,8 +54,22 @@ func main() {
 		fatal(err)
 	}
 
-	for _, path := range flag.Args() {
-		if err := classifyFile(model, path, *delimFlag, *showCells, *extract, *asJSON); err != nil {
+	paths, err := expandInputs(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	tables := make([]*strudel.Table, len(paths))
+	dialects := make([]strudel.Dialect, len(paths))
+	for i, path := range paths {
+		tables[i], dialects[i], err = loadInput(path, *delimFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	anns := model.AnnotateAll(tables, strudel.BatchOptions{Parallelism: *workers})
+	for i := range paths {
+		if err := printFile(paths[i], dialects[i], tables[i], anns[i], *showCells, *extract, *asJSON); err != nil {
 			fatal(err)
 		}
 	}
@@ -70,41 +91,63 @@ func loadOrTrainModel(path string) (*strudel.Model, error) {
 	return strudel.Train(files, strudel.TrainOptions{Trees: 40, Seed: 1, MaxCellsPerFile: 500})
 }
 
-func classifyFile(model *strudel.Model, path, delimFlag string, showCells, extract, asJSON bool) error {
-	var tbl *strudel.Table
-	var d strudel.Dialect
-	var err error
+// expandInputs resolves the argument list: directories expand to their
+// *.csv files (sorted), everything else passes through untouched.
+func expandInputs(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if arg != "-" && err == nil && info.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(arg, "*.csv"))
+			if err != nil {
+				return nil, err
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("no .csv files in directory %s", arg)
+			}
+			sort.Strings(matches)
+			out = append(out, matches...)
+			continue
+		}
+		out = append(out, arg)
+	}
+	return out, nil
+}
+
+// loadInput parses one input path ("-" = stdin) into a table, honoring a
+// forced delimiter.
+func loadInput(path, delimFlag string) (*strudel.Table, strudel.Dialect, error) {
 	switch {
 	case delimFlag != "":
-		raw, rerr := readInput(path)
-		if rerr != nil {
-			return rerr
-		}
-		d = strudel.DefaultDialect
-		d.Delimiter = parseDelim(delimFlag)
-		tbl = strudel.Parse(raw, d)
-		tbl.Name = path
-	case path == "-":
-		raw, rerr := readInput(path)
-		if rerr != nil {
-			return rerr
-		}
-		if d, err = strudel.DetectDialect(raw); err != nil {
-			return err
-		}
-		tbl = strudel.Parse(raw, d)
-		tbl.Name = "stdin"
-	default:
-		tbl, d, err = strudel.LoadFile(path)
+		raw, err := readInput(path)
 		if err != nil {
-			return err
+			return nil, strudel.Dialect{}, err
 		}
+		d := strudel.DefaultDialect
+		d.Delimiter = parseDelim(delimFlag)
+		tbl := strudel.Parse(raw, d)
+		tbl.Name = path
+		return tbl, d, nil
+	case path == "-":
+		raw, err := readInput(path)
+		if err != nil {
+			return nil, strudel.Dialect{}, err
+		}
+		d, err := strudel.DetectDialect(raw)
+		if err != nil {
+			return nil, strudel.Dialect{}, err
+		}
+		tbl := strudel.Parse(raw, d)
+		tbl.Name = "stdin"
+		return tbl, d, nil
+	default:
+		return strudel.LoadFile(path)
 	}
+}
 
-	ann := model.Annotate(tbl)
-
+func printFile(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.Annotation, showCells, extract, asJSON bool) error {
 	if asJSON {
-		return printJSON(path, d, tbl, ann, showCells)
+		return printJSON(path, d, ann, showCells)
 	}
 	fmt.Printf("# %s (%s, %dx%d)\n", path, d, tbl.Height(), tbl.Width())
 	for r := 0; r < tbl.Height(); r++ {
@@ -132,7 +175,7 @@ func classifyFile(model *strudel.Model, path, delimFlag string, showCells, extra
 	return nil
 }
 
-func printJSON(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.Annotation, showCells bool) error {
+func printJSON(path string, d strudel.Dialect, ann *strudel.Annotation, showCells bool) error {
 	out := struct {
 		File    string     `json:"file"`
 		Dialect string     `json:"dialect"`

@@ -6,6 +6,7 @@ import (
 
 	"strudel/internal/features"
 	"strudel/internal/ml/forest"
+	"strudel/internal/pipeline"
 	"strudel/internal/postprocess"
 	"strudel/internal/table"
 )
@@ -31,14 +32,17 @@ type CellModel struct {
 type CellTrainOptions struct {
 	Forest   forest.Options
 	Features features.CellOptions
-	// Line configures the embedded Strudel^L model. Leave zero for
-	// defaults; the forest seed is reused.
+	// Line configures the embedded Strudel^L model. Unset pieces (a zero
+	// tree count, a zero-value feature configuration) are defaulted
+	// individually, so a caller's custom Features or FeatureMask survive;
+	// the forest seed is reused.
 	Line LineTrainOptions
 	// FeatureMask restricts training to these cell feature indices.
 	FeatureMask []int
 	// MaxCellsPerFile caps the training cells sampled from each file
 	// (0 = use every cell). Sampling is deterministic in Forest.Seed and
-	// always keeps minority-class cells, which are the scarce signal.
+	// the file's position, and always keeps minority-class cells, which
+	// are the scarce signal.
 	MaxCellsPerFile int
 	// UseColumnProbs trains a column classifier alongside Strudel^C and
 	// appends its per-column probability vectors to the cell features.
@@ -46,6 +50,10 @@ type CellTrainOptions struct {
 	// PostProcess enables the Koci-style misclassification repair on
 	// predictions.
 	PostProcess bool
+	// Parallelism bounds the worker pool extracting per-file training
+	// cells (0 = GOMAXPROCS). The trained model is independent of the
+	// setting.
+	Parallelism int
 }
 
 // DefaultCellTrainOptions mirrors the paper's setup.
@@ -59,12 +67,23 @@ func DefaultCellTrainOptions() CellTrainOptions {
 
 // TrainCell fits Strudel^C on annotated tables: it first trains the
 // embedded Strudel^L, then uses its per-line probability vectors as cell
-// features (Section 5.4).
+// features (Section 5.4). Per-file extraction runs on a bounded worker
+// pool; the assembled training matrix is identical at every parallelism
+// level.
 func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error) {
+	// Default only the unset pieces of the embedded line configuration: a
+	// caller that customizes Line.Features or Line.FeatureMask but leaves
+	// the forest zero must not have those choices silently discarded.
 	if opts.Line.Forest.NumTrees == 0 {
-		opts.Line = DefaultLineTrainOptions()
+		opts.Line.Forest.NumTrees = forest.DefaultOptions().NumTrees
+	}
+	if opts.Line.Features == (features.LineOptions{}) {
+		opts.Line.Features = features.DefaultLineOptions()
 	}
 	opts.Line.Forest.Seed = opts.Forest.Seed
+	if opts.Line.Parallelism == 0 {
+		opts.Line.Parallelism = opts.Parallelism
+	}
 	lineModel, err := TrainLine(tables, opts.Line)
 	if err != nil {
 		return nil, err
@@ -78,24 +97,36 @@ func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error)
 		}
 	}
 
-	rng := rand.New(rand.NewSource(opts.Forest.Seed + 1))
-	var X [][]float64
-	var y []int
-	for _, t := range tables {
+	type fileData struct {
+		X [][]float64
+		y []int
+	}
+	perFile := make([]fileData, len(tables))
+	pipeline.ForEach(len(tables), opts.Parallelism, func(i int) {
+		t := tables[i]
 		if t.CellClasses == nil {
-			continue
+			return
 		}
-		probs := lineModel.Probabilities(t)
+		a := pipeline.New(t)
+		probs := lineModel.ProbabilitiesWithArtifacts(a)
 		fs := features.CellFeatures(t, probs, opts.Features)
 		if colModel != nil {
-			appendColumnProbs(t, fs, colModel)
+			appendColumnProbs(a, fs, colModel)
 		}
 		fileX, fileY := collectCells(t, fs, opts.FeatureMask)
 		if opts.MaxCellsPerFile > 0 && len(fileX) > opts.MaxCellsPerFile {
+			// A per-file rng (instead of one shared sequential stream)
+			// keeps sampling deterministic under parallel extraction.
+			rng := rand.New(rand.NewSource(sampleSeed(opts.Forest.Seed, i)))
 			fileX, fileY = subsampleCells(fileX, fileY, opts.MaxCellsPerFile, rng)
 		}
-		X = append(X, fileX...)
-		y = append(y, fileY...)
+		perFile[i] = fileData{X: fileX, y: fileY}
+	})
+	var X [][]float64
+	var y []int
+	for i := range perFile {
+		X = append(X, perFile[i].X...)
+		y = append(y, perFile[i].y...)
 	}
 	if len(X) == 0 {
 		return nil, errors.New("core: no annotated cells to train on")
@@ -110,11 +141,19 @@ func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error)
 	}, nil
 }
 
+// sampleSeed derives a decorrelated per-file sampling seed from the master
+// seed (splitmix-style multiplicative mixing).
+func sampleSeed(seed int64, file int) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(file+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return int64(x)
+}
+
 // appendColumnProbs extends every cell's feature vector with its column's
 // class probability vector. FeatureMask indices keep referring to the base
 // features; the appended components are always retained.
-func appendColumnProbs(t *table.Table, fs [][][]float64, colModel *ColumnModel) {
-	colProbs := colModel.Probabilities(t)
+func appendColumnProbs(a *pipeline.Artifacts, fs [][][]float64, colModel *ColumnModel) {
+	colProbs := colModel.ProbabilitiesWithArtifacts(a)
 	for r := range fs {
 		for c := range fs[r] {
 			fs[r][c] = append(fs[r][c], colProbs[c]...)
@@ -132,7 +171,7 @@ func collectCells(t *table.Table, fs [][][]float64, mask []int) ([][]float64, []
 			if idx < 0 || t.IsEmptyCell(r, c) {
 				continue
 			}
-			X = append(X, maskVector(fs[r][c], mask))
+			X = append(X, maskVectorCopy(fs[r][c], mask))
 			y = append(y, idx)
 		}
 	}
@@ -189,11 +228,16 @@ func subsampleCells(X [][]float64, y []int, cap int, rng *rand.Rand) ([][]float6
 // Probabilities returns one class probability vector per cell. Empty cells
 // get all-zero vectors.
 func (m *CellModel) Probabilities(t *table.Table) [][][]float64 {
-	lineProbs := m.Line.Probabilities(t)
-	fs := features.CellFeatures(t, lineProbs, m.Opts)
-	if m.Column != nil {
-		appendColumnProbs(t, fs, m.Column)
-	}
+	return m.ProbabilitiesWithArtifacts(pipeline.New(t))
+}
+
+// ProbabilitiesWithArtifacts is Probabilities against a shared artifact
+// object: the Strudel^L probabilities and cell feature tensor are computed
+// at most once per artifact, so a caller that has already run line
+// classification on the same artifact pays no line-model work here.
+func (m *CellModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][][]float64 {
+	t := a.Table
+	fs := a.CellFeatures(m, m.computeCellFeatures)
 	out := make([][][]float64, t.Height())
 	mask := extendMask(m.Mask, fs)
 	var batch [][]float64
@@ -217,11 +261,29 @@ func (m *CellModel) Probabilities(t *table.Table) [][][]float64 {
 	return out
 }
 
+// computeCellFeatures builds the Table 2 feature tensor, including the
+// LineClassProbability components from the embedded Strudel^L and optional
+// column probabilities.
+func (m *CellModel) computeCellFeatures(a *pipeline.Artifacts) [][][]float64 {
+	lineProbs := m.Line.ProbabilitiesWithArtifacts(a)
+	fs := features.CellFeatures(a.Table, lineProbs, m.Opts)
+	if m.Column != nil {
+		appendColumnProbs(a, fs, m.Column)
+	}
+	return fs
+}
+
 // Classify predicts one class per cell of t; empty cells get ClassEmpty.
 // When PostProcess is set, the Koci-style misclassification repair runs on
 // the raw predictions.
 func (m *CellModel) Classify(t *table.Table) [][]table.Class {
-	probs := m.Probabilities(t)
+	return m.ClassifyWithArtifacts(pipeline.New(t))
+}
+
+// ClassifyWithArtifacts is Classify against a shared artifact object.
+func (m *CellModel) ClassifyWithArtifacts(a *pipeline.Artifacts) [][]table.Class {
+	t := a.Table
+	probs := m.ProbabilitiesWithArtifacts(a)
 	out := make([][]table.Class, t.Height())
 	for r := 0; r < t.Height(); r++ {
 		out[r] = make([]table.Class, t.Width())

@@ -5,6 +5,7 @@ import (
 
 	"strudel/internal/features"
 	"strudel/internal/ml/forest"
+	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
 
@@ -78,8 +79,17 @@ func TrainColumn(tables []*table.Table, fopts features.CellOptions, forestOpts f
 
 // Probabilities returns one class probability vector per column.
 func (m *ColumnModel) Probabilities(t *table.Table) [][]float64 {
-	fs := features.ColumnFeatures(t, m.Opts)
-	return m.Forest.PredictProbaBatch(fs)
+	return m.ProbabilitiesWithArtifacts(pipeline.New(t))
+}
+
+// ProbabilitiesWithArtifacts is Probabilities against a shared artifact
+// object: the per-column probability matrix is computed at most once per
+// artifact (Strudel^C consults it for every cell of the table).
+func (m *ColumnModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][]float64 {
+	return a.ColumnProbabilities(m, func(a *pipeline.Artifacts) [][]float64 {
+		fs := features.ColumnFeatures(a.Table, m.Opts)
+		return m.Forest.PredictProbaBatch(fs)
+	})
 }
 
 // Classify predicts one class per column.

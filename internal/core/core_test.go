@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 
 	"strudel/internal/datagen"
+	"strudel/internal/features"
 	"strudel/internal/ml/crf"
 	"strudel/internal/ml/forest"
 	"strudel/internal/ml/nn"
+	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
 
@@ -288,3 +292,132 @@ func TestSubsampleKeepsMinorityCells(t *testing.T) {
 }
 
 func newTestRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// TestTrainCellKeepsCustomLineConfig is the regression test for the option
+// bug where any opts.Line with a zero tree count was replaced wholesale by
+// DefaultLineTrainOptions, silently discarding a caller's custom
+// Line.Features and Line.FeatureMask.
+func TestTrainCellKeepsCustomLineConfig(t *testing.T) {
+	custom := features.DefaultLineOptions()
+	custom.StrictAdjacency = true
+	custom.NeighborWindow = 3
+	mask := append([]int(nil), features.LineContentFeatures...)
+
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(3)
+	opts.Line.Forest.NumTrees = 0 // unset: must be defaulted without clobbering the rest
+	opts.Line.Features = custom
+	opts.Line.FeatureMask = mask
+	opts.MaxCellsPerFile = 150
+
+	m, err := TrainCell(smallCorpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Line.Opts != custom {
+		t.Errorf("custom line feature options discarded: got %+v", m.Line.Opts)
+	}
+	if len(m.Line.Mask) != len(mask) {
+		t.Fatalf("custom feature mask discarded: got %v", m.Line.Mask)
+	}
+	for i := range mask {
+		if m.Line.Mask[i] != mask[i] {
+			t.Fatalf("custom feature mask altered: got %v want %v", m.Line.Mask, mask)
+		}
+	}
+	if got := m.Line.Forest.Trees; len(got) != forest.DefaultOptions().NumTrees {
+		t.Errorf("unset tree count not defaulted: got %d trees", len(got))
+	}
+}
+
+// TestArtifactSharedAcrossStages checks that classifying lines and cells on
+// one artifact matches the independent per-call results while running the
+// line stage only once.
+func TestArtifactSharedAcrossStages(t *testing.T) {
+	opts := DefaultCellTrainOptions()
+	opts.Forest = fastForest(5)
+	opts.Line.Forest = fastForest(5)
+	opts.MaxCellsPerFile = 150
+	m, err := TrainCell(smallCorpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smallCorpus[0]
+
+	wantLines := m.Line.Classify(f)
+	wantProbs := m.Line.Probabilities(f)
+	wantCells := m.Classify(f)
+
+	a := pipeline.New(f)
+	gotLines := m.Line.ClassifyWithArtifacts(a)
+	gotCells := m.ClassifyWithArtifacts(a)
+	gotProbs := m.Line.ProbabilitiesWithArtifacts(a)
+
+	for r := range wantLines {
+		if gotLines[r] != wantLines[r] {
+			t.Fatalf("line %d: artifact path %v, direct path %v", r, gotLines[r], wantLines[r])
+		}
+		for c := range wantCells[r] {
+			if gotCells[r][c] != wantCells[r][c] {
+				t.Fatalf("cell %d,%d: artifact path %v, direct path %v", r, c, gotCells[r][c], wantCells[r][c])
+			}
+		}
+		for k := range wantProbs[r] {
+			if gotProbs[r][k] != wantProbs[r][k] {
+				t.Fatalf("prob %d,%d: artifact path %v, direct path %v", r, k, gotProbs[r][k], wantProbs[r][k])
+			}
+		}
+	}
+}
+
+// TestTrainParallelismDeterministic trains the same corpus serially and
+// with eight workers; the forests must be identical.
+func TestTrainParallelismDeterministic(t *testing.T) {
+	for _, train := range []struct {
+		name string
+		fit  func(par int) (*forest.Forest, error)
+	}{
+		{"line", func(par int) (*forest.Forest, error) {
+			opts := DefaultLineTrainOptions()
+			opts.Forest = fastForest(9)
+			opts.Parallelism = par
+			m, err := TrainLine(smallCorpus, opts)
+			if err != nil {
+				return nil, err
+			}
+			return m.Forest, nil
+		}},
+		{"cell", func(par int) (*forest.Forest, error) {
+			opts := DefaultCellTrainOptions()
+			opts.Forest = fastForest(9)
+			opts.Line.Forest = fastForest(9)
+			opts.MaxCellsPerFile = 120
+			opts.Parallelism = par
+			m, err := TrainCell(smallCorpus, opts)
+			if err != nil {
+				return nil, err
+			}
+			return m.Forest, nil
+		}},
+	} {
+		serial, err := train.fit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := train.fit(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: serial and 8-worker training produced different forests", train.name)
+		}
+	}
+}

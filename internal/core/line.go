@@ -2,6 +2,12 @@
 // classifier (Section 4), the Strudel^C cell classifier (Section 5) with
 // its line-class-probability feature, and the Line^C baseline, plus
 // table-level adapters for the CRF^L and RNN^C reference approaches.
+//
+// Prediction flows through pipeline.Artifacts: every entry point has a
+// *WithArtifacts variant that memoizes the per-table feature matrices and
+// Strudel^L probabilities so stacked stages (line → cell → reporting)
+// compute each exactly once. The artifact-free methods are thin wrappers
+// that allocate a fresh artifact per call.
 package core
 
 import (
@@ -9,6 +15,7 @@ import (
 
 	"strudel/internal/features"
 	"strudel/internal/ml/forest"
+	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
 
@@ -28,6 +35,10 @@ type LineTrainOptions struct {
 	Features features.LineOptions
 	// FeatureMask restricts training to these feature indices; nil = all.
 	FeatureMask []int
+	// Parallelism bounds the worker pool extracting per-file features
+	// (0 = GOMAXPROCS). The trained model is independent of the setting:
+	// per-file results are assembled in file order before fitting.
+	Parallelism int
 }
 
 // DefaultLineTrainOptions mirrors the paper's setup: scikit-learn-default
@@ -40,13 +51,19 @@ func DefaultLineTrainOptions() LineTrainOptions {
 }
 
 // TrainLine fits Strudel^L on annotated tables. Only non-empty lines with a
-// semantic class participate.
+// semantic class participate. Per-file feature extraction runs on a bounded
+// worker pool; the assembled training matrix (and therefore the forest,
+// given a fixed seed) is identical at every parallelism level.
 func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error) {
-	var X [][]float64
-	var y []int
-	for _, t := range tables {
+	type fileData struct {
+		X [][]float64
+		y []int
+	}
+	perFile := make([]fileData, len(tables))
+	pipeline.ForEach(len(tables), opts.Parallelism, func(i int) {
+		t := tables[i]
 		if t.LineClasses == nil {
-			continue
+			return
 		}
 		fs := features.LineFeatures(t, opts.Features)
 		for r := 0; r < t.Height(); r++ {
@@ -54,9 +71,15 @@ func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error)
 			if idx < 0 || t.IsEmptyLine(r) {
 				continue
 			}
-			X = append(X, maskVector(fs[r], opts.FeatureMask))
-			y = append(y, idx)
+			perFile[i].X = append(perFile[i].X, maskVectorCopy(fs[r], opts.FeatureMask))
+			perFile[i].y = append(perFile[i].y, idx)
 		}
+	})
+	var X [][]float64
+	var y []int
+	for i := range perFile {
+		X = append(X, perFile[i].X...)
+		y = append(y, perFile[i].y...)
 	}
 	if len(X) == 0 {
 		return nil, errors.New("core: no annotated lines to train on")
@@ -72,7 +95,21 @@ func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error)
 // lines get all-zero vectors. This is the LineClassProbability feature
 // source for Strudel^C (Section 5.4).
 func (m *LineModel) Probabilities(t *table.Table) [][]float64 {
-	fs := features.LineFeatures(t, m.Opts)
+	return m.ProbabilitiesWithArtifacts(pipeline.New(t))
+}
+
+// ProbabilitiesWithArtifacts is Probabilities against a shared artifact
+// object: the line feature matrix and the resulting probability vectors are
+// computed at most once per artifact and reused by every later stage that
+// consumes the same artifact (cell classification, Annotate's confidence
+// report, ...). The result is owned by the artifact; treat it as read-only.
+func (m *LineModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][]float64 {
+	return a.LineProbabilities(m, m.computeProbabilities)
+}
+
+func (m *LineModel) computeProbabilities(a *pipeline.Artifacts) [][]float64 {
+	t := a.Table
+	fs := a.LineFeatures(m.Opts)
 	out := make([][]float64, t.Height())
 	var batch [][]float64
 	var rows []int
@@ -93,7 +130,13 @@ func (m *LineModel) Probabilities(t *table.Table) [][]float64 {
 
 // Classify predicts one class per line of t; empty lines get ClassEmpty.
 func (m *LineModel) Classify(t *table.Table) []table.Class {
-	probs := m.Probabilities(t)
+	return m.ClassifyWithArtifacts(pipeline.New(t))
+}
+
+// ClassifyWithArtifacts is Classify against a shared artifact object.
+func (m *LineModel) ClassifyWithArtifacts(a *pipeline.Artifacts) []table.Class {
+	t := a.Table
+	probs := m.ProbabilitiesWithArtifacts(a)
 	out := make([]table.Class, t.Height())
 	for r := 0; r < t.Height(); r++ {
 		if t.IsEmptyLine(r) {
@@ -107,7 +150,14 @@ func (m *LineModel) Classify(t *table.Table) []table.Class {
 // ClassifyCells is the Line^C baseline (Section 6.1.2): the predicted line
 // class is extended to every non-empty cell of the line.
 func (m *LineModel) ClassifyCells(t *table.Table) [][]table.Class {
-	lines := m.Classify(t)
+	return m.ClassifyCellsWithArtifacts(pipeline.New(t))
+}
+
+// ClassifyCellsWithArtifacts is ClassifyCells against a shared artifact
+// object.
+func (m *LineModel) ClassifyCellsWithArtifacts(a *pipeline.Artifacts) [][]table.Class {
+	t := a.Table
+	lines := m.ClassifyWithArtifacts(a)
 	out := make([][]table.Class, t.Height())
 	for r := 0; r < t.Height(); r++ {
 		out[r] = make([]table.Class, t.Width())
@@ -120,19 +170,34 @@ func (m *LineModel) ClassifyCells(t *table.Table) [][]table.Class {
 	return out
 }
 
-// maskVector projects x onto the selected feature indices. A nil mask
-// returns a copy of x.
+// maskVector projects x onto the selected feature indices on the
+// prediction path. A nil mask returns x itself — no copy — because the
+// forest only reads prediction rows; callers must not mutate the feature
+// matrix while the returned slice is in use.
 func maskVector(x []float64, mask []int) []float64 {
 	if mask == nil {
-		out := make([]float64, len(x))
-		copy(out, x)
-		return out
+		return x
 	}
 	out := make([]float64, len(mask))
 	for i, f := range mask {
 		out[i] = x[f]
 	}
 	return out
+}
+
+// maskVectorCopy is the training-path variant of maskVector: it always
+// allocates, even for a nil mask. Ownership contract: training rows are
+// accumulated across files and handed to forest.Fit, so they must not
+// alias the per-table feature backing arrays (which would pin every file's
+// full feature matrix — empty lines included — in memory for the whole
+// fit).
+func maskVectorCopy(x []float64, mask []int) []float64 {
+	if mask == nil {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	return maskVector(x, mask)
 }
 
 func argMax(v []float64) int {

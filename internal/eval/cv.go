@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
 
@@ -35,6 +36,11 @@ type CVOptions struct {
 	// Pytheas^L, which has no derived class: Section 6.2.1 leaves derived
 	// lines out of its measurements).
 	SkipGoldClasses []table.Class
+	// Parallelism bounds the worker pool running the independent
+	// (repeat, fold) train/predict tasks (0 = all CPUs). Fold assignment,
+	// per-task seeds, and score aggregation are fixed up front and applied
+	// in task order, so every parallelism level yields identical results.
+	Parallelism int
 }
 
 func (o *CVOptions) fill() {
@@ -76,34 +82,68 @@ func CrossValidateLines(files []*table.Table, trainer LineTrainer, opts CVOption
 	}
 
 	skip := skipSet(opts.SkipGoldClasses)
-	rng := rand.New(rand.NewSource(opts.Seed))
 	res.repeatCounts = make([]Counts, opts.Repeats)
-	for rep := 0; rep < opts.Repeats; rep++ {
-		folds := assignFolds(len(files), opts.Folds, rng)
-		for fold := 0; fold < opts.Folds; fold++ {
-			train, test := split(files, folds, fold)
-			model, err := trainer(train, opts.Seed+int64(rep*opts.Folds+fold))
-			if err != nil {
-				return nil, fmt.Errorf("eval: fold %d repeat %d: %w", fold, rep, err)
-			}
-			for _, ti := range test {
-				f := files[ti]
-				pred := model.Classify(f)
-				for r := 0; r < f.Height(); r++ {
-					gold := f.LineClasses[r]
-					if gold.Index() < 0 || skip[gold] {
-						continue
-					}
-					res.counts.Add(pred[r], gold)
-					res.repeatCounts[rep].Add(pred[r], gold)
-					if pi := pred[r].Index(); pi >= 0 {
-						res.votes[ti][r][pi]++
-					}
+
+	// Every (repeat, fold) pair trains and predicts independently; only the
+	// scoring is order-sensitive. Fold assignments are drawn sequentially up
+	// front (preserving the serial rng stream), the tasks fan out over a
+	// bounded pool, and aggregation replays their predictions in task order
+	// so results are identical at every parallelism level.
+	type linePred struct {
+		file int
+		pred []table.Class
+	}
+	folds := drawFolds(len(files), opts)
+	nTasks := opts.Repeats * opts.Folds
+	taskPreds := make([][]linePred, nTasks)
+	taskErrs := make([]error, nTasks)
+	pipeline.ForEach(nTasks, opts.Parallelism, func(ti int) {
+		rep, fold := ti/opts.Folds, ti%opts.Folds
+		train, test := split(files, folds[rep], fold)
+		model, err := trainer(train, opts.Seed+int64(ti))
+		if err != nil {
+			taskErrs[ti] = fmt.Errorf("eval: fold %d repeat %d: %w", fold, rep, err)
+			return
+		}
+		for _, fi := range test {
+			taskPreds[ti] = append(taskPreds[ti], linePred{fi, model.Classify(files[fi])})
+		}
+	})
+	for _, err := range taskErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for ti := 0; ti < nTasks; ti++ {
+		rep := ti / opts.Folds
+		for _, tp := range taskPreds[ti] {
+			f := files[tp.file]
+			for r := 0; r < f.Height(); r++ {
+				gold := f.LineClasses[r]
+				if gold.Index() < 0 || skip[gold] {
+					continue
+				}
+				res.counts.Add(tp.pred[r], gold)
+				res.repeatCounts[rep].Add(tp.pred[r], gold)
+				if pi := tp.pred[r].Index(); pi >= 0 {
+					res.votes[tp.file][r][pi]++
 				}
 			}
 		}
 	}
 	return res, nil
+}
+
+// drawFolds pre-draws the shuffled fold assignment of every repetition from
+// one sequential rng stream, exactly as the serial loop did.
+func drawFolds(n int, opts CVOptions) [][]int {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([][]int, opts.Repeats)
+	for rep := range out {
+		out[rep] = assignFolds(n, opts.Folds, rng)
+	}
+	return out
 }
 
 // MacroF1MeanStd returns the mean and standard deviation of the
@@ -165,30 +205,50 @@ func CrossValidateCells(files []*table.Table, trainer CellTrainer, opts CVOption
 	}
 
 	skip := skipSet(opts.SkipGoldClasses)
-	rng := rand.New(rand.NewSource(opts.Seed))
 	res.repeatCounts = make([]Counts, opts.Repeats)
-	for rep := 0; rep < opts.Repeats; rep++ {
-		folds := assignFolds(len(files), opts.Folds, rng)
-		for fold := 0; fold < opts.Folds; fold++ {
-			train, test := split(files, folds, fold)
-			model, err := trainer(train, opts.Seed+int64(rep*opts.Folds+fold))
-			if err != nil {
-				return nil, fmt.Errorf("eval: fold %d repeat %d: %w", fold, rep, err)
-			}
-			for _, ti := range test {
-				f := files[ti]
-				pred := model.Classify(f)
-				for row := 0; row < f.Height(); row++ {
-					for col := 0; col < f.Width(); col++ {
-						gold := f.CellClasses[row][col]
-						if gold.Index() < 0 || f.IsEmptyCell(row, col) || skip[gold] {
-							continue
-						}
-						res.counts.Add(pred[row][col], gold)
-						res.repeatCounts[rep].Add(pred[row][col], gold)
-						if pi := pred[row][col].Index(); pi >= 0 {
-							res.votes[ti][row*f.Width()+col][pi]++
-						}
+
+	// Same fan-out/replay scheme as CrossValidateLines: independent
+	// (repeat, fold) tasks on a bounded pool, deterministic aggregation.
+	type cellPred struct {
+		file int
+		pred [][]table.Class
+	}
+	folds := drawFolds(len(files), opts)
+	nTasks := opts.Repeats * opts.Folds
+	taskPreds := make([][]cellPred, nTasks)
+	taskErrs := make([]error, nTasks)
+	pipeline.ForEach(nTasks, opts.Parallelism, func(ti int) {
+		rep, fold := ti/opts.Folds, ti%opts.Folds
+		train, test := split(files, folds[rep], fold)
+		model, err := trainer(train, opts.Seed+int64(ti))
+		if err != nil {
+			taskErrs[ti] = fmt.Errorf("eval: fold %d repeat %d: %w", fold, rep, err)
+			return
+		}
+		for _, fi := range test {
+			taskPreds[ti] = append(taskPreds[ti], cellPred{fi, model.Classify(files[fi])})
+		}
+	})
+	for _, err := range taskErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for ti := 0; ti < nTasks; ti++ {
+		rep := ti / opts.Folds
+		for _, tp := range taskPreds[ti] {
+			f := files[tp.file]
+			for row := 0; row < f.Height(); row++ {
+				for col := 0; col < f.Width(); col++ {
+					gold := f.CellClasses[row][col]
+					if gold.Index() < 0 || f.IsEmptyCell(row, col) || skip[gold] {
+						continue
+					}
+					res.counts.Add(tp.pred[row][col], gold)
+					res.repeatCounts[rep].Add(tp.pred[row][col], gold)
+					if pi := tp.pred[row][col].Index(); pi >= 0 {
+						res.votes[tp.file][row*f.Width()+col][pi]++
 					}
 				}
 			}

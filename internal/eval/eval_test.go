@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -352,5 +353,39 @@ func TestConfusionString(t *testing.T) {
 	out := m.String()
 	if !strings.Contains(out, "data") {
 		t.Errorf("String() missing class names: %q", out)
+	}
+}
+
+// TestCrossValidateParallelismDeterministic runs the same CV serially and
+// with eight workers; the pooled counts, per-repeat counts, and ensemble
+// votes must be identical (fold assignment, per-task seeds, and score
+// aggregation are all fixed in task order).
+func TestCrossValidateParallelismDeterministic(t *testing.T) {
+	files := corpusFiles(16)
+	opts := core.DefaultLineTrainOptions()
+	opts.Forest = forest.Options{NumTrees: 8, Seed: 1}
+
+	run := func(par int) *LineCVResult {
+		res, err := CrossValidateLines(files, strudelTrainer(opts),
+			CVOptions{Folds: 4, Repeats: 2, Seed: 11, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+
+	if serial.counts != parallel.counts {
+		t.Error("pooled counts differ between serial and parallel CV")
+	}
+	if !reflect.DeepEqual(serial.repeatCounts, parallel.repeatCounts) {
+		t.Error("per-repeat counts differ between serial and parallel CV")
+	}
+	if !reflect.DeepEqual(serial.votes, parallel.votes) {
+		t.Error("ensemble votes differ between serial and parallel CV")
+	}
+	m1, m2 := serial.Scores().MacroF1, parallel.Scores().MacroF1
+	if m1 != m2 {
+		t.Errorf("macro F1 differs: %v vs %v", m1, m2)
 	}
 }

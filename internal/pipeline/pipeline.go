@@ -1,0 +1,181 @@
+// Package pipeline holds the shared per-table artifact object that the
+// Strudel classification stages thread through. The cell classifier is
+// defined on top of the line classifier's probability vectors (Section 5.4
+// of the paper), so a naive call graph recomputes line features and line
+// probabilities once per entry point. An Artifacts value memoizes those
+// intermediate products so each is computed exactly once per table, no
+// matter how many stages (line classification, cell classification,
+// probability reporting, column features) consume it.
+//
+// The package sits below internal/core: it depends only on the feature
+// extractors and the table model, and core's *WithArtifacts methods fill
+// and read the caches. An Artifacts value is NOT safe for concurrent use;
+// create one per table per goroutine (they are cheap).
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"strudel/internal/features"
+	"strudel/internal/table"
+)
+
+// Artifacts caches the intermediate products of the Strudel pipeline for a
+// single table: the line feature matrix, the Strudel^L probability vectors,
+// the cell feature tensor, and optional column probabilities. Caches that
+// depend on a trained model (probabilities, cell features) are keyed by an
+// owner token — normally the model pointer — so an artifact accidentally
+// shared between two different models recomputes instead of returning
+// stale vectors.
+type Artifacts struct {
+	// Table is the parsed file the artifacts describe.
+	Table *table.Table
+
+	lineFeats     [][]float64
+	lineOpts      features.LineOptions
+	haveLineFeats bool
+
+	lineProbs      [][]float64
+	lineProbsOwner any
+
+	cellFeats      [][][]float64
+	cellFeatsOwner any
+
+	colProbs      [][]float64
+	colProbsOwner any
+}
+
+// New returns an empty artifact object for t.
+func New(t *table.Table) *Artifacts { return &Artifacts{Table: t} }
+
+// LineFeatures returns the memoized line feature matrix, extracting it on
+// first use. A call with different options than the cached extraction
+// recomputes (distinct models disagreeing on options should not share one
+// artifact, but correctness is preserved if they do).
+func (a *Artifacts) LineFeatures(opts features.LineOptions) [][]float64 {
+	if !a.haveLineFeats || a.lineOpts != opts {
+		a.lineFeats = features.LineFeatures(a.Table, opts)
+		a.lineOpts = opts
+		a.haveLineFeats = true
+		counters.LineFeatures.Add(1)
+	}
+	return a.lineFeats
+}
+
+// LineProbabilities returns the cached Strudel^L probability matrix if it
+// was produced by owner, and otherwise computes and caches it via compute.
+// Callers must treat the result as read-only.
+func (a *Artifacts) LineProbabilities(owner any, compute func(*Artifacts) [][]float64) [][]float64 {
+	if a.lineProbs == nil || a.lineProbsOwner != owner {
+		a.lineProbs = compute(a)
+		a.lineProbsOwner = owner
+		counters.LineProbabilities.Add(1)
+	}
+	return a.lineProbs
+}
+
+// CellFeatures returns the cached cell feature tensor if it was produced by
+// owner, and otherwise computes and caches it via compute. Callers must
+// treat the result as read-only.
+func (a *Artifacts) CellFeatures(owner any, compute func(*Artifacts) [][][]float64) [][][]float64 {
+	if a.cellFeats == nil || a.cellFeatsOwner != owner {
+		a.cellFeats = compute(a)
+		a.cellFeatsOwner = owner
+		counters.CellFeatures.Add(1)
+	}
+	return a.cellFeats
+}
+
+// ColumnProbabilities returns the cached per-column probability matrix if
+// it was produced by owner, and otherwise computes and caches it via
+// compute. Callers must treat the result as read-only.
+func (a *Artifacts) ColumnProbabilities(owner any, compute func(*Artifacts) [][]float64) [][]float64 {
+	if a.colProbs == nil || a.colProbsOwner != owner {
+		a.colProbs = compute(a)
+		a.colProbsOwner = owner
+		counters.ColumnProbabilities.Add(1)
+	}
+	return a.colProbs
+}
+
+// Counters tallies how often each expensive pipeline stage actually ran
+// (cache misses, not lookups). It exists as a test hook so single-pass
+// guarantees — e.g. "Annotate extracts line features exactly once" — are
+// assertable; it is not part of the stable API.
+type Counters struct {
+	LineFeatures        atomic.Int64
+	LineProbabilities   atomic.Int64
+	CellFeatures        atomic.Int64
+	ColumnProbabilities atomic.Int64
+}
+
+var counters Counters
+
+// CounterValues is a plain snapshot of the stage counters.
+type CounterValues struct {
+	LineFeatures        int64
+	LineProbabilities   int64
+	CellFeatures        int64
+	ColumnProbabilities int64
+}
+
+// Counts snapshots the global stage counters.
+func Counts() CounterValues {
+	return CounterValues{
+		LineFeatures:        counters.LineFeatures.Load(),
+		LineProbabilities:   counters.LineProbabilities.Load(),
+		CellFeatures:        counters.CellFeatures.Load(),
+		ColumnProbabilities: counters.ColumnProbabilities.Load(),
+	}
+}
+
+// ResetCounts zeroes the global stage counters (test hook).
+func ResetCounts() {
+	counters.LineFeatures.Store(0)
+	counters.LineProbabilities.Store(0)
+	counters.CellFeatures.Store(0)
+	counters.ColumnProbabilities.Store(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a bounded worker pool of the
+// given size (0 or negative means GOMAXPROCS). It returns when every call
+// has finished. Work is per-index independent, so callers that write only
+// to slot i of a pre-sized result slice get output identical to a serial
+// loop regardless of the parallelism setting — the corpus-level concurrency
+// contract used by training, batch annotation, and cross-validation.
+func ForEach(n, parallelism int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

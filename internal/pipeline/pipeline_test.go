@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"strudel/internal/features"
+	"strudel/internal/table"
+)
+
+func sampleTable() *table.Table {
+	return table.FromRows([][]string{
+		{"Report 2020", "", ""},
+		{"", "", ""},
+		{"Region", "Q1", "Q2"},
+		{"North", "10", "20"},
+		{"South", "30", "40"},
+		{"Total", "40", "60"},
+	})
+}
+
+func TestLineFeaturesMemoized(t *testing.T) {
+	a := New(sampleTable())
+	opts := features.DefaultLineOptions()
+	first := a.LineFeatures(opts)
+	second := a.LineFeatures(opts)
+	if &first[0][0] != &second[0][0] {
+		t.Error("repeated LineFeatures with equal options recomputed the matrix")
+	}
+
+	// Different options must not serve the stale matrix.
+	opts.StrictAdjacency = true
+	third := a.LineFeatures(opts)
+	if &first[0][0] == &third[0][0] {
+		t.Error("LineFeatures with different options returned the cached matrix")
+	}
+}
+
+func TestOwnerKeyedCaches(t *testing.T) {
+	a := New(sampleTable())
+	ownerA, ownerB := new(int), new(int)
+	var computes int
+	compute := func(*Artifacts) [][]float64 {
+		computes++
+		return [][]float64{{float64(computes)}}
+	}
+
+	p1 := a.LineProbabilities(ownerA, compute)
+	p2 := a.LineProbabilities(ownerA, compute)
+	if computes != 1 || &p1[0][0] != &p2[0][0] {
+		t.Errorf("same owner recomputed: %d computes", computes)
+	}
+	a.LineProbabilities(ownerB, compute)
+	if computes != 2 {
+		t.Errorf("different owner did not recompute: %d computes", computes)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, par := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		ForEach(n, par, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: index %d visited %d times", par, i, got)
+			}
+		}
+	}
+	// Zero work must not deadlock.
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}

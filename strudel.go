@@ -11,6 +11,7 @@ import (
 	"strudel/internal/dialect"
 	"strudel/internal/extract"
 	"strudel/internal/features"
+	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
 
@@ -118,6 +119,10 @@ type TrainOptions struct {
 	// LineOnly skips the cell model; ClassifyCells then falls back to the
 	// Line^C extension of line predictions.
 	LineOnly bool
+	// Parallelism bounds the worker pool extracting per-file training
+	// features (0 = all CPUs). The trained model is byte-identical at
+	// every setting, so this is purely a throughput knob.
+	Parallelism int
 }
 
 // Train fits a model on annotated tables (tables where LineClasses and
@@ -128,6 +133,7 @@ func Train(files []*Table, opts TrainOptions) (*Model, error) {
 		lopts.Forest.NumTrees = opts.Trees
 	}
 	lopts.Forest.Seed = opts.Seed
+	lopts.Parallelism = opts.Parallelism
 
 	if opts.LineOnly {
 		lm, err := core.TrainLine(files, lopts)
@@ -144,6 +150,7 @@ func Train(files []*Table, opts TrainOptions) (*Model, error) {
 	}
 	copts.Forest.Seed = opts.Seed
 	copts.MaxCellsPerFile = opts.MaxCellsPerFile
+	copts.Parallelism = opts.Parallelism
 	cm, err := core.TrainCell(files, copts)
 	if err != nil {
 		return nil, err
@@ -166,13 +173,48 @@ func (m *Model) ClassifyCells(t *Table) [][]Class {
 	return m.cell.Classify(t)
 }
 
-// Annotate classifies both granularities in one call.
+// Annotate classifies both granularities in one call. The line and cell
+// stages share one pipeline artifact, so line features are extracted and
+// the Strudel^L forest consulted exactly once per file (the cell model's
+// LineClassProbability features and the returned confidences reuse the
+// same vectors).
 func (m *Model) Annotate(t *Table) *Annotation {
-	return &Annotation{
-		Lines:             m.ClassifyLines(t),
-		Cells:             m.ClassifyCells(t),
-		LineProbabilities: m.LineProbabilities(t),
+	return m.annotate(pipeline.New(t))
+}
+
+func (m *Model) annotate(a *pipeline.Artifacts) *Annotation {
+	lines := m.line.ClassifyWithArtifacts(a)
+	var cells [][]Class
+	if m.cell == nil {
+		cells = m.line.ClassifyCellsWithArtifacts(a)
+	} else {
+		cells = m.cell.ClassifyWithArtifacts(a)
 	}
+	return &Annotation{
+		Lines:             lines,
+		Cells:             cells,
+		LineProbabilities: m.line.ProbabilitiesWithArtifacts(a),
+	}
+}
+
+// BatchOptions configures AnnotateAll.
+type BatchOptions struct {
+	// Parallelism is the number of files annotated concurrently
+	// (0 = all CPUs). Output is deterministic at every setting: the i-th
+	// annotation always describes the i-th input file, and the predicted
+	// classes and probabilities are byte-identical to a serial run.
+	Parallelism int
+}
+
+// AnnotateAll classifies a corpus of tables, fanning the per-file work
+// (which is fully independent) out over a bounded worker pool. The result
+// has one annotation per input, in input order.
+func (m *Model) AnnotateAll(files []*Table, opts BatchOptions) []*Annotation {
+	out := make([]*Annotation, len(files))
+	pipeline.ForEach(len(files), opts.Parallelism, func(i int) {
+		out[i] = m.Annotate(files[i])
+	})
+	return out
 }
 
 // HasCellModel reports whether the model carries a trained Strudel^C.
