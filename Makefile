@@ -1,12 +1,15 @@
 # Tier-1 verification plus static analysis and race checking.
 #
-#   make tier1   build + test (the roadmap's tier-1 gate)
-#   make check   tier1 plus `go vet` and the race detector
-#   make bench   annotate-path micro-benchmarks (single file + batch)
+#   make tier1       build + test (the roadmap's tier-1 gate)
+#   make lint        run the strudel-lint analyzer suite over ./...
+#   make check       tier1 plus `go vet`, strudel-lint, and the race detector
+#   make fuzz-smoke  run each fuzz target briefly (regression smoke, ~30s)
+#   make bench       annotate-path micro-benchmarks (single file + batch)
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race tier1 check bench
+.PHONY: build test vet lint race tier1 check fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -17,12 +20,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/strudel-lint ./...
+
 race:
 	$(GO) test -race ./...
 
 tier1: build test
 
-check: vet tier1 race
+check: vet lint tier1 race
+
+# Each -fuzz flag accepts one target per `go test` invocation, so the
+# smoke runs are sequential. -run '^$' skips the unit tests.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSplit$$' -fuzztime $(FUZZTIME) ./internal/dialect
+	$(GO) test -run '^$$' -fuzz '^FuzzInfer$$' -fuzztime $(FUZZTIME) ./internal/types
+	$(GO) test -run '^$$' -fuzz '^FuzzParseNumber$$' -fuzztime $(FUZZTIME) ./internal/types
 
 bench:
 	$(GO) test -bench 'BenchmarkAnnotate' -benchmem -run '^$$' .

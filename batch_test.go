@@ -7,7 +7,9 @@ package strudel
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"strudel/internal/pipeline"
@@ -117,6 +119,48 @@ func TestParallelismDeterminism(t *testing.T) {
 		want := serial.Annotate(f)
 		if !reflect.DeepEqual(ann8[i], want) {
 			t.Fatalf("file %d: parallel batch annotation differs from a direct Annotate call", i)
+		}
+	}
+}
+
+// TestTestdataCorpusDeterminism is the end-to-end determinism regression:
+// annotating the real CSV files under testdata/ with one worker and with
+// every CPU must serialize to byte-identical output. This is the contract
+// the nondeterminism analyzer enforces statically; this test enforces it
+// dynamically on real inputs.
+func TestTestdataCorpusDeterminism(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no CSV files under testdata/")
+	}
+
+	var files []*Table
+	for _, p := range paths {
+		tbl, _, err := LoadFile(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		files = append(files, tbl)
+	}
+
+	m := trainedModel(t)
+	serialize := func(anns []*Annotation) []byte {
+		b, err := json.Marshal(anns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	serial := serialize(m.AnnotateAll(files, BatchOptions{Parallelism: 1}))
+	for run := 0; run < 3; run++ {
+		parallel := serialize(m.AnnotateAll(files, BatchOptions{Parallelism: runtime.NumCPU()}))
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("run %d: annotating testdata with %d workers differs from serial output",
+				run, runtime.NumCPU())
 		}
 	}
 }

@@ -48,6 +48,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "strudel-datagen: unknown dataset %q\n", name)
 			os.Exit(1)
 		}
+		//lint:ignore floatcmp exact compare against the flag default 1.0, which is representable
 		if *scale != 1.0 {
 			p = p.Scale(*scale)
 		}
@@ -82,6 +83,7 @@ func generateCustom(path, out string, scale float64, seed int64) error {
 	if p.Files <= 0 {
 		return fmt.Errorf("%s: profile needs Files > 0", path)
 	}
+	//lint:ignore floatcmp exact compare against the flag default 1.0, which is representable
 	if scale != 1.0 {
 		p = p.Scale(scale)
 	}

@@ -1,0 +1,117 @@
+// Command strudel-lint runs the project's static-analysis suite
+// (internal/analysis) over module packages, enforcing the determinism and
+// feature-parity contracts the annotation pipeline depends on.
+//
+// Usage:
+//
+//	strudel-lint [flags] [packages...]
+//
+// Packages default to ./... and accept the shapes ./..., ./dir/..., ./dir,
+// or module import paths. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
+//
+// Flags:
+//
+//	-json          emit findings as a JSON array instead of file:line text
+//	-checks list   comma-separated check names to run (default: all)
+//	-list          print the registered checks and exit
+//
+// Findings are silenced at the offending line (or the line above) with
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory, and stale or unknown suppressions are themselves
+// reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"strudel/internal/analysis"
+)
+
+func main() {
+	var (
+		asJSON = flag.Bool("json", false, "emit findings as JSON")
+		checks = flag.String("checks", "", "comma-separated check names to run (default: all)")
+		list   = flag.Bool("list", false, "list registered checks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All
+	if *checks != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "strudel-lint: unknown check %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewLoader(root, modPath)
+	paths, err := loader.Expand(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags, err := analysis.Run(loader, paths, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(rel(root, d))
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "strudel-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// rel shortens absolute diagnostic paths to module-relative ones for
+// readable terminal output.
+func rel(root string, d analysis.Diagnostic) string {
+	file := d.File
+	if r, ok := strings.CutPrefix(file, root+string(os.PathSeparator)); ok {
+		file = r
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", file, d.Line, d.Col, d.Check, d.Message)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strudel-lint:", err)
+	os.Exit(2)
+}

@@ -75,7 +75,10 @@ func main() {
 	if err := model.SaveFile(*out); err != nil {
 		fatal(err)
 	}
-	info, _ := os.Stat(*out)
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("saved %s (%.1f MB)\n", *out, float64(info.Size())/1e6)
 }
 

@@ -1,0 +1,251 @@
+// Package analysis is a small static-analysis framework built on the
+// standard library only (go/ast, go/parser, go/token, go/types, go/importer
+// — no go/packages, no x/tools). It exists to enforce the project-specific
+// contracts that ordinary vet checks cannot see: the determinism guarantees
+// the annotation pipeline makes (byte-identical output at any worker
+// count) and the feature-parity invariants between the Table 1 / Table 2
+// feature-name lists and their extractors.
+//
+// A diagnostic can be silenced at the site with
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory; an ignore directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the check identifier used in diagnostics and ignore
+	// directives, e.g. "nondeterminism".
+	Name string
+	// Doc is a one-paragraph description of what the check enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All is the registry of project analyzers, in reporting order.
+var All = []*Analyzer{
+	Nondeterminism,
+	FloatCmp,
+	ErrCheck,
+	FeatureParity,
+}
+
+// Lookup returns the registered analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, positioned for file:line:col display.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// Loader grants read access to dependency packages already loaded
+	// while type-checking Pkg (used by featureparity to resolve
+	// cross-package literals).
+	Loader *Loader
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// calleeFunc resolves the *types.Func a call invokes, looking through
+// selector and plain identifiers. It returns nil for builtins, conversions,
+// and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (not a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgOfFunc returns the import path of the package declaring fn ("" for
+// nil or builtin).
+func pkgOfFunc(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// collectIgnores parses the //lint:ignore directives of a package and
+// reports malformed ones (missing reason) through report.
+func collectIgnores(fset *token.FileSet, pkg *Package, report func(Diagnostic)) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				check, reason := m[1], strings.TrimSpace(m[2])
+				if reason == "" {
+					report(Diagnostic{
+						Check: "ignore", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("lint:ignore %s directive needs a reason", check),
+					})
+					continue
+				}
+				out = append(out, &ignoreDirective{file: pos.Filename, line: pos.Line, check: check, reason: reason})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic is covered by an ignore directive
+// on its own line or the line directly above.
+func suppressed(d Diagnostic, ignores []*ignoreDirective) bool {
+	for _, ig := range ignores {
+		if ig.file == d.File && ig.check == d.Check && (ig.line == d.Line || ig.line == d.Line-1) {
+			ig.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads every package named by importPaths and applies the analyzers,
+// returning the surviving (unsuppressed) diagnostics sorted by position.
+// Ignore directives that match no diagnostic are reported as "ignore"
+// findings so stale suppressions cannot accumulate.
+func Run(l *Loader, importPaths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, path := range importPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+
+		var raw []Diagnostic
+		collect := func(d Diagnostic) { raw = append(raw, d) }
+		ignores := collectIgnores(l.Fset, pkg, func(d Diagnostic) { all = append(all, d) })
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: l.Fset, Pkg: pkg, Loader: l, report: collect}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !suppressed(d, ignores) {
+				all = append(all, d)
+			}
+		}
+		for _, ig := range ignores {
+			if ig.used {
+				continue
+			}
+			if Lookup(ig.check) == nil {
+				all = append(all, Diagnostic{
+					Check: "ignore", File: ig.file, Line: ig.line,
+					Message: fmt.Sprintf("lint:ignore names unknown check %q", ig.check),
+				})
+				continue
+			}
+			// Only warn about stale directives when the named check
+			// actually ran; a filtered -checks run must not flag them.
+			for _, a := range analyzers {
+				if a.Name == ig.check {
+					all = append(all, Diagnostic{
+						Check: "ignore", File: ig.file, Line: ig.line,
+						Message: fmt.Sprintf("lint:ignore %s suppresses nothing (stale directive)", ig.check),
+					})
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return all, nil
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags call statements that discard a returned error inside the
+// module's internal/ and cmd/ trees. A small allowlist keeps human-facing
+// console output ergonomic:
+//
+//   - fmt.Print / Printf / Println (stdout, best-effort output)
+//   - fmt.Fprint* when the writer is os.Stdout, os.Stderr, a
+//     *strings.Builder, or a *bytes.Buffer (the latter two document that
+//     writes never fail)
+//   - methods of *strings.Builder and *bytes.Buffer
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flags discarded error returns in internal/ and cmd/ packages",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	path := pass.Pkg.Path
+	if !strings.Contains(path, "/internal/") && !strings.Contains(path, "/cmd/") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			verb := ""
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, verb = n.Call, "defer "
+			case *ast.GoStmt:
+				call, verb = n.Call, "go "
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) || allowedUnchecked(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s%s discards its error result; handle it or assign to _ deliberately", verb, calleeLabel(pass, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// allowedUnchecked implements the allowlist documented on ErrCheck.
+func allowedUnchecked(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	switch pkgOfFunc(fn) {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			return isStdStream(pass, call.Args[0]) || isInfallibleWriter(pass, call.Args[0])
+		}
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			return full == "strings.Builder" || full == "bytes.Buffer"
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether an expression's type is
+// *strings.Builder or *bytes.Buffer, whose Write methods never return a
+// non-nil error, making the enclosing Fprint's error statically nil.
+func isInfallibleWriter(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// isStdStream reports whether an expression is os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// calleeLabel renders a short human name for the called function.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,772 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FeatureParity is the Strudel-specific cross-check over the feature
+// machinery in internal/features: the Table 1 line features and Table 2
+// cell features each exist in several places at once — a name list, group
+// index sets for the ablation experiments, and an extractor that fills the
+// vector — and nothing but convention keeps them aligned. This analyzer
+// makes the alignment a compile-gate:
+//
+//   - LineFeatureNames must be a literal list, NumLineFeatures must be
+//     len(LineFeatureNames), and the Line*Features group index sets must
+//     partition [0, len(LineFeatureNames)).
+//   - The LineFeatures extractor must write every constant vector slot
+//     0..len-1 (a name without an extractor slot, or vice versa, is an
+//     error).
+//   - CellFeatureNames (built by buildCellFeatureNames) is counted
+//     symbolically — including appends inside ranges over fixed-size
+//     arrays — and the Cell*Features group sets must partition
+//     [0, count). neighborOffsets and neighborNames must agree in length.
+//   - The CellFeatures extractor's cursor-style writes (f[i] = ...; i++,
+//     i += k, copy(f[i:i+k], ...)) are interpreted abstractly and must
+//     cover exactly [0, count).
+//
+// The analyzer activates on any package that declares LineFeatureNames or
+// CellFeatureNames, so fixtures exercise it the same way internal/features
+// does.
+var FeatureParity = &Analyzer{
+	Name: "featureparity",
+	Doc:  "cross-checks feature-name lists, group index sets, and extractor vector slots for Table 1/Table 2 features",
+	Run:  runFeatureParity,
+}
+
+func runFeatureParity(pass *Pass) {
+	fp := &parityPass{Pass: pass, vars: map[string]*varDecl{}, funcs: map[string]*ast.FuncDecl{}}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					fp.funcs[d.Name.Name] = d
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							fp.vars[name.Name] = &varDecl{name: name, value: vs.Values[i]}
+						}
+					}
+				}
+			}
+		}
+	}
+	if fp.vars["LineFeatureNames"] != nil {
+		fp.checkLineSide()
+	}
+	if fp.vars["CellFeatureNames"] != nil {
+		fp.checkCellSide()
+	}
+}
+
+type varDecl struct {
+	name  *ast.Ident
+	value ast.Expr
+}
+
+type parityPass struct {
+	*Pass
+	vars  map[string]*varDecl
+	funcs map[string]*ast.FuncDecl
+}
+
+// ---- line features ----
+
+func (fp *parityPass) checkLineSide() {
+	names := fp.vars["LineFeatureNames"]
+	lit, ok := names.value.(*ast.CompositeLit)
+	if !ok {
+		fp.Reportf(names.value.Pos(), "LineFeatureNames must be a composite literal so the feature count is statically checkable")
+		return
+	}
+	n := len(lit.Elts)
+
+	if num := fp.vars["NumLineFeatures"]; num != nil && !isLenOf(num.value, "LineFeatureNames") {
+		fp.Reportf(num.value.Pos(), "NumLineFeatures must be len(LineFeatureNames), not an independent constant")
+	}
+
+	fp.checkPartition("line feature groups",
+		[]string{"LineContentFeatures", "LineContextualFeatures", "LineComputationalFeatures"},
+		n, lineFeatureName(lit))
+
+	if fn := fp.funcs["LineFeatures"]; fn != nil && fn.Body != nil {
+		fp.checkLineExtractor(fn, n, lineFeatureName(lit))
+	}
+}
+
+// lineFeatureName maps a slot index to its display name for diagnostics.
+func lineFeatureName(lit *ast.CompositeLit) func(int) string {
+	return func(i int) string {
+		if i < 0 || i >= len(lit.Elts) {
+			return fmt.Sprintf("#%d", i)
+		}
+		if bl, ok := lit.Elts[i].(*ast.BasicLit); ok {
+			return strings.Trim(bl.Value, `"`)
+		}
+		return fmt.Sprintf("#%d", i)
+	}
+}
+
+// checkLineExtractor verifies that LineFeatures writes each constant slot
+// of a []float64 vector exactly within [0, n).
+func (fp *parityPass) checkLineExtractor(fn *ast.FuncDecl, n int, nameOf func(int) string) {
+	written := map[int]bool{}
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok || !isFloatSlice(fp.TypeOf(idx.X)) {
+				continue
+			}
+			v, ok := fp.constInt(idx.Index, nil)
+			if !ok {
+				continue
+			}
+			if v < 0 || v >= n {
+				fp.Reportf(idx.Pos(), "LineFeatures writes slot %d but LineFeatureNames has only %d entries", v, n)
+				continue
+			}
+			written[v] = true
+		}
+		return true
+	})
+	if len(written) == 0 {
+		return // extractor does not use constant indexing; nothing to check
+	}
+	for i := 0; i < n; i++ {
+		if !written[i] {
+			fp.Reportf(fn.Pos(), "LineFeatures never writes slot %d (%s); the name list and the extractor are out of sync", i, nameOf(i))
+		}
+	}
+}
+
+// ---- cell features ----
+
+func (fp *parityPass) checkCellSide() {
+	decl := fp.vars["CellFeatureNames"]
+	n, ok := fp.cellNameCount(decl.value)
+	if !ok {
+		return // cellNameCount already reported
+	}
+
+	if num := fp.vars["NumCellFeatures"]; num != nil && !isLenOf(num.value, "CellFeatureNames") {
+		fp.Reportf(num.value.Pos(), "NumCellFeatures must be len(CellFeatureNames), not an independent constant")
+	}
+
+	if no, nn := fp.vars["neighborOffsets"], fp.vars["neighborNames"]; no != nil && nn != nil {
+		lo, okO := fp.lenOf(no.name)
+		ln, okN := fp.lenOf(nn.name)
+		if okO && okN && lo != ln {
+			fp.Reportf(nn.value.Pos(), "neighborNames has %d entries but neighborOffsets has %d; the neighbor profile features would mislabel", ln, lo)
+		}
+	}
+
+	env := map[string]int{"NumCellFeatures": n, "NumLineFeatures": -1}
+	if ln := fp.vars["LineFeatureNames"]; ln != nil {
+		if lit, ok := ln.value.(*ast.CompositeLit); ok {
+			env["NumLineFeatures"] = len(lit.Elts)
+		}
+	}
+	fp.checkPartitionEnv("cell feature groups",
+		[]string{"CellContentFeatures", "CellLineProbFeatures", "CellContextualFeatures", "CellComputationalFeatures"},
+		n, func(i int) string { return fmt.Sprintf("#%d", i) }, env)
+
+	if fn := fp.funcs["CellFeatures"]; fn != nil && fn.Body != nil {
+		fp.checkCellExtractor(fn, n)
+	}
+}
+
+// cellNameCount statically counts the entries of CellFeatureNames: either a
+// direct composite literal, or a call to a builder function whose body is a
+// sequence of literal appends (possibly inside ranges over fixed-length
+// arrays).
+func (fp *parityPass) cellNameCount(init ast.Expr) (int, bool) {
+	if lit, ok := init.(*ast.CompositeLit); ok {
+		return len(lit.Elts), true
+	}
+	call, ok := init.(*ast.CallExpr)
+	if !ok {
+		fp.Reportf(init.Pos(), "CellFeatureNames must be a composite literal or a call to a local builder function")
+		return 0, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fp.funcs[id.Name] == nil {
+		fp.Reportf(init.Pos(), "CellFeatureNames builder must be a package-local function")
+		return 0, false
+	}
+	fn := fp.funcs[id.Name]
+	count := 0
+	ok = fp.countAppends(fn.Body.List, 1, &count)
+	if !ok {
+		return 0, false
+	}
+	return count, true
+}
+
+// countAppends walks builder statements, adding (multiplier × appended
+// element count) for every names/append operation. It understands
+//
+//	names := []string{...}
+//	names = append(names, a, b, ...)
+//	for ... range <fixed-length array> { names = append(names, ...) }
+//
+// and reports anything else that could change the count.
+func (fp *parityPass) countAppends(stmts []ast.Stmt, mult int, count *int) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				continue
+			}
+			switch rhs := s.Rhs[0].(type) {
+			case *ast.CompositeLit:
+				if isStringSlice(fp.TypeOf(rhs)) {
+					*count += mult * len(rhs.Elts)
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+					if b, ok := fp.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						*count += mult * (len(rhs.Args) - 1)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			l, ok := fp.lenOf(s.X)
+			if !ok {
+				fp.Reportf(s.Pos(), "cannot determine the length of this range in the CellFeatureNames builder; use a fixed-size array so the feature count stays statically checkable")
+				return false
+			}
+			if !fp.countAppends(s.Body.List, mult*l, count) {
+				return false
+			}
+		case *ast.ReturnStmt, *ast.DeclStmt, *ast.ExprStmt:
+			// no effect on the count
+		}
+	}
+	return true
+}
+
+// checkCellExtractor abstractly interprets the cursor-style vector fill of
+// CellFeatures: starting at the statement `i := 0`, it tracks the cursor
+// through i++, i += k, and ranges over fixed-length arrays, recording every
+// slot written via f[i] or copy(f[i:i+k], ...). The written set must be
+// exactly [0, n).
+func (fp *parityPass) checkCellExtractor(fn *ast.FuncDecl, n int) {
+	block, start, cursor := findCursorInit(fn.Body)
+	if block == nil {
+		return // no cursor pattern; nothing to interpret
+	}
+	interp := &cellInterp{fp: fp, cursor: cursor, written: map[int]bool{}}
+	if !interp.run(block.List[start+1:]) {
+		fp.Reportf(fn.Pos(), "CellFeatures vector fill is too dynamic to verify: %s", interp.failure)
+		return
+	}
+	var missing, excess []int
+	for i := 0; i < n; i++ {
+		if !interp.written[i] {
+			missing = append(missing, i)
+		}
+	}
+	for i := range interp.written {
+		if i < 0 || i >= n {
+			excess = append(excess, i)
+		}
+	}
+	sort.Ints(excess)
+	if len(missing) > 0 {
+		fp.Reportf(fn.Pos(), "CellFeatures never fills slot(s) %v of the %d named cell features", missing, n)
+	}
+	if len(excess) > 0 {
+		fp.Reportf(fn.Pos(), "CellFeatures writes slot(s) %v beyond the %d named cell features", excess, n)
+	}
+}
+
+// findCursorInit locates the innermost block containing `i := 0` (any
+// identifier name) used as a vector cursor, returning the block, the index
+// of the init statement, and the cursor object.
+func findCursorInit(body *ast.BlockStmt) (block *ast.BlockStmt, idx int, cursor *ast.Object) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		if block != nil {
+			return false
+		}
+		b, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for si, stmt := range b.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if lit, ok := as.Rhs[0].(*ast.BasicLit); !ok || lit.Value != "0" {
+				continue
+			}
+			// Require that the variable is used as an index later in the
+			// block, distinguishing the cursor from other zero-initialized
+			// locals.
+			if id.Obj != nil && usedAsIndex(b.List[si+1:], id.Obj) {
+				block, idx, cursor = b, si, id.Obj
+				return false
+			}
+		}
+		return true
+	})
+	return block, idx, cursor
+}
+
+func usedAsIndex(stmts []ast.Stmt, obj *ast.Object) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && id.Obj == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// cellInterp is the abstract interpreter for the cursor-fill pattern.
+type cellInterp struct {
+	fp      *parityPass
+	cursor  *ast.Object
+	i       int
+	written map[int]bool
+	failure string
+}
+
+func (ci *cellInterp) fail(format string, args ...any) bool {
+	if ci.failure == "" {
+		ci.failure = fmt.Sprintf(format, args...)
+	}
+	return false
+}
+
+func (ci *cellInterp) run(stmts []ast.Stmt) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if ci.isCursor(s.X) {
+				if s.Tok == token.INC {
+					ci.i++
+				} else {
+					ci.i--
+				}
+				continue
+			}
+		case *ast.AssignStmt:
+			if !ci.runAssign(s) {
+				return false
+			}
+		case *ast.IfStmt:
+			// Branches may write slots but must not move the cursor.
+			if ci.mutatesCursor(s) {
+				return ci.fail("cursor mutated inside an if statement at %s", ci.fp.Fset.Position(s.Pos()))
+			}
+			ci.recordWrites(s)
+		case *ast.RangeStmt:
+			l, ok := ci.fp.lenOf(s.X)
+			if !ok {
+				return ci.fail("range over unknown-length value at %s", ci.fp.Fset.Position(s.Pos()))
+			}
+			for k := 0; k < l; k++ {
+				if !ci.run(s.Body.List) {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if !ci.runCopy(call) {
+					return false
+				}
+			}
+		case *ast.DeclStmt, *ast.BlockStmt:
+			if b, ok := stmt.(*ast.BlockStmt); ok {
+				if !ci.run(b.List) {
+					return false
+				}
+			}
+		default:
+			if ci.mutatesCursor(stmt) {
+				return ci.fail("cursor mutated in unsupported statement at %s", ci.fp.Fset.Position(stmt.Pos()))
+			}
+		}
+	}
+	return true
+}
+
+func (ci *cellInterp) runAssign(s *ast.AssignStmt) bool {
+	// Cursor arithmetic: i += k, i = i + k.
+	if len(s.Lhs) == 1 && ci.isCursor(s.Lhs[0]) {
+		switch s.Tok {
+		case token.ADD_ASSIGN:
+			k, ok := ci.fp.constInt(s.Rhs[0], nil)
+			if !ok {
+				return ci.fail("non-constant cursor increment at %s", ci.fp.Fset.Position(s.Pos()))
+			}
+			ci.i += k
+			return true
+		case token.ASSIGN, token.DEFINE:
+			return ci.fail("cursor reassigned at %s", ci.fp.Fset.Position(s.Pos()))
+		}
+	}
+	// Slot writes: f[i] = ...
+	for _, lhs := range s.Lhs {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if ci.isCursor(ix.Index) {
+			ci.written[ci.i] = true
+		}
+	}
+	return true
+}
+
+// runCopy records copy(f[i:i+k], ...) as writes to slots [i, i+k).
+func (ci *cellInterp) runCopy(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 2 {
+		return true
+	}
+	if b, ok := ci.fp.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "copy" {
+		return true
+	}
+	sl, ok := call.Args[0].(*ast.SliceExpr)
+	if !ok {
+		return true
+	}
+	lo, okLo := ci.evalCursorExpr(sl.Low)
+	hi, okHi := ci.evalCursorExpr(sl.High)
+	if !okLo || !okHi {
+		return ci.fail("copy destination bounds not cursor-resolvable at %s", ci.fp.Fset.Position(call.Pos()))
+	}
+	for k := lo; k < hi; k++ {
+		ci.written[k] = true
+	}
+	return true
+}
+
+// recordWrites collects f[i] writes (and copies) from a statement tree
+// whose cursor value is fixed, e.g. the branches of an if.
+func (ci *cellInterp) recordWrites(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			ci.runAssign(n)
+		case *ast.CallExpr:
+			ci.runCopy(n)
+		}
+		return true
+	})
+}
+
+func (ci *cellInterp) mutatesCursor(root ast.Node) bool {
+	mutated := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if ci.isCursor(n.X) {
+				mutated = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ci.isCursor(lhs) {
+					mutated = true
+				}
+			}
+		}
+		return !mutated
+	})
+	return mutated
+}
+
+func (ci *cellInterp) isCursor(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Obj == ci.cursor
+}
+
+// evalCursorExpr evaluates i, i+k, or a constant against the current
+// cursor value.
+func (ci *cellInterp) evalCursorExpr(e ast.Expr) (int, bool) {
+	if e == nil {
+		return 0, false
+	}
+	e = ast.Unparen(e)
+	if ci.isCursor(e) {
+		return ci.i, true
+	}
+	if v, ok := ci.fp.constInt(e, nil); ok {
+		return v, true
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok {
+		x, okX := ci.evalCursorExpr(bin.X)
+		y, okY := ci.evalCursorExpr(bin.Y)
+		if okX && okY {
+			switch bin.Op {
+			case token.ADD:
+				return x + y, true
+			case token.SUB:
+				return x - y, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ---- shared helpers ----
+
+// checkPartition verifies that the named index-set vars jointly cover
+// [0, n) exactly once, reporting gaps, overlaps, and out-of-range slots.
+func (fp *parityPass) checkPartition(what string, groupNames []string, n int, nameOf func(int) string) {
+	fp.checkPartitionEnv(what, groupNames, n, nameOf, map[string]int{})
+}
+
+func (fp *parityPass) checkPartitionEnv(what string, groupNames []string, n int, nameOf func(int) string, env map[string]int) {
+	owner := map[int]string{}
+	found := 0
+	var pos token.Pos
+	for _, g := range groupNames {
+		decl := fp.vars[g]
+		if decl == nil {
+			continue
+		}
+		found++
+		pos = decl.value.Pos()
+		idxs, ok := fp.indexSet(decl.value, env)
+		if !ok {
+			fp.Reportf(decl.value.Pos(), "%s must be an []int literal or indexRange(lo, hi) call with statically known bounds", g)
+			continue
+		}
+		for _, i := range idxs {
+			if prev, dup := owner[i]; dup {
+				fp.Reportf(decl.value.Pos(), "%s: slot %d (%s) appears in both %s and %s", what, i, nameOf(i), prev, g)
+				continue
+			}
+			owner[i] = g
+			if i < 0 || i >= n {
+				fp.Reportf(decl.value.Pos(), "%s: %s contains slot %d but the name list has only %d entries", what, g, i, n)
+			}
+		}
+	}
+	if found == 0 {
+		return
+	}
+	var missing []string
+	for i := 0; i < n; i++ {
+		if _, ok := owner[i]; !ok {
+			missing = append(missing, fmt.Sprintf("%d (%s)", i, nameOf(i)))
+		}
+	}
+	if len(missing) > 0 {
+		fp.Reportf(pos, "%s: slot(s) %s belong to no group; every named feature must be assigned to exactly one ablation group", what, strings.Join(missing, ", "))
+	}
+}
+
+// indexSet evaluates a group initializer into its index list: either an
+// []int composite literal or an indexRange(lo, hi) call.
+func (fp *parityPass) indexSet(e ast.Expr, env map[string]int) ([]int, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		var out []int
+		for _, el := range e.Elts {
+			v, ok := fp.constInt(el, env)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, v)
+		}
+		return out, true
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "indexRange" || len(e.Args) != 2 {
+			return nil, false
+		}
+		lo, okLo := fp.constInt(e.Args[0], env)
+		hi, okHi := fp.constInt(e.Args[1], env)
+		if !okLo || !okHi || hi < lo {
+			return nil, false
+		}
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// constInt evaluates an expression to an int using, in order: the type
+// checker's constant folding, the supplied environment of known vars, len()
+// of fixed-size values, and +,-,* arithmetic over those.
+func (fp *parityPass) constInt(e ast.Expr, env map[string]int) (int, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := fp.Pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			return int(v), true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := env[e.Name]; ok && v >= 0 {
+			return v, true
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 1 {
+			if b, ok := fp.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+				return fp.lenOf(e.Args[0])
+			}
+		}
+	case *ast.BinaryExpr:
+		x, okX := fp.constInt(e.X, env)
+		y, okY := fp.constInt(e.Y, env)
+		if okX && okY {
+			switch e.Op {
+			case token.ADD:
+				return x + y, true
+			case token.SUB:
+				return x - y, true
+			case token.MUL:
+				return x * y, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lenOf statically determines the length of an expression: fixed-size
+// arrays via the type system, otherwise package-level slice vars whose
+// initializer is a composite literal (looked up in this package or any
+// loaded dependency).
+func (fp *parityPass) lenOf(e ast.Expr) (int, bool) {
+	e = ast.Unparen(e)
+	if t := fp.TypeOf(e); t != nil {
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			return int(arr.Len()), true
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			if arr, ok := ptr.Elem().Underlying().(*types.Array); ok {
+				return int(arr.Len()), true
+			}
+		}
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts), true
+	case *ast.Ident:
+		if d := fp.vars[e.Name]; d != nil {
+			if lit, ok := d.value.(*ast.CompositeLit); ok {
+				return len(lit.Elts), true
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := fp.Pkg.Info.Uses[e.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return 0, false
+		}
+		dep := fp.Loader.Loaded(obj.Pkg().Path())
+		if dep == nil {
+			return 0, false
+		}
+		if lit := pkgVarLiteral(dep, obj.Name()); lit != nil {
+			return len(lit.Elts), true
+		}
+	}
+	return 0, false
+}
+
+// pkgVarLiteral finds the composite-literal initializer of a package-level
+// var by name in a loaded package.
+func pkgVarLiteral(pkg *Package, name string) *ast.CompositeLit {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) {
+						if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							return lit
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isLenOf reports whether e is the expression len(<ident named target>).
+func isLenOf(e ast.Expr, target string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "len" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && arg.Name == target
+}
+
+func isFloatSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isFloat(sl.Elem())
+}
+
+func isStringSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

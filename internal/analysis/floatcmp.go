@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Gini/impurity
+// and metric code accumulate rounding error, so exact equality is almost
+// always a latent bug; the few deliberate sentinel comparisons (exact zero
+// set by initialization, never computed) carry a lint:ignore with a reason.
+// Comparisons where both operands are compile-time constants are exempt —
+// they are folded deterministically.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on float operands outside test files",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isConstExpr(pass, bin.X) && isConstExpr(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "%s on float operands is exact-equality on inexact arithmetic; compare against a tolerance or document the sentinel", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.(*types.Basic)
+	if !ok {
+		basic, ok2 := t.Underlying().(*types.Basic)
+		if !ok2 {
+			return false
+		}
+		b = basic
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

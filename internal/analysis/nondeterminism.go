@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism enforces the pipeline's reproducibility contract: library
+// code (anything that is not a main package) must not read wall-clock time,
+// must not draw from the process-global math/rand source, and must not feed
+// map-iteration order into ordered output. Binaries (package main: cmd/ and
+// examples/) are exempt — they may default to wall clock behind a flag.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "flags time.Now, global math/rand functions, and for-range over a " +
+		"map whose body appends to a slice or prints, without a sort.* call " +
+		"in the enclosing function",
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		// Check each function body separately so the map-range rule can ask
+		// "does the enclosing function sort?".
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFuncDeterminism(pass, fd.Body)
+			}
+		}
+		// Package-level variable initializers sit outside any FuncDecl.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkNondetCall(pass, call)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFuncDeterminism walks one function body, flagging nondeterministic
+// calls and order-sensitive map iterations.
+func checkFuncDeterminism(pass *Pass, body *ast.BlockStmt) {
+	sorts := callsSort(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNondetCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, sorts)
+		}
+		return true
+	})
+}
+
+// checkNondetCall flags time.Now and the global math/rand functions.
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	if isPkgFunc(fn, "time", "Now") {
+		pass.Reportf(call.Pos(), "time.Now in library code breaks reproducible output; inject a clock or accept a timestamp from the caller")
+		return
+	}
+	if pkgOfFunc(fn) == "math/rand" || pkgOfFunc(fn) == "math/rand/v2" {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			return // methods on *rand.Rand are fine: the source is owned
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf":
+			return // constructors; determinism depends on the seed fed in
+		case "Seed":
+			pass.Reportf(call.Pos(), "rand.Seed reseeds the shared global source; construct rand.New(rand.NewSource(seed)) instead")
+		default:
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global source; use a seeded *rand.Rand passed in by the caller", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for range m` over a map when the body feeds ordered
+// output (slice appends or fmt printing) and the enclosing function never
+// calls into package sort — the signature of map-order leaking out.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, enclosingSorts bool) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if enclosingSorts {
+		return
+	}
+	reason := orderSensitiveUse(pass, rng.Body)
+	if reason == "" {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order reaches ordered output (%s) and the enclosing function never sorts; sort the keys first", reason)
+}
+
+// orderSensitiveUse reports how a map-range body leaks iteration order into
+// ordered output: appending to a slice or printing via fmt. An empty string
+// means no order-sensitive use was found.
+func orderSensitiveUse(pass *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				reason = "append"
+				return false
+			}
+		}
+		if fn := calleeFunc(pass.Pkg.Info, call); pkgOfFunc(fn) == "fmt" {
+			reason = "fmt." + fn.Name()
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+// callsSort reports whether a function body contains any call into package
+// sort (sort.Strings, sort.Slice, ...) or slices (slices.Sort*). One sort
+// anywhere in the function is taken as evidence the author re-established
+// order after collecting from the map.
+func callsSort(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch pkgOfFunc(calleeFunc(pass.Pkg.Info, call)) {
+		case "sort", "slices":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

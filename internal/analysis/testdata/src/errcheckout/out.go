@@ -1,0 +1,10 @@
+// Package errcheckout sits outside internal/ and cmd/, so errcheck does
+// not apply (clean case for the scoping rule).
+package errcheckout
+
+import "os"
+
+// Unchecked would be a finding inside internal/.
+func Unchecked(f *os.File) {
+	f.Close()
+}

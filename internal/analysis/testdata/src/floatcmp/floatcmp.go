@@ -1,0 +1,34 @@
+// Package floatcmp is a fixture for the float-equality check.
+package floatcmp
+
+// Bad compares floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// BadZero compares a computed float against zero.
+func BadZero(sum float64) bool {
+	return sum != 0 // want floatcmp
+}
+
+// BadF32 applies to float32 too.
+func BadF32(a float32) bool {
+	return a == 1.5 // want floatcmp
+}
+
+// GoodOrder uses ordering, which is fine.
+func GoodOrder(a, b float64) bool { return a < b }
+
+// GoodInt compares integers.
+func GoodInt(a, b int) bool { return a == b }
+
+// GoodConst is folded by the compiler: both operands constant.
+const half = 0.5
+
+var GoodConstCmp = half == 0.5
+
+// GoodSuppressed documents a deliberate sentinel.
+func GoodSuppressed(count float64) bool {
+	//lint:ignore floatcmp counts are integral floats in this fixture
+	return count == 0
+}

@@ -1,0 +1,28 @@
+// Package ignores is a fixture for the suppression mechanics themselves.
+package ignores
+
+import "time"
+
+// Suppressed is correctly silenced.
+func Suppressed() time.Time {
+	//lint:ignore nondeterminism fixture: suppression with a reason works
+	return time.Now()
+}
+
+// MissingReason is reported: the reason is mandatory.
+func MissingReason() int {
+	//lint:ignore nondeterminism
+	return 1
+}
+
+// Stale is reported: it suppresses nothing.
+func Stale() int {
+	//lint:ignore floatcmp nothing on this line compares floats
+	return 2
+}
+
+// UnknownCheck is reported: no such analyzer.
+func UnknownCheck() int {
+	//lint:ignore bogus this check does not exist
+	return 3
+}

@@ -1,0 +1,31 @@
+// Package errcheck is a fixture (under internal/ so the check applies).
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bad discards errors three ways.
+func Bad(f *os.File) {
+	f.Close()           // want errcheck
+	fmt.Fprintf(f, "x") // want errcheck
+	defer f.Sync()      // want errcheck
+}
+
+// Good handles or is allowlisted.
+func Good(f *os.File) error {
+	fmt.Println("progress")       // stdout is best-effort
+	fmt.Fprintln(os.Stderr, "eh") // stderr is best-effort
+	var b strings.Builder
+	fmt.Fprintf(&b, "y") // strings.Builder never fails
+	b.WriteString("z")   // method allowlist
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, "w") // bytes.Buffer never fails
+	if _, err := fmt.Fprintf(f, "real"); err != nil {
+		return err
+	}
+	return f.Close()
+}

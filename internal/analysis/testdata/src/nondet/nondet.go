@@ -1,0 +1,72 @@
+// Package nondet is a fixture: library code with and without
+// reproducibility violations.
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad reads the wall clock in library code.
+func Bad() time.Time {
+	return time.Now() // want nondeterminism
+}
+
+// BadRand draws from the global source.
+func BadRand() int {
+	return rand.Intn(6) // want nondeterminism
+}
+
+// BadSeed reseeds the global source.
+func BadSeed() {
+	rand.Seed(42) // want nondeterminism
+}
+
+// BadMapAppend leaks map order into a slice.
+func BadMapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want nondeterminism
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadMapPrint leaks map order into printed output.
+func BadMapPrint(m map[string]int) {
+	for k, v := range m { // want nondeterminism
+		fmt.Println(k, v)
+	}
+}
+
+// GoodRand owns a seeded source.
+func GoodRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// GoodMapSorted collects then sorts, restoring determinism.
+func GoodMapSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoodMapCount aggregates order-insensitively.
+func GoodMapCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Suppressed demonstrates the escape hatch.
+func Suppressed() time.Time {
+	//lint:ignore nondeterminism fixture demonstrating an accepted wall-clock read
+	return time.Now()
+}

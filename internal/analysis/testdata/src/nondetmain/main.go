@@ -1,0 +1,13 @@
+// Package main is a fixture: binaries are exempt from the nondeterminism
+// check and may default to wall clock.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Intn(6))
+}

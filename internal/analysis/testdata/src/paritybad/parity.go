@@ -1,0 +1,34 @@
+// Package paritybad is a fixture with deliberately desynchronized feature
+// machinery: a fourth name ("Phantom") was added to the list, but neither
+// the ablation groups nor the extractor learned about it, NumLineFeatures
+// was hard-coded, and the neighbor name/offset tables disagree.
+package paritybad
+
+var LineFeatureNames = []string{"Alpha", "Beta", "Gamma", "Phantom"}
+
+// Hard-coded count: must be len(LineFeatureNames).
+var NumLineFeatures = 4 // want featureparity
+
+var (
+	LineContentFeatures       = []int{0, 1}
+	LineContextualFeatures    = []int{2}
+	LineComputationalFeatures = []int{} // want featureparity: Phantom belongs to no group
+)
+
+// LineFeatures never writes slot 3.
+func LineFeatures(vals []float64) []float64 { // want featureparity
+	f := make([]float64, NumLineFeatures)
+	f[0] = vals[0]
+	f[1] = vals[1]
+	f[2] = 1
+	return f
+}
+
+// Four offsets, three names: the neighbor profile would mislabel.
+var neighborOffsets = [4][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+
+var neighborNames = [3]string{"E", "S", "W"} // want featureparity
+
+// A literal cell list with no groups or extractor: only the neighbor
+// mismatch above should fire on the cell side.
+var CellFeatureNames = []string{"OnlyOne"}

@@ -1,0 +1,44 @@
+// Package paritybadcell desynchronizes the cell side: the builder yields
+// three names, but a group set reaches past the list and the extractor
+// fills a fourth slot.
+package paritybadcell
+
+var classes = [2]string{"data", "header"}
+
+var CellFeatureNames = buildCellFeatureNames()
+
+var NumCellFeatures = len(CellFeatureNames)
+
+func buildCellFeatureNames() []string {
+	names := []string{"ValueLength"}
+	for _, c := range classes {
+		names = append(names, "Prob_"+c)
+	}
+	return names
+}
+
+var (
+	CellContentFeatures       = indexRange(0, 1)
+	CellLineProbFeatures      = indexRange(1, 4) // want featureparity: slot 3 is out of range
+	CellComputationalFeatures = []int{}
+)
+
+func indexRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// CellFeatures writes four slots against three names.
+func CellFeatures(probs []float64) []float64 { // want featureparity
+	f := make([]float64, NumCellFeatures)
+	i := 0
+	f[i] = 1
+	i++
+	copy(f[i:i+2], probs)
+	i += 2
+	f[i] = 9
+	return f
+}

@@ -1,0 +1,87 @@
+// Package paritygood is a fixture mirroring the internal/features layout
+// with every cross-cutting invariant intact: name lists, group index sets,
+// and extractors all agree.
+package paritygood
+
+// Line side: three named features.
+var LineFeatureNames = []string{"Alpha", "Beta", "Gamma"}
+
+// NumLineFeatures derives from the list, as required.
+var NumLineFeatures = len(LineFeatureNames)
+
+var (
+	LineContentFeatures       = []int{0, 1}
+	LineContextualFeatures    = []int{2}
+	LineComputationalFeatures = []int{}
+)
+
+// LineFeatures writes every slot.
+func LineFeatures(vals []float64) []float64 {
+	f := make([]float64, NumLineFeatures)
+	f[0] = vals[0]
+	if vals[1] > 0 {
+		f[1] = vals[1]
+	}
+	f[2] = 1
+	return f
+}
+
+// Cell side: 2 content + 2 class probs + 4 neighbors + 1 computational = 9.
+var classes = [2]string{"data", "header"}
+
+var neighborOffsets = [4][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+
+var neighborNames = [4]string{"E", "S", "W", "N"}
+
+var CellFeatureNames = buildCellFeatureNames()
+
+var NumCellFeatures = len(CellFeatureNames)
+
+func buildCellFeatureNames() []string {
+	names := []string{"ValueLength", "DataType"}
+	for _, c := range classes {
+		names = append(names, "Prob_"+c)
+	}
+	for _, n := range neighborNames {
+		names = append(names, "Neighbor_"+n)
+	}
+	names = append(names, "IsAggregation")
+	return names
+}
+
+var (
+	CellContentFeatures       = indexRange(0, 2)
+	CellLineProbFeatures      = indexRange(2, 4)
+	CellContextualFeatures    = indexRange(4, 4+4)
+	CellComputationalFeatures = []int{NumCellFeatures - 1}
+)
+
+func indexRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// CellFeatures fills the vector cursor-style, like the real extractor.
+func CellFeatures(probs []float64, inBounds bool) []float64 {
+	f := make([]float64, NumCellFeatures)
+	i := 0
+	f[i] = 1
+	i++
+	f[i] = 2
+	i++
+	copy(f[i:i+2], probs)
+	i += 2
+	for range neighborOffsets {
+		if !inBounds {
+			f[i] = -1
+		} else {
+			f[i] = 0.5
+		}
+		i++
+	}
+	f[i] = 1
+	return f
+}

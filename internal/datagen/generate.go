@@ -51,6 +51,7 @@ func GenerateDataset(name string, scale float64) (*Corpus, error) {
 	if !ok {
 		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
 	}
+	//lint:ignore floatcmp exact compare against the no-op scale 1.0, which is representable
 	if scale > 0 && scale != 1 {
 		p = p.Scale(scale)
 	}

@@ -127,6 +127,7 @@ func NormalizeImportance(imp [][]float64) [][]float64 {
 		for _, v := range row {
 			sum += v
 		}
+		//lint:ignore floatcmp sum of clamped non-negative importances; exact zero means the all-zero sentinel row
 		if sum == 0 {
 			continue
 		}

@@ -121,6 +121,7 @@ func Scalability(cfg Config) error {
 		f := generateOne(p)
 		raw := renderCSV(f)
 
+		//lint:ignore nondeterminism wall-clock duration is the measured quantity of the scalability experiment
 		start := time.Now()
 		d, err := dialect.Detect(raw)
 		if err != nil {

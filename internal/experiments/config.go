@@ -69,7 +69,9 @@ func (c *Config) fill() {
 }
 
 func (c *Config) printf(format string, args ...any) {
-	fmt.Fprintf(c.Out, format, args...)
+	// Report output is best-effort: a failing writer must not abort an
+	// experiment run, so the error is discarded deliberately.
+	_, _ = fmt.Fprintf(c.Out, format, args...)
 }
 
 // runner is an experiment entry point.

@@ -219,6 +219,7 @@ func normalize(v []float64) {
 	for _, x := range v {
 		s += x
 	}
+	//lint:ignore floatcmp sum of non-negative weights; exact zero is the nothing-to-normalize sentinel
 	if s == 0 {
 		return
 	}

@@ -243,6 +243,7 @@ func scanAgg(n int, opts DerivedOptions, fetch func(step int, vals []float64, pr
 // (it happens when only one line contributed so far).
 func distinct(agg, sum []float64) bool {
 	for k := range agg {
+		//lint:ignore floatcmp deliberate exact identity test: an aggregate equal to the running sum bit-for-bit carries no evidence
 		if agg[k] != sum[k] {
 			return true
 		}

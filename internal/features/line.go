@@ -175,6 +175,9 @@ func LineFeatures(t *table.Table, opts LineOptions) [][]float64 {
 // normalized by the all-non-empty ideal so the value lies in [0, 1]. Left
 // positions weigh more, modeling left-to-right layout (Section 4).
 func dcg(rowTypes []types.Type) float64 {
+	if len(rowTypes) == 0 {
+		return 0 // ideal would be zero only for a zero-width row
+	}
 	sum, ideal := 0.0, 0.0
 	for i, ty := range rowTypes {
 		gain := 1 / math.Log2(float64(i)+2)
@@ -182,9 +185,6 @@ func dcg(rowTypes []types.Type) float64 {
 		if ty != types.Empty {
 			sum += gain
 		}
-	}
-	if ideal == 0 {
-		return 0
 	}
 	return sum / ideal
 }

@@ -316,6 +316,7 @@ func FitWithOOB(X [][]float64, y []int, numClasses int, opts Options) (*Forest, 
 		for _, v := range votes[i] {
 			sum += v
 		}
+		//lint:ignore floatcmp votes hold small integral counts, exactly representable; zero means never out-of-bag
 		if sum == 0 {
 			continue // never out of bag
 		}

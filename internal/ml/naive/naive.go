@@ -48,6 +48,7 @@ func Fit(X [][]float64, y []int, numClasses int) (*Model, error) {
 		}
 	}
 	for c := 0; c < numClasses; c++ {
+		//lint:ignore floatcmp class counts are integral floats; exact zero means the class is absent
 		if counts[c] == 0 {
 			m.Priors[c] = math.Inf(-1)
 			continue
@@ -66,6 +67,7 @@ func Fit(X [][]float64, y []int, numClasses int) (*Model, error) {
 		}
 	}
 	for c := 0; c < numClasses; c++ {
+		//lint:ignore floatcmp class counts are integral floats; exact zero means the class is absent
 		if counts[c] == 0 {
 			continue
 		}

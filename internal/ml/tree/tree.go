@@ -134,6 +134,7 @@ func (b *builder) build(idx []int, depth int) int32 {
 	total := float64(len(idx))
 	pure := false
 	for _, c := range counts {
+		//lint:ignore floatcmp class counts are integral floats; equality with the total detects a pure node exactly
 		if c == total {
 			pure = true
 		}
@@ -200,6 +201,7 @@ func (b *builder) bestSplit(idx []int, counts []float64) (feature int, threshold
 		for i := 0; i < len(order)-1; i++ {
 			leftCounts[b.y[order[i]]]++
 			v, next := b.X[order[i]][f], b.X[order[i+1]][f]
+			//lint:ignore floatcmp deliberate exact compare: only a zero-width gap between sorted neighbors is skipped
 			if v == next {
 				continue
 			}
@@ -212,6 +214,7 @@ func (b *builder) bestSplit(idx []int, counts []float64) (feature int, threshold
 				bestGain = gain
 				feature = f
 				threshold = v + (next-v)/2
+				//lint:ignore floatcmp deliberate exact compare detecting midpoint rounding onto the right neighbor
 				if threshold == next { // midpoint rounding on tiny gaps
 					threshold = v
 				}
@@ -225,6 +228,7 @@ func (b *builder) bestSplit(idx []int, counts []float64) (feature int, threshold
 }
 
 func giniFromCounts(counts []float64, n float64) float64 {
+	//lint:ignore floatcmp sample counts are integral floats; exact zero guards the empty partition
 	if n == 0 {
 		return 0
 	}
@@ -241,6 +245,7 @@ func giniFromLeft(left []float64, n float64) float64 {
 }
 
 func giniFromComplement(total, left []float64, n float64) float64 {
+	//lint:ignore floatcmp sample counts are integral floats; exact zero guards the empty partition
 	if n == 0 {
 		return 0
 	}

@@ -1,41 +1,84 @@
 package types
 
-import "testing"
+import (
+	"math"
+	"strings"
+	"testing"
+)
 
 // FuzzInfer checks the type-inference invariants on arbitrary input: no
-// panics, numeric types always parseable, empty only for blank strings.
+// panics, results in range, emptiness exactly for blank strings, numeric
+// types always parseable, and agreement with the row-level helper.
 func FuzzInfer(f *testing.F) {
 	f.Add("42")
 	f.Add("1,234.5")
 	f.Add("(42%)")
 	f.Add("2019-03-26")
+	f.Add("26 March 2019")
+	f.Add("Q1 2019")
 	f.Add("-")
 	f.Add("  ")
 	f.Add("1e309")
-	f.Add("£")
+	f.Add("£-3,000†")
+	f.Add("NaN")
 	f.Fuzz(func(t *testing.T, v string) {
 		ty := Infer(v)
+		if ty >= NumTypes {
+			t.Fatalf("Infer(%q) = %d, outside the %d declared types", v, ty, NumTypes)
+		}
+		if (ty == Empty) != (strings.TrimSpace(v) == "") {
+			t.Fatalf("Infer(%q) = %v but blankness is %v", v, ty, strings.TrimSpace(v) == "")
+		}
 		if ty.IsNumeric() {
 			if _, ok := ParseNumber(v); !ok {
 				t.Fatalf("Infer(%q) = %v but ParseNumber failed", v, ty)
 			}
 		}
-		if ty == Empty {
-			for _, r := range v {
-				if r != ' ' && r != '\t' && r != '\n' && r != '\r' && r != '\v' && r != '\f' &&
-					r != 0x85 && r != 0xA0 && !isSpaceRune(r) {
-					t.Fatalf("Infer(%q) = Empty but value has content", v)
-				}
-			}
+		if _, ok := ParseNumber(v); ok && !ty.IsNumeric() {
+			t.Fatalf("ParseNumber accepts %q but Infer says %v", v, ty)
+		}
+		if ty == Date && !IsDate(strings.TrimSpace(v)) {
+			t.Fatalf("Infer(%q) = date but IsDate rejects it", v)
+		}
+		if got := RowTypes([]string{v})[0]; got != ty {
+			t.Fatalf("RowTypes disagrees with Infer on %q: %v vs %v", v, got, ty)
 		}
 	})
 }
 
-func isSpaceRune(r rune) bool {
-	switch r {
-	case 0x1680, 0x2000, 0x2001, 0x2002, 0x2003, 0x2004, 0x2005, 0x2006,
-		0x2007, 0x2008, 0x2009, 0x200A, 0x2028, 0x2029, 0x202F, 0x205F, 0x3000:
-		return true
-	}
-	return false
+// FuzzParseNumber checks that numeric parsing never panics, is
+// deterministic, rejects blanks, and honors the documented
+// accounting-negative rule.
+func FuzzParseNumber(f *testing.F) {
+	f.Add("0")
+	f.Add("-1.5e3")
+	f.Add("(123.4)")
+	f.Add("$ 1,000,000")
+	f.Add("99%")
+	f.Add("1,23")
+	f.Add("12,345")
+	f.Add("+0042*")
+	f.Add("€.5")
+	f.Add("  (  $1,000.25% ) ")
+	f.Fuzz(func(t *testing.T, v string) {
+		got, ok := ParseNumber(v)
+		again, ok2 := ParseNumber(v)
+		if ok != ok2 || (ok && got != again && !(math.IsNaN(got) && math.IsNaN(again))) {
+			t.Fatalf("ParseNumber(%q) not deterministic: (%v,%v) vs (%v,%v)", v, got, ok, again, ok2)
+		}
+		if !ok && got != 0 {
+			t.Fatalf("ParseNumber(%q) = (%v, false); rejected values must report 0", v, got)
+		}
+		if ok && strings.TrimSpace(v) == "" {
+			t.Fatalf("ParseNumber accepted blank input %q", v)
+		}
+		// Accounting negatives flip the sign of the inner value.
+		s := strings.TrimSpace(v)
+		if ok && !math.IsNaN(got) && len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+			inner, innerOK := ParseNumber(s[1 : len(s)-1])
+			if innerOK && got != -inner {
+				t.Fatalf("accounting negative %q = %v, want -(%v)", v, got, inner)
+			}
+		}
+	})
 }
