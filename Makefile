@@ -36,6 +36,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSplit$$' -fuzztime $(FUZZTIME) ./internal/dialect
 	$(GO) test -run '^$$' -fuzz '^FuzzInfer$$' -fuzztime $(FUZZTIME) ./internal/types
 	$(GO) test -run '^$$' -fuzz '^FuzzParseNumber$$' -fuzztime $(FUZZTIME) ./internal/types
+	$(GO) test -run '^$$' -fuzz '^FuzzIngest$$' -fuzztime $(FUZZTIME) ./internal/ingest
+	$(GO) test -run '^$$' -fuzz '^FuzzTableParse$$' -fuzztime $(FUZZTIME) .
 
 bench:
 	$(GO) test -bench 'BenchmarkAnnotate' -benchmem -run '^$$' .

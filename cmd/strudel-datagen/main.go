@@ -20,6 +20,7 @@ import (
 
 	"strudel/internal/corpusio"
 	"strudel/internal/datagen"
+	"strudel/internal/ingest"
 )
 
 func main() {
@@ -67,14 +68,16 @@ func main() {
 	}
 }
 
-// generateCustom loads a JSON profile and writes its corpus.
+// generateCustom loads a JSON profile and writes its corpus. The profile
+// passes through the hardened ingestion layer, so a BOM or an exotic
+// encoding on a hand-written JSON file is repaired rather than fatal.
 func generateCustom(path, out string, scale float64, seed int64) error {
-	raw, err := os.ReadFile(path)
+	res, err := ingest.ReadFile(path, ingest.Options{})
 	if err != nil {
 		return err
 	}
 	var p datagen.Profile
-	if err := json.Unmarshal(raw, &p); err != nil {
+	if err := json.Unmarshal([]byte(res.Text), &p); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if p.Name == "" {

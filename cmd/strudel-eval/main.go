@@ -22,6 +22,7 @@ func main() {
 		dir       = flag.String("dir", "", "annotated corpus directory")
 		cells     = flag.Bool("cells", true, "also score the cell task")
 		workers   = flag.Int("workers", 0, "files annotated concurrently (0 = all CPUs)")
+		timeout   = flag.Duration("timeout", 0, "per-file annotation deadline, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -49,11 +50,19 @@ func main() {
 
 	// Annotate the whole corpus through the batch pipeline (line and cell
 	// predictions share one artifact per file), then score sequentially.
-	anns := model.AnnotateAll(files, strudel.BatchOptions{Parallelism: *workers})
+	// Per-file failures (timeouts, recovered panics) are excluded from the
+	// score with a warning instead of crashing the evaluation.
+	anns := model.AnnotateAll(files, strudel.BatchOptions{Parallelism: *workers, FileTimeout: *timeout})
 
+	skipped := 0
 	var lineStats, cellStats stats
 	for i, f := range files {
 		ann := anns[i]
+		if ann.Err != nil {
+			fmt.Fprintf(os.Stderr, "strudel-eval: warning: %v (excluded from scores)\n", ann.Err)
+			skipped++
+			continue
+		}
 		for r := 0; r < f.Height(); r++ {
 			lineStats.add(ann.Lines[r], f.LineClasses[r])
 		}
@@ -68,7 +77,11 @@ func main() {
 		}
 	}
 
-	fmt.Printf("evaluated %d files from %s\n\n", len(files), *dir)
+	fmt.Printf("evaluated %d files from %s", len(files)-skipped, *dir)
+	if skipped > 0 {
+		fmt.Printf(" (%d skipped)", skipped)
+	}
+	fmt.Print("\n\n")
 	fmt.Println("line task:")
 	lineStats.print()
 	if *cells {

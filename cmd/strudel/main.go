@@ -10,6 +10,13 @@
 // order. Without -model, a small model is trained on the synthetic
 // GovUK+SAUS corpora at startup (slower, but zero-setup).
 //
+// Every input passes through the hardened ingestion layer: encodings are
+// sniffed and repaired, NULs stripped, line endings normalized, and
+// resource guards applied. A file that cannot be ingested is reported to
+// stderr and skipped — it never aborts the rest of the batch — and the
+// exit status becomes 1. Repaired files are annotated anyway, with the
+// repairs listed as "degraded" notes.
+//
 // Flags:
 //
 //	-model path    load a model saved by strudel-train
@@ -18,13 +25,15 @@
 //	-json          machine-readable output
 //	-dialect d     force a delimiter instead of detecting (e.g. ';' or 'tab')
 //	-workers n     files annotated concurrently (0 = all CPUs)
+//	-max-bytes n   reject files larger than n bytes (0 = 64MiB default)
+//	-timeout d     per-file annotation deadline, e.g. 30s (0 = none)
+//	-strict        reject damaged files instead of repairing them
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +50,9 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit JSON")
 		delimFlag = flag.String("dialect", "", "force delimiter: ',', ';', '|', 'tab', ...")
 		workers   = flag.Int("workers", 0, "files annotated concurrently (0 = all CPUs)")
+		maxBytes  = flag.Int64("max-bytes", 0, "reject files larger than this many bytes (0 = 64MiB default)")
+		timeout   = flag.Duration("timeout", 0, "per-file annotation deadline, e.g. 30s (0 = none)")
+		strict    = flag.Bool("strict", false, "reject damaged files instead of repairing them")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -58,20 +70,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tables := make([]*strudel.Table, len(paths))
-	dialects := make([]strudel.Dialect, len(paths))
-	for i, path := range paths {
-		tables[i], dialects[i], err = loadInput(path, *delimFlag)
+
+	opts := strudel.LoadOptions{Ingest: strudel.IngestOptions{MaxBytes: *maxBytes, Strict: *strict}}
+	if *delimFlag != "" {
+		d := strudel.DefaultDialect
+		d.Delimiter = parseDelim(*delimFlag)
+		opts.ForceDialect = &d
+	}
+
+	// Per-file ingestion failures are reported and skipped; one hostile file
+	// must not abort the batch.
+	failed := false
+	var tables []*strudel.Table
+	var dialects []strudel.Dialect
+	var kept []string
+	for _, path := range paths {
+		tbl, d, err := loadInput(path, opts)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "strudel: %s: skipped: %v\n", path, err)
+			failed = true
+			continue
+		}
+		tables = append(tables, tbl)
+		dialects = append(dialects, d)
+		kept = append(kept, path)
+	}
+
+	anns := model.AnnotateAll(tables, strudel.BatchOptions{Parallelism: *workers, FileTimeout: *timeout})
+	for i := range kept {
+		if anns[i].Err != nil {
+			fmt.Fprintf(os.Stderr, "strudel: %v\n", anns[i].Err)
+			failed = true
+			continue
+		}
+		if err := printFile(kept[i], dialects[i], tables[i], anns[i], *showCells, *extract, *asJSON); err != nil {
 			fatal(err)
 		}
 	}
-
-	anns := model.AnnotateAll(tables, strudel.BatchOptions{Parallelism: *workers})
-	for i := range paths {
-		if err := printFile(paths[i], dialects[i], tables[i], anns[i], *showCells, *extract, *asJSON); err != nil {
-			fatal(err)
-		}
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -114,35 +151,18 @@ func expandInputs(args []string) ([]string, error) {
 	return out, nil
 }
 
-// loadInput parses one input path ("-" = stdin) into a table, honoring a
-// forced delimiter.
-func loadInput(path, delimFlag string) (*strudel.Table, strudel.Dialect, error) {
-	switch {
-	case delimFlag != "":
-		raw, err := readInput(path)
+// loadInput parses one input path ("-" = stdin) through the hardened
+// ingestion layer.
+func loadInput(path string, opts strudel.LoadOptions) (*strudel.Table, strudel.Dialect, error) {
+	if path == "-" {
+		tbl, d, err := strudel.LoadReader(os.Stdin, opts)
 		if err != nil {
 			return nil, strudel.Dialect{}, err
 		}
-		d := strudel.DefaultDialect
-		d.Delimiter = parseDelim(delimFlag)
-		tbl := strudel.Parse(raw, d)
-		tbl.Name = path
-		return tbl, d, nil
-	case path == "-":
-		raw, err := readInput(path)
-		if err != nil {
-			return nil, strudel.Dialect{}, err
-		}
-		d, err := strudel.DetectDialect(raw)
-		if err != nil {
-			return nil, strudel.Dialect{}, err
-		}
-		tbl := strudel.Parse(raw, d)
 		tbl.Name = "stdin"
 		return tbl, d, nil
-	default:
-		return strudel.LoadFile(path)
 	}
+	return strudel.LoadFileOptions(path, opts)
 }
 
 func printFile(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.Annotation, showCells, extract, asJSON bool) error {
@@ -150,6 +170,9 @@ func printFile(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.
 		return printJSON(path, d, ann, showCells)
 	}
 	fmt.Printf("# %s (%s, %dx%d)\n", path, d, tbl.Height(), tbl.Width())
+	if len(ann.Degraded) > 0 {
+		fmt.Printf("# degraded: %s\n", strings.Join(ann.Degraded, ", "))
+	}
 	for r := 0; r < tbl.Height(); r++ {
 		line := strings.Join(tbl.Row(r), "|")
 		if len(line) > 70 {
@@ -177,11 +200,13 @@ func printFile(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.
 
 func printJSON(path string, d strudel.Dialect, ann *strudel.Annotation, showCells bool) error {
 	out := struct {
-		File    string     `json:"file"`
-		Dialect string     `json:"dialect"`
-		Lines   []string   `json:"lines"`
-		Cells   [][]string `json:"cells,omitempty"`
-	}{File: path, Dialect: d.String()}
+		File       string              `json:"file"`
+		Dialect    string              `json:"dialect"`
+		Degraded   []string            `json:"degraded,omitempty"`
+		Provenance *strudel.Provenance `json:"provenance,omitempty"`
+		Lines      []string            `json:"lines"`
+		Cells      [][]string          `json:"cells,omitempty"`
+	}{File: path, Dialect: d.String(), Degraded: ann.Degraded, Provenance: ann.Provenance}
 	for _, c := range ann.Lines {
 		out.Lines = append(out.Lines, c.String())
 	}
@@ -197,16 +222,6 @@ func printJSON(path string, d strudel.Dialect, ann *strudel.Annotation, showCell
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
-}
-
-// readInput reads a file, or standard input when path is "-".
-func readInput(path string) (string, error) {
-	if path == "-" {
-		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
 }
 
 func parseDelim(s string) rune {

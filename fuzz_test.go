@@ -1,0 +1,65 @@
+package strudel
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzTableParse drives arbitrary bytes through the hardened front door
+// (LoadBytes: ingest → dialect detection → guarded split → crop) and
+// asserts the structural contract every downstream stage relies on: a
+// loaded table is rectangular, its dimensions are non-negative, and
+// failures are typed — never panics.
+func FuzzTableParse(f *testing.F) {
+	f.Add([]byte(sampleCSV))
+	f.Add([]byte("a;b;c\n1;2;3\n"))
+	f.Add([]byte("x\ty\n1\t2\n"))
+	f.Add([]byte("\"unclosed,\n1,2\n"))
+	f.Add([]byte("a,b,c\n1\n2,3\n4,5,6,7\n"))
+	f.Add([]byte("\xEF\xBB\xBFk,v\n1,2\n"))
+	f.Add([]byte{0xFF, 0xFE, 'a', 0, ',', 0, 'b', 0})
+	f.Add([]byte("r\xe9gion;caf\xe9\n1;2\n"))
+	f.Add([]byte(",,,\n,,,\n"))
+	f.Add([]byte("\n\n\n"))
+
+	taxonomy := []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput,
+		ErrLineTooLong, ErrTooManyLines, ErrTooManyCells}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts := LoadOptions{Ingest: IngestOptions{
+			MaxBytes: 1 << 20, MaxLineBytes: 1 << 12, MaxLines: 1 << 10, MaxCellsPerLine: 1 << 8,
+		}}
+		tbl, _, err := LoadBytes(data, opts)
+		if err != nil {
+			for _, sentinel := range taxonomy {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("untyped error: %v", err)
+		}
+		h, w := tbl.Height(), tbl.Width()
+		if h < 0 || w < 0 {
+			t.Fatalf("negative dimensions %dx%d", h, w)
+		}
+		if h > 0 && w > 1<<8 {
+			t.Fatalf("width %d exceeds the %d cells-per-line guard", w, 1<<8)
+		}
+		for r := 0; r < h; r++ {
+			if got := len(tbl.Row(r)); got != w {
+				t.Fatalf("row %d has %d cells in a width-%d table", r, got, w)
+			}
+			for c := 0; c < w; c++ {
+				_ = tbl.Cell(r, c) // must not panic anywhere in range
+			}
+		}
+		// Cropping an already-cropped table must be a no-op on shape.
+		again := tbl.Crop()
+		if again.Height() != h || again.Width() != w {
+			t.Fatalf("Crop is not idempotent: %dx%d -> %dx%d", h, w, again.Height(), again.Width())
+		}
+		if tbl.Provenance == nil {
+			t.Fatal("loaded table has no provenance")
+		}
+	})
+}

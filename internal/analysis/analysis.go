@@ -40,6 +40,7 @@ var All = []*Analyzer{
 	Nondeterminism,
 	FloatCmp,
 	ErrCheck,
+	PanicPath,
 	FeatureParity,
 }
 

@@ -103,6 +103,14 @@ func TestErrCheckScopedToInternalAndCmd(t *testing.T) {
 	checkFixture(t, "fixture/errcheckout", []*Analyzer{ErrCheck})
 }
 
+func TestPanicPathFixture(t *testing.T) {
+	checkFixture(t, "fixture/panicpath", []*Analyzer{PanicPath})
+}
+
+func TestPanicPathExemptsMainPackages(t *testing.T) {
+	checkFixture(t, "fixture/panicpathmain", []*Analyzer{PanicPath})
+}
+
 func TestFeatureParityCleanFixture(t *testing.T) {
 	checkFixture(t, "fixture/paritygood", []*Analyzer{FeatureParity})
 }

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicPath enforces the ingestion-hardening contract: library code must
+// never panic on input it did not construct itself, because one poisoned
+// file would take down a whole AnnotateAll batch (the recover barrier is a
+// backstop, not a license). Binaries (package main) are exempt — their
+// panics terminate only themselves. A panic guarding a genuine internal
+// invariant may stay, suppressed with
+//
+//	//lint:ignore panicpath <why the value can never come from file input>
+var PanicPath = &Analyzer{
+	Name: "panicpath",
+	Doc: "flags panic calls in library (non-main) packages; return a typed " +
+		"error instead, or lint:ignore with an invariant argument",
+	Run: runPanicPath,
+}
+
+func runPanicPath(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic in library code escapes to every caller; return a typed error (or lint:ignore with the invariant that makes this unreachable)")
+			}
+			return true
+		})
+	}
+}

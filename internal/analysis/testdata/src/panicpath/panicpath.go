@@ -1,0 +1,41 @@
+// Package panicpath is a fixture: library code with bare panics, an
+// excused panic, and panic-free error returns.
+package panicpath
+
+import "errors"
+
+// Bad panics on input it did not construct.
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative") // want panicpath
+	}
+	return n
+}
+
+// BadValue panics with a non-string value.
+func BadValue(err error) {
+	panic(err) // want panicpath
+}
+
+// Excused carries an invariant argument and is suppressed.
+func Excused(i int) int {
+	if i >= 8 {
+		//lint:ignore panicpath index is produced by a modulo above, never from input
+		panic("impossible")
+	}
+	return i
+}
+
+// Good returns a typed error instead.
+func Good(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// shadowed is a local function named panic-like; only the builtin counts.
+func shadowed() {
+	recoverIsh := func() {}
+	recoverIsh()
+}

@@ -9,6 +9,7 @@
 package corpusio
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,11 +17,44 @@ import (
 	"strings"
 
 	"strudel/internal/dialect"
+	"strudel/internal/ingest"
 	"strudel/internal/table"
 )
 
 // LabelExt is the sidecar annotation extension.
 const LabelExt = ".labels"
+
+// ErrLabelMismatch is the sentinel every label/CSV disagreement wraps;
+// dispatch with errors.Is, inspect counts with errors.As on
+// *MismatchError.
+var ErrLabelMismatch = errors.New("corpusio: labels disagree with CSV")
+
+// A MismatchError reports a label-sidecar whose shape disagrees with its
+// CSV: the wrong number of label lines for the table height, or the wrong
+// number of cell labels for the table width. Carrying both counts makes
+// the misalignment diagnosable instead of silently shifting training
+// labels onto the wrong rows.
+type MismatchError struct {
+	// Path is the CSV file the sidecar belongs to.
+	Path string
+	// Dim is "lines" for a row-count disagreement, "cells" for a
+	// per-row width disagreement.
+	Dim string
+	// Row is the 1-based row of a cell mismatch (0 for line mismatches).
+	Row int
+	// Table and Labels are the respective counts that disagree.
+	Table, Labels int
+}
+
+func (e *MismatchError) Error() string {
+	if e.Dim == "lines" {
+		return fmt.Sprintf("corpusio: %s: %d label lines for %d table lines", e.Path, e.Labels, e.Table)
+	}
+	return fmt.Sprintf("corpusio: %s line %d: %d cell labels for width %d", e.Path, e.Row, e.Labels, e.Table)
+}
+
+// Unwrap ties every MismatchError to the ErrLabelMismatch sentinel.
+func (e *MismatchError) Unwrap() error { return ErrLabelMismatch }
 
 // WriteTable writes t as CSV plus its sidecar annotations (when present)
 // into dir, using t.Name's base name.
@@ -69,13 +103,19 @@ func WriteCorpus(dir string, files []*table.Table) error {
 }
 
 // ReadTable loads one CSV file and, if present, its sidecar annotations.
+// The CSV bytes pass through the hardened ingest layer (encoding repair,
+// NUL stripping, resource guards), and the sidecar's shape is validated
+// against the parsed table before any label is applied: a disagreement is
+// a *MismatchError wrapping ErrLabelMismatch, never a silently shifted
+// training label.
 func ReadTable(csvPath string) (*table.Table, error) {
-	raw, err := os.ReadFile(csvPath)
+	res, err := ingest.ReadFile(csvPath, ingest.Options{})
 	if err != nil {
 		return nil, err
 	}
-	t := table.FromRows(dialect.Split(string(raw), dialect.Default))
+	t := table.FromRows(dialect.Split(res.Text, dialect.Default))
 	t.Name = filepath.Base(csvPath)
+	t.Provenance = res.Provenance.Clone()
 
 	labRaw, err := os.ReadFile(csvPath + LabelExt)
 	if os.IsNotExist(err) {
@@ -84,10 +124,17 @@ func ReadTable(csvPath string) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	lines := strings.Split(strings.TrimRight(string(labRaw), "\n"), "\n")
+	// Normalize the sidecar's line endings the same way the CSV's were, so
+	// a CRLF-saved corpus cannot desynchronize from its labels.
+	labText := strings.ReplaceAll(string(labRaw), "\r\n", "\n")
+	labText = strings.ReplaceAll(labText, "\r", "\n")
+	labText = strings.TrimRight(labText, "\n")
+	var lines []string
+	if labText != "" {
+		lines = strings.Split(labText, "\n")
+	}
 	if len(lines) != t.Height() {
-		return nil, fmt.Errorf("corpusio: %s: %d label lines for %d table lines",
-			csvPath, len(lines), t.Height())
+		return nil, &MismatchError{Path: csvPath, Dim: "lines", Table: t.Height(), Labels: len(lines)}
 	}
 	t.EnsureAnnotations()
 	for r, line := range lines {
@@ -102,8 +149,7 @@ func ReadTable(csvPath string) (*table.Table, error) {
 		t.LineClasses[r] = cl
 		cells := strings.Split(cellPart, ",")
 		if len(cells) != t.Width() {
-			return nil, fmt.Errorf("corpusio: %s line %d: %d cell labels for width %d",
-				csvPath, r+1, len(cells), t.Width())
+			return nil, &MismatchError{Path: csvPath, Dim: "cells", Row: r + 1, Table: t.Width(), Labels: len(cells)}
 		}
 		for c, name := range cells {
 			ccl, err := table.ParseClass(name)

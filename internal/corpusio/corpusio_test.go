@@ -1,8 +1,10 @@
 package corpusio
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"strudel/internal/datagen"
@@ -78,6 +80,60 @@ func TestReadTableBadLabels(t *testing.T) {
 	os.WriteFile(path+LabelExt, []byte("data no-tab\n"), 0o644)
 	if _, err := ReadTable(path); err == nil {
 		t.Error("missing tab should error")
+	}
+}
+
+func TestMismatchErrorCarriesBothCounts(t *testing.T) {
+	dir := t.TempDir()
+
+	// One data line, two label lines: a line-count mismatch.
+	path := filepath.Join(dir, "lines.csv")
+	os.WriteFile(path, []byte("a,b\n"), 0o644)
+	os.WriteFile(path+LabelExt, []byte("data\tdata,data\nnotes\tdata,data\n"), 0o644)
+	_, err := ReadTable(path)
+	if !errors.Is(err, ErrLabelMismatch) {
+		t.Fatalf("err = %v, want ErrLabelMismatch", err)
+	}
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MismatchError", err)
+	}
+	if me.Dim != "lines" || me.Table != 1 || me.Labels != 2 {
+		t.Errorf("MismatchError = %+v, want lines 1 vs 2", me)
+	}
+	for _, want := range []string{"1", "2", "lines"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("message %q missing %q", err.Error(), want)
+		}
+	}
+
+	// Two cells per row, three cell labels: a cell-count mismatch.
+	path = filepath.Join(dir, "cells.csv")
+	os.WriteFile(path, []byte("a,b\n"), 0o644)
+	os.WriteFile(path+LabelExt, []byte("data\tdata,data,data\n"), 0o644)
+	_, err = ReadTable(path)
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MismatchError", err)
+	}
+	if me.Dim != "cells" || me.Row != 1 || me.Table != 2 || me.Labels != 3 {
+		t.Errorf("MismatchError = %+v, want cells row 1, 2 vs 3", me)
+	}
+}
+
+func TestReadTableCRLFSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crlf.csv")
+	os.WriteFile(path, []byte("a,b\r\n1,2\r\n"), 0o644)
+	os.WriteFile(path+LabelExt, []byte("header\theader,header\r\ndata\tdata,data\r\n"), 0o644)
+	tb, err := ReadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Annotated() {
+		t.Error("CRLF sidecar should still annotate")
+	}
+	if tb.Provenance == nil || tb.Provenance.LineEndingsNormalized == 0 {
+		t.Error("CSV line-ending repair not recorded in provenance")
 	}
 }
 

@@ -71,26 +71,66 @@ var candidateDelimiters = []rune{',', ';', '\t', '|', ':', ' ', '#', '~', '^'}
 // candidateQuotes are the quote characters enumerated during detection.
 var candidateQuotes = []rune{'"', '\'', 0}
 
+// Detection is the outcome of dialect detection: the winning dialect plus
+// the evidence behind it, so callers can apply a confidence floor instead
+// of trusting a garbage winner.
+type Detection struct {
+	// Dialect is the highest-scoring candidate.
+	Dialect Dialect
+	// Score is the winner's consistency score Q(d) in [0, 1].
+	Score float64
+	// Margin is the winner's lead over the best other delimiter (0 when
+	// only one candidate was enumerable).
+	Margin float64
+}
+
 // Detect parses the text under every candidate dialect and returns the one
 // with the highest consistency score. It returns an error for empty input.
 func Detect(text string) (Dialect, error) {
+	det, err := DetectBest(text)
+	return det.Dialect, err
+}
+
+// DetectBest is Detect with the winner's score and margin attached. The
+// margin compares against the best candidate using a different delimiter,
+// since quote-only variants of the winner are near-duplicates.
+func DetectBest(text string) (Detection, error) {
 	if strings.TrimSpace(text) == "" {
-		return Dialect{}, errors.New("dialect: empty input")
+		return Detection{}, errors.New("dialect: empty input")
 	}
 	best, bestScore := Default, math.Inf(-1)
+	// Best score per delimiter, for the margin computation.
+	perDelim := make([]float64, 0, len(candidateDelimiters))
 	for _, delim := range candidateDelimiters {
 		if !strings.ContainsRune(text, delim) && delim != ',' {
 			continue // a delimiter that never occurs cannot win
 		}
+		delimBest := math.Inf(-1)
 		for _, quote := range candidateQuotes {
 			d := Dialect{Delimiter: delim, Quote: quote}
 			score := ConsistencyScore(text, d)
+			if score > delimBest {
+				delimBest = score
+			}
 			if score > bestScore {
 				best, bestScore = d, score
 			}
 		}
+		perDelim = append(perDelim, delimBest)
 	}
-	return best, nil
+	margin := 0.0
+	if len(perDelim) > 1 {
+		runnerUp := math.Inf(-1)
+		for _, s := range perDelim {
+			if s < bestScore && s > runnerUp {
+				runnerUp = s
+			}
+		}
+		if !math.IsInf(runnerUp, -1) {
+			margin = bestScore - runnerUp
+		}
+	}
+	return Detection{Dialect: best, Score: bestScore, Margin: margin}, nil
 }
 
 // ConsistencyScore computes the data-consistency measure Q(d) = P(d) * T(d)
@@ -186,14 +226,26 @@ func looksClean(v string) bool {
 // A leading UTF-8 byte-order mark is dropped, as spreadsheet exports often
 // carry one.
 func Split(text string, d Dialect) [][]string {
+	rows, _ := SplitLimit(text, d, 0)
+	return rows
+}
+
+// SplitLimit is Split with a resource guard: rows are capped at maxCells
+// cells (0 = unlimited); the content of cells beyond the cap is discarded
+// and counted in dropped. It exists so an adversarial single-line file
+// cannot allocate an unbounded cell slice.
+func SplitLimit(text string, d Dialect, maxCells int) (rows [][]string, dropped int) {
 	text = strings.TrimPrefix(text, "\ufeff")
-	var rows [][]string
 	var row []string
 	var cell strings.Builder
 	inQuotes := false
 
 	flushCell := func() {
-		row = append(row, cell.String())
+		if maxCells > 0 && len(row) >= maxCells {
+			dropped++
+		} else {
+			row = append(row, cell.String())
+		}
 		cell.Reset()
 	}
 	flushRow := func() {
@@ -236,7 +288,7 @@ func Split(text string, d Dialect) [][]string {
 	if cell.Len() > 0 || len(row) > 0 {
 		flushRow()
 	}
-	return rows
+	return rows, dropped
 }
 
 // Join renders rows back to text under dialect d, quoting cells that contain

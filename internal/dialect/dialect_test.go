@@ -183,6 +183,48 @@ func TestConsistencyScoreOrdering(t *testing.T) {
 	}
 }
 
+func TestDetectBestScoresAndMargin(t *testing.T) {
+	det, err := DetectBest("a,b,c\n1,2,3\n4,5,6\n7,8,9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Dialect.Delimiter != ',' {
+		t.Errorf("delimiter = %q, want ','", det.Dialect.Delimiter)
+	}
+	if det.Score <= 0 || det.Score > 1 {
+		t.Errorf("score = %v, want in (0, 1]", det.Score)
+	}
+	if det.Margin < 0 || det.Margin > det.Score {
+		t.Errorf("margin = %v with score %v, want 0 ≤ margin ≤ score", det.Margin, det.Score)
+	}
+	// Detect must stay a thin wrapper over DetectBest.
+	d, err := Detect("a,b,c\n1,2,3\n4,5,6\n7,8,9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != det.Dialect {
+		t.Errorf("Detect = %v, DetectBest = %v", d, det.Dialect)
+	}
+}
+
+func TestSplitLimitDropsExcessCells(t *testing.T) {
+	rows, dropped := SplitLimit("a,b,c,d,e\n1,2\n", Default, 3)
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+	if len(rows[0]) != 3 || rows[0][2] != "c" {
+		t.Errorf("row 0 = %v, want first 3 cells kept", rows[0])
+	}
+	if len(rows[1]) != 2 {
+		t.Errorf("row 1 = %v, want untouched", rows[1])
+	}
+	// Zero means unlimited and must match plain Split.
+	unlimited, dropped := SplitLimit("a,b,c,d,e\n", Default, 0)
+	if dropped != 0 || len(unlimited[0]) != 5 {
+		t.Errorf("unlimited: rows=%v dropped=%d", unlimited, dropped)
+	}
+}
+
 func TestReadAll(t *testing.T) {
 	rows, err := ReadAll(strings.NewReader("x,y\n1,2\n"), Default)
 	if err != nil {

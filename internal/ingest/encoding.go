@@ -1,0 +1,177 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// decode sniffs the encoding of raw bytes and converts them to UTF-8.
+//
+// The decision ladder, mirroring what spreadsheet exports actually produce:
+//
+//  1. UTF-32 or UTF-16 byte-order mark → decode that encoding.
+//  2. UTF-8 BOM → strip it, require valid UTF-8 after it.
+//  3. No BOM, but a strong alternating-zero-byte pattern → BOM-less UTF-16
+//     (the classic "saved from Windows" CSV).
+//  4. Valid UTF-8 → pass through.
+//  5. Anything else → latin-1 fallback: every byte maps to the code point
+//     of the same value, so no input is ever undecodable — at worst it is
+//     mislabeled, which Provenance records.
+//
+// Under Options.Strict, any path other than clean UTF-8 (with or without
+// BOM) returns ErrBadEncoding instead of repairing.
+func decode(data []byte, opts Options, prov *Provenance) (string, error) {
+	switch {
+	case hasPrefix(data, bomUTF32LE):
+		prov.Encoding, prov.BOM = "utf-32le", true
+		return decodeUTF32(data[4:], binary.LittleEndian, opts, prov)
+	case hasPrefix(data, bomUTF32BE):
+		prov.Encoding, prov.BOM = "utf-32be", true
+		return decodeUTF32(data[4:], binary.BigEndian, opts, prov)
+	case hasPrefix(data, bomUTF16LE):
+		prov.Encoding, prov.BOM = "utf-16le", true
+		return decodeUTF16(data[2:], binary.LittleEndian, opts, prov)
+	case hasPrefix(data, bomUTF16BE):
+		prov.Encoding, prov.BOM = "utf-16be", true
+		return decodeUTF16(data[2:], binary.BigEndian, opts, prov)
+	case hasPrefix(data, bomUTF8):
+		prov.Encoding, prov.BOM = "utf-8", true
+		data = data[3:]
+	}
+
+	if !prov.BOM {
+		if order, ok := sniffBOMlessUTF16(data); ok {
+			prov.Encoding = "utf-16" + orderName(order)
+			if opts.Strict {
+				return "", fmt.Errorf("%w: BOM-less UTF-16 (%s)", ErrBadEncoding, prov.Encoding)
+			}
+			prov.Trip(GuardUTF16NoBOM)
+			return decodeUTF16(data, order, opts, prov)
+		}
+	}
+
+	if utf8.Valid(data) {
+		if prov.Encoding == "" {
+			prov.Encoding = "utf-8"
+		}
+		return string(data), nil
+	}
+
+	// Invalid UTF-8 (with or without a UTF-8 BOM): latin-1 fallback.
+	prov.Encoding = "latin-1"
+	if opts.Strict {
+		return "", fmt.Errorf("%w: invalid UTF-8", ErrBadEncoding)
+	}
+	prov.Trip(GuardLatin1Fallback)
+	runes := make([]rune, len(data))
+	for i, b := range data {
+		runes[i] = rune(b)
+	}
+	return string(runes), nil
+}
+
+var (
+	bomUTF8    = []byte{0xEF, 0xBB, 0xBF}
+	bomUTF16LE = []byte{0xFF, 0xFE}
+	bomUTF16BE = []byte{0xFE, 0xFF}
+	// The UTF-32 BOMs must be checked before UTF-16LE: FF FE 00 00 starts
+	// with the UTF-16LE mark.
+	bomUTF32LE = []byte{0xFF, 0xFE, 0x00, 0x00}
+	bomUTF32BE = []byte{0x00, 0x00, 0xFE, 0xFF}
+)
+
+func hasPrefix(data, prefix []byte) bool {
+	if len(data) < len(prefix) {
+		return false
+	}
+	for i, b := range prefix {
+		if data[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+func orderName(order binary.ByteOrder) string {
+	if order == binary.ByteOrder(binary.BigEndian) {
+		return "be"
+	}
+	return "le"
+}
+
+// decodeUTF16 converts UTF-16 payload bytes (BOM already consumed). A
+// trailing odd byte — the truncated-download case — is dropped and recorded.
+func decodeUTF16(data []byte, order binary.ByteOrder, opts Options, prov *Provenance) (string, error) {
+	if len(data)%2 != 0 {
+		if opts.Strict {
+			return "", fmt.Errorf("%w: truncated UTF-16 (odd byte count %d)", ErrBadEncoding, len(data))
+		}
+		prov.Trip(GuardTruncatedUnit)
+		data = data[:len(data)-1]
+	}
+	units := make([]uint16, len(data)/2)
+	for i := range units {
+		units[i] = order.Uint16(data[2*i:])
+	}
+	return string(utf16.Decode(units)), nil
+}
+
+// decodeUTF32 converts UTF-32 payload bytes (BOM already consumed).
+// Trailing partial code units and out-of-range values become replacement
+// characters or are dropped, and are recorded.
+func decodeUTF32(data []byte, order binary.ByteOrder, opts Options, prov *Provenance) (string, error) {
+	if rem := len(data) % 4; rem != 0 {
+		if opts.Strict {
+			return "", fmt.Errorf("%w: truncated UTF-32 (%d trailing bytes)", ErrBadEncoding, rem)
+		}
+		prov.Trip(GuardTruncatedUnit)
+		data = data[:len(data)-rem]
+	}
+	runes := make([]rune, 0, len(data)/4)
+	for i := 0; i+4 <= len(data); i += 4 {
+		r := rune(order.Uint32(data[i:]))
+		if !utf8.ValidRune(r) {
+			r = utf8.RuneError
+		}
+		runes = append(runes, r)
+	}
+	return string(runes), nil
+}
+
+// sniffBOMlessUTF16 detects UTF-16 text saved without a byte-order mark by
+// the alternating-zero-byte signature ASCII-heavy text leaves: in UTF-16LE
+// the odd-indexed bytes are almost all zero, in UTF-16BE the even-indexed
+// ones. It requires a strong one-sided pattern over a meaningful sample so
+// genuine binary data (zeros everywhere) does not match.
+func sniffBOMlessUTF16(data []byte) (binary.ByteOrder, bool) {
+	const sample = 4096
+	n := len(data)
+	if n > sample {
+		n = sample
+	}
+	if n < 16 {
+		return nil, false
+	}
+	zeroEven, zeroOdd := 0, 0
+	for i := 0; i < n; i++ {
+		if data[i] == 0 {
+			if i%2 == 0 {
+				zeroEven++
+			} else {
+				zeroOdd++
+			}
+		}
+	}
+	pairs := n / 2
+	// One side ≥60% zero, the other ≤5%: unambiguous UTF-16 of mostly
+	// single-byte characters.
+	switch {
+	case zeroOdd*10 >= pairs*6 && zeroEven*20 <= pairs:
+		return binary.LittleEndian, true
+	case zeroEven*10 >= pairs*6 && zeroOdd*20 <= pairs:
+		return binary.BigEndian, true
+	}
+	return nil, false
+}

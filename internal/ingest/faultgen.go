@@ -1,0 +1,161 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"unicode/utf16"
+)
+
+// HostileFile is one synthetic adversarial input from the fault-injection
+// generator: a named byte blob plus the failure mode it exercises.
+type HostileFile struct {
+	// Name is a stable identifier usable as a file name.
+	Name string
+	// Data is the raw bytes as they would arrive on disk.
+	Data []byte
+	// Desc explains which ingestion hazard the file reproduces.
+	Desc string
+}
+
+// FaultOptions sizes the generated corpus.
+type FaultOptions struct {
+	// Seed drives the deterministic generator; the same seed always yields
+	// byte-identical files.
+	Seed int64
+	// LongLineBytes is the length of the single-line stress file
+	// (0 = 10 MiB, the size documented in the crash-corpus requirement).
+	LongLineBytes int
+	// ManyLines is the line count of the line-flood file (0 = 200_000).
+	ManyLines int
+	// ManyCells is the cell count of the wide-row file (0 = 100_000).
+	ManyCells int
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.LongLineBytes == 0 {
+		o.LongLineBytes = 10 << 20
+	}
+	if o.ManyLines == 0 {
+		o.ManyLines = 200_000
+	}
+	if o.ManyCells == 0 {
+		o.ManyCells = 100_000
+	}
+	return o
+}
+
+// GenerateHostile builds the fault-injection corpus: one file per hazard
+// class documented for verbose CSV ingestion (mixed encodings, stray NULs,
+// ragged quoting, megabyte lines, binary masquerade). Output is fully
+// deterministic in the options, so tests over it are reproducible.
+func GenerateHostile(opts FaultOptions) []HostileFile {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	sane := "name,region,value\nalpha,north,1\nbeta,south,2\ntotal,,3\n"
+
+	var out []HostileFile
+	add := func(name, desc string, data []byte) {
+		out = append(out, HostileFile{Name: name, Data: data, Desc: desc})
+	}
+
+	add("empty.csv", "zero-byte file", nil)
+	add("whitespace.csv", "only blank lines and spaces", []byte("  \n\t\n \n"))
+	add("nul_ridden.csv", "NUL bytes interleaved with valid rows",
+		[]byte(strings.ReplaceAll(sane, ",", ",\x00")))
+	add("truncated_utf16.csv", "UTF-16LE BOM with an odd byte count",
+		truncatedUTF16(sane))
+	add("utf16_no_bom.csv", "UTF-16LE without a byte-order mark",
+		utf16Bytes(sane, binary.LittleEndian))
+	add("utf16_be.csv", "UTF-16BE with BOM",
+		append([]byte{0xFE, 0xFF}, utf16Bytes(sane, binary.BigEndian)...))
+	add("latin1.csv", "latin-1 accented bytes, invalid as UTF-8",
+		[]byte("nom,r\xe9gion,valeur\ncaf\xe9,\xeele,1\n"))
+	add("long_line.csv", "single line of several megabytes",
+		longLine(rng, opts.LongLineBytes))
+	add("many_lines.csv", "line flood", manyLines(opts.ManyLines))
+	add("many_cells.csv", "single row with a flood of cells", manyCells(opts.ManyCells))
+	add("unbalanced_quote.csv", "quote opened and never closed",
+		[]byte("a,b\n\"unterminated,1\nc,d\n"))
+	add("quote_storm.csv", "pathological nested quoting",
+		quoteStorm(rng))
+	add("binary_blob.csv", "PNG-like binary data renamed to .csv",
+		binaryBlob(rng, 4096))
+	add("mixed_endings.csv", "CR, LF and CRLF line endings in one file",
+		[]byte("a,b\r\n1,2\rx,y\n3,4\r\n"))
+	add("bom_utf8.csv", "UTF-8 BOM plus content",
+		append([]byte{0xEF, 0xBB, 0xBF}, sane...))
+	add("ragged.csv", "wildly ragged row widths",
+		[]byte("a\nb,c,d,e,f,g,h\n\ni\nj,k\n"))
+	return out
+}
+
+func truncatedUTF16(s string) []byte {
+	b := append([]byte{0xFF, 0xFE}, utf16Bytes(s, binary.LittleEndian)...)
+	return b[:len(b)-1] // chop the final byte: a torn download
+}
+
+func utf16Bytes(s string, order binary.ByteOrder) []byte {
+	units := utf16.Encode([]rune(s))
+	b := make([]byte, 2*len(units))
+	for i, u := range units {
+		order.PutUint16(b[2*i:], u)
+	}
+	return b
+}
+
+func longLine(rng *rand.Rand, n int) []byte {
+	var b bytes.Buffer
+	b.Grow(n + 16)
+	b.WriteString("header\n")
+	for b.Len() < n {
+		b.WriteString("cell")
+		b.WriteByte(byte('0' + rng.Intn(10)))
+		b.WriteByte(',')
+	}
+	return b.Bytes()
+}
+
+func manyLines(n int) []byte {
+	var b bytes.Buffer
+	b.Grow(8 * n)
+	b.WriteString("id,v\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("1,2\n")
+	}
+	return b.Bytes()
+}
+
+func manyCells(n int) []byte {
+	var b bytes.Buffer
+	b.Grow(2*n + 16)
+	b.WriteString("x")
+	for i := 1; i < n; i++ {
+		b.WriteString(",x")
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+func quoteStorm(rng *rand.Rand) []byte {
+	var b bytes.Buffer
+	for i := 0; i < 64; i++ {
+		for j, n := 0, rng.Intn(7); j < n; j++ {
+			b.WriteByte('"')
+		}
+		b.WriteString("v,")
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+func binaryBlob(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	copy(b, []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n'})
+	for i := 8; i < n; i++ {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzIngest throws arbitrary bytes at the full normalization pipeline and
+// asserts the output contract: every successful Normalize yields valid
+// UTF-8 with no NULs and no carriage returns, within the configured
+// guards; every failure is a typed taxonomy error. Panics fail the fuzz
+// run by definition.
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte("a,b\n1,2\n"))
+	f.Add([]byte("\xEF\xBB\xBFh1,h2\r\nx,y\r\n"))
+	f.Add([]byte{0xFF, 0xFE, 'a', 0, ',', 0, 'b', 0, '\n', 0})
+	f.Add([]byte{0xFE, 0xFF, 0, 'a', 0, '\n'})
+	f.Add([]byte{0xFF, 0xFE, 'a', 0, ','}) // torn UTF-16 unit
+	f.Add([]byte("caf\xe9,r\xe9gion\n"))
+	f.Add([]byte("a\x00b\x00\n"))
+	f.Add([]byte("\"never closed\n1,2\n"))
+	f.Add([]byte("\x89PNG\r\n\x1a\n\x01\x02\x03"))
+	f.Add([]byte(strings.Repeat("wide,", 50) + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\r\r\r\n\n\r"))
+
+	taxonomy := []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput,
+		ErrLineTooLong, ErrTooManyLines, ErrTooManyCells}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts := Options{MaxBytes: 1 << 20, MaxLineBytes: 1 << 12, MaxLines: 1 << 10}
+		res, err := Normalize(data, opts)
+		if err != nil {
+			for _, sentinel := range taxonomy {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("untyped error: %v", err)
+		}
+		if res.Text == "" {
+			t.Fatal("success with empty text; want ErrEmptyInput")
+		}
+		if !utf8.ValidString(res.Text) {
+			t.Fatalf("output is not valid UTF-8 (input %q)", data)
+		}
+		if strings.ContainsRune(res.Text, 0) {
+			t.Fatal("output contains NUL")
+		}
+		if strings.ContainsRune(res.Text, '\r') {
+			t.Fatal("output contains CR")
+		}
+		for _, line := range strings.Split(res.Text, "\n") {
+			if len(line) > 1<<12 {
+				t.Fatalf("line of %d bytes survived a %d-byte guard", len(line), 1<<12)
+			}
+		}
+		if n := strings.Count(res.Text, "\n"); n > 1<<10 {
+			t.Fatalf("%d newlines survived a %d-line guard", n, 1<<10)
+		}
+		// Normalize must be idempotent: feeding its own output back through
+		// changes nothing and trips no byte-repair guards.
+		again, err := Normalize([]byte(res.Text), opts)
+		if err != nil {
+			t.Fatalf("re-normalizing clean output failed: %v", err)
+		}
+		if again.Text != res.Text {
+			t.Fatal("Normalize is not idempotent")
+		}
+	})
+}

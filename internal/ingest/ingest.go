@@ -1,0 +1,419 @@
+// Package ingest is the hardened front door for raw bytes entering the
+// Strudel pipeline. Real-world verbose CSV files arrive in mixed encodings,
+// with stray NUL bytes, megabyte-long lines, and the occasional binary blob
+// renamed to .csv (van den Burg et al. 2019 catalogue the damage). Feeding
+// such bytes straight into parsing either panics, silently produces garbage
+// tables, or balloons memory. This package turns arbitrary bytes into clean,
+// bounded, NUL-free, LF-terminated UTF-8 text — or a typed error explaining
+// why the file was rejected — and records everything it did to the bytes in
+// a Provenance value so downstream consumers can tell pristine input from
+// repaired input.
+//
+// The error taxonomy distinguishes reject-the-file conditions (ErrTooLarge,
+// ErrBadEncoding, ErrEmptyInput) from fix-it-up conditions (overlong lines,
+// excess lines, NUL bytes) that are repaired in place and reported through
+// Provenance. Setting Options.Strict promotes every fix-up to its typed
+// error (ErrLineTooLong, ErrTooManyLines, ...), for callers that would
+// rather refuse a damaged file than annotate a repaired one.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"unicode/utf8"
+)
+
+// Sentinel errors of the ingest taxonomy. Every error returned by this
+// package wraps exactly one of them, so callers dispatch with errors.Is.
+var (
+	// ErrTooLarge rejects input exceeding Options.MaxBytes. Always fatal:
+	// truncating a file mid-structure silently drops tables.
+	ErrTooLarge = errors.New("ingest: input exceeds size limit")
+	// ErrBadEncoding rejects input that decodes to control-character soup
+	// (binary data with a .csv extension), or, under Strict, input needing
+	// any encoding repair at all.
+	ErrBadEncoding = errors.New("ingest: undecodable or binary input")
+	// ErrEmptyInput rejects input that is empty — or all whitespace — after
+	// normalization.
+	ErrEmptyInput = errors.New("ingest: empty input")
+	// ErrLineTooLong is the Strict-mode form of the line-length guard.
+	ErrLineTooLong = errors.New("ingest: line exceeds length limit")
+	// ErrTooManyLines is the Strict-mode form of the line-count guard.
+	ErrTooManyLines = errors.New("ingest: line count exceeds limit")
+	// ErrTooManyCells is the Strict-mode form of the cells-per-line guard
+	// (enforced by the parse layer, which splits cells; see Provenance.Trip).
+	ErrTooManyCells = errors.New("ingest: cells per line exceed limit")
+)
+
+// A GuardError wraps a sentinel with the limit that tripped and the value
+// observed, so error messages and logs carry both numbers.
+type GuardError struct {
+	Sentinel error
+	Limit    int64
+	Actual   int64
+}
+
+func (e *GuardError) Error() string {
+	return fmt.Sprintf("%v (limit %d, got %d)", e.Sentinel, e.Limit, e.Actual)
+}
+
+// Unwrap makes errors.Is(err, ErrTooLarge) etc. work through a GuardError.
+func (e *GuardError) Unwrap() error { return e.Sentinel }
+
+// Default resource guards. They are deliberately generous: the point is to
+// survive adversarial input, not to reject big-but-honest files.
+const (
+	DefaultMaxBytes        = 64 << 20 // 64 MiB per file
+	DefaultMaxLineBytes    = 1 << 20  // 1 MiB per line
+	DefaultMaxLines        = 1 << 20  // ~1M lines
+	DefaultMaxCellsPerLine = 1 << 16  // 65536 cells per line
+)
+
+// Options configures the guards and repair policy. The zero value applies
+// the package defaults; set a limit negative to disable it.
+type Options struct {
+	// MaxBytes caps total input size; exceeding it is always ErrTooLarge.
+	MaxBytes int64
+	// MaxLineBytes caps the UTF-8 byte length of a single normalized line.
+	// Longer lines are truncated at a rune boundary (or rejected in Strict).
+	MaxLineBytes int
+	// MaxLines caps the number of lines kept; the rest are dropped (or the
+	// file rejected in Strict).
+	MaxLines int
+	// MaxCellsPerLine caps cells per parsed row. Ingest itself does not
+	// split cells; the parse layer reads this limit and records drops via
+	// Provenance.Trip.
+	MaxCellsPerLine int
+	// Strict promotes every fix-up (encoding repair, NUL stripping, line
+	// truncation) to a typed error instead of repairing and recording.
+	Strict bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes == 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	if o.MaxLineBytes == 0 {
+		o.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if o.MaxLines == 0 {
+		o.MaxLines = DefaultMaxLines
+	}
+	if o.MaxCellsPerLine == 0 {
+		o.MaxCellsPerLine = DefaultMaxCellsPerLine
+	}
+	return o
+}
+
+// Provenance records what ingest (and the parse layer above it) did to a
+// file's bytes. Guard names appear in Guards in the fixed order the checks
+// run, so output is deterministic.
+type Provenance struct {
+	// Encoding is the detected source encoding: "utf-8", "utf-16le",
+	// "utf-16be", "utf-32le", "utf-32be", or "latin-1" (the fallback for
+	// invalid UTF-8).
+	Encoding string `json:"encoding"`
+	// BOM reports whether a byte-order mark led the file.
+	BOM bool `json:"bom,omitempty"`
+	// BytesIn is the raw input size before any normalization.
+	BytesIn int `json:"bytes_in"`
+	// NULsStripped counts NUL runes removed after decoding.
+	NULsStripped int `json:"nuls_stripped,omitempty"`
+	// LineEndingsNormalized counts CRLF/CR sequences rewritten to LF.
+	LineEndingsNormalized int `json:"line_endings_normalized,omitempty"`
+	// LinesTruncated counts lines cut at MaxLineBytes.
+	LinesTruncated int `json:"lines_truncated,omitempty"`
+	// LinesDropped counts lines discarded beyond MaxLines.
+	LinesDropped int `json:"lines_dropped,omitempty"`
+	// CellsDropped counts cells discarded beyond MaxCellsPerLine (recorded
+	// by the parse layer).
+	CellsDropped int `json:"cells_dropped,omitempty"`
+	// Guards lists the names of guards and repairs that fired, in check
+	// order, deduplicated.
+	Guards []string `json:"guards,omitempty"`
+
+	// The fields below are filled by the strudel layer after dialect
+	// detection; ingest itself never touches them.
+
+	// Dialect is the dialect the file was parsed under (Dialect.String form).
+	Dialect string `json:"dialect,omitempty"`
+	// DialectScore is the winning dialect's consistency score Q in [0, 1].
+	DialectScore float64 `json:"dialect_score,omitempty"`
+	// DialectMargin is the winner's score lead over the runner-up.
+	DialectMargin float64 `json:"dialect_margin,omitempty"`
+	// DialectFallback reports that detection scored below the confidence
+	// floor and the comma dialect was substituted.
+	DialectFallback bool `json:"dialect_fallback,omitempty"`
+}
+
+// Trip records that the named guard fired, keeping Guards deduplicated.
+// The parse and strudel layers use it for the guards they own
+// (cells-per-line, dialect fallback).
+func (p *Provenance) Trip(name string) {
+	for _, g := range p.Guards {
+		if g == name {
+			return
+		}
+	}
+	p.Guards = append(p.Guards, name)
+}
+
+// Degraded reports whether any repair or fallback touched the file — i.e.
+// the annotation downstream describes repaired bytes, not the original.
+func (p *Provenance) Degraded() bool { return len(p.Guards) > 0 }
+
+// DegradedReasons returns the guard names, aliased for callers that want to
+// surface them verbatim (nil when the file passed through untouched).
+func (p *Provenance) DegradedReasons() []string {
+	if len(p.Guards) == 0 {
+		return nil
+	}
+	return append([]string(nil), p.Guards...)
+}
+
+// Clone returns an independent copy.
+func (p *Provenance) Clone() *Provenance {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.Guards = append([]string(nil), p.Guards...)
+	return &c
+}
+
+// Guard and repair names recorded in Provenance.Guards.
+const (
+	GuardLatin1Fallback = "latin1-fallback"  // invalid UTF-8 decoded as latin-1
+	GuardUTF16NoBOM     = "utf16-no-bom"     // UTF-16 detected heuristically
+	GuardTruncatedUnit  = "truncated-unit"   // trailing partial UTF-16/32 code unit dropped
+	GuardNULsStripped   = "nuls-stripped"    // NUL runes removed
+	GuardLineEndings    = "line-endings"     // CR / CRLF rewritten to LF
+	GuardLineTruncated  = "max-line-bytes"   // overlong line cut
+	GuardLinesDropped   = "max-lines"        // excess lines discarded
+	GuardCellsDropped   = "max-cells"        // excess cells per row discarded (parse layer)
+	GuardDialectScore   = "dialect-fallback" // low-confidence dialect replaced by comma
+)
+
+// Result is normalized text plus the record of how it was produced.
+type Result struct {
+	// Text is clean parse-ready input: valid UTF-8, no NULs, no CR, every
+	// line within the configured guards.
+	Text string
+	// Provenance records the repairs and guard trips.
+	Provenance Provenance
+}
+
+// Normalize turns raw bytes into parse-ready text, applying the encoding
+// and resource policy of opts. It is the single choke point every reader in
+// this module funnels through.
+func Normalize(data []byte, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{Provenance: Provenance{BytesIn: len(data)}}
+	prov := &res.Provenance
+
+	if opts.MaxBytes > 0 && int64(len(data)) > opts.MaxBytes {
+		return res, &GuardError{Sentinel: ErrTooLarge, Limit: opts.MaxBytes, Actual: int64(len(data))}
+	}
+
+	text, err := decode(data, opts, prov)
+	if err != nil {
+		return res, err
+	}
+	if text, err = stripNULs(text, opts, prov); err != nil {
+		return res, err
+	}
+	if err := rejectBinary(text, prov); err != nil {
+		return res, err
+	}
+	text = normalizeLineEndings(text, prov)
+	if text, err = applyLineGuards(text, opts, prov); err != nil {
+		return res, err
+	}
+	if strings.TrimSpace(text) == "" {
+		return res, fmt.Errorf("%w (after normalizing %d input bytes)", ErrEmptyInput, len(data))
+	}
+	res.Text = text
+	return res, nil
+}
+
+// stripNULs removes NUL runes, recording how many. NULs are stray bytes in
+// practice (mis-spliced UTF-16, sensor padding); under Strict they reject.
+func stripNULs(text string, opts Options, prov *Provenance) (string, error) {
+	n := strings.Count(text, "\x00")
+	if n == 0 {
+		return text, nil
+	}
+	if opts.Strict {
+		return "", fmt.Errorf("%w: %d NUL bytes", ErrBadEncoding, n)
+	}
+	prov.NULsStripped = n
+	prov.Trip(GuardNULsStripped)
+	return strings.ReplaceAll(text, "\x00", ""), nil
+}
+
+// rejectBinary refuses decoded text that is mostly control characters — the
+// signature of binary data (images, archives, executables) renamed to .csv.
+// The check runs after NUL stripping so NUL-padded but otherwise textual
+// files survive.
+func rejectBinary(text string, prov *Provenance) error {
+	const sample = 4096
+	controls, total := 0, 0
+	for _, r := range text {
+		if total >= sample {
+			break
+		}
+		total++
+		if isControl(r) {
+			controls++
+		}
+	}
+	if total >= 32 && controls*5 > total { // >20% control characters
+		return fmt.Errorf("%w: %d control characters in first %d runes (%s)",
+			ErrBadEncoding, controls, total, prov.Encoding)
+	}
+	return nil
+}
+
+// isControl reports C0/C1 control characters other than the text whitespace
+// \t, \n, \r, plus the replacement character produced by decode errors.
+func isControl(r rune) bool {
+	switch r {
+	case '\t', '\n', '\r':
+		return false
+	case utf8.RuneError:
+		return true
+	}
+	return r < 0x20 || (r >= 0x7F && r <= 0x9F)
+}
+
+// normalizeLineEndings rewrites CRLF and bare CR to LF. This happens before
+// parsing — including inside quoted fields, deliberately: provenance records
+// the rewrite, and a single line-separator convention is what makes the
+// line guards and the labels sidecar format well-defined.
+func normalizeLineEndings(text string, prov *Provenance) string {
+	n := strings.Count(text, "\r")
+	if n == 0 {
+		return text
+	}
+	prov.LineEndingsNormalized = n
+	prov.Trip(GuardLineEndings)
+	text = strings.ReplaceAll(text, "\r\n", "\n")
+	return strings.ReplaceAll(text, "\r", "\n")
+}
+
+// applyLineGuards enforces MaxLineBytes and MaxLines on LF-separated text.
+func applyLineGuards(text string, opts Options, prov *Provenance) (string, error) {
+	// Fast path: no line longer than the cap and few enough newlines.
+	if opts.MaxLineBytes <= 0 || !hasLongLine(text, opts.MaxLineBytes) {
+		if opts.MaxLines <= 0 || strings.Count(text, "\n") < opts.MaxLines {
+			return text, nil
+		}
+	}
+
+	var b strings.Builder
+	b.Grow(len(text))
+	kept := 0
+	for start := 0; start < len(text); {
+		end := strings.IndexByte(text[start:], '\n')
+		var line string
+		if end < 0 {
+			line, start = text[start:], len(text)
+		} else {
+			line, start = text[start:start+end], start+end+1
+		}
+		if opts.MaxLines > 0 && kept >= opts.MaxLines {
+			prov.LinesDropped++
+			continue
+		}
+		if opts.MaxLineBytes > 0 && len(line) > opts.MaxLineBytes {
+			if opts.Strict {
+				return "", &GuardError{Sentinel: ErrLineTooLong, Limit: int64(opts.MaxLineBytes), Actual: int64(len(line))}
+			}
+			line = truncateAtRune(line, opts.MaxLineBytes)
+			prov.LinesTruncated++
+			prov.Trip(GuardLineTruncated)
+		}
+		if kept > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(line)
+		kept++
+	}
+	if prov.LinesDropped > 0 {
+		if opts.Strict {
+			return "", &GuardError{Sentinel: ErrTooManyLines, Limit: int64(opts.MaxLines), Actual: int64(kept + prov.LinesDropped)}
+		}
+		prov.Trip(GuardLinesDropped)
+	}
+	return b.String(), nil
+}
+
+// hasLongLine reports whether any LF-separated line exceeds max bytes.
+func hasLongLine(text string, max int) bool {
+	for start := 0; start < len(text); {
+		end := strings.IndexByte(text[start:], '\n')
+		if end < 0 {
+			return len(text)-start > max
+		}
+		if end > max {
+			return true
+		}
+		start += end + 1
+	}
+	return false
+}
+
+// truncateAtRune cuts s to at most max bytes without splitting a rune.
+func truncateAtRune(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut]
+}
+
+// Read consumes r under the guards of opts and normalizes the bytes. The
+// reader is capped at MaxBytes+1 so an adversarial stream cannot exhaust
+// memory before the size guard fires.
+func Read(r io.Reader, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	var data []byte
+	var err error
+	if o.MaxBytes > 0 {
+		data, err = io.ReadAll(io.LimitReader(r, o.MaxBytes+1))
+	} else {
+		data, err = io.ReadAll(r)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("ingest: read: %w", err)
+	}
+	return Normalize(data, opts)
+}
+
+// ReadFile loads and normalizes the file at path. Oversize files are
+// rejected from their stat size, before any bytes are read.
+func ReadFile(path string, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	if o.MaxBytes > 0 {
+		if info, err := os.Stat(path); err == nil && !info.IsDir() && info.Size() > o.MaxBytes {
+			return Result{}, fmt.Errorf("ingest: %s: %w", path,
+				&GuardError{Sentinel: ErrTooLarge, Limit: o.MaxBytes, Actual: info.Size()})
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() { _ = f.Close() }() // read-only descriptor; close cannot lose data
+	res, err := Read(f, opts)
+	if err != nil {
+		return res, fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,347 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func mustNormalize(t *testing.T, data []byte, opts Options) Result {
+	t.Helper()
+	res, err := Normalize(data, opts)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	return res
+}
+
+// checkClean asserts the invariants every successful Normalize guarantees.
+func checkClean(t *testing.T, res Result) {
+	t.Helper()
+	if !utf8.ValidString(res.Text) {
+		t.Error("output is not valid UTF-8")
+	}
+	if strings.ContainsRune(res.Text, 0) {
+		t.Error("output contains NUL")
+	}
+	if strings.ContainsRune(res.Text, '\r') {
+		t.Error("output contains CR")
+	}
+}
+
+func TestNormalizePlainUTF8(t *testing.T) {
+	res := mustNormalize(t, []byte("a,b\n1,2\n"), Options{})
+	checkClean(t, res)
+	if res.Text != "a,b\n1,2\n" {
+		t.Errorf("text = %q, want passthrough", res.Text)
+	}
+	if res.Provenance.Encoding != "utf-8" || res.Provenance.BOM {
+		t.Errorf("provenance = %+v, want clean utf-8 without BOM", res.Provenance)
+	}
+	if res.Provenance.Degraded() {
+		t.Errorf("clean input marked degraded: %v", res.Provenance.Guards)
+	}
+}
+
+func TestNormalizeUTF8BOM(t *testing.T) {
+	res := mustNormalize(t, []byte("\xEF\xBB\xBFa,b\n"), Options{})
+	if res.Text != "a,b\n" {
+		t.Errorf("text = %q, want BOM stripped", res.Text)
+	}
+	if !res.Provenance.BOM || res.Provenance.Encoding != "utf-8" {
+		t.Errorf("provenance = %+v, want utf-8 with BOM", res.Provenance)
+	}
+}
+
+func TestNormalizeUTF16(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		file     string
+		encoding string
+		bom      bool
+	}{
+		{"le-bom", "utf16_le", "utf-16le", true},
+		{"be-bom", "utf16_be", "utf-16be", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var data []byte
+			if tc.name == "le-bom" {
+				data = []byte{0xFF, 0xFE, 'a', 0, ',', 0, 'b', 0, '\n', 0}
+			} else {
+				data = []byte{0xFE, 0xFF, 0, 'a', 0, ',', 0, 'b', 0, '\n'}
+			}
+			res := mustNormalize(t, data, Options{})
+			checkClean(t, res)
+			if res.Text != "a,b\n" {
+				t.Errorf("text = %q, want a,b\\n", res.Text)
+			}
+			if res.Provenance.Encoding != tc.encoding || res.Provenance.BOM != tc.bom {
+				t.Errorf("provenance = %+v", res.Provenance)
+			}
+		})
+	}
+}
+
+func TestNormalizeTruncatedUTF16(t *testing.T) {
+	data := []byte{0xFF, 0xFE, 'a', 0, ',', 0, 'b', 0, '\n', 0}
+	data = data[:len(data)-1] // tear the final code unit
+	res := mustNormalize(t, data, Options{})
+	checkClean(t, res)
+	if res.Text != "a,b" && res.Text != "a,b\n" {
+		t.Errorf("text = %q", res.Text)
+	}
+	if !hasGuard(res.Provenance, GuardTruncatedUnit) {
+		t.Errorf("guards = %v, want %s", res.Provenance.Guards, GuardTruncatedUnit)
+	}
+	if _, err := Normalize(data, Options{Strict: true}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("strict truncated UTF-16: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestNormalizeBOMlessUTF16(t *testing.T) {
+	text := "name,value\nalpha,1\nbeta,2\n"
+	le := make([]byte, 2*len(text))
+	for i := 0; i < len(text); i++ {
+		le[2*i] = text[i]
+	}
+	res := mustNormalize(t, le, Options{})
+	checkClean(t, res)
+	if res.Text != text {
+		t.Errorf("text = %q, want %q", res.Text, text)
+	}
+	if res.Provenance.Encoding != "utf-16le" || !hasGuard(res.Provenance, GuardUTF16NoBOM) {
+		t.Errorf("provenance = %+v, want heuristic utf-16le", res.Provenance)
+	}
+}
+
+func TestNormalizeLatin1Fallback(t *testing.T) {
+	res := mustNormalize(t, []byte("caf\xe9,r\xe9gion\n"), Options{})
+	checkClean(t, res)
+	if res.Text != "café,région\n" {
+		t.Errorf("text = %q", res.Text)
+	}
+	if res.Provenance.Encoding != "latin-1" || !hasGuard(res.Provenance, GuardLatin1Fallback) {
+		t.Errorf("provenance = %+v, want latin-1 fallback recorded", res.Provenance)
+	}
+	if _, err := Normalize([]byte("caf\xe9\n"), Options{Strict: true}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("strict invalid UTF-8: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestNormalizeNULStripping(t *testing.T) {
+	res := mustNormalize(t, []byte("a\x00,b\x00\n1,2\n"), Options{})
+	checkClean(t, res)
+	if res.Text != "a,b\n1,2\n" {
+		t.Errorf("text = %q", res.Text)
+	}
+	if res.Provenance.NULsStripped != 2 || !hasGuard(res.Provenance, GuardNULsStripped) {
+		t.Errorf("provenance = %+v, want 2 NULs recorded", res.Provenance)
+	}
+	if _, err := Normalize([]byte("a\x00b\n"), Options{Strict: true}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("strict NULs: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestNormalizeLineEndings(t *testing.T) {
+	res := mustNormalize(t, []byte("a,b\r\n1,2\rx,y\n"), Options{})
+	checkClean(t, res)
+	if res.Text != "a,b\n1,2\nx,y\n" {
+		t.Errorf("text = %q", res.Text)
+	}
+	if res.Provenance.LineEndingsNormalized != 2 {
+		t.Errorf("LineEndingsNormalized = %d, want 2", res.Provenance.LineEndingsNormalized)
+	}
+}
+
+func TestSizeGuard(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 100)
+	if _, err := Normalize(data, Options{MaxBytes: 64}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	var ge *GuardError
+	_, err := Normalize(data, Options{MaxBytes: 64})
+	if !errors.As(err, &ge) || ge.Limit != 64 || ge.Actual != 100 {
+		t.Errorf("GuardError = %+v, want limit 64 actual 100", ge)
+	}
+	// Negative disables the guard.
+	if _, err := Normalize(data, Options{MaxBytes: -1}); err != nil {
+		t.Errorf("MaxBytes<0 should disable the guard: %v", err)
+	}
+}
+
+func TestLineLengthGuard(t *testing.T) {
+	long := strings.Repeat("wide,", 100) + "\nshort,1\n"
+	res := mustNormalize(t, []byte(long), Options{MaxLineBytes: 64})
+	checkClean(t, res)
+	lines := strings.Split(res.Text, "\n")
+	if len(lines[0]) > 64 {
+		t.Errorf("line 0 is %d bytes, want ≤64", len(lines[0]))
+	}
+	if lines[1] != "short,1" {
+		t.Errorf("line 1 = %q, want untouched", lines[1])
+	}
+	if res.Provenance.LinesTruncated != 1 || !hasGuard(res.Provenance, GuardLineTruncated) {
+		t.Errorf("provenance = %+v, want 1 truncated line", res.Provenance)
+	}
+	if _, err := Normalize([]byte(long), Options{MaxLineBytes: 64, Strict: true}); !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("strict: err = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestLineLengthGuardKeepsRuneBoundary(t *testing.T) {
+	line := strings.Repeat("é", 40) // 2 bytes each
+	res := mustNormalize(t, []byte(line+"\nx\n"), Options{MaxLineBytes: 33})
+	checkClean(t, res)
+}
+
+func TestLineCountGuard(t *testing.T) {
+	many := strings.Repeat("r,1\n", 50)
+	res := mustNormalize(t, []byte(many), Options{MaxLines: 10})
+	checkClean(t, res)
+	if got := strings.Count(res.Text, "\n") + 1; got > 11 {
+		t.Errorf("%d lines survive, want ≤11", got)
+	}
+	if res.Provenance.LinesDropped == 0 || !hasGuard(res.Provenance, GuardLinesDropped) {
+		t.Errorf("provenance = %+v, want dropped lines recorded", res.Provenance)
+	}
+	if _, err := Normalize([]byte(many), Options{MaxLines: 10, Strict: true}); !errors.Is(err, ErrTooManyLines) {
+		t.Errorf("strict: err = %v, want ErrTooManyLines", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte(""), []byte("   \n\t\n"), []byte("\x00\x00")} {
+		if _, err := Normalize(data, Options{}); !errors.Is(err, ErrEmptyInput) && !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("Normalize(%q): err = %v, want ErrEmptyInput", data, err)
+		}
+	}
+	if _, err := Normalize([]byte("  \n "), Options{}); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("whitespace-only: err = %v, want ErrEmptyInput", err)
+	}
+}
+
+func TestBinaryRejected(t *testing.T) {
+	files := GenerateHostile(FaultOptions{Seed: 1, LongLineBytes: 1 << 10})
+	var blob []byte
+	for _, f := range files {
+		if f.Name == "binary_blob.csv" {
+			blob = f.Data
+		}
+	}
+	if blob == nil {
+		t.Fatal("generator lost binary_blob.csv")
+	}
+	if _, err := Normalize(blob, Options{}); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("binary blob: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestReadFileStatGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csv")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("a"), 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, Options{MaxBytes: 1024}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge from stat", err)
+	}
+	res, err := ReadFile(path, Options{})
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if res.Provenance.BytesIn != 4096 {
+		t.Errorf("BytesIn = %d, want 4096", res.Provenance.BytesIn)
+	}
+}
+
+func TestReadCapsStream(t *testing.T) {
+	// A reader longer than MaxBytes must be rejected without reading it all.
+	r := io_LimitlessReader{}
+	if _, err := Read(r, Options{MaxBytes: 1 << 16}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// io_LimitlessReader yields 'a' forever.
+type io_LimitlessReader struct{}
+
+func (io_LimitlessReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
+}
+
+func TestProvenanceCloneAndTrip(t *testing.T) {
+	p := &Provenance{Encoding: "utf-8"}
+	p.Trip("a")
+	p.Trip("b")
+	p.Trip("a") // dedup
+	if len(p.Guards) != 2 {
+		t.Errorf("Guards = %v, want deduplicated [a b]", p.Guards)
+	}
+	c := p.Clone()
+	c.Trip("c")
+	if len(p.Guards) != 2 || len(c.Guards) != 3 {
+		t.Error("Clone shares the Guards slice")
+	}
+	if (*Provenance)(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+	reasons := p.DegradedReasons()
+	reasons[0] = "mutated"
+	if p.Guards[0] == "mutated" {
+		t.Error("DegradedReasons aliases Guards")
+	}
+}
+
+func TestGenerateHostileDeterministic(t *testing.T) {
+	a := GenerateHostile(FaultOptions{Seed: 42, LongLineBytes: 1 << 12})
+	b := GenerateHostile(FaultOptions{Seed: 42, LongLineBytes: 1 << 12})
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Errorf("file %d (%s) differs across identically-seeded runs", i, a[i].Name)
+		}
+	}
+}
+
+// TestHostileCorpusNeverPanics is the package-level half of the crash-corpus
+// requirement: every generated hostile file must normalize to clean text or
+// a typed taxonomy error.
+func TestHostileCorpusNeverPanics(t *testing.T) {
+	files := GenerateHostile(FaultOptions{Seed: 7, LongLineBytes: 1 << 16, ManyLines: 5000, ManyCells: 5000})
+	taxonomy := []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput, ErrLineTooLong, ErrTooManyLines, ErrTooManyCells}
+	for _, f := range files {
+		res, err := Normalize(f.Data, Options{})
+		if err != nil {
+			typed := false
+			for _, sentinel := range taxonomy {
+				if errors.Is(err, sentinel) {
+					typed = true
+					break
+				}
+			}
+			if !typed {
+				t.Errorf("%s: untyped error %v", f.Name, err)
+			}
+			continue
+		}
+		checkClean(t, res)
+	}
+}
+
+func hasGuard(p Provenance, name string) bool {
+	for _, g := range p.Guards {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}

@@ -14,7 +14,10 @@
 package pipeline
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -146,8 +149,22 @@ func ResetCounts() {
 // loop regardless of the parallelism setting — the corpus-level concurrency
 // contract used by training, batch annotation, and cross-validation.
 func ForEach(n, parallelism int, fn func(int)) {
+	// context.Background is never cancelled, so this cannot return an error.
+	_ = ForEachContext(context.Background(), n, parallelism, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: once ctx is
+// cancelled no further indices are dispatched, in-flight calls finish, and
+// the context's error is returned. Indices that were never dispatched are
+// simply skipped — the caller decides what an unfilled result slot means.
+// A nil ctx behaves like context.Background. With a non-cancellable context
+// the behavior (and determinism contract) is identical to ForEach.
+func ForEachContext(ctx context.Context, n, parallelism int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers := parallelism
 	if workers <= 0 {
@@ -156,11 +173,15 @@ func ForEach(n, parallelism int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -173,9 +194,48 @@ func ForEach(n, parallelism int, fn func(int)) {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		// Poll cancellation first: a select with both channels ready picks
+		// randomly, which would keep dispatching work after cancellation.
+		select {
+		case <-done:
+			break feed
+		default:
+		}
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
+}
+
+// A PanicError is a recovered per-file panic, converted into an ordinary
+// error so one poisoned input cannot take down a whole batch. The stack is
+// captured at recovery time for diagnosis.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Safely runs fn, converting a panic into a *PanicError. It is the fault
+// barrier batch workers wrap around each per-file unit of work.
+func Safely(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
 }

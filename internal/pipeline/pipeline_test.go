@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -69,4 +71,68 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	}
 	// Zero work must not deadlock.
 	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		var calls atomic.Int32
+		err := ForEachContext(ctx, 50, par, func(int) { calls.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+		// The parallel path may dispatch up to one index per worker before
+		// observing the cancellation; it must not run the whole range.
+		if got := calls.Load(); got > int32(par) {
+			t.Errorf("parallelism %d: %d calls after pre-cancellation, want ≤%d", par, got, par)
+		}
+	}
+}
+
+func TestForEachContextCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	err := ForEachContext(ctx, 1000, 2, func(i int) {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got >= 1000 {
+		t.Errorf("all %d indices ran despite mid-batch cancellation", got)
+	}
+}
+
+func TestForEachContextNilContext(t *testing.T) {
+	var calls atomic.Int32
+	if err := ForEachContext(nil, 10, 3, func(int) { calls.Add(1) }); err != nil {
+		t.Errorf("nil ctx: err = %v", err)
+	}
+	if calls.Load() != 10 {
+		t.Errorf("nil ctx ran %d of 10 indices", calls.Load())
+	}
+}
+
+func TestSafelyConvertsPanics(t *testing.T) {
+	if err := Safely(func() {}); err != nil {
+		t.Errorf("clean fn: err = %v", err)
+	}
+	err := Safely(func() { panic("poisoned file") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "poisoned file" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Value: %v, stack %d bytes}, want original value and a stack", pe.Value, len(pe.Stack))
+	}
+	// A panic(nil) in fn still counts as a fault on modern Go runtimes
+	// (panic(nil) is converted to a *runtime.PanicNilError); either way the
+	// barrier must not re-panic.
+	_ = Safely(func() {
+		defer func() { _ = recover() }()
+		panic("inner recovery stays inner")
+	})
 }

@@ -13,6 +13,8 @@ package table
 import (
 	"fmt"
 	"strings"
+
+	"strudel/internal/ingest"
 )
 
 // Class is one of the six semantic element classes from Section 3.2 of the
@@ -73,6 +75,7 @@ func (c Class) Index() int {
 // It panics if i is out of range.
 func ClassAt(i int) Class {
 	if i < 0 || i >= NumClasses {
+		//lint:ignore panicpath the index always comes from argMax over fixed NumClasses-length vectors; an out-of-range value is an internal invariant violation, never reachable from file input
 		panic(fmt.Sprintf("table: class index %d out of range", i))
 	}
 	return Classes[i]
@@ -97,6 +100,11 @@ type Table struct {
 	// Name identifies the source file; used for grouping in cross-validation.
 	Name string
 
+	// Provenance, when non-nil, records how the file's raw bytes were
+	// ingested and prepared (encoding detected, guards tripped, dialect
+	// confidence). Tables built directly from rows carry none.
+	Provenance *ingest.Provenance
+
 	cells  [][]string // cells[row][col]; always rectangular
 	width  int
 	height int
@@ -108,10 +116,15 @@ type Table struct {
 	CellClasses [][]Class
 }
 
-// New returns an empty table with the given dimensions.
+// New returns an empty table with the given dimensions. Negative dimensions
+// are clamped to zero: degenerate sizes yield an empty table rather than a
+// library panic, matching how Crop and FromRows treat degenerate input.
 func New(height, width int) *Table {
-	if height < 0 || width < 0 {
-		panic("table: negative dimension")
+	if height < 0 {
+		height = 0
+	}
+	if width < 0 {
+		width = 0
 	}
 	cells := make([][]string, height)
 	backing := make([]string, height*width)
@@ -358,24 +371,42 @@ func (t *Table) Crop() *Table {
 		cells[r] = t.cells[top+r][left:right:right]
 	}
 	t.cells = cells
+	// Annotations are cropped only when their shape matches the grid;
+	// malformed hand-built annotations are dropped rather than letting a
+	// slice-bounds panic escape library code on degenerate input.
 	if t.LineClasses != nil {
-		t.LineClasses = t.LineClasses[top:bottom:bottom]
+		if len(t.LineClasses) >= bottom {
+			t.LineClasses = t.LineClasses[top:bottom:bottom]
+		} else {
+			t.LineClasses = nil
+		}
 	}
 	if t.CellClasses != nil {
 		cls := make([][]Class, height)
-		for r := 0; r < height; r++ {
+		ok := len(t.CellClasses) >= bottom
+		for r := 0; ok && r < height; r++ {
+			if len(t.CellClasses[top+r]) < right {
+				ok = false
+				break
+			}
 			cls[r] = t.CellClasses[top+r][left:right:right]
 		}
-		t.CellClasses = cls
+		if ok {
+			t.CellClasses = cls
+		} else {
+			t.CellClasses = nil
+		}
 	}
 	t.height, t.width = height, width
 	return t
 }
 
-// Clone returns a deep copy of the table, including annotations.
+// Clone returns a deep copy of the table, including annotations and
+// provenance.
 func (t *Table) Clone() *Table {
 	c := New(t.height, t.width)
 	c.Name = t.Name
+	c.Provenance = t.Provenance.Clone()
 	for r := 0; r < t.height; r++ {
 		copy(c.cells[r], t.cells[r])
 	}

@@ -236,13 +236,18 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnNegative(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New(-1, 2) should panic")
+func TestNewClampsNegativeDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{-1, 2}, {2, -1}, {-3, -3}} {
+		tb := New(dims[0], dims[1])
+		if tb.Height() < 0 || tb.Width() < 0 {
+			t.Errorf("New(%d, %d) kept a negative dimension: %dx%d",
+				dims[0], dims[1], tb.Height(), tb.Width())
 		}
-	}()
-	New(-1, 2)
+		if tb.Height() > 0 && tb.Width() > 0 {
+			t.Errorf("New(%d, %d) = %dx%d, want an empty table",
+				dims[0], dims[1], tb.Height(), tb.Width())
+		}
+	}
 }
 
 func TestStringRendering(t *testing.T) {

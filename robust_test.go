@@ -1,0 +1,365 @@
+package strudel
+
+// Robustness regression tests: the hostile corpus must never panic the
+// loader or the batch annotator, and a poisoned file in a batch must not
+// affect its neighbors (the PR's fault-isolation acceptance criterion).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"strudel/internal/ingest"
+	"strudel/internal/pipeline"
+	"strudel/internal/table"
+)
+
+// loadHostile loads one hostile file, requiring either a typed taxonomy
+// error or a well-formed table — never a panic, never an untyped error.
+func loadHostile(t *testing.T, path string, opts LoadOptions) *Table {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: loader panicked: %v", path, r)
+		}
+	}()
+	tbl, _, err := LoadFileOptions(path, opts)
+	if err != nil {
+		for _, sentinel := range []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput,
+			ErrLineTooLong, ErrTooManyLines, ErrTooManyCells} {
+			if errors.Is(err, sentinel) {
+				return nil
+			}
+		}
+		t.Fatalf("%s: untyped load error: %v", path, err)
+	}
+	if tbl.Height() > 0 && tbl.Width() <= 0 {
+		t.Fatalf("%s: non-empty table with width %d", path, tbl.Width())
+	}
+	return tbl
+}
+
+// hostilePaths returns the committed crash corpus plus the generated one
+// (including the 10MB single-line case, which is too large to commit),
+// materialized under a temp dir.
+func hostilePaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "hostile", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("committed hostile corpus has only %d files", len(paths))
+	}
+	dir := t.TempDir()
+	for _, f := range ingest.GenerateHostile(ingest.FaultOptions{Seed: 99}) {
+		p := filepath.Join(dir, f.Name)
+		if err := os.WriteFile(p, f.Data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// TestHostileCorpusNeverPanics is the crash-corpus regression: every
+// hostile file either loads into a valid Table or fails with a typed
+// ingest error, and the survivors annotate cleanly under a full-width
+// worker pool.
+func TestHostileCorpusNeverPanics(t *testing.T) {
+	var files []*Table
+	for _, p := range hostilePaths(t) {
+		if tbl := loadHostile(t, p, LoadOptions{}); tbl != nil {
+			files = append(files, tbl)
+		}
+		// Strict mode must reject more, never panic.
+		loadHostile(t, p, LoadOptions{Ingest: IngestOptions{Strict: true}})
+	}
+	if len(files) == 0 {
+		t.Fatal("every hostile file was rejected; the corpus should contain repairable files")
+	}
+
+	m := trainedModel(t)
+	anns := m.AnnotateAll(files, BatchOptions{Parallelism: runtime.NumCPU()})
+	for i, ann := range anns {
+		if ann == nil {
+			t.Fatalf("file %d (%s): nil annotation", i, files[i].Name)
+		}
+		if ann.Err != nil {
+			t.Errorf("file %d (%s): unexpected batch error: %v", i, files[i].Name, ann.Err)
+			continue
+		}
+		if len(ann.Lines) != files[i].Height() {
+			t.Errorf("file %d (%s): %d line classes for height %d",
+				i, files[i].Name, len(ann.Lines), files[i].Height())
+		}
+	}
+}
+
+// TestHostileProvenance spot-checks that the repairs the loader performs on
+// the committed corpus are visible in provenance.
+func TestHostileProvenance(t *testing.T) {
+	cases := map[string]func(p *Provenance) bool{
+		"nul_ridden.csv":      func(p *Provenance) bool { return p.NULsStripped > 0 },
+		"latin1.csv":          func(p *Provenance) bool { return p.Encoding == "latin-1" },
+		"utf16_no_bom.csv":    func(p *Provenance) bool { return p.Encoding == "utf-16le" && !p.BOM },
+		"utf16_be.csv":        func(p *Provenance) bool { return p.Encoding == "utf-16be" && p.BOM },
+		"truncated_utf16.csv": func(p *Provenance) bool { return p.Encoding == "utf-16le" },
+		"mixed_endings.csv":   func(p *Provenance) bool { return p.LineEndingsNormalized > 0 },
+		"bom_utf8.csv":        func(p *Provenance) bool { return p.Encoding == "utf-8" && p.BOM },
+	}
+	for name, check := range cases {
+		path := filepath.Join("testdata", "hostile", name)
+		tbl, _, err := LoadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tbl.Provenance == nil {
+			t.Errorf("%s: table has no provenance", name)
+			continue
+		}
+		if !check(tbl.Provenance) {
+			t.Errorf("%s: provenance %+v fails its check", name, *tbl.Provenance)
+		}
+	}
+	for _, name := range []string{"empty.csv", "whitespace.csv"} {
+		if _, _, err := LoadFile(filepath.Join("testdata", "hostile", name)); !errors.Is(err, ErrEmptyInput) {
+			t.Errorf("%s: err = %v, want ErrEmptyInput", name, err)
+		}
+	}
+	if _, _, err := LoadFile(filepath.Join("testdata", "hostile", "binary_blob.csv")); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("binary_blob.csv: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+// TestAnnotationSurfacesDegradation: annotations of repaired files carry
+// the guard names; clean files carry none.
+func TestAnnotationSurfacesDegradation(t *testing.T) {
+	m := trainedModel(t)
+
+	tbl, _, err := LoadFile(filepath.Join("testdata", "hostile", "nul_ridden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := m.Annotate(tbl)
+	if ann.Provenance == nil || len(ann.Degraded) == 0 {
+		t.Errorf("repaired file: Provenance=%v Degraded=%v, want populated", ann.Provenance, ann.Degraded)
+	}
+
+	clean, _, err := LoadBytes([]byte(sampleCSV), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann = m.Annotate(clean)
+	if len(ann.Degraded) != 0 {
+		t.Errorf("clean file marked degraded: %v", ann.Degraded)
+	}
+	if ann.Provenance == nil || ann.Provenance.DialectFallback {
+		t.Errorf("clean file provenance = %+v, want confident dialect", ann.Provenance)
+	}
+}
+
+// TestBatchFaultIsolation is the headline acceptance criterion: a batch
+// containing one file whose annotation panics completes every other file,
+// returns a per-file error for the poisoned one, and is byte-identical on
+// the survivors to a clean run.
+func TestBatchFaultIsolation(t *testing.T) {
+	m := trainedModel(t)
+	const n = 8
+	const poisoned = 3
+	files := make([]*Table, n)
+	for i := range files {
+		files[i] = Parse(sampleCSV, DefaultDialect)
+		files[i].Name = string(rune('a'+i)) + ".csv"
+	}
+
+	clean := m.AnnotateAll(files, BatchOptions{Parallelism: 4})
+
+	annotateTestHook = func(tbl *table.Table) {
+		if tbl.Name == files[poisoned].Name {
+			panic("injected fault: " + tbl.Name)
+		}
+	}
+	t.Cleanup(func() { annotateTestHook = nil })
+	faulted := m.AnnotateAll(files, BatchOptions{Parallelism: 4})
+	annotateTestHook = nil
+
+	for i := 0; i < n; i++ {
+		if i == poisoned {
+			if faulted[i].Err == nil {
+				t.Fatal("poisoned file has no error")
+			}
+			var pe *pipeline.PanicError
+			if !errors.As(faulted[i].Err, &pe) {
+				t.Errorf("poisoned file error = %v, want a wrapped *pipeline.PanicError", faulted[i].Err)
+			} else if pe.Value != "injected fault: "+files[poisoned].Name {
+				t.Errorf("recovered panic value = %v", pe.Value)
+			}
+			if !strings.Contains(faulted[i].Err.Error(), files[poisoned].Name) {
+				t.Errorf("error %q does not name the poisoned file", faulted[i].Err)
+			}
+			if faulted[i].Lines != nil {
+				t.Error("poisoned file carries predictions alongside its error")
+			}
+			continue
+		}
+		if faulted[i].Err != nil {
+			t.Errorf("survivor %s has error: %v", files[i].Name, faulted[i].Err)
+			continue
+		}
+		want, err := json.Marshal(clean[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(faulted[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("survivor %s differs from the clean run", files[i].Name)
+		}
+	}
+}
+
+// TestAnnotateAllContextCancellation: a cancelled batch still returns one
+// non-nil annotation per input, with Err explaining the abort.
+func TestAnnotateAllContextCancellation(t *testing.T) {
+	m := trainedModel(t)
+	files := make([]*Table, 20)
+	for i := range files {
+		files[i] = Parse(sampleCSV, DefaultDialect)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	anns := m.AnnotateAllContext(ctx, files, BatchOptions{Parallelism: 4})
+	if len(anns) != len(files) {
+		t.Fatalf("%d annotations for %d files", len(anns), len(files))
+	}
+	aborted := 0
+	for i, ann := range anns {
+		if ann == nil {
+			t.Fatalf("slot %d is nil", i)
+		}
+		if ann.Err != nil {
+			if !errors.Is(ann.Err, context.Canceled) {
+				t.Errorf("slot %d: err = %v, want context.Canceled", i, ann.Err)
+			}
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Error("pre-cancelled batch aborted nothing")
+	}
+}
+
+// TestFileTimeout: a file that stalls past BatchOptions.FileTimeout comes
+// back with a deadline error while the rest of the batch completes.
+func TestFileTimeout(t *testing.T) {
+	m := trainedModel(t)
+	files := make([]*Table, 4)
+	for i := range files {
+		files[i] = Parse(sampleCSV, DefaultDialect)
+		files[i].Name = string(rune('a'+i)) + ".csv"
+	}
+	const slow = 2
+	annotateTestHook = func(tbl *table.Table) {
+		if tbl.Name == files[slow].Name {
+			time.Sleep(2 * time.Second)
+		}
+	}
+	t.Cleanup(func() { annotateTestHook = nil })
+	anns := m.AnnotateAll(files, BatchOptions{Parallelism: 4, FileTimeout: 100 * time.Millisecond})
+	annotateTestHook = nil
+
+	for i, ann := range anns {
+		if i == slow {
+			if !errors.Is(ann.Err, context.DeadlineExceeded) {
+				t.Errorf("slow file: err = %v, want context.DeadlineExceeded", ann.Err)
+			}
+			continue
+		}
+		if ann.Err != nil {
+			t.Errorf("fast file %s timed out: %v", files[i].Name, ann.Err)
+		}
+	}
+}
+
+// TestDialectConfidenceFallback: a detection score under the configured
+// floor parses the file under the comma dialect and marks it degraded
+// instead of committing to a low-confidence dialect.
+func TestDialectConfidenceFallback(t *testing.T) {
+	text := "a;b;c\n1;2;3\n4;5;6\n7;8;9\n"
+	// With the floor raised above any achievable score, the semicolon winner
+	// must be discarded in favor of the predictable comma fallback.
+	tbl, d, err := LoadBytes([]byte(text), LoadOptions{MinDialectScore: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ',' {
+		t.Errorf("fallback dialect = %v, want comma", d)
+	}
+	if tbl.Provenance == nil || !tbl.Provenance.DialectFallback {
+		t.Errorf("provenance = %+v, want DialectFallback", tbl.Provenance)
+	}
+	if reasons := tbl.Provenance.DegradedReasons(); len(reasons) == 0 {
+		t.Error("dialect fallback not surfaced in DegradedReasons")
+	}
+
+	// Under the default floor the same text keeps its detected dialect.
+	tbl, d, err = LoadBytes([]byte(text), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delimiter != ';' {
+		t.Errorf("detected dialect = %v, want semicolon", d)
+	}
+	if tbl.Provenance.DialectFallback {
+		t.Error("clean semicolon file fell back to comma")
+	}
+}
+
+// TestForceDialect: ForceDialect bypasses detection entirely.
+func TestForceDialect(t *testing.T) {
+	d := Dialect{Delimiter: '|', Quote: '"'}
+	tbl, got, err := LoadBytes([]byte("a|b\n1|2\n"), LoadOptions{ForceDialect: &d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Errorf("dialect = %v, want %v", got, d)
+	}
+	if tbl.Width() != 2 || tbl.Cell(0, 1) != "b" {
+		t.Errorf("table = %dx%d", tbl.Height(), tbl.Width())
+	}
+}
+
+// TestCleanTestdataNotDegraded validates the DefaultMinDialectScore floor
+// empirically: none of the repo's clean sample files may trip it.
+func TestCleanTestdataNotDegraded(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		tbl, _, err := LoadFile(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if tbl.Provenance.DialectFallback {
+			t.Errorf("%s: clean file hit the dialect-confidence floor (score %.4f)",
+				p, tbl.Provenance.DialectScore)
+		}
+		if len(tbl.Provenance.Guards) != 0 {
+			t.Errorf("%s: clean file tripped guards %v", p, tbl.Provenance.Guards)
+		}
+	}
+}

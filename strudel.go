@@ -1,16 +1,17 @@
 package strudel
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"os"
-	"strings"
+	"time"
 
 	"strudel/internal/core"
 	"strudel/internal/datagen"
 	"strudel/internal/dialect"
 	"strudel/internal/extract"
 	"strudel/internal/features"
+	"strudel/internal/ingest"
 	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
@@ -49,10 +50,17 @@ type Dialect = dialect.Dialect
 // DefaultDialect is the RFC 4180 dialect (comma, double quote).
 var DefaultDialect = dialect.Default
 
+// Detection is a detected dialect together with its consistency score and
+// margin over the runner-up.
+type Detection = dialect.Detection
+
 // DetectDialect finds the most consistent dialect for raw file text, using
 // the data-consistency measure of van den Burg et al. (2019), the same
 // preprocessing the paper applies before classification.
 func DetectDialect(text string) (Dialect, error) { return dialect.Detect(text) }
+
+// DetectDialectBest is DetectDialect with the winner's score and margin.
+func DetectDialectBest(text string) (Detection, error) { return dialect.DetectBest(text) }
 
 // Parse splits raw text under the given dialect into a Table. Marginal
 // empty lines and columns are cropped, as in the paper's data preparation.
@@ -60,27 +68,144 @@ func Parse(text string, d Dialect) *Table {
 	return table.FromRows(dialect.Split(text, d)).Crop()
 }
 
-// Load reads a verbose CSV file from r, detects its dialect, and parses it.
-func Load(r io.Reader) (*Table, Dialect, error) {
-	var b strings.Builder
-	if _, err := io.Copy(&b, r); err != nil {
-		return nil, Dialect{}, fmt.Errorf("strudel: read: %w", err)
-	}
-	d, err := dialect.Detect(b.String())
-	if err != nil {
-		return nil, Dialect{}, err
-	}
-	return Parse(b.String(), d), d, nil
+// IngestOptions configures the hardened byte-ingestion layer: encoding
+// repair policy plus the resource guards (max file size, max line length,
+// max lines, max cells per line). The zero value applies generous defaults.
+type IngestOptions = ingest.Options
+
+// Provenance records what ingestion and dialect detection did to a file:
+// the encoding detected, bytes repaired, guards tripped, and the dialect
+// confidence. It rides on the Table and the resulting Annotation.
+type Provenance = ingest.Provenance
+
+// The ingest error taxonomy, re-exported so callers can dispatch with
+// errors.Is without importing internal packages. ErrTooLarge,
+// ErrBadEncoding, and ErrEmptyInput reject a file outright; the remaining
+// guards repair the input by default (recording the repair in Provenance)
+// and only reject under IngestOptions.Strict.
+var (
+	ErrTooLarge     = ingest.ErrTooLarge
+	ErrBadEncoding  = ingest.ErrBadEncoding
+	ErrEmptyInput   = ingest.ErrEmptyInput
+	ErrLineTooLong  = ingest.ErrLineTooLong
+	ErrTooManyLines = ingest.ErrTooManyLines
+	ErrTooManyCells = ingest.ErrTooManyCells
+)
+
+// DefaultMinDialectScore is the confidence floor under which dialect
+// detection is considered unreliable: the winner is discarded, the file is
+// parsed under the comma dialect, and the annotation is marked degraded.
+// The value sits well below the scores clean machine-written CSV achieves
+// (≥0.3 in practice) but above the near-zero scores of prose and noise.
+const DefaultMinDialectScore = 0.02
+
+// LoadOptions configures the hardened loaders.
+type LoadOptions struct {
+	// Ingest holds the byte-level guards; the zero value uses defaults.
+	Ingest IngestOptions
+	// MinDialectScore is the dialect-confidence floor (0 = the package
+	// default; negative disables the floor entirely).
+	MinDialectScore float64
+	// ForceDialect skips detection and parses under the given dialect.
+	ForceDialect *Dialect
 }
 
-// LoadFile reads and parses the file at path.
-func LoadFile(path string) (*Table, Dialect, error) {
-	f, err := os.Open(path)
+func (o LoadOptions) minScore() float64 {
+	//lint:ignore floatcmp exact compare against the zero-value default, which is representable
+	if o.MinDialectScore == 0 {
+		return DefaultMinDialectScore
+	}
+	if o.MinDialectScore < 0 {
+		return 0
+	}
+	return o.MinDialectScore
+}
+
+// LoadBytes runs raw bytes through the full hardened front door: encoding
+// sniffing and normalization, resource guards, dialect detection with a
+// confidence floor, and guarded parsing. The returned table carries a
+// Provenance describing every repair; errors wrap the ingest taxonomy
+// (ErrTooLarge, ErrBadEncoding, ErrEmptyInput, ...).
+func LoadBytes(data []byte, opts LoadOptions) (*Table, Dialect, error) {
+	res, err := ingest.Normalize(data, opts.Ingest)
 	if err != nil {
 		return nil, Dialect{}, err
 	}
-	defer f.Close()
-	t, d, err := Load(f)
+	return buildTable(res, opts)
+}
+
+// buildTable finishes loading normalized text: dialect selection, guarded
+// splitting, cropping, and provenance attachment.
+func buildTable(res ingest.Result, opts LoadOptions) (*Table, Dialect, error) {
+	prov := res.Provenance
+	var d Dialect
+	switch {
+	case opts.ForceDialect != nil:
+		d = *opts.ForceDialect
+	default:
+		det, err := dialect.DetectBest(res.Text)
+		if err != nil {
+			return nil, Dialect{}, fmt.Errorf("strudel: %w", err)
+		}
+		prov.DialectScore, prov.DialectMargin = det.Score, det.Margin
+		if det.Score < opts.minScore() {
+			// Low-confidence winner: produce a predictable comma parse and
+			// say so, instead of silently committing to a garbage dialect.
+			d = DefaultDialect
+			prov.DialectFallback = true
+			prov.Trip(ingest.GuardDialectScore)
+		} else {
+			d = det.Dialect
+		}
+	}
+	prov.Dialect = d.String()
+
+	maxCells := opts.Ingest.MaxCellsPerLine
+	if maxCells == 0 {
+		maxCells = ingest.DefaultMaxCellsPerLine
+	}
+	rows, dropped := dialect.SplitLimit(res.Text, d, maxCells)
+	if dropped > 0 {
+		if opts.Ingest.Strict {
+			return nil, Dialect{}, fmt.Errorf("strudel: %w (%d cells beyond the per-line limit %d)",
+				ErrTooManyCells, dropped, maxCells)
+		}
+		prov.CellsDropped = dropped
+		prov.Trip(ingest.GuardCellsDropped)
+	}
+	t := table.FromRows(rows).Crop()
+	t.Provenance = &prov
+	return t, d, nil
+}
+
+// Load reads a verbose CSV file from r through the hardened ingestion
+// layer with default options, detects its dialect, and parses it.
+func Load(r io.Reader) (*Table, Dialect, error) {
+	return LoadReader(r, LoadOptions{})
+}
+
+// LoadReader is Load with explicit options. The reader is capped at the
+// ingest size guard, so an unbounded stream cannot exhaust memory.
+func LoadReader(r io.Reader, opts LoadOptions) (*Table, Dialect, error) {
+	res, err := ingest.Read(r, opts.Ingest)
+	if err != nil {
+		return nil, Dialect{}, err
+	}
+	return buildTable(res, opts)
+}
+
+// LoadFile reads and parses the file at path with default options.
+func LoadFile(path string) (*Table, Dialect, error) {
+	return LoadFileOptions(path, LoadOptions{})
+}
+
+// LoadFileOptions is LoadFile with explicit ingestion and dialect options.
+func LoadFileOptions(path string, opts LoadOptions) (*Table, Dialect, error) {
+	res, err := ingest.ReadFile(path, opts.Ingest)
+	if err != nil {
+		return nil, Dialect{}, err
+	}
+	t, d, err := buildTable(res, opts)
 	if err != nil {
 		return nil, Dialect{}, fmt.Errorf("strudel: %s: %w", path, err)
 	}
@@ -96,6 +221,19 @@ type Annotation struct {
 	// LineProbabilities holds the Strudel^L per-class confidence for every
 	// line (all zeros for empty lines).
 	LineProbabilities [][]float64
+
+	// Provenance records how the file's bytes were ingested and which
+	// guards fired, when the table was loaded through Load/LoadBytes/
+	// LoadFile. Nil for tables built directly from rows.
+	Provenance *Provenance `json:"provenance,omitempty"`
+	// Degraded lists why this annotation is best-effort rather than exact:
+	// ingestion repairs (latin-1 fallback, truncated lines, stripped NULs)
+	// and dialect fallback. Empty for pristine input.
+	Degraded []string `json:"degraded,omitempty"`
+	// Err is the per-file failure of a batch run — a recovered panic, a
+	// per-file timeout, or batch cancellation. When Err is non-nil the
+	// other fields are zero. Errors never escape AnnotateAll as panics.
+	Err error `json:"-"`
 }
 
 // Model bundles a trained Strudel^L line classifier and Strudel^C cell
@@ -183,6 +321,9 @@ func (m *Model) Annotate(t *Table) *Annotation {
 }
 
 func (m *Model) annotate(a *pipeline.Artifacts) *Annotation {
+	if annotateTestHook != nil {
+		annotateTestHook(a.Table)
+	}
 	lines := m.line.ClassifyWithArtifacts(a)
 	var cells [][]Class
 	if m.cell == nil {
@@ -190,12 +331,22 @@ func (m *Model) annotate(a *pipeline.Artifacts) *Annotation {
 	} else {
 		cells = m.cell.ClassifyWithArtifacts(a)
 	}
-	return &Annotation{
+	ann := &Annotation{
 		Lines:             lines,
 		Cells:             cells,
 		LineProbabilities: m.line.ProbabilitiesWithArtifacts(a),
 	}
+	if p := a.Table.Provenance; p != nil {
+		ann.Provenance = p
+		ann.Degraded = p.DegradedReasons()
+	}
+	return ann
 }
+
+// annotateTestHook, when set, runs at the start of every annotate call. It
+// exists so tests can force a panic for a chosen file and prove the batch
+// fault barrier isolates it.
+var annotateTestHook func(*table.Table)
 
 // BatchOptions configures AnnotateAll.
 type BatchOptions struct {
@@ -204,17 +355,88 @@ type BatchOptions struct {
 	// annotation always describes the i-th input file, and the predicted
 	// classes and probabilities are byte-identical to a serial run.
 	Parallelism int
+	// FileTimeout caps the wall-clock time spent annotating any single
+	// file (0 = no cap). A file that exceeds it gets an Annotation with
+	// Err set (wrapping context.DeadlineExceeded); the rest of the batch
+	// is unaffected.
+	FileTimeout time.Duration
 }
 
 // AnnotateAll classifies a corpus of tables, fanning the per-file work
 // (which is fully independent) out over a bounded worker pool. The result
-// has one annotation per input, in input order.
+// has one annotation per input, in input order. Per-file failures —
+// including panics, which the fault barrier converts to errors — surface
+// on the file's own Annotation.Err; one poisoned file never affects the
+// others.
 func (m *Model) AnnotateAll(files []*Table, opts BatchOptions) []*Annotation {
+	return m.AnnotateAllContext(context.Background(), files, opts)
+}
+
+// AnnotateAllContext is AnnotateAll with cooperative cancellation. Once ctx
+// is cancelled, no further files start; their slots come back with Err set
+// to the context's error. In-flight files run to completion (or to their
+// FileTimeout), so the returned slice always has one non-nil entry per
+// input.
+func (m *Model) AnnotateAllContext(ctx context.Context, files []*Table, opts BatchOptions) []*Annotation {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]*Annotation, len(files))
-	pipeline.ForEach(len(files), opts.Parallelism, func(i int) {
-		out[i] = m.Annotate(files[i])
+	err := pipeline.ForEachContext(ctx, len(files), opts.Parallelism, func(i int) {
+		out[i] = m.annotateGuarded(ctx, files[i], opts.FileTimeout)
 	})
+	for i, a := range out {
+		if a == nil { // never dispatched: the batch was cancelled first
+			cause := err
+			if cause == nil {
+				cause = context.Canceled
+			}
+			out[i] = &Annotation{Err: fmt.Errorf("strudel: %s: batch aborted: %w", nameOf(files[i]), cause)}
+		}
+	}
 	return out
+}
+
+// annotateGuarded is the fault-isolated per-file unit of batch work: it
+// runs one Annotate inside a recover barrier and, when asked, under a
+// per-file deadline.
+func (m *Model) annotateGuarded(ctx context.Context, t *Table, timeout time.Duration) *Annotation {
+	if err := ctx.Err(); err != nil {
+		return &Annotation{Err: fmt.Errorf("strudel: %s: batch aborted: %w", nameOf(t), err)}
+	}
+	run := func() *Annotation {
+		var ann *Annotation
+		if err := pipeline.Safely(func() { ann = m.Annotate(t) }); err != nil {
+			return &Annotation{Err: fmt.Errorf("strudel: %s: annotation failed: %w", nameOf(t), err)}
+		}
+		return ann
+	}
+	if timeout <= 0 && ctx.Done() == nil {
+		return run()
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	// The unit itself is CPU-bound with no internal checkpoints, so the
+	// deadline is enforced by abandonment: the worker goroutine finishes on
+	// its own and the buffered channel lets it exit without a receiver.
+	ch := make(chan *Annotation, 1)
+	go func() { ch <- run() }()
+	select {
+	case ann := <-ch:
+		return ann
+	case <-ctx.Done():
+		return &Annotation{Err: fmt.Errorf("strudel: %s: %w", nameOf(t), ctx.Err())}
+	}
+}
+
+func nameOf(t *Table) string {
+	if t == nil || t.Name == "" {
+		return "(unnamed table)"
+	}
+	return t.Name
 }
 
 // HasCellModel reports whether the model carries a trained Strudel^C.
