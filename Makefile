@@ -1,15 +1,17 @@
 # Tier-1 verification plus static analysis and race checking.
 #
-#   make tier1       build + test (the roadmap's tier-1 gate)
-#   make lint        run the strudel-lint analyzer suite over ./...
-#   make check       tier1 plus `go vet`, strudel-lint, and the race detector
-#   make fuzz-smoke  run each fuzz target briefly (regression smoke, ~30s)
-#   make bench       annotate-path micro-benchmarks (single file + batch)
+#   make tier1        build + test (the roadmap's tier-1 gate)
+#   make lint         run the strudel-lint analyzer suite over ./...
+#   make lint-models  verify the model-artifact corpus (valid pass, corrupt fail)
+#   make check        tier1 plus `go vet`, strudel-lint, artifacts, and the race detector
+#   make fuzz-smoke   run each fuzz target briefly (regression smoke, ~30s)
+#   make bench        annotate-path micro-benchmarks (single file + batch)
+#   make bench-lint   full-repo analyzer-suite benchmark
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race tier1 check fuzz-smoke bench
+.PHONY: build test vet lint lint-models race tier1 check fuzz-smoke bench bench-lint
 
 build:
 	$(GO) build ./...
@@ -23,12 +25,19 @@ vet:
 lint:
 	$(GO) run ./cmd/strudel-lint ./...
 
+# The corpus gate cuts both ways: every valid_ artifact must verify clean
+# AND every corrupt_ artifact must be rejected — a verifier that stops
+# rejecting is as broken as one that stops accepting.
+lint-models:
+	$(GO) run ./cmd/strudel-lint -models 'testdata/models/valid_*.json'
+	! $(GO) run ./cmd/strudel-lint -models 'testdata/models/corrupt_*.json' > /dev/null 2>&1
+
 race:
 	$(GO) test -race ./...
 
 tier1: build test
 
-check: vet lint tier1 race
+check: vet lint lint-models tier1 race
 
 # Each -fuzz flag accepts one target per `go test` invocation, so the
 # smoke runs are sequential. -run '^$' skips the unit tests.
@@ -41,3 +50,6 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench 'BenchmarkAnnotate' -benchmem -run '^$$' .
+
+bench-lint:
+	$(GO) test -bench 'BenchmarkLint' -benchmem -run '^$$' ./internal/analysis

@@ -1,20 +1,28 @@
 // Command strudel-lint runs the project's static-analysis suite
-// (internal/analysis) over module packages, enforcing the determinism and
-// feature-parity contracts the annotation pipeline depends on.
+// (internal/analysis) over module packages, enforcing the determinism,
+// concurrency, and feature-parity contracts the annotation pipeline
+// depends on, and verifies serialized model artifacts against the
+// structural invariants prediction relies on.
 //
 // Usage:
 //
 //	strudel-lint [flags] [packages...]
+//	strudel-lint -models <glob> [globs...]
 //
 // Packages default to ./... and accept the shapes ./..., ./dir/..., ./dir,
-// or module import paths. Exit status: 0 clean, 1 findings, 2 usage or
-// load failure.
+// or module import paths. With -models, arguments are artifact glob
+// patterns instead of packages. Exit status: 0 clean, 1 findings, 2 usage
+// or load failure.
 //
 // Flags:
 //
 //	-json          emit findings as a JSON array instead of file:line text
 //	-checks list   comma-separated check names to run (default: all)
 //	-list          print the registered checks and exit
+//	-models glob   verify model artifact files matching the glob(s)
+//
+// Reported paths are module-relative and slash-separated in both output
+// modes, so results are stable across machines and checkouts.
 //
 // Findings are silenced at the offending line (or the line above) with
 //
@@ -28,25 +36,49 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"strudel/internal/analysis"
+	"strudel/internal/analysis/modelcheck"
 )
 
 func main() {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: args are the command-line arguments
+// (without the program name), dir is the working directory patterns
+// resolve against, and the return value is the process exit code.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("strudel-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		asJSON = flag.Bool("json", false, "emit findings as JSON")
-		checks = flag.String("checks", "", "comma-separated check names to run (default: all)")
-		list   = flag.Bool("list", false, "list registered checks and exit")
+		asJSON = fs.Bool("json", false, "emit findings as JSON")
+		checks = fs.String("checks", "", "comma-separated check names to run (default: all)")
+		list   = fs.Bool("list", false, "list registered checks and exit")
+		models = fs.String("models", "", "verify model artifact files matching this glob (positional args add more globs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			_, _ = fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+
+	if *models != "" {
+		return runModels(append([]string{*models}, fs.Args()...), dir, *asJSON, stdout, stderr)
 	}
 
 	analyzers := analysis.All
@@ -56,62 +88,127 @@ func main() {
 			name = strings.TrimSpace(name)
 			a := analysis.Lookup(name)
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "strudel-lint: unknown check %q (see -list)\n", name)
-				os.Exit(2)
+				_, _ = fmt.Fprintf(stderr, "strudel-lint: unknown check %q (see -list)\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	cwd, err := os.Getwd()
+	root, modPath, err := analysis.FindModule(dir)
 	if err != nil {
-		fatal(err)
-	}
-	root, modPath, err := analysis.FindModule(cwd)
-	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	loader := analysis.NewLoader(root, modPath)
-	paths, err := loader.Expand(flag.Args())
+	paths, err := loader.Expand(resolvePatterns(fs.Args(), dir))
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
 	diags, err := analysis.Run(loader, paths, analyzers)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
+	}
+
+	// Module-relative, slash-separated paths in every output mode: the
+	// JSON feed must compare bytewise across machines and checkouts.
+	for i := range diags {
+		diags[i].File = moduleRel(root, diags[i].File)
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(rel(root, d))
+			_, _ = fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*asJSON {
-			fmt.Fprintf(os.Stderr, "strudel-lint: %d finding(s)\n", len(diags))
+			_, _ = fmt.Fprintf(stderr, "strudel-lint: %d finding(s)\n", len(diags))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-// rel shortens absolute diagnostic paths to module-relative ones for
-// readable terminal output.
-func rel(root string, d analysis.Diagnostic) string {
-	file := d.File
-	if r, ok := strings.CutPrefix(file, root+string(os.PathSeparator)); ok {
-		file = r
+// runModels verifies model artifacts matching the glob patterns. A shell
+// that expands the -models glob itself leaves only the first match bound to
+// the flag, so the positional remainder is folded in as extra patterns.
+func runModels(patterns []string, dir string, asJSON bool, stdout, stderr io.Writer) int {
+	for i, p := range patterns {
+		if !filepath.IsAbs(p) {
+			patterns[i] = filepath.Join(dir, p)
+		}
 	}
-	return fmt.Sprintf("%s:%d:%d: %s: %s", file, d.Line, d.Col, d.Check, d.Message)
+	findings, err := modelcheck.VerifyGlobs(patterns)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	for i := range findings {
+		findings[i].File = moduleRel(dir, findings[i].File)
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, f := range findings {
+			_, _ = fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !asJSON {
+			_, _ = fmt.Fprintf(stderr, "strudel-lint: %d invalid artifact finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "strudel-lint:", err)
-	os.Exit(2)
+// resolvePatterns anchors relative package patterns at dir, so run() is
+// independent of the process working directory.
+func resolvePatterns(patterns []string, dir string) []string {
+	out := make([]string, len(patterns))
+	for i, pat := range patterns {
+		rest, recursive := strings.CutSuffix(pat, "/...")
+		if rest == "" || rest == "." {
+			rest = dir
+		}
+		switch {
+		case filepath.IsAbs(rest):
+			// Already anchored.
+		case rest == "." || strings.HasPrefix(rest, "./") || strings.HasPrefix(rest, "../"):
+			rest = filepath.Join(dir, rest)
+		default:
+			// A bare module import path: leave it for the loader.
+			out[i] = pat
+			continue
+		}
+		if recursive {
+			rest += "/..."
+		}
+		out[i] = rest
+	}
+	return out
+}
+
+// moduleRel shortens an absolute path under root to a root-relative,
+// slash-separated one; paths outside root pass through unchanged.
+func moduleRel(root, path string) string {
+	if r, ok := strings.CutPrefix(path, root+string(os.PathSeparator)); ok {
+		return filepath.ToSlash(r)
+	}
+	return path
+}
+
+func fatal(stderr io.Writer, err error) int {
+	_, _ = fmt.Fprintln(stderr, "strudel-lint:", err)
+	return 2
 }

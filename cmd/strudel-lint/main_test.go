@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir returns the absolute path of the golden fixture module.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestGoldenJSON pins the machine-readable output contract: stable
+// check-then-position ordering, module-relative slash-separated paths, and
+// a byte-identical encoding. Regenerate testdata/golden.json with
+//
+//	go run ./cmd/strudel-lint -json ./... > golden.json   (from testdata/src)
+//
+// after deliberate output-format or analyzer-message changes.
+func TestGoldenJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, fixtureDir(t), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("JSON output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+	}
+	if strings.Contains(stdout.String(), fixtureDir(t)) {
+		t.Error("JSON output leaks absolute paths")
+	}
+}
+
+// TestTextOutputModuleRelative checks the human-readable mode uses the same
+// module-relative paths.
+func TestTextOutputModuleRelative(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks", "panicpath", "./..."}, fixtureDir(t), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	line := strings.SplitN(stdout.String(), "\n", 2)[0]
+	if !strings.HasPrefix(line, "internal/demo/demo.go:") {
+		t.Errorf("text finding %q is not module-relative", line)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("text mode did not summarize findings on stderr: %q", stderr.String())
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	// The repo's own ml/tree package must lint clean from any working dir.
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./internal/ml/tree"}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output: %s", stdout.String())
+	}
+}
+
+func TestRunUnknownCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuch"}, fixtureDir(t), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown check") {
+		t.Errorf("stderr = %q, want unknown-check message", stderr.String())
+	}
+}
+
+func TestModelsCorruptCorpus(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-models", "testdata/models/corrupt_*.json"}, root, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, invariant := range []string{
+		"feature index out of range",
+		"class dimension mismatch",
+		"broken tree links",
+		"bad leaf probabilities",
+		"ensemble has no trees",
+	} {
+		if !strings.Contains(out, invariant) {
+			t.Errorf("-models output does not name invariant %q", invariant)
+		}
+	}
+	if strings.Contains(out, root) {
+		t.Error("-models output leaks absolute paths")
+	}
+}
+
+func TestModelsValidCorpus(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-models", "testdata/models/valid_*.json"}, root, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestModelsNoMatch(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-models", "no_such_dir/*.json"}, t.TempDir(), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

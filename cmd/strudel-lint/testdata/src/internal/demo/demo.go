@@ -1,0 +1,48 @@
+// Package demo is the golden-output fixture for strudel-lint's JSON mode:
+// a library package with one stable finding per representative check, kept
+// deliberately tiny so cmd/strudel-lint/testdata/golden.json stays
+// readable.
+package demo
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Stamp reads the wall clock in library code (nondeterminism) and
+// panics on bad input (panicpath).
+func Stamp(path string) string {
+	if path == "" {
+		panic("empty path")
+	}
+	return time.Now().String()
+}
+
+// Touch discards the error from os.Remove (errcheck).
+func Touch(path string) {
+	os.Remove(path)
+}
+
+var hits int
+
+// Record writes package state from an exported function (sharedwrite) and
+// leaks a mutex on the early return (lockcheck).
+func Record(mu *sync.Mutex, skip bool) {
+	mu.Lock()
+	if skip {
+		return
+	}
+	hits++
+	mu.Unlock()
+}
+
+// Fanout captures the loop variable in a goroutine (goroutinecapture).
+func Fanout(xs []int) {
+	for _, x := range xs {
+		go func() {
+			fmt.Println(x)
+		}()
+	}
+}

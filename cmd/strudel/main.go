@@ -32,6 +32,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -114,7 +115,11 @@ func main() {
 
 func loadOrTrainModel(path string) (*strudel.Model, error) {
 	if path != "" {
-		return strudel.LoadModelFile(path)
+		m, err := strudel.LoadModelFile(path)
+		if errors.Is(err, strudel.ErrInvalidModel) {
+			return nil, fmt.Errorf("%w\n(the file is structurally invalid, not just missing — inspect it with strudel-lint -models %s, or retrain)", err, path)
+		}
+		return m, err
 	}
 	fmt.Fprintln(os.Stderr, "strudel: no -model given; training a small built-in model...")
 	var files []*strudel.Table

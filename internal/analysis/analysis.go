@@ -41,6 +41,9 @@ var All = []*Analyzer{
 	FloatCmp,
 	ErrCheck,
 	PanicPath,
+	LockCheck,
+	GoroutineCapture,
+	SharedWrite,
 	FeatureParity,
 }
 

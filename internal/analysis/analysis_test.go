@@ -111,6 +111,27 @@ func TestPanicPathExemptsMainPackages(t *testing.T) {
 	checkFixture(t, "fixture/panicpathmain", []*Analyzer{PanicPath})
 }
 
+func TestLockCheckFixture(t *testing.T) {
+	checkFixture(t, "fixture/lockcheck", []*Analyzer{LockCheck})
+}
+
+func TestGoroutineCaptureFixture(t *testing.T) {
+	checkFixture(t, "fixture/gocapture", []*Analyzer{GoroutineCapture})
+}
+
+func TestSharedWriteFixture(t *testing.T) {
+	checkFixture(t, "fixture/sharedwrite", []*Analyzer{SharedWrite})
+}
+
+func TestSharedWriteExemptsMainPackages(t *testing.T) {
+	checkFixture(t, "fixture/sharedwritemain", []*Analyzer{SharedWrite})
+}
+
+func TestPipelineFixtureIsClean(t *testing.T) {
+	// The fixture worker pool itself must not trip the concurrency checks.
+	checkFixture(t, "fixture/pipeline", []*Analyzer{LockCheck, GoroutineCapture, SharedWrite})
+}
+
 func TestFeatureParityCleanFixture(t *testing.T) {
 	checkFixture(t, "fixture/paritygood", []*Analyzer{FeatureParity})
 }

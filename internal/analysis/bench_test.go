@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+// BenchmarkLint measures a full-repo run of the complete analyzer suite —
+// parse, type-check, CFG construction, and all registered checks over
+// every module package — which is what `make lint` pays on each CI run.
+// Each iteration uses a fresh loader: package loading dominates real
+// invocations, so memoized reruns would measure the wrong thing.
+func BenchmarkLint(b *testing.B) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, modPath).Expand([]string{root + "/..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, err := Run(NewLoader(root, modPath), pkgs, All)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo is not lint-clean: %v", diags[0])
+		}
+	}
+}

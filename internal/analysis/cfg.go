@@ -1,0 +1,505 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intraprocedural dataflow engine the concurrency
+// analyzers build on: a per-function control-flow graph of basic blocks
+// (covering if/for/range/switch/select/defer and the break/continue/return
+// jumps between them) plus a forward reaching-facts solver over a small
+// map lattice. It is deliberately intraprocedural — calls are opaque, defers
+// are approximated as running at every exit, and functions using goto are
+// marked Hairy so clients can skip them instead of reasoning wrongly.
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; Exit is a synthetic empty block every return (and the fall
+// off the end of the body) jumps to.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+	// Defers lists every deferred call in the function, in source order.
+	// The builder records them function-wide: a defer executed on any path
+	// runs at every subsequent exit, and treating all of them as reaching
+	// every exit is the approximation that avoids false positives from
+	// conditional defers.
+	Defers []*ast.CallExpr
+	// Hairy marks control flow the builder does not model (goto). Dataflow
+	// clients should skip hairy functions rather than trust their graphs.
+	Hairy bool
+}
+
+// A Block is one basic block: statements and control expressions that
+// execute in order, followed by a jump to one of Succs.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements (and for conditions, the bare
+	// expression) in execution order. Function-literal bodies inside a node
+	// are NOT part of this function's flow; clients must not descend into
+	// them when transferring facts.
+	Nodes []ast.Node
+	Succs []*Block
+
+	preds []*Block
+}
+
+// Entry returns the function's entry block.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// cfgBuilder incrementally grows a CFG while walking one function body.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breakTargets / continueTargets stack the jump destinations of the
+	// enclosing loops and switches; label is "" for unlabeled frames.
+	breakTargets    []jumpTarget
+	continueTargets []jumpTarget
+}
+
+type jumpTarget struct {
+	label string
+	block *Block
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	b.cur = entry
+	b.stmtList(body.List, "")
+	b.edge(b.cur, exit)
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.preds = append(s.preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jumpTo ends the current block with an edge to target and continues
+// building in a fresh, unreachable block (statements after a jump).
+func (b *cfgBuilder) jumpTo(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, label string) {
+	for i, s := range list {
+		// Only the statement a label is attached to sees it; a label is
+		// consumed by the first loop/switch it wraps.
+		if i == 0 {
+			b.stmt(s, label)
+		} else {
+			b.stmt(s, "")
+		}
+	}
+}
+
+func findTarget(stack []jumpTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List, "")
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List, "")
+		b.edge(b.cur, join)
+
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		// continue jumps to the post statement when there is one, else to
+		// the condition check.
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			contTo = post
+		}
+		b.pushLoop(label, after, contTo)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List, "")
+		b.edge(b.cur, contTo)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		// The range expression is evaluated once, before the loop; only the
+		// per-iteration variables sit in the head block (the RangeStmt node
+		// itself would drag its whole body subtree into the head).
+		b.cur.Nodes = append(b.cur.Nodes, s.X)
+		head := b.newBlock()
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		b.edge(head, after)
+		b.pushLoop(label, after, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List, "")
+		b.edge(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jumpTo(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breakTargets, labelName(s)); t != nil {
+				b.jumpTo(t)
+			} else {
+				b.cfg.Hairy = true
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continueTargets, labelName(s)); t != nil {
+				b.jumpTo(t)
+			} else {
+				b.cfg.Hairy = true
+			}
+		case token.GOTO:
+			b.cfg.Hairy = true
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled by switchClauses; reaching here means a malformed
+			// tree, which the type checker already rejected.
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	default:
+		// Straight-line statements: assignments, declarations, expression
+		// statements, go statements, sends, increments.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// switchClauses builds the branch structure shared by switch, type switch,
+// and select: the dispatching block fans out to one block per clause, every
+// clause ends at the after block, and (for switches) a missing default adds
+// a direct dispatch→after edge. Fallthrough chains a case block into the
+// next clause's block.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, isSelect bool) {
+	dispatch := b.cur
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(dispatch, blocks[i])
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !isSelect && !hasDefault {
+		b.edge(dispatch, after)
+	}
+	if isSelect && len(clauses) == 0 {
+		// `select {}` blocks forever; no edge to after.
+		b.cur = after
+		return
+	}
+
+	// break inside a clause exits the switch/select.
+	b.breakTargets = append(b.breakTargets, jumpTarget{label: label, block: after})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, jumpTarget{label: "", block: after})
+	}
+	for i, clause := range clauses {
+		b.cur = blocks[i]
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				b.cur.Nodes = append(b.cur.Nodes, e)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				b.stmt(c.Comm, "")
+			}
+			body = c.Body
+		}
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body, "")
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if label != "" {
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, jumpTarget{label: "", block: brk})
+	b.continueTargets = append(b.continueTargets, jumpTarget{label: "", block: cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, jumpTarget{label: label, block: brk})
+		b.continueTargets = append(b.continueTargets, jumpTarget{label: label, block: cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	n := len(b.breakTargets)
+	// pushLoop added either one or two frames; pop until the unlabeled
+	// frame for this loop is gone. Labeled frames sit on top.
+	if n >= 2 && b.breakTargets[n-1].label != "" {
+		b.breakTargets = b.breakTargets[:n-2]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-2]
+		return
+	}
+	b.breakTargets = b.breakTargets[:n-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+// CFG returns the control-flow graph of fn's body, building and memoizing
+// it on first use. fn may be an *ast.FuncDecl or an *ast.FuncLit; a nil
+// body (external declaration) returns nil. The cache lives on the package,
+// so every analyzer in a run shares one graph per function.
+func (p *Pass) CFG(fn ast.Node) *CFG {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return nil
+	}
+	if p.Pkg.cfgs == nil {
+		p.Pkg.cfgs = make(map[ast.Node]*CFG)
+	}
+	if c, ok := p.Pkg.cfgs[fn]; ok {
+		return c
+	}
+	c := buildCFG(body)
+	p.Pkg.cfgs[fn] = c
+	return c
+}
+
+// FactState is the per-key lattice of the reaching-facts analysis:
+// a fact either holds on every path reaching a point (FactMust) or on at
+// least one but not all (FactMay). Absence from the map means the fact
+// holds on no path. Join degrades Must to May when the other side lacks
+// the fact.
+type FactState uint8
+
+const (
+	// FactMay marks a fact holding on some but not necessarily all paths.
+	FactMay FactState = iota + 1
+	// FactMust marks a fact holding on every path to this point.
+	FactMust
+)
+
+// Facts maps fact keys (analyzer-chosen strings, e.g. a canonical mutex
+// expression) to their lattice state.
+type Facts map[string]FactState
+
+// Clone returns an independent copy of f.
+func (f Facts) Clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// join merges two predecessor fact maps: present-in-both as Must stays
+// Must, anything else present becomes May.
+func join(a, b Facts) Facts {
+	out := make(Facts, len(a)+len(b))
+	for k, v := range a {
+		if v == FactMust && b[k] == FactMust {
+			out[k] = FactMust
+		} else {
+			out[k] = FactMay
+		}
+	}
+	for k := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = FactMay
+		}
+	}
+	return out
+}
+
+func factsEqual(a, b Facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Forward runs a forward reaching-facts analysis over the CFG to fixpoint
+// and returns the facts holding at the ENTRY of each reachable block.
+// transfer must be pure: it receives a private copy of the incoming facts
+// and returns the outgoing facts of the block. Unreachable blocks get no
+// entry (nil is not in the map). The lattice is finite (keys are introduced
+// only by transfer, states only degrade Must→May across joins), so the
+// iteration terminates.
+func (c *CFG) Forward(transfer func(b *Block, in Facts) Facts) map[*Block]Facts {
+	in := make(map[*Block]Facts, len(c.Blocks))
+	out := make(map[*Block]Facts, len(c.Blocks))
+	in[c.Entry()] = Facts{}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.Blocks {
+			var inF Facts
+			if blk == c.Entry() {
+				inF = Facts{}
+			} else {
+				reached := false
+				for _, p := range blk.preds {
+					o, ok := out[p]
+					if !ok {
+						continue
+					}
+					if !reached {
+						inF = o.Clone()
+						reached = true
+					} else {
+						inF = join(inF, o)
+					}
+				}
+				if !reached {
+					continue // unreachable so far
+				}
+			}
+			if prev, ok := in[blk]; !ok || !factsEqual(prev, inF) {
+				in[blk] = inF
+				changed = true
+			}
+			o := transfer(blk, in[blk].Clone())
+			if prev, ok := out[blk]; !ok || !factsEqual(prev, o) {
+				out[blk] = o
+				changed = true
+			}
+		}
+	}
+	return in
+}

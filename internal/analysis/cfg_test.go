@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses one function declaration and returns its body.
+func parseFunc(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry())
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f() { x := 1; _ = x }`))
+	if len(c.Entry().Nodes) != 2 {
+		t.Errorf("entry block has %d nodes, want 2", len(c.Entry().Nodes))
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable from entry")
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(b bool) int {
+		x := 0
+		if b {
+			x = 1
+		} else {
+			x = 2
+		}
+		return x
+	}`))
+	// Entry must branch two ways, and the exit must be reachable.
+	if got := len(c.Entry().Succs); got != 2 {
+		t.Errorf("condition block has %d successors, want 2", got)
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f() {
+		for i := 0; i < 3; i++ {
+			_ = i
+		}
+	}`))
+	// Some block must have a successor with a smaller index (the back edge).
+	hasBack := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != c.Exit {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Error("for loop produced no back edge")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(xs []int) {
+		for _, x := range xs {
+			if x < 0 {
+				continue
+			}
+			if x > 10 {
+				break
+			}
+			_ = x
+		}
+	}`))
+	if c.Hairy {
+		t.Error("break/continue marked the function hairy")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(m [][]int) {
+	outer:
+		for _, row := range m {
+			for _, v := range row {
+				if v == 0 {
+					break outer
+				}
+				if v == 1 {
+					continue outer
+				}
+			}
+		}
+	}`))
+	if c.Hairy {
+		t.Error("labeled break/continue marked the function hairy")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGGotoIsHairy(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f() {
+	top:
+		if true {
+			goto top
+		}
+	}`))
+	if !c.Hairy {
+		t.Error("goto did not mark the function hairy")
+	}
+}
+
+func TestCFGSwitchFanOut(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(x int) int {
+		switch x {
+		case 1:
+			return 1
+		case 2:
+			return 2
+		}
+		return 0
+	}`))
+	// No default: the dispatch block needs case+case+after = 3 successors.
+	if got := len(c.Entry().Succs); got != 3 {
+		t.Errorf("switch dispatch has %d successors, want 3", got)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(a, b chan int) int {
+		select {
+		case v := <-a:
+			return v
+		case v := <-b:
+			return v
+		}
+	}`))
+	if got := len(c.Entry().Succs); got != 2 {
+		t.Errorf("select dispatch has %d successors, want 2", got)
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f() {
+		defer one()
+		if true {
+			defer two()
+		}
+	}`))
+	if len(c.Defers) != 2 {
+		t.Errorf("recorded %d defers, want 2", len(c.Defers))
+	}
+}
+
+// TestForwardFixpointOverLoop drives the dataflow solver directly: a fact
+// introduced inside a conditional must degrade to FactMay at the join, and
+// one introduced before a loop must stay FactMust throughout it.
+func TestForwardFixpointOverLoop(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(b bool, xs []int) {
+		pre()
+		if b {
+			maybe()
+		}
+		for _, x := range xs {
+			_ = x
+		}
+		post()
+	}`))
+	// Transfer: seeing a call to pre() sets fact "pre" Must; maybe() sets
+	// "maybe" Must.
+	setters := map[string]string{"pre": "pre", "maybe": "maybe"}
+	in := c.Forward(func(blk *Block, facts Facts) Facts {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(nn ast.Node) bool {
+				call, ok := nn.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if key, ok := setters[id.Name]; ok {
+						facts[key] = FactMust
+					}
+				}
+				return true
+			})
+		}
+		return facts
+	})
+	exitIn, ok := in[c.Exit]
+	if !ok {
+		t.Fatal("exit has no incoming facts")
+	}
+	if exitIn["pre"] != FactMust {
+		t.Errorf("fact pre = %v at exit, want FactMust", exitIn["pre"])
+	}
+	if exitIn["maybe"] != FactMay {
+		t.Errorf("fact maybe = %v at exit, want FactMay", exitIn["maybe"])
+	}
+}

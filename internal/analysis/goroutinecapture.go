@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture audits the variables a concurrently-executed function
+// literal closes over. A literal runs concurrently when it is launched with
+// a go statement or handed to the pipeline worker pool (pipeline.ForEach /
+// ForEachContext). Three capture patterns are flagged:
+//
+//   - loop variables: an enclosing for/range iteration variable referenced
+//     inside the literal. Per-iteration semantics make the read safe since
+//     Go 1.22, but the determinism contract wants iteration identity passed
+//     as an argument, where the data flow is visible;
+//   - unsynchronized writes: an assignment (or ++/--) whose target is a
+//     captured outer variable, or a field/deref chain rooted at one. Writes
+//     through an index expression (out[i] = ...) are the blessed
+//     disjoint-slot pattern and stay silent, as does any literal whose body
+//     takes a mutex;
+//   - unsafe shared state: capturing a pipeline.Artifacts or analysis.Pass
+//     value (both documented as not concurrency-safe), however it is used.
+//
+// Suppress a deliberate share with //lint:ignore goroutinecapture <why>.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc: "flags loop variables and unsynchronized shared state captured by " +
+		"go-statement or pipeline.ForEach function literals",
+	Run: runGoroutineCapture,
+}
+
+func runGoroutineCapture(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		// Loop-variable objects of the file, each mapped to its loop
+		// statement, so capture checks can ask "is this object the
+		// iteration variable of a loop enclosing the launch site?".
+		loopVars := collectLoopVars(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkConcurrentLiteral(pass, lit, "go statement", loopVars)
+				}
+			case *ast.CallExpr:
+				if !isForEachCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkConcurrentLiteral(pass, lit, "pipeline.ForEach closure", loopVars)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectLoopVars maps every iteration-variable object of a file to the
+// loop statement that declares it: range keys/values declared with :=, and
+// variables initialized in a for statement's init clause.
+func collectLoopVars(pass *Pass, file *ast.File) map[types.Object]ast.Node {
+	out := map[types.Object]ast.Node{}
+	def := func(e ast.Expr, loop ast.Node) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+			out[obj] = loop
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if n.Key != nil {
+					def(n.Key, n)
+				}
+				if n.Value != nil {
+					def(n.Value, n)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					def(lhs, n)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isForEachCall reports whether a call invokes ForEach or ForEachContext of
+// a package named pipeline (the project worker pool; matching by package
+// name keeps the fixture module honest too).
+func isForEachCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "pipeline" {
+		return false
+	}
+	return fn.Name() == "ForEach" || fn.Name() == "ForEachContext"
+}
+
+// checkConcurrentLiteral inspects one concurrently-executed literal.
+func checkConcurrentLiteral(pass *Pass, lit *ast.FuncLit, how string, loopVars map[types.Object]ast.Node) {
+	synced := bodyTakesLock(pass, lit.Body)
+	reported := map[types.Object]bool{}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if synced {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkCapturedWrite(pass, lit, lhs, how)
+			}
+		case *ast.IncDecStmt:
+			if synced {
+				return true
+			}
+			checkCapturedWrite(pass, lit, n.X, how)
+		case *ast.Ident:
+			obj := pass.Pkg.Info.Uses[n]
+			if obj == nil || reported[obj] || !capturedBy(lit, obj) {
+				return true
+			}
+			if loop, ok := loopVars[obj]; ok && encloses(loop, lit) {
+				reported[obj] = true
+				pass.Reportf(n.Pos(), "loop variable %s captured by %s; pass it as an argument so each worker gets its own copy", n.Name, how)
+				return true
+			}
+			if kind := unsafeSharedType(obj.Type()); kind != "" {
+				reported[obj] = true
+				pass.Reportf(n.Pos(), "%s (%s) captured by %s is not safe for concurrent use; create one per goroutine", n.Name, kind, how)
+			}
+		}
+		return true
+	})
+}
+
+// checkCapturedWrite flags a write whose target is a captured outer
+// variable or a selector/deref chain rooted at one. A chain through an
+// index expression stays silent: writing disjoint slots of a shared slice
+// is the pipeline's per-index output contract.
+func checkCapturedWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, how string) {
+	root := lhs
+	for {
+		switch e := root.(type) {
+		case *ast.SelectorExpr:
+			root = e.X
+		case *ast.StarExpr:
+			root = e.X
+		case *ast.ParenExpr:
+			root = e.X
+		case *ast.IndexExpr:
+			return // per-index slot write: the blessed pattern
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || !capturedBy(lit, obj) {
+				return
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return
+			}
+			pass.Reportf(lhs.Pos(), "write to captured variable %s inside %s races with the enclosing function; synchronize it or make it a per-worker value", id.Name, how)
+			return
+		}
+	}
+}
+
+// capturedBy reports whether obj is a variable declared outside lit but
+// referenced inside it (a true capture, not a package-level object).
+func capturedBy(lit *ast.FuncLit, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-level state is sharedwrite's domain; captures are locals.
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// encloses reports whether node outer lexically contains inner.
+func encloses(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// unsafeSharedType recognizes the project types documented as not safe for
+// concurrent use: pipeline.Artifacts and analysis.Pass (matched by package
+// name so the fixture module is covered by the same rule). The returned
+// string names the type for the diagnostic; "" means safe.
+func unsafeSharedType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	pkg, name := named.Obj().Pkg().Name(), named.Obj().Name()
+	if (pkg == "pipeline" && name == "Artifacts") || (pkg == "analysis" && name == "Pass") {
+		return "*" + pkg + "." + name
+	}
+	return ""
+}
+
+// bodyTakesLock reports whether a literal's body acquires any sync mutex —
+// the signal that its shared-state writes are deliberately synchronized.
+func bodyTakesLock(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := mutexCall(pass, call); ok && op.acquire {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -27,6 +27,10 @@ type Package struct {
 	Types *types.Package
 	// Info records the type-checker's findings for Files.
 	Info *types.Info
+
+	// cfgs memoizes per-function control-flow graphs (see Pass.CFG) so
+	// every analyzer in a run shares one graph per function.
+	cfgs map[ast.Node]*CFG
 }
 
 // Loader parses and type-checks the packages of a single module without

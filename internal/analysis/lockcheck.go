@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck audits sync.Mutex / sync.RWMutex discipline with the dataflow
+// engine: every function (and function literal) gets a CFG, lock/unlock
+// calls become reaching facts keyed by the canonical receiver expression,
+// and the solver proves two properties per lock:
+//
+//   - no double Lock: a write Lock is never issued while the same lock is
+//     already held on every path to that point (a guaranteed self-deadlock);
+//   - released on every exit: a lock held on any path reaching the
+//     function's exit — with deferred unlocks credited — is reported at its
+//     acquisition site (the lock-then-return-without-defer-unlock bug).
+//
+// The analysis is intraprocedural and syntactic about lock identity
+// (s.mu and an alias p := &s.mu are different keys); functions using goto
+// are skipped. A deliberate lock handoff can be suppressed with
+// //lint:ignore lockcheck <who unlocks and why>.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flags mutexes locked but not released on every path to return, " +
+		"double Lock of a held mutex, and lock-then-return without a " +
+		"deferred unlock",
+	Run: runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockDiscipline(pass, fd)
+			// Function literals are separate execution contexts (goroutine
+			// bodies, deferred cleanups, callbacks); each gets its own CFG.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockDiscipline(pass, lit)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockOp is one mutex call site inside a basic block.
+type lockOp struct {
+	key     string // canonical receiver + "/W" or "/R"
+	recv    string // receiver rendering for messages
+	name    string // Lock, Unlock, RLock, RUnlock, TryLock, TryRLock
+	pos     token.Pos
+	acquire bool // Lock/RLock/TryLock
+	try     bool // TryLock/TryRLock: acquisition not guaranteed
+}
+
+func checkLockDiscipline(pass *Pass, fn ast.Node) {
+	cfg := pass.CFG(fn)
+	if cfg == nil || cfg.Hairy {
+		return
+	}
+
+	// Collect the mutex operations of each block once; bail out early for
+	// the overwhelmingly common lock-free function.
+	ops := make(map[*Block][]lockOp, len(cfg.Blocks))
+	any := false
+	firstLock := map[string]token.Pos{}
+	lockRecv := map[string]string{}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, op := range mutexOps(pass, n) {
+				ops[blk] = append(ops[blk], op)
+				any = true
+				if op.acquire {
+					if _, ok := firstLock[op.key]; !ok {
+						firstLock[op.key] = op.pos
+						lockRecv[op.key] = op.recv
+					}
+				}
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Deferred releases run at every exit; credit them against the held
+	// set before judging the exit state. A conditional defer is credited
+	// too — under-reporting beats flagging the defer-after-branch idiom.
+	deferred := map[string]bool{}
+	for _, call := range cfg.Defers {
+		for _, op := range deferredReleases(pass, call) {
+			deferred[op.key] = true
+		}
+	}
+
+	transfer := func(blk *Block, in Facts) Facts {
+		for _, op := range ops[blk] {
+			applyLockOp(in, op)
+		}
+		return in
+	}
+	in := cfg.Forward(transfer)
+
+	// Reporting pass 1: double Lock. Replay each reachable block from its
+	// solved entry facts; a write Lock issued while the same key is
+	// Must-held on every path is a guaranteed self-deadlock.
+	reportedDouble := map[string]bool{}
+	for _, blk := range cfg.Blocks {
+		facts, ok := in[blk]
+		if !ok {
+			continue
+		}
+		facts = facts.Clone()
+		for _, op := range ops[blk] {
+			if op.acquire && !op.try && strings.HasSuffix(op.key, "/W") &&
+				facts[op.key] == FactMust && !reportedDouble[op.key] {
+				reportedDouble[op.key] = true
+				pass.Reportf(op.pos, "%s.%s while %s is already held on every path here: guaranteed deadlock", op.recv, op.name, op.recv)
+			}
+			applyLockOp(facts, op)
+		}
+	}
+
+	// Reporting pass 2: held at exit. The exit block's entry facts are the
+	// join over every return and the fall-off-the-end path.
+	exitFacts, ok := in[cfg.Exit]
+	if !ok {
+		return // no path reaches the exit (e.g. infinite loop)
+	}
+	for key, state := range exitFacts {
+		if deferred[key] {
+			continue
+		}
+		pos, okPos := firstLock[key]
+		if !okPos {
+			continue // held only via an op we never saw acquire (impossible today)
+		}
+		verb := "on some path to return"
+		if state == FactMust {
+			verb = "on every path to return"
+		}
+		pass.Reportf(pos, "%s is locked here but still held %s; unlock on every exit or defer the unlock", lockRecv[key], verb)
+	}
+}
+
+// applyLockOp folds one mutex operation into the fact map. TryLock is a
+// deliberate no-op: its acquisition is conditional on its boolean result,
+// which a block-level lattice cannot split on, and treating it as held
+// would flag the universal `if mu.TryLock() { ...; mu.Unlock() }` idiom.
+// A leaked TryLock therefore goes unreported (documented limit).
+func applyLockOp(facts Facts, op lockOp) {
+	if op.acquire {
+		if !op.try {
+			facts[op.key] = FactMust
+		}
+		return
+	}
+	delete(facts, op.key)
+}
+
+// mutexOps extracts the mutex lock/unlock calls a CFG node performs, in
+// evaluation order. Function literal bodies and deferred or go'd calls are
+// skipped: they do not execute at this program point.
+func mutexOps(pass *Pass, n ast.Node) []lockOp {
+	var out []lockOp
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := mutexCall(pass, nn); ok {
+				out = append(out, op)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deferredReleases extracts the unlock operations a deferred call performs:
+// either directly (defer mu.Unlock()) or inside a deferred function literal
+// (defer func() { ...; mu.Unlock() }()).
+func deferredReleases(pass *Pass, call *ast.CallExpr) []lockOp {
+	var out []lockOp
+	if op, ok := mutexCall(pass, call); ok && !op.acquire {
+		out = append(out, op)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(nn ast.Node) bool {
+			if _, ok := nn.(*ast.FuncLit); ok {
+				return false
+			}
+			if c, ok := nn.(*ast.CallExpr); ok {
+				if op, ok := mutexCall(pass, c); ok && !op.acquire {
+					out = append(out, op)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutexCall recognizes a call to a sync.Mutex or sync.RWMutex method and
+// returns its lockOp.
+func mutexCall(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	var mode string
+	var acquire, try bool
+	switch name {
+	case "Lock":
+		mode, acquire = "/W", true
+	case "Unlock":
+		mode = "/W"
+	case "TryLock":
+		mode, acquire, try = "/W", true, true
+	case "RLock":
+		mode, acquire = "/R", true
+	case "RUnlock":
+		mode = "/R"
+	case "TryRLock":
+		mode, acquire, try = "/R", true, true
+	default:
+		return lockOp{}, false
+	}
+	if !isSyncMutex(pass.TypeOf(sel.X)) {
+		return lockOp{}, false
+	}
+	recv := exprString(pass.Fset, sel.X)
+	return lockOp{
+		key:     recv + mode,
+		recv:    recv,
+		name:    name,
+		pos:     call.Pos(),
+		acquire: acquire,
+		try:     try,
+	}, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	if o.Pkg() == nil || o.Pkg().Path() != "sync" {
+		return false
+	}
+	return o.Name() == "Mutex" || o.Name() == "RWMutex"
+}
+
+// exprString renders an expression canonically for use as a fact key and in
+// messages. Rendering goes through go/printer, so syntactically identical
+// expressions share a key regardless of source spacing.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+// Package modelcheck statically verifies serialized model artifacts — the
+// forest/tree JSON files strudel trains and ships — against the structural
+// invariants prediction relies on: split feature indices inside
+// [0, NumFeats), class dimensions matching NumClasses, finite thresholds,
+// leaf probability vectors that are finite, non-negative, and sum to
+// 1±1e-9, and Left/Right links forming a single acyclic, fully reachable
+// binary tree per ensemble member.
+//
+// It is the artifact-side counterpart of the code-side analyzers: just as
+// dialect detection scores a parse by the structural consistency of the
+// resulting table, a model file is scored by the structural consistency of
+// the forest it claims to encode — before it gets a chance to mispredict
+// silently or panic at first use. The same invariants run at load time via
+// forest.Load / (*Forest).Validate; this package adds the offline driver
+// (strudel-lint -models) that names every violated invariant with its path
+// inside the file.
+//
+// Two artifact shapes are recognized: a bare forest (the forest.Save
+// encoding, top-level "trees") and a full strudel model file (top-level
+// "line"/"cell", as written by Model.Save).
+package modelcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"strudel/internal/core"
+	"strudel/internal/ml/forest"
+)
+
+// A Finding is one verification failure in one artifact file.
+type Finding struct {
+	// File is the artifact path as given by the caller.
+	File string `json:"file"`
+	// Path locates the violation inside the artifact (e.g.
+	// "line.Forest: trees[3]: nodes[7]"); empty for file-level failures
+	// such as undecodable JSON.
+	Path string `json:"path,omitempty"`
+	// Message names the violated invariant.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	if f.Path == "" {
+		return fmt.Sprintf("%s: %s", f.File, f.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", f.File, f.Path, f.Message)
+}
+
+// artifactProbe sniffs which shape a JSON artifact has without committing
+// to a full decode.
+type artifactProbe struct {
+	Trees json.RawMessage `json:"trees"`
+	Line  json.RawMessage `json:"line"`
+	Cell  json.RawMessage `json:"cell"`
+}
+
+// modelFile mirrors the root package's (unexported) on-disk model format.
+type modelFile struct {
+	Version int             `json:"version"`
+	Line    *core.LineModel `json:"line"`
+	Cell    *core.CellModel `json:"cell"`
+}
+
+// VerifyFile verifies one artifact file and returns its findings (empty
+// means the artifact is structurally sound).
+func VerifyFile(path string) []Finding {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []Finding{{File: path, Message: fmt.Sprintf("unreadable: %v", err)}}
+	}
+	return verifyBytes(path, data)
+}
+
+func verifyBytes(path string, data []byte) []Finding {
+	var probe artifactProbe
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return []Finding{{File: path, Message: fmt.Sprintf("not a JSON model artifact: %v", err)}}
+	}
+	switch {
+	case probe.Trees != nil:
+		var f forest.Forest
+		if err := json.Unmarshal(data, &f); err != nil {
+			return []Finding{{File: path, Message: fmt.Sprintf("not a forest artifact: %v", err)}}
+		}
+		return verifyForest(path, "", &f)
+	case probe.Line != nil || probe.Cell != nil:
+		var mf modelFile
+		if err := json.Unmarshal(data, &mf); err != nil {
+			return []Finding{{File: path, Message: fmt.Sprintf("not a model artifact: %v", err)}}
+		}
+		return verifyModelFile(path, &mf)
+	default:
+		return []Finding{{File: path, Message: "unrecognized artifact shape: neither a forest (trees) nor a model file (line/cell)"}}
+	}
+}
+
+// verifyModelFile checks every forest embedded in a full model file.
+func verifyModelFile(path string, mf *modelFile) []Finding {
+	var out []Finding
+	if mf.Line == nil {
+		out = append(out, Finding{File: path, Path: "line", Message: "model file has no line model"})
+	} else if mf.Line.Forest == nil {
+		out = append(out, Finding{File: path, Path: "line.Forest", Message: "line model has no forest"})
+	} else {
+		out = append(out, verifyForest(path, "line.Forest", mf.Line.Forest)...)
+	}
+	if mf.Cell != nil {
+		if mf.Cell.Forest == nil {
+			out = append(out, Finding{File: path, Path: "cell.Forest", Message: "cell model has no forest"})
+		} else {
+			out = append(out, verifyForest(path, "cell.Forest", mf.Cell.Forest)...)
+		}
+		if mf.Cell.Column != nil {
+			if mf.Cell.Column.Forest == nil {
+				out = append(out, Finding{File: path, Path: "cell.Column.Forest", Message: "column model has no forest"})
+			} else {
+				out = append(out, verifyForest(path, "cell.Column.Forest", mf.Cell.Column.Forest)...)
+			}
+		}
+	}
+	return out
+}
+
+func verifyForest(file, prefix string, f *forest.Forest) []Finding {
+	err := f.Validate()
+	if err == nil {
+		return nil
+	}
+	return []Finding{{File: file, Path: joinPath(prefix, ""), Message: err.Error()}}
+}
+
+func joinPath(prefix, rest string) string {
+	switch {
+	case prefix == "":
+		return rest
+	case rest == "":
+		return prefix
+	default:
+		return prefix + ": " + rest
+	}
+}
+
+// VerifyGlobs expands the given glob patterns (a literal path is its own
+// match), verifies every matching file in sorted order, and returns the
+// combined findings. A pattern that matches nothing is an error: a CI step
+// silently verifying zero artifacts would be worse than failing.
+func VerifyGlobs(patterns []string) ([]Finding, error) {
+	seen := map[string]bool{}
+	var files []string
+	for _, pat := range patterns {
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("modelcheck: bad pattern %q: %w", pat, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("modelcheck: no artifacts match %q", pat)
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				files = append(files, m)
+			}
+		}
+	}
+	sort.Strings(files)
+	var out []Finding
+	for _, f := range files {
+		out = append(out, VerifyFile(f)...)
+	}
+	return out, nil
+}

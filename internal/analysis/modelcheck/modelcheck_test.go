@@ -1,0 +1,133 @@
+package modelcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modelsDir is the shared corrupt/valid artifact corpus also used by
+// forest's load tests.
+const modelsDir = "../../../testdata/models"
+
+func TestVerifyCorruptCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(modelsDir, "corrupt_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("corrupt corpus too small: %d files", len(paths))
+	}
+	for _, p := range paths {
+		findings := VerifyFile(p)
+		if len(findings) == 0 {
+			t.Errorf("%s: corrupt artifact verified clean", filepath.Base(p))
+			continue
+		}
+		for _, f := range findings {
+			if f.Message == "" {
+				t.Errorf("%s: finding with empty message", filepath.Base(p))
+			}
+		}
+	}
+}
+
+func TestVerifyValidCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(modelsDir, "valid_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no valid artifacts in corpus")
+	}
+	for _, p := range paths {
+		if findings := VerifyFile(p); len(findings) != 0 {
+			t.Errorf("%s: valid artifact flagged: %v", filepath.Base(p), findings)
+		}
+	}
+}
+
+func TestVerifyModelFileShapePaths(t *testing.T) {
+	// A full model file whose embedded line forest has a feature index out
+	// of range: the finding must locate the violation at line.Forest.
+	corrupt := `{
+		"version": 1,
+		"line": {
+			"Forest": {
+				"trees": [{"nodes": [{"f": 7, "t": 0.5, "l": 1, "r": 2},
+					{"p": [1, 0]}, {"p": [0, 1]}], "num_classes": 2}],
+				"num_classes": 2,
+				"num_features": 3
+			}
+		}
+	}`
+	path := writeTemp(t, "model_bad_line.json", corrupt)
+	findings := VerifyFile(path)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if findings[0].Path != "line.Forest" {
+		t.Errorf("finding path = %q, want line.Forest", findings[0].Path)
+	}
+	if !strings.Contains(findings[0].Message, "feature") {
+		t.Errorf("finding message %q does not name the feature-range invariant", findings[0].Message)
+	}
+}
+
+func TestVerifyModelFileMissingLine(t *testing.T) {
+	path := writeTemp(t, "model_no_line.json", `{"version": 1, "cell": null, "line": null}`)
+	findings := VerifyFile(path)
+	if len(findings) == 0 {
+		t.Fatal("model file without a line model verified clean")
+	}
+	if findings[0].Path != "line" {
+		t.Errorf("finding path = %q, want line", findings[0].Path)
+	}
+}
+
+func TestVerifyUnrecognizedShape(t *testing.T) {
+	path := writeTemp(t, "not_a_model.json", `{"rows": [1, 2, 3]}`)
+	findings := VerifyFile(path)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "unrecognized") {
+		t.Fatalf("got %v, want one unrecognized-shape finding", findings)
+	}
+}
+
+func TestVerifyUnreadableFile(t *testing.T) {
+	findings := VerifyFile(filepath.Join(t.TempDir(), "absent.json"))
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "unreadable") {
+		t.Fatalf("got %v, want one unreadable finding", findings)
+	}
+}
+
+func TestVerifyGlobs(t *testing.T) {
+	findings, err := VerifyGlobs([]string{filepath.Join(modelsDir, "corrupt_*.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("corrupt glob produced no findings")
+	}
+	// Findings must come back sorted by file for stable CI output.
+	for i := 1; i < len(findings); i++ {
+		if findings[i].File < findings[i-1].File {
+			t.Fatalf("findings out of order: %s after %s", findings[i].File, findings[i-1].File)
+		}
+	}
+}
+
+func TestVerifyGlobsRejectsEmptyMatch(t *testing.T) {
+	if _, err := VerifyGlobs([]string{filepath.Join(modelsDir, "no_such_*.json")}); err == nil {
+		t.Fatal("empty glob match did not error")
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SharedWrite hunts the root cause class behind nondeterministic
+// annotation: package-level mutable state written on paths reachable from
+// the exported API. A library whose exported functions mutate globals
+// cannot promise byte-identical output at arbitrary worker counts — two
+// concurrent batch calls interleave those writes.
+//
+// A write is allowed when it happens in an init function, inside a
+// function literal passed to (*sync.Once).Do, or in a function not
+// reachable (by the package-internal static call graph) from any exported
+// function or method. Package main is exempt: a binary owns its globals
+// for its process lifetime. A deliberately guarded global can be kept with
+// //lint:ignore sharedwrite <the invariant that makes it safe>.
+//
+// Known limits: reachability is per-package and purely static — a helper
+// passed around as a function value is not traced, and writes through a
+// pointer previously taken from a global are not seen.
+var SharedWrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc: "flags writes to package-level vars reachable from exported " +
+		"functions outside init/sync.Once",
+	Run: runSharedWrite,
+}
+
+func runSharedWrite(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+
+	// The package-level mutable vars.
+	globals := map[types.Object]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+						if _, isVar := obj.(*types.Var); isVar {
+							globals[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(globals) == 0 {
+		return
+	}
+
+	// The package-internal static call graph and the set of declared
+	// functions, keyed by their *types.Func objects.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	calls := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isOnceDo(pass, call) {
+				// Calls made through once.Do run exactly once; they do not
+				// propagate exported reachability.
+				return false
+			}
+			callee := calleeFunc(pass.Pkg.Info, call)
+			if callee != nil && decls[callee] != nil {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+
+	// Functions reachable from the exported surface. Exported names seed
+	// the walk in sorted order so the witness recorded for each function
+	// is deterministic.
+	type mark struct{ root *types.Func }
+	reachable := map[*types.Func]mark{}
+	var roots []*types.Func
+	for fn := range decls {
+		if fn.Exported() {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	var walk func(fn, root *types.Func)
+	walk = func(fn, root *types.Func) {
+		if _, ok := reachable[fn]; ok {
+			return
+		}
+		reachable[fn] = mark{root: root}
+		for _, callee := range calls[fn] {
+			walk(callee, root)
+		}
+	}
+	for _, r := range roots {
+		walk(r, r)
+	}
+
+	// Now judge every write site.
+	for fn, fd := range decls {
+		if fd.Name.Name == "init" && fd.Recv == nil {
+			continue
+		}
+		m, isReachable := reachable[fn]
+		if !isReachable {
+			continue
+		}
+		witness := m.root.Name()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isOnceDo(pass, call) {
+				return false // once.Do literals are init-equivalent
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportGlobalWrite(pass, globals, lhs, witness)
+				}
+			case *ast.IncDecStmt:
+				reportGlobalWrite(pass, globals, n.X, witness)
+			}
+			return true
+		})
+	}
+}
+
+// reportGlobalWrite flags lhs when it writes a package-level var or
+// anything rooted at one (field, element, deref).
+func reportGlobalWrite(pass *Pass, globals map[types.Object]bool, lhs ast.Expr, witness string) {
+	root := lhs
+	for {
+		switch e := root.(type) {
+		case *ast.SelectorExpr:
+			root = e.X
+		case *ast.IndexExpr:
+			root = e.X
+		case *ast.StarExpr:
+			root = e.X
+		case *ast.ParenExpr:
+			root = e.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || !globals[obj] {
+				return
+			}
+			pass.Reportf(lhs.Pos(), "package-level var %s is written on a path reachable from exported %s; shared mutable state breaks reproducible annotation — localize it, guard it, or lint:ignore with the invariant", id.Name, witness)
+			return
+		}
+	}
+}
+
+// isOnceDo reports whether a call is (*sync.Once).Do.
+func isOnceDo(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Once"
+}

@@ -1,0 +1,128 @@
+// Package gocapture is a want-marker fixture for the goroutinecapture
+// analyzer.
+package gocapture
+
+import (
+	"sync"
+
+	"fixture/pipeline"
+)
+
+// Loop variable captured by a go literal.
+func loopVarGo(xs []int) {
+	for i := range xs {
+		go func() {
+			_ = i // want goroutinecapture
+		}()
+	}
+}
+
+// Loop variable passed as an argument: clean.
+func loopVarArg(xs []int) {
+	for i := range xs {
+		go func(i int) {
+			_ = i
+		}(i)
+	}
+}
+
+// Unsynchronized write to a captured accumulator.
+func capturedWrite(xs []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			total += x // want goroutinecapture
+		}
+	}()
+	wg.Wait()
+	return total
+}
+
+// Mutex-guarded write to a captured accumulator: clean.
+func guardedWrite(xs []int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		for _, x := range xs {
+			total += x
+		}
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return total
+}
+
+// Per-index slot writes through a captured slice: the blessed ForEach
+// output pattern, clean.
+func slotWrites(xs []int) []int {
+	out := make([]int, len(xs))
+	pipeline.ForEach(len(xs), 2, func(i int) {
+		out[i] = xs[i] * 2
+	})
+	return out
+}
+
+// Write to a captured scalar from a ForEach closure.
+func forEachWrite(xs []int) int {
+	sum := 0
+	pipeline.ForEach(len(xs), 2, func(i int) {
+		sum += xs[i] // want goroutinecapture
+	})
+	return sum
+}
+
+// ForEachContext closures are workers too.
+func forEachContextWrite(xs []int) int {
+	sum := 0
+	_ = pipeline.ForEachContext(nil, len(xs), 2, func(i int) {
+		sum += xs[i] // want goroutinecapture
+	})
+	return sum
+}
+
+// A captured *pipeline.Artifacts is unsafe however it is used.
+func sharedArtifacts() {
+	a := pipeline.New()
+	done := make(chan struct{})
+	go func() {
+		a.Touch() // want goroutinecapture
+		close(done)
+	}()
+	<-done
+}
+
+// One artifact per worker, created inside the closure: clean.
+func perWorkerArtifacts(n int) {
+	pipeline.ForEach(n, 2, func(i int) {
+		a := pipeline.New()
+		a.Touch()
+	})
+}
+
+// Loop variable captured by a ForEach closure launched inside the loop.
+func loopVarForEach(batches [][]int) {
+	for _, batch := range batches {
+		pipeline.ForEach(len(batch), 2, func(i int) {
+			_ = batch[i] // want goroutinecapture
+		})
+	}
+}
+
+// A suppressed deliberate share.
+func suppressedShare() {
+	a := pipeline.New()
+	done := make(chan struct{})
+	go func() {
+		//lint:ignore goroutinecapture single goroutine owns the artifact until done closes
+		a.Touch()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,141 @@
+// Package lockcheck is a want-marker fixture for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Deferred unlock: clean.
+func (s *S) Deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Explicit balanced unlock: clean.
+func (s *S) Balanced() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Both branches unlock before returning: clean.
+func (s *S) BranchesBalanced(c bool) int {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Early return leaks the lock.
+func (s *S) LeakOnEarlyReturn(c bool) {
+	s.mu.Lock() // want lockcheck
+	if c {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Lock at the end of a branch is never released.
+func (s *S) LeakOnBranch(c bool) {
+	if c {
+		s.mu.Lock() // want lockcheck
+	}
+}
+
+// Double Lock of a mutex already held on every path: deadlock.
+func (s *S) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want lockcheck
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Read lock with deferred release: clean.
+func (s *S) ReadPath() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// Write lock leaked on the error path of a read-locked section.
+func (s *S) MixedLeak(c bool) int {
+	s.rw.Lock() // want lockcheck
+	if c {
+		return -1
+	}
+	s.rw.Unlock()
+	return s.n
+}
+
+// Unlock inside a deferred literal counts as released on every exit: clean.
+func (s *S) DeferredLiteral() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// Lock inside a loop, unlocked in the same iteration: clean.
+func (s *S) LoopBalanced(xs []int) {
+	for _, x := range xs {
+		s.mu.Lock()
+		s.n += x
+		s.mu.Unlock()
+	}
+}
+
+// Conditional lock inside a loop escapes the iteration still held.
+func (s *S) LoopLeak(xs []int) {
+	for _, x := range xs {
+		if x > 0 {
+			s.mu.Lock() // want lockcheck
+		}
+	}
+}
+
+// A goroutine body is its own execution context: the literal's balanced
+// lock is clean, and the launcher holds nothing.
+func (s *S) Launcher() {
+	go func() {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// TryLock may fail, so a conditional unlock under the success branch is
+// clean, and no double-lock fires.
+func (s *S) TryPath() {
+	if s.mu.TryLock() {
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// Distinct receivers are distinct locks: clean.
+func transfer(a, b *S) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// A suppressed handoff: the lock deliberately outlives the call.
+func (s *S) Acquire() {
+	//lint:ignore lockcheck deliberate handoff; Release unlocks
+	s.mu.Lock()
+}
+
+func (s *S) Release() {
+	s.mu.Unlock()
+}

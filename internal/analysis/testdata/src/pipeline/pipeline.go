@@ -1,0 +1,27 @@
+// Package pipeline mirrors the real worker-pool surface (ForEach and the
+// non-concurrency-safe Artifacts type) so the goroutinecapture fixtures
+// exercise the same matching rules as the production module.
+package pipeline
+
+// ForEach runs fn(i) for each i in [0, n) on a bounded worker pool.
+func ForEach(n, parallelism int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ForEachContext is ForEach with a cancellation hook.
+func ForEachContext(ctx any, n, parallelism int, fn func(int)) error {
+	ForEach(n, parallelism, fn)
+	return nil
+}
+
+// Artifacts stands in for the per-table cache that is NOT safe for
+// concurrent use.
+type Artifacts struct{ hits int }
+
+// New returns an empty artifact object.
+func New() *Artifacts { return &Artifacts{} }
+
+// Touch mutates the artifact.
+func (a *Artifacts) Touch() { a.hits++ }

@@ -1,0 +1,96 @@
+// Package sharedwrite is a want-marker fixture for the sharedwrite
+// analyzer.
+package sharedwrite
+
+import "sync"
+
+var counter int
+var registry = map[string]int{}
+var limits = []int{1, 2, 3}
+var config struct{ verbose bool }
+var setupOnce sync.Once
+var vocab []string
+
+// Writes in init are the blessed initialization pattern: clean.
+func init() {
+	counter = 1
+	registry["seed"] = 0
+}
+
+// Direct write from an exported function.
+func Bump() {
+	counter++ // want sharedwrite
+}
+
+// Map and slice element writes are shared-state writes too.
+func Register(k string, v int) {
+	registry[k] = v // want sharedwrite
+}
+
+func Tune(i, v int) {
+	limits[i] = v // want sharedwrite
+}
+
+// Field write through a package-level struct.
+func SetVerbose(v bool) {
+	config.verbose = v // want sharedwrite
+}
+
+// A write reached through an unexported helper is still reachable from the
+// exported surface.
+func Reset() {
+	clearAll()
+}
+
+func clearAll() {
+	counter = 0 // want sharedwrite
+}
+
+// sync.Once bodies are init-equivalent: clean.
+func Vocab() []string {
+	setupOnce.Do(func() {
+		vocab = []string{"alpha", "beta"}
+	})
+	return vocab
+}
+
+// A named loader reached only through once.Do stays clean too.
+var loadOnce sync.Once
+
+func Load() {
+	loadOnce.Do(fill)
+}
+
+func fill() {
+	vocab = append(vocab, "gamma")
+}
+
+// Writes in a helper no exported function reaches: clean (dead state, but
+// not an API-reachability hazard).
+func orphanReset() {
+	counter = -1
+}
+
+// Local shadows are not globals: clean.
+func Sum(xs []int) int {
+	counter := 0
+	for _, x := range xs {
+		counter += x
+	}
+	return counter
+}
+
+// A deliberately guarded global, kept with a reasoned suppression.
+var statsMu sync.Mutex
+var stats map[string]int
+
+func Observe(k string) {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	if stats == nil {
+		//lint:ignore sharedwrite statsMu serializes every access to stats
+		stats = map[string]int{}
+	}
+	//lint:ignore sharedwrite statsMu serializes every access to stats
+	stats[k]++
+}

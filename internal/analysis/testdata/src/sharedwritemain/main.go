@@ -1,0 +1,16 @@
+// Package main proves the sharedwrite exemption: a binary owns its globals
+// for its process lifetime, so flag-style package state stays silent.
+package main
+
+var verbose bool
+var runs int
+
+func main() {
+	verbose = true
+	runs++
+	helper()
+}
+
+func helper() {
+	runs += 2
+}

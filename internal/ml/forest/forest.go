@@ -228,14 +228,17 @@ func (f *Forest) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(f)
 }
 
-// Load reads a forest saved by Save.
+// Load reads a forest saved by Save. The decoded artifact is verified
+// against the structural invariants prediction relies on (see Validate), so
+// a corrupt or truncated file is a typed ErrInvalidModel-wrapped error
+// instead of a silent mispredictor or a panic at first Predict.
 func Load(r io.Reader) (*Forest, error) {
 	var f Forest
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("forest: decode: %w", err)
+		return nil, fmt.Errorf("forest: decode: %w: %w", ErrInvalidModel, err)
 	}
-	if len(f.Trees) == 0 || f.NumClasses <= 0 {
-		return nil, errors.New("forest: corrupt model")
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: %w", err)
 	}
 	return &f, nil
 }

@@ -1,0 +1,52 @@
+package forest
+
+import (
+	"fmt"
+
+	"strudel/internal/ml/tree"
+)
+
+// ErrInvalidModel is the shared root sentinel for structural violations in
+// serialized model artifacts; every forest- and tree-level invariant error
+// wraps it. It is the same value as tree.ErrInvalidModel, so a single
+// errors.Is check covers both layers.
+var ErrInvalidModel = tree.ErrInvalidModel
+
+// ErrNoTrees marks an ensemble with no trees: averaging over zero trees
+// divides by zero and every prediction would be NaN.
+var ErrNoTrees = fmt.Errorf("%w: ensemble has no trees", ErrInvalidModel)
+
+// ErrBadDims marks a forest whose declared class or feature counts are not
+// positive, making every downstream shape check meaningless.
+var ErrBadDims = fmt.Errorf("%w: non-positive class or feature count", ErrInvalidModel)
+
+// A ModelError locates an invariant violation inside an artifact; it is the
+// tree package's type re-exported so forest callers need only one import.
+type ModelError = tree.ModelError
+
+// Validate proves the ensemble invariants prediction relies on: at least
+// one tree, positive class and feature counts, and every tree individually
+// valid (see tree.Validate) against the forest's declared dimensions. The
+// first violation is returned as a *ModelError wrapping the specific
+// sentinel, with the tree's index on the path.
+func (f *Forest) Validate() error {
+	if f.NumClasses <= 0 || f.NumFeats <= 0 {
+		return &ModelError{
+			Path: "num_classes/num_features",
+			Err:  fmt.Errorf("%w: %d classes, %d features", ErrBadDims, f.NumClasses, f.NumFeats),
+		}
+	}
+	if len(f.Trees) == 0 {
+		return &ModelError{Path: "trees", Err: ErrNoTrees}
+	}
+	for i, t := range f.Trees {
+		path := fmt.Sprintf("trees[%d]", i)
+		if t == nil {
+			return &ModelError{Path: path, Err: fmt.Errorf("%w: missing tree", ErrNoTrees)}
+		}
+		if err := t.Validate(f.NumFeats, f.NumClasses); err != nil {
+			return &ModelError{Path: path, Err: err}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package forest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/ml/tree"
+)
+
+// modelsDir is the committed artifact fixture corpus shared with
+// strudel-lint's -models mode.
+const modelsDir = "../../../testdata/models"
+
+func TestValidateAcceptsTrainedForest(t *testing.T) {
+	X := [][]float64{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5}, {5, 4}, {6, 7}, {7, 6}}
+	y := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	f, err := Fit(X, y, 2, Options{NumTrees: 7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("freshly trained forest rejected: %v", err)
+	}
+}
+
+func TestValidateNamesTreeIndex(t *testing.T) {
+	f := &Forest{
+		Trees: []*tree.Tree{
+			{Nodes: []tree.Node{{Feature: -1, Probs: []float64{1, 0}}}, NumClasses: 2},
+			{Nodes: []tree.Node{{Feature: -1, Probs: []float64{0.6, 0.6}}}, NumClasses: 2},
+		},
+		NumClasses: 2,
+		NumFeats:   1,
+	}
+	err := f.Validate()
+	if !errors.Is(err, tree.ErrBadLeafProbs) {
+		t.Fatalf("got %v, want ErrBadLeafProbs", err)
+	}
+	if !strings.Contains(err.Error(), "trees[1]") {
+		t.Errorf("error %v does not name the corrupt tree", err)
+	}
+}
+
+func TestValidateNilTree(t *testing.T) {
+	f := &Forest{Trees: []*tree.Tree{nil}, NumClasses: 2, NumFeats: 1}
+	if err := f.Validate(); !errors.Is(err, ErrNoTrees) {
+		t.Fatalf("got %v, want ErrNoTrees", err)
+	}
+}
+
+// TestLoadRejectsCorruptCorpus drives forest.Load over every committed
+// corrupt_*.json fixture: each must fail with an ErrInvalidModel-wrapped
+// error — never succeed, never panic.
+func TestLoadRejectsCorruptCorpus(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join(modelsDir, "corrupt_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 10 {
+		t.Fatalf("corrupt corpus too small: %d files", len(matches))
+	}
+	for _, path := range matches {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Load(bytes.NewReader(data))
+			if err == nil {
+				t.Fatalf("corrupt artifact loaded successfully: %+v", f)
+			}
+			if !errors.Is(err, ErrInvalidModel) {
+				t.Errorf("error %v does not wrap ErrInvalidModel", err)
+			}
+		})
+	}
+}
+
+// TestLoadAcceptsValidCorpus pins the valid fixtures: they load, validate,
+// and predict without error.
+func TestLoadAcceptsValidCorpus(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join(modelsDir, "valid_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no valid fixtures found")
+	}
+	for _, path := range matches {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Load(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("valid artifact rejected: %v", err)
+			}
+			probs := f.PredictProba(make([]float64, f.NumFeats))
+			if len(probs) != f.NumClasses {
+				t.Errorf("predicted %d probabilities, want %d", len(probs), f.NumClasses)
+			}
+		})
+	}
+}
+
+// TestSaveLoadRoundTripStillValid guards the Save→Load→Validate loop on a
+// real trained model.
+func TestSaveLoadRoundTripStillValid(t *testing.T) {
+	X := [][]float64{{0, 1, 2}, {1, 0, 3}, {2, 3, 0}, {3, 2, 1}, {4, 5, 2}, {5, 4, 3}}
+	y := []int{0, 1, 0, 1, 0, 1}
+	f, err := Fit(X, y, 2, Options{NumTrees: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("round-trip load failed: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped forest invalid: %v", err)
+	}
+}

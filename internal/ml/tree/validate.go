@@ -1,0 +1,171 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidModel is the root sentinel for every structural violation a
+// serialized tree or forest artifact can carry. Specific violations wrap it,
+// mirroring the ingest package's guard-error taxonomy, so callers can test
+// errors.Is(err, ErrInvalidModel) for the whole class or match the precise
+// invariant.
+var ErrInvalidModel = errors.New("invalid model artifact")
+
+// The per-invariant sentinels. Each wraps ErrInvalidModel.
+var (
+	// ErrNoNodes marks a tree with an empty node slice (prediction would
+	// have no root to start from).
+	ErrNoNodes = invalid("tree has no nodes")
+	// ErrBadLink marks child indices that are out of range, form a cycle,
+	// share a subtree, or leave nodes unreachable from the root.
+	ErrBadLink = invalid("broken tree links")
+	// ErrFeatureRange marks a split on a feature index outside
+	// [0, NumFeats).
+	ErrFeatureRange = invalid("split feature index out of range")
+	// ErrBadThreshold marks a non-finite split threshold.
+	ErrBadThreshold = invalid("non-finite split threshold")
+	// ErrBadLeafProbs marks a leaf probability vector that is missing,
+	// non-finite, negative, or does not sum to 1 within 1e-9.
+	ErrBadLeafProbs = invalid("bad leaf probabilities")
+	// ErrClassDim marks a class-dimension mismatch between a tree (or a
+	// leaf vector) and the declared class count.
+	ErrClassDim = invalid("class dimension mismatch")
+	// ErrImportanceDim marks an importance vector whose length differs
+	// from the declared feature count.
+	ErrImportanceDim = invalid("importance vector length mismatch")
+)
+
+func invalid(msg string) error { return fmt.Errorf("%w: %s", ErrInvalidModel, msg) }
+
+// A ModelError wraps an invariant violation with the path of the offending
+// element inside the artifact (e.g. "trees[3]: nodes[7]"). Unwrap exposes
+// the sentinel chain, so errors.Is works through any nesting depth.
+type ModelError struct {
+	// Path locates the violation inside the serialized artifact.
+	Path string
+	// Err is the violated invariant, wrapping ErrInvalidModel.
+	Err error
+}
+
+func (e *ModelError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+func (e *ModelError) Unwrap() error { return e.Err }
+
+// probSumTolerance bounds how far a leaf probability vector may drift from
+// summing to exactly 1 before it is considered corrupt.
+const probSumTolerance = 1e-9
+
+// Validate proves the structural invariants prediction relies on: every
+// split feature is inside [0, numFeats), every threshold is finite, the
+// Left/Right links form a single binary tree rooted at node 0 (acyclic, no
+// sharing, no unreachable nodes), every leaf carries a finite non-negative
+// probability vector of length numClasses summing to 1±1e-9, and the
+// declared class and importance dimensions are consistent. It returns the
+// first violation in deterministic node order, wrapped in a *ModelError.
+func (t *Tree) Validate(numFeats, numClasses int) error {
+	if numClasses <= 0 {
+		return &ModelError{Path: "num_classes", Err: ErrClassDim}
+	}
+	if len(t.Nodes) == 0 {
+		return &ModelError{Path: "nodes", Err: ErrNoNodes}
+	}
+	if t.NumClasses != numClasses {
+		return &ModelError{
+			Path: "num_classes",
+			Err:  fmt.Errorf("%w: tree declares %d classes, ensemble %d", ErrClassDim, t.NumClasses, numClasses),
+		}
+	}
+	if len(t.Importance) != 0 && len(t.Importance) != numFeats {
+		return &ModelError{
+			Path: "importance",
+			Err:  fmt.Errorf("%w: %d entries for %d features", ErrImportanceDim, len(t.Importance), numFeats),
+		}
+	}
+
+	// Iterative DFS from the root: a node reached twice is a cycle or a
+	// shared subtree; either breaks the "flat slice encodes one binary
+	// tree" contract, and a hostile depth must not overflow the stack.
+	n := len(t.Nodes)
+	visited := make([]bool, n)
+	stack := []int32{0}
+	visitedCount := 0
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[i] {
+			return &ModelError{
+				Path: fmt.Sprintf("nodes[%d]", i),
+				Err:  fmt.Errorf("%w: node reached by more than one path (cycle or shared subtree)", ErrBadLink),
+			}
+		}
+		visited[i] = true
+		visitedCount++
+
+		node := &t.Nodes[i]
+		path := fmt.Sprintf("nodes[%d]", i)
+		if node.Feature < 0 {
+			if err := validateLeafProbs(node.Probs, numClasses); err != nil {
+				return &ModelError{Path: path, Err: err}
+			}
+			continue
+		}
+		if node.Feature >= numFeats {
+			return &ModelError{
+				Path: path,
+				Err:  fmt.Errorf("%w: feature %d with %d features", ErrFeatureRange, node.Feature, numFeats),
+			}
+		}
+		if math.IsNaN(node.Threshold) || math.IsInf(node.Threshold, 0) {
+			return &ModelError{
+				Path: path,
+				Err:  fmt.Errorf("%w: threshold %v", ErrBadThreshold, node.Threshold),
+			}
+		}
+		for _, child := range [2]int32{node.Left, node.Right} {
+			if child < 0 || int(child) >= n {
+				return &ModelError{
+					Path: path,
+					Err:  fmt.Errorf("%w: child index %d outside [0,%d)", ErrBadLink, child, n),
+				}
+			}
+		}
+		// Push right first so the left subtree is visited first and the
+		// first violation found is deterministic in node order.
+		stack = append(stack, node.Right, node.Left)
+	}
+	if visitedCount != n {
+		for i := range visited {
+			if !visited[i] {
+				return &ModelError{
+					Path: fmt.Sprintf("nodes[%d]", i),
+					Err:  fmt.Errorf("%w: node unreachable from the root", ErrBadLink),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateLeafProbs checks one leaf probability vector: right length, every
+// entry finite and non-negative, total within probSumTolerance of 1.
+func validateLeafProbs(probs []float64, numClasses int) error {
+	if len(probs) != numClasses {
+		return fmt.Errorf("%w: leaf has %d probabilities for %d classes", ErrClassDim, len(probs), numClasses)
+	}
+	sum := 0.0
+	for c, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("%w: class %d probability %v is not finite", ErrBadLeafProbs, c, p)
+		}
+		if p < 0 {
+			return fmt.Errorf("%w: class %d probability %v is negative", ErrBadLeafProbs, c, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > probSumTolerance {
+		return fmt.Errorf("%w: probabilities sum to %v, want 1", ErrBadLeafProbs, sum)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package tree
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func leaf(probs ...float64) Node { return Node{Feature: -1, Probs: probs} }
+
+func validTree() *Tree {
+	return &Tree{
+		Nodes: []Node{
+			{Feature: 0, Threshold: 0.5, Left: 1, Right: 2},
+			leaf(1, 0),
+			leaf(0.25, 0.75),
+		},
+		NumClasses: 2,
+	}
+}
+
+func TestValidateAcceptsWellFormedTree(t *testing.T) {
+	if err := validTree().Validate(3, 2); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsTrainedTree(t *testing.T) {
+	X := [][]float64{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5}, {5, 4}}
+	y := []int{0, 1, 0, 1, 0, 1}
+	tr, err := Fit(X, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(2, 2); err != nil {
+		t.Fatalf("freshly trained tree rejected: %v", err)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Tree)
+		numFeats int
+		sentinel error
+	}{
+		{"no nodes", func(tr *Tree) { tr.Nodes = nil }, 3, ErrNoNodes},
+		{"class mismatch", func(tr *Tree) { tr.NumClasses = 5 }, 3, ErrClassDim},
+		{"feature out of range", func(tr *Tree) { tr.Nodes[0].Feature = 3 }, 3, ErrFeatureRange},
+		{"nan threshold", func(tr *Tree) { tr.Nodes[0].Threshold = math.NaN() }, 3, ErrBadThreshold},
+		{"inf threshold", func(tr *Tree) { tr.Nodes[0].Threshold = math.Inf(1) }, 3, ErrBadThreshold},
+		{"child out of range", func(tr *Tree) { tr.Nodes[0].Right = 9 }, 3, ErrBadLink},
+		{"negative child", func(tr *Tree) { tr.Nodes[0].Left = -1 }, 3, ErrBadLink},
+		{"cycle", func(tr *Tree) { tr.Nodes[0].Right = 0 }, 3, ErrBadLink},
+		{"shared subtree", func(tr *Tree) { tr.Nodes[0].Right = 1 }, 3, ErrBadLink},
+		{"unreachable node", func(tr *Tree) {
+			tr.Nodes[0] = leaf(1, 0) // nodes 1 and 2 become orphans
+		}, 3, ErrBadLink},
+		{"short leaf vector", func(tr *Tree) { tr.Nodes[1].Probs = []float64{1} }, 3, ErrClassDim},
+		{"nan prob", func(tr *Tree) { tr.Nodes[1].Probs = []float64{math.NaN(), 1} }, 3, ErrBadLeafProbs},
+		{"negative prob", func(tr *Tree) { tr.Nodes[1].Probs = []float64{-0.5, 1.5} }, 3, ErrBadLeafProbs},
+		{"bad sum", func(tr *Tree) { tr.Nodes[1].Probs = []float64{0.7, 0.7} }, 3, ErrBadLeafProbs},
+		{"importance length", func(tr *Tree) { tr.Importance = []float64{1, 0} }, 3, ErrImportanceDim},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := validTree()
+			tc.mutate(tr)
+			err := tr.Validate(tc.numFeats, 2)
+			if err == nil {
+				t.Fatal("corrupt tree accepted")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Errorf("error %v does not wrap the expected sentinel", err)
+			}
+			if !errors.Is(err, ErrInvalidModel) {
+				t.Errorf("error %v does not wrap ErrInvalidModel", err)
+			}
+			var me *ModelError
+			if !errors.As(err, &me) {
+				t.Errorf("error %v carries no *ModelError path", err)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsZeroClasses(t *testing.T) {
+	err := validTree().Validate(3, 0)
+	if !errors.Is(err, ErrClassDim) {
+		t.Fatalf("got %v, want ErrClassDim", err)
+	}
+}
+
+// TestValidateDeepTreeNoOverflow proves the link walk is iterative: a
+// pathological left-spine tree deeper than any goroutine stack must
+// validate without recursing.
+func TestValidateDeepTreeNoOverflow(t *testing.T) {
+	const depth = 200000
+	nodes := make([]Node, 2*depth+1)
+	for i := 0; i < depth; i++ {
+		nodes[2*i] = Node{Feature: 0, Threshold: 0.5, Left: int32(2*i + 2), Right: int32(2*i + 1)}
+		nodes[2*i+1] = leaf(1, 0)
+	}
+	nodes[2*depth] = leaf(0, 1)
+	tr := &Tree{Nodes: nodes, NumClasses: 2}
+	if err := tr.Validate(1, 2); err != nil {
+		t.Fatalf("deep tree rejected: %v", err)
+	}
+}
+
+func TestModelErrorPathNesting(t *testing.T) {
+	tr := validTree()
+	tr.Nodes[2].Probs = []float64{2, 0}
+	err := tr.Validate(3, 2)
+	if err == nil || !strings.Contains(err.Error(), "nodes[2]") {
+		t.Fatalf("error %v does not name the offending node", err)
+	}
+}

@@ -2,13 +2,21 @@ package strudel
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"strudel/internal/core"
+	"strudel/internal/ml/forest"
 )
+
+// ErrInvalidModel is the root of the model-artifact error taxonomy: every
+// structural defect LoadModel detects — undecodable JSON, missing forests,
+// broken tree links, dimension mismatches, malformed leaf probabilities —
+// satisfies errors.Is(err, ErrInvalidModel). See internal/ml/tree for the
+// finer-grained sentinels and strudel-lint -models for the offline
+// verifier over the same invariants.
+var ErrInvalidModel = forest.ErrInvalidModel
 
 // modelFile is the on-disk model format. The cell model's embedded line
 // model is stored once, in the Line field, and re-attached on load.
@@ -45,27 +53,50 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadModel reads a model written by Save.
+// LoadModel reads a model written by Save. Every embedded forest is
+// validated against the structural invariants prediction relies on (see
+// forest.Validate); a defective artifact fails here, wrapped in
+// ErrInvalidModel, instead of mispredicting or panicking at first use.
 func LoadModel(r io.Reader) (*Model, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, fmt.Errorf("strudel: decode model: %w", err)
+		return nil, fmt.Errorf("strudel: decode model: %w: %w", ErrInvalidModel, err)
 	}
 	if mf.Version != modelVersion {
 		return nil, fmt.Errorf("strudel: unsupported model version %d", mf.Version)
 	}
-	if mf.Line == nil || mf.Line.Forest == nil || len(mf.Line.Forest.Trees) == 0 {
-		return nil, errors.New("strudel: corrupt model: missing line forest")
+	if mf.Line == nil {
+		return nil, fmt.Errorf("strudel: corrupt model: %w: missing line model", ErrInvalidModel)
+	}
+	if err := validateModelForest("line", mf.Line.Forest); err != nil {
+		return nil, err
 	}
 	m := &Model{line: mf.Line}
 	if mf.Cell != nil {
-		if mf.Cell.Forest == nil || len(mf.Cell.Forest.Trees) == 0 {
-			return nil, errors.New("strudel: corrupt model: missing cell forest")
+		if err := validateModelForest("cell", mf.Cell.Forest); err != nil {
+			return nil, err
+		}
+		if mf.Cell.Column != nil {
+			if err := validateModelForest("cell.Column", mf.Cell.Column.Forest); err != nil {
+				return nil, err
+			}
 		}
 		mf.Cell.Line = mf.Line
 		m.cell = mf.Cell
 	}
 	return m, nil
+}
+
+// validateModelForest checks one embedded forest, naming its location in
+// the model file on failure.
+func validateModelForest(path string, f *forest.Forest) error {
+	if f == nil {
+		return fmt.Errorf("strudel: corrupt model: %w: missing %s forest", ErrInvalidModel, path)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("strudel: corrupt model: %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadModelFile reads a model from a file.

@@ -2,8 +2,11 @@ package strudel
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -177,6 +180,44 @@ func TestLoadModelCorrupt(t *testing.T) {
 	}
 	if _, err := LoadModel(bytes.NewBufferString(`{"version":99}`)); err == nil {
 		t.Error("bad version should fail")
+	}
+	if _, err := LoadModel(bytes.NewBufferString(`{"version":1}`)); !errors.Is(err, ErrInvalidModel) {
+		t.Error("model without a line model should wrap ErrInvalidModel")
+	}
+	if _, err := LoadModel(bytes.NewBufferString(`{"version":1,`)); !errors.Is(err, ErrInvalidModel) {
+		t.Error("truncated JSON should wrap ErrInvalidModel")
+	}
+}
+
+// TestLoadModelRejectsInconsistentForest pins the load-time validation
+// path: a model whose serialized bytes encode a structurally broken forest
+// (here, a split feature index beyond NumFeats) must fail to load with
+// ErrInvalidModel — the bug this guards against is Load accepting the
+// artifact and panicking (or silently mispredicting) at first Annotate.
+func TestLoadModelRejectsInconsistentForest(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	// Point every split at an out-of-range feature index. Leaves encode
+	// "f":-1, so only non-negative (split) features are rewritten.
+	line := regexp.MustCompile(`"f":(\d)`).ReplaceAllString(string(raw["line"]), `"f":99999$1`)
+	raw["line"] = json.RawMessage(line)
+	corrupted, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadModel(bytes.NewReader(corrupted))
+	if !errors.Is(err, ErrInvalidModel) {
+		t.Fatalf("corrupted forest: err = %v, want ErrInvalidModel", err)
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error %q does not locate the defective forest", err)
 	}
 }
 
