@@ -7,11 +7,12 @@
 #   make fuzz-smoke   run each fuzz target briefly (regression smoke, ~30s)
 #   make bench        annotate-path micro-benchmarks (single file + batch)
 #   make bench-lint   full-repo analyzer-suite benchmark
+#   make bench-obs    batch annotation with nil vs active observability hooks
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint lint-models race tier1 check fuzz-smoke bench bench-lint
+.PHONY: build test vet lint lint-models race tier1 check fuzz-smoke bench bench-lint bench-obs
 
 build:
 	$(GO) build ./...
@@ -53,3 +54,6 @@ bench:
 
 bench-lint:
 	$(GO) test -bench 'BenchmarkLint' -benchmem -run '^$$' ./internal/analysis
+
+bench-obs:
+	$(GO) test -bench 'BenchmarkAnnotateAllObs' -benchmem -count 5 -run '^$$' .

@@ -1,0 +1,123 @@
+package strudel
+
+// Equivalence tests for the consolidated public API: the deprecated
+// wrappers (Load, LoadFileOptions) must be observably identical to the new
+// spellings (LoadReader, LoadFile), and every batch entry point — the
+// AnnotateAll convenience wrapper, the context-first form, and the observed
+// form — must produce byte-identical annotations on the real files under
+// testdata/ at one worker and at every CPU. These tests are the migration
+// safety net: the wrappers can only be dropped once nothing distinguishes
+// them.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// testdataPaths lists the real CSV fixtures.
+func testdataPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no CSV files under testdata/")
+	}
+	return paths
+}
+
+// TestDeprecatedLoadersMatchConsolidatedAPI proves the deprecated wrappers
+// are pure renames: same table, same dialect, same provenance, file by file.
+func TestDeprecatedLoadersMatchConsolidatedAPI(t *testing.T) {
+	for _, p := range testdataPaths(t) {
+		newT, newD, err := LoadFile(p, LoadOptions{})
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", p, err)
+		}
+		oldT, oldD, err := LoadFileOptions(p, LoadOptions{})
+		if err != nil {
+			t.Fatalf("LoadFileOptions(%s): %v", p, err)
+		}
+		if newD != oldD {
+			t.Errorf("%s: LoadFile dialect %v, LoadFileOptions dialect %v", p, newD, oldD)
+		}
+		if !reflect.DeepEqual(newT, oldT) {
+			t.Errorf("%s: LoadFile and LoadFileOptions built different tables", p)
+		}
+
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readerT, readerD, err := LoadReader(bytes.NewReader(data), LoadOptions{})
+		if err != nil {
+			t.Fatalf("LoadReader(%s): %v", p, err)
+		}
+		loadT, loadD, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("Load(%s): %v", p, err)
+		}
+		bytesT, bytesD, err := LoadBytes(data, LoadOptions{})
+		if err != nil {
+			t.Fatalf("LoadBytes(%s): %v", p, err)
+		}
+		if readerD != loadD || readerD != bytesD {
+			t.Errorf("%s: dialects diverge: LoadReader %v, Load %v, LoadBytes %v", p, readerD, loadD, bytesD)
+		}
+		if !reflect.DeepEqual(readerT, loadT) {
+			t.Errorf("%s: Load and LoadReader built different tables", p)
+		}
+		if !reflect.DeepEqual(readerT, bytesT) {
+			t.Errorf("%s: LoadBytes and LoadReader built different tables", p)
+		}
+	}
+}
+
+// TestBatchEntryPointsEquivalent proves AnnotateAll, AnnotateAllContext,
+// and the observed batch produce byte-identical annotations on testdata/ at
+// Parallelism 1 and NumCPU. Passing live hooks must never perturb output —
+// observation is strictly read-only with respect to the predictions.
+func TestBatchEntryPointsEquivalent(t *testing.T) {
+	var files []*Table
+	for _, p := range testdataPaths(t) {
+		tbl, _, err := LoadFile(p, LoadOptions{})
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		files = append(files, tbl)
+	}
+	m := trainedModel(t)
+	serialize := func(anns []*Annotation) []byte {
+		b, err := json.Marshal(anns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	base := serialize(m.AnnotateAll(files, BatchOptions{Parallelism: 1}))
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		wrapper := serialize(m.AnnotateAll(files, BatchOptions{Parallelism: workers}))
+		if !bytes.Equal(base, wrapper) {
+			t.Errorf("AnnotateAll with %d workers differs from the serial baseline", workers)
+		}
+		ctxForm := serialize(m.AnnotateAllContext(context.Background(), files, BatchOptions{Parallelism: workers}))
+		if !bytes.Equal(base, ctxForm) {
+			t.Errorf("AnnotateAllContext with %d workers differs from the serial baseline", workers)
+		}
+		observed := serialize(m.AnnotateAllContext(context.Background(), files, BatchOptions{
+			Parallelism: workers,
+			Obs:         NewObsHooks(NewObsRegistry()),
+		}))
+		if !bytes.Equal(base, observed) {
+			t.Errorf("observed batch with %d workers differs from the serial baseline", workers)
+		}
+	}
+}

@@ -139,7 +139,7 @@ func TestTestdataCorpusDeterminism(t *testing.T) {
 
 	var files []*Table
 	for _, p := range paths {
-		tbl, _, err := LoadFile(p)
+		tbl, _, err := LoadFile(p, LoadOptions{})
 		if err != nil {
 			t.Fatalf("load %s: %v", p, err)
 		}

@@ -253,3 +253,26 @@ func BenchmarkAnnotateAll(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAnnotateAllObs measures the observability overhead on the batch
+// path: "nil" runs with hooks disabled (the nil-check-only contract — this
+// must stay within 2% of BenchmarkAnnotateAll/serial) and "active" runs
+// with a live registry recording every span, counter, and gauge. Compare
+// the two with `make bench-obs`.
+func BenchmarkAnnotateAllObs(b *testing.B) {
+	m := benchModel(b)
+	corpus, err := GenerateCorpus("govuk", 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		hooks *ObsHooks
+	}{{"nil", nil}, {"active", NewObsHooks(NewObsRegistry())}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.AnnotateAll(corpus, BatchOptions{Parallelism: 1, Obs: bc.hooks})
+			}
+		})
+	}
+}

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	strudel-eval -model strudel.model -dir corpus/troy
+//
+// With -stats the batch's observability snapshot (per-stage timings, pool
+// utilization, file outcomes) is printed to stderr after the scores; with
+// -debug-addr the /debug/obs, /debug/vars, and /debug/pprof endpoints are
+// served for the duration of the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,34 +23,61 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		modelPath = flag.String("model", "strudel.model", "trained model path")
 		dir       = flag.String("dir", "", "annotated corpus directory")
 		cells     = flag.Bool("cells", true, "also score the cell task")
 		workers   = flag.Int("workers", 0, "files annotated concurrently (0 = all CPUs)")
 		timeout   = flag.Duration("timeout", 0, "per-file annotation deadline, e.g. 30s (0 = none)")
+		statsFlag = flag.Bool("stats", false, "print an observability snapshot (JSON) to stderr at exit")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars, /debug/pprof on this address")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "usage: strudel-eval -model m -dir corpus/name")
-		os.Exit(2)
+		return 2
+	}
+
+	var hooks *strudel.ObsHooks
+	if *statsFlag || *debugAddr != "" {
+		registry := strudel.NewObsRegistry()
+		hooks = strudel.NewObsHooks(registry)
+		if *debugAddr != "" {
+			srv, err := strudel.ServeObsDebug(*debugAddr, registry)
+			if err != nil {
+				return fatal(err)
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Fprintf(os.Stderr, "strudel-eval: debug endpoints on http://%s/debug/\n", srv.Addr())
+		}
+		if *statsFlag {
+			defer func() {
+				if err := registry.Snapshot().WriteJSON(os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "strudel-eval: stats:", err)
+				}
+			}()
+		}
 	}
 
 	model, err := strudel.LoadModelFile(*modelPath)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	files, err := corpusio.ReadCorpus(*dir)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if len(files) == 0 {
-		fatal(fmt.Errorf("no .csv files in %s", *dir))
+		return fatal(fmt.Errorf("no .csv files in %s", *dir))
 	}
 
 	for _, f := range files {
 		if !f.Annotated() {
-			fatal(fmt.Errorf("%s has no annotations", f.Name))
+			return fatal(fmt.Errorf("%s has no annotations", f.Name))
 		}
 	}
 
@@ -52,7 +85,11 @@ func main() {
 	// predictions share one artifact per file), then score sequentially.
 	// Per-file failures (timeouts, recovered panics) are excluded from the
 	// score with a warning instead of crashing the evaluation.
-	anns := model.AnnotateAll(files, strudel.BatchOptions{Parallelism: *workers, FileTimeout: *timeout})
+	anns := model.AnnotateAllContext(context.Background(), files, strudel.BatchOptions{
+		Parallelism: *workers,
+		FileTimeout: *timeout,
+		Obs:         hooks,
+	})
 
 	skipped := 0
 	var lineStats, cellStats stats
@@ -88,6 +125,7 @@ func main() {
 		fmt.Println("\ncell task:")
 		cellStats.print()
 	}
+	return 0
 }
 
 // stats accumulates per-class true positives and errors.
@@ -147,7 +185,7 @@ func (s *stats) print() {
 	fmt.Printf("  %-10s %32.3f\n", "macro-F1", macro)
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "strudel-eval:", err)
-	os.Exit(1)
+	return 1
 }

@@ -28,14 +28,22 @@
 //	-max-bytes n   reject files larger than n bytes (0 = 64MiB default)
 //	-timeout d     per-file annotation deadline, e.g. 30s (0 = none)
 //	-strict        reject damaged files instead of repairing them
+//	-stats         print an observability snapshot (JSON) to stderr at exit
+//	-debug-addr a  serve /debug/obs, /debug/vars, /debug/pprof on a (e.g. localhost:6060)
+//
+// Interrupting a run (Ctrl-C) cancels the batch cooperatively: in-flight
+// files finish, undispatched files come back with their Err set, and the
+// exit status is 1.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -44,6 +52,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred cleanup — the stats snapshot and
+	// the debug-server shutdown — survives the explicit exit codes.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		modelPath = flag.String("model", "", "path to a trained model (default: train a small built-in model)")
 		showCells = flag.Bool("cells", false, "print per-cell classes")
@@ -54,25 +68,59 @@ func main() {
 		maxBytes  = flag.Int64("max-bytes", 0, "reject files larger than this many bytes (0 = 64MiB default)")
 		timeout   = flag.Duration("timeout", 0, "per-file annotation deadline, e.g. 30s (0 = none)")
 		strict    = flag.Bool("strict", false, "reject damaged files instead of repairing them")
+		stats     = flag.Bool("stats", false, "print an observability snapshot (JSON) to stderr at exit")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars, /debug/pprof on this address")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: strudel [flags] file.csv|dir...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
+
+	// Observability is opt-in: without -stats or -debug-addr the hooks stay
+	// nil and the pipeline runs unobserved.
+	var hooks *strudel.ObsHooks
+	if *stats || *debugAddr != "" {
+		registry := strudel.NewObsRegistry()
+		hooks = strudel.NewObsHooks(registry)
+		if *debugAddr != "" {
+			srv, err := strudel.ServeObsDebug(*debugAddr, registry)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "strudel:", err)
+				return 1
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Fprintf(os.Stderr, "strudel: debug endpoints on http://%s/debug/\n", srv.Addr())
+		}
+		if *stats {
+			defer func() {
+				if err := registry.Snapshot().WriteJSON(os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "strudel: stats:", err)
+				}
+			}()
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	model, err := loadOrTrainModel(*modelPath)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "strudel:", err)
+		return 1
 	}
 
 	paths, err := expandInputs(flag.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "strudel:", err)
+		return 1
 	}
 
-	opts := strudel.LoadOptions{Ingest: strudel.IngestOptions{MaxBytes: *maxBytes, Strict: *strict}}
+	opts := strudel.LoadOptions{
+		Ingest: strudel.IngestOptions{MaxBytes: *maxBytes, Strict: *strict},
+		Obs:    hooks,
+	}
 	if *delimFlag != "" {
 		d := strudel.DefaultDialect
 		d.Delimiter = parseDelim(*delimFlag)
@@ -97,7 +145,11 @@ func main() {
 		kept = append(kept, path)
 	}
 
-	anns := model.AnnotateAll(tables, strudel.BatchOptions{Parallelism: *workers, FileTimeout: *timeout})
+	anns := model.AnnotateAllContext(ctx, tables, strudel.BatchOptions{
+		Parallelism: *workers,
+		FileTimeout: *timeout,
+		Obs:         hooks,
+	})
 	for i := range kept {
 		if anns[i].Err != nil {
 			fmt.Fprintf(os.Stderr, "strudel: %v\n", anns[i].Err)
@@ -105,12 +157,14 @@ func main() {
 			continue
 		}
 		if err := printFile(kept[i], dialects[i], tables[i], anns[i], *showCells, *extract, *asJSON); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "strudel:", err)
+			return 1
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func loadOrTrainModel(path string) (*strudel.Model, error) {
@@ -167,7 +221,7 @@ func loadInput(path string, opts strudel.LoadOptions) (*strudel.Table, strudel.D
 		tbl.Name = "stdin"
 		return tbl, d, nil
 	}
-	return strudel.LoadFileOptions(path, opts)
+	return strudel.LoadFile(path, opts)
 }
 
 func printFile(path string, d strudel.Dialect, tbl *strudel.Table, ann *strudel.Annotation, showCells, extract, asJSON bool) error {
@@ -238,9 +292,4 @@ func parseDelim(s string) rune {
 	default:
 		return []rune(s)[0]
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "strudel:", err)
-	os.Exit(1)
 }

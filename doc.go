@@ -9,7 +9,7 @@
 // The typical flow is: load a file (dialect detection included), train a
 // model on an annotated corpus or load a pre-trained one, and annotate:
 //
-//	tbl, _, err := strudel.LoadFile("report.csv")
+//	tbl, _, err := strudel.LoadFile("report.csv", strudel.LoadOptions{})
 //	if err != nil { ... }
 //	model, err := strudel.LoadModelFile("strudel.model")
 //	if err != nil { ... }
@@ -19,4 +19,19 @@
 // Annotated training corpora can be synthesized with GenerateCorpus, which
 // reproduces the structural statistics of the paper's six evaluation
 // datasets.
+//
+// The hardened loaders come in three symmetric forms — LoadBytes,
+// LoadReader, LoadFile — all taking LoadOptions (encoding repair, resource
+// guards, dialect confidence floor). Corpora are annotated in batch with
+// AnnotateAllContext (AnnotateAll is its context.Background shorthand):
+// per-file work fans out over a bounded pool with deterministic output,
+// fault isolation, optional per-file timeouts, and cooperative
+// cancellation.
+//
+// Both layers accept optional observability hooks (LoadOptions.Obs,
+// BatchOptions.Obs): counters, gauges, and latency histograms recorded
+// into an ObsRegistry whose Snapshot renders deterministic JSON, with an
+// opt-in debug server (ServeObsDebug) exposing expvar and pprof. Nil hooks
+// — the default — cost one nil check per site. The deprecated Load and
+// LoadFileOptions wrappers remain for source compatibility only.
 package strudel

@@ -37,8 +37,8 @@ func ExampleParse() {
 // ExampleDetectDerivedCells audits the arithmetic of a small report: the
 // anchored Total line is recognized as an aggregation of the data above it.
 func ExampleDetectDerivedCells() {
-	tbl, _, err := strudel.Load(strings.NewReader(
-		"Item,Q1,Q2\napples,10,20\npears,30,40\nTotal,40,60\n"))
+	tbl, _, err := strudel.LoadReader(strings.NewReader(
+		"Item,Q1,Q2\napples,10,20\npears,30,40\nTotal,40,60\n"), strudel.LoadOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -57,6 +57,26 @@ func ExampleContainsAggregationWord() {
 	// Output:
 	// true
 	// false
+}
+
+// ExampleNewObsHooks shows the opt-in observability layer: hooks passed
+// through LoadOptions record ingestion and dialect metrics into a registry
+// whose snapshot is queryable by name (or rendered as deterministic JSON
+// with WriteJSON).
+func ExampleNewObsHooks() {
+	registry := strudel.NewObsRegistry()
+	hooks := strudel.NewObsHooks(registry)
+	_, _, err := strudel.LoadReader(strings.NewReader("a,b\n1,2\n3,4\n"),
+		strudel.LoadOptions{Obs: hooks})
+	if err != nil {
+		panic(err)
+	}
+	snap := registry.Snapshot()
+	files, _ := snap.Counter("ingest/files")
+	detections, _ := snap.Counter("dialect/detections")
+	fmt.Println("files:", files, "detections:", detections)
+	// Output:
+	// files: 1 detections: 1
 }
 
 // ExampleParseClass round-trips a class name.

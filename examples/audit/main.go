@@ -34,7 +34,7 @@ Total,40,245,947
 `
 
 func main() {
-	tbl, _, err := strudel.Load(strings.NewReader(report))
+	tbl, _, err := strudel.LoadReader(strings.NewReader(report), strudel.LoadOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,9 +38,9 @@ func main() {
 	var tbl *strudel.Table
 	var err error
 	if len(os.Args) > 1 {
-		tbl, _, err = strudel.LoadFile(os.Args[1])
+		tbl, _, err = strudel.LoadFile(os.Args[1], strudel.LoadOptions{})
 	} else {
-		tbl, _, err = strudel.Load(strings.NewReader(builtin))
+		tbl, _, err = strudel.LoadReader(strings.NewReader(builtin), strudel.LoadOptions{})
 	}
 	if err != nil {
 		log.Fatal(err)

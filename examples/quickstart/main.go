@@ -45,7 +45,7 @@ func main() {
 	}
 
 	// 2. Load the verbose file. Dialect detection is automatic.
-	tbl, dialect, err := strudel.Load(strings.NewReader(report))
+	tbl, dialect, err := strudel.LoadReader(strings.NewReader(report), strudel.LoadOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

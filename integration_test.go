@@ -42,7 +42,7 @@ func getIntegrationModel(t *testing.T) *Model {
 
 func TestIntegrationEnergyMultiTable(t *testing.T) {
 	m := getIntegrationModel(t)
-	tbl, d, err := LoadFile(filepath.Join("testdata", "energy_multi.csv"))
+	tbl, d, err := LoadFile(filepath.Join("testdata", "energy_multi.csv"), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestIntegrationEnergyMultiTable(t *testing.T) {
 
 func TestIntegrationCrimeGroupsSemicolon(t *testing.T) {
 	m := getIntegrationModel(t)
-	tbl, d, err := LoadFile(filepath.Join("testdata", "crime_groups.csv"))
+	tbl, d, err := LoadFile(filepath.Join("testdata", "crime_groups.csv"), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestIntegrationCrimeGroupsSemicolon(t *testing.T) {
 
 func TestIntegrationTabSurvey(t *testing.T) {
 	m := getIntegrationModel(t)
-	tbl, d, err := LoadFile(filepath.Join("testdata", "survey_tabs.csv"))
+	tbl, d, err := LoadFile(filepath.Join("testdata", "survey_tabs.csv"), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

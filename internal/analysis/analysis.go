@@ -45,6 +45,7 @@ var All = []*Analyzer{
 	GoroutineCapture,
 	SharedWrite,
 	FeatureParity,
+	Deprecated,
 }
 
 // Lookup returns the registered analyzer with the given name, or nil.

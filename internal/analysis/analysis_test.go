@@ -132,6 +132,14 @@ func TestPipelineFixtureIsClean(t *testing.T) {
 	checkFixture(t, "fixture/pipeline", []*Analyzer{LockCheck, GoroutineCapture, SharedWrite})
 }
 
+func TestDeprecatedFixture(t *testing.T) {
+	checkFixture(t, "fixture/deprecated", []*Analyzer{Deprecated})
+}
+
+func TestDeprecatedCrossPackageFixture(t *testing.T) {
+	checkFixture(t, "fixture/deprecatedx", []*Analyzer{Deprecated})
+}
+
 func TestFeatureParityCleanFixture(t *testing.T) {
 	checkFixture(t, "fixture/paritygood", []*Analyzer{FeatureParity})
 }

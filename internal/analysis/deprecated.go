@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deprecated flags module-internal calls to module functions whose doc
+// comment carries a "Deprecated:" paragraph (the standard Go convention).
+// Such wrappers exist only for external source compatibility; inside the
+// module every caller must use the replacement the note names, so the old
+// spelling can eventually be dropped without a sweep. Calls made from a
+// function that is itself deprecated are exempt — a compatibility shim may
+// delegate to another one.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "flags module-internal calls to functions documented as Deprecated:",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(pass *Pass) {
+	// notes caches, per declaring package, which functions are deprecated
+	// and why, so a package with many call sites is scanned once.
+	notes := map[*Package]map[*types.Func]string{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := deprecationNote(fd); ok {
+				continue // deprecated shims may call each other
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				note, ok := pass.deprecationOf(fn, notes)
+				if !ok {
+					return true
+				}
+				pass.Reportf(call.Pos(), "call to deprecated %s (%s)", fn.Name(), note)
+				return true
+			})
+		}
+	}
+}
+
+// deprecationOf reports whether fn is a module function documented as
+// deprecated, returning the first line of the deprecation note. Functions
+// outside the module (the standard library) are never flagged: the check
+// enforces this module's own migration contract, not Go's.
+func (p *Pass) deprecationOf(fn *types.Func, notes map[*Package]map[*types.Func]string) (string, bool) {
+	path := pkgOfFunc(fn)
+	if p.Loader == nil || path == "" {
+		return "", false
+	}
+	if path != p.Loader.ModulePath && !strings.HasPrefix(path, p.Loader.ModulePath+"/") {
+		return "", false
+	}
+	declPkg := p.Pkg
+	if path != p.Pkg.Path {
+		// Dependencies were loaded (and memoized) while type-checking this
+		// package, so the lookup never forces a new load.
+		if declPkg = p.Loader.Loaded(path); declPkg == nil {
+			return "", false
+		}
+	}
+	m, ok := notes[declPkg]
+	if !ok {
+		m = map[*types.Func]string{}
+		for _, file := range declPkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if note, ok := deprecationNote(fd); ok {
+					if obj, ok := declPkg.Info.Defs[fd.Name].(*types.Func); ok {
+						m[obj] = note
+					}
+				}
+			}
+		}
+		notes[declPkg] = m
+	}
+	note, ok := m[fn]
+	return note, ok
+}
+
+// deprecationNote extracts the first line of a FuncDecl's "Deprecated:"
+// paragraph, following the godoc convention of a comment line starting with
+// that marker.
+func deprecationNote(fd *ast.FuncDecl) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(line, "Deprecated:") {
+			return line, true
+		}
+	}
+	return "", false
+}

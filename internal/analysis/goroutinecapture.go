@@ -9,7 +9,7 @@ import (
 // GoroutineCapture audits the variables a concurrently-executed function
 // literal closes over. A literal runs concurrently when it is launched with
 // a go statement or handed to the pipeline worker pool (pipeline.ForEach /
-// ForEachContext). Three capture patterns are flagged:
+// ForEachContext / ForEachContextObs). Three capture patterns are flagged:
 //
 //   - loop variables: an enclosing for/range iteration variable referenced
 //     inside the literal. Per-iteration semantics make the read safe since
@@ -95,15 +95,19 @@ func collectLoopVars(pass *Pass, file *ast.File) map[types.Object]ast.Node {
 	return out
 }
 
-// isForEachCall reports whether a call invokes ForEach or ForEachContext of
-// a package named pipeline (the project worker pool; matching by package
-// name keeps the fixture module honest too).
+// isForEachCall reports whether a call invokes ForEach, ForEachContext, or
+// ForEachContextObs of a package named pipeline (the project worker pool;
+// matching by package name keeps the fixture module honest too).
 func isForEachCall(pass *Pass, call *ast.CallExpr) bool {
 	fn := calleeFunc(pass.Pkg.Info, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "pipeline" {
 		return false
 	}
-	return fn.Name() == "ForEach" || fn.Name() == "ForEachContext"
+	switch fn.Name() {
+	case "ForEach", "ForEachContext", "ForEachContextObs":
+		return true
+	}
+	return false
 }
 
 // checkConcurrentLiteral inspects one concurrently-executed literal.

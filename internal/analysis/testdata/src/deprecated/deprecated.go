@@ -1,0 +1,24 @@
+// Package deprecated is a fixture for the deprecated-call check.
+package deprecated
+
+// NewWay is the supported entry point.
+func NewWay(x int) int { return x + 1 }
+
+// OldWay is kept for source compatibility.
+//
+// Deprecated: Use NewWay.
+func OldWay(x int) int { return NewWay(x) }
+
+// OlderWay delegates to another shim, which is allowed: deprecated code may
+// call deprecated code.
+//
+// Deprecated: Use NewWay.
+func OlderWay(x int) int { return OldWay(x) }
+
+// Caller still uses the old spelling.
+func Caller() int {
+	return OldWay(1) // want deprecated
+}
+
+// CleanCaller uses the replacement.
+func CleanCaller() int { return NewWay(1) }

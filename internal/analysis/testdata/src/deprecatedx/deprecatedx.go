@@ -1,0 +1,14 @@
+// Package deprecatedx calls a deprecated function across a package
+// boundary, proving the deprecation note resolves through the loader's view
+// of the dependency's syntax.
+package deprecatedx
+
+import "fixture/deprecated"
+
+// CrossCaller still uses the old cross-package spelling.
+func CrossCaller() int {
+	return deprecated.OldWay(2) // want deprecated
+}
+
+// CrossClean uses the replacement.
+func CrossClean() int { return deprecated.NewWay(2) }

@@ -87,6 +87,15 @@ func forEachContextWrite(xs []int) int {
 	return sum
 }
 
+// ForEachContextObs closures are workers too.
+func forEachContextObsWrite(xs []int) int {
+	sum := 0
+	_ = pipeline.ForEachContextObs(nil, len(xs), 2, nil, func(i int) {
+		sum += xs[i] // want goroutinecapture
+	})
+	return sum
+}
+
 // A captured *pipeline.Artifacts is unsafe however it is used.
 func sharedArtifacts() {
 	a := pipeline.New()

@@ -16,6 +16,12 @@ func ForEachContext(ctx any, n, parallelism int, fn func(int)) error {
 	return nil
 }
 
+// ForEachContextObs is ForEachContext with observability hooks.
+func ForEachContextObs(ctx any, n, parallelism int, h any, fn func(int)) error {
+	ForEach(n, parallelism, fn)
+	return nil
+}
+
 // Artifacts stands in for the per-table cache that is NOT safe for
 // concurrent use.
 type Artifacts struct{ hits int }

@@ -17,6 +17,7 @@ import (
 	"math"
 	"strings"
 
+	"strudel/internal/obs"
 	"strudel/internal/types"
 )
 
@@ -89,6 +90,21 @@ type Detection struct {
 func Detect(text string) (Dialect, error) {
 	det, err := DetectBest(text)
 	return det.Dialect, err
+}
+
+// DetectBestObs is DetectBest under observation: the detection is timed as
+// obs.StageDialect, counted under obs.MDialectDetections, and the winning
+// score lands in the obs.MDialectScore histogram. A nil h is free; the
+// detection result itself is identical to DetectBest.
+func DetectBestObs(text string, h *obs.Hooks) (Detection, error) {
+	start := h.SpanStart(obs.StageDialect)
+	det, err := DetectBest(text)
+	h.SpanEnd(obs.StageDialect, start)
+	if h.Active() && err == nil {
+		h.Count(obs.MDialectDetections, 1)
+		h.Observe(obs.MDialectScore, det.Score, obs.UnitBuckets)
+	}
+	return det, err
 }
 
 // DetectBest is Detect with the winner's score and margin attached. The

@@ -24,6 +24,8 @@ import (
 	"os"
 	"strings"
 	"unicode/utf8"
+
+	"strudel/internal/obs"
 )
 
 // Sentinel errors of the ingest taxonomy. Every error returned by this
@@ -90,6 +92,11 @@ type Options struct {
 	// Strict promotes every fix-up (encoding repair, NUL stripping, line
 	// truncation) to a typed error instead of repairing and recording.
 	Strict bool
+	// Obs observes ingestion: bytes in, encoding repairs, guard trips,
+	// rejections. Nil disables observation at no cost. The strudel loaders
+	// fill this from LoadOptions.Obs; set it directly only when calling
+	// ingest without the strudel layer.
+	Obs *obs.Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -208,9 +215,45 @@ type Result struct {
 
 // Normalize turns raw bytes into parse-ready text, applying the encoding
 // and resource policy of opts. It is the single choke point every reader in
-// this module funnels through.
+// this module funnels through — which also makes it the single point where
+// ingestion is observed: when opts.Obs is set, Normalize records bytes in,
+// the detected encoding, every guard trip, and the accept/reject/repair
+// outcome, and times itself under obs.StageIngest.
 func Normalize(data []byte, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	h := opts.Obs
+	start := h.SpanStart(obs.StageIngest)
+	res, err := normalize(data, opts)
+	h.SpanEnd(obs.StageIngest, start)
+	recordIngest(h, res, err)
+	return res, err
+}
+
+// recordIngest translates one normalization outcome into metrics: the
+// per-guard counters mirror Provenance.Guards name for name, so "degraded
+// reasons by kind" is answerable straight from a snapshot.
+func recordIngest(h *obs.Hooks, res Result, err error) {
+	if !h.Active() {
+		return
+	}
+	h.Count(obs.MIngestFiles, 1)
+	h.Count(obs.MIngestBytesIn, int64(res.Provenance.BytesIn))
+	if res.Provenance.Encoding != "" {
+		h.Count(obs.EncodingMetric(res.Provenance.Encoding), 1)
+	}
+	for _, g := range res.Provenance.Guards {
+		h.Count(obs.GuardMetric(g), 1)
+	}
+	switch {
+	case err != nil:
+		h.Count(obs.MIngestRejected, 1)
+	case res.Provenance.Degraded():
+		h.Count(obs.MIngestRepaired, 1)
+	}
+}
+
+// normalize is the observation-free body of Normalize.
+func normalize(data []byte, opts Options) (Result, error) {
 	res := Result{Provenance: Provenance{BytesIn: len(data)}}
 	prov := &res.Provenance
 

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// A DebugServer is the opt-in diagnostics endpoint started by ServeDebug.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the address the server is listening on (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// expvarRegistry is the registry exposed through the process-global expvar
+// namespace. expvar.Publish is once-per-name for the process lifetime, so
+// the published Func indirects through this pointer: the most recent
+// ServeDebug registry wins (one registry per process is the expected use).
+var (
+	expvarOnce     sync.Once
+	expvarRegistry atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarRegistry.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("strudel", expvar.Func(func() any {
+			if reg := expvarRegistry.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP diagnostics server on addr exposing
+//
+//	/debug/obs    the registry snapshot as deterministic JSON
+//	/debug/vars   the expvar namespace (includes the snapshot under "strudel")
+//	/debug/pprof  the standard net/http/pprof profile endpoints
+//
+// on its own mux — nothing is mounted on http.DefaultServeMux, so the
+// endpoints exist only when a caller opts in. The server runs until Close.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: ServeDebug needs a non-nil registry")
+	}
+	publishExpvar(r)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w) // best-effort: a dropped client connection loses nothing
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }() // returns http.ErrServerClosed on Close
+	return &DebugServer{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,304 @@
+// Package obs is the pipeline's observability layer: monotonic counters,
+// gauges, and fixed-bucket histograms behind a Registry, plus the Hooks
+// carrier that threads them through the annotation hot path (see hooks.go).
+//
+// The package is deliberately zero-dependency (standard library only) and
+// allocation-conscious: every metric is a plain struct over sync/atomic, a
+// disabled observer (nil *Hooks) costs a single nil check per
+// instrumentation point, and Snapshot is the only operation that allocates
+// proportionally to the number of metrics.
+//
+// Concurrency ownership: all metric mutation goes through atomic operations
+// on values that are never moved after creation; the Registry's maps are
+// guarded by its mutex and only grow. No package-level metric state exists —
+// callers own their Registry — so concurrent batches with separate
+// registries never share anything, and the sharedwrite analyzer contract
+// ("exported API mutates no globals") holds by construction.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing count. The zero value is ready to
+// use and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta (negative deltas are ignored: a
+// counter only goes up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// A Gauge is an instantaneous value that can move both ways (queue depth,
+// busy workers). It additionally tracks the high-water mark it ever
+// reached. The zero value is ready to use and safe for concurrent use.
+type Gauge struct{ v, max atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.raiseMax(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	g.raiseMax(g.v.Add(delta))
+}
+
+func (g *Gauge) raiseMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the highest value the gauge ever held.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// atomicFloat64 accumulates a float64 with compare-and-swap on its bits.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// A Histogram counts observations into fixed buckets chosen at
+// construction. Buckets are defined by their inclusive upper bounds in
+// ascending order; observations above the last bound land in an overflow
+// bucket. Recording is lock-free and concurrent-safe; the bounds slice is
+// immutable after construction.
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1; the last slot is the overflow
+	observed atomic.Int64
+	sum      atomicFloat64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// The bounds slice is copied; an empty bounds list yields a histogram that
+// only tracks count and sum.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: its bucket
+	h.counts[i].Add(1)
+	h.observed.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.observed.Load() }
+
+// Sum returns the running sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DefaultLatencyBuckets are the upper bounds (in seconds) used for every
+// stage-latency histogram: exponential-ish coverage from 100µs to 10s.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// UnitBuckets are the upper bounds used for values confined to [0, 1]
+// (dialect consistency scores, worker utilization): twenty 0.05-wide bins.
+var UnitBuckets = []float64{
+	0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+	0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00,
+}
+
+// A Registry is a named collection of metrics. Metrics are created on first
+// use and live for the registry's lifetime; creation is guarded by the
+// registry mutex, mutation is atomic on the metric itself. The zero value
+// is NOT usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. A later call with different bounds returns the existing
+// histogram unchanged: the first creation wins, so concurrent recorders
+// always share one bucket layout.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// BucketValue is one histogram bucket: the count of observations at or
+// below the upper bound (non-cumulative).
+type BucketValue struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramValue is one histogram in a Snapshot. Overflow counts the
+// observations above the last bucket bound.
+type HistogramValue struct {
+	Name     string        `json:"name"`
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Buckets  []BucketValue `json:"buckets,omitempty"`
+	Overflow int64         `json:"overflow"`
+}
+
+// A Snapshot is a point-in-time copy of every metric in a registry, sorted
+// by name within each kind, so its JSON encoding is deterministic for a
+// given sequence of recorded values.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric. Concurrent recording
+// during the copy is safe; each individual metric is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make([]CounterValue, 0, len(r.counters)),
+		Gauges:     make([]GaugeValue, 0, len(r.gauges)),
+		Histograms: make([]HistogramValue, 0, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value(), Max: g.Max()})
+	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i, bound := range h.bounds {
+			hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: bound, Count: h.counts[i].Load()})
+		}
+		hv.Overflow = h.counts[len(h.bounds)].Load()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the value of the named counter and whether it exists.
+func (s Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram value and whether it exists.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// Gauge returns the named gauge value and whether it exists.
+func (s Snapshot) Gauge(name string) (GaugeValue, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GaugeValue{}, false
+}
+
+// WriteJSON writes the snapshot as indented JSON. The encoding is
+// deterministic: fixed field order, name-sorted metrics.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

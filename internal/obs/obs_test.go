@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketing pins the bucket semantics: an observation lands in
+// the first bucket whose upper bound is >= the value, values above the last
+// bound land in the overflow slot, and count/sum track every observation.
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2} // (..0.1] (0.1..1] (1..10]
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.counts[3].Load(); got != 2 {
+		t.Errorf("overflow count = %d, want 2", got)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d, want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+2+10+11+1000; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramUnsortedBounds: NewHistogram sorts the bounds it is given.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	h := NewHistogram([]float64{10, 0.1, 1})
+	h.Observe(0.5)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("0.5 landed in the wrong bucket (counts[1] = %d, want 1)", got)
+	}
+}
+
+// TestSnapshotDeterministic: two snapshots of the same registry state must
+// encode to byte-identical JSON, regardless of metric creation order.
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z/second").Add(2)
+	r.Counter("a/first").Inc()
+	r.Gauge("m/depth").Set(7)
+	r.Histogram("lat/x", DefaultLatencyBuckets).Observe(0.003)
+	r.Histogram("lat/a", UnitBuckets).Observe(0.5)
+
+	var one, two bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", one.String(), two.String())
+	}
+
+	s := r.Snapshot()
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Errorf("counters not sorted: %q before %q", s.Counters[i-1].Name, s.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(s.Histograms); i++ {
+		if s.Histograms[i-1].Name >= s.Histograms[i].Name {
+			t.Errorf("histograms not sorted: %q before %q", s.Histograms[i-1].Name, s.Histograms[i].Name)
+		}
+	}
+	if v, ok := s.Counter("a/first"); !ok || v != 1 {
+		t.Errorf("Counter(a/first) = %d, %v; want 1, true", v, ok)
+	}
+	if g, ok := s.Gauge("m/depth"); !ok || g.Value != 7 || g.Max != 7 {
+		t.Errorf("Gauge(m/depth) = %+v, %v; want value 7 max 7", g, ok)
+	}
+	if h, ok := s.Histogram("lat/a"); !ok || h.Count != 1 {
+		t.Errorf("Histogram(lat/a) = %+v, %v; want count 1", h, ok)
+	}
+}
+
+// TestConcurrentRecording hammers one registry from many goroutines; the
+// final totals must be exact. Run under -race this also proves the
+// ownership story (atomics on metrics, mutex on the maps).
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Gauge("g").Add(-1)
+				r.Histogram("h", UnitBuckets).Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := r.Gauge("g").Max(); got < 1 || got > workers {
+		t.Errorf("gauge max = %d, want within [1, %d]", got, workers)
+	}
+	if got := r.Histogram("h", UnitBuckets).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestCounterMonotonic: negative deltas are ignored.
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5 (negative add must be ignored)", c.Value())
+	}
+}
+
+// TestNilHooks: every Hooks method must be a safe no-op on a nil receiver —
+// that is the disabled-observer contract the hot path relies on.
+func TestNilHooks(t *testing.T) {
+	var h *Hooks
+	if h.Active() {
+		t.Error("nil hooks report Active")
+	}
+	start := h.SpanStart(StageIngest)
+	if !start.IsZero() {
+		t.Error("nil SpanStart read the clock")
+	}
+	h.SpanEnd(StageIngest, start)
+	h.Count(MIngestFiles, 1)
+	h.Observe(MDialectScore, 0.5, UnitBuckets)
+	h.GaugeAdd(MPoolBusyWorkers, 1)
+	h.GaugeSet(MPoolQueueDepth, 3)
+	if !h.Now().IsZero() {
+		t.Error("nil Now read the clock")
+	}
+	if h.Since(time.Time{}) != 0 {
+		t.Error("nil Since returned nonzero")
+	}
+}
+
+// TestHooksRecording: an active Hooks records spans, counters, and events
+// into its registry and fires the callbacks.
+func TestHooksRecording(t *testing.T) {
+	r := NewRegistry()
+	var events []string
+	var spans []Stage
+	h := &Hooks{
+		Registry:    r,
+		OnSpanStart: func(s Stage) { spans = append(spans, s) },
+		OnSpanEnd:   func(s Stage, d time.Duration) { spans = append(spans, s) },
+		OnEvent:     func(name string, delta int64) { events = append(events, name) },
+	}
+	start := h.SpanStart(StageLineFeatures)
+	h.SpanEnd(StageLineFeatures, start)
+	h.Count(MIngestFiles, 2)
+
+	s := r.Snapshot()
+	if v, ok := s.Counter(MIngestFiles); !ok || v != 2 {
+		t.Errorf("counter = %d, %v; want 2, true", v, ok)
+	}
+	if hv, ok := s.Histogram(StageLineFeatures.MetricName()); !ok || hv.Count != 1 {
+		t.Errorf("span histogram = %+v, %v; want one observation", hv, ok)
+	}
+	if len(spans) != 2 || spans[0] != StageLineFeatures || spans[1] != StageLineFeatures {
+		t.Errorf("span callbacks = %v", spans)
+	}
+	if len(events) != 1 || events[0] != MIngestFiles {
+		t.Errorf("event callbacks = %v", events)
+	}
+}
+
+// TestStageMetricNames: every declared stage has a pre-built metric name
+// (the default concatenation is only for ad-hoc stages).
+func TestStageMetricNames(t *testing.T) {
+	for _, s := range []Stage{
+		StageIngest, StageDialect, StageLineFeatures, StageLineProbs,
+		StageCellFeatures, StageCellClassify, StageColumnProbs,
+		StageAnnotateFile, StageBatch,
+	} {
+		want := "stage/" + string(s) + "_seconds"
+		if got := s.MetricName(); got != want {
+			t.Errorf("Stage(%s).MetricName() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestServeDebug boots the opt-in diagnostics server on an ephemeral port
+// and checks the three endpoint families respond.
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MIngestFiles).Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/debug/obs")), &snap); err != nil {
+		t.Fatalf("/debug/obs is not snapshot JSON: %v", err)
+	}
+	if v, ok := snap.Counter(MIngestFiles); !ok || v != 3 {
+		t.Errorf("/debug/obs counter = %d, %v; want 3", v, ok)
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, `"strudel"`) {
+		t.Error("/debug/vars does not include the published strudel snapshot")
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+	if err := ServeDebugNilRegistry(); err == nil {
+		t.Error("ServeDebug accepted a nil registry")
+	}
+}
+
+// ServeDebugNilRegistry isolates the nil-registry error path.
+func ServeDebugNilRegistry() error {
+	_, err := ServeDebug("127.0.0.1:0", nil)
+	return err
+}

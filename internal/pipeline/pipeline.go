@@ -20,8 +20,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"strudel/internal/features"
+	"strudel/internal/obs"
 	"strudel/internal/table"
 )
 
@@ -35,6 +37,13 @@ import (
 type Artifacts struct {
 	// Table is the parsed file the artifacts describe.
 	Table *table.Table
+
+	// Obs observes the stage computations: each cache miss is timed as a
+	// span (line_features, line_probs, cell_features, column_probs). Nil
+	// disables observation at the cost of one nil check per stage. Like
+	// the Artifacts itself, the field is set once before use and read by
+	// one goroutine.
+	Obs *obs.Hooks
 
 	lineFeats     [][]float64
 	lineOpts      features.LineOptions
@@ -59,7 +68,9 @@ func New(t *table.Table) *Artifacts { return &Artifacts{Table: t} }
 // artifact, but correctness is preserved if they do).
 func (a *Artifacts) LineFeatures(opts features.LineOptions) [][]float64 {
 	if !a.haveLineFeats || a.lineOpts != opts {
+		start := a.Obs.SpanStart(obs.StageLineFeatures)
 		a.lineFeats = features.LineFeatures(a.Table, opts)
+		a.Obs.SpanEnd(obs.StageLineFeatures, start)
 		a.lineOpts = opts
 		a.haveLineFeats = true
 		counters.LineFeatures.Add(1)
@@ -72,7 +83,9 @@ func (a *Artifacts) LineFeatures(opts features.LineOptions) [][]float64 {
 // Callers must treat the result as read-only.
 func (a *Artifacts) LineProbabilities(owner any, compute func(*Artifacts) [][]float64) [][]float64 {
 	if a.lineProbs == nil || a.lineProbsOwner != owner {
+		start := a.Obs.SpanStart(obs.StageLineProbs)
 		a.lineProbs = compute(a)
+		a.Obs.SpanEnd(obs.StageLineProbs, start)
 		a.lineProbsOwner = owner
 		counters.LineProbabilities.Add(1)
 	}
@@ -84,7 +97,9 @@ func (a *Artifacts) LineProbabilities(owner any, compute func(*Artifacts) [][]fl
 // treat the result as read-only.
 func (a *Artifacts) CellFeatures(owner any, compute func(*Artifacts) [][][]float64) [][][]float64 {
 	if a.cellFeats == nil || a.cellFeatsOwner != owner {
+		start := a.Obs.SpanStart(obs.StageCellFeatures)
 		a.cellFeats = compute(a)
+		a.Obs.SpanEnd(obs.StageCellFeatures, start)
 		a.cellFeatsOwner = owner
 		counters.CellFeatures.Add(1)
 	}
@@ -96,7 +111,9 @@ func (a *Artifacts) CellFeatures(owner any, compute func(*Artifacts) [][][]float
 // compute. Callers must treat the result as read-only.
 func (a *Artifacts) ColumnProbabilities(owner any, compute func(*Artifacts) [][]float64) [][]float64 {
 	if a.colProbs == nil || a.colProbsOwner != owner {
+		start := a.Obs.SpanStart(obs.StageColumnProbs)
 		a.colProbs = compute(a)
+		a.Obs.SpanEnd(obs.StageColumnProbs, start)
 		a.colProbsOwner = owner
 		counters.ColumnProbabilities.Add(1)
 	}
@@ -160,6 +177,17 @@ func ForEach(n, parallelism int, fn func(int)) {
 // A nil ctx behaves like context.Background. With a non-cancellable context
 // the behavior (and determinism contract) is identical to ForEach.
 func ForEachContext(ctx context.Context, n, parallelism int, fn func(int)) error {
+	return ForEachContextObs(ctx, n, parallelism, nil, fn)
+}
+
+// ForEachContextObs is ForEachContext with the worker pool under
+// observation: h (nil is free) receives the dispatched-item counter, the
+// queue-depth gauge (items not yet handed to a worker), the busy-workers
+// gauge with its high-water mark, and one utilization observation per
+// worker (busy time over pool wall time) when the pool drains. Dispatch
+// order, determinism, and cancellation semantics are identical to
+// ForEachContext at every setting.
+func ForEachContextObs(ctx context.Context, n, parallelism int, h *obs.Hooks, fn func(int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -173,14 +201,21 @@ func ForEachContext(ctx context.Context, n, parallelism int, fn func(int)) error
 	if workers > n {
 		workers = n
 	}
+	h.GaugeSet(obs.MPoolQueueDepth, int64(n))
 	done := ctx.Done()
 	if workers <= 1 {
+		wallStart := h.Now()
+		var busy time.Duration
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				observeUtilization(h, busy, wallStart)
 				return err
 			}
+			itemStart := startItem(h)
 			fn(i)
+			busy += endItem(h, itemStart)
 		}
+		observeUtilization(h, busy, wallStart)
 		return ctx.Err()
 	}
 	next := make(chan int)
@@ -189,9 +224,14 @@ func ForEachContext(ctx context.Context, n, parallelism int, fn func(int)) error
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			wallStart := h.Now()
+			var busy time.Duration
 			for i := range next {
+				itemStart := startItem(h)
 				fn(i)
+				busy += endItem(h, itemStart)
 			}
+			observeUtilization(h, busy, wallStart)
 		}()
 	}
 feed:
@@ -212,6 +252,41 @@ feed:
 	close(next)
 	wg.Wait()
 	return ctx.Err()
+}
+
+// startItem records one item leaving the queue for a worker and returns the
+// moment it started. Each worker goroutine calls it only for its own items,
+// so the returned time never crosses goroutines.
+func startItem(h *obs.Hooks) time.Time {
+	if !h.Active() {
+		return time.Time{}
+	}
+	h.Count(obs.MPoolItems, 1)
+	h.GaugeAdd(obs.MPoolQueueDepth, -1)
+	h.GaugeAdd(obs.MPoolBusyWorkers, 1)
+	return h.Now()
+}
+
+// endItem closes out one item and returns how long the worker was busy on it.
+func endItem(h *obs.Hooks, start time.Time) time.Duration {
+	if !h.Active() {
+		return 0
+	}
+	h.GaugeAdd(obs.MPoolBusyWorkers, -1)
+	return h.Since(start)
+}
+
+// observeUtilization records one worker's busy/wall ratio when it exits the
+// pool. A worker that never saw the clock (nil hooks) records nothing.
+func observeUtilization(h *obs.Hooks, busy time.Duration, wallStart time.Time) {
+	if !h.Active() {
+		return
+	}
+	wall := h.Since(wallStart)
+	if wall <= 0 {
+		return
+	}
+	h.Observe(obs.MPoolWorkerUtilization, busy.Seconds()/wall.Seconds(), obs.UnitBuckets)
 }
 
 // A PanicError is a recovered per-file panic, converted into an ordinary

@@ -30,7 +30,7 @@ func loadHostile(t *testing.T, path string, opts LoadOptions) *Table {
 			t.Fatalf("%s: loader panicked: %v", path, r)
 		}
 	}()
-	tbl, _, err := LoadFileOptions(path, opts)
+	tbl, _, err := LoadFile(path, opts)
 	if err != nil {
 		for _, sentinel := range []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput,
 			ErrLineTooLong, ErrTooManyLines, ErrTooManyCells} {
@@ -117,7 +117,7 @@ func TestHostileProvenance(t *testing.T) {
 	}
 	for name, check := range cases {
 		path := filepath.Join("testdata", "hostile", name)
-		tbl, _, err := LoadFile(path)
+		tbl, _, err := LoadFile(path, LoadOptions{})
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -131,11 +131,11 @@ func TestHostileProvenance(t *testing.T) {
 		}
 	}
 	for _, name := range []string{"empty.csv", "whitespace.csv"} {
-		if _, _, err := LoadFile(filepath.Join("testdata", "hostile", name)); !errors.Is(err, ErrEmptyInput) {
+		if _, _, err := LoadFile(filepath.Join("testdata", "hostile", name), LoadOptions{}); !errors.Is(err, ErrEmptyInput) {
 			t.Errorf("%s: err = %v, want ErrEmptyInput", name, err)
 		}
 	}
-	if _, _, err := LoadFile(filepath.Join("testdata", "hostile", "binary_blob.csv")); !errors.Is(err, ErrBadEncoding) {
+	if _, _, err := LoadFile(filepath.Join("testdata", "hostile", "binary_blob.csv"), LoadOptions{}); !errors.Is(err, ErrBadEncoding) {
 		t.Errorf("binary_blob.csv: err = %v, want ErrBadEncoding", err)
 	}
 }
@@ -145,7 +145,7 @@ func TestHostileProvenance(t *testing.T) {
 func TestAnnotationSurfacesDegradation(t *testing.T) {
 	m := trainedModel(t)
 
-	tbl, _, err := LoadFile(filepath.Join("testdata", "hostile", "nul_ridden.csv"))
+	tbl, _, err := LoadFile(filepath.Join("testdata", "hostile", "nul_ridden.csv"), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,14 +183,15 @@ func TestBatchFaultIsolation(t *testing.T) {
 
 	clean := m.AnnotateAll(files, BatchOptions{Parallelism: 4})
 
-	annotateTestHook = func(tbl *table.Table) {
+	hook := func(tbl *table.Table) {
 		if tbl.Name == files[poisoned].Name {
 			panic("injected fault: " + tbl.Name)
 		}
 	}
-	t.Cleanup(func() { annotateTestHook = nil })
+	annotateTestHook.Store(&hook)
+	t.Cleanup(func() { annotateTestHook.Store(nil) })
 	faulted := m.AnnotateAll(files, BatchOptions{Parallelism: 4})
-	annotateTestHook = nil
+	annotateTestHook.Store(nil)
 
 	for i := 0; i < n; i++ {
 		if i == poisoned {
@@ -270,14 +271,15 @@ func TestFileTimeout(t *testing.T) {
 		files[i].Name = string(rune('a'+i)) + ".csv"
 	}
 	const slow = 2
-	annotateTestHook = func(tbl *table.Table) {
+	hook := func(tbl *table.Table) {
 		if tbl.Name == files[slow].Name {
 			time.Sleep(2 * time.Second)
 		}
 	}
-	t.Cleanup(func() { annotateTestHook = nil })
+	annotateTestHook.Store(&hook)
+	t.Cleanup(func() { annotateTestHook.Store(nil) })
 	anns := m.AnnotateAll(files, BatchOptions{Parallelism: 4, FileTimeout: 100 * time.Millisecond})
-	annotateTestHook = nil
+	annotateTestHook.Store(nil)
 
 	for i, ann := range anns {
 		if i == slow {
@@ -349,7 +351,7 @@ func TestCleanTestdataNotDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range paths {
-		tbl, _, err := LoadFile(p)
+		tbl, _, err := LoadFile(p, LoadOptions{})
 		if err != nil {
 			t.Errorf("%s: %v", p, err)
 			continue

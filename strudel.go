@@ -2,8 +2,10 @@ package strudel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"strudel/internal/core"
@@ -12,6 +14,7 @@ import (
 	"strudel/internal/extract"
 	"strudel/internal/features"
 	"strudel/internal/ingest"
+	"strudel/internal/obs"
 	"strudel/internal/pipeline"
 	"strudel/internal/table"
 )
@@ -92,6 +95,41 @@ var (
 	ErrTooManyCells = ingest.ErrTooManyCells
 )
 
+// ObsRegistry aggregates observability metrics: monotonic counters, gauges
+// with high-water marks, and fixed-bucket latency histograms. A registry is
+// safe for concurrent use; Snapshot renders its state as deterministic JSON
+// (names sorted, field order fixed). See NewObsRegistry.
+type ObsRegistry = obs.Registry
+
+// ObsHooks is the observation carrier threaded through loading and
+// annotation via LoadOptions.Obs and BatchOptions.Obs. A nil *ObsHooks is
+// the disabled observer: every hook degrades to a nil check, and the hot
+// path never reads the clock.
+type ObsHooks = obs.Hooks
+
+// ObsSnapshot is a point-in-time copy of a registry's metrics.
+type ObsSnapshot = obs.Snapshot
+
+// ObsDebugServer is the opt-in diagnostics endpoint started by
+// ServeObsDebug; Close shuts it down.
+type ObsDebugServer = obs.DebugServer
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsHooks returns hooks that record spans, counters, and gauges into r.
+// Pass the result via LoadOptions.Obs and BatchOptions.Obs; pass nil hooks
+// (or simply leave the fields unset) to disable observation.
+func NewObsHooks(r *ObsRegistry) *ObsHooks { return obs.NewHooks(r) }
+
+// ServeObsDebug starts the opt-in HTTP diagnostics server on addr, exposing
+// the registry snapshot (/debug/obs), expvar (/debug/vars), and the standard
+// pprof profile endpoints (/debug/pprof/...). Nothing is mounted unless this
+// is called. The strudel and strudel-eval commands expose it as -debug-addr.
+func ServeObsDebug(addr string, r *ObsRegistry) (*ObsDebugServer, error) {
+	return obs.ServeDebug(addr, r)
+}
+
 // DefaultMinDialectScore is the confidence floor under which dialect
 // detection is considered unreliable: the winner is discarded, the file is
 // parsed under the comma dialect, and the annotation is marked degraded.
@@ -108,6 +146,21 @@ type LoadOptions struct {
 	MinDialectScore float64
 	// ForceDialect skips detection and parses under the given dialect.
 	ForceDialect *Dialect
+	// Obs observes loading — ingestion bytes/repairs/guard trips, the
+	// dialect-detection span and score histogram, fallback and forced
+	// counters. Nil disables observation at no cost.
+	Obs *ObsHooks
+}
+
+// ingestOptions is the ingest configuration with the loader's hooks pushed
+// down, so one LoadOptions.Obs observes both layers. An explicitly set
+// Ingest.Obs wins.
+func (o LoadOptions) ingestOptions() ingest.Options {
+	in := o.Ingest
+	if in.Obs == nil {
+		in.Obs = o.Obs
+	}
+	return in
 }
 
 func (o LoadOptions) minScore() float64 {
@@ -127,7 +180,7 @@ func (o LoadOptions) minScore() float64 {
 // Provenance describing every repair; errors wrap the ingest taxonomy
 // (ErrTooLarge, ErrBadEncoding, ErrEmptyInput, ...).
 func LoadBytes(data []byte, opts LoadOptions) (*Table, Dialect, error) {
-	res, err := ingest.Normalize(data, opts.Ingest)
+	res, err := ingest.Normalize(data, opts.ingestOptions())
 	if err != nil {
 		return nil, Dialect{}, err
 	}
@@ -142,8 +195,9 @@ func buildTable(res ingest.Result, opts LoadOptions) (*Table, Dialect, error) {
 	switch {
 	case opts.ForceDialect != nil:
 		d = *opts.ForceDialect
+		opts.Obs.Count(obs.MDialectForced, 1)
 	default:
-		det, err := dialect.DetectBest(res.Text)
+		det, err := dialect.DetectBestObs(res.Text, opts.Obs)
 		if err != nil {
 			return nil, Dialect{}, fmt.Errorf("strudel: %w", err)
 		}
@@ -154,6 +208,7 @@ func buildTable(res ingest.Result, opts LoadOptions) (*Table, Dialect, error) {
 			d = DefaultDialect
 			prov.DialectFallback = true
 			prov.Trip(ingest.GuardDialectScore)
+			opts.Obs.Count(obs.MDialectFallbacks, 1)
 		} else {
 			d = det.Dialect
 		}
@@ -178,30 +233,21 @@ func buildTable(res ingest.Result, opts LoadOptions) (*Table, Dialect, error) {
 	return t, d, nil
 }
 
-// Load reads a verbose CSV file from r through the hardened ingestion
-// layer with default options, detects its dialect, and parses it.
-func Load(r io.Reader) (*Table, Dialect, error) {
-	return LoadReader(r, LoadOptions{})
-}
-
-// LoadReader is Load with explicit options. The reader is capped at the
-// ingest size guard, so an unbounded stream cannot exhaust memory.
+// LoadReader reads a verbose CSV file from r through the full hardened
+// front door (see LoadBytes). The reader is capped at the ingest size
+// guard, so an unbounded stream cannot exhaust memory.
 func LoadReader(r io.Reader, opts LoadOptions) (*Table, Dialect, error) {
-	res, err := ingest.Read(r, opts.Ingest)
+	res, err := ingest.Read(r, opts.ingestOptions())
 	if err != nil {
 		return nil, Dialect{}, err
 	}
 	return buildTable(res, opts)
 }
 
-// LoadFile reads and parses the file at path with default options.
-func LoadFile(path string) (*Table, Dialect, error) {
-	return LoadFileOptions(path, LoadOptions{})
-}
-
-// LoadFileOptions is LoadFile with explicit ingestion and dialect options.
-func LoadFileOptions(path string, opts LoadOptions) (*Table, Dialect, error) {
-	res, err := ingest.ReadFile(path, opts.Ingest)
+// LoadFile reads and parses the file at path; the table's Name is set to
+// the path. Pass LoadOptions{} for the defaults.
+func LoadFile(path string, opts LoadOptions) (*Table, Dialect, error) {
+	res, err := ingest.ReadFile(path, opts.ingestOptions())
 	if err != nil {
 		return nil, Dialect{}, err
 	}
@@ -211,6 +257,23 @@ func LoadFileOptions(path string, opts LoadOptions) (*Table, Dialect, error) {
 	}
 	t.Name = path
 	return t, d, nil
+}
+
+// Load reads a verbose CSV file from r with default options.
+//
+// Deprecated: Use LoadReader(r, LoadOptions{}). Load predates the
+// consolidated load family (LoadBytes / LoadReader / LoadFile, each taking
+// LoadOptions) and is kept only for source compatibility.
+func Load(r io.Reader) (*Table, Dialect, error) {
+	return LoadReader(r, LoadOptions{})
+}
+
+// LoadFileOptions is the old name for LoadFile with explicit options.
+//
+// Deprecated: Use LoadFile(path, opts), which now takes the options
+// directly.
+func LoadFileOptions(path string, opts LoadOptions) (*Table, Dialect, error) {
+	return LoadFile(path, opts)
 }
 
 // Annotation is the result of classifying a table: one class per line and
@@ -321,16 +384,21 @@ func (m *Model) Annotate(t *Table) *Annotation {
 }
 
 func (m *Model) annotate(a *pipeline.Artifacts) *Annotation {
-	if annotateTestHook != nil {
-		annotateTestHook(a.Table)
+	if hook := annotateTestHook.Load(); hook != nil {
+		(*hook)(a.Table)
 	}
 	lines := m.line.ClassifyWithArtifacts(a)
 	var cells [][]Class
+	// The cell_classify span covers the whole cell stage, so the nested
+	// cell_features span (a cache miss inside ClassifyWithArtifacts) is a
+	// sub-interval of it, not a sibling.
+	cellStart := a.Obs.SpanStart(obs.StageCellClassify)
 	if m.cell == nil {
 		cells = m.line.ClassifyCellsWithArtifacts(a)
 	} else {
 		cells = m.cell.ClassifyWithArtifacts(a)
 	}
+	a.Obs.SpanEnd(obs.StageCellClassify, cellStart)
 	ann := &Annotation{
 		Lines:             lines,
 		Cells:             cells,
@@ -345,8 +413,10 @@ func (m *Model) annotate(a *pipeline.Artifacts) *Annotation {
 
 // annotateTestHook, when set, runs at the start of every annotate call. It
 // exists so tests can force a panic for a chosen file and prove the batch
-// fault barrier isolates it.
-var annotateTestHook func(*table.Table)
+// fault barrier isolates it. Atomic because a timed-out annotation is
+// abandoned, not stopped — the orphaned goroutine may still load the hook
+// after the test has cleared it.
+var annotateTestHook atomic.Pointer[func(*table.Table)]
 
 // BatchOptions configures AnnotateAll.
 type BatchOptions struct {
@@ -360,6 +430,11 @@ type BatchOptions struct {
 	// Err set (wrapping context.DeadlineExceeded); the rest of the batch
 	// is unaffected.
 	FileTimeout time.Duration
+	// Obs observes the batch: per-stage pipeline timings, worker-pool
+	// queue depth and utilization, per-file end-to-end latency, and file
+	// outcome counters (ok / failed / timeout / panic-recovered /
+	// cancelled). Nil disables observation at no cost.
+	Obs *ObsHooks
 }
 
 // AnnotateAll classifies a corpus of tables, fanning the per-file work
@@ -381,9 +456,13 @@ func (m *Model) AnnotateAllContext(ctx context.Context, files []*Table, opts Bat
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	h := opts.Obs
+	batchStart := h.SpanStart(obs.StageBatch)
+	h.Count(obs.MBatchBatches, 1)
+	h.Count(obs.MBatchFiles, int64(len(files)))
 	out := make([]*Annotation, len(files))
-	err := pipeline.ForEachContext(ctx, len(files), opts.Parallelism, func(i int) {
-		out[i] = m.annotateGuarded(ctx, files[i], opts.FileTimeout)
+	err := pipeline.ForEachContextObs(ctx, len(files), opts.Parallelism, h, func(i int) {
+		out[i] = m.annotateGuarded(ctx, files[i], opts.FileTimeout, h)
 	})
 	for i, a := range out {
 		if a == nil { // never dispatched: the batch was cancelled first
@@ -394,19 +473,58 @@ func (m *Model) AnnotateAllContext(ctx context.Context, files []*Table, opts Bat
 			out[i] = &Annotation{Err: fmt.Errorf("strudel: %s: batch aborted: %w", nameOf(files[i]), cause)}
 		}
 	}
+	h.SpanEnd(obs.StageBatch, batchStart)
+	if h.Active() {
+		for _, a := range out {
+			h.Count(batchOutcome(a.Err), 1)
+		}
+	}
 	return out
+}
+
+// batchOutcome maps one per-file batch result onto its outcome counter.
+// Timeouts and cancellations are recognized through the error chain, so the
+// classification survives the "strudel: <name>: ..." wrapping; a recovered
+// panic keeps its *pipeline.PanicError identity the same way.
+func batchOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.MBatchFilesOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.MBatchFilesTimeout
+	case errors.Is(err, context.Canceled):
+		return obs.MBatchFilesCancelled
+	}
+	var pe *pipeline.PanicError
+	if errors.As(err, &pe) {
+		return obs.MBatchFilesPanic
+	}
+	return obs.MBatchFilesFailed
 }
 
 // annotateGuarded is the fault-isolated per-file unit of batch work: it
 // runs one Annotate inside a recover barrier and, when asked, under a
-// per-file deadline.
-func (m *Model) annotateGuarded(ctx context.Context, t *Table, timeout time.Duration) *Annotation {
+// per-file deadline. When h is active the whole unit is timed as the
+// annotate_file span — on the timeout path that is the latency the batch
+// observed (the deadline), not the runtime of the abandoned goroutine.
+func (m *Model) annotateGuarded(ctx context.Context, t *Table, timeout time.Duration, h *obs.Hooks) *Annotation {
+	fileStart := h.SpanStart(obs.StageAnnotateFile)
+	ann := m.annotateGuardedInner(ctx, t, timeout, h)
+	h.SpanEnd(obs.StageAnnotateFile, fileStart)
+	return ann
+}
+
+func (m *Model) annotateGuardedInner(ctx context.Context, t *Table, timeout time.Duration, h *obs.Hooks) *Annotation {
 	if err := ctx.Err(); err != nil {
 		return &Annotation{Err: fmt.Errorf("strudel: %s: batch aborted: %w", nameOf(t), err)}
 	}
 	run := func() *Annotation {
 		var ann *Annotation
-		if err := pipeline.Safely(func() { ann = m.Annotate(t) }); err != nil {
+		if err := pipeline.Safely(func() {
+			a := pipeline.New(t)
+			a.Obs = h
+			ann = m.annotate(a)
+		}); err != nil {
 			return &Annotation{Err: fmt.Errorf("strudel: %s: annotation failed: %w", nameOf(t), err)}
 		}
 		return ann

@@ -36,7 +36,7 @@ func trainedModel(t *testing.T) *Model {
 }
 
 func TestLoadAndParse(t *testing.T) {
-	tbl, d, err := Load(strings.NewReader(sampleCSV))
+	tbl, d, err := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,21 +57,21 @@ func TestLoadFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tbl, _, err := LoadFile(path)
+	tbl, _, err := LoadFile(path, LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tbl.Name != path {
 		t.Errorf("Name = %q", tbl.Name)
 	}
-	if _, _, err := LoadFile(filepath.Join(dir, "missing.csv")); err == nil {
+	if _, _, err := LoadFile(filepath.Join(dir, "missing.csv"), LoadOptions{}); err == nil {
 		t.Error("missing file should error")
 	}
 }
 
 func TestTrainAnnotateEndToEnd(t *testing.T) {
 	m := trainedModel(t)
-	tbl, _, err := Load(strings.NewReader(sampleCSV))
+	tbl, _, err := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestLineOnlyModel(t *testing.T) {
 	if m.HasCellModel() {
 		t.Error("LineOnly model should not have a cell model")
 	}
-	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	tbl, _, _ := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	cells := m.ClassifyCells(tbl) // falls back to Line^C
 	lines := m.ClassifyLines(tbl)
 	for r := range cells {
@@ -141,7 +141,7 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	tbl, _, _ := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	a1 := m.Annotate(tbl)
 	a2 := m2.Annotate(tbl)
 	for r := range a1.Lines {
@@ -242,7 +242,7 @@ func TestGenerateCorpusNames(t *testing.T) {
 
 func TestExtractData(t *testing.T) {
 	m := trainedModel(t)
-	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	tbl, _, _ := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	ann := m.Annotate(tbl)
 	header, rows := ExtractData(tbl, ann)
 	if header == nil {
@@ -297,7 +297,7 @@ Item,Q1,Q2,Q3
 Widgets,8,18,28
 Gears,4,4,4
 `
-	tbl, _, err := Load(strings.NewReader(input))
+	tbl, _, err := LoadReader(strings.NewReader(input), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ Gears,4,4,4
 
 func TestExtractProse(t *testing.T) {
 	m := trainedModel(t)
-	tbl, _, err := Load(strings.NewReader(sampleCSV))
+	tbl, _, err := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestExtractProse(t *testing.T) {
 }
 
 func TestDetectDerivedCellsFacade(t *testing.T) {
-	tbl, _, err := Load(strings.NewReader(sampleCSV))
+	tbl, _, err := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestTrainNoData(t *testing.T) {
 
 func TestAnnotationLineProbsMatchClasses(t *testing.T) {
 	m := trainedModel(t)
-	tbl, _, _ := Load(strings.NewReader(sampleCSV))
+	tbl, _, _ := LoadReader(strings.NewReader(sampleCSV), LoadOptions{})
 	ann := m.Annotate(tbl)
 	for r := 0; r < tbl.Height(); r++ {
 		if tbl.IsEmptyLine(r) {
