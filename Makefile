@@ -8,11 +8,14 @@
 #   make bench        annotate-path micro-benchmarks (single file + batch)
 #   make bench-lint   full-repo analyzer-suite benchmark
 #   make bench-obs    batch annotation with nil vs active observability hooks
+#   make bench-stream streaming throughput benchmark + the full >= 256 MiB
+#                     bounded-memory proof (the default test run uses 32 MiB)
+#   make race-stream  race detector over the streaming/window code only (fast)
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint lint-models race tier1 check fuzz-smoke bench bench-lint bench-obs
+.PHONY: build test vet lint lint-models race race-stream tier1 check fuzz-smoke bench bench-lint bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -57,3 +60,15 @@ bench-lint:
 
 bench-obs:
 	$(GO) test -bench 'BenchmarkAnnotateAllObs' -benchmem -count 5 -run '^$$' .
+
+# Streaming: throughput benchmark, then the full-size bounded-memory proof
+# (a >= 256 MiB generated file annotated under a constant live-heap ceiling).
+bench-stream:
+	$(GO) test -bench 'BenchmarkAnnotateStream' -benchmem -run '^$$' .
+	STRUDEL_STREAM_HEAVY=1 $(GO) test -run TestAnnotateStreamBoundedMemory -count 1 -v -timeout 30m .
+
+# The streaming driver fans equivalence checks across goroutines; this runs
+# just the window/stream tests under the race detector (make race covers
+# everything but takes far longer).
+race-stream:
+	$(GO) test -race -run 'TestAnnotateStream|TestWindow|TestScanner|TestSplitter' -count 1 . ./internal/pipeline ./internal/ingest ./internal/dialect

@@ -8,6 +8,8 @@ package strudel
 // forest training and prediction) follow.
 
 import (
+	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -274,5 +276,27 @@ func BenchmarkAnnotateAllObs(b *testing.B) {
 				m.AnnotateAll(corpus, BatchOptions{Parallelism: 1, Obs: bc.hooks})
 			}
 		})
+	}
+}
+
+// BenchmarkAnnotateStream measures the bounded-memory streaming path end to
+// end — incremental scan, split, sliding window, per-window classification —
+// over a stacked multi-file input, reporting MB/s via SetBytes. Compare
+// against BenchmarkAnnotateAll to see what the windowing costs.
+func BenchmarkAnnotateStream(b *testing.B) {
+	m := benchModel(b)
+	var buf bytes.Buffer
+	if _, _, err := datagen.WriteSized(&buf, datagen.Mendeley(), 4<<20); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := m.AnnotateStream(context.Background(), bytes.NewReader(data), StreamOptions{},
+			func(LineAnnotation) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -5,9 +5,15 @@
 //
 //	strudel-datagen -out corpus/ [-datasets saus,cius] [-scale 1.0] [-seed N]
 //	strudel-datagen -out corpus/ -profile my_profile.json
+//	strudel-datagen -out big/ -datasets mendeley -size 100M
 //
 // A -profile file holds a JSON-encoded datagen.Profile, letting users
 // synthesize corpora with custom structural statistics.
+//
+// With -size, each dataset is written as ONE large CSV (files stacked with
+// blank-line separators) of at least the given byte size — the input shape
+// strudel's streaming annotation exists for. Generation streams to disk, so
+// targets far beyond memory are fine.
 package main
 
 import (
@@ -30,8 +36,18 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "file-count scale factor")
 		seed     = flag.Int64("seed", 0, "override the per-dataset default seeds (0 = keep defaults)")
 		profile  = flag.String("profile", "", "JSON file with a custom datagen profile (overrides -datasets)")
+		size     = flag.String("size", "", "byte-size target (e.g. 100M, 1G): write each dataset as one large stacked CSV instead of a corpus")
 	)
 	flag.Parse()
+
+	var sizeTarget int64
+	if *size != "" {
+		var err error
+		if sizeTarget, err = datagen.ParseSize(*size); err != nil || sizeTarget == 0 {
+			fmt.Fprintf(os.Stderr, "strudel-datagen: bad -size %q\n", *size)
+			os.Exit(1)
+		}
+	}
 
 	if *profile != "" {
 		if err := generateCustom(*profile, *out, *scale, *seed); err != nil {
@@ -56,6 +72,13 @@ func main() {
 		if *seed != 0 {
 			p.Seed = *seed
 		}
+		if sizeTarget > 0 {
+			if err := writeSized(*out, p, sizeTarget); err != nil {
+				fmt.Fprintln(os.Stderr, "strudel-datagen:", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		c := datagen.Generate(p)
 		dir := filepath.Join(*out, name)
 		if err := corpusio.WriteCorpus(dir, c.Files); err != nil {
@@ -66,6 +89,28 @@ func main() {
 		fmt.Printf("%-10s %4d files %8d lines %10d cells -> %s\n",
 			name, s.Files, s.Lines, s.Cells, dir)
 	}
+}
+
+// writeSized streams one stacked CSV of at least target bytes for profile p
+// into out/<name>.csv.
+func writeSized(out string, p datagen.Profile, target int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(out, p.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, files, werr := datagen.WriteSized(f, p, target)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("%s: %w", path, werr)
+	}
+	fmt.Printf("%-10s %4d files stacked, %d bytes -> %s\n", p.Name, files, n, path)
+	return nil
 }
 
 // generateCustom loads a JSON profile and writes its corpus. The profile

@@ -1,0 +1,153 @@
+// Command strudel-perf captures a machine-readable performance snapshot of
+// the two annotation paths — in-memory batch (Model.AnnotateAll) and
+// bounded-memory streaming (Model.AnnotateStream) — as one JSON document.
+// The repo commits these snapshots (BENCH_<n>.json) so the performance
+// trajectory of the pipeline is visible in history.
+//
+// Usage:
+//
+//	strudel-perf [-out BENCH_6.json] [-stream-size 8M]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"strudel"
+	"strudel/internal/datagen"
+)
+
+type pathResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	FilesPerSec float64 `json:"files_per_sec,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+type snapshot struct {
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Config pins what was measured so snapshots stay comparable.
+	Config struct {
+		Trees       int    `json:"trees"`
+		BatchCorpus string `json:"batch_corpus"`
+		BatchFiles  int    `json:"batch_files"`
+		StreamBytes int64  `json:"stream_bytes"`
+		WindowLines int    `json:"window_lines"`
+		MarginLines int    `json:"margin_lines"`
+	} `json:"config"`
+	AnnotateAllSerial   pathResult `json:"annotate_all_serial"`
+	AnnotateAllParallel pathResult `json:"annotate_all_parallel"`
+	AnnotateStream      pathResult `json:"annotate_stream"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_6.json", "output path")
+		streamSize = flag.String("stream-size", "8M", "bytes of stacked CSV the streaming benchmark annotates per op")
+	)
+	flag.Parse()
+	if err := run(*out, *streamSize); err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, streamSize string) error {
+	target, err := datagen.ParseSize(streamSize)
+	if err != nil || target <= 0 {
+		return fmt.Errorf("bad -stream-size %q", streamSize)
+	}
+
+	// Mirror the committed benchmarks: benchModel's training corpus and the
+	// BenchmarkAnnotateAll batch corpus, so numbers line up with
+	// `go test -bench`.
+	files, err := strudel.GenerateCorpus("saus", 0.2)
+	if err != nil {
+		return err
+	}
+	model, err := strudel.Train(files, strudel.TrainOptions{Trees: 20, Seed: 1, MaxCellsPerFile: 300})
+	if err != nil {
+		return err
+	}
+	corpus, err := strudel.GenerateCorpus("govuk", 0.25)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if _, _, err := datagen.WriteSized(&buf, datagen.Mendeley(), target); err != nil {
+		return err
+	}
+	data := buf.Bytes()
+
+	var snap snapshot
+	snap.GoVersion = runtime.Version()
+	snap.NumCPU = runtime.NumCPU()
+	snap.Config.Trees = 20
+	snap.Config.BatchCorpus = "govuk@0.25"
+	snap.Config.BatchFiles = len(corpus)
+	snap.Config.StreamBytes = int64(len(data))
+	snap.Config.WindowLines = strudel.DefaultStreamWindowLines
+	snap.Config.MarginLines = strudel.DefaultStreamMarginLines
+
+	batch := func(workers int) pathResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				model.AnnotateAll(corpus, strudel.BatchOptions{Parallelism: workers})
+			}
+		})
+		pr := toResult(r)
+		pr.FilesPerSec = float64(len(corpus)) / (float64(pr.NsPerOp) / 1e9)
+		return pr
+	}
+	snap.AnnotateAllSerial = batch(1)
+	snap.AnnotateAllParallel = batch(0)
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := model.AnnotateStream(context.Background(), bytes.NewReader(data),
+				strudel.StreamOptions{}, func(strudel.LineAnnotation) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pr := toResult(r)
+	pr.MBPerSec = float64(len(data)) / 1e6 / (float64(pr.NsPerOp) / 1e9)
+	snap.AnnotateStream = pr
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(snap)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("batch serial %.1f files/s, parallel %.1f files/s; stream %.2f MB/s -> %s\n",
+		snap.AnnotateAllSerial.FilesPerSec, snap.AnnotateAllParallel.FilesPerSec,
+		snap.AnnotateStream.MBPerSec, out)
+	return nil
+}
+
+func toResult(r testing.BenchmarkResult) pathResult {
+	return pathResult{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}

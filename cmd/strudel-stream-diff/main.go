@@ -1,0 +1,90 @@
+// Command strudel-stream-diff checks the streaming-equivalence contract on
+// a real file: it annotates the file twice — in memory (LoadFile +
+// Annotate) and through the bounded-memory streaming pipeline
+// (AnnotateFileStream) — and diffs the results.
+//
+// Usage:
+//
+//	strudel-stream-diff model.file input.csv
+//
+// Parsing must agree exactly: same line count, byte-identical cells per
+// line. Classification must agree exactly when the file fits in one window;
+// for larger files the windowed features are window-local ("identical
+// modulo chunking"), so classes may differ on a thin seam — the tool
+// reports the agreement rate and fails below 90%. Exit status 0 means the
+// contract holds.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+
+	"strudel"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: strudel-stream-diff model.file input.csv")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-stream-diff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, input string) error {
+	model, err := strudel.LoadModelFile(modelPath)
+	if err != nil {
+		return err
+	}
+
+	// Lift MaxLines symmetrically: the diff must cover the whole file on
+	// both paths, however tall it is. (MaxBytes stays defaulted in memory;
+	// a file too big to load in memory cannot be diffed against it.)
+	load := strudel.LoadOptions{Ingest: strudel.IngestOptions{MaxLines: -1}}
+	tbl, _, err := strudel.LoadFile(input, load)
+	if err != nil {
+		return fmt.Errorf("in-memory load: %w", err)
+	}
+	ann := model.Annotate(tbl)
+
+	var lines []strudel.LineAnnotation
+	sum, err := model.AnnotateFileStream(context.Background(), input,
+		strudel.StreamOptions{Load: load}, func(la strudel.LineAnnotation) error {
+			lines = append(lines, la)
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("streaming: %w", err)
+	}
+
+	if len(lines) != tbl.Height() {
+		return fmt.Errorf("parse mismatch: stream emitted %d lines, in-memory table has %d", len(lines), tbl.Height())
+	}
+	agree := 0
+	for i, la := range lines {
+		if !reflect.DeepEqual(la.Fields, tbl.Row(i)) {
+			return fmt.Errorf("parse mismatch at line %d: stream %q vs memory %q", i, la.Fields, tbl.Row(i))
+		}
+		if la.Class == ann.Lines[i] {
+			agree++
+		}
+	}
+	total := len(lines)
+	if total == 0 {
+		return fmt.Errorf("empty annotation")
+	}
+	rate := float64(agree) / float64(total)
+	fmt.Printf("%s: %d lines, %d windows; parse identical; class agreement %d/%d (%.2f%%)\n",
+		input, total, sum.Windows, agree, total, 100*rate)
+	if sum.Windows <= 1 && agree != total {
+		return fmt.Errorf("single-window stream must be byte-identical; %d lines disagree", total-agree)
+	}
+	if rate < 0.90 {
+		return fmt.Errorf("class agreement %.2f%% below the 90%% floor", 100*rate)
+	}
+	return nil
+}

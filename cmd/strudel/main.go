@@ -30,6 +30,15 @@
 //	-strict        reject damaged files instead of repairing them
 //	-stats         print an observability snapshot (JSON) to stderr at exit
 //	-debug-addr a  serve /debug/obs, /debug/vars, /debug/pprof on a (e.g. localhost:6060)
+//	-stream        annotate through the bounded-memory streaming pipeline
+//	-stream-threshold s  files at or above this size stream automatically (default 32M, 0 = never)
+//
+// Streaming (-stream, or any file at or above -stream-threshold) annotates
+// through Model.AnnotateStream: bounded memory regardless of file size, with
+// results printed line by line as windows complete. With -json, streamed
+// files emit NDJSON — one object per annotated line, then a closing summary
+// object — rather than a single document. -extract needs the whole table in
+// memory and is incompatible with -stream.
 //
 // Interrupting a run (Ctrl-C) cancels the batch cooperatively: in-flight
 // files finish, undispatched files come back with their Err set, and the
@@ -49,6 +58,7 @@ import (
 	"strings"
 
 	"strudel"
+	"strudel/internal/datagen"
 )
 
 func main() {
@@ -70,12 +80,26 @@ func run() int {
 		strict    = flag.Bool("strict", false, "reject damaged files instead of repairing them")
 		stats     = flag.Bool("stats", false, "print an observability snapshot (JSON) to stderr at exit")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/obs, /debug/vars, /debug/pprof on this address")
+		stream    = flag.Bool("stream", false, "annotate through the bounded-memory streaming pipeline")
+		streamThr = flag.String("stream-threshold", "32M", "files at or above this size stream automatically (0 = never)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: strudel [flags] file.csv|dir...")
 		flag.PrintDefaults()
 		return 2
+	}
+	if *stream && *extract {
+		fmt.Fprintln(os.Stderr, "strudel: -extract needs the whole table in memory; drop -stream")
+		return 2
+	}
+	threshold, err := datagen.ParseSize(*streamThr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strudel: bad -stream-threshold %q\n", *streamThr)
+		return 2
+	}
+	if *extract {
+		threshold = 0 // -extract forces the in-memory path for every file
 	}
 
 	// Observability is opt-in: without -stats or -debug-addr the hooks stay
@@ -128,21 +152,29 @@ func run() int {
 	}
 
 	// Per-file ingestion failures are reported and skipped; one hostile file
-	// must not abort the batch.
+	// must not abort the batch. Files at or above the streaming threshold
+	// (or every file under -stream) bypass in-memory loading entirely and
+	// are annotated incrementally at print time, so output order still
+	// follows input order.
 	failed := false
 	var tables []*strudel.Table
 	var dialects []strudel.Dialect
-	var kept []string
+	batchIdx := make(map[string]int, len(paths)) // path -> index into tables
+	streamed := make(map[string]bool, len(paths))
 	for _, path := range paths {
+		if *stream || autoStream(path, threshold) {
+			streamed[path] = true
+			continue
+		}
 		tbl, d, err := loadInput(path, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "strudel: %s: skipped: %v\n", path, err)
 			failed = true
 			continue
 		}
+		batchIdx[path] = len(tables)
 		tables = append(tables, tbl)
 		dialects = append(dialects, d)
-		kept = append(kept, path)
 	}
 
 	anns := model.AnnotateAllContext(ctx, tables, strudel.BatchOptions{
@@ -150,13 +182,25 @@ func run() int {
 		FileTimeout: *timeout,
 		Obs:         hooks,
 	})
-	for i := range kept {
+	streamOpts := strudel.StreamOptions{Load: opts}
+	for _, path := range paths {
+		if streamed[path] {
+			if err := streamPrint(ctx, model, path, streamOpts, *showCells, *asJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "strudel: %s: %v\n", path, err)
+				failed = true
+			}
+			continue
+		}
+		i, ok := batchIdx[path]
+		if !ok {
+			continue // skipped during loading
+		}
 		if anns[i].Err != nil {
 			fmt.Fprintf(os.Stderr, "strudel: %v\n", anns[i].Err)
 			failed = true
 			continue
 		}
-		if err := printFile(kept[i], dialects[i], tables[i], anns[i], *showCells, *extract, *asJSON); err != nil {
+		if err := printFile(path, dialects[i], tables[i], anns[i], *showCells, *extract, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "strudel:", err)
 			return 1
 		}
@@ -165,6 +209,84 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// autoStream reports whether path should take the streaming pipeline
+// because its size meets the threshold. Stdin never auto-streams (its size
+// is unknown); pass -stream to stream it.
+func autoStream(path string, threshold int64) bool {
+	if threshold <= 0 || path == "-" {
+		return false
+	}
+	info, err := os.Stat(path)
+	return err == nil && info.Size() >= threshold
+}
+
+// streamPrint annotates one input through the streaming pipeline, printing
+// each line as its window completes. With asJSON the output is NDJSON: one
+// object per line, then a summary object.
+func streamPrint(ctx context.Context, m *strudel.Model, path string, opts strudel.StreamOptions, showCells, asJSON bool) error {
+	enc := json.NewEncoder(os.Stdout)
+	if !asJSON {
+		fmt.Printf("# %s (streaming)\n", path)
+	}
+	emit := func(la strudel.LineAnnotation) error {
+		if asJSON {
+			rec := struct {
+				File   string   `json:"file"`
+				Row    int      `json:"row"`
+				Class  string   `json:"class"`
+				Cells  []string `json:"cells,omitempty"`
+				Fields []string `json:"fields"`
+			}{File: path, Row: la.Row, Class: la.Class.String(), Fields: la.Fields}
+			if showCells {
+				for _, c := range la.Cells {
+					rec.Cells = append(rec.Cells, c.String())
+				}
+			}
+			return enc.Encode(rec)
+		}
+		line := strings.Join(la.Fields, "|")
+		if len(line) > 70 {
+			line = line[:67] + "..."
+		}
+		fmt.Printf("%4d  %-9s %s\n", la.Row+1, la.Class, line)
+		if showCells && len(la.Cells) > 0 {
+			var cells []string
+			for _, c := range la.Cells {
+				cells = append(cells, c.String())
+			}
+			fmt.Printf("      cells:   %s\n", strings.Join(cells, ","))
+		}
+		return nil
+	}
+	var sum *strudel.StreamSummary
+	var err error
+	if path == "-" {
+		sum, err = m.AnnotateStream(ctx, os.Stdin, opts, emit)
+	} else {
+		sum, err = m.AnnotateFileStream(ctx, path, opts, emit)
+	}
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		rec := struct {
+			File     string              `json:"file"`
+			Summary  bool                `json:"summary"`
+			Lines    int                 `json:"lines"`
+			Windows  int                 `json:"windows"`
+			Dialect  string              `json:"dialect"`
+			Degraded []string            `json:"degraded,omitempty"`
+			Prov     *strudel.Provenance `json:"provenance,omitempty"`
+		}{File: path, Summary: true, Lines: sum.Lines, Windows: sum.Windows,
+			Dialect: sum.Dialect.String(), Degraded: sum.Degraded, Prov: sum.Provenance}
+		return enc.Encode(rec)
+	}
+	if len(sum.Degraded) > 0 {
+		fmt.Printf("# degraded: %s\n", strings.Join(sum.Degraded, ", "))
+	}
+	return nil
 }
 
 func loadOrTrainModel(path string) (*strudel.Model, error) {

@@ -28,6 +28,15 @@
 // fault isolation, optional per-file timeouts, and cooperative
 // cancellation.
 //
+// Files too large to hold in memory stream instead: AnnotateStream and
+// AnnotateFileStream run the same ingest → dialect → classify pipeline over
+// a sliding window of rows, emitting one LineAnnotation per line in order
+// with O(window) live heap regardless of file size. Inputs that fit in a
+// single window are annotated byte-identically to the in-memory path;
+// larger inputs parse identically and classify window-locally. The strudel
+// CLI exposes this as -stream (NDJSON output) with a size threshold that
+// picks the mode automatically.
+//
 // Both layers accept optional observability hooks (LoadOptions.Obs,
 // BatchOptions.Obs): counters, gauges, and latency histograms recorded
 // into an ObsRegistry whose Snapshot renders deterministic JSON, with an

@@ -1,0 +1,78 @@
+package datagen
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"strudel/internal/dialect"
+)
+
+// ParseSize parses a human-readable byte size: a plain integer, or an
+// integer with a K, M, or G suffix (powers of 1024), optionally followed by
+// "B" or "iB" — "65536", "64K", "100M", "1GiB".
+func ParseSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("datagen: bad size %q", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("datagen: size %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// WriteSized streams one verbose CSV of at least target bytes to w: files
+// drawn from p are rendered under the default dialect and stacked with
+// blank-line separators, exactly the shape AnnotateStream's windowed path
+// is built for. Generation is incremental — one file is materialized at a
+// time — so the writer, not this function, decides the memory footprint.
+// It returns the bytes written and the number of stacked files, and is
+// deterministic in (p, target).
+func WriteSized(w io.Writer, p Profile, target int64) (int64, int, error) {
+	if target <= 0 {
+		return 0, 0, errors.New("datagen: size target must be positive")
+	}
+	structRng := rand.New(rand.NewSource(p.Seed))
+	valueRng := rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D))
+	bw := bufio.NewWriter(w)
+	var written int64
+	files := 0
+	for written < target {
+		spec := genSpec(p, structRng)
+		t := genFile(p, spec, valueRng, fmt.Sprintf("%s_%06d.csv", p.Name, files))
+		rows := make([][]string, t.Height())
+		for r := range rows {
+			rows[r] = t.Row(r)
+		}
+		if files > 0 {
+			if err := bw.WriteByte('\n'); err != nil {
+				return written, files, err
+			}
+			written++
+		}
+		n, err := bw.WriteString(dialect.Join(rows, dialect.Default))
+		written += int64(n)
+		if err != nil {
+			return written, files, err
+		}
+		files++
+	}
+	return written, files, bw.Flush()
+}

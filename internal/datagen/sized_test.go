@@ -1,0 +1,72 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"0":     0,
+		"65536": 65536,
+		"64K":   64 << 10,
+		"100M":  100 << 20,
+		"1G":    1 << 30,
+		"2GiB":  2 << 30,
+		"512kb": 512 << 10,
+		" 16M ": 16 << 20,
+		"1024B": 1024,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "-1", "1.5G", "10X", "G", "9999999999G"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) succeeded", in)
+		}
+	}
+}
+
+func TestWriteSized(t *testing.T) {
+	p := SAUS()
+	var buf bytes.Buffer
+	const target = 200 << 10
+	n, files, err := WriteSized(&buf, p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if n < target {
+		t.Errorf("wrote %d bytes, target %d", n, target)
+	}
+	if files < 2 {
+		t.Errorf("stacked only %d files", files)
+	}
+	// Stacked files are separated by blank lines.
+	if !strings.Contains(buf.String(), "\n\n") {
+		t.Error("no blank-line separator between stacked files")
+	}
+
+	// Deterministic in (profile, target).
+	var again bytes.Buffer
+	n2, files2, err := WriteSized(&again, p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n || files2 != files || !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteSized is not deterministic")
+	}
+}
+
+func TestWriteSizedRejectsBadTarget(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := WriteSized(&buf, SAUS(), 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}

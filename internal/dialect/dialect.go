@@ -15,6 +15,7 @@ import (
 	"errors"
 	"io"
 	"math"
+	"sort"
 	"strings"
 
 	"strudel/internal/obs"
@@ -171,12 +172,21 @@ func patternScore(rows [][]string) float64 {
 		return 0
 	}
 	counts := map[int]int{}
+	widths := make([]int, 0, 8)
 	for _, row := range rows {
+		if counts[len(row)] == 0 {
+			widths = append(widths, len(row))
+		}
 		counts[len(row)]++
 	}
+	// Accumulate in sorted width order: float summation order must not
+	// depend on map iteration, or scores (and tie-breaks between dialect
+	// candidates) drift by an ulp between runs.
+	sort.Ints(widths)
 	n := float64(len(rows))
 	score := 0.0
-	for width, c := range counts {
+	for _, width := range widths {
+		c := counts[width]
 		if width == 0 {
 			continue
 		}
@@ -250,61 +260,14 @@ func Split(text string, d Dialect) [][]string {
 // cells (0 = unlimited); the content of cells beyond the cap is discarded
 // and counted in dropped. It exists so an adversarial single-line file
 // cannot allocate an unbounded cell slice.
+//
+// It is a thin wrapper over the incremental Splitter: whole-file and
+// streaming parsing share one tokenizing state machine by construction.
 func SplitLimit(text string, d Dialect, maxCells int) (rows [][]string, dropped int) {
-	text = strings.TrimPrefix(text, "\ufeff")
-	var row []string
-	var cell strings.Builder
-	inQuotes := false
-
-	flushCell := func() {
-		if maxCells > 0 && len(row) >= maxCells {
-			dropped++
-		} else {
-			row = append(row, cell.String())
-		}
-		cell.Reset()
-	}
-	flushRow := func() {
-		flushCell()
-		rows = append(rows, row)
-		row = nil
-	}
-
-	runes := []rune(text)
-	for i := 0; i < len(runes); i++ {
-		c := runes[i]
-		switch {
-		case d.Escape != 0 && c == d.Escape && inQuotes && i+1 < len(runes):
-			i++
-			cell.WriteRune(runes[i])
-		case d.Quote != 0 && c == d.Quote:
-			if inQuotes {
-				// Doubled quote inside a quoted field is a literal quote.
-				if d.Escape == 0 && i+1 < len(runes) && runes[i+1] == d.Quote {
-					cell.WriteRune(d.Quote)
-					i++
-				} else {
-					inQuotes = false
-				}
-			} else if cell.Len() == 0 {
-				inQuotes = true
-			} else {
-				cell.WriteRune(c)
-			}
-		case c == d.Delimiter && !inQuotes:
-			flushCell()
-		case c == '\r' && !inQuotes:
-			// swallow; \n handles the row break
-		case c == '\n' && !inQuotes:
-			flushRow()
-		default:
-			cell.WriteRune(c)
-		}
-	}
-	if cell.Len() > 0 || len(row) > 0 {
-		flushRow()
-	}
-	return rows, dropped
+	sp := NewSplitter(d, maxCells)
+	sp.Write(text)
+	sp.Flush()
+	return sp.rows, sp.dropped
 }
 
 // Join renders rows back to text under dialect d, quoting cells that contain

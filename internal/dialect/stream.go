@@ -1,0 +1,139 @@
+package dialect
+
+import "strings"
+
+// Splitter is the incremental form of SplitLimit: push text in any number
+// of Write calls, pull completed rows with Next, and Flush at end of input.
+// The concatenation of everything written, processed by one Splitter, yields
+// exactly the rows SplitLimit returns for the same text — SplitLimit itself
+// is implemented over a Splitter, so there is a single tokenizing state
+// machine to test. Writes must not split a rune across calls (callers feed
+// whole normalized lines, so this holds by construction).
+//
+// The zero value is not usable; construct with NewSplitter.
+type Splitter struct {
+	d        Dialect
+	maxCells int
+
+	row      []string
+	cell     strings.Builder
+	inQuotes bool
+
+	// One rune of lookahead: the escape and doubled-quote rules act on the
+	// pair (current, next), and the final rune's behavior changes when no
+	// next rune exists (an escape character ending the text is literal).
+	pend    rune
+	pendSet bool
+
+	first   bool // leading BOM strip still pending
+	dropped int
+
+	rows [][]string
+	head int
+}
+
+// NewSplitter returns a Splitter tokenizing under dialect d with rows capped
+// at maxCells cells (0 = unlimited), the same guard SplitLimit applies.
+func NewSplitter(d Dialect, maxCells int) *Splitter {
+	return &Splitter{d: d, maxCells: maxCells, first: true}
+}
+
+// Write feeds more text into the tokenizer. Completed rows accumulate until
+// drained with Next.
+func (s *Splitter) Write(text string) {
+	if s.first && text != "" {
+		// SplitLimit strips one leading BOM from the whole text; here that
+		// is the front of the first non-empty write.
+		text = strings.TrimPrefix(text, "\ufeff")
+		s.first = false
+	}
+	for _, c := range text {
+		if !s.pendSet {
+			s.pend, s.pendSet = c, true
+			continue
+		}
+		if s.step(s.pend, c, true) {
+			s.pendSet = false // the pending rune consumed c as its lookahead
+		} else {
+			s.pend = c
+		}
+	}
+}
+
+// Flush ends the input: the held rune is processed with no lookahead and a
+// trailing unterminated row, if any, is completed. Mirrors SplitLimit's
+// final-flush rule (emit iff the last row has any content).
+func (s *Splitter) Flush() {
+	if s.pendSet {
+		s.pendSet = false
+		s.step(s.pend, 0, false)
+	}
+	if s.cell.Len() > 0 || len(s.row) > 0 {
+		s.flushRow()
+	}
+}
+
+// Next pops the oldest completed row, reporting false when none is buffered.
+func (s *Splitter) Next() ([]string, bool) {
+	if s.head >= len(s.rows) {
+		return nil, false
+	}
+	row := s.rows[s.head]
+	s.head++
+	if s.head == len(s.rows) {
+		s.rows = s.rows[:0]
+		s.head = 0
+	}
+	return row, true
+}
+
+// Dropped reports how many cells beyond the per-row cap were discarded.
+func (s *Splitter) Dropped() int { return s.dropped }
+
+// step processes one rune with optional lookahead, returning whether the
+// lookahead rune was consumed. The case order is exactly SplitLimit's.
+func (s *Splitter) step(c, next rune, hasNext bool) bool {
+	d := s.d
+	switch {
+	case d.Escape != 0 && c == d.Escape && s.inQuotes && hasNext:
+		s.cell.WriteRune(next)
+		return true
+	case d.Quote != 0 && c == d.Quote:
+		if s.inQuotes {
+			// Doubled quote inside a quoted field is a literal quote.
+			if d.Escape == 0 && hasNext && next == d.Quote {
+				s.cell.WriteRune(d.Quote)
+				return true
+			}
+			s.inQuotes = false
+		} else if s.cell.Len() == 0 {
+			s.inQuotes = true
+		} else {
+			s.cell.WriteRune(c)
+		}
+	case c == d.Delimiter && !s.inQuotes:
+		s.flushCell()
+	case c == '\r' && !s.inQuotes:
+		// swallow; \n handles the row break
+	case c == '\n' && !s.inQuotes:
+		s.flushRow()
+	default:
+		s.cell.WriteRune(c)
+	}
+	return false
+}
+
+func (s *Splitter) flushCell() {
+	if s.maxCells > 0 && len(s.row) >= s.maxCells {
+		s.dropped++
+	} else {
+		s.row = append(s.row, s.cell.String())
+	}
+	s.cell.Reset()
+}
+
+func (s *Splitter) flushRow() {
+	s.flushCell()
+	s.rows = append(s.rows, s.row)
+	s.row = nil
+}

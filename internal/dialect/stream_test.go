@@ -1,0 +1,130 @@
+package dialect
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// splitterCases covers every state-machine transition: quoting, doubled
+// quotes, escapes (including an escape as the final rune, which is literal),
+// embedded newlines, CR swallowing, BOM stripping, and the cell cap.
+var splitterCases = []struct {
+	name string
+	text string
+	d    Dialect
+	max  int
+}{
+	{"plain", "a,b,c\n1,2,3\n", Default, 0},
+	{"no-final-newline", "a,b\n1,2", Default, 0},
+	{"quoted-delim", "\"a,b\",c\n", Default, 0},
+	{"quoted-newline", "a,\"x\ny\",b\nn,o,p\n", Default, 0},
+	{"doubled-quote", "\"he said \"\"hi\"\"\",b\n", Default, 0},
+	{"unbalanced-quote", "a,\"open\nstill,inside\n", Default, 0},
+	{"unbalanced-with-tail-nl", "a,\"open\nstill,inside", Default, 0},
+	{"quote-mid-cell", "ab\"cd,e\n", Default, 0},
+	{"empty-cells", ",,,\n,,\n", Default, 0},
+	{"bom", "\ufeffa,b\n", Default, 0},
+	{"bom-quoted", "\"\ufeff\",b\n", Default, 0},
+	{"cr-swallow", "a,b\r\n1,2\r\n", Default, 0},
+	{"cr-in-quotes", "\"a\r\nb\",c\n", Default, 0},
+	{"escape", "\"a\\\"b\",c\n", Dialect{Delimiter: ',', Quote: '"', Escape: '\\'}, 0},
+	{"escape-at-eof", "\"ab\\", Dialect{Delimiter: ',', Quote: '"', Escape: '\\'}, 0},
+	{"escape-consumes-newline", "\"a\\\nb\",c\n", Dialect{Delimiter: ',', Quote: '"', Escape: '\\'}, 0},
+	{"quote-at-eof", "a,\"b", Default, 0},
+	{"semicolon", "x;y;z\n1;2;3\n", Dialect{Delimiter: ';', Quote: '"'}, 0},
+	{"no-quote-dialect", "a,\"b\",c\n", Dialect{Delimiter: ','}, 0},
+	{"cell-cap", "a,b,c,d,e,f\n1,2,3,4,5,6\n", Default, 3},
+	{"cell-cap-quoted", "\"a\",\"b\",\"c\",\"d\"\n", Default, 2},
+	{"multibyte", "α,β\n\"γ,δ\",ε\n", Default, 0},
+	{"empty", "", Default, 0},
+	{"lone-newline", "\n", Default, 0},
+	{"single-quote-dialect", "'a,b',c\n", Dialect{Delimiter: ',', Quote: '\''}, 0},
+}
+
+// drain collects every completed row from the splitter.
+func drain(sp *Splitter, into [][]string) [][]string {
+	for {
+		row, ok := sp.Next()
+		if !ok {
+			return into
+		}
+		into = append(into, row)
+	}
+}
+
+func TestSplitterMatchesSplitLimit(t *testing.T) {
+	for _, tc := range splitterCases {
+		want, wantDropped := SplitLimit(tc.text, tc.d, tc.max)
+
+		// Feed the same text in several chunkings: whole, rune-by-rune, and
+		// line-by-line (the shape the streaming driver uses).
+		chunkings := map[string][]string{
+			"whole": {tc.text},
+			"runes": splitRunes(tc.text),
+			"lines": strings.SplitAfter(tc.text, "\n"),
+		}
+		for mode, chunks := range chunkings {
+			sp := NewSplitter(tc.d, tc.max)
+			var got [][]string
+			for _, ch := range chunks {
+				sp.Write(ch)
+				got = drain(sp, got)
+			}
+			sp.Flush()
+			got = drain(sp, got)
+			if !sameRows(got, want) {
+				t.Errorf("%s (%s): rows mismatch\n got  %q\n want %q", tc.name, mode, got, want)
+			}
+			if sp.Dropped() != wantDropped {
+				t.Errorf("%s (%s): dropped %d, want %d", tc.name, mode, sp.Dropped(), wantDropped)
+			}
+		}
+	}
+}
+
+func TestSplitterNextInterleaved(t *testing.T) {
+	// One rune of lookahead means a row completes once the rune after its
+	// newline is seen (or at Flush) — the final rune's meaning can depend
+	// on what follows it.
+	sp := NewSplitter(Default, 0)
+	sp.Write("a,b\n")
+	if _, ok := sp.Next(); ok {
+		t.Fatal("row available before its lookahead rune arrived")
+	}
+	sp.Write("c,d\ne,f\n")
+	if row, ok := sp.Next(); !ok || !reflect.DeepEqual(row, []string{"a", "b"}) {
+		t.Fatalf("first row: got %q ok=%v", row, ok)
+	}
+	sp.Flush()
+	got := drain(sp, nil)
+	want := [][]string{{"c", "d"}, {"e", "f"}}
+	if !sameRows(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func splitRunes(s string) []string {
+	out := make([]string, 0, len(s))
+	for _, r := range s {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+func sameRows(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

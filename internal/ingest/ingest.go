@@ -92,6 +92,11 @@ type Options struct {
 	// Strict promotes every fix-up (encoding repair, NUL stripping, line
 	// truncation) to a typed error instead of repairing and recording.
 	Strict bool
+	// SniffBytes caps the raw prefix a Scanner inspects before committing
+	// to a source encoding (zero or negative applies DefaultSniffBytes).
+	// Normalize ignores it: with the whole input in hand there is nothing
+	// to sniff.
+	SniffBytes int
 	// Obs observes ingestion: bytes in, encoding repairs, guard trips,
 	// rejections. Nil disables observation at no cost. The strudel loaders
 	// fill this from LoadOptions.Obs; set it directly only when calling

@@ -1,0 +1,627 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"strudel/internal/obs"
+)
+
+// DefaultSniffBytes is the size of the raw prefix a Scanner inspects to
+// commit to a source encoding. It is large enough that every file the
+// in-memory path accepts whole (tests, fixtures, typical uploads) gets the
+// exact same encoding decision, and small enough to keep the scanner's
+// memory footprint independent of file size.
+const DefaultSniffBytes = 64 << 10
+
+// scanChunk is the raw read size of the incremental scanner.
+const scanChunk = 64 << 10
+
+// Scanner is the incremental form of Normalize: it turns an unbounded byte
+// stream into the same clean, guarded, NUL-free, LF-separated UTF-8 lines —
+// one line at a time, in memory bounded by the guards rather than the input
+// size. It is the ingestion half of the streaming annotation pipeline.
+//
+// Semantics match Normalize exactly for every input whose encoding is
+// decidable from the sniff prefix (Options.SniffBytes, default 64 KiB) —
+// in particular for any input that fits inside the prefix. The one
+// deliberate divergence: a file that is valid UTF-8 for the whole prefix
+// but turns invalid later is repaired rune-by-rune via the latin-1 fallback
+// from that point on (recorded in Provenance), where the in-memory path —
+// which sees all bytes before emitting anything — re-decodes the entire
+// file as latin-1. A single-pass reader cannot un-emit lines, so the
+// repair is local rather than global.
+//
+// Unlike Normalize, a zero Options.MaxBytes disables the size guard
+// entirely instead of applying the 64 MiB default: the scanner exists
+// precisely to handle files the in-memory guard would reject. Set MaxBytes
+// explicitly to keep a cap.
+//
+// Usage mirrors bufio.Scanner:
+//
+//	sc := ingest.NewScanner(r, opts)
+//	for sc.Scan() {
+//		use(sc.Line())
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// After Scan returns false, Provenance reports everything the scanner did
+// to the bytes, with guard names in the same canonical order Normalize
+// records them.
+type Scanner struct {
+	r    io.Reader
+	opts Options // withDefaults applied, except MaxBytes (see above)
+
+	maxBytes int64 // 0 = unlimited (deliberately not defaulted)
+
+	// Decode state.
+	kind     decodeKind
+	order    binary.ByteOrder // utf16/utf32 byte order
+	carry    []byte           // raw bytes not yet decodable (partial code unit)
+	held     uint16           // held UTF-16 high surrogate
+	heldSet  bool
+	sniffed  bool
+	eof      bool
+	rawRead  int64
+	latinTip bool // mid-stream latin-1 repair already recorded
+
+	// Rune pipeline state.
+	pendingCR bool
+	sampleTot int // binary-rejection sample (first 4096 post-NUL runes)
+	sampleCtl int
+	binOK     bool // binary rejection resolved
+
+	// Line assembly.
+	cur      []byte // current partial line, capped at MaxLineBytes
+	curLen   int    // true byte length of the current line
+	queue    []string
+	queuePos int
+	line     string
+
+	kept     int
+	newlines int
+	endNL    bool // normalized text ended with '\n'
+	anyLong  bool // some line exceeded MaxLineBytes
+	nonSpace bool // some kept line has non-whitespace content
+
+	prov      Provenance
+	guardSeen map[string]bool
+	done      bool
+	finished  bool
+	err       error
+}
+
+type decodeKind int
+
+const (
+	decodeUTF8Kind decodeKind = iota
+	decodeLatin1Kind
+	decodeUTF16Kind
+	decodeUTF32Kind
+)
+
+// NewScanner returns an incremental scanner over r under the guards of
+// opts. Nothing is read until the first Scan call.
+func NewScanner(r io.Reader, opts Options) *Scanner {
+	maxBytes := opts.MaxBytes
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	o := opts.withDefaults()
+	return &Scanner{
+		r:         r,
+		opts:      o,
+		maxBytes:  maxBytes,
+		guardSeen: make(map[string]bool),
+	}
+}
+
+// Scan advances to the next normalized line, reporting false at end of
+// input or on the first terminal error (see Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil || s.done && s.queuePos >= len(s.queue) {
+		s.finish()
+		return false
+	}
+	for {
+		if s.binOK && s.queuePos < len(s.queue) {
+			s.line = s.queue[s.queuePos]
+			s.queuePos++
+			if s.queuePos == len(s.queue) {
+				s.queue = s.queue[:0]
+				s.queuePos = 0
+			}
+			return true
+		}
+		if s.done {
+			s.finish()
+			return false
+		}
+		if err := s.fill(); err != nil {
+			s.err = err
+			s.finish()
+			return false
+		}
+	}
+}
+
+// Line returns the current line (no trailing newline). Valid until the
+// next Scan call.
+func (s *Scanner) Line() string { return s.line }
+
+// Err returns the terminal error, if any, once Scan has returned false.
+// Errors wrap the same taxonomy Normalize uses (ErrTooLarge,
+// ErrBadEncoding, ErrEmptyInput, and the Strict-mode guard errors).
+func (s *Scanner) Err() error { return s.err }
+
+// BytesRead reports the raw input bytes consumed so far.
+func (s *Scanner) BytesRead() int64 { return s.rawRead }
+
+// FinalNewline reports whether the normalized text the in-memory path
+// would hand to the parse layer ends with a newline. Normalize preserves a
+// trailing newline only on its fast path (no line guard fired); callers
+// reconstructing the exact parse-layer input need this bit for the final
+// line. Valid once Scan has returned false.
+func (s *Scanner) FinalNewline() bool {
+	return s.endNL && !s.anyLong && s.prov.LinesTruncated == 0 &&
+		(s.opts.MaxLines <= 0 || s.newlines < s.opts.MaxLines)
+}
+
+// Provenance returns the record of what scanning did to the bytes. The
+// guard list is finalized — in the same canonical order Normalize uses —
+// once Scan has returned false.
+func (s *Scanner) Provenance() Provenance { return s.prov }
+
+// trip records a guard for the canonical-order finalization.
+func (s *Scanner) trip(name string) { s.guardSeen[name] = true }
+
+// canonicalGuardOrder is the order Normalize's checks run in; the scanner
+// discovers some conditions later (e.g. a truncated trailing code unit only
+// surfaces at EOF) and re-canonicalizes at finish so Provenance.Guards is
+// byte-identical between the two paths.
+var canonicalGuardOrder = []string{
+	GuardUTF16NoBOM,
+	GuardTruncatedUnit,
+	GuardLatin1Fallback,
+	GuardNULsStripped,
+	GuardLineEndings,
+	GuardLineTruncated,
+	GuardLinesDropped,
+}
+
+// finish finalizes provenance and records the ingest metrics, once.
+func (s *Scanner) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.prov.BytesIn = int(s.rawRead)
+	for _, g := range canonicalGuardOrder {
+		if s.guardSeen[g] {
+			s.prov.Trip(g)
+		}
+	}
+	if s.err == nil && !s.nonSpace {
+		s.err = fmt.Errorf("%w (after normalizing %d input bytes)", ErrEmptyInput, s.rawRead)
+	}
+	h := s.opts.Obs
+	if h.Active() {
+		h.Count(obs.MIngestFiles, 1)
+		h.Count(obs.MIngestBytesIn, int64(s.prov.BytesIn))
+		if s.prov.Encoding != "" {
+			h.Count(obs.EncodingMetric(s.prov.Encoding), 1)
+		}
+		for _, g := range s.prov.Guards {
+			h.Count(obs.GuardMetric(g), 1)
+		}
+		switch {
+		case s.err != nil:
+			h.Count(obs.MIngestRejected, 1)
+		case s.prov.Degraded():
+			h.Count(obs.MIngestRepaired, 1)
+		}
+	}
+}
+
+// fill reads and processes one chunk of raw input.
+func (s *Scanner) fill() error {
+	if !s.sniffed {
+		return s.sniff()
+	}
+	buf := make([]byte, scanChunk)
+	n, err := s.r.Read(buf)
+	s.rawRead += int64(n)
+	if s.maxBytes > 0 && s.rawRead > s.maxBytes {
+		return &GuardError{Sentinel: ErrTooLarge, Limit: s.maxBytes, Actual: s.rawRead}
+	}
+	if n > 0 {
+		s.carry = append(s.carry, buf[:n]...)
+		if err := s.decodeCarry(false); err != nil {
+			return err
+		}
+	}
+	if err == io.EOF {
+		s.eof = true
+		if err := s.decodeCarry(true); err != nil {
+			return err
+		}
+		return s.finishInput()
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: read: %w", err)
+	}
+	return nil
+}
+
+// sniff reads the raw prefix and commits to an encoding, mirroring the
+// decision ladder of decode().
+func (s *Scanner) sniff() error {
+	s.sniffed = true
+	sniffLen := s.opts.SniffBytes
+	if sniffLen <= 0 {
+		sniffLen = DefaultSniffBytes
+	}
+	prefix := make([]byte, 0, sniffLen)
+	for len(prefix) < sniffLen {
+		buf := make([]byte, sniffLen-len(prefix))
+		n, err := s.r.Read(buf)
+		s.rawRead += int64(n)
+		prefix = append(prefix, buf[:n]...)
+		if s.maxBytes > 0 && s.rawRead > s.maxBytes {
+			return &GuardError{Sentinel: ErrTooLarge, Limit: s.maxBytes, Actual: s.rawRead}
+		}
+		if err == io.EOF {
+			s.eof = true
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("ingest: read: %w", err)
+		}
+	}
+
+	prov := &s.prov
+	data := prefix
+	switch {
+	case hasPrefix(data, bomUTF32LE):
+		prov.Encoding, prov.BOM = "utf-32le", true
+		s.kind, s.order, data = decodeUTF32Kind, binary.LittleEndian, data[4:]
+	case hasPrefix(data, bomUTF32BE):
+		prov.Encoding, prov.BOM = "utf-32be", true
+		s.kind, s.order, data = decodeUTF32Kind, binary.BigEndian, data[4:]
+	case hasPrefix(data, bomUTF16LE):
+		prov.Encoding, prov.BOM = "utf-16le", true
+		s.kind, s.order, data = decodeUTF16Kind, binary.LittleEndian, data[2:]
+	case hasPrefix(data, bomUTF16BE):
+		prov.Encoding, prov.BOM = "utf-16be", true
+		s.kind, s.order, data = decodeUTF16Kind, binary.BigEndian, data[2:]
+	case hasPrefix(data, bomUTF8):
+		prov.Encoding, prov.BOM = "utf-8", true
+		data = data[3:]
+		s.kind = decodeUTF8Kind
+	}
+
+	if !prov.BOM {
+		if order, ok := sniffBOMlessUTF16(data); ok {
+			prov.Encoding = "utf-16" + orderName(order)
+			if s.opts.Strict {
+				return fmt.Errorf("%w: BOM-less UTF-16 (%s)", ErrBadEncoding, prov.Encoding)
+			}
+			s.trip(GuardUTF16NoBOM)
+			s.kind, s.order = decodeUTF16Kind, order
+		}
+	}
+
+	if s.kind == decodeUTF8Kind {
+		// Validate the prefix as UTF-8, ignoring a split trailing rune
+		// unless the prefix is the whole input.
+		check := data
+		if !s.eof {
+			check = trimIncompleteRune(check)
+		}
+		if utf8.Valid(check) {
+			if prov.Encoding == "" {
+				prov.Encoding = "utf-8"
+			}
+		} else {
+			prov.Encoding = "latin-1"
+			if s.opts.Strict {
+				return fmt.Errorf("%w: invalid UTF-8", ErrBadEncoding)
+			}
+			s.trip(GuardLatin1Fallback)
+			s.kind = decodeLatin1Kind
+		}
+	}
+
+	s.carry = append(s.carry, data...)
+	if err := s.decodeCarry(s.eof); err != nil {
+		return err
+	}
+	if s.eof {
+		return s.finishInput()
+	}
+	return nil
+}
+
+// trimIncompleteRune drops a trailing truncated multi-byte UTF-8 sequence,
+// so chunk boundaries never misreport invalidity. Complete-but-invalid
+// bytes are kept: they are genuinely invalid, not an artifact of chunking.
+func trimIncompleteRune(data []byte) []byte {
+	end := len(data)
+	for i := 1; i <= utf8.UTFMax && i <= end; i++ {
+		b := data[end-i]
+		if !utf8.RuneStart(b) {
+			continue
+		}
+		// b leads a sequence occupying the last i bytes so far.
+		if need := utf8SeqLen(b); need > i {
+			return data[:end-i]
+		}
+		return data
+	}
+	return data
+}
+
+// utf8SeqLen returns the byte length the lead byte b announces, or 1 for a
+// byte that cannot lead a sequence (invalid, not truncated).
+func utf8SeqLen(b byte) int {
+	switch {
+	case b < 0x80:
+		return 1
+	case b&0xE0 == 0xC0:
+		return 2
+	case b&0xF0 == 0xE0:
+		return 3
+	case b&0xF8 == 0xF0:
+		return 4
+	}
+	return 1
+}
+
+// decodeCarry decodes as much of the raw carry as the encoding allows and
+// feeds the resulting text through the rune pipeline.
+func (s *Scanner) decodeCarry(atEOF bool) error {
+	if len(s.carry) == 0 && !(atEOF && s.heldSet) {
+		return nil
+	}
+	var text string
+	var err error
+	switch s.kind {
+	case decodeLatin1Kind:
+		runes := make([]rune, len(s.carry))
+		for i, b := range s.carry {
+			runes[i] = rune(b)
+		}
+		text, s.carry = string(runes), s.carry[:0]
+	case decodeUTF16Kind:
+		text, err = s.decodeUTF16Carry(atEOF)
+	case decodeUTF32Kind:
+		text, err = s.decodeUTF32Carry(atEOF)
+	default:
+		text, err = s.decodeUTF8Carry(atEOF)
+	}
+	if err != nil {
+		return err
+	}
+	return s.processText(text)
+}
+
+// decodeUTF8Carry passes valid UTF-8 through, repairing invalid sequences
+// byte-by-byte as latin-1 (the streaming form of the whole-file fallback).
+func (s *Scanner) decodeUTF8Carry(atEOF bool) (string, error) {
+	data := s.carry
+	if !atEOF {
+		data = trimIncompleteRune(data)
+	}
+	rest := s.carry[len(data):]
+	if utf8.Valid(data) {
+		text := string(data)
+		s.carry = append(s.carry[:0], rest...)
+		return text, nil
+	}
+	if s.opts.Strict {
+		return "", fmt.Errorf("%w: invalid UTF-8", ErrBadEncoding)
+	}
+	if !s.latinTip {
+		s.latinTip = true
+		s.trip(GuardLatin1Fallback)
+	}
+	var b strings.Builder
+	b.Grow(len(data))
+	for i := 0; i < len(data); {
+		r, size := utf8.DecodeRune(data[i:])
+		if r == utf8.RuneError && size == 1 {
+			b.WriteRune(rune(data[i]))
+			i++
+			continue
+		}
+		b.WriteRune(r)
+		i += size
+	}
+	s.carry = append(s.carry[:0], rest...)
+	return b.String(), nil
+}
+
+func (s *Scanner) decodeUTF16Carry(atEOF bool) (string, error) {
+	data := s.carry
+	n := len(data) &^ 1
+	units := make([]uint16, 0, n/2+1)
+	if s.heldSet {
+		units = append(units, s.held)
+		s.heldSet = false
+	}
+	for i := 0; i+2 <= n; i += 2 {
+		units = append(units, s.order.Uint16(data[i:]))
+	}
+	s.carry = append(s.carry[:0], data[n:]...)
+	if !atEOF && len(units) > 0 {
+		// Hold a trailing high surrogate: its pair may open the next chunk.
+		if last := units[len(units)-1]; last >= 0xD800 && last < 0xDC00 {
+			s.held, s.heldSet = last, true
+			units = units[:len(units)-1]
+		}
+	}
+	if atEOF && len(s.carry) > 0 {
+		if s.opts.Strict {
+			return "", fmt.Errorf("%w: truncated UTF-16 (odd byte count %d)", ErrBadEncoding, s.rawRead)
+		}
+		s.trip(GuardTruncatedUnit)
+		s.carry = s.carry[:0]
+	}
+	return string(utf16.Decode(units)), nil
+}
+
+func (s *Scanner) decodeUTF32Carry(atEOF bool) (string, error) {
+	data := s.carry
+	n := len(data) &^ 3
+	runes := make([]rune, 0, n/4)
+	for i := 0; i+4 <= n; i += 4 {
+		r := rune(s.order.Uint32(data[i:]))
+		if !utf8.ValidRune(r) {
+			r = utf8.RuneError
+		}
+		runes = append(runes, r)
+	}
+	s.carry = append(s.carry[:0], data[n:]...)
+	if atEOF && len(s.carry) > 0 {
+		if s.opts.Strict {
+			return "", fmt.Errorf("%w: truncated UTF-32 (%d trailing bytes)", ErrBadEncoding, len(s.carry))
+		}
+		s.trip(GuardTruncatedUnit)
+		s.carry = s.carry[:0]
+	}
+	return string(runes), nil
+}
+
+// processText runs decoded text through NUL stripping, the binary check,
+// line-ending normalization, and line assembly.
+func (s *Scanner) processText(text string) error {
+	for _, r := range text {
+		if r == 0 {
+			if s.opts.Strict {
+				return fmt.Errorf("%w: %d NUL bytes", ErrBadEncoding, s.prov.NULsStripped+1)
+			}
+			s.prov.NULsStripped++
+			s.trip(GuardNULsStripped)
+			continue
+		}
+		if !s.binOK {
+			s.sampleTot++
+			if isControl(r) {
+				s.sampleCtl++
+			}
+			if s.sampleTot >= 4096 {
+				if err := s.checkBinary(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := s.pushRune(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBinary applies the control-character rejection rule over the sample
+// collected so far (Normalize samples the first 4096 post-NUL runes).
+func (s *Scanner) checkBinary() error {
+	s.binOK = true
+	if s.sampleTot >= 32 && s.sampleCtl*5 > s.sampleTot {
+		return fmt.Errorf("%w: %d control characters in first %d runes (%s)",
+			ErrBadEncoding, s.sampleCtl, s.sampleTot, s.prov.Encoding)
+	}
+	return nil
+}
+
+// pushRune applies CR/CRLF normalization and appends to the current line.
+func (s *Scanner) pushRune(r rune) error {
+	if s.pendingCR {
+		s.pendingCR = false
+		if err := s.breakLine(); err != nil {
+			return err
+		}
+		if r == '\n' {
+			return nil // CRLF collapses to one newline
+		}
+	}
+	switch r {
+	case '\r':
+		s.prov.LineEndingsNormalized++
+		s.trip(GuardLineEndings)
+		s.pendingCR = true
+		return nil
+	case '\n':
+		return s.breakLine()
+	}
+	n := utf8.RuneLen(r)
+	if s.opts.MaxLineBytes <= 0 || len(s.cur)+n <= s.opts.MaxLineBytes {
+		s.cur = utf8.AppendRune(s.cur, r)
+	}
+	s.curLen += n
+	return nil
+}
+
+// breakLine finalizes the current line at a newline.
+func (s *Scanner) breakLine() error {
+	s.newlines++
+	s.endNL = true
+	return s.endLine()
+}
+
+// endLine applies the per-line guards and queues the line.
+func (s *Scanner) endLine() error {
+	defer func() { s.cur, s.curLen = s.cur[:0], 0 }()
+	if s.opts.MaxLines > 0 && s.kept >= s.opts.MaxLines {
+		if s.opts.Strict {
+			return &GuardError{Sentinel: ErrTooManyLines, Limit: int64(s.opts.MaxLines), Actual: int64(s.kept + s.prov.LinesDropped + 1)}
+		}
+		s.prov.LinesDropped++
+		s.trip(GuardLinesDropped)
+		return nil
+	}
+	line := string(s.cur)
+	if s.opts.MaxLineBytes > 0 && s.curLen > s.opts.MaxLineBytes {
+		if s.opts.Strict {
+			return &GuardError{Sentinel: ErrLineTooLong, Limit: int64(s.opts.MaxLineBytes), Actual: int64(s.curLen)}
+		}
+		line = truncateAtRune(line, s.opts.MaxLineBytes)
+		s.anyLong = true
+		s.prov.LinesTruncated++
+		s.trip(GuardLineTruncated)
+	}
+	if !s.nonSpace && strings.TrimSpace(line) != "" {
+		s.nonSpace = true
+	}
+	s.queue = append(s.queue, line)
+	s.kept++
+	return nil
+}
+
+// finishInput flushes the trailing partial line and marks the stream done.
+func (s *Scanner) finishInput() error {
+	if !s.binOK {
+		// Inputs shorter than the binary-rejection sample are judged on
+		// what there is, exactly as rejectBinary does.
+		if err := s.checkBinary(); err != nil {
+			return err
+		}
+	}
+	if s.pendingCR {
+		s.pendingCR = false
+		if err := s.breakLine(); err != nil {
+			return err
+		}
+	}
+	if s.curLen > 0 {
+		s.endNL = false
+		if err := s.endLine(); err != nil {
+			return err
+		}
+	}
+	s.done = true
+	return nil
+}

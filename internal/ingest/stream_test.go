@@ -1,0 +1,301 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chunkReader returns at most n bytes per Read, exercising every carry in
+// the incremental decoder (split BOMs, split runes, split CRLF, split
+// UTF-16 units).
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// scanAll drains a scanner, returning lines, the final-newline bit, the
+// finalized provenance, and the terminal error.
+func scanAll(r io.Reader, opts Options) ([]string, bool, Provenance, error) {
+	sc := NewScanner(r, opts)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Line())
+	}
+	return lines, sc.FinalNewline(), sc.Provenance(), sc.Err()
+}
+
+// normalizeLines reproduces the line view of the in-memory result: the
+// parse layer sees Result.Text, which the streaming driver reconstructs as
+// join(lines, "\n") plus a trailing "\n" when FinalNewline reports one.
+func normalizeLines(res Result) ([]string, bool) {
+	text := res.Text
+	finalNL := strings.HasSuffix(text, "\n")
+	if finalNL {
+		text = text[:len(text)-1]
+	}
+	return strings.Split(text, "\n"), finalNL
+}
+
+// equivalenceCases is the synthetic battery: every normalization feature
+// and the interactions between them.
+var equivalenceCases = map[string]string{
+	"plain":             "a,b,c\n1,2,3\n",
+	"no-final-newline":  "a,b,c\n1,2,3",
+	"crlf":              "a,b\r\n1,2\r\n",
+	"bare-cr":           "a,b\r1,2\r",
+	"mixed-endings":     "a\r\nb\rc\nd",
+	"empty-lines":       "\n\na,b\n\n1,2\n\n",
+	"utf8-multibyte":    "α,β,γ\nδ,ε,ζ\n",
+	"quoted-newline":    "a,\"b\nc\",d\n",
+	"trailing-spaces":   "a,b  \n  1,2\n",
+	"blank-mid":         "h1,h2\n\nv1,v2\n",
+	"cr-at-eof":         "a,b\r",
+	"crlf-split-pair":   "x\r\ny\r\nz",
+	"single-cell":       "lonely\n",
+	"unicode-bom-body":  "\ufeffид,имя\n1,тест\n",
+	"tab-delimited":     "a\tb\tc\n1\t2\t3\n",
+	"huge-field":        "a," + strings.Repeat("x", 5000) + ",c\n1,2,3\n",
+	"many-empty-cells":  ",,,\n,,,\n1,2,3,4\n",
+	"only-final-line":   "just one line no newline",
+	"consecutive-crs":   "a\r\r\rb\n",
+	"nul-sprinkled":     "a\x00,b\n1,\x002\n",
+	"latin1-bytes":      "caf\xe9,n\xfamero\n1,2\n",
+	"four-byte-runes":   "𝒜,𝔅\n😀,😁\n",
+	"whitespace-only-x": "data,here\n   \t  \nmore,rows\n",
+}
+
+func TestScannerMatchesNormalizeSynthetic(t *testing.T) {
+	for name, input := range equivalenceCases {
+		for _, chunk := range []int{1, 2, 3, 7, 64, 1 << 20} {
+			res, memErr := Normalize([]byte(input), Options{})
+			lines, finalNL, prov, err := scanAll(&chunkReader{data: []byte(input), n: chunk}, Options{})
+			assertEquivalent(t, name, chunk, res, memErr, lines, finalNL, prov, err)
+		}
+	}
+}
+
+func TestScannerMatchesNormalizeEncodings(t *testing.T) {
+	base := "id,name\n1,alpha\n2,beta\n"
+	cases := map[string][]byte{
+		"utf8-bom":      append(append([]byte{}, bomUTF8...), base...),
+		"utf16le-bom":   encodeUTF16(t, base, true, true),
+		"utf16be-bom":   encodeUTF16(t, base, false, true),
+		"utf16le-nobom": encodeUTF16(t, base, true, false),
+		"utf16be-nobom": encodeUTF16(t, base, false, false),
+		"utf16le-odd":   append(encodeUTF16(t, base, true, true), 0x41),
+		"latin1":        {0x63, 0x61, 0x66, 0xe9, 0x2c, 0x78, 0x0a, 0x31, 0x2c, 0x32, 0x0a},
+	}
+	for name, input := range cases {
+		for _, chunk := range []int{1, 3, 64, 1 << 20} {
+			res, memErr := Normalize(input, Options{})
+			lines, finalNL, prov, err := scanAll(&chunkReader{data: input, n: chunk}, Options{})
+			assertEquivalent(t, name, chunk, res, memErr, lines, finalNL, prov, err)
+		}
+	}
+}
+
+func TestScannerMatchesNormalizeOnTestdata(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && !strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk testdata: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata files found")
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for _, chunk := range []int{5, 1 << 20} {
+			res, memErr := Normalize(data, Options{})
+			lines, finalNL, prov, scErr := scanAll(&chunkReader{data: data, n: chunk}, Options{})
+			assertEquivalent(t, path, chunk, res, memErr, lines, finalNL, prov, scErr)
+		}
+	}
+}
+
+func TestScannerMatchesNormalizeGuards(t *testing.T) {
+	longLine := "short,row\n" + strings.Repeat("y", 100) + "\nlast,row\n"
+	manyLines := strings.Repeat("r,s\n", 20)
+	cases := []struct {
+		name  string
+		input string
+		opts  Options
+	}{
+		{"truncate-line", longLine, Options{MaxLineBytes: 32}},
+		{"drop-lines", manyLines, Options{MaxLines: 5}},
+		{"truncate-and-drop", longLine + manyLines, Options{MaxLineBytes: 32, MaxLines: 4}},
+		{"truncate-multibyte", "aα" + strings.Repeat("β", 40) + "\nb,c\n", Options{MaxLineBytes: 16}},
+	}
+	for _, tc := range cases {
+		for _, chunk := range []int{1, 9, 1 << 20} {
+			res, memErr := Normalize([]byte(tc.input), tc.opts)
+			lines, finalNL, prov, err := scanAll(&chunkReader{data: []byte(tc.input), n: chunk}, tc.opts)
+			assertEquivalent(t, tc.name, chunk, res, memErr, lines, finalNL, prov, err)
+		}
+	}
+}
+
+func TestScannerRejectsLikeNormalize(t *testing.T) {
+	binary := make([]byte, 256)
+	for i := range binary {
+		binary[i] = byte(i%7) + 1 // control-character soup
+	}
+	cases := map[string][]byte{
+		"binary":     binary,
+		"empty":      {},
+		"whitespace": []byte("   \n\t\n  \n"),
+	}
+	for name, input := range cases {
+		_, memErr := Normalize(input, Options{})
+		if memErr == nil {
+			t.Fatalf("%s: expected in-memory rejection", name)
+		}
+		_, _, _, scErr := scanAll(bytes.NewReader(input), Options{})
+		if scErr == nil {
+			t.Fatalf("%s: scanner accepted input Normalize rejects", name)
+		}
+		if !sameSentinel(memErr, scErr) {
+			t.Errorf("%s: sentinel mismatch: memory %v vs stream %v", name, memErr, scErr)
+		}
+	}
+}
+
+func TestScannerStrictMatchesSentinels(t *testing.T) {
+	cases := map[string]string{
+		"nul":       "a\x00b\n",
+		"long-line": strings.Repeat("z", 100) + "\n",
+	}
+	opts := Options{Strict: true, MaxLineBytes: 32}
+	for name, input := range cases {
+		_, memErr := Normalize([]byte(input), opts)
+		_, _, _, scErr := scanAll(strings.NewReader(input), opts)
+		if memErr == nil || scErr == nil {
+			t.Fatalf("%s: expected strict rejection from both paths (mem %v, stream %v)", name, memErr, scErr)
+		}
+		if !sameSentinel(memErr, scErr) {
+			t.Errorf("%s: sentinel mismatch: memory %v vs stream %v", name, memErr, scErr)
+		}
+	}
+}
+
+func TestScannerMaxBytesZeroMeansUnlimited(t *testing.T) {
+	big := strings.Repeat("a,b,c\n", 64)
+	lines, _, _, err := scanAll(strings.NewReader(big), Options{MaxBytes: 0})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if len(lines) != 64 {
+		t.Fatalf("got %d lines, want 64", len(lines))
+	}
+	_, _, _, err = scanAll(strings.NewReader(big), Options{MaxBytes: 16})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("explicit MaxBytes not enforced: %v", err)
+	}
+}
+
+func assertEquivalent(t *testing.T, name string, chunk int, res Result, memErr error, lines []string, finalNL bool, prov Provenance, scErr error) {
+	t.Helper()
+	if memErr != nil || scErr != nil {
+		if (memErr == nil) != (scErr == nil) {
+			t.Errorf("%s (chunk %d): error mismatch: memory %v vs stream %v", name, chunk, memErr, scErr)
+			return
+		}
+		if !sameSentinel(memErr, scErr) {
+			t.Errorf("%s (chunk %d): sentinel mismatch: memory %v vs stream %v", name, chunk, memErr, scErr)
+		}
+		return
+	}
+	wantLines, wantNL := normalizeLines(res)
+	if len(lines) != len(wantLines) {
+		t.Errorf("%s (chunk %d): got %d lines, want %d", name, chunk, len(lines), len(wantLines))
+		return
+	}
+	for i := range lines {
+		if lines[i] != wantLines[i] {
+			t.Errorf("%s (chunk %d): line %d: got %q, want %q", name, chunk, i, lines[i], wantLines[i])
+			return
+		}
+	}
+	if finalNL != wantNL {
+		t.Errorf("%s (chunk %d): final newline: got %v, want %v", name, chunk, finalNL, wantNL)
+	}
+	wp := res.Provenance
+	if prov.Encoding != wp.Encoding || prov.BOM != wp.BOM ||
+		prov.NULsStripped != wp.NULsStripped ||
+		prov.LineEndingsNormalized != wp.LineEndingsNormalized ||
+		prov.LinesTruncated != wp.LinesTruncated ||
+		prov.LinesDropped != wp.LinesDropped ||
+		prov.BytesIn != wp.BytesIn {
+		t.Errorf("%s (chunk %d): provenance mismatch:\n stream %+v\n memory %+v", name, chunk, prov, wp)
+	}
+	if got, want := strings.Join(prov.Guards, ","), strings.Join(wp.Guards, ","); got != want {
+		t.Errorf("%s (chunk %d): guards: got [%s], want [%s]", name, chunk, got, want)
+	}
+}
+
+func sameSentinel(a, b error) bool {
+	for _, s := range []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput, ErrLineTooLong, ErrTooManyLines, ErrTooManyCells} {
+		if errors.Is(a, s) || errors.Is(b, s) {
+			return errors.Is(a, s) && errors.Is(b, s)
+		}
+	}
+	return true
+}
+
+func encodeUTF16(t *testing.T, s string, little, bom bool) []byte {
+	t.Helper()
+	var out []byte
+	put := func(u uint16) {
+		if little {
+			out = append(out, byte(u), byte(u>>8))
+		} else {
+			out = append(out, byte(u>>8), byte(u))
+		}
+	}
+	if bom {
+		put(0xFEFF)
+	}
+	for _, r := range s {
+		if r < 0x10000 {
+			put(uint16(r))
+			continue
+		}
+		r -= 0x10000
+		put(uint16(0xD800 + (r >> 10)))
+		put(uint16(0xDC00 + (r & 0x3FF)))
+	}
+	return out
+}

@@ -29,6 +29,14 @@ const (
 	StageAnnotateFile Stage = "annotate_file"
 	// StageBatch covers one whole AnnotateAll batch.
 	StageBatch Stage = "batch"
+	// StageStream covers one end-to-end streaming annotation.
+	StageStream Stage = "stream_annotate"
+	// StageStreamWindow covers classifying one sliding window.
+	StageStreamWindow Stage = "stream_window"
+	// StageStreamFill covers filling one window's lookahead from the input
+	// — the lookahead-stall histogram: time annotation spent waiting on
+	// ingest rather than classifying.
+	StageStreamFill Stage = "stream_fill"
 )
 
 // MetricName returns the latency-histogram name a stage records under.
@@ -54,6 +62,12 @@ func (s Stage) MetricName() string {
 		return "stage/annotate_file_seconds"
 	case StageBatch:
 		return "stage/batch_seconds"
+	case StageStream:
+		return "stage/stream_annotate_seconds"
+	case StageStreamWindow:
+		return "stage/stream_window_seconds"
+	case StageStreamFill:
+		return "stage/stream_fill_seconds"
 	}
 	return "stage/" + string(s) + "_seconds"
 }
@@ -61,10 +75,10 @@ func (s Stage) MetricName() string {
 // Metric names recorded by the instrumented layers. Dynamic families
 // (per-guard, per-encoding) are built with GuardMetric and EncodingMetric.
 const (
-	MIngestFiles    = "ingest/files"     // normalization attempts
-	MIngestBytesIn  = "ingest/bytes_in"  // raw bytes entering Normalize
-	MIngestRejected = "ingest/rejected"  // files refused with a typed error
-	MIngestRepaired = "ingest/repaired"  // files that needed any repair
+	MIngestFiles    = "ingest/files"    // normalization attempts
+	MIngestBytesIn  = "ingest/bytes_in" // raw bytes entering Normalize
+	MIngestRejected = "ingest/rejected" // files refused with a typed error
+	MIngestRepaired = "ingest/repaired" // files that needed any repair
 
 	MDialectDetections = "dialect/detections" // detection runs
 	MDialectFallbacks  = "dialect/fallbacks"  // confidence floor fired
@@ -83,6 +97,13 @@ const (
 	MBatchFilesTimeout   = "batch/files_timeout"   // per-file deadline exceeded
 	MBatchFilesPanic     = "batch/files_panic"     // recovered panics
 	MBatchFilesCancelled = "batch/files_cancelled" // batch cancelled before dispatch
+
+	MStreamFiles      = "stream/files"        // streaming annotations started
+	MStreamLines      = "stream/lines"        // line annotations emitted
+	MStreamWindows    = "stream/windows"      // sliding windows classified
+	MStreamRowsFilled = "stream/rows_filled"  // rows entering the window buffer
+	MStreamRowsEvict  = "stream/rows_evicted" // rows released after emission
+	MStreamBufferRows = "stream/buffer_rows"  // gauge: buffered rows (high-water = peak)
 )
 
 // GuardMetric returns the counter name for one ingest guard or repair (the

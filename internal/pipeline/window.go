@@ -1,0 +1,102 @@
+package pipeline
+
+// Window is the sliding row buffer behind streaming annotation: a ring of
+// parsed rows indexed by their absolute position in the (leading-crop
+// adjusted) file, supporting append at the tail and eviction from the head.
+// The streaming driver keeps [emitted-margin, emitted+window+margin) rows
+// buffered — left context, core, and lookahead — so feature extraction sees
+// a bounded neighborhood regardless of file size.
+//
+// The ring grows on demand (windows are configured, not adversarial) but
+// never shrinks; with a fixed window configuration the buffer reaches its
+// steady-state size once and stays there, which is what makes streaming
+// memory O(window), not O(file).
+//
+// A Window is owned by one goroutine; it is not safe for concurrent use.
+type Window struct {
+	rows  [][]string
+	head  int // ring slot of the row at absolute index base
+	count int
+	base  int // absolute index of the oldest buffered row
+}
+
+// NewWindow returns a window with capacity for at least capHint rows before
+// its first growth. A non-positive hint gets a small default.
+func NewWindow(capHint int) *Window {
+	if capHint <= 0 {
+		capHint = 64
+	}
+	return &Window{rows: make([][]string, capHint)}
+}
+
+// Push appends a row at absolute index End().
+func (w *Window) Push(row []string) {
+	if w.count == len(w.rows) {
+		w.grow()
+	}
+	w.rows[(w.head+w.count)%len(w.rows)] = row
+	w.count++
+}
+
+// grow doubles the ring, re-laying the live rows out from slot 0.
+func (w *Window) grow() {
+	bigger := make([][]string, 2*len(w.rows))
+	for i := 0; i < w.count; i++ {
+		bigger[i] = w.rows[(w.head+i)%len(w.rows)]
+	}
+	w.rows = bigger
+	w.head = 0
+}
+
+// Len returns how many rows are buffered.
+func (w *Window) Len() int { return w.count }
+
+// Base returns the absolute index of the oldest buffered row.
+func (w *Window) Base() int { return w.base }
+
+// End returns one past the absolute index of the newest buffered row.
+func (w *Window) End() int { return w.base + w.count }
+
+// At returns the row at absolute index abs, which must be in [Base, End).
+func (w *Window) At(abs int) []string {
+	if abs < w.base || abs >= w.base+w.count {
+		//lint:ignore panicpath indices come from the streaming driver's own emitted/evicted bookkeeping, never from file input; out of range is a driver bug, like slice indexing
+		panic("pipeline: window index out of range")
+	}
+	return w.rows[(w.head+abs-w.base)%len(w.rows)]
+}
+
+// Slice copies out the row references in [lo, hi), both absolute and within
+// [Base, End]. The backing rows are shared, not cloned: callers hand them to
+// table construction, which copies cells itself.
+func (w *Window) Slice(lo, hi int) [][]string {
+	if lo < w.base || hi > w.base+w.count || lo > hi {
+		//lint:ignore panicpath bounds come from the streaming driver's own emitted/evicted bookkeeping, never from file input; out of range is a driver bug, like slice indexing
+		panic("pipeline: window slice out of range")
+	}
+	out := make([][]string, hi-lo)
+	for i := range out {
+		out[i] = w.rows[(w.head+lo+i-w.base)%len(w.rows)]
+	}
+	return out
+}
+
+// EvictTo releases every row below absolute index abs, returning how many
+// were dropped. Evicting past End empties the buffer; evicting below Base
+// is a no-op.
+func (w *Window) EvictTo(abs int) int {
+	n := abs - w.base
+	if n <= 0 {
+		return 0
+	}
+	if n > w.count {
+		n = w.count
+	}
+	for i := 0; i < n; i++ {
+		w.rows[(w.head+i)%len(w.rows)] = nil // release for GC
+	}
+	w.head = (w.head + n) % len(w.rows)
+	w.base += n
+	w.count -= n
+	return n
+}

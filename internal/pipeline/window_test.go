@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+)
+
+func rowFor(i int) []string { return []string{fmt.Sprintf("r%d", i)} }
+
+func TestWindowPushAtEvict(t *testing.T) {
+	w := NewWindow(4) // force several growths
+	const total = 100
+	next := 0
+	evicted := 0
+	for next < total {
+		// Push a burst, then evict to keep ~8 rows buffered, like the
+		// streaming driver's steady state.
+		for i := 0; i < 7 && next < total; i++ {
+			w.Push(rowFor(next))
+			next++
+		}
+		if w.End() != next || w.Base() != evicted || w.Len() != next-evicted {
+			t.Fatalf("bounds: base=%d end=%d len=%d, want %d %d %d",
+				w.Base(), w.End(), w.Len(), evicted, next, next-evicted)
+		}
+		for abs := w.Base(); abs < w.End(); abs++ {
+			if got := w.At(abs)[0]; got != rowFor(abs)[0] {
+				t.Fatalf("At(%d) = %s, want %s", abs, got, rowFor(abs)[0])
+			}
+		}
+		if keep := w.End() - 8; keep > w.Base() {
+			n := w.EvictTo(keep)
+			evicted += n
+			if w.Base() != keep {
+				t.Fatalf("after EvictTo(%d): base=%d", keep, w.Base())
+			}
+		}
+	}
+}
+
+func TestWindowSlice(t *testing.T) {
+	w := NewWindow(2)
+	for i := 0; i < 10; i++ {
+		w.Push(rowFor(i))
+	}
+	w.EvictTo(3)
+	got := w.Slice(4, 8)
+	if len(got) != 4 {
+		t.Fatalf("slice len %d, want 4", len(got))
+	}
+	for i, row := range got {
+		if row[0] != rowFor(4 + i)[0] {
+			t.Fatalf("slice[%d] = %s, want %s", i, row[0], rowFor(4 + i)[0])
+		}
+	}
+}
+
+func TestWindowEvictEdges(t *testing.T) {
+	w := NewWindow(4)
+	for i := 0; i < 5; i++ {
+		w.Push(rowFor(i))
+	}
+	if n := w.EvictTo(0); n != 0 {
+		t.Fatalf("evict below base dropped %d", n)
+	}
+	if n := w.EvictTo(100); n != 5 {
+		t.Fatalf("evict past end dropped %d, want 5", n)
+	}
+	if w.Len() != 0 || w.Base() != 5 {
+		t.Fatalf("after drain: len=%d base=%d", w.Len(), w.Base())
+	}
+	w.Push(rowFor(5))
+	if w.At(5)[0] != "r5" || w.End() != 6 {
+		t.Fatalf("push after drain: at(5)=%v end=%d", w.At(5), w.End())
+	}
+}
+
+func TestWindowPanicsOutOfRange(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(rowFor(0))
+	for name, fn := range map[string]func(){
+		"at-low":    func() { w.At(-1) },
+		"at-high":   func() { w.At(1) },
+		"slice-bad": func() { w.Slice(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,428 @@
+package strudel
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"strudel/internal/dialect"
+	"strudel/internal/ingest"
+	"strudel/internal/obs"
+	"strudel/internal/pipeline"
+	"strudel/internal/table"
+)
+
+// Streaming defaults. The window is deliberately much larger than every
+// feature neighborhood (the ±5 neighbor window, the 8-cell profiles, block
+// flood fill within a window) so the approximation from chunking only
+// touches a thin seam per window; the margin provides left context and
+// lookahead across that seam.
+const (
+	// DefaultStreamWindowLines is the number of rows classified and emitted
+	// per sliding window.
+	DefaultStreamWindowLines = 4096
+	// DefaultStreamMarginLines is the left-context / lookahead overlap kept
+	// around each window's core.
+	DefaultStreamMarginLines = 64
+	// DefaultDialectSniffBytes is how much normalized text dialect
+	// detection sees in streaming mode. Files smaller than this get the
+	// exact whole-file detection.
+	DefaultDialectSniffBytes = 64 << 10
+)
+
+// StreamOptions configures AnnotateStream.
+type StreamOptions struct {
+	// Load carries the ingest guards, dialect policy, and observation
+	// hooks, exactly as for LoadBytes. One deliberate difference: a zero
+	// Ingest.MaxBytes means unlimited here (streaming exists for files the
+	// in-memory 64 MiB default would reject); set it explicitly to keep a
+	// cap.
+	Load LoadOptions
+	// WindowLines is the number of rows classified and emitted per window
+	// (0 = DefaultStreamWindowLines).
+	WindowLines int
+	// MarginLines is the overlap kept on both sides of a window's core as
+	// context (0 = DefaultStreamMarginLines; negative = no margin).
+	MarginLines int
+	// DialectSniffBytes bounds the normalized-text prefix dialect
+	// detection runs on (0 = DefaultDialectSniffBytes). Inputs that end
+	// inside the prefix get whole-file detection, identical to LoadBytes.
+	DialectSniffBytes int
+}
+
+func (o StreamOptions) window() int {
+	if o.WindowLines <= 0 {
+		return DefaultStreamWindowLines
+	}
+	return o.WindowLines
+}
+
+func (o StreamOptions) margin() int {
+	if o.MarginLines == 0 {
+		return DefaultStreamMarginLines
+	}
+	if o.MarginLines < 0 {
+		return 0
+	}
+	return o.MarginLines
+}
+
+func (o StreamOptions) dialectSniff() int {
+	if o.DialectSniffBytes <= 0 {
+		return DefaultDialectSniffBytes
+	}
+	return o.DialectSniffBytes
+}
+
+// LineAnnotation is one classified line of a streaming annotation. Row
+// counts annotated lines from 0 in emission order (matching the line index
+// of the in-memory Annotation for the same input). The slices are freshly
+// allocated per line; callers may retain them.
+type LineAnnotation struct {
+	// Row is the line's index among the annotated lines.
+	Row int
+	// Class is the predicted line class.
+	Class Class
+	// Cells holds the predicted class per cell of the line.
+	Cells []Class
+	// Probabilities is the Strudel^L per-class confidence vector.
+	Probabilities []float64
+	// Fields holds the parsed cells of the line (post table padding).
+	Fields []string
+}
+
+// StreamSummary reports what one AnnotateStream run did.
+type StreamSummary struct {
+	// Lines is how many line annotations were emitted.
+	Lines int
+	// Windows is how many sliding windows were classified (1 for any input
+	// that fit in a single window).
+	Windows int
+	// Dialect is the dialect the stream was parsed under.
+	Dialect Dialect
+	// Provenance records ingestion and dialect-selection outcomes.
+	Provenance *Provenance
+	// Degraded lists why the annotation is best-effort (ingest repairs,
+	// dialect fallback); empty for pristine input.
+	Degraded []string
+}
+
+// AnnotateStream classifies a verbose CSV stream of unbounded size in
+// bounded memory, calling emit once per annotated line in order. Ingestion,
+// parsing, and classification all run incrementally: the input is never
+// materialized, and peak memory is proportional to the window configuration
+// (WindowLines + 2*MarginLines buffered rows), not the input size.
+//
+// Inputs small enough to fit in one window (fewer than WindowLines +
+// MarginLines parsed rows — every committed test fixture, for example) are
+// classified on the exact in-memory path: the emitted classes,
+// probabilities, and provenance are byte-identical to LoadBytes followed by
+// Annotate. Larger inputs are classified window by window; the window-local
+// features (line position, word-amount normalization, block sizes) then
+// describe each window rather than the whole file, and marginal empty
+// columns are not cropped — the documented "identical modulo chunking"
+// contract. Dialect detection always runs on a bounded prefix.
+//
+// A non-nil error from emit aborts the stream and is returned unwrapped.
+// Errors from the input reject the whole stream with the same taxonomy as
+// LoadBytes; lines already emitted should be discarded by the caller.
+func (m *Model) AnnotateStream(ctx context.Context, r io.Reader, opts StreamOptions, emit func(LineAnnotation) error) (*StreamSummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h := opts.Load.Obs
+	streamStart := h.SpanStart(obs.StageStream)
+	defer func() { h.SpanEnd(obs.StageStream, streamStart) }()
+	h.Count(obs.MStreamFiles, 1)
+
+	w, margin := opts.window(), opts.margin()
+	sc := ingest.NewScanner(r, opts.Load.ingestOptions())
+
+	// Phase 1: dialect selection over a bounded prefix of normalized lines.
+	// The lines are kept and replayed into the splitter below, so nothing
+	// is read twice.
+	var prefix []string
+	prefixBytes := 0
+	sniffCap := opts.dialectSniff()
+	for prefixBytes < sniffCap && sc.Scan() {
+		prefix = append(prefix, sc.Line())
+		prefixBytes += len(sc.Line()) + 1
+	}
+	atEOF := !sc.Scan() // consumes one line when false was not yet returned
+	var pending string  // the extra line consumed by the EOF probe
+	havePending := false
+	if !atEOF {
+		pending, havePending = sc.Line(), true
+	} else if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sniffText := joinLines(prefix, atEOF && sc.FinalNewline() || !atEOF)
+
+	var dialectProv Provenance // staging; merged into the final provenance
+	d, err := chooseDialect(sniffText, opts.Load, &dialectProv)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: incremental split → sliding window → per-window classify.
+	maxCells := opts.Load.maxCells()
+	sp := dialect.NewSplitter(d, maxCells)
+	win := pipeline.NewWindow(w + 2*margin + 2)
+
+	summary := &StreamSummary{Dialect: d}
+	emitted := 0       // annotated lines emitted so far
+	started := false   // first non-empty row seen (leading crop)
+	lastNonEmpty := -1 // absolute index of the last non-empty row
+	fillStart := h.SpanStart(obs.StageStreamFill)
+
+	// finalProvenance assembles the complete provenance once the scanner
+	// has finished, merging the staged dialect outcome in the same guard
+	// order buildTable produces.
+	finalProvenance := func() *Provenance {
+		p := sc.Provenance()
+		p.Dialect = dialectProv.Dialect
+		p.DialectScore = dialectProv.DialectScore
+		p.DialectMargin = dialectProv.DialectMargin
+		if dialectProv.DialectFallback {
+			p.DialectFallback = true
+			p.Trip(ingest.GuardDialectScore)
+		}
+		if n := sp.Dropped(); n > 0 {
+			p.CellsDropped = n
+			p.Trip(ingest.GuardCellsDropped)
+		}
+		return &p
+	}
+
+	// classify runs the shared annotate body over one window's table,
+	// behind the same fault barrier batch annotation uses.
+	classify := func(t *table.Table) (*Annotation, error) {
+		h.SpanEnd(obs.StageStreamFill, fillStart)
+		winStart := h.SpanStart(obs.StageStreamWindow)
+		var ann *Annotation
+		err := pipeline.Safely(func() {
+			a := pipeline.New(t)
+			a.Obs = h
+			ann = m.annotate(a)
+		})
+		h.SpanEnd(obs.StageStreamWindow, winStart)
+		fillStart = h.SpanStart(obs.StageStreamFill)
+		if err != nil {
+			return nil, fmt.Errorf("strudel: stream annotation failed: %w", err)
+		}
+		summary.Windows++
+		h.Count(obs.MStreamWindows, 1)
+		return ann, nil
+	}
+
+	// emitRange sends the annotations for absolute rows [lo, hi), where the
+	// table's row 0 corresponds to absolute row tblBase.
+	emitRange := func(t *table.Table, ann *Annotation, tblBase, lo, hi int) error {
+		for abs := lo; abs < hi; abs++ {
+			r := abs - tblBase
+			la := LineAnnotation{
+				Row:           abs,
+				Class:         ann.Lines[r],
+				Cells:         append([]Class(nil), ann.Cells[r]...),
+				Probabilities: append([]float64(nil), ann.LineProbabilities[r]...),
+				Fields:        append([]string(nil), t.Row(r)...),
+			}
+			if err := emit(la); err != nil {
+				return err
+			}
+		}
+		n := hi - lo
+		emitted += n
+		summary.Lines += n
+		h.Count(obs.MStreamLines, int64(n))
+		return nil
+	}
+
+	// flushWindow classifies the buffered rows and emits the core region
+	// [emitted, emitted+w), keeping margin rows of left context.
+	flushWindow := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("strudel: stream: %w", err)
+		}
+		t := table.FromRows(win.Slice(win.Base(), win.End()))
+		ann, err := classify(t)
+		if err != nil {
+			return err
+		}
+		if err := emitRange(t, ann, win.Base(), emitted, emitted+w); err != nil {
+			return err
+		}
+		evicted := win.EvictTo(emitted - margin)
+		h.Count(obs.MStreamRowsEvict, int64(evicted))
+		h.GaugeSet(obs.MStreamBufferRows, int64(win.Len()))
+		return nil
+	}
+
+	// accept admits one parsed row into the window, skipping leading empty
+	// rows (the streaming half of Crop) and flushing full windows.
+	accept := func(row []string) error {
+		empty := rowIsEmpty(row)
+		if !started {
+			if empty {
+				return nil
+			}
+			started = true
+		}
+		if !empty {
+			lastNonEmpty = win.End()
+		}
+		win.Push(row)
+		h.Count(obs.MStreamRowsFilled, 1)
+		h.GaugeSet(obs.MStreamBufferRows, int64(win.Len()))
+		if win.End()-emitted >= w+margin {
+			return flushWindow()
+		}
+		return nil
+	}
+
+	drain := func() error {
+		for {
+			row, ok := sp.Next()
+			if !ok {
+				break
+			}
+			if err := accept(row); err != nil {
+				return err
+			}
+		}
+		if opts.Load.Ingest.Strict && sp.Dropped() > 0 {
+			return errTooManyCells(sp.Dropped(), maxCells)
+		}
+		return nil
+	}
+
+	// feed replays one normalized line into the splitter. The line's
+	// newline is written with it: every line but the last is newline-
+	// terminated, and the last line's newline depends on FinalNewline —
+	// hence the one-line lag below.
+	var prev string
+	havePrev := false
+	feed := func(line string) error {
+		if havePrev {
+			sp.Write(prev)
+			sp.Write("\n")
+		}
+		prev, havePrev = line, true
+		return drain()
+	}
+
+	for _, line := range prefix {
+		if err := feed(line); err != nil {
+			return summary, err
+		}
+	}
+	if havePending {
+		if err := feed(pending); err != nil {
+			return summary, err
+		}
+	}
+	lines := 0
+	for sc.Scan() {
+		if err := feed(sc.Line()); err != nil {
+			return summary, err
+		}
+		if lines++; lines%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return summary, fmt.Errorf("strudel: stream: %w", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary, err
+	}
+	if havePrev {
+		sp.Write(prev)
+		if sc.FinalNewline() {
+			sp.Write("\n")
+		}
+	}
+	sp.Flush()
+	if err := drain(); err != nil {
+		return summary, err
+	}
+
+	prov := finalProvenance()
+	summary.Provenance = prov
+	summary.Degraded = prov.DegradedReasons()
+
+	if summary.Windows == 0 {
+		// The whole input fit in one window: classify it on the exact
+		// in-memory path — FromRows + Crop + provenance, then the shared
+		// annotate body — so output is byte-identical to LoadBytes +
+		// Annotate.
+		t := table.FromRows(win.Slice(win.Base(), win.End())).Crop()
+		t.Provenance = prov
+		ann, err := classify(t)
+		if err != nil {
+			return summary, err
+		}
+		return summary, emitRange(t, ann, 0, 0, t.Height())
+	}
+
+	// Final partial window: everything unemitted up to the last non-empty
+	// row (the streaming half of Crop's trailing-line rule).
+	if end := lastNonEmpty + 1; end > emitted {
+		t := table.FromRows(win.Slice(win.Base(), end))
+		ann, err := classify(t)
+		if err != nil {
+			return summary, err
+		}
+		if err := emitRange(t, ann, win.Base(), emitted, end); err != nil {
+			return summary, err
+		}
+	}
+	return summary, nil
+}
+
+// AnnotateFileStream is AnnotateStream over the file at path.
+func (m *Model) AnnotateFileStream(ctx context.Context, path string, opts StreamOptions, emit func(LineAnnotation) error) (*StreamSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only descriptor; close cannot lose data
+	sum, err := m.AnnotateStream(ctx, f, opts, emit)
+	if err != nil {
+		return sum, fmt.Errorf("strudel: %s: %w", path, err)
+	}
+	return sum, nil
+}
+
+// rowIsEmpty reports whether every cell of a parsed row is empty, matching
+// the table-level empty-line rule Crop applies.
+func rowIsEmpty(row []string) bool {
+	for _, c := range row {
+		if !table.IsEmpty(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinLines reassembles normalized lines into the text the in-memory path
+// would hand to dialect detection, with a trailing newline when the source
+// text had one (or when the prefix was cut mid-file, where the last
+// included line was necessarily newline-terminated).
+func joinLines(lines []string, finalNL bool) string {
+	n := 0
+	for _, l := range lines {
+		n += len(l) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, l := range lines {
+		if i > 0 {
+			b = append(b, '\n')
+		}
+		b = append(b, l...)
+	}
+	if finalNL {
+		b = append(b, '\n')
+	}
+	return string(b)
+}

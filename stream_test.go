@@ -1,0 +1,283 @@
+package strudel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// streamResult captures everything one streaming annotation produced, for
+// comparison against the in-memory path.
+type streamResult struct {
+	lines   []LineAnnotation
+	summary *StreamSummary
+	err     error
+}
+
+func streamFile(m *Model, path string, opts StreamOptions) streamResult {
+	var res streamResult
+	res.summary, res.err = m.AnnotateFileStream(context.Background(), path, opts, func(la LineAnnotation) error {
+		res.lines = append(res.lines, la)
+		return nil
+	})
+	return res
+}
+
+// assertStreamMatchesMemory is the byte-identical equivalence oracle: the
+// streaming annotation of path must agree with LoadFile + Annotate in every
+// observable — classes, cell classes, probability vectors, dialect,
+// provenance, degraded reasons — or both must fail with the same sentinel.
+func assertStreamMatchesMemory(t *testing.T, m *Model, path string, res streamResult) {
+	t.Helper()
+	tbl, d, memErr := LoadFile(path, LoadOptions{})
+	if memErr != nil || res.err != nil {
+		if (memErr == nil) != (res.err == nil) {
+			t.Errorf("%s: error mismatch: memory %v vs stream %v", path, memErr, res.err)
+			return
+		}
+		for _, s := range []error{ErrTooLarge, ErrBadEncoding, ErrEmptyInput, ErrLineTooLong, ErrTooManyLines, ErrTooManyCells} {
+			if errors.Is(memErr, s) != errors.Is(res.err, s) {
+				t.Errorf("%s: sentinel mismatch: memory %v vs stream %v", path, memErr, res.err)
+			}
+		}
+		return
+	}
+	ann := m.Annotate(tbl)
+	if res.summary.Dialect != d {
+		t.Errorf("%s: dialect: stream %v vs memory %v", path, res.summary.Dialect, d)
+	}
+	if len(res.lines) != tbl.Height() {
+		t.Errorf("%s: %d streamed lines vs height %d", path, len(res.lines), tbl.Height())
+		return
+	}
+	for i, la := range res.lines {
+		if la.Row != i {
+			t.Errorf("%s: line %d has Row %d", path, i, la.Row)
+		}
+		if la.Class != ann.Lines[i] {
+			t.Errorf("%s: line %d class %v vs %v", path, i, la.Class, ann.Lines[i])
+		}
+		if !reflect.DeepEqual(la.Cells, append([]Class(nil), ann.Cells[i]...)) {
+			t.Errorf("%s: line %d cells %v vs %v", path, i, la.Cells, ann.Cells[i])
+		}
+		if !reflect.DeepEqual(la.Probabilities, append([]float64(nil), ann.LineProbabilities[i]...)) {
+			t.Errorf("%s: line %d probabilities differ", path, i)
+		}
+		if !reflect.DeepEqual(la.Fields, append([]string(nil), tbl.Row(i)...)) {
+			t.Errorf("%s: line %d fields %q vs %q", path, i, la.Fields, tbl.Row(i))
+		}
+	}
+	sp, mp := res.summary.Provenance, ann.Provenance
+	if sp == nil || mp == nil {
+		t.Errorf("%s: provenance missing: stream %v, memory %v", path, sp, mp)
+		return
+	}
+	if !reflect.DeepEqual(*sp, *mp) {
+		t.Errorf("%s: provenance:\n stream %+v\n memory %+v", path, *sp, *mp)
+	}
+	if !reflect.DeepEqual(res.summary.Degraded, ann.Degraded) {
+		t.Errorf("%s: degraded: stream %v vs memory %v", path, res.summary.Degraded, ann.Degraded)
+	}
+}
+
+// corpusFiles returns every committed testdata file (including hostile/).
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk("testdata", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && !strings.HasSuffix(path, ".json") && !strings.HasSuffix(path, ".labels") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("only %d corpus files found", len(files))
+	}
+	return files
+}
+
+func TestAnnotateStreamMatchesInMemoryCorpus(t *testing.T) {
+	m := trainedModel(t)
+	files := corpusFiles(t)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			jobs := make(chan string)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for path := range jobs {
+						res := streamFile(m, path, StreamOptions{})
+						assertStreamMatchesMemory(t, m, path, res)
+					}
+				}()
+			}
+			for _, path := range files {
+				jobs <- path
+			}
+			close(jobs)
+			wg.Wait()
+		})
+	}
+}
+
+// TestAnnotateStreamMultiWindow forces the chunked path on a file large
+// enough for several windows and checks the streaming invariants: every
+// line emitted exactly once in order, deterministic across runs, and the
+// seam rows agreeing with the in-memory annotation away from the seams.
+func TestAnnotateStreamMultiWindow(t *testing.T) {
+	m := trainedModel(t)
+	var b strings.Builder
+	b.WriteString("Region Report,,\n,,\n")
+	b.WriteString("region,units,revenue\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "area-%03d,%d,%d.50\n", i, 10+i, 100*i)
+	}
+	b.WriteString("Total,,\nSource: synthetic,,\n")
+	path := filepath.Join(t.TempDir(), "multiwindow.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := StreamOptions{WindowLines: 64, MarginLines: 16}
+	first := streamFile(m, path, opts)
+	if first.err != nil {
+		t.Fatal(first.err)
+	}
+	if first.summary.Windows < 3 {
+		t.Fatalf("expected >= 3 windows, got %d", first.summary.Windows)
+	}
+	tbl, _, err := LoadFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.lines) != tbl.Height() {
+		t.Fatalf("emitted %d lines, table height %d", len(first.lines), tbl.Height())
+	}
+	for i, la := range first.lines {
+		if la.Row != i {
+			t.Fatalf("line %d emitted with Row %d", i, la.Row)
+		}
+	}
+
+	second := streamFile(m, path, opts)
+	if second.err != nil {
+		t.Fatal(second.err)
+	}
+	if !reflect.DeepEqual(first.lines, second.lines) {
+		t.Error("streaming annotation is not deterministic across runs")
+	}
+
+	// Away from window seams the chunked features match the whole-file
+	// ones closely; the body of this file is uniform data rows, so the
+	// interior of every window must classify like the in-memory run.
+	ann := m.Annotate(tbl)
+	agree := 0
+	for i := 5; i < len(first.lines)-5; i++ {
+		if first.lines[i].Class == ann.Lines[i] {
+			agree++
+		}
+	}
+	total := len(first.lines) - 10
+	if agree*10 < total*9 {
+		t.Errorf("windowed classes agree on %d/%d interior lines; want >= 90%%", agree, total)
+	}
+}
+
+func TestAnnotateStreamEmitErrorAborts(t *testing.T) {
+	m := trainedModel(t)
+	sentinel := errors.New("sink full")
+	calls := 0
+	_, err := m.AnnotateStream(context.Background(), strings.NewReader(sampleCSV), StreamOptions{}, func(LineAnnotation) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times after error", calls)
+	}
+}
+
+func TestAnnotateStreamContextCancelled(t *testing.T) {
+	m := trainedModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	b.WriteString("a,b,c\n")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", i, i, i)
+	}
+	_, err := m.AnnotateStream(ctx, strings.NewReader(b.String()), StreamOptions{WindowLines: 64, MarginLines: 8}, func(LineAnnotation) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v", err)
+	}
+}
+
+func TestAnnotateStreamObsCounters(t *testing.T) {
+	m := trainedModel(t)
+	reg := NewObsRegistry()
+	opts := StreamOptions{
+		Load:        LoadOptions{Obs: NewObsHooks(reg)},
+		WindowLines: 32,
+		MarginLines: 8,
+	}
+	var b strings.Builder
+	b.WriteString("h1,h2\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i, i*2)
+	}
+	sum, err := m.AnnotateStream(context.Background(), strings.NewReader(b.String()), opts, func(LineAnnotation) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["stream/files"] != 1 {
+		t.Errorf("stream/files = %d", counters["stream/files"])
+	}
+	if counters["stream/windows"] != int64(sum.Windows) || sum.Windows < 2 {
+		t.Errorf("stream/windows = %d, summary %d", counters["stream/windows"], sum.Windows)
+	}
+	if counters["stream/lines"] != int64(sum.Lines) || sum.Lines != 201 {
+		t.Errorf("stream/lines = %d, summary %d", counters["stream/lines"], sum.Lines)
+	}
+	if counters["stream/rows_evicted"] == 0 {
+		t.Error("no rows evicted on a multi-window stream")
+	}
+	if counters["ingest/files"] != 1 {
+		t.Errorf("ingest/files = %d (scanner finalize not recorded)", counters["ingest/files"])
+	}
+}
+
+// TestAnnotateStreamStrictCells mirrors the in-memory Strict cells guard.
+func TestAnnotateStreamStrictCells(t *testing.T) {
+	m := trainedModel(t)
+	in := "a,b,c,d,e\n1,2,3,4,5\n"
+	opts := StreamOptions{Load: LoadOptions{Ingest: IngestOptions{MaxCellsPerLine: 3, Strict: true}}}
+	_, err := m.AnnotateStream(context.Background(), strings.NewReader(in), opts, func(LineAnnotation) error { return nil })
+	if !errors.Is(err, ErrTooManyCells) {
+		t.Fatalf("strict cell cap not enforced: %v", err)
+	}
+}

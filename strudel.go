@@ -191,15 +191,39 @@ func LoadBytes(data []byte, opts LoadOptions) (*Table, Dialect, error) {
 // splitting, cropping, and provenance attachment.
 func buildTable(res ingest.Result, opts LoadOptions) (*Table, Dialect, error) {
 	prov := res.Provenance
+	d, err := chooseDialect(res.Text, opts, &prov)
+	if err != nil {
+		return nil, Dialect{}, err
+	}
+
+	maxCells := opts.maxCells()
+	rows, dropped := dialect.SplitLimit(res.Text, d, maxCells)
+	if dropped > 0 {
+		if opts.Ingest.Strict {
+			return nil, Dialect{}, errTooManyCells(dropped, maxCells)
+		}
+		prov.CellsDropped = dropped
+		prov.Trip(ingest.GuardCellsDropped)
+	}
+	t := table.FromRows(rows).Crop()
+	t.Provenance = &prov
+	return t, d, nil
+}
+
+// chooseDialect picks the parse dialect for normalized text under opts,
+// recording score, margin, fallback, and the final dialect string into prov.
+// It is shared by the in-memory loaders (full text) and the streaming
+// driver (bounded prefix) so both apply the same confidence floor.
+func chooseDialect(text string, opts LoadOptions, prov *ingest.Provenance) (Dialect, error) {
 	var d Dialect
 	switch {
 	case opts.ForceDialect != nil:
 		d = *opts.ForceDialect
 		opts.Obs.Count(obs.MDialectForced, 1)
 	default:
-		det, err := dialect.DetectBestObs(res.Text, opts.Obs)
+		det, err := dialect.DetectBestObs(text, opts.Obs)
 		if err != nil {
-			return nil, Dialect{}, fmt.Errorf("strudel: %w", err)
+			return Dialect{}, fmt.Errorf("strudel: %w", err)
 		}
 		prov.DialectScore, prov.DialectMargin = det.Score, det.Margin
 		if det.Score < opts.minScore() {
@@ -214,23 +238,23 @@ func buildTable(res ingest.Result, opts LoadOptions) (*Table, Dialect, error) {
 		}
 	}
 	prov.Dialect = d.String()
+	return d, nil
+}
 
-	maxCells := opts.Ingest.MaxCellsPerLine
-	if maxCells == 0 {
-		maxCells = ingest.DefaultMaxCellsPerLine
+// maxCells resolves the per-row cell cap (0 = package default, negative =
+// unlimited, matching the ingest guard convention).
+func (o LoadOptions) maxCells() int {
+	if o.Ingest.MaxCellsPerLine == 0 {
+		return ingest.DefaultMaxCellsPerLine
 	}
-	rows, dropped := dialect.SplitLimit(res.Text, d, maxCells)
-	if dropped > 0 {
-		if opts.Ingest.Strict {
-			return nil, Dialect{}, fmt.Errorf("strudel: %w (%d cells beyond the per-line limit %d)",
-				ErrTooManyCells, dropped, maxCells)
-		}
-		prov.CellsDropped = dropped
-		prov.Trip(ingest.GuardCellsDropped)
-	}
-	t := table.FromRows(rows).Crop()
-	t.Provenance = &prov
-	return t, d, nil
+	return o.Ingest.MaxCellsPerLine
+}
+
+// errTooManyCells is the Strict-mode rejection for rows over the cell cap,
+// formatted identically on the in-memory and streaming paths.
+func errTooManyCells(dropped, maxCells int) error {
+	return fmt.Errorf("strudel: %w (%d cells beyond the per-line limit %d)",
+		ErrTooManyCells, dropped, maxCells)
 }
 
 // LoadReader reads a verbose CSV file from r through the full hardened
