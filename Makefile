@@ -3,10 +3,14 @@
 #   make tier1        build + test (the roadmap's tier-1 gate)
 #   make lint         run the strudel-lint analyzer suite over ./...
 #   make lint-models  verify the model-artifact corpus (valid pass, corrupt fail)
-#   make check        tier1 plus `go vet`, strudel-lint, artifacts, and the race detector
+#   make check        tier1 plus `go vet`, strudel-lint, artifacts, the race
+#                     detector, and the bench-gate throughput regression gate
+#   make bench-gate   measure both annotation paths and fail on a >10%
+#                     throughput regression against the committed snapshot
 #   make fuzz-smoke   run each fuzz target briefly (regression smoke, ~30s)
 #   make bench        annotate-path micro-benchmarks (single file + batch)
-#   make bench-lint   full-repo analyzer-suite benchmark
+#   make bench-lint   full-repo analyzer-suite benchmark; fails if linting
+#                     the repo exceeds the 2.5 s/op budget
 #   make bench-obs    batch annotation with nil vs active observability hooks
 #   make bench-stream streaming throughput benchmark + the full >= 256 MiB
 #                     bounded-memory proof (the default test run uses 32 MiB)
@@ -14,8 +18,13 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# The committed performance baseline bench-gate judges against.
+BENCH_BASELINE ?= BENCH_7.json
+# Full-repo lint wall-clock budget, ns/op (2.5 s): the memoized call graph
+# must keep the whole analyzer suite inside it.
+LINT_BUDGET_NS ?= 2500000000
 
-.PHONY: build test vet lint lint-models race race-stream tier1 check fuzz-smoke bench bench-lint bench-obs bench-stream
+.PHONY: build test vet lint lint-models race race-stream tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -41,7 +50,12 @@ race:
 
 tier1: build test
 
-check: vet lint lint-models tier1 race
+check: vet lint lint-models tier1 race bench-gate
+
+# Throughput regression gate: re-measure both annotation paths (best of 3)
+# and fail on any metric >10% below the committed baseline snapshot.
+bench-gate:
+	$(GO) run ./cmd/strudel-perf -compare $(BENCH_BASELINE)
 
 # Each -fuzz flag accepts one target per `go test` invocation, so the
 # smoke runs are sequential. -run '^$' skips the unit tests.
@@ -55,8 +69,12 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench 'BenchmarkAnnotate' -benchmem -run '^$$' .
 
+# The ns/op field is column 3 of `go test -bench` output; the awk guard
+# fails the target when the full-repo suite blows the wall-clock budget
+# (i.e. when something rebuilds the call graph per analyzer again).
 bench-lint:
-	$(GO) test -bench 'BenchmarkLint' -benchmem -run '^$$' ./internal/analysis
+	$(GO) test -bench 'BenchmarkLint' -benchmem -run '^$$' ./internal/analysis | tee /tmp/strudel-bench-lint.out
+	awk '/^BenchmarkLint/ { found=1; if ($$3+0 > $(LINT_BUDGET_NS)) { print "bench-lint: " $$3 " ns/op exceeds the $(LINT_BUDGET_NS) ns budget"; bad=1 } } END { if (!found) { print "bench-lint: no BenchmarkLint result found"; exit 1 }; exit bad }' /tmp/strudel-bench-lint.out
 
 bench-obs:
 	$(GO) test -bench 'BenchmarkAnnotateAllObs' -benchmem -count 5 -run '^$$' .

@@ -20,6 +20,7 @@
 //	-checks list   comma-separated check names to run (default: all)
 //	-list          print the registered checks and exit
 //	-models glob   verify model artifact files matching the glob(s)
+//	-graph         dump the module-wide call graph instead of linting
 //
 // Reported paths are module-relative and slash-separated in both output
 // modes, so results are stable across machines and checkouts.
@@ -65,6 +66,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		checks = fs.String("checks", "", "comma-separated check names to run (default: all)")
 		list   = fs.Bool("list", false, "list registered checks and exit")
 		models = fs.String("models", "", "verify model artifact files matching this glob (positional args add more globs)")
+		graph  = fs.Bool("graph", false, "dump the module-wide call graph for the selected packages and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,7 +90,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 			name = strings.TrimSpace(name)
 			a := analysis.Lookup(name)
 			if a == nil {
-				_, _ = fmt.Fprintf(stderr, "strudel-lint: unknown check %q (see -list)\n", name)
+				_, _ = fmt.Fprintf(stderr, "strudel-lint: unknown check %q; valid checks: %s\n", name, strings.Join(analysis.Names(), ", "))
 				return 2
 			}
 			analyzers = append(analyzers, a)
@@ -103,6 +105,10 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	paths, err := loader.Expand(resolvePatterns(fs.Args(), dir))
 	if err != nil {
 		return fatal(stderr, err)
+	}
+
+	if *graph {
+		return dumpGraph(loader, paths, stdout, stderr)
 	}
 
 	diags, err := analysis.Run(loader, paths, analyzers)
@@ -133,6 +139,39 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
+	return 0
+}
+
+// dumpGraph loads the selected packages and prints the module-wide call
+// graph in deterministic order: one line per function, indented lines per
+// edge, with once/callback edge kinds and hairy-node reasons annotated.
+// The dump is the debugging companion to the reachability-based checks —
+// when a finding's witness looks wrong, this is the ground truth it was
+// derived from.
+func dumpGraph(loader *analysis.Loader, paths []string, stdout, stderr io.Writer) int {
+	for _, path := range paths {
+		if _, err := loader.Load(path); err != nil {
+			return fatal(stderr, err)
+		}
+	}
+	loader.CallGraph().Nodes(func(n *analysis.CallNode) {
+		_, _ = fmt.Fprintln(stdout, n.Func.FullName())
+		if n.Hairy {
+			_, _ = fmt.Fprintf(stdout, "  ~ incomplete: %s\n", n.HairyReason)
+		}
+		for _, e := range n.Callees {
+			kind := ""
+			switch {
+			case e.Once && e.Callback:
+				kind = " (once, callback)"
+			case e.Once:
+				kind = " (once)"
+			case e.Callback:
+				kind = " (callback)"
+			}
+			_, _ = fmt.Fprintf(stdout, "  -> %s%s\n", e.Callee.Func.FullName(), kind)
+		}
+	})
 	return 0
 }
 

@@ -83,6 +83,36 @@ func TestRunUnknownCheck(t *testing.T) {
 	if !strings.Contains(stderr.String(), "unknown check") {
 		t.Errorf("stderr = %q, want unknown-check message", stderr.String())
 	}
+	// The message must teach the valid vocabulary, not just reject.
+	for _, name := range []string{"nondeterminism", "ctxflow", "errflow", "hotalloc"} {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("unknown-check message does not list valid check %q: %q", name, stderr.String())
+		}
+	}
+}
+
+// TestGraphDump exercises the -graph debugging mode: deterministic,
+// module-scoped, and annotated with edge kinds.
+func TestGraphDump(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-graph", "./..."}, fixtureDir(t), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "(*lintfixture/internal/ingest.Scanner).Scan") {
+		t.Errorf("-graph output missing the Scan node:\n%s", out)
+	}
+	if !strings.Contains(out, "lintfixture/internal/demo.Fanout") {
+		t.Errorf("-graph output missing the Fanout node:\n%s", out)
+	}
+	// Determinism: a second run must render byte-identically.
+	var second bytes.Buffer
+	if code := run([]string{"-graph", "./..."}, fixtureDir(t), &second, &stderr); code != 0 {
+		t.Fatalf("second -graph run failed (stderr: %s)", stderr.String())
+	}
+	if out != second.String() {
+		t.Error("-graph output is not deterministic across runs")
+	}
 }
 
 func TestModelsCorruptCorpus(t *testing.T) {

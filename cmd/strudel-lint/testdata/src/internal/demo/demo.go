@@ -5,6 +5,7 @@
 package demo
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -45,4 +46,15 @@ func Fanout(xs []int) {
 			fmt.Println(x)
 		}()
 	}
+}
+
+// Annotate mints a fresh context although it already receives one (ctxflow)
+// and matches a sentinel with == (errflow).
+func Annotate(ctx context.Context, err error) error {
+	_ = context.Background()
+	if err == os.ErrNotExist {
+		return nil
+	}
+	_ = ctx
+	return nil
 }

@@ -1,0 +1,14 @@
+// Package ingest gives the golden fixture a hotalloc hot root:
+// Scanner.Scan matches the analyzer's root table by package, receiver, and
+// method name.
+package ingest
+
+import "fmt"
+
+type Scanner struct{ n int }
+
+// Scan allocates a formatted string per call (hotalloc).
+func (s *Scanner) Scan() string {
+	s.n++
+	return fmt.Sprintf("row %d", s.n)
+}

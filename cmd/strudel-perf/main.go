@@ -6,7 +6,19 @@
 //
 // Usage:
 //
-//	strudel-perf [-out BENCH_6.json] [-stream-size 8M]
+//	strudel-perf [-out BENCH_7.json] [-stream-size 8M] [-best 3]
+//	strudel-perf -compare BENCH_7.json
+//
+// With -compare, the freshly measured snapshot is judged against the given
+// baseline instead of written: any throughput metric (batch files/s,
+// stream MB/s) more than 10% below the baseline fails the run with exit
+// status 1. This is the regression gate `make check` and CI run; -best
+// keeps it stable by measuring each path N times and scoring the best run,
+// so a one-off scheduling hiccup does not fail the build.
+//
+// Besides the per-op benchmark numbers, each snapshot records the p50/p99
+// single-file annotation latency over the batch corpus — the tail metric a
+// serving tier would put in an SLO.
 package main
 
 import (
@@ -17,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"strudel"
 	"strudel/internal/datagen"
@@ -46,44 +60,113 @@ type snapshot struct {
 	AnnotateAllSerial   pathResult `json:"annotate_all_serial"`
 	AnnotateAllParallel pathResult `json:"annotate_all_parallel"`
 	AnnotateStream      pathResult `json:"annotate_stream"`
+	// PerFileLatency is the single-file annotation latency distribution
+	// over the batch corpus (serial, one file per Annotate call).
+	PerFileLatency struct {
+		P50Ns int64 `json:"p50_ns"`
+		P99Ns int64 `json:"p99_ns"`
+	} `json:"per_file_latency"`
 }
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_6.json", "output path")
+		out        = flag.String("out", "BENCH_7.json", "output path (ignored under -compare unless set explicitly)")
 		streamSize = flag.String("stream-size", "8M", "bytes of stacked CSV the streaming benchmark annotates per op")
+		compare    = flag.String("compare", "", "baseline snapshot to gate against instead of writing a new one")
+		best       = flag.Int("best", 3, "measure each path N times and keep the best run")
 	)
 	flag.Parse()
-	if err := run(*out, *streamSize); err != nil {
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if *compare != "" && !outSet {
+		*out = ""
+	}
+	if err := run(*out, *streamSize, *compare, *best); err != nil {
 		fmt.Fprintln(os.Stderr, "strudel-perf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, streamSize string) error {
+func run(out, streamSize, comparePath string, best int) error {
 	target, err := datagen.ParseSize(streamSize)
 	if err != nil || target <= 0 {
 		return fmt.Errorf("bad -stream-size %q", streamSize)
 	}
+	if best < 1 {
+		best = 1
+	}
 
+	snap, err := measure(target, best)
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(snap)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	fmt.Printf("batch serial %.1f files/s, parallel %.1f files/s; stream %.2f MB/s; per-file p50 %s p99 %s\n",
+		snap.AnnotateAllSerial.FilesPerSec, snap.AnnotateAllParallel.FilesPerSec,
+		snap.AnnotateStream.MBPerSec,
+		time.Duration(snap.PerFileLatency.P50Ns), time.Duration(snap.PerFileLatency.P99Ns))
+
+	if comparePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(comparePath)
+	if err != nil {
+		return err
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
+	}
+	regs := compareSnapshots(snap, &base, 0.10)
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "strudel-perf: REGRESSION:", r)
+		}
+		return fmt.Errorf("%d throughput regression(s) against %s", len(regs), comparePath)
+	}
+	fmt.Printf("no regression against %s\n", comparePath)
+	return nil
+}
+
+// measure trains the benchmark model once and measures every path best-of-N.
+func measure(streamBytes int64, best int) (*snapshot, error) {
 	// Mirror the committed benchmarks: benchModel's training corpus and the
 	// BenchmarkAnnotateAll batch corpus, so numbers line up with
 	// `go test -bench`.
 	files, err := strudel.GenerateCorpus("saus", 0.2)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	model, err := strudel.Train(files, strudel.TrainOptions{Trees: 20, Seed: 1, MaxCellsPerFile: 300})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	corpus, err := strudel.GenerateCorpus("govuk", 0.25)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var buf bytes.Buffer
-	if _, _, err := datagen.WriteSized(&buf, datagen.Mendeley(), target); err != nil {
-		return err
+	if _, _, err := datagen.WriteSized(&buf, datagen.Mendeley(), streamBytes); err != nil {
+		return nil, err
 	}
 	data := buf.Bytes()
 
@@ -98,21 +181,18 @@ func run(out, streamSize string) error {
 	snap.Config.MarginLines = strudel.DefaultStreamMarginLines
 
 	batch := func(workers int) pathResult {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
+		pr := bestOf(best, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				model.AnnotateAll(corpus, strudel.BatchOptions{Parallelism: workers})
 			}
 		})
-		pr := toResult(r)
 		pr.FilesPerSec = float64(len(corpus)) / (float64(pr.NsPerOp) / 1e9)
 		return pr
 	}
 	snap.AnnotateAllSerial = batch(1)
 	snap.AnnotateAllParallel = batch(0)
 
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
+	pr := bestOf(best, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_, err := model.AnnotateStream(context.Background(), bytes.NewReader(data),
 				strudel.StreamOptions{}, func(strudel.LineAnnotation) error { return nil })
@@ -121,33 +201,78 @@ func run(out, streamSize string) error {
 			}
 		}
 	})
-	pr := toResult(r)
 	pr.MBPerSec = float64(len(data)) / 1e6 / (float64(pr.NsPerOp) / 1e9)
 	snap.AnnotateStream = pr
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	// Tail latency: each file annotated alone, serially, timed individually.
+	durs := make([]int64, 0, len(corpus))
+	one := make([]*strudel.Table, 1)
+	for _, f := range corpus {
+		one[0] = f
+		start := time.Now()
+		model.AnnotateAll(one, strudel.BatchOptions{Parallelism: 1})
+		durs = append(durs, time.Since(start).Nanoseconds())
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	werr := enc.Encode(snap)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return werr
-	}
-	fmt.Printf("batch serial %.1f files/s, parallel %.1f files/s; stream %.2f MB/s -> %s\n",
-		snap.AnnotateAllSerial.FilesPerSec, snap.AnnotateAllParallel.FilesPerSec,
-		snap.AnnotateStream.MBPerSec, out)
-	return nil
+	snap.PerFileLatency.P50Ns = percentile(durs, 50)
+	snap.PerFileLatency.P99Ns = percentile(durs, 99)
+	return &snap, nil
 }
 
-func toResult(r testing.BenchmarkResult) pathResult {
-	return pathResult{
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
+// bestOf runs a benchmark n times and keeps the fastest run (lowest
+// ns/op): the least-disturbed measurement, which is what a regression gate
+// should score so scheduler noise fails nothing.
+func bestOf(n int, fn func(*testing.B)) pathResult {
+	var bestRun pathResult
+	for i := 0; i < n; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		pr := pathResult{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if i == 0 || pr.NsPerOp < bestRun.NsPerOp {
+			bestRun = pr
+		}
 	}
+	return bestRun
+}
+
+// percentile returns the q-th percentile (nearest-rank) of durations in
+// nanoseconds; 0 for an empty slice.
+func percentile(durs []int64, q int) int64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(durs))
+	copy(sorted, durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * q / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// compareSnapshots returns one description per throughput metric of cur
+// that fell more than tolerance (fractional, e.g. 0.10) below base. Only
+// throughput is gated: allocation counts and latency shift with corpus
+// tweaks and are trajectory data, not pass/fail contracts.
+func compareSnapshots(cur, base *snapshot, tolerance float64) []string {
+	var regs []string
+	check := func(name string, got, want float64) {
+		if want <= 0 {
+			return // metric absent from the baseline: nothing to gate
+		}
+		if got < want*(1-tolerance) {
+			regs = append(regs, fmt.Sprintf("%s: %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+				name, got, want, (1-got/want)*100, tolerance*100))
+		}
+	}
+	check("annotate_all_serial files/s", cur.AnnotateAllSerial.FilesPerSec, base.AnnotateAllSerial.FilesPerSec)
+	check("annotate_all_parallel files/s", cur.AnnotateAllParallel.FilesPerSec, base.AnnotateAllParallel.FilesPerSec)
+	check("annotate_stream MB/s", cur.AnnotateStream.MBPerSec, base.AnnotateStream.MBPerSec)
+	return regs
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// snap builds a snapshot with the three gated throughput metrics.
+func snap(serial, parallel, stream float64) *snapshot {
+	var s snapshot
+	s.AnnotateAllSerial.FilesPerSec = serial
+	s.AnnotateAllParallel.FilesPerSec = parallel
+	s.AnnotateStream.MBPerSec = stream
+	return &s
+}
+
+func TestCompareSnapshotsPassesWithinTolerance(t *testing.T) {
+	base := snap(100, 200, 10)
+	for _, cur := range []*snapshot{
+		snap(100, 200, 10),  // identical
+		snap(95, 190, 9.5),  // -5%: inside the 10% band
+		snap(91, 181, 9.01), // -9%: still inside
+		snap(150, 300, 15),  // faster is never a regression
+	} {
+		if regs := compareSnapshots(cur, base, 0.10); len(regs) != 0 {
+			t.Errorf("compareSnapshots(%+v) = %v, want none", cur.AnnotateAllSerial, regs)
+		}
+	}
+}
+
+func TestCompareSnapshotsCatchesRegression(t *testing.T) {
+	base := snap(100, 200, 10)
+
+	regs := compareSnapshots(snap(85, 200, 10), base, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("one regressed metric: got %v", regs)
+	}
+	if !strings.Contains(regs[0], "annotate_all_serial") {
+		t.Errorf("regression %q does not name the metric", regs[0])
+	}
+
+	// All three down 20%: three findings, each naming its metric.
+	regs = compareSnapshots(snap(80, 160, 8), base, 0.10)
+	if len(regs) != 3 {
+		t.Fatalf("three regressed metrics: got %v", regs)
+	}
+}
+
+func TestCompareSnapshotsSkipsAbsentBaselineMetrics(t *testing.T) {
+	// An older baseline without a metric (zero value) must not gate it.
+	base := snap(100, 0, 10)
+	if regs := compareSnapshots(snap(95, 50, 9.5), base, 0.10); len(regs) != 0 {
+		t.Errorf("absent baseline metric was gated: %v", regs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := []int64{50, 10, 40, 30, 20, 60, 70, 80, 90, 100}
+	if got := percentile(durs, 50); got != 60 {
+		t.Errorf("p50 = %d, want 60", got)
+	}
+	if got := percentile(durs, 99); got != 100 {
+		t.Errorf("p99 = %d, want 100", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %d, want 0", got)
+	}
+	// The input must not be reordered.
+	if durs[0] != 50 || durs[1] != 10 {
+		t.Error("percentile mutated its input")
+	}
+}

@@ -44,8 +44,21 @@ var All = []*Analyzer{
 	LockCheck,
 	GoroutineCapture,
 	SharedWrite,
+	CtxFlow,
+	ErrFlow,
+	HotAlloc,
 	FeatureParity,
 	Deprecated,
+}
+
+// Names returns the registered check names in reporting order (the valid
+// values for a -checks filter).
+func Names() []string {
+	out := make([]string, len(All))
+	for i, a := range All {
+		out[i] = a.Name
+	}
+	return out
 }
 
 // Lookup returns the registered analyzer with the given name, or nil.
@@ -196,6 +209,16 @@ func suppressed(d Diagnostic, ignores []*ignoreDirective) bool {
 // Ignore directives that match no diagnostic are reported as "ignore"
 // findings so stale suppressions cannot accumulate.
 func Run(l *Loader, importPaths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Preload every requested package (their module-internal dependencies
+	// load transitively) BEFORE any analyzer runs, so the first
+	// Pass.CallGraph() call sees the whole load set and the memoized graph
+	// is never built over a partial module.
+	for _, path := range importPaths {
+		if _, err := l.Load(path); err != nil {
+			return nil, err
+		}
+	}
+
 	var all []Diagnostic
 	for _, path := range importPaths {
 		pkg, err := l.Load(path)

@@ -127,6 +127,26 @@ func TestSharedWriteExemptsMainPackages(t *testing.T) {
 	checkFixture(t, "fixture/sharedwritemain", []*Analyzer{SharedWrite})
 }
 
+func TestLockCheckCrossPackageFixture(t *testing.T) {
+	checkFixture(t, "fixture/lockxp", []*Analyzer{LockCheck})
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "fixture/ctxflow", []*Analyzer{CtxFlow})
+}
+
+func TestCtxFlowMainPackageFixture(t *testing.T) {
+	checkFixture(t, "fixture/ctxflowmain", []*Analyzer{CtxFlow})
+}
+
+func TestErrFlowFixture(t *testing.T) {
+	checkFixture(t, "fixture/errflow", []*Analyzer{ErrFlow})
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, "fixture/hotingest", []*Analyzer{HotAlloc})
+}
+
 func TestPipelineFixtureIsClean(t *testing.T) {
 	// The fixture worker pool itself must not trip the concurrency checks.
 	checkFixture(t, "fixture/pipeline", []*Analyzer{LockCheck, GoroutineCapture, SharedWrite})
@@ -177,6 +197,20 @@ func TestIgnoreMechanics(t *testing.T) {
 		if !strings.Contains(msgs[i], substr) {
 			t.Errorf("ignore finding %d = %q, want substring %q", i, msgs[i], substr)
 		}
+	}
+}
+
+// TestNamesCoverNewChecks pins the registry: the stale-ignore detector and
+// the -checks flag both resolve names through Lookup, so a check missing
+// from the registry would silently break both.
+func TestNamesCoverNewChecks(t *testing.T) {
+	for _, name := range []string{"ctxflow", "errflow", "hotalloc", "lockcheck", "sharedwrite"} {
+		if Lookup(name) == nil {
+			t.Errorf("Lookup(%q) = nil; stale-ignore detection and -checks cannot see it", name)
+		}
+	}
+	if len(Names()) != len(All) {
+		t.Errorf("Names() returned %d names for %d analyzers", len(Names()), len(All))
 	}
 }
 

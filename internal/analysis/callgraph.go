@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the module-wide interprocedural layer of the framework: a
+// static call graph built once per run over every loaded module package and
+// shared (memoized on the Loader) by all analyzers. Where cfg.go answers
+// "what happens inside this function", the call graph answers "who can
+// reach whom across the whole module", which is what the reachability-based
+// checks (ctxflow, hotalloc, sharedwrite, the interprocedural half of
+// lockcheck) are built on.
+//
+// Resolution rules, in decreasing order of confidence:
+//
+//   - direct calls to declared functions and methods are resolved through
+//     go/types (including promoted methods and method-on-pointer sugar);
+//   - calls of function-typed parameters are resolved one level deep:
+//     every function value passed for that parameter at any static call
+//     site of the enclosing function becomes a callee. This is exactly
+//     enough for the pipeline.ForEachContext(ctx, n, p, fn) callback shape;
+//   - function literals are flattened into the declared function that
+//     lexically contains them: their calls become the container's edges.
+//     A literal passed outward and invoked elsewhere therefore credits its
+//     creator, a deliberate over-approximation that keeps reachability
+//     sound for the cost-style analyses built on top;
+//   - interface method calls, calls through stored function values (fields,
+//     map entries, channel receives), and anything touching reflect are NOT
+//     resolved. The node is marked Hairy with the first reason, so clients
+//     that need a complete edge set can treat hairy nodes pessimistically
+//     instead of trusting a silently-truncated graph.
+//
+// Edges made inside a function literal handed to (*sync.Once).Do are marked
+// Once: they execute at most once per process, and reachability queries that
+// model steady-state behavior (sharedwrite) skip them.
+
+// A CallGraph is the module-wide static call graph over every package the
+// loader has type-checked. Build it through Loader.CallGraph (or
+// Pass.CallGraph); the zero value is not useful.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	// funcs holds the node keys in deterministic order: package path, then
+	// source position.
+	funcs []*types.Func
+	// memos holds analyzer-computed derived data (e.g. lockcheck's
+	// transitive lock summaries) keyed by analyzer-chosen strings, so a
+	// derivation over the whole graph is computed once per run, not once
+	// per package pass.
+	memos map[string]any
+}
+
+// Memo returns the graph-scoped memo under key, building it on first use.
+// The graph is shared by every analyzer in a run, so derived whole-module
+// data memoized here is computed exactly once.
+func (g *CallGraph) Memo(key string, build func() any) any {
+	if g.memos == nil {
+		g.memos = make(map[string]any)
+	}
+	if v, ok := g.memos[key]; ok {
+		return v
+	}
+	v := build()
+	g.memos[key] = v
+	return v
+}
+
+// A CallNode is one declared function or method with a body in a loaded
+// module package.
+type CallNode struct {
+	// Func is the type-checker's object for the declaration.
+	Func *types.Func
+	// Decl is the syntax of the declaration.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package declaring the function.
+	Pkg *Package
+	// Callees lists the resolved outgoing edges, deduplicated and in
+	// deterministic order (callee package path, then position).
+	Callees []CallEdge
+	// Hairy marks a function whose edge set is incomplete because it uses
+	// a call shape the builder does not model; HairyReason names the first
+	// such shape ("calls into reflect", "calls dynamic function value").
+	Hairy       bool
+	HairyReason string
+}
+
+// A CallEdge is one resolved caller→callee relationship.
+type CallEdge struct {
+	// Callee is the target node.
+	Callee *CallNode
+	// Pos is a representative call site (the first one seen in source
+	// order); the same callee called twice keeps one edge.
+	Pos token.Pos
+	// Once marks an edge made inside a function literal passed to
+	// (*sync.Once).Do: it executes at most once per process.
+	Once bool
+	// Callback marks an edge synthesized from one-level function-value
+	// parameter tracking rather than a direct call expression.
+	Callback bool
+}
+
+// Node returns the graph node for fn, or nil when fn is not a declared
+// module function with a body.
+func (g *CallGraph) Node(fn *types.Func) *CallNode { return g.nodes[fn] }
+
+// Funcs returns every node key in deterministic order.
+func (g *CallGraph) Funcs() []*types.Func { return g.funcs }
+
+// Nodes calls visit for every node in deterministic order.
+func (g *CallGraph) Nodes(visit func(*CallNode)) {
+	for _, fn := range g.funcs {
+		visit(g.nodes[fn])
+	}
+}
+
+// ReachOptions tune a reachability query.
+type ReachOptions struct {
+	// SkipOnce excludes edges made under (*sync.Once).Do.
+	SkipOnce bool
+}
+
+// Reachable walks the graph from the given roots and returns, for every
+// function reachable from any root (the roots themselves included), the
+// root that first reached it. Roots are visited in the deterministic graph
+// order, so the recorded witness is stable across runs.
+func (g *CallGraph) Reachable(roots []*CallNode, opts ReachOptions) map[*CallNode]*CallNode {
+	// Order roots deterministically without trusting the caller.
+	ordered := make([]*CallNode, 0, len(roots))
+	seen := make(map[*CallNode]bool, len(roots))
+	for _, fn := range g.funcs {
+		n := g.nodes[fn]
+		for _, r := range roots {
+			if r == n && !seen[n] {
+				seen[n] = true
+				ordered = append(ordered, n)
+			}
+		}
+	}
+	out := make(map[*CallNode]*CallNode)
+	var walk func(n, root *CallNode)
+	walk = func(n, root *CallNode) {
+		if _, ok := out[n]; ok {
+			return
+		}
+		out[n] = root
+		for _, e := range n.Callees {
+			if opts.SkipOnce && e.Once {
+				continue
+			}
+			walk(e.Callee, root)
+		}
+	}
+	for _, r := range ordered {
+		walk(r, r)
+	}
+	return out
+}
+
+// CallGraph returns the module-wide call graph over every package this
+// loader has loaded so far, building it on first use and memoizing it.
+// analysis.Run preloads every requested package before the first analyzer
+// runs, so analyzers always see the full graph; a Load after the graph is
+// built invalidates the memo.
+func (l *Loader) CallGraph() *CallGraph {
+	if l.graph == nil {
+		l.graph = buildCallGraph(l)
+	}
+	return l.graph
+}
+
+// CallGraph returns the memoized module-wide call graph (see
+// Loader.CallGraph). It sits alongside Pass.CFG: the CFG is the
+// intraprocedural view of one function, the call graph the interprocedural
+// view of the whole module.
+func (p *Pass) CallGraph() *CallGraph { return p.Loader.CallGraph() }
+
+func buildCallGraph(l *Loader) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+
+	// Deterministic package order.
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// Pass 1: one node per declared function/method with a body.
+	for _, path := range paths {
+		pkg := l.pkgs[path]
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CallNode{Func: fn, Decl: fd, Pkg: pkg}
+				g.funcs = append(g.funcs, fn)
+			}
+		}
+	}
+
+	// Pass 2: direct edges, plus the raw material for callback edges — for
+	// every call site passing a function value for a function-typed
+	// parameter, record (callee, param index) → bound node.
+	type paramKey struct {
+		fn    *types.Func
+		index int
+	}
+	bindings := make(map[paramKey][]*CallNode)
+	// paramCalls records, per function, which of its own function-typed
+	// parameters it invokes (with the representative call position and the
+	// once flag at that site).
+	type paramUse struct {
+		key  paramKey
+		pos  token.Pos
+		once bool
+	}
+	var paramUses []paramUse
+
+	for _, caller := range g.funcs {
+		n := g.nodes[caller]
+		info := n.Pkg.Info
+		edgeSeen := make(map[*CallNode]int) // callee → index into n.Callees
+
+		addEdge := func(callee *CallNode, pos token.Pos, once, callback bool) {
+			if i, ok := edgeSeen[callee]; ok {
+				// Keep the strongest claim: a non-once edge beats a once
+				// edge, a direct edge beats a callback edge.
+				if !once {
+					n.Callees[i].Once = false
+				}
+				if !callback {
+					n.Callees[i].Callback = false
+				}
+				return
+			}
+			edgeSeen[callee] = len(n.Callees)
+			n.Callees = append(n.Callees, CallEdge{Callee: callee, Pos: pos, Once: once, Callback: callback})
+		}
+
+		// ownParams maps the *types.Var parameters of caller (function-typed
+		// only) to their index, for detecting calls of parameters.
+		ownParams := map[types.Object]int{}
+		if sig, ok := caller.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if _, isSig := p.Type().Underlying().(*types.Signature); isSig {
+					ownParams[p] = i
+				}
+			}
+		}
+
+		// walk visits the body (flattening nested literals), tracking
+		// whether we are under a sync.Once.Do literal.
+		var walk func(node ast.Node, once bool)
+		walk = func(node ast.Node, once bool) {
+			ast.Inspect(node, func(nn ast.Node) bool {
+				call, ok := nn.(*ast.CallExpr)
+				if !ok {
+					// Any mention of the reflect package makes the edge set
+					// untrustworthy for completeness claims.
+					if id, ok := nn.(*ast.Ident); ok && !n.Hairy {
+						if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "reflect" {
+							n.Hairy = true
+							n.HairyReason = "uses package reflect"
+						}
+					}
+					return true
+				}
+
+				// Once.Do literals: recurse manually with the once flag and
+				// stop the outer inspection from double-visiting.
+				if isOnceDoCall(info, call) {
+					// A named function passed to once.Do runs at most once;
+					// steady-state reachability has no edge to record, and a
+					// literal's calls are walked with the once flag set.
+					for _, arg := range call.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							walk(lit.Body, true)
+						}
+					}
+					return false
+				}
+
+				fun := ast.Unparen(call.Fun)
+				callee := calleeFunc(info, call)
+				switch {
+				case callee != nil:
+					if target := g.nodes[callee]; target != nil {
+						addEdge(target, call.Pos(), once, false)
+					} else if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface && !n.Hairy {
+							// Interface dispatch: target set unknown.
+							n.Hairy = true
+							n.HairyReason = "calls interface method " + callee.Name()
+						}
+					}
+					// Record function-valued arguments as bindings for the
+					// callee's function-typed parameters.
+					if sig, ok := callee.Type().(*types.Signature); ok {
+						for i, arg := range call.Args {
+							if i >= sig.Params().Len() {
+								break // variadic tail: not tracked
+							}
+							if _, isSig := sig.Params().At(i).Type().Underlying().(*types.Signature); !isSig {
+								continue
+							}
+							if bound := funcValueNode(info, g, arg); bound != nil {
+								k := paramKey{fn: callee, index: i}
+								bindings[k] = append(bindings[k], bound)
+							}
+						}
+					}
+				case isFuncLitCall(fun):
+					// Immediately-invoked literal: already flattened.
+				default:
+					// A call of a function-typed value. A parameter of the
+					// caller gets one-level callback resolution; anything
+					// else (stored field, map entry, channel receive) is
+					// dynamic dispatch we refuse to guess at.
+					if id, ok := fun.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							if idx, isParam := ownParams[obj]; isParam {
+								paramUses = append(paramUses, paramUse{
+									key:  paramKey{fn: caller, index: idx},
+									pos:  call.Pos(),
+									once: once,
+								})
+								return true
+							}
+							if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+								return true // panic, len, append, ...: no edge, no hair
+							}
+						}
+					}
+					if conversionTarget(info, call) {
+						return true // type conversion, not a call
+					}
+					if !n.Hairy {
+						n.Hairy = true
+						n.HairyReason = "calls dynamic function value"
+					}
+				}
+				return true
+			})
+		}
+		walk(n.Decl.Body, false)
+	}
+
+	// Pass 3: callback edges. For every function that calls one of its
+	// function-typed parameters, every value statically bound to that
+	// parameter becomes a callee.
+	for _, use := range paramUses {
+		caller := g.nodes[use.key.fn]
+		if caller == nil {
+			continue
+		}
+		targets := bindings[use.key]
+		// Deterministic order by graph order.
+		sort.Slice(targets, func(i, j int) bool { return nodeLess(targets[i], targets[j]) })
+		seen := map[*CallNode]int{}
+		for i := range caller.Callees {
+			seen[caller.Callees[i].Callee] = i
+		}
+		for _, t := range targets {
+			if i, ok := seen[t]; ok {
+				if !use.once {
+					caller.Callees[i].Once = false
+				}
+				continue
+			}
+			seen[t] = len(caller.Callees)
+			caller.Callees = append(caller.Callees, CallEdge{Callee: t, Pos: use.pos, Once: use.once, Callback: true})
+		}
+	}
+
+	// Final determinism pass: sort each node's edges.
+	for _, fn := range g.funcs {
+		n := g.nodes[fn]
+		sort.Slice(n.Callees, func(i, j int) bool {
+			return nodeLess(n.Callees[i].Callee, n.Callees[j].Callee)
+		})
+	}
+	return g
+}
+
+// nodeLess orders nodes by package path then source position.
+func nodeLess(a, b *CallNode) bool {
+	if a.Pkg.Path != b.Pkg.Path {
+		return a.Pkg.Path < b.Pkg.Path
+	}
+	return a.Decl.Pos() < b.Decl.Pos()
+}
+
+// funcValueNode resolves a function-valued expression to a graph node: a
+// plain identifier naming a declared function, a selector naming a method
+// or package function (method values included), or a function literal —
+// which flattens to the declared function containing it, found by position.
+func funcValueNode(info *types.Info, g *CallGraph, e ast.Expr) *CallNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return g.nodes[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return g.nodes[fn]
+		}
+	case *ast.FuncLit:
+		return enclosingNode(g, e)
+	}
+	return nil
+}
+
+// enclosingNode finds the declared function lexically containing a literal.
+func enclosingNode(g *CallGraph, lit *ast.FuncLit) *CallNode {
+	for _, fn := range g.funcs {
+		n := g.nodes[fn]
+		if n.Decl.Pos() <= lit.Pos() && lit.End() <= n.Decl.End() {
+			return n
+		}
+	}
+	return nil
+}
+
+// isFuncLitCall reports whether fun is a function literal (an immediately
+// invoked closure).
+func isFuncLitCall(fun ast.Expr) bool {
+	_, ok := fun.(*ast.FuncLit)
+	return ok
+}
+
+// conversionTarget reports whether a call expression is actually a type
+// conversion (T(x)), which calleeFunc cannot resolve but is not dynamic
+// dispatch either.
+func conversionTarget(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok {
+		return tv.IsType()
+	}
+	return false
+}
+
+// isOnceDoCall reports whether a call is (*sync.Once).Do, without needing a
+// Pass (the graph builder runs over every package at once).
+func isOnceDoCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Once"
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// graphFixture loads the callgraph fixture package and returns its graph.
+func graphFixture(t *testing.T) (*Loader, *CallGraph) {
+	t.Helper()
+	l := fixtureLoader(t)
+	if _, err := l.Load("fixture/callgraph"); err != nil {
+		t.Fatal(err)
+	}
+	return l, l.CallGraph()
+}
+
+// nodeByName finds the unique fixture node with the given function name.
+func nodeByName(t *testing.T, g *CallGraph, name string) *CallNode {
+	t.Helper()
+	var found *CallNode
+	g.Nodes(func(n *CallNode) {
+		if n.Func.Name() == name && strings.HasPrefix(n.Pkg.Path, "fixture/") {
+			if found != nil {
+				t.Fatalf("two fixture nodes named %s", name)
+			}
+			found = n
+		}
+	})
+	if found == nil {
+		t.Fatalf("no fixture node named %s", name)
+	}
+	return found
+}
+
+// edgeTo returns the edge from n to callee, or nil.
+func edgeTo(n *CallNode, callee *CallNode) *CallEdge {
+	for i := range n.Callees {
+		if n.Callees[i].Callee == callee {
+			return &n.Callees[i]
+		}
+	}
+	return nil
+}
+
+func TestCallGraphMutualRecursion(t *testing.T) {
+	_, g := graphFixture(t)
+	even, odd := nodeByName(t, g, "Even"), nodeByName(t, g, "Odd")
+	if edgeTo(even, odd) == nil || edgeTo(odd, even) == nil {
+		t.Fatal("mutual recursion edges missing")
+	}
+	reach := g.Reachable([]*CallNode{even}, ReachOptions{})
+	if reach[even] != even || reach[odd] != even {
+		t.Errorf("reachability over the Even<->Odd cycle: got %v/%v, want both witnessed by Even", reach[even], reach[odd])
+	}
+}
+
+func TestCallGraphDeferredClosureFlattens(t *testing.T) {
+	_, g := graphFixture(t)
+	work, cleanup := nodeByName(t, g, "Work"), nodeByName(t, g, "cleanup")
+	e := edgeTo(work, cleanup)
+	if e == nil {
+		t.Fatal("deferred closure's call did not flatten into Work")
+	}
+	if e.Callback || e.Once {
+		t.Errorf("Work->cleanup should be a plain edge, got callback=%v once=%v", e.Callback, e.Once)
+	}
+}
+
+func TestCallGraphCallbackResolution(t *testing.T) {
+	_, g := graphFixture(t)
+	forEach, add, sum := nodeByName(t, g, "forEach"), nodeByName(t, g, "add"), nodeByName(t, g, "Sum")
+	e := edgeTo(forEach, add)
+	if e == nil {
+		t.Fatal("callback edge forEach->add missing: one-level parameter tracking broken")
+	}
+	if !e.Callback {
+		t.Error("forEach->add should be marked Callback")
+	}
+	// The payoff: add is reachable from Sum through the callback edge.
+	reach := g.Reachable([]*CallNode{sum}, ReachOptions{})
+	if reach[add] != sum {
+		t.Errorf("add not reachable from Sum via callback edge (witness %v)", reach[add])
+	}
+}
+
+func TestCallGraphMethodValueIsHairy(t *testing.T) {
+	_, g := graphFixture(t)
+	dyn := nodeByName(t, g, "Dynamic")
+	if !dyn.Hairy {
+		t.Fatal("Dynamic calls a method value but is not marked Hairy")
+	}
+	if !strings.Contains(dyn.HairyReason, "dynamic function value") {
+		t.Errorf("HairyReason = %q", dyn.HairyReason)
+	}
+	// No guessed edge to Incr.
+	if edgeTo(dyn, nodeByName(t, g, "Incr")) != nil {
+		t.Error("Dynamic has a guessed edge to Incr; dynamic dispatch must stay unresolved")
+	}
+}
+
+func TestCallGraphMemoizedAndInvalidated(t *testing.T) {
+	l, g := graphFixture(t)
+	if l.CallGraph() != g {
+		t.Fatal("CallGraph not memoized across calls")
+	}
+	if _, err := l.Load("fixture/locksub"); err != nil {
+		t.Fatal(err)
+	}
+	g2 := l.CallGraph()
+	if g2 == g {
+		t.Fatal("CallGraph memo not invalidated by a new Load")
+	}
+	// The rebuilt graph covers the new package.
+	found := false
+	g2.Nodes(func(n *CallNode) {
+		if n.Pkg.Path == "fixture/locksub" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("rebuilt graph missing the newly loaded package")
+	}
+}
+
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	_, g := graphFixture(t)
+	var prev *types.Func
+	for _, fn := range g.Funcs() {
+		if prev != nil {
+			a, b := g.Node(prev), g.Node(fn)
+			if !nodeLess(a, b) && nodeLess(b, a) {
+				t.Fatalf("Funcs() out of order: %s before %s", prev.Name(), fn.Name())
+			}
+		}
+		prev = fn
+	}
+}

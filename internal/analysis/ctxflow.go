@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the cancellation contract the batch and streaming entry
+// points promise (and the serve tier will stake its latency guarantees on):
+// a context handed to the library flows, unbroken, to every blocking callee.
+// Three rules, checked module-wide with the call graph:
+//
+//   - a function that receives a context.Context must not mint a fresh one:
+//     calling context.Background() or context.TODO() there severs the
+//     caller's deadline and cancellation. The one blessed shape is the
+//     nil-guard `if ctx == nil { ctx = context.Background() }` normalizing
+//     the function's own parameter;
+//   - an unexported function without a context parameter that is reachable
+//     (per the module call graph) from an exported function that accepts
+//     one must not call Background/TODO either — the context should have
+//     been threaded down instead of re-rooted mid-chain. Exported ctx-less
+//     convenience wrappers are the legitimate root adapters and stay
+//     silent; so do main packages, which own their process lifetime;
+//   - a context must not be stored: struct fields of type context.Context
+//     and assignments of a context into a field are flagged. A stored
+//     context outlives the request that created it, which is exactly the
+//     bug class request-scoped cancellation exists to prevent.
+//
+// Suppress a deliberate re-root with //lint:ignore ctxflow <why the new
+// root is correct>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background/TODO calls that sever an in-scope or " +
+		"threadable context, and contexts stored in struct fields",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	isMain := pass.Pkg.Types.Name() == "main"
+
+	// Rule 3 (type level): no context-typed struct fields. Applies to main
+	// packages too — a stored context is wrong regardless of who stores it.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				if n.Fields == nil {
+					return true
+				}
+				for _, f := range n.Fields.List {
+					if isContextType(pass.TypeOf(f.Type)) {
+						pass.Reportf(f.Pos(), "struct field of type context.Context outlives the request that created it; pass the context as a parameter instead")
+					}
+				}
+			case *ast.AssignStmt:
+				// The declaration may live in another package, so the
+				// assignment form is flagged independently.
+				if rhs, ok := ctxStoredInField(pass, n); ok {
+					pass.Reportf(rhs.Pos(), "context stored in a struct field outlives the request that created it; pass the context as a parameter instead")
+				}
+			}
+			return true
+		})
+	}
+
+	if isMain {
+		return // a binary owns its root context
+	}
+
+	// Reachability for rule 2: functions reachable from exported functions
+	// that accept a context. The witness names the entry point whose
+	// cancellation the re-root severs.
+	graph := pass.CallGraph()
+	reach := graph.Memo("ctxflow.reach", func() any {
+		var roots []*CallNode
+		graph.Nodes(func(n *CallNode) {
+			if n.Func.Exported() && n.Pkg.Types.Name() != "main" && contextParam(n.Func) != nil {
+				roots = append(roots, n)
+			}
+		})
+		return graph.Reachable(roots, ReachOptions{})
+	}).(map[*CallNode]*CallNode)
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ctxParam := contextParam(fn)
+			node := graph.Node(fn)
+
+			switch {
+			case ctxParam != nil:
+				checkCtxHolder(pass, fd, ctxParam)
+			case fn.Exported():
+				// Exported ctx-less functions are root adapters: minting
+				// Background() here is how AnnotateAll-style convenience
+				// wrappers are supposed to work.
+			default:
+				root := reachWitness(reach, node)
+				if root == nil {
+					continue
+				}
+				checkCtxMint(pass, fd, root)
+			}
+		}
+	}
+}
+
+// reachWitness returns the root that reaches node, or nil.
+func reachWitness(reach map[*CallNode]*CallNode, node *CallNode) *CallNode {
+	if node == nil {
+		return nil
+	}
+	return reach[node]
+}
+
+// checkCtxHolder inspects a function that has a context parameter: any
+// Background/TODO call other than the nil-guard normalization of that very
+// parameter is reported.
+func checkCtxHolder(pass *Pass, fd *ast.FuncDecl, ctxParam *types.Var) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// The blessed shape: `ctx = context.Background()` whose sole target
+		// is the context parameter itself (the nil-default idiom).
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == ctxParam {
+				if isCtxMint(pass, as.Rhs[0]) != "" {
+					return false // skip the RHS
+				}
+			}
+		}
+		if name := isCtxMint(pass, n); name != "" {
+			pass.Reportf(n.(*ast.CallExpr).Pos(), "context.%s() inside a function that already receives a context severs %s's cancellation; pass %s down instead", name, ctxParam.Name(), ctxParam.Name())
+		}
+		return true
+	})
+}
+
+// checkCtxMint reports Background/TODO calls in an unexported ctx-less
+// function reachable from a context-accepting entry point.
+func checkCtxMint(pass *Pass, fd *ast.FuncDecl, root *CallNode) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if name := isCtxMint(pass, n); name != "" {
+			pass.Reportf(n.(*ast.CallExpr).Pos(), "context.%s() in %s, which is reachable from context-accepting %s; thread the caller's context here instead of re-rooting", name, fd.Name.Name, root.Func.Name())
+		}
+		return true
+	})
+}
+
+// isCtxMint reports whether n is a call to context.Background or
+// context.TODO, returning the function name ("" otherwise).
+func isCtxMint(pass *Pass, n ast.Node) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// contextParam returns the first context.Context parameter of fn, or nil.
+func contextParam(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// ctxStoredInField reports assignments of a context value into a struct
+// field (rule 3, statement level), returning the offending expression.
+func ctxStoredInField(pass *Pass, as *ast.AssignStmt) (ast.Expr, bool) {
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if sel.Sel == nil {
+			continue
+		}
+		if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() && isContextType(v.Type()) {
+				if i < len(as.Rhs) {
+					return as.Rhs[i], true
+				}
+				return lhs, true
+			}
+		}
+	}
+	return nil, false
+}

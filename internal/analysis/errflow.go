@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow enforces the typed-error taxonomy across package boundaries: the
+// ingest GuardError chain and the model-verifier ModelError chain only work
+// if every layer between the error's birth and the caller's errors.Is/As
+// preserves wrapping. Four rules:
+//
+//   - sentinel comparisons use errors.Is, never == or !=: a wrapped
+//     ErrTooLarge compares unequal to the sentinel even though errors.Is
+//     matches it. Comparisons against nil (and between two nils) stay
+//     silent — nil-checking is not sentinel matching;
+//   - concrete error types are extracted with errors.As, never a type
+//     assertion or type switch: err.(*GuardError) fails on a wrapped chain
+//     that errors.As would unwrap;
+//   - fmt.Errorf that formats an error must wrap it with %w when the
+//     enclosing function is exported or reachable (module call graph) from
+//     an exported function: %v/%s flattens the chain to text right where a
+//     caller downstream might still need errors.Is to work;
+//   - errors.New(err.Error()) and fmt.Errorf with an err.Error() argument
+//     are flagged unconditionally: stringifying an error destroys its
+//     chain no matter where it happens.
+//
+// Deliberate chain cuts at a process boundary can be kept with
+// //lint:ignore errflow <why the chain must not escape here>.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flags ==/type-assert sentinel matching (use errors.Is/As) and " +
+		"fmt.Errorf error wrapping that drops %w on exported-reachable paths",
+	Run: runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	// Reachable-from-exported set for the %w rule. Main packages have no
+	// exported surface worth rooting; their own top-level handling is where
+	// chains legitimately end, so the %w rule only applies to libraries.
+	graph := pass.CallGraph()
+	reach := graph.Memo("errflow.reach", func() any {
+		var roots []*CallNode
+		graph.Nodes(func(n *CallNode) {
+			if n.Func.Exported() && n.Pkg.Types.Name() != "main" {
+				roots = append(roots, n)
+			}
+		})
+		return graph.Reachable(roots, ReachOptions{})
+	}).(map[*CallNode]*CallNode)
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			exportedPath := false
+			if fn != nil && pass.Pkg.Types.Name() != "main" {
+				if fn.Exported() {
+					exportedPath = true
+				} else if node := graph.Node(fn); node != nil && reach[node] != nil {
+					exportedPath = true
+				}
+			}
+			checkErrFlowFunc(pass, fd, exportedPath)
+		}
+	}
+}
+
+func checkErrFlowFunc(pass *Pass, fd *ast.FuncDecl, exportedPath bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if isNilIdent(pass, n.X) || isNilIdent(pass, n.Y) {
+				return true
+			}
+			if isErrorExpr(pass, n.X) || isErrorExpr(pass, n.Y) {
+				pass.Reportf(n.OpPos, "error compared with %s misses wrapped chains; use errors.Is", n.Op)
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type == nil {
+				return true // x.(type) inside a type switch: handled below
+			}
+			if isErrorExpr(pass, n.X) && !isErrorInterfaceAssert(pass, n.Type) {
+				pass.Reportf(n.Lparen, "type assertion on an error misses wrapped chains; use errors.As")
+			}
+		case *ast.TypeSwitchStmt:
+			if x := typeSwitchSubject(n); x != nil && isErrorExpr(pass, x) {
+				pass.Reportf(n.Switch, "type switch on an error misses wrapped chains; use errors.As per target type")
+			}
+		case *ast.CallExpr:
+			checkErrWrapCall(pass, n, exportedPath)
+		}
+		return true
+	})
+}
+
+// checkErrWrapCall applies the fmt.Errorf %w rule and the err.Error()
+// stringification rule to one call.
+func checkErrWrapCall(pass *Pass, call *ast.CallExpr, exportedPath bool) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	full := fn.Pkg().Path() + "." + fn.Name()
+	switch full {
+	case "errors.New":
+		if len(call.Args) == 1 && mentionsErrorString(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "errors.New over err.Error() discards the error chain; wrap with fmt.Errorf(\"...: %%w\", err) instead")
+		}
+	case "fmt.Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		for _, arg := range call.Args[1:] {
+			if mentionsErrorString(pass, arg) {
+				pass.Reportf(call.Pos(), "fmt.Errorf over err.Error() discards the error chain; pass the error itself with %%w")
+				return
+			}
+		}
+		format, ok := constantString(pass, call.Args[0])
+		hasErrArg := false
+		for _, arg := range call.Args[1:] {
+			if isErrorExpr(pass, arg) {
+				hasErrArg = true
+				break
+			}
+		}
+		if !hasErrArg || !exportedPath {
+			return
+		}
+		if ok && !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w on a path reachable from the exported API; callers lose errors.Is/As on the chain")
+		}
+	}
+}
+
+// mentionsErrorString reports whether an expression contains a call to the
+// Error() method of an error value (the chain-destroying stringification).
+func mentionsErrorString(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return true
+		}
+		if isErrorExpr(pass, sel.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// typeSwitchSubject extracts the switched-on expression of a type switch:
+// either `x.(type)` or `v := x.(type)`.
+func typeSwitchSubject(n *ast.TypeSwitchStmt) ast.Expr {
+	var assert *ast.TypeAssertExpr
+	switch s := n.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = s.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil {
+		return nil
+	}
+	return assert.X
+}
+
+// isErrorExpr reports whether an expression's static type is exactly the
+// error interface.
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	return t != nil && isErrorType(t)
+}
+
+// isErrorInterfaceAssert reports whether an assertion target is itself an
+// interface type (err.(interface{ Timeout() bool }) and err.(error) probe
+// behavior, not concrete identity, and errors.As handles them the same way
+// only for concrete targets — asserting to an interface is legitimate).
+func isErrorInterfaceAssert(pass *Pass, t ast.Expr) bool {
+	tt := pass.TypeOf(t)
+	if tt == nil {
+		return false
+	}
+	_, ok := tt.Underlying().(*types.Interface)
+	return ok
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// constantString evaluates e as a constant string when possible.
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked (non-test) package of the module.
@@ -35,9 +36,11 @@ type Package struct {
 
 // Loader parses and type-checks the packages of a single module without
 // go/packages: module-internal imports are resolved recursively from the
-// module root, everything else (the standard library) goes through the
-// go/importer source importer. All packages share one token.FileSet, so
-// positions from any file are comparable.
+// module root, everything else (the standard library) goes through a
+// process-shared go/importer source importer. Module files all share the
+// loader's token.FileSet, so positions from any module file are comparable;
+// stdlib positions live in the shared importer's own FileSet (analyzers
+// never report into the standard library, so those positions are unused).
 type Loader struct {
 	Fset *token.FileSet
 	// ModuleRoot is the directory holding go.mod.
@@ -48,6 +51,9 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
+	// graph memoizes the module-wide call graph over every loaded package
+	// (see Loader.CallGraph); loading another package invalidates it.
+	graph *CallGraph
 }
 
 // NewLoader returns a loader for the module rooted at moduleRoot with the
@@ -61,10 +67,30 @@ func NewLoader(moduleRoot, modulePath string) *Loader {
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}
-	if imp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
-		l.std = imp
-	}
+	l.std = stdImporter()
 	return l
+}
+
+// stdImporter returns the process-wide standard-library importer. Importing
+// from source parses and type-checks the full dependency closure of every
+// stdlib import, which dominates the cost of a load; the resulting
+// *types.Package values are immutable for the life of the process, so one
+// shared importer (with its own FileSet and package cache) serves every
+// Loader — the moral equivalent of compiler export data. Access is
+// serialized: the source importer's internal cache is not concurrency-safe.
+var std struct {
+	once sync.Once
+	mu   sync.Mutex
+	imp  types.ImporterFrom
+}
+
+func stdImporter() types.ImporterFrom {
+	std.once.Do(func() {
+		if imp, ok := importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom); ok {
+			std.imp = imp
+		}
+	})
+	return std.imp
 }
 
 // FindModule walks up from dir to the nearest go.mod and returns the module
@@ -153,6 +179,7 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	}
 	p.Types = tpkg
 	l.pkgs[importPath] = p
+	l.graph = nil // the memoized call graph no longer covers every package
 	return p, nil
 }
 
@@ -183,6 +210,8 @@ func (c chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*typ
 	if l.std == nil {
 		return nil, fmt.Errorf("analysis: no importer for %s", path)
 	}
+	std.mu.Lock()
+	defer std.mu.Unlock()
 	return l.std.ImportFrom(path, dir, mode)
 }
 

@@ -6,6 +6,7 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -20,31 +21,42 @@ import (
 //     function's exit — with deferred unlocks credited — is reported at its
 //     acquisition site (the lock-then-return-without-defer-unlock bug).
 //
-// The analysis is intraprocedural and syntactic about lock identity
-// (s.mu and an alias p := &s.mu are different keys); functions using goto
-// are skipped. A deliberate lock handoff can be suppressed with
+// On top of the per-function dataflow, the module-wide call graph adds an
+// INTERPROCEDURAL deadlock check: every function gets a transitive lock
+// summary — the receiver- or first-parameter-rooted mutexes it may acquire,
+// directly or through further calls on the same subject — and a call made
+// while the caller provably holds one of those mutexes is reported at the
+// call site. This catches the s.mu.Lock(); s.helper() pattern where helper
+// (possibly in another package, possibly several hops away) locks s.mu
+// again.
+//
+// The analysis is syntactic about lock identity (s.mu and an alias
+// p := &s.mu are different keys); functions using goto are skipped.
+// A deliberate lock handoff can be suppressed with
 // //lint:ignore lockcheck <who unlocks and why>.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
 	Doc: "flags mutexes locked but not released on every path to return, " +
-		"double Lock of a held mutex, and lock-then-return without a " +
+		"double Lock of a held mutex (including through calls, via " +
+		"module-wide lock summaries), and lock-then-return without a " +
 		"deferred unlock",
 	Run: runLockCheck,
 }
 
 func runLockCheck(pass *Pass) {
+	sums := lockSummaries(pass.CallGraph())
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkLockDiscipline(pass, fd)
+			checkLockDiscipline(pass, fd, sums)
 			// Function literals are separate execution contexts (goroutine
 			// bodies, deferred cleanups, callbacks); each gets its own CFG.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.FuncLit); ok {
-					checkLockDiscipline(pass, lit)
+					checkLockDiscipline(pass, lit, sums)
 				}
 				return true
 			})
@@ -62,21 +74,43 @@ type lockOp struct {
 	try     bool // TryLock/TryRLock: acquisition not guaranteed
 }
 
-func checkLockDiscipline(pass *Pass, fn ast.Node) {
+// lockEvent is one entry in a block's replay sequence: either a direct
+// mutex operation or a call whose transitive summary acquires mutexes.
+type lockEvent struct {
+	op   *lockOp
+	call *summaryCall
+}
+
+// summaryCall is a call site resolved to a callee with a non-empty lock
+// summary, with the summary keys rebased onto the caller's expressions.
+type summaryCall struct {
+	pos  token.Pos
+	name string   // callee name for the message
+	keys []string // derived fact keys, e.g. "s.mu/W"
+}
+
+func checkLockDiscipline(pass *Pass, fn ast.Node, sums map[*CallNode]lockSummary) {
 	cfg := pass.CFG(fn)
 	if cfg == nil || cfg.Hairy {
 		return
 	}
 
-	// Collect the mutex operations of each block once; bail out early for
-	// the overwhelmingly common lock-free function.
+	// Collect the mutex operations (and summary-bearing calls) of each
+	// block once; bail out early for the overwhelmingly common lock-free
+	// function.
 	ops := make(map[*Block][]lockOp, len(cfg.Blocks))
+	events := make(map[*Block][]lockEvent, len(cfg.Blocks))
 	any := false
 	firstLock := map[string]token.Pos{}
 	lockRecv := map[string]string{}
 	for _, blk := range cfg.Blocks {
 		for _, n := range blk.Nodes {
-			for _, op := range mutexOps(pass, n) {
+			for _, ev := range lockEvents(pass, n, sums) {
+				events[blk] = append(events[blk], ev)
+				if ev.op == nil {
+					continue
+				}
+				op := *ev.op
 				ops[blk] = append(ops[blk], op)
 				any = true
 				if op.acquire {
@@ -112,7 +146,9 @@ func checkLockDiscipline(pass *Pass, fn ast.Node) {
 
 	// Reporting pass 1: double Lock. Replay each reachable block from its
 	// solved entry facts; a write Lock issued while the same key is
-	// Must-held on every path is a guaranteed self-deadlock.
+	// Must-held on every path is a guaranteed self-deadlock — whether the
+	// second acquisition is a direct mutex call or buried inside a callee
+	// (per its transitive lock summary).
 	reportedDouble := map[string]bool{}
 	for _, blk := range cfg.Blocks {
 		facts, ok := in[blk]
@@ -120,7 +156,22 @@ func checkLockDiscipline(pass *Pass, fn ast.Node) {
 			continue
 		}
 		facts = facts.Clone()
-		for _, op := range ops[blk] {
+		for _, ev := range events[blk] {
+			if ev.call != nil {
+				for _, key := range ev.call.keys {
+					base, mode := splitLockKey(key)
+					held := func(m string) bool { return facts[base+m] == FactMust }
+					// Deadlocking combinations: W over W, R over W, W over R.
+					deadlock := (held("/W")) || (mode == "/W" && held("/R"))
+					rk := ev.call.name + "\x00" + key
+					if deadlock && !reportedDouble[rk] {
+						reportedDouble[rk] = true
+						pass.Reportf(ev.call.pos, "call to %s acquires %s while it is already held on every path here: guaranteed deadlock", ev.call.name, base)
+					}
+				}
+				continue
+			}
+			op := *ev.op
 			if op.acquire && !op.try && strings.HasSuffix(op.key, "/W") &&
 				facts[op.key] == FactMust && !reportedDouble[op.key] {
 				reportedDouble[op.key] = true
@@ -167,23 +218,223 @@ func applyLockOp(facts Facts, op lockOp) {
 	delete(facts, op.key)
 }
 
-// mutexOps extracts the mutex lock/unlock calls a CFG node performs, in
-// evaluation order. Function literal bodies and deferred or go'd calls are
-// skipped: they do not execute at this program point.
-func mutexOps(pass *Pass, n ast.Node) []lockOp {
-	var out []lockOp
+// lockEvents extracts the mutex lock/unlock calls AND the summary-bearing
+// calls a CFG node performs, in evaluation order. Function literal bodies
+// and deferred or go'd calls are skipped: they do not execute at this
+// program point.
+func lockEvents(pass *Pass, n ast.Node, sums map[*CallNode]lockSummary) []lockEvent {
+	var out []lockEvent
+	graph := pass.CallGraph()
 	ast.Inspect(n, func(nn ast.Node) bool {
 		switch nn := nn.(type) {
 		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
 			return false
 		case *ast.CallExpr:
 			if op, ok := mutexCall(pass, nn); ok {
-				out = append(out, op)
+				op := op
+				out = append(out, lockEvent{op: &op})
+				return true
+			}
+			if sc := summarizeCallSite(pass, graph, nn, sums); sc != nil {
+				out = append(out, lockEvent{call: sc})
 			}
 		}
 		return true
 	})
 	return out
+}
+
+// summarizeCallSite rebases a callee's lock summary onto the caller's call
+// expression: the callee's subject (receiver or first parameter) is
+// replaced by the argument expression at this site, yielding fact keys in
+// the caller's own vocabulary.
+func summarizeCallSite(pass *Pass, graph *CallGraph, call *ast.CallExpr, sums map[*CallNode]lockSummary) *summaryCall {
+	callee := calleeFunc(pass.Pkg.Info, call)
+	if callee == nil {
+		return nil
+	}
+	node := graph.Node(callee)
+	if node == nil {
+		return nil
+	}
+	sum := sums[node]
+	if len(sum) == 0 {
+		return nil
+	}
+	// The expression standing in for the callee's subject at this site.
+	var subjExpr ast.Expr
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil // method value call: subject unknown here
+		}
+		subjExpr = sel.X
+	} else {
+		if len(call.Args) == 0 {
+			return nil
+		}
+		subjExpr = call.Args[0]
+	}
+	if e, ok := ast.Unparen(subjExpr).(*ast.UnaryExpr); ok && e.Op == token.AND {
+		subjExpr = e.X
+	}
+	base := exprString(pass.Fset, subjExpr)
+	sc := &summaryCall{pos: call.Pos(), name: callee.Name()}
+	for key := range sum {
+		sc.keys = append(sc.keys, base+key)
+	}
+	sort.Strings(sc.keys)
+	return sc
+}
+
+// splitLockKey splits a fact key into its expression base and /W-/R mode.
+func splitLockKey(key string) (base, mode string) {
+	if strings.HasSuffix(key, "/W") || strings.HasSuffix(key, "/R") {
+		return key[:len(key)-2], key[len(key)-2:]
+	}
+	return key, ""
+}
+
+// A lockSummary records the mutexes a function may acquire, keyed by the
+// path from its subject (receiver or first parameter) to the mutex plus
+// the /W-/R mode: "/W" means the subject IS the mutex, ".mu/W" a field.
+type lockSummary map[string]bool
+
+// lockSummaries computes the transitive lock summaries of every graph
+// node, memoized on the graph so the fixpoint runs once per lint run. The
+// propagation step composes paths: if F's body calls subj.g() and g's
+// summary says ".mu/W", F's summary gains ".mu/W"; if F calls
+// helper(&subj.mu) and helper's summary says "/W", F gains ".mu/W".
+func lockSummaries(graph *CallGraph) map[*CallNode]lockSummary {
+	return graph.Memo("lockcheck.summaries", func() any {
+		direct := make(map[*CallNode]lockSummary)
+		type prop struct {
+			from *CallNode // callee whose summary flows in
+			rel  string    // path from this node's subject to callee's subject
+		}
+		props := make(map[*CallNode][]prop)
+
+		graph.Nodes(func(n *CallNode) {
+			subj := subjectObject(n)
+			if subj == nil {
+				return
+			}
+			info := n.Pkg.Info
+			sum := lockSummary{}
+			ast.Inspect(n.Decl.Body, func(nn ast.Node) bool {
+				switch nn := nn.(type) {
+				case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					// Direct acquisition rooted at the subject.
+					if mi, ok := mutexCallInfo(info, nn); ok {
+						if mi.acquire && !mi.try {
+							if rel, ok := relPathFrom(info, subj, mi.sel.X); ok {
+								sum[rel+mi.mode] = true
+							}
+						}
+						return true
+					}
+					// Propagation through a call passing the subject on.
+					callee := calleeFunc(info, nn)
+					if callee == nil {
+						return true
+					}
+					target := graph.Node(callee)
+					if target == nil || subjectObject(target) == nil {
+						return true
+					}
+					var subjExpr ast.Expr
+					if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+						sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						subjExpr = sel.X
+					} else if len(nn.Args) > 0 {
+						subjExpr = nn.Args[0]
+					} else {
+						return true
+					}
+					if rel, ok := relPathFrom(info, subj, subjExpr); ok {
+						props[n] = append(props[n], prop{from: target, rel: rel})
+					}
+				}
+				return true
+			})
+			if len(sum) > 0 {
+				direct[n] = sum
+			}
+		})
+
+		// Fixpoint: summaries only grow and keys are bounded by source
+		// syntax, so iteration terminates (mutual recursion converges).
+		sums := make(map[*CallNode]lockSummary, len(direct))
+		for n, s := range direct {
+			c := lockSummary{}
+			for k := range s {
+				c[k] = true
+			}
+			sums[n] = c
+		}
+		for changed := true; changed; {
+			changed = false
+			graph.Nodes(func(n *CallNode) {
+				for _, p := range props[n] {
+					for k := range sums[p.from] {
+						key := p.rel + k
+						if sums[n] == nil {
+							sums[n] = lockSummary{}
+						}
+						if !sums[n][key] {
+							sums[n][key] = true
+							changed = true
+						}
+					}
+				}
+			})
+		}
+		return sums
+	}).(map[*CallNode]lockSummary)
+}
+
+// subjectObject returns the summary subject of a node: the receiver for
+// methods, the first named parameter for free functions, nil when neither
+// exists.
+func subjectObject(n *CallNode) types.Object {
+	fd := n.Decl
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		return n.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	if fd.Type.Params != nil && len(fd.Type.Params.List) > 0 && len(fd.Type.Params.List[0].Names) > 0 {
+		return n.Pkg.Info.Defs[fd.Type.Params.List[0].Names[0]]
+	}
+	return nil
+}
+
+// relPathFrom renders the selector path from subj to expr: expr ≡ subj (or
+// &subj) yields "", subj.f yields ".f", subj.a.b yields ".a.b". Any other
+// shape reports false.
+func relPathFrom(info *types.Info, subj types.Object, expr ast.Expr) (string, bool) {
+	e := ast.Unparen(expr)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	var path string
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			path = "." + v.Sel.Name + path
+			e = ast.Unparen(v.X)
+		case *ast.Ident:
+			if info.Uses[v] == subj {
+				return path, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
 }
 
 // deferredReleases extracts the unlock operations a deferred call performs:
@@ -213,14 +464,41 @@ func deferredReleases(pass *Pass, call *ast.CallExpr) []lockOp {
 // mutexCall recognizes a call to a sync.Mutex or sync.RWMutex method and
 // returns its lockOp.
 func mutexCall(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	mi, ok := mutexCallInfo(pass.Pkg.Info, call)
 	if !ok {
 		return lockOp{}, false
 	}
-	name := sel.Sel.Name
+	recv := exprString(pass.Fset, mi.sel.X)
+	return lockOp{
+		key:     recv + mi.mode,
+		recv:    recv,
+		name:    mi.sel.Sel.Name,
+		pos:     call.Pos(),
+		acquire: mi.acquire,
+		try:     mi.try,
+	}, true
+}
+
+// mutexOpInfo is the pass-independent shape of a recognized mutex method
+// call, used both by the per-function dataflow (via mutexCall) and by the
+// cross-package summary builder, which has an *types.Info but no Pass.
+type mutexOpInfo struct {
+	sel     *ast.SelectorExpr
+	mode    string // "/W" or "/R"
+	acquire bool
+	try     bool
+}
+
+// mutexCallInfo recognizes a call to a sync.Mutex or sync.RWMutex method
+// using only type info.
+func mutexCallInfo(info *types.Info, call *ast.CallExpr) (mutexOpInfo, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOpInfo{}, false
+	}
 	var mode string
 	var acquire, try bool
-	switch name {
+	switch sel.Sel.Name {
 	case "Lock":
 		mode, acquire = "/W", true
 	case "Unlock":
@@ -234,20 +512,12 @@ func mutexCall(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
 	case "TryRLock":
 		mode, acquire, try = "/R", true, true
 	default:
-		return lockOp{}, false
+		return mutexOpInfo{}, false
 	}
-	if !isSyncMutex(pass.TypeOf(sel.X)) {
-		return lockOp{}, false
+	if !isSyncMutex(info.TypeOf(sel.X)) {
+		return mutexOpInfo{}, false
 	}
-	recv := exprString(pass.Fset, sel.X)
-	return lockOp{
-		key:     recv + mode,
-		recv:    recv,
-		name:    name,
-		pos:     call.Pos(),
-		acquire: acquire,
-		try:     try,
-	}, true
+	return mutexOpInfo{sel: sel, mode: mode, acquire: acquire, try: try}, true
 }
 
 // isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly

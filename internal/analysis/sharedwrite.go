@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"sort"
 )
 
 // SharedWrite hunts the root cause class behind nondeterministic
@@ -12,16 +11,25 @@ import (
 // cannot promise byte-identical output at arbitrary worker counts — two
 // concurrent batch calls interleave those writes.
 //
-// A write is allowed when it happens in an init function, inside a
-// function literal passed to (*sync.Once).Do, or in a function not
-// reachable (by the package-internal static call graph) from any exported
-// function or method. Package main is exempt: a binary owns its globals
-// for its process lifetime. A deliberately guarded global can be kept with
+// Reachability is MODULE-WIDE: the walk runs over the shared call graph,
+// rooted at every exported function of every loaded non-main package, with
+// one-level function-value (callback) edges included. A helper that only
+// becomes reachable because another package's exported entry point calls
+// into this one — or because it is handed around as a callback — is no
+// longer a blind spot (both were documented limits of the old per-package
+// graph).
+//
+// A write is allowed when it happens in an init function or inside a
+// function literal passed to (*sync.Once).Do (once-edges are excluded from
+// the reachability walk, and once.Do literal bodies are skipped at the
+// write site too). Package main is exempt: a binary owns its globals for
+// its process lifetime. A deliberately guarded global can be kept with
 // //lint:ignore sharedwrite <the invariant that makes it safe>.
 //
-// Known limits: reachability is per-package and purely static — a helper
-// passed around as a function value is not traced, and writes through a
-// pointer previously taken from a global are not seen.
+// Known limits: writes through a pointer previously taken from a global
+// are not seen, and dynamic call shapes beyond one-level callbacks
+// (stored function fields, interface dispatch) contribute no edges — see
+// the Hairy marking on the call graph.
 var SharedWrite = &Analyzer{
 	Name: "sharedwrite",
 	Doc: "flags writes to package-level vars reachable from exported " +
@@ -61,90 +69,61 @@ func runSharedWrite(pass *Pass) {
 		return
 	}
 
-	// The package-internal static call graph and the set of declared
-	// functions, keyed by their *types.Func objects.
-	decls := map[*types.Func]*ast.FuncDecl{}
+	// Module-wide reachability from every exported function of every
+	// loaded non-main package, memoized on the graph so the walk runs once
+	// per lint invocation, not once per package.
+	graph := pass.CallGraph()
+	reach := graph.Memo("sharedwrite.reach", func() any {
+		var roots []*CallNode
+		graph.Nodes(func(n *CallNode) {
+			if n.Func.Exported() && n.Pkg.Types.Name() != "main" {
+				roots = append(roots, n)
+			}
+		})
+		return graph.Reachable(roots, ReachOptions{SkipOnce: true})
+	}).(map[*CallNode]*CallNode)
+
+	// Judge every write site of this package's reachable functions.
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				continue
 			}
-		}
-	}
-	calls := map[*types.Func][]*types.Func{}
-	for fn, fd := range decls {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
 			}
-			if isOnceDo(pass, call) {
-				// Calls made through once.Do run exactly once; they do not
-				// propagate exported reachability.
-				return false
+			node := graph.Node(fn)
+			if node == nil {
+				continue
 			}
-			callee := calleeFunc(pass.Pkg.Info, call)
-			if callee != nil && decls[callee] != nil {
-				calls[fn] = append(calls[fn], callee)
+			root := reach[node]
+			if root == nil {
+				continue
 			}
-			return true
-		})
-	}
-
-	// Functions reachable from the exported surface. Exported names seed
-	// the walk in sorted order so the witness recorded for each function
-	// is deterministic.
-	type mark struct{ root *types.Func }
-	reachable := map[*types.Func]mark{}
-	var roots []*types.Func
-	for fn := range decls {
-		if fn.Exported() {
-			roots = append(roots, fn)
-		}
-	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
-	var walk func(fn, root *types.Func)
-	walk = func(fn, root *types.Func) {
-		if _, ok := reachable[fn]; ok {
-			return
-		}
-		reachable[fn] = mark{root: root}
-		for _, callee := range calls[fn] {
-			walk(callee, root)
-		}
-	}
-	for _, r := range roots {
-		walk(r, r)
-	}
-
-	// Now judge every write site.
-	for fn, fd := range decls {
-		if fd.Name.Name == "init" && fd.Recv == nil {
-			continue
-		}
-		m, isReachable := reachable[fn]
-		if !isReachable {
-			continue
-		}
-		witness := m.root.Name()
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok && isOnceDo(pass, call) {
-				return false // once.Do literals are init-equivalent
+			witness := root.Func.Name()
+			if root.Pkg.Path != pass.Pkg.Path {
+				witness = root.Pkg.Types.Name() + "." + witness
 			}
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range n.Lhs {
-					reportGlobalWrite(pass, globals, lhs, witness)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isOnceDo(pass, call) {
+					return false // once.Do literals are init-equivalent
 				}
-			case *ast.IncDecStmt:
-				reportGlobalWrite(pass, globals, n.X, witness)
-			}
-			return true
-		})
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						reportGlobalWrite(pass, globals, lhs, witness)
+					}
+				case *ast.IncDecStmt:
+					reportGlobalWrite(pass, globals, n.X, witness)
+				}
+				return true
+			})
+		}
 	}
 }
 
@@ -179,20 +158,5 @@ func reportGlobalWrite(pass *Pass, globals map[types.Object]bool, lhs ast.Expr, 
 
 // isOnceDo reports whether a call is (*sync.Once).Do.
 func isOnceDo(pass *Pass, call *ast.CallExpr) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Do" {
-		return false
-	}
-	t := pass.TypeOf(sel.X)
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return false
-	}
-	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Once"
+	return isOnceDoCall(pass.Pkg.Info, call)
 }

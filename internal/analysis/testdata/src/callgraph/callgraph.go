@@ -1,0 +1,54 @@
+// Package callgraph exercises the call-graph builder's edge cases: mutual
+// recursion, deferred closures, callback parameters, and method values.
+package callgraph
+
+// Mutually recursive pair: the builder must close over the cycle without
+// spinning, and reachability from either must include both.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// A deferred closure calling back into the package: the literal flattens
+// into Work, so Work→cleanup is a plain edge.
+func Work() {
+	defer func() {
+		cleanup()
+	}()
+}
+
+func cleanup() {}
+
+// forEach invokes its function-typed parameter: one-level callback
+// resolution binds every value statically passed at its call sites.
+func forEach(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+func Sum(xs []int) {
+	forEach(xs, add)
+}
+
+func add(int) {}
+
+// A method value is a dynamic function value: the caller is marked Hairy
+// rather than given a guessed edge.
+type Box struct{ n int }
+
+func (b *Box) Incr() { b.n++ }
+
+func Dynamic(b *Box) {
+	m := b.Incr
+	m()
+}

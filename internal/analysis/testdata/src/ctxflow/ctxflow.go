@@ -1,0 +1,63 @@
+// Package ctxflow is a want-marker fixture for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+// A context stored in a struct field outlives its request.
+type holder struct {
+	ctx context.Context // want ctxflow
+	n   int
+}
+
+// Assignments into a context-typed field are flagged independently of the
+// field declaration.
+func (h *holder) capture(ctx context.Context) {
+	h.ctx = ctx // want ctxflow
+	h.n++
+}
+
+// Minting a fresh root while already holding a context severs the caller's
+// cancellation.
+func Refresh(ctx context.Context) {
+	c := context.Background() // want ctxflow
+	_ = c
+	_ = ctx
+}
+
+// The nil-guard normalization of the function's own parameter is the one
+// blessed Background() inside a context holder.
+func Normalize(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// step is ctx-less and reachable from context-accepting Process: re-rooting
+// mid-chain is flagged with the entry point as witness.
+func Process(ctx context.Context) error {
+	_ = ctx
+	return step()
+}
+
+func step() error {
+	ctx := context.TODO() // want ctxflow
+	_ = ctx
+	return nil
+}
+
+// Exported ctx-less convenience wrappers are the legitimate root adapters:
+// minting here is how they are supposed to work.
+func ProcessAll() error {
+	return ProcessWith(context.Background())
+}
+
+func ProcessWith(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// A ctx-less helper no context-accepting export reaches: clean.
+func orphan() {
+	_ = context.Background()
+}

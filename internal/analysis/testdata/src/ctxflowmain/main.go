@@ -1,0 +1,21 @@
+// Package main exercises the ctxflow main-package exemptions: a binary
+// owns its root context, but storing one in a field is wrong everywhere.
+package main
+
+import "context"
+
+type app struct {
+	ctx context.Context // want ctxflow
+}
+
+func run(ctx context.Context) {
+	// Clean: main packages may re-root at will.
+	c := context.Background()
+	_ = c
+	_ = ctx
+	_ = app{}
+}
+
+func main() {
+	run(context.Background())
+}

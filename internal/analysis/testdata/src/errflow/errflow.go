@@ -1,0 +1,88 @@
+// Package errflow is a want-marker fixture for the errflow analyzer.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrStop = errors.New("stop")
+
+type ParseError struct{ Line int }
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d", e.Line) }
+
+// Sentinel comparison with == misses wrapped chains.
+func Classify(err error) string {
+	if err == ErrStop { // want errflow
+		return "stop"
+	}
+	if err != nil { // nil checks are not sentinel matching: clean
+		return "other"
+	}
+	return "ok"
+}
+
+// errors.Is is the blessed form: clean.
+func ClassifyIs(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+// Type assertion to a concrete error type misses wrapped chains.
+func Line(err error) int {
+	if pe, ok := err.(*ParseError); ok { // want errflow
+		return pe.Line
+	}
+	return -1
+}
+
+// Asserting to an interface probes behavior, not identity: clean.
+func IsTimeout(err error) bool {
+	t, ok := err.(interface{ Timeout() bool })
+	return ok && t.Timeout()
+}
+
+// A type switch on an error misses wrapped chains too.
+func Kind(err error) string {
+	switch err.(type) { // want errflow
+	case *ParseError:
+		return "parse"
+	default:
+		return "other"
+	}
+}
+
+// fmt.Errorf without %w on the exported surface flattens the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("annotate: %v", err) // want errflow
+}
+
+// %w preserves it: clean.
+func WrapW(err error) error {
+	return fmt.Errorf("annotate: %w", err)
+}
+
+// The %w rule follows module-wide reachability: wrapInner is unexported
+// but reachable from exported WrapDeep.
+func WrapDeep(err error) error {
+	return wrapInner(err)
+}
+
+func wrapInner(err error) error {
+	return fmt.Errorf("inner: %v", err) // want errflow
+}
+
+// An unexported helper nothing exported reaches may flatten: clean.
+func logLine(err error) string {
+	return fmt.Errorf("log: %v", err).Error()
+}
+
+// Stringifying an error destroys the chain no matter where it happens.
+func Stringify(err error) error {
+	return errors.New(err.Error()) // want errflow
+}
+
+func StringifyF(err error) error {
+	return fmt.Errorf("failed: %s", err.Error()) // want errflow
+}

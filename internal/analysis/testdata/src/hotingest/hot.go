@@ -1,0 +1,57 @@
+// Package ingest mirrors the streaming hot-path shape: Scanner.Scan
+// matches the hotalloc root table by (package name, receiver, method), so
+// everything it reaches over the call graph is judged hot.
+package ingest
+
+import "fmt"
+
+type Scanner struct {
+	rows []string
+	out  []string
+}
+
+// Scan is a hot root.
+func (s *Scanner) Scan() bool {
+	var acc []string
+	for _, r := range s.rows {
+		acc = append(acc, r) // want hotalloc
+		b := []byte(r)       // want hotalloc
+		_ = string(b)        // want hotalloc
+	}
+	s.out = acc
+	msg := fmt.Sprintf("scanned %d", len(s.rows)) // want hotalloc
+	_ = msg
+	s.collect()
+	_ = s.header("h")
+	return perRow(s.rows)
+}
+
+// perRow is unexported but reachable from Scan: still hot. The closure
+// captures the loop variable, so each iteration allocates.
+func perRow(rows []string) bool {
+	for i := range rows {
+		each(func() int { return i }) // want hotalloc
+	}
+	return true
+}
+
+func each(f func() int) int { return f() }
+
+// Preallocated append is the blessed shape: clean.
+func (s *Scanner) collect() {
+	out := make([]string, 0, len(s.rows))
+	for _, r := range s.rows {
+		out = append(out, r)
+	}
+	s.out = out
+}
+
+// Conversions outside loops are one-shot, not per-row: clean.
+func (s *Scanner) header(r string) []byte {
+	return []byte(r)
+}
+
+// Describe is reachable from no hot root: its Sprintf is clean.
+func Describe() string {
+	return fmt.Sprintf("scanner of %d rows", 0)
+}

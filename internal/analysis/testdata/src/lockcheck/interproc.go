@@ -1,0 +1,67 @@
+// Interprocedural cases: a call made while the caller provably holds a
+// mutex the callee's transitive summary acquires is a deadlock at the call
+// site.
+package lockcheck
+
+// lockedIncr locks the receiver's mutex for the duration of the call.
+func (s *S) lockedIncr() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Calling a self-locking helper without holding the lock: clean.
+func (s *S) DelegatedIncr() {
+	s.lockedIncr()
+}
+
+// Calling it while holding the same lock deadlocks.
+func (s *S) HeldCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockedIncr() // want lockcheck
+}
+
+// Summaries are transitive: two hops away still deadlocks.
+func (s *S) hop() {
+	s.lockedIncr()
+}
+
+func (s *S) HeldHopCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hop() // want lockcheck
+}
+
+// A write lock requested while a read lock is held blocks forever too.
+func (s *S) writeLocked() int {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	return s.n
+}
+
+func (s *S) HeldReadCall() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.writeLocked() // want lockcheck
+}
+
+// Free functions compose through their first parameter.
+func bumpLocked(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func (s *S) HeldFreeCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bumpLocked(s) // want lockcheck
+}
+
+// Holding a DIFFERENT instance's lock is fine.
+func pair(a, b *S) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.lockedIncr()
+}

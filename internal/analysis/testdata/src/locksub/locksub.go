@@ -1,0 +1,17 @@
+// Package locksub is the callee side of the cross-package lockcheck
+// fixture: Touch's lock summary must be visible to importing packages.
+package locksub
+
+import "sync"
+
+type Store struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Touch locks the store for the duration of the call.
+func Touch(s *Store) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.N++
+}

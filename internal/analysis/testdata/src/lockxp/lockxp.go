@@ -1,0 +1,17 @@
+// Package lockxp exercises the cross-package half of the interprocedural
+// lockcheck: the callee's summary lives in another package entirely.
+package lockxp
+
+import "fixture/locksub"
+
+// Calling locksub.Touch while holding s.Mu deadlocks: Touch re-locks it.
+func Bad(s *locksub.Store) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	locksub.Touch(s) // want lockcheck
+}
+
+// Without the held lock the same call is clean.
+func Good(s *locksub.Store) {
+	locksub.Touch(s)
+}

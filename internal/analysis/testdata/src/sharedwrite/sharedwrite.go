@@ -80,6 +80,16 @@ func Sum(xs []int) int {
 	return counter
 }
 
+// A write in a helper reached only as a callback is still reachable: the
+// graph's one-level function-value tracking closes the old blind spot.
+func ForAll(f func()) { f() }
+
+func Drive() { ForAll(bumpHidden) }
+
+func bumpHidden() {
+	counter = 2 // want sharedwrite
+}
+
 // A deliberately guarded global, kept with a reasoned suppression.
 var statsMu sync.Mutex
 var stats map[string]int

@@ -240,9 +240,9 @@ func (m *CellModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][][]floa
 	fs := a.CellFeatures(m, m.computeCellFeatures)
 	out := make([][][]float64, t.Height())
 	mask := extendMask(m.Mask, fs)
-	var batch [][]float64
+	batch := make([][]float64, 0, t.Height()*t.Width())
 	type pos struct{ r, c int }
-	var cells []pos
+	cells := make([]pos, 0, t.Height()*t.Width())
 	for r := 0; r < t.Height(); r++ {
 		out[r] = make([][]float64, t.Width())
 		for c := 0; c < t.Width(); c++ {

@@ -111,8 +111,8 @@ func (m *LineModel) computeProbabilities(a *pipeline.Artifacts) [][]float64 {
 	t := a.Table
 	fs := a.LineFeatures(m.Opts)
 	out := make([][]float64, t.Height())
-	var batch [][]float64
-	var rows []int
+	batch := make([][]float64, 0, t.Height())
+	rows := make([]int, 0, t.Height())
 	for r := 0; r < t.Height(); r++ {
 		if t.IsEmptyLine(r) {
 			out[r] = make([]float64, table.NumClasses)

@@ -25,8 +25,10 @@ func BlockSizes(t *table.Table) [][]float64 {
 	idx := func(r, c int) int { return r*w + c }
 	norm := float64(h * w)
 
-	var stack [][2]int
-	var block [][2]int
+	// A component can cover the whole grid, so one up-front allocation
+	// serves every flood-fill below.
+	stack := make([][2]int, 0, h*w)
+	block := make([][2]int, 0, h*w)
 	for r := 0; r < h; r++ {
 		for c := 0; c < w; c++ {
 			if visited[idx(r, c)] || t.IsEmptyCell(r, c) {

@@ -79,7 +79,7 @@ func DetectDerived(t *table.Table, opts DerivedOptions) [][]bool {
 
 	// Line 2: getAnchoringCells — cells containing aggregation keywords.
 	type pos struct{ r, c int }
-	var anchors []pos
+	anchors := make([]pos, 0, h)
 	for r := 0; r < h; r++ {
 		for c := 0; c < w; c++ {
 			if !t.IsEmptyCell(r, c) && ContainsAggregationWord(t.Cell(r, c)) {
@@ -113,8 +113,8 @@ func DetectDerived(t *table.Table, opts DerivedOptions) [][]bool {
 // Algorithm 2 and its mirrored repeat).
 func detectRowCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ia int, opts DerivedOptions, out [][]bool) {
 	w := t.Width()
-	var cand []float64
-	var cols []int
+	cand := make([]float64, 0, w)
+	cols := make([]int, 0, w)
 	for c := 0; c < w; c++ {
 		if isNum[ia][c] {
 			cand = append(cand, vals[ia][c])
@@ -129,17 +129,22 @@ func detectRowCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ia in
 			out[ia][c] = true
 		}
 	}
-	for _, dir := range [2]int{-1, +1} {
-		if scanAgg(len(cand), opts, func(step int, row []float64, present []bool) bool {
-			r := ia + dir*step
-			if r < 0 || r >= t.Height() {
-				return false
-			}
-			for k, c := range cols {
-				row[k], present[k] = vals[r][c], isNum[r][c]
-			}
-			return true
-		}, cand) {
+	// One probe closure serves both directions; dir is rebound per pass so
+	// the literal is allocated once, not per loop iteration.
+	var dir int
+	probe := func(step int, row []float64, present []bool) bool {
+		r := ia + dir*step
+		if r < 0 || r >= t.Height() {
+			return false
+		}
+		for k, c := range cols {
+			row[k], present[k] = vals[r][c], isNum[r][c]
+		}
+		return true
+	}
+	for _, d := range [2]int{-1, +1} {
+		dir = d
+		if scanAgg(len(cand), opts, probe, cand) {
 			mark()
 			break
 		}
@@ -150,8 +155,8 @@ func detectRowCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ia in
 // column ja, accumulating leftwards then rightwards (lines 20-30).
 func detectColCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ja int, opts DerivedOptions, out [][]bool) {
 	h := t.Height()
-	var cand []float64
-	var rows []int
+	cand := make([]float64, 0, h)
+	rows := make([]int, 0, h)
 	for r := 0; r < h; r++ {
 		if isNum[r][ja] {
 			cand = append(cand, vals[r][ja])
@@ -166,17 +171,20 @@ func detectColCandidates(t *table.Table, vals [][]float64, isNum [][]bool, ja in
 			out[r][ja] = true
 		}
 	}
-	for _, dir := range [2]int{-1, +1} {
-		if scanAgg(len(cand), opts, func(step int, col []float64, present []bool) bool {
-			c := ja + dir*step
-			if c < 0 || c >= t.Width() {
-				return false
-			}
-			for k, r := range rows {
-				col[k], present[k] = vals[r][c], isNum[r][c]
-			}
-			return true
-		}, cand) {
+	var dir int
+	probe := func(step int, col []float64, present []bool) bool {
+		c := ja + dir*step
+		if c < 0 || c >= t.Width() {
+			return false
+		}
+		for k, r := range rows {
+			col[k], present[k] = vals[r][c], isNum[r][c]
+		}
+		return true
+	}
+	for _, d := range [2]int{-1, +1} {
+		dir = d
+		if scanAgg(len(cand), opts, probe, cand) {
 			mark()
 			break
 		}

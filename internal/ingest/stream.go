@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -244,7 +245,7 @@ func (s *Scanner) fill() error {
 			return err
 		}
 	}
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		s.eof = true
 		if err := s.decodeCarry(true); err != nil {
 			return err
@@ -274,7 +275,7 @@ func (s *Scanner) sniff() error {
 		if s.maxBytes > 0 && s.rawRead > s.maxBytes {
 			return &GuardError{Sentinel: ErrTooLarge, Limit: s.maxBytes, Actual: s.rawRead}
 		}
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			s.eof = true
 			break
 		}

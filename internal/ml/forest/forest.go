@@ -200,6 +200,7 @@ func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
 			break
 		}
 		wg.Add(1)
+		//lint:ignore hotalloc one closure per worker per batch, not per row; the goroutine body is the hot loop, its allocation is not
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {

@@ -12,6 +12,7 @@ package table
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"strudel/internal/ingest"
@@ -76,7 +77,7 @@ func (c Class) Index() int {
 func ClassAt(i int) Class {
 	if i < 0 || i >= NumClasses {
 		//lint:ignore panicpath the index always comes from argMax over fixed NumClasses-length vectors; an out-of-range value is an internal invariant violation, never reachable from file input
-		panic(fmt.Sprintf("table: class index %d out of range", i))
+		panic("table: class index " + strconv.Itoa(i) + " out of range")
 	}
 	return Classes[i]
 }
