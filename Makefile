@@ -15,6 +15,10 @@
 #   make bench-stream streaming throughput benchmark + the full >= 256 MiB
 #                     bounded-memory proof (the default test run uses 32 MiB)
 #   make race-stream  race detector over the streaming/window code only (fast)
+#   make race-serve   race detector over the annotation service only (fast)
+#   make serve-smoke  build strudel-serve, start it on an ephemeral port,
+#                     health-check, round-trip an annotation, verify the 413
+#                     mapping, and require a clean SIGTERM drain
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -24,7 +28,7 @@ BENCH_BASELINE ?= BENCH_7.json
 # must keep the whole analyzer suite inside it.
 LINT_BUDGET_NS ?= 2500000000
 
-.PHONY: build test vet lint lint-models race race-stream tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-stream
+.PHONY: build test vet lint lint-models race race-stream race-serve serve-smoke tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -50,7 +54,7 @@ race:
 
 tier1: build test
 
-check: vet lint lint-models tier1 race bench-gate
+check: vet lint lint-models tier1 race bench-gate serve-smoke
 
 # Throughput regression gate: re-measure both annotation paths (best of 3)
 # and fail on any metric >10% below the committed baseline snapshot.
@@ -90,3 +94,15 @@ bench-stream:
 # everything but takes far longer).
 race-stream:
 	$(GO) test -race -run 'TestAnnotateStream|TestWindow|TestScanner|TestSplitter' -count 1 . ./internal/pipeline ./internal/ingest ./internal/dialect
+
+# The service's admission/coalescing/drain machinery is concurrency-dense;
+# this runs its fault suite and the end-to-end test under the race detector
+# without waiting for the full `make race`.
+race-serve:
+	$(GO) test -race -count 1 ./internal/serve
+	$(GO) test -race -count 1 -run 'TestServeEndToEnd' .
+
+# Full external lifecycle of the daemon: build, ephemeral port, health
+# check, annotation round-trip, deterministic 413, clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh

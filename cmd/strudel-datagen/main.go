@@ -14,15 +14,23 @@
 // blank-line separators) of at least the given byte size — the input shape
 // strudel's streaming annotation exists for. Generation streams to disk, so
 // targets far beyond memory are fine.
+//
+// Interrupting a run (Ctrl-C or SIGTERM) stops cooperatively: a -size
+// stream aborts at the next write (removing the partial file) and no
+// further datasets start; the exit status is 1.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"strudel/internal/corpusio"
 	"strudel/internal/datagen"
@@ -30,6 +38,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		out      = flag.String("out", "corpus", "output directory (one subdirectory per dataset)")
 		datasets = flag.String("datasets", "govuk,saus,cius,deex,mendeley,troy", "comma-separated dataset names")
@@ -40,30 +52,37 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var sizeTarget int64
 	if *size != "" {
 		var err error
 		if sizeTarget, err = datagen.ParseSize(*size); err != nil || sizeTarget == 0 {
 			fmt.Fprintf(os.Stderr, "strudel-datagen: bad -size %q\n", *size)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	if *profile != "" {
 		if err := generateCustom(*profile, *out, *scale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "strudel-datagen:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	profiles := datagen.Profiles()
 	for _, name := range strings.Split(*datasets, ",") {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "strudel-datagen: interrupted")
+			return 1
+		}
 		name = strings.TrimSpace(strings.ToLower(name))
 		p, ok := profiles[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "strudel-datagen: unknown dataset %q\n", name)
-			os.Exit(1)
+			return 1
 		}
 		//lint:ignore floatcmp exact compare against the flag default 1.0, which is representable
 		if *scale != 1.0 {
@@ -73,9 +92,14 @@ func main() {
 			p.Seed = *seed
 		}
 		if sizeTarget > 0 {
-			if err := writeSized(*out, p, sizeTarget); err != nil {
+			err := writeSized(ctx, *out, p, sizeTarget)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "strudel-datagen: interrupted; partial file removed")
+				return 1
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "strudel-datagen:", err)
-				os.Exit(1)
+				return 1
 			}
 			continue
 		}
@@ -83,17 +107,25 @@ func main() {
 		dir := filepath.Join(*out, name)
 		if err := corpusio.WriteCorpus(dir, c.Files); err != nil {
 			fmt.Fprintln(os.Stderr, "strudel-datagen:", err)
-			os.Exit(1)
+			return 1
 		}
 		s := c.Summarize()
 		fmt.Printf("%-10s %4d files %8d lines %10d cells -> %s\n",
 			name, s.Files, s.Lines, s.Cells, dir)
 	}
+	return 0
 }
 
+// writerFunc adapts a closure to io.Writer (the closure captures the
+// request context, keeping it out of any struct).
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
 // writeSized streams one stacked CSV of at least target bytes for profile p
-// into out/<name>.csv.
-func writeSized(out string, p datagen.Profile, target int64) error {
+// into out/<name>.csv. Cancellation makes the next write fail with the
+// context's error, aborting the stream and removing the partial file.
+func writeSized(ctx context.Context, out string, p datagen.Profile, target int64) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -102,11 +134,21 @@ func writeSized(out string, p datagen.Profile, target int64) error {
 	if err != nil {
 		return err
 	}
-	n, files, werr := datagen.WriteSized(f, p, target)
+	cw := writerFunc(func(b []byte) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return f.Write(b)
+	})
+	n, files, werr := datagen.WriteSized(cw, p, target)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
+		if errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded) {
+			_ = os.Remove(path) // best-effort cleanup of the partial stream
+			return werr
+		}
 		return fmt.Errorf("%s: %w", path, werr)
 	}
 	fmt.Printf("%-10s %4d files stacked, %d bytes -> %s\n", p.Name, files, n, path)

@@ -28,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"testing"
 	"time"
 
@@ -85,13 +87,17 @@ func main() {
 	if *compare != "" && !outSet {
 		*out = ""
 	}
-	if err := run(*out, *streamSize, *compare, *best); err != nil {
+	// Ctrl-C/SIGTERM cancels between measurement phases: a long perf run
+	// stops promptly without writing a half-measured snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *out, *streamSize, *compare, *best); err != nil {
 		fmt.Fprintln(os.Stderr, "strudel-perf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, streamSize, comparePath string, best int) error {
+func run(ctx context.Context, out, streamSize, comparePath string, best int) error {
 	target, err := datagen.ParseSize(streamSize)
 	if err != nil || target <= 0 {
 		return fmt.Errorf("bad -stream-size %q", streamSize)
@@ -100,7 +106,7 @@ func run(out, streamSize, comparePath string, best int) error {
 		best = 1
 	}
 
-	snap, err := measure(target, best)
+	snap, err := measure(ctx, target, best)
 	if err != nil {
 		return err
 	}
@@ -147,8 +153,10 @@ func run(out, streamSize, comparePath string, best int) error {
 	return nil
 }
 
-// measure trains the benchmark model once and measures every path best-of-N.
-func measure(streamBytes int64, best int) (*snapshot, error) {
+// measure trains the benchmark model once and measures every path
+// best-of-N, checking ctx between phases so an interrupt stops the run at
+// the next phase boundary.
+func measure(ctx context.Context, streamBytes int64, best int) (*snapshot, error) {
 	// Mirror the committed benchmarks: benchModel's training corpus and the
 	// BenchmarkAnnotateAll batch corpus, so numbers line up with
 	// `go test -bench`.
@@ -156,7 +164,7 @@ func measure(streamBytes int64, best int) (*snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := strudel.Train(files, strudel.TrainOptions{Trees: 20, Seed: 1, MaxCellsPerFile: 300})
+	model, err := strudel.TrainContext(ctx, files, strudel.TrainOptions{Trees: 20, Seed: 1, MaxCellsPerFile: 300})
 	if err != nil {
 		return nil, err
 	}
@@ -190,11 +198,17 @@ func measure(streamBytes int64, best int) (*snapshot, error) {
 		return pr
 	}
 	snap.AnnotateAllSerial = batch(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	snap.AnnotateAllParallel = batch(0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	pr := bestOf(best, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_, err := model.AnnotateStream(context.Background(), bytes.NewReader(data),
+			_, err := model.AnnotateStream(ctx, bytes.NewReader(data),
 				strudel.StreamOptions{}, func(strudel.LineAnnotation) error { return nil })
 			if err != nil {
 				b.Fatal(err)
@@ -208,6 +222,9 @@ func measure(streamBytes int64, best int) (*snapshot, error) {
 	durs := make([]int64, 0, len(corpus))
 	one := make([]*strudel.Table, 1)
 	for _, f := range corpus {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		one[0] = f
 		start := time.Now()
 		model.AnnotateAll(one, strudel.BatchOptions{Parallelism: 1})

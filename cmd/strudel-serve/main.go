@@ -1,0 +1,151 @@
+// Command strudel-serve runs the annotation service: an HTTP daemon that
+// classifies uploaded (or path-referenced) CSV files with a trained model,
+// built to stay up under overload, hostile inputs, and partial failure.
+//
+// Usage:
+//
+//	strudel-serve -addr localhost:8080 -model strudel.model [flags]
+//
+// Endpoints:
+//
+//	POST /v1/annotate             annotate the request body
+//	  ?timeout=5s                 per-request deadline (clamped to -max-timeout)
+//	  ?cells=1                    include per-cell classes
+//	  ?format=ndjson              stream line annotations as NDJSON
+//	  ?dialect=';'                force a delimiter instead of detecting
+//	  ?path=rel/file.csv          annotate a file under -root instead of the body
+//	GET  /healthz                 liveness probe
+//	GET  /readyz                  readiness: not draining, queue below high water
+//	GET  /debug/obs               observability snapshot (also /debug/vars, /debug/pprof)
+//
+// Every failure maps to a deterministic status via the typed ingest
+// taxonomy: 413 too_large, 422 bad_encoding/line_too_long/too_many_lines/
+// too_many_cells, 400 empty_input, 429 queue_full (with Retry-After),
+// 503 draining, 504 timeout, 500 panic (isolated to the request).
+//
+// SIGINT/SIGTERM drain gracefully: accepting stops, in-flight requests
+// finish or hit their deadlines, and the process exits 0 on a clean drain.
+//
+// Flags:
+//
+//	-addr a           listen address (default localhost:8080; port 0 picks one)
+//	-model path       load a model saved by strudel-train (default: train built-in)
+//	-workers n        concurrent annotations (0 = all CPUs)
+//	-queue n          admission queue depth before shedding 429s (0 = 4x workers)
+//	-timeout d        default per-request deadline (default 10s)
+//	-max-timeout d    ceiling for client-requested deadlines (default 60s)
+//	-drain-timeout d  shutdown drain budget (default 15s)
+//	-max-bytes n      reject uploads larger than n bytes (0 = 64MiB default)
+//	-strict           reject damaged files instead of repairing them
+//	-root dir         enable ?path= refs for files under dir
+//	-cache n          coalescing LRU entries (0 = 128, negative disables)
+//	-stats            print an observability snapshot (JSON) to stderr at exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"strudel"
+	"strudel/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		modelPath    = flag.String("model", "", "path to a trained model (default: train a small built-in model)")
+		workers      = flag.Int("workers", 0, "concurrent annotations (0 = all CPUs)")
+		queue        = flag.Int("queue", 0, "admission queue depth before shedding (0 = 4x workers)")
+		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "ceiling for client-requested deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "shutdown drain budget")
+		maxBytes     = flag.Int64("max-bytes", 0, "reject uploads larger than this many bytes (0 = 64MiB default)")
+		strict       = flag.Bool("strict", false, "reject damaged files instead of repairing them")
+		root         = flag.String("root", "", "enable ?path= refs for files under this directory")
+		cache        = flag.Int("cache", 0, "coalescing LRU entries (0 = 128, negative disables)")
+		stats        = flag.Bool("stats", false, "print an observability snapshot (JSON) to stderr at exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: strudel-serve [flags] (no positional arguments)")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	model, err := loadOrTrainModel(ctx, *modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		return 1
+	}
+
+	registry := strudel.NewObsRegistry()
+	if *stats {
+		defer func() {
+			if err := registry.Snapshot().WriteJSON(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "strudel-serve: stats:", err)
+			}
+		}()
+	}
+
+	srv, err := serve.New(serve.Config{
+		Model:          model,
+		Load:           strudel.LoadOptions{Ingest: strudel.IngestOptions{MaxBytes: *maxBytes, Strict: *strict}},
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drainTimeout,
+		CacheEntries:   *cache,
+		PathRoot:       *root,
+		Registry:       registry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "strudel-serve: listening on http://%s/ (POST /v1/annotate)\n", ln.Addr())
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "strudel-serve:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "strudel-serve: drained cleanly")
+	return 0
+}
+
+// loadOrTrainModel loads a saved model, or trains the small built-in one
+// (interruptible: Ctrl-C during the startup training exits promptly).
+func loadOrTrainModel(ctx context.Context, path string) (*strudel.Model, error) {
+	if path != "" {
+		return strudel.LoadModelFile(path)
+	}
+	fmt.Fprintln(os.Stderr, "strudel-serve: no -model; training a small built-in model...")
+	var files []*strudel.Table
+	for _, name := range []string{"govuk", "saus"} {
+		fs, err := strudel.GenerateCorpus(name, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, fs...)
+	}
+	return strudel.TrainContext(ctx, files, strudel.TrainOptions{Trees: 20, Seed: 1, MaxCellsPerFile: 300})
+}

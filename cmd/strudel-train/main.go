@@ -8,13 +8,21 @@
 //
 //	strudel-train -corpora saus,cius,deex -out strudel.model
 //	strudel-train -dir corpus/saus,corpus/cius -out strudel.model
+//
+// Interrupting a run (Ctrl-C or SIGTERM) cancels training cooperatively:
+// workers stop at the next file or tree boundary and the process exits 1
+// without writing a partial model.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"strudel"
@@ -22,6 +30,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		corpora  = flag.String("corpora", "", "built-in synthetic corpora to train on (e.g. saus,cius,deex)")
 		dirs     = flag.String("dir", "", "annotated corpus directories (comma-separated)")
@@ -34,11 +46,14 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var files []*strudel.Table
 	for _, name := range splitList(*corpora) {
 		fs, err := strudel.GenerateCorpus(name, *scale)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		files = append(files, fs...)
 		fmt.Printf("generated %-10s %4d files\n", name, len(fs))
@@ -46,11 +61,11 @@ func main() {
 	for _, dir := range splitList(*dirs) {
 		fs, err := corpusio.ReadCorpus(dir)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		for _, f := range fs {
 			if !f.Annotated() {
-				fatal(fmt.Errorf("%s/%s has no .labels sidecar", dir, f.Name))
+				return fatal(fmt.Errorf("%s/%s has no .labels sidecar", dir, f.Name))
 			}
 			files = append(files, f)
 		}
@@ -58,28 +73,33 @@ func main() {
 	}
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "strudel-train: no training data; pass -corpora or -dir")
-		os.Exit(2)
+		return 2
 	}
 
 	start := time.Now()
-	model, err := strudel.Train(files, strudel.TrainOptions{
+	model, err := strudel.TrainContext(ctx, files, strudel.TrainOptions{
 		Trees:           *trees,
 		Seed:            *seed,
 		MaxCellsPerFile: *maxCells,
 		LineOnly:        *lineOnly,
 	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "strudel-train: interrupted; no model written")
+		return 1
+	}
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	fmt.Printf("trained on %d files in %v\n", len(files), time.Since(start).Round(time.Millisecond))
 	if err := model.SaveFile(*out); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	info, err := os.Stat(*out)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	fmt.Printf("saved %s (%.1f MB)\n", *out, float64(info.Size())/1e6)
+	return 0
 }
 
 func splitList(s string) []string {
@@ -95,7 +115,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "strudel-train:", err)
-	os.Exit(1)
+	return 1
 }

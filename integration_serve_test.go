@@ -1,0 +1,188 @@
+package strudel_test
+
+// End-to-end exercise of the annotation service: a real model behind a
+// real TCP listener, driven through the public HTTP surface — upload,
+// path-ref, the typed failure statuses, request coalescing, and the
+// graceful drain. (External test package: internal/serve imports the root
+// package, so this test cannot live in package strudel.)
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"strudel"
+	"strudel/internal/obs"
+	"strudel/internal/serve"
+)
+
+const serveSampleCSV = `Employment by Sector 2020,,,
+,,,
+Sector,Q1,Q2,Q3
+Manufacturing,120,130,125
+Construction,80,85,90
+Retail,200,210,205
+Total,400,425,420
+,,,
+Source: labour force survey,,,
+`
+
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	files, err := strudel.GenerateCorpus("saus", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := strudel.Train(files, strudel.TrainOptions{Trees: 10, Seed: 1, LineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "ref.csv"), []byte(serveSampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	registry := strudel.NewObsRegistry()
+	srv, err := serve.New(serve.Config{
+		Model:    model,
+		Load:     strudel.LoadOptions{Ingest: strudel.IngestOptions{MaxBytes: 1 << 20}},
+		PathRoot: root,
+		Registry: registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, data
+	}
+
+	// Readiness comes up before any annotation work.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d", resp.StatusCode)
+	}
+
+	// Upload: the annotation comes back with one class per line.
+	status, body := post("/v1/annotate", serveSampleCSV)
+	if status != http.StatusOK {
+		t.Fatalf("upload: %d %s", status, body)
+	}
+	var ann struct {
+		Dialect string   `json:"dialect"`
+		Lines   []string `json:"lines"`
+	}
+	if err := json.Unmarshal(body, &ann); err != nil {
+		t.Fatal(err)
+	}
+	if len(ann.Lines) != 9 {
+		t.Errorf("upload lines = %d, want 9", len(ann.Lines))
+	}
+
+	// Path-ref: the same file by reference yields the same annotation.
+	status, refBody := post("/v1/annotate?path=ref.csv", "")
+	if status != http.StatusOK {
+		t.Fatalf("path-ref: %d %s", status, refBody)
+	}
+	var refAnn struct {
+		File  string   `json:"file"`
+		Lines []string `json:"lines"`
+	}
+	if err := json.Unmarshal(refBody, &refAnn); err != nil {
+		t.Fatal(err)
+	}
+	if refAnn.File != "ref.csv" || len(refAnn.Lines) != len(ann.Lines) {
+		t.Errorf("path-ref annotation diverged: file %q, %d lines", refAnn.File, len(refAnn.Lines))
+	}
+
+	// Oversized upload: shed with the typed 413 before annotation.
+	status, body = post("/v1/annotate", strings.Repeat("x,y,z\n", 200000))
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: %d %s", status, body)
+	}
+
+	// Malformed encoding: typed 422 naming the taxonomy sentinel. The
+	// hostile corpus's binary blob is undecodable even under lenient repair.
+	blob, err := os.ReadFile(filepath.Join("testdata", "hostile", "binary_blob.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = post("/v1/annotate", string(blob))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed: %d %s", status, body)
+	}
+	var apiErr struct {
+		Error struct {
+			Kind     string `json:"kind"`
+			Taxonomy string `json:"taxonomy"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Error.Kind != "bad_encoding" || apiErr.Error.Taxonomy != "ErrBadEncoding" {
+		t.Errorf("malformed: kind/taxonomy = %s/%s, want bad_encoding/ErrBadEncoding",
+			apiErr.Error.Kind, apiErr.Error.Taxonomy)
+	}
+
+	// Concurrent identical uploads coalesce: the counter must move.
+	distinct := serveSampleCSV + "Extra,1,2,3\n"
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := post("/v1/annotate", distinct)
+			if status != http.StatusOK {
+				t.Errorf("coalesced upload: %d %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := registry.Counter(obs.MServeCoalesced).Value(); got < 1 {
+		t.Errorf("serve/coalesced = %d, want >= 1 after 6 identical uploads", got)
+	}
+
+	// Graceful drain: cancelling the serve context returns nil promptly.
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("drain returned %v, want nil", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve never returned after cancellation")
+	}
+}

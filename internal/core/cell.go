@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -71,6 +72,16 @@ func DefaultCellTrainOptions() CellTrainOptions {
 // pool; the assembled training matrix is identical at every parallelism
 // level.
 func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error) {
+	// context.Background is never cancelled, so this is plain training.
+	return TrainCellContext(context.Background(), tables, opts)
+}
+
+// TrainCellContext is TrainCell with cooperative cancellation: the
+// embedded line model, the per-file cell feature extraction, and the cell
+// forest each stop at the next file or tree boundary once ctx is
+// cancelled, returning ctx's error. A nil ctx behaves like
+// context.Background.
+func TrainCellContext(ctx context.Context, tables []*table.Table, opts CellTrainOptions) (*CellModel, error) {
 	// Default only the unset pieces of the embedded line configuration: a
 	// caller that customizes Line.Features or Line.FeatureMask but leaves
 	// the forest zero must not have those choices silently discarded.
@@ -84,7 +95,7 @@ func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error)
 	if opts.Line.Parallelism == 0 {
 		opts.Line.Parallelism = opts.Parallelism
 	}
-	lineModel, err := TrainLine(tables, opts.Line)
+	lineModel, err := TrainLineContext(ctx, tables, opts.Line)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +113,7 @@ func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error)
 		y []int
 	}
 	perFile := make([]fileData, len(tables))
-	pipeline.ForEach(len(tables), opts.Parallelism, func(i int) {
+	err = pipeline.ForEachContext(ctx, len(tables), opts.Parallelism, func(i int) {
 		t := tables[i]
 		if t.CellClasses == nil {
 			return
@@ -122,6 +133,9 @@ func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error)
 		}
 		perFile[i] = fileData{X: fileX, y: fileY}
 	})
+	if err != nil {
+		return nil, err
+	}
 	var X [][]float64
 	var y []int
 	for i := range perFile {
@@ -131,7 +145,7 @@ func TrainCell(tables []*table.Table, opts CellTrainOptions) (*CellModel, error)
 	if len(X) == 0 {
 		return nil, errors.New("core: no annotated cells to train on")
 	}
-	f, err := forest.Fit(X, y, table.NumClasses, opts.Forest)
+	f, err := forest.FitContext(ctx, X, y, table.NumClasses, opts.Forest)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"strudel/internal/features"
@@ -55,12 +56,21 @@ func DefaultLineTrainOptions() LineTrainOptions {
 // worker pool; the assembled training matrix (and therefore the forest,
 // given a fixed seed) is identical at every parallelism level.
 func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error) {
+	// context.Background is never cancelled, so this is plain training.
+	return TrainLineContext(context.Background(), tables, opts)
+}
+
+// TrainLineContext is TrainLine with cooperative cancellation: feature
+// extraction stops dispatching files and the forest stops growing trees
+// once ctx is cancelled, returning ctx's error. A nil ctx behaves like
+// context.Background.
+func TrainLineContext(ctx context.Context, tables []*table.Table, opts LineTrainOptions) (*LineModel, error) {
 	type fileData struct {
 		X [][]float64
 		y []int
 	}
 	perFile := make([]fileData, len(tables))
-	pipeline.ForEach(len(tables), opts.Parallelism, func(i int) {
+	err := pipeline.ForEachContext(ctx, len(tables), opts.Parallelism, func(i int) {
 		t := tables[i]
 		if t.LineClasses == nil {
 			return
@@ -75,6 +85,9 @@ func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error)
 			perFile[i].y = append(perFile[i].y, idx)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	var X [][]float64
 	var y []int
 	for i := range perFile {
@@ -84,7 +97,7 @@ func TrainLine(tables []*table.Table, opts LineTrainOptions) (*LineModel, error)
 	if len(X) == 0 {
 		return nil, errors.New("core: no annotated lines to train on")
 	}
-	f, err := forest.Fit(X, y, table.NumClasses, opts.Forest)
+	f, err := forest.FitContext(ctx, X, y, table.NumClasses, opts.Forest)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -48,22 +49,61 @@ var (
 	// ErrTooManyCells is the Strict-mode form of the cells-per-line guard
 	// (enforced by the parse layer, which splits cells; see Provenance.Trip).
 	ErrTooManyCells = errors.New("ingest: cells per line exceed limit")
+	// ErrCancelled classifies a read aborted by context cancellation or a
+	// deadline (a request body whose client went away, a per-request
+	// timeout firing mid-read). It wraps the context error that caused it,
+	// so both errors.Is(err, ErrCancelled) and errors.Is(err,
+	// context.Canceled) (or DeadlineExceeded) hold on the same chain.
+	ErrCancelled = errors.New("ingest: read cancelled")
 )
 
 // A GuardError wraps a sentinel with the limit that tripped and the value
-// observed, so error messages and logs carry both numbers.
+// observed, so error messages and logs carry both numbers. For sentinels
+// without a numeric limit (ErrCancelled), Cause carries the underlying
+// error instead and participates in the unwrap chain.
 type GuardError struct {
 	Sentinel error
 	Limit    int64
 	Actual   int64
+	Cause    error
 }
 
 func (e *GuardError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("%v: %v", e.Sentinel, e.Cause)
+	}
 	return fmt.Sprintf("%v (limit %d, got %d)", e.Sentinel, e.Limit, e.Actual)
 }
 
-// Unwrap makes errors.Is(err, ErrTooLarge) etc. work through a GuardError.
-func (e *GuardError) Unwrap() error { return e.Sentinel }
+// Unwrap makes errors.Is(err, ErrTooLarge) etc. work through a GuardError —
+// and, when a Cause is attached (ErrCancelled wrapping context.Canceled),
+// lets errors.Is reach both the taxonomy sentinel and the original cause.
+func (e *GuardError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{e.Sentinel, e.Cause}
+	}
+	return []error{e.Sentinel}
+}
+
+// IsCancellation reports whether err is (or wraps) a context cancellation
+// or deadline.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// WrapCancelled maps a context cancellation or deadline surfaced by an I/O
+// error onto the typed taxonomy: the result satisfies errors.Is for both
+// ErrCancelled and the original context error. Non-context errors pass
+// through unchanged.
+func WrapCancelled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if IsCancellation(err) {
+		return &GuardError{Sentinel: ErrCancelled, Cause: err}
+	}
+	return err
+}
 
 // Default resource guards. They are deliberately generous: the point is to
 // survive adversarial input, not to reject big-but-honest files.
@@ -439,6 +479,9 @@ func Read(r io.Reader, opts Options) (Result, error) {
 		data, err = io.ReadAll(r)
 	}
 	if err != nil {
+		if IsCancellation(err) {
+			return Result{}, WrapCancelled(err)
+		}
 		return Result{}, fmt.Errorf("ingest: read: %w", err)
 	}
 	return Normalize(data, opts)

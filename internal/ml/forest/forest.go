@@ -5,6 +5,7 @@
 package forest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,6 +51,18 @@ type Forest struct {
 
 // Fit trains a forest on rows X with labels y in [0, numClasses).
 func Fit(X [][]float64, y []int, numClasses int, opts Options) (*Forest, error) {
+	// context.Background is never cancelled, so this is plain fitting.
+	return FitContext(context.Background(), X, y, numClasses, opts)
+}
+
+// FitContext is Fit with cooperative cancellation: workers check ctx
+// between trees, so a cancelled context stops the fit after the trees
+// currently growing finish, and ctx's error is returned. A nil ctx behaves
+// like context.Background.
+func FitContext(ctx context.Context, X [][]float64, y []int, numClasses int, opts Options) (*Forest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(X) == 0 {
 		return nil, errors.New("forest: no training samples")
 	}
@@ -115,6 +128,9 @@ func Fit(X [][]float64, y []int, numClasses int, opts Options) (*Forest, error) 
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return // cancelled: stop picking up trees
+				}
 				rng := rand.New(rand.NewSource(seeds[i]))
 				idx := make([]int, sampleSize)
 				for j := range idx {
@@ -139,6 +155,9 @@ func Fit(X [][]float64, y []int, numClasses int, opts Options) (*Forest, error) 
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -43,21 +43,16 @@ func publishExpvar(r *Registry) {
 	})
 }
 
-// ServeDebug starts an HTTP diagnostics server on addr exposing
+// RegisterDebug mounts the diagnostics endpoints on mux:
 //
 //	/debug/obs    the registry snapshot as deterministic JSON
 //	/debug/vars   the expvar namespace (includes the snapshot under "strudel")
 //	/debug/pprof  the standard net/http/pprof profile endpoints
 //
-// on its own mux — nothing is mounted on http.DefaultServeMux, so the
-// endpoints exist only when a caller opts in. The server runs until Close.
-func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
-	if r == nil {
-		return nil, fmt.Errorf("obs: ServeDebug needs a non-nil registry")
-	}
+// ServeDebug uses it for the standalone debug server; the serve daemon
+// mounts the same endpoints on its own private mux.
+func RegisterDebug(mux *http.ServeMux, r *Registry) {
 	publishExpvar(r)
-
-	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.Snapshot().WriteJSON(w) // best-effort: a dropped client connection loses nothing
@@ -68,6 +63,18 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeDebug starts an HTTP diagnostics server on addr exposing the
+// RegisterDebug endpoints on its own mux — nothing is mounted on
+// http.DefaultServeMux, so the endpoints exist only when a caller opts in.
+// The server runs until Close.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: ServeDebug needs a non-nil registry")
+	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, r)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -37,6 +37,9 @@ const (
 	// — the lookahead-stall histogram: time annotation spent waiting on
 	// ingest rather than classifying.
 	StageStreamFill Stage = "stream_fill"
+	// StageServeRequest covers one HTTP annotation request end to end:
+	// admission wait, annotation, and response encoding.
+	StageServeRequest Stage = "serve_request"
 )
 
 // MetricName returns the latency-histogram name a stage records under.
@@ -68,6 +71,8 @@ func (s Stage) MetricName() string {
 		return "stage/stream_window_seconds"
 	case StageStreamFill:
 		return "stage/stream_fill_seconds"
+	case StageServeRequest:
+		return "stage/serve_request_seconds"
 	}
 	return "stage/" + string(s) + "_seconds"
 }
@@ -97,6 +102,17 @@ const (
 	MBatchFilesTimeout   = "batch/files_timeout"   // per-file deadline exceeded
 	MBatchFilesPanic     = "batch/files_panic"     // recovered panics
 	MBatchFilesCancelled = "batch/files_cancelled" // batch cancelled before dispatch
+
+	MServeRequests   = "serve/requests"    // annotation requests received
+	MServeAccepted   = "serve/accepted"    // requests admitted to the queue
+	MServeShed       = "serve/shed"        // requests refused with 429 (queue full)
+	MServeCoalesced  = "serve/coalesced"   // requests served by another request's work
+	MServeTimeout    = "serve/timeout"     // requests that hit their deadline (504)
+	MServePanic      = "serve/panic"       // recovered per-request panics (500)
+	MServeCancelled  = "serve/cancelled"   // requests whose client went away mid-flight
+	MServeDrained    = "serve/drained"     // requests refused because the server is draining (503)
+	MServeQueueDepth = "serve/queue_depth" // gauge: requests admitted but not yet running
+	MServeInflight   = "serve/inflight"    // gauge: requests currently annotating
 
 	MStreamFiles      = "stream/files"        // streaming annotations started
 	MStreamLines      = "stream/lines"        // line annotations emitted

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+
+	"strudel/internal/obs"
+)
+
+// admission is the bounded front door of the annotation service: a request
+// first takes a queue position (shed with errQueueFull — HTTP 429 — when
+// the queue is at capacity, so waiting work is always bounded), then blocks
+// for one of the worker slots. The caller's context bounds the wait: a
+// deadline or client disconnect while queued abandons the position
+// immediately instead of occupying it until a slot frees.
+//
+// Memory is bounded by construction: at most QueueDepth handler goroutines
+// wait and at most Workers annotate; everything beyond that is refused at
+// the door with backpressure, never buffered.
+type admission struct {
+	queued   atomic.Int64  // requests admitted but not yet holding a slot
+	maxQueue int64         // shed threshold
+	slots    chan struct{} // one token per concurrent annotation
+	hooks    *obs.Hooks
+}
+
+func newAdmission(queueDepth, workers int, h *obs.Hooks) *admission {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &admission{
+		maxQueue: int64(queueDepth),
+		slots:    make(chan struct{}, workers),
+		hooks:    h,
+	}
+}
+
+// depth returns the number of requests currently queued (admitted, waiting
+// for a worker slot). The readiness probe compares it to the high-water
+// mark.
+func (a *admission) depth() int64 { return a.queued.Load() }
+
+// admit takes a queue position and waits for a worker slot. It returns a
+// release function to call when the request's work is done, or an error:
+// errQueueFull when the queue is at capacity (counted as serve/shed), or
+// ctx.Err() when the caller's deadline or disconnect fired while queued.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.hooks.Count(obs.MServeShed, 1)
+		return nil, errQueueFull
+	}
+	a.hooks.GaugeAdd(obs.MServeQueueDepth, 1)
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		a.hooks.GaugeAdd(obs.MServeQueueDepth, -1)
+		a.hooks.Count(obs.MServeAccepted, 1)
+		a.hooks.GaugeAdd(obs.MServeInflight, 1)
+		return a.release, nil
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		a.hooks.GaugeAdd(obs.MServeQueueDepth, -1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.hooks.GaugeAdd(obs.MServeInflight, -1)
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+
+	"strudel/internal/ingest"
+)
+
+// A cachedResult is one fully rendered response: status plus the encoded
+// JSON body. Results are immutable after creation, so one value is safely
+// shared between the coalesced requests and the LRU cache.
+type cachedResult struct {
+	status int
+	body   []byte
+}
+
+// resultCache is a small LRU of rendered annotation responses keyed by
+// content hash + option fingerprint. Only successful (200) results enter
+// it; error responses are cheap to recompute and must re-observe the
+// current queue state anyway.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *cachedResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(key string) (*cachedResult, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res *cachedResult) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results (tests and the readiness probe).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight coalesces concurrent identical requests: the first caller for a
+// key becomes the leader and runs fn; everyone else waits for the leader's
+// result (bounded by their own context). A follower whose leader died of
+// the leader's own cancellation — not the follower's — retries, becoming
+// the new leader, so one impatient client never poisons the result for the
+// patient ones.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *cachedResult
+	err  error
+}
+
+func newFlight() *flight {
+	return &flight{calls: make(map[string]*flightCall)}
+}
+
+// join returns the in-flight call for key, or registers a new one and
+// reports the caller as its leader.
+func (f *flight) join(key string) (*flightCall, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and wakes every follower.
+func (f *flight) finish(key string, c *flightCall) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+}
+
+// do runs fn once per key among concurrent callers. The second return
+// reports whether this caller shared another caller's work (the
+// serve/coalesced counter).
+func (f *flight) do(ctx context.Context, key string, fn func() (*cachedResult, error)) (*cachedResult, bool, error) {
+	for {
+		c, leader := f.join(key)
+		if leader {
+			c.res, c.err = fn()
+			f.finish(key, c)
+			return c.res, false, c.err
+		}
+		select {
+		case <-c.done:
+			if c.err != nil && isCancelErr(c.err) && ctx.Err() == nil {
+				continue // the leader's client gave up, not ours: re-run
+			}
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+}
+
+// isCancelErr reports whether err is a cancellation or deadline of any
+// flavor the pipeline produces.
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ingest.ErrCancelled)
+}

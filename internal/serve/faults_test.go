@@ -1,0 +1,688 @@
+package serve
+
+// The fault-injection suite: every fault the service is designed to absorb
+// — injected panics, stalled annotators, queue saturation, client
+// disconnects mid-request, shutdown under load, and the hostile ingest
+// corpus — driven through real HTTP, asserting that each produces its
+// deterministic status and that the process keeps serving afterwards.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"strudel"
+	"strudel/internal/ingest"
+	"strudel/internal/obs"
+	"strudel/internal/pipeline"
+)
+
+const sampleCSV = `Employment by Sector 2020,,,
+,,,
+Sector,Q1,Q2,Q3
+Manufacturing,120,130,125
+Construction,80,85,90
+Retail,200,210,205
+Total,400,425,420
+,,,
+Source: labour force survey,,,
+`
+
+var tm struct {
+	once sync.Once
+	m    *strudel.Model
+	err  error
+}
+
+func testModel(t *testing.T) *strudel.Model {
+	t.Helper()
+	tm.once.Do(func() {
+		files, err := strudel.GenerateCorpus("saus", 0.2)
+		if err != nil {
+			tm.err = err
+			return
+		}
+		tm.m, tm.err = strudel.Train(files, strudel.TrainOptions{Trees: 5, Seed: 3, LineOnly: true})
+	})
+	if tm.err != nil {
+		t.Fatal(tm.err)
+	}
+	return tm.m
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{Model: testModel(t), Workers: 2, QueueDepth: 8, DefaultTimeout: 5 * time.Second}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCSV(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// errKind extracts the structured error body's kind field.
+func errKind(t *testing.T, body []byte) string {
+	t.Helper()
+	var out struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("error body %q is not structured JSON: %v", body, err)
+	}
+	return out.Error.Kind
+}
+
+func waitCounter(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Counter(name).Value() >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("counter %s never reached %d (at %d)", name, want, reg.Counter(name).Value())
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	panicErr := pipeline.Safely(func() { panic("poisoned file") })
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+	}{
+		{errQueueFull, http.StatusTooManyRequests, "queue_full"},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},
+		{context.Canceled, statusClientClosedRequest, "cancelled"},
+		{&ingest.GuardError{Sentinel: ingest.ErrCancelled, Cause: context.Canceled}, statusClientClosedRequest, "cancelled"},
+		{&ingest.GuardError{Sentinel: ingest.ErrCancelled, Cause: context.DeadlineExceeded}, http.StatusGatewayTimeout, "timeout"},
+		{&ingest.GuardError{Sentinel: ingest.ErrTooLarge}, http.StatusRequestEntityTooLarge, "too_large"},
+		{&ingest.GuardError{Sentinel: ingest.ErrBadEncoding}, http.StatusUnprocessableEntity, "bad_encoding"},
+		{&ingest.GuardError{Sentinel: ingest.ErrEmptyInput}, http.StatusBadRequest, "empty_input"},
+		{&ingest.GuardError{Sentinel: ingest.ErrLineTooLong}, http.StatusUnprocessableEntity, "line_too_long"},
+		{&ingest.GuardError{Sentinel: ingest.ErrTooManyLines}, http.StatusUnprocessableEntity, "too_many_lines"},
+		{&ingest.GuardError{Sentinel: ingest.ErrTooManyCells}, http.StatusUnprocessableEntity, "too_many_cells"},
+		{panicErr, http.StatusInternalServerError, "panic"},
+		{fmt.Errorf("wrapped: %w", panicErr), http.StatusInternalServerError, "panic"},
+		{errPathRefDisabled, http.StatusForbidden, "path_ref_disabled"},
+		{errPathOutsideRoot, http.StatusForbidden, "path_outside_root"},
+		{errPathNotFound, http.StatusNotFound, "not_found"},
+		{errors.New("unclassified"), http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		got := classify(c.err)
+		if got.Status != c.status || got.Kind != c.kind {
+			t.Errorf("classify(%v) = %d/%s, want %d/%s", c.err, got.Status, got.Kind, c.status, c.kind)
+		}
+		// Determinism: the same fault classifies identically every time.
+		if again := classify(c.err); again != got {
+			t.Errorf("classify(%v) not deterministic: %+v then %+v", c.err, got, again)
+		}
+	}
+}
+
+func TestAnnotateRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Strudel-Source"); got != "fresh" {
+		t.Errorf("source = %q, want fresh", got)
+	}
+	var out struct {
+		Dialect string   `json:"dialect"`
+		Lines   []string `json:"lines"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lines) != 9 {
+		t.Errorf("lines = %d, want 9", len(out.Lines))
+	}
+}
+
+// TestInjectedPanicIsolated proves per-request panic isolation: a request
+// whose annotation panics gets a structured 500 and the process keeps
+// serving subsequent requests on the same worker pool.
+func TestInjectedPanicIsolated(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.testHookAnnotate = func(context.Context) error { panic("injected fault") }
+	resp, body := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if kind := errKind(t, body); kind != "panic" {
+		t.Errorf("kind = %q, want panic", kind)
+	}
+	if got := s.Registry().Counter(obs.MServePanic).Value(); got < 1 {
+		t.Errorf("serve/panic = %d, want >= 1", got)
+	}
+
+	s.testHookAnnotate = nil
+	resp, body = postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("process did not survive the panic: status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestQueueSaturationSheds proves admission control: with one worker
+// stalled and the one queue position taken, the next request is shed
+// immediately with 429 + Retry-After instead of buffering, and the stalled
+// requests still complete once the fault clears.
+func TestQueueSaturationSheds(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.Workers = 1
+		cfg.QueueDepth = 1
+		cfg.CacheEntries = -1
+	})
+	s.testHookAnnotate = func(ctx context.Context) error {
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	// Distinct bodies so coalescing cannot merge the requests.
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	post := func(body string) {
+		resp, data := postCSV(t, ts.URL+"/v1/annotate", body)
+		results <- result{resp.StatusCode, data}
+	}
+	go post(sampleCSV + "A,1,2,3\n")
+	waitCounter(t, s.Registry(), obs.MServeAccepted, 1) // A holds the worker slot
+	go post(sampleCSV + "B,4,5,6\n")
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond) // B takes the queue position
+	}
+	if s.QueueDepth() < 1 {
+		t.Fatal("second request never queued")
+	}
+
+	resp, body := postCSV(t, ts.URL+"/v1/annotate", sampleCSV+"C,7,8,9\n")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue returned %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if kind := errKind(t, body); kind != "queue_full" {
+		t.Errorf("kind = %q, want queue_full", kind)
+	}
+	if got := s.Registry().Counter(obs.MServeShed).Value(); got != 1 {
+		t.Errorf("serve/shed = %d, want 1", got)
+	}
+
+	close(gate) // clear the fault: both stalled requests must complete
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Errorf("stalled request finished with %d, body %s", r.status, r.body)
+		}
+	}
+}
+
+// TestDeadlineCancelsCooperatively proves the per-request deadline: a
+// stalled annotation observes context cancellation, the client gets 504,
+// and the timeout counter records it.
+func TestDeadlineCancelsCooperatively(t *testing.T) {
+	observed := make(chan struct{}, 1)
+	s, ts := newTestServer(t, nil)
+	s.testHookAnnotate = func(ctx context.Context) error {
+		<-ctx.Done() // the stall: never finishes on its own
+		observed <- struct{}{}
+		return ctx.Err()
+	}
+	resp, body := postCSV(t, ts.URL+"/v1/annotate?timeout=50ms", sampleCSV)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if kind := errKind(t, body); kind != "timeout" {
+		t.Errorf("kind = %q, want timeout", kind)
+	}
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled annotator never observed cancellation")
+	}
+	if got := s.Registry().Counter(obs.MServeTimeout).Value(); got != 1 {
+		t.Errorf("serve/timeout = %d, want 1", got)
+	}
+}
+
+// TestClientDisconnectCancels proves a mid-request disconnect propagates:
+// the in-flight annotation's context is cancelled and the outcome is
+// recorded as a client-closed request, freeing the worker slot.
+func TestClientDisconnectCancels(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	observed := make(chan struct{}, 1)
+	s, ts := newTestServer(t, nil)
+	s.testHookAnnotate = func(ctx context.Context) error {
+		entered <- struct{}{}
+		<-ctx.Done()
+		observed <- struct{}{}
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/annotate", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, rerr := http.DefaultClient.Do(req)
+		if rerr == nil {
+			_ = resp.Body.Close()
+		}
+		done <- rerr
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the annotator")
+	}
+	cancel() // the disconnect
+	if rerr := <-done; rerr == nil {
+		t.Error("client should observe its own cancellation")
+	}
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never observed the disconnect")
+	}
+	waitCounter(t, s.Registry(), obs.MServeCancelled, 1)
+	// The worker slot must be free again: a fresh request succeeds.
+	s.testHookAnnotate = nil
+	resp, body := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request failed: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHostileCorpusDeterministic drives the full hostile ingest corpus
+// through HTTP twice: every file must map to a deterministic, repeatable
+// status from the typed taxonomy — and never a 500.
+func TestHostileCorpusDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	dir := filepath.Join("..", "..", "testdata", "hostile")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("hostile corpus is empty")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp1, body1 := postCSV(t, ts.URL+"/v1/annotate", string(data))
+		resp2, body2 := postCSV(t, ts.URL+"/v1/annotate", string(data))
+		if resp1.StatusCode != resp2.StatusCode {
+			t.Errorf("%s: status flapped %d -> %d", e.Name(), resp1.StatusCode, resp2.StatusCode)
+		}
+		if resp1.StatusCode >= 500 {
+			t.Errorf("%s: hostile input produced %d (body %s)", e.Name(), resp1.StatusCode, body1)
+		}
+		if resp1.StatusCode != http.StatusOK && errKind(t, body1) == "" {
+			t.Errorf("%s: error response without a kind: %s", e.Name(), body1)
+		}
+		_ = body2
+	}
+	// Named expectations for the two unambiguous taxonomy mappings.
+	for name, want := range map[string]struct {
+		status int
+		kind   string
+	}{
+		"binary_blob.csv": {http.StatusUnprocessableEntity, "bad_encoding"},
+		"empty.csv":       {http.StatusBadRequest, "empty_input"},
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postCSV(t, ts.URL+"/v1/annotate", string(data))
+		if resp.StatusCode != want.status || errKind(t, body) != want.kind {
+			t.Errorf("%s: got %d/%s, want %d/%s", name, resp.StatusCode, errKind(t, body), want.status, want.kind)
+		}
+	}
+	// The process survived the whole corpus.
+	resp, _ := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after hostile corpus: %d", resp.StatusCode)
+	}
+}
+
+// TestCoalescingConcurrent proves identical concurrent uploads share one
+// annotation: one admission, the rest counted as coalesced.
+func TestCoalescingConcurrent(t *testing.T) {
+	const clients = 8
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, func(cfg *Config) { cfg.Workers = 4 })
+	s.testHookAnnotate = func(ctx context.Context) error {
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var wg sync.WaitGroup
+	statuses := make([]int, clients)
+	bodies := make([][]byte, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+			statuses[i] = resp.StatusCode
+			bodies[i] = body
+		}(i)
+	}
+	// All clients in flight, exactly one admitted (the flight leader).
+	waitCounter(t, s.Registry(), obs.MServeRequests, clients)
+	waitCounter(t, s.Registry(), obs.MServeAccepted, 1)
+	time.Sleep(50 * time.Millisecond) // let the followers reach the flight
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d, body %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("client %d received a different body", i)
+		}
+	}
+	reg := s.Registry()
+	accepted := reg.Counter(obs.MServeAccepted).Value()
+	coalesced := reg.Counter(obs.MServeCoalesced).Value()
+	if accepted > 2 {
+		t.Errorf("serve/accepted = %d, want 1 (2 tolerated for a late joiner)", accepted)
+	}
+	if coalesced < clients-2 {
+		t.Errorf("serve/coalesced = %d, want >= %d", coalesced, clients-2)
+	}
+	// A repeat upload is served from the LRU and counted coalesced.
+	s.testHookAnnotate = nil
+	before := reg.Counter(obs.MServeCoalesced).Value()
+	resp, _ := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if got := resp.Header.Get("X-Strudel-Source"); got != "cache" {
+		t.Errorf("repeat upload source = %q, want cache", got)
+	}
+	if after := reg.Counter(obs.MServeCoalesced).Value(); after != before+1 {
+		t.Errorf("cache hit did not count coalesced: %d -> %d", before, after)
+	}
+}
+
+// TestDrainUnderLoad proves graceful shutdown: cancelling the serve
+// context stops accepting, the in-flight request completes, and Serve
+// returns nil within the drain budget.
+func TestDrainUnderLoad(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	s, err := New(Config{Model: testModel(t), Workers: 2, QueueDepth: 4, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHookAnnotate = func(ctx context.Context) error {
+		entered <- struct{}{}
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	url := "http://" + ln.Addr().String() + "/v1/annotate"
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url, "text/csv", strings.NewReader(sampleCSV))
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the annotator")
+	}
+
+	cancel() // SIGTERM equivalent: begin the drain
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !s.Draining() {
+		t.Fatal("server never entered draining state")
+	}
+	// New connections are refused once the listener is closed.
+	refused := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Post(url, "text/csv", strings.NewReader(sampleCSV))
+		if err != nil {
+			refused = true
+			break
+		}
+		code := resp.StatusCode
+		_ = resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			refused = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new work was still accepted while draining")
+	}
+
+	close(gate) // let the in-flight request finish
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", code)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("drain returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never returned after drain")
+	}
+}
+
+// TestDrainingRejectsWithConnectionClose checks the in-handler draining
+// response for connections that are already open when the drain begins.
+func TestDrainingRejectsWithConnectionClose(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.draining.Store(true)
+	resp, body := postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if kind := errKind(t, body); kind != "draining" {
+		t.Errorf("kind = %q, want draining", kind)
+	}
+	// Go's http server consumes the handler's Connection: close header and
+	// closes the connection; the client sees it as resp.Close.
+	if !resp.Close {
+		t.Error("503 draining response did not close the connection")
+	}
+}
+
+func TestOversizedUploadRejectedAt413(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) { cfg.Load.Ingest.MaxBytes = 64 })
+	resp, body := postCSV(t, ts.URL+"/v1/annotate", strings.Repeat("a,b,c\n", 100))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if kind := errKind(t, body); kind != "too_large" {
+		t.Errorf("kind = %q, want too_large", kind)
+	}
+}
+
+func TestPathRefSafety(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "good.csv"), []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, func(cfg *Config) { cfg.PathRoot = root })
+	cases := []struct {
+		path   string
+		status int
+	}{
+		{"good.csv", http.StatusOK},
+		{"missing.csv", http.StatusNotFound},
+		{"../../../etc/passwd", http.StatusNotFound}, // cleaned back under root, which lacks it
+	}
+	for _, c := range cases {
+		resp, body := postCSV(t, ts.URL+"/v1/annotate?path="+c.path, "")
+		if resp.StatusCode != c.status {
+			t.Errorf("path %q: status = %d, want %d (body %s)", c.path, resp.StatusCode, c.status, body)
+		}
+	}
+	// Path refs without a configured root are refused outright.
+	_, ts2 := newTestServer(t, nil)
+	resp, body := postCSV(t, ts2.URL+"/v1/annotate?path=good.csv", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("path ref without root: status = %d, want 403 (body %s)", resp.StatusCode, body)
+	}
+	if kind := errKind(t, body); kind != "path_ref_disabled" {
+		t.Errorf("kind = %q, want path_ref_disabled", kind)
+	}
+}
+
+func TestNDJSONStreaming(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := postCSV(t, ts.URL+"/v1/annotate?format=ndjson", sampleCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("ndjson lines = %d, want rows + summary", len(lines))
+	}
+	for i, ln := range lines[:len(lines)-1] {
+		var rec struct {
+			Row   int    `json:"row"`
+			Class string `json:"class"`
+		}
+		if err := json.Unmarshal(ln, &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v (%s)", i, err, ln)
+		}
+		if rec.Class == "" {
+			t.Errorf("line %d has no class", i)
+		}
+	}
+	var sum struct {
+		Summary bool `json:"summary"`
+		Lines   int  `json:"lines"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil || !sum.Summary {
+		t.Fatalf("stream did not end with a summary: %s (err %v)", lines[len(lines)-1], err)
+	}
+	if sum.Lines != len(lines)-1 {
+		t.Errorf("summary lines = %d, emitted %d", sum.Lines, len(lines)-1)
+	}
+}
+
+func TestBadParamsRejected(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, q := range []string{"?timeout=banana", "?timeout=-3s", "?format=xml", "?cells=maybe"} {
+		resp, body := postCSV(t, ts.URL+"/v1/annotate"+q, sampleCSV)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", q, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestReadyzTracksQueueAndDraining(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh server not ready: %d", resp.StatusCode)
+	}
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server reported ready: %d", resp.StatusCode)
+	}
+}
+
+func TestDebugObsExposesServeCounters(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	_, _ = postCSV(t, ts.URL+"/v1/annotate", sampleCSV)
+	resp, err := http.Get(ts.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{obs.MServeRequests, obs.MServeAccepted} {
+		if !bytes.Contains(body, []byte(name)) {
+			t.Errorf("/debug/obs missing %s: %s", name, body)
+		}
+	}
+}

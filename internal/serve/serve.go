@@ -1,0 +1,738 @@
+// Package serve is the fault-tolerant HTTP annotation service: a
+// robustness envelope around the strudel batch and streaming entry points
+// that stays correct under overload, hostile inputs, and partial failure.
+//
+// The envelope, outside in:
+//
+//   - slow-client protection: header/read/write timeouts on the HTTP
+//     server, and the ingest MaxBytes guard enforced while the body is
+//     read, before anything is buffered beyond the cap;
+//   - admission control: a bounded queue in front of a bounded worker
+//     pool. When the queue is full the request is shed immediately with
+//     429 + Retry-After — backpressure, never unbounded buffering;
+//   - per-request deadlines: a server default, overridable per request and
+//     clamped to a maximum, mapped onto context cancellation and the batch
+//     layer's FileTimeout. A deadline that fires returns 504 and the
+//     worker abandons the file exactly as AnnotateAllContext does;
+//   - coalescing: identical concurrent uploads (content hash + options)
+//     share one annotation via an in-package singleflight, and recent
+//     results are kept in a small LRU;
+//   - panic isolation: every request runs inside pipeline.Safely barriers
+//     (the batch layer's per-file barrier plus a handler-level one), so a
+//     poisoned file returns a structured 500 while the process keeps
+//     serving;
+//   - typed failure mapping: every error surfaces through the PR 3 ingest
+//     taxonomy and maps to a deterministic HTTP status (see classify);
+//   - graceful drain: Serve stops accepting on context cancellation,
+//     lets in-flight requests finish or deadline-out, and bounds the whole
+//     drain with a timeout.
+//
+// Readiness (/readyz) reflects the admission queue: the service reports
+// not-ready when the queue sits above its high-water mark or the server is
+// draining, so load balancers steer traffic away before requests shed.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"strudel"
+	"strudel/internal/ingest"
+	"strudel/internal/obs"
+	"strudel/internal/pipeline"
+)
+
+// Sentinels for serve-layer request failures outside the ingest taxonomy.
+var (
+	errPathRefDisabled = errors.New("serve: path-ref annotation is disabled (start with -root to enable)")
+	errPathOutsideRoot = errors.New("serve: path escapes the configured root")
+	errPathNotFound    = errors.New("serve: no such file under the configured root")
+	errBodyRead        = errors.New("serve: reading request body failed")
+)
+
+// minRequestTimeout is the lowest deadline a client may request; anything
+// smaller would expire during admission and only measure queue latency.
+const minRequestTimeout = time.Millisecond
+
+// Config configures a Server. The zero value of every field except Model
+// applies a sensible default.
+type Config struct {
+	// Model is the trained model annotations run against. Required: the
+	// service refuses to construct without one, which is what makes
+	// "/readyz implies the model is loaded" true by construction.
+	Model *strudel.Model
+	// Load carries the ingest guards and dialect policy applied to every
+	// request (MaxBytes is also enforced while reading the body). The Obs
+	// field is overridden with the server's own hooks.
+	Load strudel.LoadOptions
+	// Workers bounds concurrent annotations (0 = all CPUs).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; beyond it requests
+	// shed with 429 (0 = 4x Workers).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the client does not
+	// pass ?timeout= (0 = 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (0 = 60s).
+	MaxTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown (0 = 15s).
+	DrainTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (0 = 1s).
+	RetryAfter time.Duration
+	// CacheEntries sizes the coalescing LRU of rendered results
+	// (0 = 128, negative disables caching).
+	CacheEntries int
+	// ReadyHighWater is the queue depth at which /readyz starts reporting
+	// not-ready (0 = 3/4 of QueueDepth).
+	ReadyHighWater int
+	// PathRoot enables path-ref annotation (?path=rel/file.csv) for files
+	// under this directory. Empty disables it.
+	PathRoot string
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout protect against slow
+	// clients (0 = 5s / MaxTimeout+30s / MaxTimeout+30s).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	// Registry receives the serve metrics; one is created when nil.
+	Registry *obs.Registry
+}
+
+// Server is the annotation service. Create one with New; it is safe for
+// concurrent use by the HTTP stack.
+type Server struct {
+	cfg    Config
+	model  *strudel.Model
+	reg    *obs.Registry
+	hooks  *obs.Hooks
+	adm    *admission
+	cache  *resultCache
+	flight *flight
+	mux    *http.ServeMux
+
+	draining atomic.Bool
+
+	// testHookAnnotate, when set, runs with a worker slot held before the
+	// real annotation. The fault-injection suite uses it to stall (it
+	// blocks until the request context is done) or to panic, proving the
+	// deadline and isolation machinery without a pathological input.
+	testHookAnnotate func(ctx context.Context) error
+}
+
+// New validates cfg, applies defaults, and builds the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("serve: Config.Model is required; load or train a model before starting the service")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 15 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = 128
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0
+	}
+	if cfg.ReadyHighWater <= 0 {
+		cfg.ReadyHighWater = 3 * cfg.QueueDepth / 4
+		if cfg.ReadyHighWater < 1 {
+			cfg.ReadyHighWater = 1
+		}
+	}
+	if cfg.PathRoot != "" {
+		abs, err := filepath.Abs(cfg.PathRoot)
+		if err != nil {
+			return nil, fmt.Errorf("serve: resolve root %q: %w", cfg.PathRoot, err)
+		}
+		cfg.PathRoot = abs
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = cfg.MaxTimeout + 30*time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = cfg.MaxTimeout + 30*time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	hooks := obs.NewHooks(reg)
+
+	s := &Server{
+		cfg:    cfg,
+		model:  cfg.Model,
+		reg:    reg,
+		hooks:  hooks,
+		adm:    newAdmission(cfg.QueueDepth, cfg.Workers, hooks),
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlight(),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/annotate", s.protect(s.handleAnnotate))
+	s.mux.HandleFunc("GET /v1/annotate", s.protect(s.handleAnnotate))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	obs.RegisterDebug(s.mux, reg)
+	s.mux.HandleFunc("/", s.handleNotFound)
+	return s, nil
+}
+
+// Registry returns the metric registry the service records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// QueueDepth returns the number of requests admitted but not yet running.
+func (s *Server) QueueDepth() int64 { return s.adm.depth() }
+
+// Draining reports whether the server has stopped accepting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's HTTP handler (annotation endpoints, health
+// probes, and the /debug diagnostics), for callers that embed the service
+// in their own server. Serve wires it up with slow-client protection.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then drains:
+// accepting stops, requests already in flight finish (or hit their own
+// deadlines), and the whole drain is bounded by Config.DrainTimeout. A
+// clean drain returns nil; a drain that had to force-close connections
+// returns the shutdown error.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	// The drain deadline must outlive the (already cancelled) serve
+	// context, so it is derived from it without its cancellation.
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		_ = srv.Close() // bound the drain: force-close what remains
+		return fmt.Errorf("serve: drain exceeded %s: %w", s.cfg.DrainTimeout, err)
+	}
+	return nil
+}
+
+// protect is the handler-level panic barrier: a panic anywhere in request
+// handling becomes a structured 500 and the process keeps serving.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := pipeline.Safely(func() { h(w, r) }); err != nil {
+			s.hooks.Count(obs.MServePanic, 1)
+			writeAPIError(w, classify(err))
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n") // best-effort probe response
+}
+
+// handleReadyz reports readiness: the model is loaded (by construction),
+// the server is not draining, and the admission queue sits below its
+// high-water mark. Load balancers should steer traffic away on 503.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	depth := s.adm.depth()
+	ready := !s.draining.Load() && depth < int64(s.cfg.ReadyHighWater)
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(struct { // best-effort probe response
+		Ready      bool  `json:"ready"`
+		Draining   bool  `json:"draining"`
+		QueueDepth int64 `json:"queue_depth"`
+		HighWater  int   `json:"high_water"`
+	}{ready, s.draining.Load(), depth, s.cfg.ReadyHighWater})
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, _ *http.Request) {
+	writeAPIError(w, apiError{Status: http.StatusNotFound, Kind: "not_found",
+		Message: "unknown endpoint; see /v1/annotate, /healthz, /readyz, /debug/obs"})
+}
+
+// reqParams are the per-request knobs parsed from the URL and headers.
+type reqParams struct {
+	timeout time.Duration
+	cells   bool
+	ndjson  bool
+	path    string
+	name    string
+	dialect *strudel.Dialect
+}
+
+func (s *Server) parseParams(r *http.Request) (reqParams, *apiError) {
+	q := r.URL.Query()
+	p := reqParams{timeout: s.cfg.DefaultTimeout, name: "upload"}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, &apiError{Status: http.StatusBadRequest, Kind: "bad_timeout",
+				Message: fmt.Sprintf("timeout %q is not a positive Go duration", v)}
+		}
+		if d < minRequestTimeout {
+			d = minRequestTimeout
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		p.timeout = d
+	}
+	switch v := q.Get("cells"); v {
+	case "", "0", "false":
+	case "1", "true":
+		p.cells = true
+	default:
+		return p, &apiError{Status: http.StatusBadRequest, Kind: "bad_param",
+			Message: fmt.Sprintf("cells %q is not a boolean", v)}
+	}
+	switch v := q.Get("format"); v {
+	case "", "json":
+	case "ndjson":
+		p.ndjson = true
+	default:
+		return p, &apiError{Status: http.StatusBadRequest, Kind: "bad_param",
+			Message: fmt.Sprintf("format %q is neither json nor ndjson", v)}
+	}
+	if r.Header.Get("Accept") == "application/x-ndjson" {
+		p.ndjson = true
+	}
+	if p.path = q.Get("path"); p.path != "" {
+		p.name = p.path
+	}
+	if v := q.Get("dialect"); v != "" {
+		d := strudel.DefaultDialect
+		d.Delimiter = parseDelim(v)
+		p.dialect = &d
+	}
+	return p, nil
+}
+
+// handleAnnotate is the annotation endpoint: upload body or path-ref in,
+// annotation JSON (or NDJSON stream) out, with the whole robustness
+// envelope applied.
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	h := s.hooks
+	h.Count(obs.MServeRequests, 1)
+	start := h.SpanStart(obs.StageServeRequest)
+	defer h.SpanEnd(obs.StageServeRequest, start)
+
+	if s.draining.Load() {
+		h.Count(obs.MServeDrained, 1)
+		writeAPIError(w, apiError{Status: http.StatusServiceUnavailable, Kind: "draining",
+			Message: "server is draining; retry against another instance"})
+		return
+	}
+	p, ae := s.parseParams(r)
+	if ae != nil {
+		writeAPIError(w, *ae)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	if p.ndjson {
+		s.annotateNDJSON(ctx, w, r, p)
+		return
+	}
+	data, err := s.readInput(ctx, r, p)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	key := requestKey(data, p)
+	if res, ok := s.cache.get(key); ok {
+		h.Count(obs.MServeCoalesced, 1)
+		writeResult(w, res, "cache")
+		return
+	}
+	res, shared, err := s.flight.do(ctx, key, func() (*cachedResult, error) {
+		return s.annotateOnce(ctx, data, p)
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	source := "fresh"
+	if shared {
+		h.Count(obs.MServeCoalesced, 1)
+		source = "flight"
+	} else if res.status == http.StatusOK {
+		s.cache.put(key, res)
+	}
+	writeResult(w, res, source)
+}
+
+// annotateOnce is the admitted unit of work: wait for a worker slot, run
+// the (possibly injected) annotation inside a panic barrier, render the
+// response. It runs at most once per coalescing key among concurrent
+// requests.
+func (s *Server) annotateOnce(ctx context.Context, data []byte, p reqParams) (*cachedResult, error) {
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := s.runTestHook(ctx); err != nil {
+		return nil, err
+	}
+	var res *cachedResult
+	var aerr error
+	if perr := pipeline.Safely(func() { res, aerr = s.annotateRender(ctx, data, p) }); perr != nil {
+		s.hooks.Count(obs.MServePanic, 1)
+		return nil, perr
+	}
+	return res, aerr
+}
+
+// runTestHook executes the fault-injection hook (if any) inside its own
+// panic barrier, so an injected panic takes the same recovery path a
+// poisoned file would.
+func (s *Server) runTestHook(ctx context.Context) error {
+	hook := s.testHookAnnotate
+	if hook == nil {
+		return nil
+	}
+	var herr error
+	if perr := pipeline.Safely(func() { herr = hook(ctx) }); perr != nil {
+		s.hooks.Count(obs.MServePanic, 1)
+		return perr
+	}
+	return herr
+}
+
+// annotateRender loads the bytes through the hardened front door and
+// annotates them under the request deadline, returning the rendered JSON.
+func (s *Server) annotateRender(ctx context.Context, data []byte, p reqParams) (*cachedResult, error) {
+	tbl, d, err := strudel.LoadBytes(data, s.loadOptions(p))
+	if err != nil {
+		return nil, err // typed ingest taxonomy: deterministic status
+	}
+	tbl.Name = p.name
+	anns := s.model.AnnotateAllContext(ctx, []*strudel.Table{tbl}, strudel.BatchOptions{
+		Parallelism: 1,
+		FileTimeout: p.timeout,
+		Obs:         s.hooks,
+	})
+	ann := anns[0]
+	if ann.Err != nil {
+		var pe *pipeline.PanicError
+		if errors.As(ann.Err, &pe) {
+			s.hooks.Count(obs.MServePanic, 1)
+		}
+		return nil, ann.Err
+	}
+	body, err := renderAnnotation(p, d, ann)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedResult{status: http.StatusOK, body: body}, nil
+}
+
+// loadOptions is the per-request load configuration: the server's guards
+// and hooks plus the request's dialect override.
+func (s *Server) loadOptions(p reqParams) strudel.LoadOptions {
+	opts := s.cfg.Load
+	opts.Obs = s.hooks
+	if p.dialect != nil {
+		opts.ForceDialect = p.dialect
+	}
+	return opts
+}
+
+// maxBytes is the effective per-request size cap.
+func (s *Server) maxBytes() int64 {
+	if s.cfg.Load.Ingest.MaxBytes != 0 {
+		return s.cfg.Load.Ingest.MaxBytes
+	}
+	return ingest.DefaultMaxBytes
+}
+
+// readInput produces the raw bytes to annotate: the upload body (capped at
+// MaxBytes while reading, before buffering beyond the limit) or a path-ref
+// under the configured root.
+func (s *Server) readInput(ctx context.Context, r *http.Request, p reqParams) ([]byte, error) {
+	if p.path != "" {
+		return s.readPathRef(p.path)
+	}
+	max := s.maxBytes()
+	data, err := io.ReadAll(io.LimitReader(r.Body, max+1))
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, ingest.WrapCancelled(cerr)
+		}
+		if ingest.IsCancellation(err) {
+			return nil, ingest.WrapCancelled(err)
+		}
+		return nil, fmt.Errorf("%w: %w", errBodyRead, err)
+	}
+	if int64(len(data)) > max {
+		return nil, &ingest.GuardError{Sentinel: ingest.ErrTooLarge, Limit: max, Actual: int64(len(data))}
+	}
+	return data, nil
+}
+
+// resolvePathRef maps a client path-ref onto a file under the configured
+// root, refusing escapes.
+func (s *Server) resolvePathRef(ref string) (string, error) {
+	if s.cfg.PathRoot == "" {
+		return "", errPathRefDisabled
+	}
+	full := filepath.Join(s.cfg.PathRoot, filepath.Clean("/"+ref))
+	rel, err := filepath.Rel(s.cfg.PathRoot, full)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", errPathOutsideRoot
+	}
+	return full, nil
+}
+
+func (s *Server) readPathRef(ref string) ([]byte, error) {
+	full, err := s.resolvePathRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(full)
+	if err != nil || info.IsDir() {
+		return nil, errPathNotFound
+	}
+	max := s.maxBytes()
+	if info.Size() > max {
+		return nil, &ingest.GuardError{Sentinel: ingest.ErrTooLarge, Limit: max, Actual: info.Size()}
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		return nil, errPathNotFound
+	}
+	return data, nil
+}
+
+// annotateNDJSON streams the annotation: the upload body (or path-ref)
+// goes straight through AnnotateStream and each classified line is written
+// and flushed as its window completes — bounded memory on both sides.
+// Streaming responses are not coalesced (the body is never buffered, so
+// there is no content hash to coalesce on).
+func (s *Server) annotateNDJSON(ctx context.Context, w http.ResponseWriter, r *http.Request, p reqParams) {
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+	if err := s.runTestHook(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	opts := strudel.StreamOptions{Load: s.loadOptions(p)}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(la strudel.LineAnnotation) error {
+		rec := struct {
+			Row    int      `json:"row"`
+			Class  string   `json:"class"`
+			Cells  []string `json:"cells,omitempty"`
+			Fields []string `json:"fields"`
+		}{Row: la.Row, Class: la.Class.String(), Fields: la.Fields}
+		if p.cells {
+			for _, c := range la.Cells {
+				rec.Cells = append(rec.Cells, c.String())
+			}
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	var sum *strudel.StreamSummary
+	var serr error
+	if perr := pipeline.Safely(func() {
+		if p.path != "" {
+			var full string
+			if full, serr = s.resolvePathRef(p.path); serr == nil {
+				sum, serr = s.model.AnnotateFileStream(ctx, full, opts, emit)
+			}
+		} else {
+			sum, serr = s.model.AnnotateStream(ctx, r.Body, opts, emit)
+		}
+	}); perr != nil {
+		s.hooks.Count(obs.MServePanic, 1)
+		serr = perr
+	}
+	if serr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			serr = ingest.WrapCancelled(cerr)
+		}
+		if !wrote {
+			s.fail(w, serr)
+			return
+		}
+		ae := classify(serr)
+		s.countOutcome(ae)
+		_ = enc.Encode(struct { // trailer on an already-started stream
+			Error apiError `json:"error"`
+		}{ae})
+		return
+	}
+	_ = enc.Encode(struct { // best-effort closing summary
+		Summary  bool                `json:"summary"`
+		Lines    int                 `json:"lines"`
+		Windows  int                 `json:"windows"`
+		Dialect  string              `json:"dialect"`
+		Degraded []string            `json:"degraded,omitempty"`
+		Prov     *strudel.Provenance `json:"provenance,omitempty"`
+	}{true, sum.Lines, sum.Windows, sum.Dialect.String(), sum.Degraded, sum.Provenance})
+}
+
+// fail classifies err, records its outcome counter, and writes the
+// structured error response.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	ae := classify(err)
+	if ae.Status == http.StatusTooManyRequests {
+		ae.RetryAfter = int(s.cfg.RetryAfter.Seconds())
+		if ae.RetryAfter < 1 {
+			ae.RetryAfter = 1
+		}
+	}
+	s.countOutcome(ae)
+	writeAPIError(w, ae)
+}
+
+// countOutcome records the per-request outcome counters. Panics are
+// counted at their recovery sites (events, not requests), and sheds are
+// counted inside admission, so neither appears here.
+func (s *Server) countOutcome(ae apiError) {
+	switch ae.Status {
+	case http.StatusGatewayTimeout:
+		s.hooks.Count(obs.MServeTimeout, 1)
+	case statusClientClosedRequest:
+		s.hooks.Count(obs.MServeCancelled, 1)
+	}
+}
+
+// requestKey is the coalescing key: content hash plus every option that
+// changes the rendered result — including the display name, so a path-ref
+// and a byte-identical upload never share a response body.
+func requestKey(data []byte, p reqParams) string {
+	sum := sha256.Sum256(data)
+	var d string
+	if p.dialect != nil {
+		d = p.dialect.String()
+	}
+	return fmt.Sprintf("%x|cells=%t|dialect=%s|name=%s", sum, p.cells, d, p.name)
+}
+
+// writeResult sends a rendered annotation; source says how it was
+// produced ("fresh", "flight" = coalesced with a concurrent request,
+// "cache" = LRU hit).
+func writeResult(w http.ResponseWriter, res *cachedResult, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Strudel-Source", source)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body) // best-effort: the client may be gone
+}
+
+// renderAnnotation encodes one successful annotation as the response body.
+func renderAnnotation(p reqParams, d strudel.Dialect, ann *strudel.Annotation) ([]byte, error) {
+	out := struct {
+		File       string              `json:"file,omitempty"`
+		Dialect    string              `json:"dialect"`
+		Lines      []string            `json:"lines"`
+		Cells      [][]string          `json:"cells,omitempty"`
+		Degraded   []string            `json:"degraded,omitempty"`
+		Provenance *strudel.Provenance `json:"provenance,omitempty"`
+	}{Dialect: d.String(), Degraded: ann.Degraded, Provenance: ann.Provenance}
+	if p.path != "" {
+		out.File = p.path
+	}
+	out.Lines = make([]string, 0, len(ann.Lines))
+	for _, c := range ann.Lines {
+		out.Lines = append(out.Lines, c.String())
+	}
+	if p.cells {
+		out.Cells = make([][]string, 0, len(ann.Cells))
+		for _, row := range ann.Cells {
+			names := make([]string, 0, len(row))
+			for _, c := range row {
+				names = append(names, c.String())
+			}
+			out.Cells = append(out.Cells, names)
+		}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode annotation: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// parseDelim mirrors the strudel CLI's delimiter spelling ("tab", ";", ...).
+func parseDelim(s string) rune {
+	switch strings.ToLower(s) {
+	case "tab", "\\t":
+		return '\t'
+	case "space":
+		return ' '
+	default:
+		return []rune(s)[0]
+	}
+}

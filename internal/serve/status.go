@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"strudel/internal/ingest"
+	"strudel/internal/pipeline"
+)
+
+// statusClientClosedRequest is the nginx-convention status recorded for
+// requests whose client disconnected before a response could be written.
+// It is never sent on the wire (the connection is gone); it exists so the
+// outcome counters and logs name the condition deterministically.
+const statusClientClosedRequest = 499
+
+// An apiError is the structured error payload every non-2xx response
+// carries. Kind is a stable snake_case name; Taxonomy names the Go sentinel
+// of the PR 3 error taxonomy when one classified the failure, so clients
+// and tests can dispatch without parsing prose.
+type apiError struct {
+	Status     int    `json:"status"`
+	Kind       string `json:"kind"`
+	Taxonomy   string `json:"taxonomy,omitempty"`
+	Message    string `json:"message"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// errQueueFull is the admission-control shed signal, mapped to 429.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// classify maps one error onto its deterministic HTTP status via the typed
+// taxonomy: every ingest sentinel, the context errors, recovered panics,
+// and the admission shed each have a fixed status, so the same fault always
+// produces the same response.
+func classify(err error) apiError {
+	var pe *pipeline.PanicError
+	switch {
+	case errors.Is(err, errQueueFull):
+		return apiError{Status: http.StatusTooManyRequests, Kind: "queue_full",
+			Message: "admission queue full; retry later"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return apiError{Status: http.StatusGatewayTimeout, Kind: "timeout",
+			Taxonomy: "ErrCancelled", Message: "request deadline exceeded before annotation finished"}
+	case errors.Is(err, context.Canceled):
+		return apiError{Status: statusClientClosedRequest, Kind: "cancelled",
+			Taxonomy: "ErrCancelled", Message: "client went away before annotation finished"}
+	case errors.Is(err, ingest.ErrCancelled):
+		// A cancellation surfaced through the ingest taxonomy without a
+		// live context error underneath (should not happen; keep it typed).
+		return apiError{Status: statusClientClosedRequest, Kind: "cancelled",
+			Taxonomy: "ErrCancelled", Message: err.Error()}
+	case errors.Is(err, ingest.ErrTooLarge):
+		return apiError{Status: http.StatusRequestEntityTooLarge, Kind: "too_large",
+			Taxonomy: "ErrTooLarge", Message: err.Error()}
+	case errors.Is(err, ingest.ErrBadEncoding):
+		return apiError{Status: http.StatusUnprocessableEntity, Kind: "bad_encoding",
+			Taxonomy: "ErrBadEncoding", Message: err.Error()}
+	case errors.Is(err, ingest.ErrEmptyInput):
+		return apiError{Status: http.StatusBadRequest, Kind: "empty_input",
+			Taxonomy: "ErrEmptyInput", Message: err.Error()}
+	case errors.Is(err, ingest.ErrLineTooLong):
+		return apiError{Status: http.StatusUnprocessableEntity, Kind: "line_too_long",
+			Taxonomy: "ErrLineTooLong", Message: err.Error()}
+	case errors.Is(err, ingest.ErrTooManyLines):
+		return apiError{Status: http.StatusUnprocessableEntity, Kind: "too_many_lines",
+			Taxonomy: "ErrTooManyLines", Message: err.Error()}
+	case errors.Is(err, ingest.ErrTooManyCells):
+		return apiError{Status: http.StatusUnprocessableEntity, Kind: "too_many_cells",
+			Taxonomy: "ErrTooManyCells", Message: err.Error()}
+	case errors.As(err, &pe):
+		return apiError{Status: http.StatusInternalServerError, Kind: "panic",
+			Taxonomy: "PanicError", Message: "annotation panicked; the fault was isolated to this request"}
+	case errors.Is(err, errPathRefDisabled):
+		return apiError{Status: http.StatusForbidden, Kind: "path_ref_disabled", Message: err.Error()}
+	case errors.Is(err, errPathOutsideRoot):
+		return apiError{Status: http.StatusForbidden, Kind: "path_outside_root", Message: err.Error()}
+	case errors.Is(err, errPathNotFound):
+		return apiError{Status: http.StatusNotFound, Kind: "not_found", Message: err.Error()}
+	case errors.Is(err, errBodyRead):
+		return apiError{Status: http.StatusBadRequest, Kind: "body_read", Message: err.Error()}
+	}
+	return apiError{Status: http.StatusInternalServerError, Kind: "internal", Message: err.Error()}
+}
+
+// writeAPIError sends ae as the structured JSON error body, with the
+// status-specific headers (Retry-After on 429, Connection: close on 503).
+// Writes are best-effort: the client may already be gone.
+func writeAPIError(w http.ResponseWriter, ae apiError) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if ae.Status == http.StatusTooManyRequests && ae.RetryAfter > 0 {
+		h.Set("Retry-After", fmt.Sprintf("%d", ae.RetryAfter))
+	}
+	if ae.Status == http.StatusServiceUnavailable {
+		h.Set("Connection", "close")
+	}
+	w.WriteHeader(ae.Status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(struct {
+		Error apiError `json:"error"`
+	}{ae}) // best-effort: a dropped client connection loses nothing
+}

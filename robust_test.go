@@ -261,6 +261,70 @@ func TestAnnotateAllContextCancellation(t *testing.T) {
 	}
 }
 
+// failingReader yields a little data, then fails with a fixed error —
+// standing in for a read interrupted by cancellation.
+type failingReader struct {
+	err  error
+	done bool
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, r.err
+	}
+	r.done = true
+	return copy(p, "a,b,c\n"), nil
+}
+
+// TestCancelledReadSurfacesTyped: a context cancellation or deadline that
+// interrupts ingestion surfaces through the typed taxonomy — the returned
+// error satisfies errors.Is for BOTH the strudel.ErrCancelled sentinel and
+// the underlying context error, so callers can dispatch on either.
+func TestCancelledReadSurfacesTyped(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		_, _, err := LoadReader(&failingReader{err: cause}, LoadOptions{})
+		if err == nil {
+			t.Fatalf("%v: LoadReader succeeded on an interrupted read", cause)
+		}
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("%v: err = %v, want errors.Is(_, ErrCancelled)", cause, err)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("%v: err = %v, want errors.Is against the context error", cause, err)
+		}
+		var ge *ingest.GuardError
+		if !errors.As(err, &ge) {
+			t.Errorf("%v: err = %T, want *ingest.GuardError", cause, err)
+		}
+	}
+	// An unrelated read error must NOT be claimed by the cancellation class.
+	_, _, err := LoadReader(&failingReader{err: errors.New("disk on fire")}, LoadOptions{})
+	if err == nil {
+		t.Fatal("LoadReader succeeded on a failing read")
+	}
+	if errors.Is(err, ErrCancelled) {
+		t.Errorf("non-cancellation read error classified as ErrCancelled: %v", err)
+	}
+}
+
+// TestTrainContextCancellation: training honors its context — a cancelled
+// ctx stops the fit and returns the context error instead of a model.
+func TestTrainContextCancellation(t *testing.T) {
+	files, err := GenerateCorpus("saus", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := TrainContext(ctx, files, TrainOptions{Trees: 10, Seed: 1, LineOnly: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m != nil {
+		t.Error("cancelled training still returned a model")
+	}
+}
+
 // TestFileTimeout: a file that stalls past BatchOptions.FileTimeout comes
 // back with a deadline error while the rest of the batch completes.
 func TestFileTimeout(t *testing.T) {

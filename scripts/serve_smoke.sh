@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Smoke test for the strudel-serve daemon, exercising the full service
+# lifecycle from the outside: build the binary, train a small model, start
+# on an ephemeral port, health-check, round-trip an annotation, verify the
+# deterministic 413 mapping, then SIGTERM and require a clean drain
+# (exit 0). Run via `make serve-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building strudel-serve and training a smoke model"
+go build -o "$workdir/strudel-serve" ./cmd/strudel-serve
+go run ./cmd/strudel-train -corpora saus -scale 0.2 -trees 10 -line-only \
+    -out "$workdir/smoke.model" > /dev/null
+
+"$workdir/strudel-serve" -addr 127.0.0.1:0 -model "$workdir/smoke.model" \
+    -max-bytes 65536 2> "$workdir/serve.log" &
+pid=$!
+
+# The daemon prints its ephemeral address to stderr once listening.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*listening on http://\([^/]*\)/.*#\1#p' "$workdir/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died at startup"; cat "$workdir/serve.log"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: server never reported an address"
+    cat "$workdir/serve.log"
+    exit 1
+fi
+echo "serve-smoke: serving on $addr"
+
+curl -fsS "http://$addr/healthz" > /dev/null
+curl -fsS "http://$addr/readyz" > /dev/null
+
+printf 'Quarterly Report,,\nName,Q1,Q2\nalpha,1,2\nbeta,3,4\nTotal,4,6\n' > "$workdir/in.csv"
+curl -fsS --data-binary @"$workdir/in.csv" "http://$addr/v1/annotate" > "$workdir/out.json"
+grep -q '"lines"' "$workdir/out.json" || { echo "serve-smoke: annotation response missing lines"; cat "$workdir/out.json"; exit 1; }
+echo "serve-smoke: annotation round-trip ok"
+
+# Deterministic failure mapping: an upload over -max-bytes must be 413.
+head -c 100000 /dev/zero | tr '\0' 'x' > "$workdir/big.csv"
+status=$(curl -s -o /dev/null -w '%{http_code}' --data-binary @"$workdir/big.csv" "http://$addr/v1/annotate")
+if [ "$status" != "413" ]; then
+    echo "serve-smoke: oversized upload returned $status, want 413"
+    exit 1
+fi
+echo "serve-smoke: oversized upload shed with 413"
+
+# SIGTERM must drain gracefully and exit 0.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" != "0" ]; then
+    echo "serve-smoke: SIGTERM drain exited $rc, want 0"
+    cat "$workdir/serve.log"
+    exit 1
+fi
+grep -q "drained cleanly" "$workdir/serve.log" || { echo "serve-smoke: no clean-drain message"; cat "$workdir/serve.log"; exit 1; }
+echo "serve-smoke: clean SIGTERM drain — all good"

@@ -93,6 +93,10 @@ var (
 	ErrLineTooLong  = ingest.ErrLineTooLong
 	ErrTooManyLines = ingest.ErrTooManyLines
 	ErrTooManyCells = ingest.ErrTooManyCells
+	// ErrCancelled classifies reads aborted by context cancellation or a
+	// deadline; the chain also satisfies errors.Is against the original
+	// context error (context.Canceled or context.DeadlineExceeded).
+	ErrCancelled = ingest.ErrCancelled
 )
 
 // ObsRegistry aggregates observability metrics: monotonic counters, gauges
@@ -353,6 +357,16 @@ type TrainOptions struct {
 // Train fits a model on annotated tables (tables where LineClasses and
 // CellClasses are populated, e.g. from GenerateCorpus or hand labeling).
 func Train(files []*Table, opts TrainOptions) (*Model, error) {
+	// context.Background is never cancelled, so this is plain training.
+	return TrainContext(context.Background(), files, opts)
+}
+
+// TrainContext is Train with cooperative cancellation: feature extraction
+// stops dispatching files and the forests stop growing trees once ctx is
+// cancelled, and ctx's error is returned (so a Ctrl-C during a long
+// training run exits promptly instead of finishing the corpus). A nil ctx
+// behaves like context.Background.
+func TrainContext(ctx context.Context, files []*Table, opts TrainOptions) (*Model, error) {
 	lopts := core.DefaultLineTrainOptions()
 	if opts.Trees > 0 {
 		lopts.Forest.NumTrees = opts.Trees
@@ -361,7 +375,7 @@ func Train(files []*Table, opts TrainOptions) (*Model, error) {
 	lopts.Parallelism = opts.Parallelism
 
 	if opts.LineOnly {
-		lm, err := core.TrainLine(files, lopts)
+		lm, err := core.TrainLineContext(ctx, files, lopts)
 		if err != nil {
 			return nil, err
 		}
@@ -376,7 +390,7 @@ func Train(files []*Table, opts TrainOptions) (*Model, error) {
 	copts.Forest.Seed = opts.Seed
 	copts.MaxCellsPerFile = opts.MaxCellsPerFile
 	copts.Parallelism = opts.Parallelism
-	cm, err := core.TrainCell(files, copts)
+	cm, err := core.TrainCellContext(ctx, files, copts)
 	if err != nil {
 		return nil, err
 	}
