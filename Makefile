@@ -28,7 +28,7 @@ BENCH_BASELINE ?= BENCH_7.json
 # must keep the whole analyzer suite inside it.
 LINT_BUDGET_NS ?= 2500000000
 
-.PHONY: build test vet lint lint-models race race-stream race-serve serve-smoke tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-stream
+.PHONY: build test vet lint lint-reslife lint-models race race-stream race-serve serve-smoke tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-stream
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ vet:
 
 lint:
 	$(GO) run ./cmd/strudel-lint ./...
+
+# Focused resource-lifetime pass over the tiers where a leaked file,
+# cancel func, or goroutine survives past one request: the serve stack
+# and the binaries. `make lint` already covers these checks module-wide;
+# this target is the fast CI probe for them.
+lint-reslife:
+	$(GO) run ./cmd/strudel-lint -checks rescleak,lostcancel,goroleak ./internal/serve/... ./cmd/...
 
 # The corpus gate cuts both ways: every valid_ artifact must verify clean
 # AND every corrupt_ artifact must be rejected — a verifier that stops

@@ -39,7 +39,8 @@ func Record(mu *sync.Mutex, skip bool) {
 	mu.Unlock()
 }
 
-// Fanout captures the loop variable in a goroutine (goroutinecapture).
+// Fanout captures the loop variable in a goroutine (goroutinecapture) and
+// spawns one goroutine per element with no bound (goroleak).
 func Fanout(xs []int) {
 	for _, x := range xs {
 		go func() {
@@ -57,4 +58,27 @@ func Annotate(ctx context.Context, err error) error {
 	}
 	_ = ctx
 	return nil
+}
+
+// Size forgets to close the file on the success path (rescleak).
+func Size(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Wait drops the cancel function on the slow path (lostcancel).
+func Wait(ctx context.Context, slow bool) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	if slow {
+		return
+	}
+	cancel()
+	_ = ctx
 }

@@ -47,6 +47,9 @@ var All = []*Analyzer{
 	CtxFlow,
 	ErrFlow,
 	HotAlloc,
+	RescLeak,
+	LostCancel,
+	GoroLeak,
 	FeatureParity,
 	Deprecated,
 }

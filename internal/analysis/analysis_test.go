@@ -143,6 +143,26 @@ func TestErrFlowFixture(t *testing.T) {
 	checkFixture(t, "fixture/errflow", []*Analyzer{ErrFlow})
 }
 
+func TestRescLeakFixture(t *testing.T) {
+	checkFixture(t, "fixture/rescleak", []*Analyzer{RescLeak})
+}
+
+func TestRescLeakCrossPackageFixture(t *testing.T) {
+	checkFixture(t, "fixture/resxp", []*Analyzer{RescLeak})
+}
+
+func TestRescLeakHelperPackageIsClean(t *testing.T) {
+	checkFixture(t, "fixture/ressub", []*Analyzer{RescLeak})
+}
+
+func TestLostCancelFixture(t *testing.T) {
+	checkFixture(t, "fixture/lostcancel", []*Analyzer{LostCancel})
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	checkFixture(t, "fixture/goroleak", []*Analyzer{GoroLeak})
+}
+
 func TestHotAllocFixture(t *testing.T) {
 	checkFixture(t, "fixture/hotingest", []*Analyzer{HotAlloc})
 }
@@ -204,7 +224,7 @@ func TestIgnoreMechanics(t *testing.T) {
 // the -checks flag both resolve names through Lookup, so a check missing
 // from the registry would silently break both.
 func TestNamesCoverNewChecks(t *testing.T) {
-	for _, name := range []string{"ctxflow", "errflow", "hotalloc", "lockcheck", "sharedwrite"} {
+	for _, name := range []string{"ctxflow", "errflow", "hotalloc", "lockcheck", "sharedwrite", "rescleak", "lostcancel", "goroleak"} {
 		if Lookup(name) == nil {
 			t.Errorf("Lookup(%q) = nil; stale-ignore detection and -checks cannot see it", name)
 		}

@@ -41,6 +41,17 @@ type Block struct {
 	Nodes []ast.Node
 	Succs []*Block
 
+	// Cond is the branching condition this block ends with, when the block
+	// ends in a two-way test the builder models (an if condition or a for
+	// loop's head check). TrueSucc and FalseSucc are the successors taken
+	// when Cond evaluates true resp. false; both are also present in Succs.
+	// Blocks ending in switch/select dispatch or plain fallthrough leave all
+	// three nil. ForwardEdges clients use these for path-sensitive
+	// refinement (e.g. dropping a resource obligation on the err != nil arm).
+	Cond      ast.Expr
+	TrueSucc  *Block
+	FalseSucc *Block
+
 	preds []*Block
 }
 
@@ -140,6 +151,8 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 
 		then := b.newBlock()
 		b.edge(cond, then)
+		cond.Cond = s.Cond
+		cond.TrueSucc = then
 		b.cur = then
 		b.stmtList(s.Body.List, "")
 		b.edge(b.cur, join)
@@ -147,11 +160,13 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		if s.Else != nil {
 			els := b.newBlock()
 			b.edge(cond, els)
+			cond.FalseSucc = els
 			b.cur = els
 			b.stmt(s.Else, "")
 			b.edge(b.cur, join)
 		} else {
 			b.edge(cond, join)
+			cond.FalseSucc = join
 		}
 		b.cur = join
 
@@ -167,6 +182,8 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		after := b.newBlock()
 		if s.Cond != nil {
 			b.edge(head, after)
+			head.Cond = s.Cond
+			head.FalseSucc = after
 		}
 		// continue jumps to the post statement when there is one, else to
 		// the condition check.
@@ -181,6 +198,9 @@ func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
 		b.pushLoop(label, after, contTo)
 		body := b.newBlock()
 		b.edge(head, body)
+		if s.Cond != nil {
+			head.TrueSucc = body
+		}
 		b.cur = body
 		b.stmtList(s.Body.List, "")
 		b.edge(b.cur, contTo)
@@ -375,6 +395,14 @@ func (b *cfgBuilder) popLoop() {
 // body (external declaration) returns nil. The cache lives on the package,
 // so every analyzer in a run shares one graph per function.
 func (p *Pass) CFG(fn ast.Node) *CFG {
+	return p.Pkg.funcCFG(fn)
+}
+
+// funcCFG is the package-level CFG cache behind Pass.CFG. It is also
+// callable without a Pass, which the interprocedural summary builders need:
+// they walk call-graph nodes across every loaded package, not just the one
+// the current Pass is analyzing.
+func (p *Package) funcCFG(fn ast.Node) *CFG {
 	var body *ast.BlockStmt
 	switch fn := fn.(type) {
 	case *ast.FuncDecl:
@@ -385,14 +413,14 @@ func (p *Pass) CFG(fn ast.Node) *CFG {
 	if body == nil {
 		return nil
 	}
-	if p.Pkg.cfgs == nil {
-		p.Pkg.cfgs = make(map[ast.Node]*CFG)
+	if p.cfgs == nil {
+		p.cfgs = make(map[ast.Node]*CFG)
 	}
-	if c, ok := p.Pkg.cfgs[fn]; ok {
+	if c, ok := p.cfgs[fn]; ok {
 		return c
 	}
 	c := buildCFG(body)
-	p.Pkg.cfgs[fn] = c
+	p.cfgs[fn] = c
 	return c
 }
 
@@ -462,6 +490,19 @@ func factsEqual(a, b Facts) bool {
 // only by transfer, states only degrade Must→May across joins), so the
 // iteration terminates.
 func (c *CFG) Forward(transfer func(b *Block, in Facts) Facts) map[*Block]Facts {
+	return c.ForwardEdges(transfer, nil)
+}
+
+// ForwardEdges is Forward with per-edge refinement: before the facts
+// flowing out of a predecessor are joined into a successor, refine may
+// rewrite them for that specific edge. It receives the edge's endpoints and
+// a private copy of the predecessor's outgoing facts, and returns the facts
+// that flow along the edge — typically consulting from.Cond/TrueSucc/
+// FalseSucc to apply branch conditions (e.g. deleting an obligation on the
+// branch where its paired error is non-nil). refine must only remove or
+// downgrade facts, never introduce new keys, or termination is forfeit.
+// A nil refine makes this identical to Forward.
+func (c *CFG) ForwardEdges(transfer func(b *Block, in Facts) Facts, refine func(from, to *Block, f Facts) Facts) map[*Block]Facts {
 	in := make(map[*Block]Facts, len(c.Blocks))
 	out := make(map[*Block]Facts, len(c.Blocks))
 	in[c.Entry()] = Facts{}
@@ -479,11 +520,15 @@ func (c *CFG) Forward(transfer func(b *Block, in Facts) Facts) map[*Block]Facts 
 					if !ok {
 						continue
 					}
+					edgeF := o.Clone()
+					if refine != nil {
+						edgeF = refine(p, blk, edgeF)
+					}
 					if !reached {
-						inF = o.Clone()
+						inF = edgeF
 						reached = true
 					} else {
-						inF = join(inF, o)
+						inF = join(inF, edgeF)
 					}
 				}
 				if !reached {

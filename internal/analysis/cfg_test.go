@@ -234,3 +234,93 @@ func TestForwardFixpointOverLoop(t *testing.T) {
 		t.Errorf("fact maybe = %v at exit, want FactMay", exitIn["maybe"])
 	}
 }
+
+// TestCFGBranchSuccessors pins the Cond/TrueSucc/FalseSucc annotations the
+// builder records for if conditions and for-loop heads: the successor ORDER
+// in Succs differs between the two (the for head edges to after before
+// body), so refinement clients must rely on the explicit fields.
+func TestCFGBranchSuccessors(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(b bool) int {
+		if b {
+			return 1
+		}
+		for i := 0; i < 3; i++ {
+			_ = i
+		}
+		return 0
+	}`))
+	branches := 0
+	for _, blk := range c.Blocks {
+		if blk.Cond == nil {
+			continue
+		}
+		branches++
+		if blk.TrueSucc == nil || blk.FalseSucc == nil {
+			t.Fatalf("block %d has Cond but TrueSucc=%v FalseSucc=%v", blk.Index, blk.TrueSucc, blk.FalseSucc)
+		}
+		inSuccs := func(b *Block) bool {
+			for _, s := range blk.Succs {
+				if s == b {
+					return true
+				}
+			}
+			return false
+		}
+		if !inSuccs(blk.TrueSucc) || !inSuccs(blk.FalseSucc) {
+			t.Errorf("block %d branch successors not in Succs", blk.Index)
+		}
+	}
+	if branches != 2 {
+		t.Errorf("recorded %d branch blocks, want 2 (if cond + for head)", branches)
+	}
+}
+
+// TestForwardEdgesRefinement drives the per-edge refiner directly: a fact
+// set before an if is deleted along the true edge only, so it must survive
+// as FactMay at the join and the refiner must see both edges of the
+// condition block.
+func TestForwardEdgesRefinement(t *testing.T) {
+	c := buildCFG(parseFunc(t, `func f(b bool) {
+		pre()
+		if b {
+			inTrue()
+		} else {
+			inFalse()
+		}
+		post()
+	}`))
+	mark := func(blk *Block, facts Facts) Facts {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(nn ast.Node) bool {
+				if call, ok := nn.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "pre" {
+						facts["x"] = FactMust
+					}
+				}
+				return true
+			})
+		}
+		return facts
+	}
+	refined := 0
+	in := c.ForwardEdges(mark, func(from, to *Block, f Facts) Facts {
+		if from.Cond == nil {
+			return f
+		}
+		refined++
+		if to == from.TrueSucc {
+			delete(f, "x")
+		}
+		return f
+	})
+	exitIn, ok := in[c.Exit]
+	if !ok {
+		t.Fatal("exit has no incoming facts")
+	}
+	if exitIn["x"] != FactMay {
+		t.Errorf("fact x = %v at exit, want FactMay (deleted on the true edge only)", exitIn["x"])
+	}
+	if refined == 0 {
+		t.Error("refiner never saw a condition edge")
+	}
+}

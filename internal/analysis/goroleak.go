@@ -1,0 +1,475 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutines that can park forever on a channel nobody will
+// service, and unbounded per-element fan-out. The rules, deliberately
+// scoped to channels MADE in the spawning function (ownership is local and
+// provable; parameters and fields are someone else's contract):
+//
+//   - a `go func(){...}` SEND on an unbuffered local channel is flagged
+//     when the send has no select escape (a default case or a receive from
+//     an external event source like ctx.Done()) and the parent function
+//     either never receives from the channel or only receives inside a
+//     multi-case select it can abandon — the FileTimeout shape
+//     `select { case <-ch: case <-ctx.Done(): }` strands the sender unless
+//     the channel is buffered;
+//   - a `go func(){...}` RECEIVE (<-ch or range ch) on an unbuffered local
+//     channel is flagged when no close of the channel is reachable (in the
+//     spawning function or one callee hop down) and the parent never sends:
+//     the goroutine blocks forever; `range ch` additionally requires a
+//     reachable close even when sends exist, or it never terminates;
+//   - a `go` statement lexically inside a `range` loop body is per-element
+//     fan-out with no bound; route it through the bounded worker pool
+//     (pipeline.ForEach*) instead. Counter-bounded worker loops
+//     (`for w := 0; w < n; w++ { go ... }`) stay silent.
+//
+// Buffered channels are never flagged. A deliberate detached goroutine can
+// be suppressed with //lint:ignore goroleak <why it terminates>.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "flags goroutines that block forever on unbuffered local channels " +
+		"(send nobody commits to receiving, receive with no reachable " +
+		"close or send) and unbounded go-per-element fan-out in range loops",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	closers := paramClosers(pass.CallGraph())
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroLeaks(pass, fd, closers)
+		}
+	}
+}
+
+// chanUse aggregates what the spawning function does with one locally-made
+// channel, outside the goroutine under scrutiny.
+type chanUse struct {
+	unbuffered bool
+	closed     bool // close(ch) anywhere in the function, or a callee that closes its param
+	plainRecv  bool // a committed receive: <-ch as a statement/assignment or range ch
+	selectRecv bool // a receive inside a multi-case select (abandonable)
+	send       bool // any send outside the goroutine
+}
+
+func checkGoroLeaks(pass *Pass, fd *ast.FuncDecl, closers map[*types.Func]map[int]bool) {
+	info := pass.Pkg.Info
+
+	// Pass 1: find channels made in this function and whether they are
+	// unbuffered. Literal function bodies count: a channel made anywhere in
+	// the lexical function is locally owned.
+	chans := map[types.Object]*chanUse{}
+	ast.Inspect(fd.Body, func(nn ast.Node) bool {
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch s := nn.(type) {
+		case *ast.AssignStmt:
+			lhs, rhs = s.Lhs, s.Rhs
+		case *ast.ValueSpec:
+			lhs = make([]ast.Expr, len(s.Names))
+			for i, n := range s.Names {
+				lhs[i] = n
+			}
+			rhs = s.Values
+		default:
+			return true
+		}
+		for i, r := range rhs {
+			call, ok := ast.Unparen(r).(*ast.CallExpr)
+			if !ok || i >= len(lhs) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if len(call.Args) == 0 {
+				continue
+			}
+			if _, isChan := info.TypeOf(call.Args[0]).(*types.Chan); !isChan {
+				continue
+			}
+			obj := identObj(info, lhs[i])
+			if obj == nil {
+				continue
+			}
+			unbuffered := true
+			if len(call.Args) > 1 {
+				// A constant 0 capacity is still unbuffered; anything else
+				// (constant or not) we treat as buffered.
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+					unbuffered = tv.Value.String() == "0"
+				} else {
+					unbuffered = false
+				}
+			}
+			chans[obj] = &chanUse{unbuffered: unbuffered}
+		}
+		return true
+	})
+
+	chanOf := func(e ast.Expr) *chanUse {
+		obj := identObj(info, e)
+		if obj == nil {
+			return nil
+		}
+		return chans[obj]
+	}
+
+	// Pass 2: collect the go statements, then record how the REST of the
+	// function uses each channel (sends, receives, closes).
+	var gos []*ast.GoStmt
+	ast.Inspect(fd.Body, func(nn ast.Node) bool {
+		if g, ok := nn.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	inAnyGo := func(n ast.Node) bool {
+		for _, g := range gos {
+			if g.Pos() <= n.Pos() && n.End() <= g.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.SendStmt:
+			if cu := chanOf(nn.Chan); cu != nil && !inAnyGo(nn) {
+				cu.send = true
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				if cu := chanOf(nn.X); cu != nil && !inAnyGo(nn) {
+					cu.plainRecv = true // refined to selectRecv below
+				}
+			}
+		case *ast.RangeStmt:
+			if cu := chanOf(nn.X); cu != nil && !inAnyGo(nn) {
+				cu.plainRecv = true
+			}
+		case *ast.SelectStmt:
+			if inAnyGo(nn) {
+				return true
+			}
+			multi := len(nn.Body.List) > 1
+			for _, clause := range nn.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				for _, e := range commChans(cc.Comm) {
+					if cu := chanOf(e); cu != nil && multi {
+						cu.selectRecv = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// close(ch), or g(ch) where g closes that parameter.
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(nn.Args) == 1 {
+					if cu := chanOf(nn.Args[0]); cu != nil {
+						cu.closed = true
+					}
+					return true
+				}
+			}
+			if callee := calleeFunc(info, nn); callee != nil {
+				for i, arg := range nn.Args {
+					if cu := chanOf(arg); cu != nil && closers[callee][i] {
+						cu.closed = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// A receive that sits inside a multi-case select was counted as plain
+	// by the UnaryExpr walk above; demote it when the ONLY receives are
+	// select ones. The walk cannot tell the two apart in place, so re-scan:
+	// a plain receive is one not enclosed by any multi-case select clause.
+	for obj, cu := range chans {
+		if !cu.plainRecv {
+			continue
+		}
+		cu.plainRecv = hasCommittedRecv(info, fd.Body, obj, gos)
+	}
+
+	// Pass 3: judge each goroutine literal's blocking operations, and flag
+	// per-element fan-out.
+	for _, g := range gos {
+		if insideRangeBody(fd.Body, g) {
+			pass.Reportf(g.Pos(), "goroutine started per range element with no bound on in-flight work; route the fan-out through the bounded worker pool (pipeline.ForEach*) or a fixed set of workers")
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		checkGoroBody(pass, lit.Body, chanOf)
+	}
+}
+
+// commChans extracts the channel expressions a select comm statement
+// touches (send target or receive source).
+func commChans(comm ast.Stmt) []ast.Expr {
+	var out []ast.Expr
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		out = append(out, s.Chan)
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			out = append(out, u.X)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				out = append(out, u.X)
+			}
+		}
+	}
+	return out
+}
+
+// hasCommittedRecv reports whether body contains a receive from obj's
+// channel, outside every goroutine in gos, that is NOT the comm of a
+// multi-case select clause (i.e. one the function cannot abandon).
+func hasCommittedRecv(info *types.Info, body ast.Node, obj types.Object, gos []*ast.GoStmt) bool {
+	inAnyGo := func(n ast.Node) bool {
+		for _, g := range gos {
+			if g.Pos() <= n.Pos() && n.End() <= g.End() {
+				return true
+			}
+		}
+		return false
+	}
+	var abandonable []ast.Stmt // comm statements of multi-case selects
+	ast.Inspect(body, func(nn ast.Node) bool {
+		if sel, ok := nn.(*ast.SelectStmt); ok && len(sel.Body.List) > 1 {
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					abandonable = append(abandonable, cc.Comm)
+				}
+			}
+		}
+		return true
+	})
+	inAbandonable := func(n ast.Node) bool {
+		for _, c := range abandonable {
+			if c.Pos() <= n.Pos() && n.End() <= c.End() {
+				return true
+			}
+		}
+		return false
+	}
+	committed := false
+	ast.Inspect(body, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW && identObj(info, nn.X) == obj &&
+				!inAnyGo(nn) && !inAbandonable(nn) {
+				committed = true
+			}
+		case *ast.RangeStmt:
+			if identObj(info, nn.X) == obj && !inAnyGo(nn) {
+				committed = true
+			}
+		}
+		return true
+	})
+	return committed
+}
+
+// insideRangeBody reports whether g sits lexically inside a RangeStmt body
+// within container, with no function literal boundary in between (a literal
+// may be invoked once; only direct per-element spawning is fan-out).
+func insideRangeBody(container ast.Node, g *ast.GoStmt) bool {
+	found := false
+	var walk func(n ast.Node, inRange bool)
+	walk = func(n ast.Node, inRange bool) {
+		ast.Inspect(n, func(nn ast.Node) bool {
+			if found || nn == nil {
+				return false
+			}
+			switch nn := nn.(type) {
+			case *ast.FuncLit:
+				walk(nn.Body, false)
+				return false
+			case *ast.RangeStmt:
+				if nn.Body != nil {
+					walk(nn.Body, true)
+				}
+				return false
+			case *ast.GoStmt:
+				if nn == g && inRange {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(container, false)
+	return found
+}
+
+// checkGoroBody flags blocking operations on unbuffered local channels in
+// one goroutine body. Nested literals are skipped (they are further
+// goroutines or callbacks with their own context).
+func checkGoroBody(pass *Pass, body ast.Node, chanOf func(ast.Expr) *chanUse) {
+	// Select statements with an escape hatch guard their comm operations: a
+	// default case, or a receive from an external event source (a call
+	// result like ctx.Done() or time.After).
+	var guarded []ast.Stmt
+	ast.Inspect(body, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := nn.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				escape = true // default case
+				continue
+			}
+			for _, e := range commChans(cc.Comm) {
+				if _, isCall := ast.Unparen(e).(*ast.CallExpr); isCall {
+					escape = true // <-ctx.Done(), <-time.After(...)
+				}
+			}
+		}
+		if escape {
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					guarded = append(guarded, cc.Comm)
+				}
+			}
+		}
+		return true
+	})
+	isGuarded := func(n ast.Node) bool {
+		for _, c := range guarded {
+			if c.Pos() <= n.Pos() && n.End() <= c.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			cu := chanOf(nn.Chan)
+			if cu == nil || !cu.unbuffered || isGuarded(nn) {
+				return true
+			}
+			if cu.plainRecv {
+				return true // somebody commits to receiving
+			}
+			if cu.selectRecv {
+				pass.Reportf(nn.Pos(), "goroutine sends on unbuffered channel %s but the only receive sits in a multi-case select that can abandon it; the sender parks forever once the select takes another case — buffer the channel or add a ctx.Done()/default escape to this send", chanName(nn.Chan))
+			} else {
+				pass.Reportf(nn.Pos(), "goroutine sends on unbuffered channel %s but the spawning function never receives from it; the sender blocks forever — buffer the channel, receive from it, or add a select escape", chanName(nn.Chan))
+			}
+		case *ast.UnaryExpr:
+			if nn.Op != token.ARROW {
+				return true
+			}
+			cu := chanOf(nn.X)
+			if cu == nil || !cu.unbuffered || isGuarded(nn) {
+				return true
+			}
+			if cu.closed || cu.send {
+				return true
+			}
+			pass.Reportf(nn.Pos(), "goroutine receives from unbuffered channel %s but the spawning function never sends on or closes it; the receiver blocks forever", chanName(nn.X))
+		case *ast.RangeStmt:
+			cu := chanOf(nn.X)
+			if cu == nil || !cu.unbuffered {
+				return true
+			}
+			if cu.closed {
+				return true
+			}
+			pass.Reportf(nn.Pos(), "goroutine ranges over channel %s with no reachable close; the loop never terminates and the goroutine leaks — close the channel when the producers finish", chanName(nn.X))
+		}
+		return true
+	})
+}
+
+func chanName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "chan"
+}
+
+// paramClosers records, per module function, the channel-typed parameter
+// indices it closes (one level, no fixpoint: enough to credit the
+// `feed(next); close(next)`-via-helper shape without chasing chains).
+func paramClosers(graph *CallGraph) map[*types.Func]map[int]bool {
+	return graph.Memo("goroleak.closers", func() any {
+		out := map[*types.Func]map[int]bool{}
+		graph.Nodes(func(n *CallNode) {
+			info := n.Pkg.Info
+			sig, ok := n.Func.Type().(*types.Signature)
+			if !ok {
+				return
+			}
+			paramIdx := map[types.Object]int{}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if _, isChan := p.Type().Underlying().(*types.Chan); isChan {
+					paramIdx[p] = i
+				}
+			}
+			if len(paramIdx) == 0 {
+				return
+			}
+			ast.Inspect(n.Decl.Body, func(nn ast.Node) bool {
+				call, ok := nn.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "close" || len(call.Args) != 1 {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if obj := identObj(info, call.Args[0]); obj != nil {
+					if i, ok := paramIdx[obj]; ok {
+						if out[n.Func] == nil {
+							out[n.Func] = map[int]bool{}
+						}
+						out[n.Func][i] = true
+					}
+				}
+				return true
+			})
+		})
+		return out
+	}).(map[*types.Func]map[int]bool)
+}

@@ -1,0 +1,24 @@
+package analysis
+
+// LostCancel is the must-release check specialized to context cancel
+// functions: every context.CancelFunc obtained from
+// context.WithCancel/WithTimeout/WithDeadline (or signal.NotifyContext)
+// must be called or deferred on every path to return. Unlike vet's
+// intraprocedural lostcancel, passing the cancel func to a callee whose
+// summary invokes it on every path discharges the obligation, as does
+// storing it in a struct field some module function invokes. The dataflow
+// and summaries live in reslife.go, shared with rescleak.
+//
+// A deliberate detachment can be suppressed with
+// //lint:ignore lostcancel <who cancels and why>.
+var LostCancel = &Analyzer{
+	Name: "lostcancel",
+	Doc: "flags context cancel functions not called or deferred on every " +
+		"path to return, crediting cancels delegated to callees via " +
+		"call-graph summaries (strictly stronger than vet's lostcancel)",
+	Run: runLostCancel,
+}
+
+func runLostCancel(pass *Pass) {
+	runResLifetime(pass, func(k resKind) bool { return k == resCancel })
+}

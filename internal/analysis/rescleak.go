@@ -1,0 +1,24 @@
+package analysis
+
+// RescLeak is the must-release check for OS-backed resources: files,
+// listeners, timers, tickers, and HTTP response bodies acquired in a
+// function must be released on every path to return, with ownership
+// transfers (returning the resource, storing it in a released field,
+// sending it on a channel, or passing it to a function whose summary
+// releases it) discharging the obligation interprocedurally. See reslife.go
+// for the dataflow and the summary machinery shared with lostcancel.
+//
+// A deliberate handoff the summaries cannot see can be suppressed with
+// //lint:ignore rescleak <who releases it and why>.
+var RescLeak = &Analyzer{
+	Name: "rescleak",
+	Doc: "flags acquired resources (os.Open/Create, net.Listen, " +
+		"time.NewTimer/NewTicker, http response bodies) not released on " +
+		"every path to return, with call-graph ownership-transfer " +
+		"summaries discharging handoffs",
+	Run: runRescLeak,
+}
+
+func runRescLeak(pass *Pass) {
+	runResLifetime(pass, func(k resKind) bool { return k != resCancel })
+}

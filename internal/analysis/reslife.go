@@ -1,0 +1,942 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared resource-lifetime layer behind the rescleak and
+// lostcancel analyzers: a must-release dataflow over the CFG engine plus
+// module-wide ownership-transfer summaries memoized on the call graph,
+// mirroring how lockcheck's interprocedural lock summaries work.
+//
+// The model: certain calls ACQUIRE a resource (os.Open, net.Listen,
+// time.NewTimer, http.Get, context.WithCancel, ...) and bind it to a local
+// variable, creating an obligation fact. The obligation is DISCHARGED by:
+//
+//   - calling the release protocol (Close, Stop, resp.Body.Close, cancel());
+//   - deferring the release, directly or inside a deferred/async function
+//     literal (credited at every exit, like lockcheck's conditional defers);
+//   - returning the resource (ownership moves to the caller);
+//   - storing it in a struct field that some module function releases
+//     (a field with a reachable Close/Stop/invocation);
+//   - sending it on a channel (ownership moves to the receiver);
+//   - passing it to a function whose summary releases that parameter on
+//     every path — computed transitively over the call graph — or to a
+//     stdlib consumer that documents taking ownership ((*http.Server).Serve
+//     closes its listener).
+//
+// An obligation still held on a path reaching the function's exit is
+// reported at its acquisition site, naming the leaking return line and the
+// first call the resource was passed to that did not take ownership.
+//
+// Error paths are handled with branch refinement (CFG.ForwardEdges): on the
+// err != nil arm of the acquisition's paired error check the resource is
+// nil and the obligation is deleted. A companion "pending" fact, cleared on
+// the validated arm, keeps a later reuse of the same err variable from
+// voiding earlier validated obligations.
+//
+// Known over-approximations, chosen to prefer missed leaks over false
+// positives: a release inside ANY function literal is credited at every
+// exit (the literal may never run); reassigning a resource variable before
+// releasing it loses the first acquisition; a returned parameter counts as
+// released in summaries.
+
+// resKind classifies a tracked resource by its release protocol.
+type resKind int
+
+const (
+	resFile     resKind = iota // *os.File → Close
+	resListener                // net.Listener → Close
+	resCloser                  // io.Closer-shaped values → Close (parameter tracking)
+	resTimer                   // *time.Timer → Stop
+	resTicker                  // *time.Ticker → Stop
+	resResponse                // *http.Response → resp.Body.Close
+	resCancel                  // context.CancelFunc → cancel()
+)
+
+// what names the resource in diagnostics.
+func (k resKind) what() string {
+	switch k {
+	case resFile:
+		return "*os.File"
+	case resListener:
+		return "net.Listener"
+	case resCloser:
+		return "io.Closer"
+	case resTimer:
+		return "*time.Timer"
+	case resTicker:
+		return "*time.Ticker"
+	case resResponse:
+		return "*http.Response"
+	default:
+		return "context.CancelFunc"
+	}
+}
+
+// releaseHint names the release protocol in diagnostics.
+func (k resKind) releaseHint() string {
+	switch k {
+	case resTimer, resTicker:
+		return "Stop"
+	case resResponse:
+		return "Body.Close"
+	case resCancel:
+		return "call"
+	default:
+		return "Close"
+	}
+}
+
+// resVerb is the method name that releases a resource of kind k; "()" means
+// the value itself is invoked (cancel functions).
+func resVerb(k resKind) string {
+	switch k {
+	case resTimer, resTicker:
+		return "Stop"
+	case resCancel:
+		return "()"
+	default:
+		return "Close"
+	}
+}
+
+// resAcq describes one recognized acquisition call: which result holds the
+// resource, which (if any) holds the paired error.
+type resAcq struct {
+	kind   resKind
+	resIdx int
+	errIdx int // -1 when the call cannot fail
+	name   string
+}
+
+// resAcquirer recognizes the stdlib calls that create release obligations.
+func resAcquirer(fn *types.Func) (resAcq, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return resAcq{}, false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name()
+		}
+	}
+	full := pathBase(pkg) + "."
+	if recv != "" {
+		full += recv + "."
+	}
+	full += name
+
+	switch {
+	case pkg == "os" && recv == "" && (name == "Open" || name == "Create" || name == "OpenFile"):
+		return resAcq{resFile, 0, 1, full}, true
+	case pkg == "net" && recv == "" && name == "Listen":
+		return resAcq{resListener, 0, 1, full}, true
+	case pkg == "time" && recv == "" && name == "NewTimer":
+		return resAcq{resTimer, 0, -1, full}, true
+	case pkg == "time" && recv == "" && name == "NewTicker":
+		return resAcq{resTicker, 0, -1, full}, true
+	case pkg == "net/http" && recv == "" &&
+		(name == "Get" || name == "Head" || name == "Post" || name == "PostForm"):
+		return resAcq{resResponse, 0, 1, full}, true
+	case pkg == "net/http" && recv == "Client" &&
+		(name == "Do" || name == "Get" || name == "Head" || name == "Post" || name == "PostForm"):
+		return resAcq{resResponse, 0, 1, full}, true
+	case pkg == "context" && recv == "" &&
+		(name == "WithCancel" || name == "WithTimeout" || name == "WithDeadline"):
+		return resAcq{resCancel, 1, -1, full}, true
+	case pkg == "os/signal" && recv == "" && name == "NotifyContext":
+		return resAcq{resCancel, 1, -1, full}, true
+	}
+	return resAcq{}, false
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// releasableKind classifies a type as a trackable resource, for parameter
+// summaries and field-store transfer.
+func releasableKind(t types.Type) (resKind, bool) {
+	if t == nil {
+		return 0, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		n, ok := p.Elem().(*types.Named)
+		if !ok || n.Obj().Pkg() == nil {
+			return 0, false
+		}
+		switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+		case "os.File":
+			return resFile, true
+		case "time.Timer":
+			return resTimer, true
+		case "time.Ticker":
+			return resTicker, true
+		case "net/http.Response":
+			return resResponse, true
+		}
+		return 0, false
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+		case "net.Listener":
+			return resListener, true
+		case "context.CancelFunc":
+			return resCancel, true
+		case "io.Closer", "io.ReadCloser", "io.WriteCloser", "io.ReadWriteCloser":
+			return resCloser, true
+		}
+	}
+	return 0, false
+}
+
+// resReleased returns the objects (locals, parameters, or struct fields)
+// whose release protocol this call invokes: f.Close(), t.Stop(),
+// resp.Body.Close(), cancel(), d.ln.Close(), s.cancel().
+func resReleased(info *types.Info, call *ast.CallExpr) []types.Object {
+	var out []types.Object
+	add := func(o types.Object, verb string) {
+		if o == nil {
+			return
+		}
+		if k, ok := releasableKind(o.Type()); ok && resVerb(k) == verb {
+			out = append(out, o)
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		add(info.Uses[fun], "()")
+	case *ast.SelectorExpr:
+		verb := fun.Sel.Name
+		if verb != "Close" && verb != "Stop" {
+			// s.cancel(): invoking a CancelFunc held in a field.
+			add(info.Uses[fun.Sel], "()")
+			return out
+		}
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			add(info.Uses[x], verb)
+		case *ast.SelectorExpr:
+			// d.ln.Close() releases the field ln; resp.Body.Close()
+			// additionally discharges the response local resp.
+			add(info.Uses[x.Sel], verb)
+			if x.Sel.Name == "Body" {
+				if inner, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					add(info.Uses[inner], verb)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resStdlibConsumes reports whether the stdlib function fn takes ownership
+// of its argIdx-th argument. (*http.Server).Serve and http.Serve close the
+// listener they are handed.
+func resStdlibConsumes(fn *types.Func, argIdx int) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" || argIdx != 0 {
+		return false
+	}
+	return fn.Name() == "Serve" || fn.Name() == "ServeTLS"
+}
+
+// resSummaries records, per module function, the parameter indices it
+// provably releases on every path (receiver excluded; indices are into
+// Signature.Params, which call-site Args align with).
+type resSummaries map[*types.Func]map[int]bool
+
+// A resObligation is one tracked acquisition in the function under
+// analysis.
+type resObligation struct {
+	key      string       // dataflow fact key; key+"?" is the pending companion
+	obj      types.Object // variable holding the resource
+	errObj   types.Object // paired error result, nil when infallible
+	kind     resKind
+	src      string // acquisition rendering, e.g. "os.Open"
+	pos      token.Pos
+	credited bool // released in a defer/goroutine/literal: discharged at every exit
+	// noteName/notePos record the first call the resource was passed to
+	// whose summary does NOT take ownership, for the diagnostic's witness
+	// chain.
+	noteName string
+	notePos  token.Pos
+}
+
+// resEvent is one entry in a block's replay sequence.
+type resEvent struct {
+	acquire *resObligation
+	del     []string
+	ret     ast.Node // a ReturnStmt marking an exit, checked after del applies
+}
+
+// resTracker runs the must-release dataflow for one function. The analyzers
+// seed it with the function's own acquisitions; the summary builder seeds
+// it with one releasable parameter held at entry.
+type resTracker struct {
+	info   *types.Info
+	fset   *token.FileSet
+	sums   resSummaries
+	fields map[types.Object]bool
+
+	obs   []*resObligation
+	byObj map[types.Object][]*resObligation
+	byErr map[types.Object][]*resObligation
+	acqAt map[ast.Node][]*resObligation
+}
+
+func newResTracker(info *types.Info, fset *token.FileSet, sums resSummaries, fields map[types.Object]bool) *resTracker {
+	return &resTracker{
+		info:   info,
+		fset:   fset,
+		sums:   sums,
+		fields: fields,
+		byObj:  map[types.Object][]*resObligation{},
+		byErr:  map[types.Object][]*resObligation{},
+		acqAt:  map[ast.Node][]*resObligation{},
+	}
+}
+
+func (t *resTracker) addObligation(ob *resObligation) {
+	ob.key = fmt.Sprintf("res:%d:%s", len(t.obs), ob.obj.Name())
+	t.obs = append(t.obs, ob)
+	t.byObj[ob.obj] = append(t.byObj[ob.obj], ob)
+	if ob.errObj != nil {
+		t.byErr[ob.errObj] = append(t.byErr[ob.errObj], ob)
+	}
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// collectObligations finds acquisitions in body (function literals excluded
+// — they are separate execution contexts with their own analysis). want
+// filters by kind; report, when non-nil, receives immediate findings for
+// blank-discarded resources.
+func (t *resTracker) collectObligations(body ast.Node, want func(resKind) bool, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch s := nn.(type) {
+		case *ast.AssignStmt:
+			lhs, rhs = s.Lhs, s.Rhs
+		case *ast.ValueSpec:
+			lhs = make([]ast.Expr, len(s.Names))
+			for i, n := range s.Names {
+				lhs[i] = n
+			}
+			rhs = s.Values
+		default:
+			return true
+		}
+		if len(rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		acq, ok := resAcquirer(calleeFunc(t.info, call))
+		if !ok || !want(acq.kind) || acq.resIdx >= len(lhs) {
+			return true
+		}
+		resId, ok := ast.Unparen(lhs[acq.resIdx]).(*ast.Ident)
+		if !ok {
+			return true // stored straight into a field or index: not tracked
+		}
+		if resId.Name == "_" {
+			if report != nil {
+				if acq.kind == resCancel {
+					report(call.Pos(), "the cancel function returned by %s is discarded: the derived context can never be cancelled and its resources never release", acq.name)
+				} else {
+					report(call.Pos(), "the %s returned by %s is discarded and can never be released", acq.kind.what(), acq.name)
+				}
+			}
+			return true
+		}
+		obj := identObj(t.info, resId)
+		if obj == nil {
+			return true
+		}
+		ob := &resObligation{obj: obj, kind: acq.kind, src: acq.name, pos: call.Pos()}
+		if acq.errIdx >= 0 && acq.errIdx < len(lhs) {
+			ob.errObj = identObj(t.info, lhs[acq.errIdx])
+		}
+		t.addObligation(ob)
+		t.acqAt[nn] = append(t.acqAt[nn], ob)
+		return true
+	})
+}
+
+// seedParam registers a single obligation for a releasable parameter held
+// at entry (summary mode).
+func (t *resTracker) seedParam(obj types.Object, kind resKind) *resObligation {
+	ob := &resObligation{obj: obj, kind: kind, src: "parameter", pos: obj.Pos()}
+	t.addObligation(ob)
+	return ob
+}
+
+// creditScan credits releases and ownership transfers found under node
+// (deferred calls, goroutine bodies, function literals) against every exit.
+func (t *resTracker) creditScan(node ast.Node) {
+	ast.Inspect(node, func(nn ast.Node) bool {
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, o := range resReleased(t.info, call) {
+			for _, ob := range t.byObj[o] {
+				ob.credited = true
+			}
+		}
+		t.eachPassed(call, func(ob *resObligation, discharged bool, _ string) {
+			if discharged {
+				ob.credited = true
+			}
+		})
+		return true
+	})
+}
+
+// credits walks the function body and credits releases that run outside the
+// straight-line flow: deferred calls, go statements, and function literals.
+func (t *resTracker) credits(body ast.Node) {
+	ast.Inspect(body, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.DeferStmt:
+			t.creditScan(nn.Call)
+			return false
+		case *ast.GoStmt:
+			t.creditScan(nn.Call)
+			return false
+		case *ast.FuncLit:
+			t.creditScan(nn.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// eachPassed invokes fn for every tracked obligation whose variable is
+// passed as an argument of call, with whether the callee's summary (or the
+// stdlib consumer allowlist) takes ownership.
+func (t *resTracker) eachPassed(call *ast.CallExpr, fn func(ob *resObligation, discharged bool, calleeName string)) {
+	var passed []*resObligation
+	var idxs []int
+	for i, arg := range call.Args {
+		obj := identObj(t.info, arg)
+		if obj == nil {
+			continue
+		}
+		for _, ob := range t.byObj[obj] {
+			passed = append(passed, ob)
+			idxs = append(idxs, i)
+		}
+	}
+	if len(passed) == 0 {
+		return
+	}
+	callee := calleeFunc(t.info, call)
+	name := "a dynamic function value"
+	if callee != nil {
+		name = callee.Name()
+	}
+	for i, ob := range passed {
+		disch := callee != nil && (resStdlibConsumes(callee, idxs[i]) || t.sums[callee][idxs[i]])
+		fn(ob, disch, name)
+	}
+}
+
+// delKeys appends both the obligation's fact key and its pending companion.
+func delKeys(dst []string, ob *resObligation) []string {
+	return append(dst, ob.key, ob.key+"?")
+}
+
+// blockEvents extracts each block's replay sequence: acquisitions, releases,
+// ownership transfers, and returns, in evaluation order. Deferred calls,
+// go statements, and function literal bodies are skipped — they do not
+// execute at this program point (credits handles them).
+func (t *resTracker) blockEvents(cfg *CFG) map[*Block][]resEvent {
+	events := make(map[*Block][]resEvent, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, node := range blk.Nodes {
+			ast.Inspect(node, func(nn ast.Node) bool {
+				switch nn := nn.(type) {
+				case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+					return false
+				case *ast.AssignStmt:
+					for _, ob := range t.acqAt[nn] {
+						events[blk] = append(events[blk], resEvent{acquire: ob})
+					}
+					if len(nn.Lhs) == len(nn.Rhs) {
+						var del []string
+						for i, l := range nn.Lhs {
+							del = t.fieldStore(del, l, nn.Rhs[i])
+						}
+						if del != nil {
+							events[blk] = append(events[blk], resEvent{del: del})
+						}
+					}
+				case *ast.ValueSpec:
+					for _, ob := range t.acqAt[nn] {
+						events[blk] = append(events[blk], resEvent{acquire: ob})
+					}
+				case *ast.CompositeLit:
+					var del []string
+					for _, elt := range nn.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						del = t.fieldStore(del, kv.Key, kv.Value)
+					}
+					if del != nil {
+						events[blk] = append(events[blk], resEvent{del: del})
+					}
+				case *ast.SendStmt:
+					// Sending the resource hands ownership to the receiver.
+					if obj := identObj(t.info, nn.Value); obj != nil {
+						var del []string
+						for _, ob := range t.byObj[obj] {
+							del = delKeys(del, ob)
+						}
+						if del != nil {
+							events[blk] = append(events[blk], resEvent{del: del})
+						}
+					}
+				case *ast.ReturnStmt:
+					ev := resEvent{ret: nn}
+					for _, res := range nn.Results {
+						ev.del = t.returnTransfers(ev.del, res)
+					}
+					events[blk] = append(events[blk], ev)
+					return false
+				case *ast.CallExpr:
+					var del []string
+					for _, o := range resReleased(t.info, nn) {
+						for _, ob := range t.byObj[o] {
+							del = delKeys(del, ob)
+						}
+					}
+					t.eachPassed(nn, func(ob *resObligation, discharged bool, name string) {
+						if discharged {
+							del = delKeys(del, ob)
+						} else if !ob.notePos.IsValid() {
+							ob.noteName, ob.notePos = name, nn.Pos()
+						}
+					})
+					if del != nil {
+						events[blk] = append(events[blk], resEvent{del: del})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return events
+}
+
+// fieldStore appends discharge keys when value (an obligation variable) is
+// stored into target, a struct field some module function releases.
+func (t *resTracker) fieldStore(del []string, target, value ast.Expr) []string {
+	obj := identObj(t.info, value)
+	if obj == nil || len(t.byObj[obj]) == 0 {
+		return del
+	}
+	var fieldObj types.Object
+	switch x := ast.Unparen(target).(type) {
+	case *ast.SelectorExpr:
+		fieldObj = t.info.Uses[x.Sel]
+	case *ast.Ident:
+		fieldObj = t.info.Uses[x] // composite literal key
+	}
+	if fieldObj == nil || !t.fields[fieldObj] {
+		return del
+	}
+	for _, ob := range t.byObj[obj] {
+		del = delKeys(del, ob)
+	}
+	return del
+}
+
+// returnTransfers collects discharges for one return result: the resource
+// appearing in the returned value (directly, behind &, or inside a
+// composite literal) moves ownership to the caller. Calls inside the result
+// are replayed as ordinary call events first.
+func (t *resTracker) returnTransfers(del []string, e ast.Expr) []string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := identObj(t.info, e); obj != nil {
+			for _, ob := range t.byObj[obj] {
+				del = delKeys(del, ob)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			del = t.returnTransfers(del, e.X)
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				del = t.returnTransfers(del, kv.Value)
+			} else {
+				del = t.returnTransfers(del, elt)
+			}
+		}
+	case *ast.CallExpr:
+		// return f.Close() — the release executes before the return.
+		for _, o := range resReleased(t.info, e) {
+			for _, ob := range t.byObj[o] {
+				del = delKeys(del, ob)
+			}
+		}
+		t.eachPassed(e, func(ob *resObligation, discharged bool, name string) {
+			if discharged {
+				del = delKeys(del, ob)
+			} else if !ob.notePos.IsValid() {
+				ob.noteName, ob.notePos = name, e.Pos()
+			}
+		})
+	}
+	return del
+}
+
+// refine is the branch refiner for ForwardEdges: on the arm where an
+// obligation's paired error is non-nil the resource is nil and the
+// obligation is deleted; on the validated arm only the pending companion
+// clears. A nil-check of the resource variable itself deletes the
+// obligation on the nil arm.
+func (t *resTracker) refine(from, to *Block, f Facts) Facts {
+	if from.Cond == nil {
+		return f
+	}
+	bin, ok := ast.Unparen(from.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return f
+	}
+	var condObj types.Object
+	if isNilExpr(t.info, bin.Y) {
+		condObj = identObj(t.info, bin.X)
+	} else if isNilExpr(t.info, bin.X) {
+		condObj = identObj(t.info, bin.Y)
+	}
+	if condObj == nil {
+		return f
+	}
+	trueIsNil := bin.Op == token.EQL
+	toIsTrue := to == from.TrueSucc
+	nilEdge := toIsTrue == trueIsNil
+
+	for _, ob := range t.byErr[condObj] {
+		if _, pending := f[ob.key+"?"]; !pending {
+			continue // already validated, or not yet acquired
+		}
+		if nilEdge {
+			delete(f, ob.key+"?") // err == nil: resource is live
+		} else {
+			delete(f, ob.key) // err != nil: resource is nil, nothing to release
+			delete(f, ob.key+"?")
+		}
+	}
+	if nilEdge {
+		for _, ob := range t.byObj[condObj] {
+			delete(f, ob.key)
+			delete(f, ob.key+"?")
+		}
+	}
+	return f
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// applyEvent folds one replay event into the fact map.
+func applyEvent(f Facts, ev resEvent) {
+	if ev.acquire != nil {
+		f[ev.acquire.key] = FactMust
+		if ev.acquire.errObj != nil {
+			f[ev.acquire.key+"?"] = FactMust
+		}
+	}
+	for _, k := range ev.del {
+		delete(f, k)
+	}
+}
+
+// solve runs the obligation dataflow and returns the block-entry facts.
+func (t *resTracker) solve(cfg *CFG, events map[*Block][]resEvent) map[*Block]Facts {
+	return cfg.ForwardEdges(func(blk *Block, in Facts) Facts {
+		for _, ev := range events[blk] {
+			applyEvent(in, ev)
+		}
+		return in
+	}, t.refine)
+}
+
+// leakExit replays the blocks feeding the exit and returns the position of
+// the first exit (in source order) the obligation is still held at: a
+// return statement, or end for the fall-off-the-end path.
+func (t *resTracker) leakExit(cfg *CFG, in map[*Block]Facts, events map[*Block][]resEvent, ob *resObligation, end token.Pos) token.Pos {
+	best := token.NoPos
+	better := func(p token.Pos) {
+		if !best.IsValid() || p < best {
+			best = p
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		facts, ok := in[blk]
+		if !ok {
+			continue
+		}
+		toExit := false
+		for _, s := range blk.Succs {
+			if s == cfg.Exit {
+				toExit = true
+			}
+		}
+		if !toExit {
+			continue
+		}
+		f := facts.Clone()
+		sawRet := false
+		for _, ev := range events[blk] {
+			applyEvent(f, ev)
+			if ev.ret != nil {
+				sawRet = true
+				if _, held := f[ob.key]; held {
+					better(ev.ret.Pos())
+				}
+			}
+		}
+		if !sawRet {
+			if _, held := f[ob.key]; held {
+				better(end)
+			}
+		}
+	}
+	if !best.IsValid() {
+		return ob.pos
+	}
+	return best
+}
+
+// checkResLifetime runs the must-release analysis for one function or
+// function literal and reports surviving obligations of the wanted kinds.
+func checkResLifetime(pass *Pass, fn ast.Node, want func(resKind) bool, sums resSummaries, fields map[types.Object]bool) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	t := newResTracker(pass.Pkg.Info, pass.Fset, sums, fields)
+	t.collectObligations(body, want, pass.Reportf)
+	if len(t.obs) == 0 {
+		return
+	}
+	cfg := pass.CFG(fn)
+	if cfg == nil || cfg.Hairy {
+		return
+	}
+	t.credits(body)
+	events := t.blockEvents(cfg)
+	in := t.solve(cfg, events)
+	exitFacts, ok := in[cfg.Exit]
+	if !ok {
+		return // no path returns (e.g. an accept loop): nothing leaks
+	}
+	for _, ob := range t.obs {
+		if ob.credited {
+			continue
+		}
+		state, held := exitFacts[ob.key]
+		if !held {
+			continue
+		}
+		pathWord := "some path"
+		if state == FactMust {
+			pathWord = "every path"
+		}
+		leakLine := pass.Fset.Position(t.leakExit(cfg, in, events, ob, body.Rbrace)).Line
+		note := ""
+		if ob.notePos.IsValid() {
+			note = fmt.Sprintf("; the call to %s at line %d does not take ownership of it",
+				ob.noteName, pass.Fset.Position(ob.notePos).Line)
+		}
+		if ob.kind == resCancel {
+			pass.Reportf(ob.pos, "context.CancelFunc from %s is not called on %s to return (still pending at the exit on line %d); call or defer it on every path, or pass it to a function that invokes it%s",
+				ob.src, pathWord, leakLine, note)
+		} else {
+			pass.Reportf(ob.pos, "%s acquired from %s is not released on %s to return (leaks at the exit on line %d); %s it on every path, defer it, or transfer ownership%s",
+				ob.kind.what(), ob.src, pathWord, leakLine, ob.kind.releaseHint(), note)
+		}
+	}
+}
+
+// runResLifetime is the shared analyzer driver for rescleak and lostcancel:
+// every function declaration and every function literal (a separate
+// execution context) gets its own obligation dataflow.
+func runResLifetime(pass *Pass, want func(resKind) bool) {
+	graph := pass.CallGraph()
+	sums := resourceSummaries(graph)
+	fields := releasableFields(graph)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkResLifetime(pass, fd, want, sums, fields)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkResLifetime(pass, lit, want, sums, fields)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// releasableFields computes, once per run, the struct fields some module
+// function releases (d.ln.Close(), s.cancel(), t.ticker.Stop()). Storing a
+// resource into one of these fields transfers the obligation to the
+// struct's release path.
+func releasableFields(graph *CallGraph) map[types.Object]bool {
+	return graph.Memo("reslife.fields", func() any {
+		fields := map[types.Object]bool{}
+		graph.Nodes(func(n *CallNode) {
+			info := n.Pkg.Info
+			ast.Inspect(n.Decl.Body, func(nn ast.Node) bool {
+				if call, ok := nn.(*ast.CallExpr); ok {
+					for _, o := range resReleased(info, call) {
+						if v, ok := o.(*types.Var); ok && v.IsField() {
+							fields[o] = true
+						}
+					}
+				}
+				return true
+			})
+		})
+		return fields
+	}).(map[types.Object]bool)
+}
+
+// resourceSummaries computes, once per run and to fixpoint over the call
+// graph, which parameters each module function releases on every path. A
+// function's summary may depend on its callees' summaries (the release can
+// be delegated another hop down), so candidates are re-examined until the
+// set stops growing — summaries only ever gain entries, so the iteration
+// terminates.
+func resourceSummaries(graph *CallGraph) resSummaries {
+	return graph.Memo("reslife.summaries", func() any {
+		fields := releasableFields(graph)
+		type cand struct {
+			n    *CallNode
+			idx  int
+			obj  types.Object
+			kind resKind
+		}
+		var cands []cand
+		graph.Nodes(func(n *CallNode) {
+			sig, ok := n.Func.Type().(*types.Signature)
+			if !ok {
+				return
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if p.Name() == "" || p.Name() == "_" {
+					continue
+				}
+				if k, ok := releasableKind(p.Type()); ok {
+					cands = append(cands, cand{n, i, p, k})
+				}
+			}
+		})
+		sums := resSummaries{}
+		for changed := true; changed; {
+			changed = false
+			for _, c := range cands {
+				if sums[c.n.Func][c.idx] {
+					continue
+				}
+				if !paramAlwaysReleased(c.n, c.obj, c.kind, sums, fields) {
+					continue
+				}
+				m := sums[c.n.Func]
+				if m == nil {
+					m = map[int]bool{}
+					sums[c.n.Func] = m
+				}
+				m[c.idx] = true
+				changed = true
+			}
+		}
+		return sums
+	}).(resSummaries)
+}
+
+// paramAlwaysReleased runs the obligation dataflow with the parameter held
+// at entry and reports whether it is discharged on every path to return.
+func paramAlwaysReleased(n *CallNode, obj types.Object, kind resKind, sums resSummaries, fields map[types.Object]bool) bool {
+	cfg := n.Pkg.funcCFG(n.Decl)
+	if cfg == nil || cfg.Hairy {
+		return false
+	}
+	t := newResTracker(n.Pkg.Info, nil, sums, fields)
+	ob := t.seedParam(obj, kind)
+	t.credits(n.Decl.Body)
+	if ob.credited {
+		return true
+	}
+	events := t.blockEvents(cfg)
+	in := cfg.ForwardEdges(func(blk *Block, f Facts) Facts {
+		if blk == cfg.Entry() {
+			// The parameter arrives held; entry facts start empty, so the
+			// obligation is injected at the top of the entry block.
+			f[ob.key] = FactMust
+		}
+		for _, ev := range events[blk] {
+			applyEvent(f, ev)
+		}
+		return f
+	}, t.refine)
+	exitFacts, ok := in[cfg.Exit]
+	if !ok {
+		return true // never returns: the obligation cannot leak to a caller
+	}
+	_, held := exitFacts[ob.key]
+	return !held
+}

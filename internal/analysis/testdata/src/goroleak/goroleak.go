@@ -1,0 +1,140 @@
+// Package goroleak is a want-marker fixture for the goroleak analyzer:
+// goroutines parked forever on unbuffered channels, and unbounded
+// per-element fan-out.
+package goroleak
+
+import "context"
+
+func work() int     { return 1 }
+func process(x int) { _ = x }
+
+// The classic abandonment bug: the result channel is unbuffered and the
+// parent can take ctx.Done() and walk away, stranding the sender.
+func abandoned(ctx context.Context) int {
+	ch := make(chan int)
+	go func() {
+		ch <- work() // want goroleak
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// Buffering the channel lets the sender complete and be collected even
+// when the parent abandons the result.
+func buffered(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// A committed receive keeps the sender safe.
+func committed() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work()
+	}()
+	return <-ch
+}
+
+// No receive at all: the sender blocks forever.
+func noReceiver() {
+	ch := make(chan int)
+	go func() {
+		ch <- work() // want goroleak
+	}()
+}
+
+// A select escape inside the goroutine is the fix the diagnostic suggests.
+func guardedSend(ctx context.Context) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- work():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// Ranging over a channel nobody closes never terminates.
+func rangeNoClose() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch { // want goroleak
+			_ = v
+		}
+	}()
+	ch <- 1
+}
+
+// A reachable close ends the range: feed then close is the worker idiom.
+func rangeClosed(xs []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, x := range xs {
+		ch <- x
+	}
+	close(ch)
+}
+
+// The close may live one callee hop away.
+func rangeClosedByHelper(xs []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	feed(ch, xs)
+}
+
+func feed(ch chan int, xs []int) {
+	for _, x := range xs {
+		ch <- x
+	}
+	close(ch)
+}
+
+// Receiving from a channel nobody sends on or closes.
+func recvNothing() {
+	ch := make(chan struct{})
+	go func() {
+		<-ch // want goroleak
+	}()
+}
+
+// Per-element fan-out with no bound on in-flight goroutines.
+func fanOut(xs []int) {
+	for _, x := range xs {
+		go process(x) // want goroleak
+	}
+}
+
+// A counter-bounded worker pool over a shared channel is the blessed shape.
+func workers(n int, ch chan int) {
+	for w := 0; w < n; w++ {
+		go func() {
+			for v := range ch {
+				_ = v
+			}
+		}()
+	}
+}

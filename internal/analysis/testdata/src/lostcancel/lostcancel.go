@@ -1,0 +1,69 @@
+// Package lostcancel is a want-marker fixture for the lostcancel analyzer.
+package lostcancel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errStop = errors.New("stop")
+
+func work(ctx context.Context) { _ = ctx }
+
+// The early return skips the cancel: the timeout's resources leak until
+// the deadline fires.
+func leakOnError(ctx context.Context, ok bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // want lostcancel
+	if !ok {
+		return errStop
+	}
+	work(ctx)
+	cancel()
+	return nil
+}
+
+// Deferring the cancel covers every exit.
+func deferred(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work(ctx)
+}
+
+// Handing the cancel to a callee that invokes it discharges the
+// obligation interprocedurally (vet's lostcancel cannot see this).
+func delegated(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	work(ctx)
+	finish(cancel)
+}
+
+func finish(cancel context.CancelFunc) { cancel() }
+
+// Storing the cancel in a struct whose stop method invokes it transfers
+// the obligation to the struct's release path.
+type session struct {
+	cancel context.CancelFunc
+}
+
+func (s *session) stop() { s.cancel() }
+
+func start(ctx context.Context) *session {
+	ctx, cancel := context.WithCancel(ctx)
+	work(ctx)
+	return &session{cancel: cancel}
+}
+
+// Never calling the cancel at all leaks on every path.
+func deadlineLeak(ctx context.Context, t time.Time) context.Context {
+	d, cancel := context.WithDeadline(ctx, t) // want lostcancel
+	_ = cancel
+	return d
+}
+
+// Discarding the cancel func outright: the derived context can never be
+// released.
+func discard(ctx context.Context) context.Context {
+	ctx, _ = context.WithCancel(ctx) // want lostcancel
+	return ctx
+}

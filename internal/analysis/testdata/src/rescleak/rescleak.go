@@ -1,0 +1,155 @@
+// Package rescleak is a want-marker fixture for the rescleak analyzer:
+// every way an obligation leaks, and every way it is discharged.
+package rescleak
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// The success path forgets the file: leaked at the final return.
+func leakOnSuccess(path string) (int64, error) {
+	f, err := os.Open(path) // want rescleak
+	if err != nil {
+		return 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// The error arm of the acquisition's own check is NOT a leak: the resource
+// is nil there (branch refinement), and the happy path closes.
+func closedBothPaths(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return buf, f.Close()
+}
+
+// A deferred close runs at every exit.
+func deferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return inspect(f)
+}
+
+// Returning the resource hands ownership to the caller.
+func openLog(dir string) (*os.File, error) {
+	f, err := os.Create(dir + "/log")
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// inspect looks at the file but does not release it: its summary must stay
+// empty, so passing a file here is no discharge.
+func inspect(f *os.File) error {
+	_, err := f.Stat()
+	return err
+}
+
+// Passing the listener to a non-consuming helper does not discharge: the
+// diagnostic names the call.
+func listenPeek(addr string) error {
+	ln, err := net.Listen("tcp", addr) // want rescleak
+	if err != nil {
+		return err
+	}
+	logAddr(ln)
+	return nil
+}
+
+func logAddr(ln net.Listener) { _ = ln.Addr() }
+
+// Storing into a field with a module-reachable Close transfers ownership.
+type server struct {
+	ln net.Listener
+}
+
+func (s *server) Close() error { return s.ln.Close() }
+
+func newServer(addr string) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{}
+	s.ln = ln
+	return s, nil
+}
+
+// Sending the resource on a channel hands ownership to the receiver.
+func sendOff(path string, out chan<- *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	out <- f
+	return nil
+}
+
+// A close inside a goroutine the resource is handed to is credited (the
+// async-cleanup idiom).
+func closeAsync(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	go func() {
+		_ = f.Close()
+	}()
+	return nil
+}
+
+// An un-stopped timer leaks at the fall-off-the-end exit.
+func tickOnce(d time.Duration) {
+	t := time.NewTimer(d) // want rescleak
+	<-t.C
+}
+
+// Stop deferred: clean.
+func tick(d time.Duration, n int) {
+	tk := time.NewTicker(d)
+	defer tk.Stop()
+	for i := 0; i < n; i++ {
+		<-tk.C
+	}
+}
+
+// The response body must be closed, not the response.
+func fetchLeak(url string) (int, error) {
+	resp, err := http.Get(url) // want rescleak
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func fetchOK(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Discarding the resource outright can never be released.
+func drop(path string) {
+	_, _ = os.Open(path) // want rescleak
+}

@@ -1,0 +1,26 @@
+// Package ressub provides the release helpers the resxp fixture delegates
+// to: the summary builder must prove CloseIt and CloseBoth release their
+// parameter on every path, and that Hold does not.
+package ressub
+
+import "os"
+
+// CloseIt releases its file on every path: summary {0}.
+func CloseIt(f *os.File) error {
+	return f.Close()
+}
+
+// CloseBoth delegates the release another hop down; the fixpoint must
+// propagate CloseIt's summary into this one.
+func CloseBoth(f *os.File) error {
+	return CloseIt(f)
+}
+
+// Hold inspects the file but never releases it: empty summary.
+func Hold(f *os.File) int64 {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

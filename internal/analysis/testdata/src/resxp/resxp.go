@@ -1,0 +1,38 @@
+// Package resxp exercises the cross-package half of rescleak: ownership
+// transfer summaries are computed on the module-wide call graph, so a
+// release delegated to another package discharges the caller's obligation.
+package resxp
+
+import (
+	"os"
+
+	"fixture/ressub"
+)
+
+// Discharged: ressub.CloseIt's summary releases parameter 0.
+func delegated(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return ressub.CloseIt(f)
+}
+
+// Discharged two hops down: CloseBoth → CloseIt, proven by the fixpoint.
+func twoHops(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return ressub.CloseBoth(f)
+}
+
+// ressub.Hold inspects but does not release: the leak survives and the
+// diagnostic names the non-discharging call.
+func heldNotReleased(path string) int64 {
+	f, err := os.Open(path) // want rescleak
+	if err != nil {
+		return 0
+	}
+	return ressub.Hold(f)
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// res builds a distinct cachedResult so tests can tell entries apart by
+// pointer identity and body.
+func res(s string) *cachedResult {
+	return &cachedResult{status: 200, body: []byte(s)}
+}
+
+// TestResultCacheEvictsAtExactCapacity fills the cache to its capacity,
+// then inserts one more key: the least recently used entry — and only
+// that one — must leave, and the length must stay pinned at capacity.
+func TestResultCacheEvictsAtExactCapacity(t *testing.T) {
+	const capacity = 3
+	c := newResultCache(capacity)
+	for i := 0; i < capacity; i++ {
+		c.put(fmt.Sprintf("k%d", i), res(fmt.Sprintf("v%d", i)))
+	}
+	if got := c.len(); got != capacity {
+		t.Fatalf("len after filling to capacity = %d, want %d", got, capacity)
+	}
+
+	// Touch k0 so k1 becomes the LRU entry, then overflow by one.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing before overflow")
+	}
+	c.put("k3", res("v3"))
+
+	if got := c.len(); got != capacity {
+		t.Errorf("len after overflow = %d, want %d (exactly one eviction)", got, capacity)
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 survived eviction; it was the least recently used entry")
+	}
+	for _, key := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(key); !ok {
+			t.Errorf("%s evicted; only the LRU entry should leave", key)
+		}
+	}
+}
+
+// TestResultCacheReinsertAfterEvict re-inserts a key that was previously
+// evicted: it must be stored fresh (new value visible), count as the most
+// recently used entry, and push out the current LRU instead of tripping
+// over any stale bookkeeping from its first life.
+func TestResultCacheReinsertAfterEvict(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", res("a1"))
+	c.put("b", res("b1"))
+	c.put("c", res("c1")) // evicts a
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a still cached after overflow; expected it evicted")
+	}
+
+	// Re-insert the evicted key with a new value: b is now LRU and must go.
+	c.put("a", res("a2"))
+	if got := c.len(); got != 2 {
+		t.Errorf("len after re-insert = %d, want 2", got)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived; re-inserting a should have evicted the LRU entry b")
+	}
+	got, ok := c.get("a")
+	if !ok {
+		t.Fatal("re-inserted a missing")
+	}
+	if string(got.body) != "a2" {
+		t.Errorf("re-inserted a returned body %q, want %q (fresh value, not a stale entry)", got.body, "a2")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c evicted; it was more recently used than b")
+	}
+}
+
+// TestResultCacheUpdateExistingKeyDoesNotEvict overwrites a resident key:
+// the value must change in place with no eviction side effects.
+func TestResultCacheUpdateExistingKeyDoesNotEvict(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", res("a1"))
+	c.put("b", res("b1"))
+	c.put("a", res("a2"))
+
+	if got := c.len(); got != 2 {
+		t.Errorf("len after in-place update = %d, want 2", got)
+	}
+	got, ok := c.get("a")
+	if !ok {
+		t.Fatal("a missing after update")
+	}
+	if string(got.body) != "a2" {
+		t.Errorf("a returned body %q after update, want %q", got.body, "a2")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("updating a resident key evicted b")
+	}
+}
+
+// TestResultCacheZeroCapacity pins the disabled-cache mode: puts are
+// dropped and gets always miss.
+func TestResultCacheZeroCapacity(t *testing.T) {
+	c := newResultCache(0)
+	c.put("a", res("a1"))
+	if got := c.len(); got != 0 {
+		t.Errorf("len = %d for zero-capacity cache, want 0", got)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("zero-capacity cache returned a hit")
+	}
+}
