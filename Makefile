@@ -12,6 +12,9 @@
 #   make bench-lint   full-repo analyzer-suite benchmark; fails if linting
 #                     the repo exceeds the 2.5 s/op budget
 #   make bench-obs    batch annotation with nil vs active observability hooks
+#   make bench-predict inference-layer micro-benchmarks: forest matrix
+#                     kernels (compiled vs pointer) and model decode
+#                     (JSON vs binary)
 #   make bench-stream streaming throughput benchmark + the full >= 256 MiB
 #                     bounded-memory proof (the default test run uses 32 MiB)
 #   make race-stream  race detector over the streaming/window code only (fast)
@@ -23,12 +26,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 # The committed performance baseline bench-gate judges against.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_10.json
 # Full-repo lint wall-clock budget, ns/op (2.5 s): the memoized call graph
 # must keep the whole analyzer suite inside it.
 LINT_BUDGET_NS ?= 2500000000
 
-.PHONY: build test vet lint lint-reslife lint-models race race-stream race-serve serve-smoke tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-stream
+.PHONY: build test vet lint lint-reslife lint-models race race-stream race-serve serve-smoke tier1 check fuzz-smoke bench bench-gate bench-lint bench-obs bench-predict bench-stream
 
 build:
 	$(GO) build ./...
@@ -89,6 +92,13 @@ bench-lint:
 
 bench-obs:
 	$(GO) test -bench 'BenchmarkAnnotateAllObs' -benchmem -count 5 -run '^$$' .
+
+# Inference-layer micro-benchmarks: the matrix kernels of both forest
+# engines (compiled flattened vs pointer) plus model decode in both
+# encodings — the numbers the predict_path/model_load snapshot fields track.
+bench-predict:
+	$(GO) test -bench 'BenchmarkPredict|BenchmarkForestDecode' -benchmem -run '^$$' ./internal/ml/forest
+	$(GO) test -bench 'BenchmarkModelLoad' -benchmem -run '^$$' .
 
 # Streaming: throughput benchmark, then the full-size bounded-memory proof
 # (a >= 256 MiB generated file annotated under a constant live-heap ceiling).

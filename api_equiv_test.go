@@ -121,3 +121,20 @@ func TestBatchEntryPointsEquivalent(t *testing.T) {
 		}
 	}
 }
+
+// TestSaveJSONShimMatchesSave proves the deprecated SaveJSON entry point
+// is byte-identical to the consolidated Save with FormatJSON, so callers
+// can migrate without artifact churn.
+func TestSaveJSONShimMatchesSave(t *testing.T) {
+	m := trainedModel(t)
+	var viaShim, viaSave bytes.Buffer
+	if err := m.SaveJSON(&viaShim); err != nil { //nolint:staticcheck // deprecated shim under test
+		t.Fatal(err)
+	}
+	if err := m.Save(&viaSave, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaShim.Bytes(), viaSave.Bytes()) {
+		t.Error("SaveJSON shim output differs from Save(FormatJSON)")
+	}
+}

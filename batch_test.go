@@ -91,10 +91,10 @@ func TestParallelismDeterminism(t *testing.T) {
 	}
 
 	var a, b bytes.Buffer
-	if err := serial.Save(&a); err != nil {
+	if err := serial.Save(&a, FormatJSON); err != nil {
 		t.Fatal(err)
 	}
-	if err := parallel.Save(&b); err != nil {
+	if err := parallel.Save(&b, FormatJSON); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {

@@ -300,3 +300,33 @@ func BenchmarkAnnotateStream(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkModelLoad measures cold-start model deserialization for both
+// serializations of the same trained model — the number strudel-serve pays
+// on every restart. The binary container skips the JSON tree decode
+// entirely, so its time is dominated by the structural re-validation and
+// the eager forest compilation.
+func BenchmarkModelLoad(b *testing.B) {
+	m := benchModel(b)
+	var jsonBuf, binBuf bytes.Buffer
+	if err := m.Save(&jsonBuf, FormatJSON); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Save(&binBuf, FormatBinary); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		data []byte
+	}{{"json", jsonBuf.Bytes()}, {"binary", binBuf.Bytes()}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(bc.data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := LoadModel(bytes.NewReader(bc.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	strudel-perf [-out BENCH_7.json] [-stream-size 8M] [-best 3]
-//	strudel-perf -compare BENCH_7.json
+//	strudel-perf [-out BENCH_10.json] [-stream-size 8M] [-best 3]
+//	strudel-perf -compare BENCH_10.json
 //
 // With -compare, the freshly measured snapshot is judged against the given
 // baseline instead of written: any throughput metric (batch files/s,
@@ -18,7 +18,11 @@
 //
 // Besides the per-op benchmark numbers, each snapshot records the p50/p99
 // single-file annotation latency over the batch corpus — the tail metric a
-// serving tier would put in an SLO.
+// serving tier would put in an SLO — plus two inference-layer metrics: the
+// raw predict-path throughput of both forest engines (compiled flattened
+// vs pointer-walking) over one staged feature block, and the model
+// deserialization cost in both encodings (JSON interchange vs compact
+// binary), the number that dominates serving cold start.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,6 +42,8 @@ import (
 
 	"strudel"
 	"strudel/internal/datagen"
+	"strudel/internal/ml"
+	"strudel/internal/ml/forest"
 )
 
 type pathResult struct {
@@ -68,11 +75,30 @@ type snapshot struct {
 		P50Ns int64 `json:"p50_ns"`
 		P99Ns int64 `json:"p99_ns"`
 	} `json:"per_file_latency"`
+	// PredictPath is the raw classifier-kernel throughput over one staged
+	// feature block (PredictProbaMatrix rows per second), for the compiled
+	// flattened engine and the pointer-walking forest. Zero in snapshots
+	// taken before the compiled engine existed; the gate skips absent
+	// metrics.
+	PredictPath struct {
+		Rows               int     `json:"rows"`
+		CompiledRowsPerSec float64 `json:"compiled_rows_per_sec,omitempty"`
+		PointerRowsPerSec  float64 `json:"pointer_rows_per_sec,omitempty"`
+	} `json:"predict_path,omitempty"`
+	// ModelLoad is the full-model deserialization cost per encoding — the
+	// serving cold-start number — measured by decoding the benchmark model
+	// from memory.
+	ModelLoad struct {
+		JSONNsPerOp   int64 `json:"json_ns_per_op,omitempty"`
+		BinaryNsPerOp int64 `json:"binary_ns_per_op,omitempty"`
+		JSONBytes     int   `json:"json_bytes,omitempty"`
+		BinaryBytes   int   `json:"binary_bytes,omitempty"`
+	} `json:"model_load,omitempty"`
 }
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_7.json", "output path (ignored under -compare unless set explicitly)")
+		out        = flag.String("out", "BENCH_10.json", "output path (ignored under -compare unless set explicitly)")
 		streamSize = flag.String("stream-size", "8M", "bytes of stacked CSV the streaming benchmark annotates per op")
 		compare    = flag.String("compare", "", "baseline snapshot to gate against instead of writing a new one")
 		best       = flag.Int("best", 3, "measure each path N times and keep the best run")
@@ -130,6 +156,9 @@ func run(ctx context.Context, out, streamSize, comparePath string, best int) err
 		snap.AnnotateAllSerial.FilesPerSec, snap.AnnotateAllParallel.FilesPerSec,
 		snap.AnnotateStream.MBPerSec,
 		time.Duration(snap.PerFileLatency.P50Ns), time.Duration(snap.PerFileLatency.P99Ns))
+	fmt.Printf("predict compiled %.0f rows/s, pointer %.0f rows/s; model load json %s binary %s\n",
+		snap.PredictPath.CompiledRowsPerSec, snap.PredictPath.PointerRowsPerSec,
+		time.Duration(snap.ModelLoad.JSONNsPerOp), time.Duration(snap.ModelLoad.BinaryNsPerOp))
 
 	if comparePath == "" {
 		return nil
@@ -232,7 +261,106 @@ func measure(ctx context.Context, streamBytes int64, best int) (*snapshot, error
 	}
 	snap.PerFileLatency.P50Ns = percentile(durs, 50)
 	snap.PerFileLatency.P99Ns = percentile(durs, 99)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := measurePredict(&snap, best); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := measureModelLoad(&snap, model, best); err != nil {
+		return nil, err
+	}
 	return &snap, nil
+}
+
+// measurePredict benchmarks the two forest engines' matrix kernels on one
+// staged feature block of synthetic rows. A dedicated synthetic forest
+// (fixed seed, fixed shape) keeps this metric independent of the pipeline
+// corpus, so it isolates the inference layer: staging cost excluded, walk
+// cost only.
+func measurePredict(snap *snapshot, best int) error {
+	const (
+		nTrain  = 1500
+		feats   = 32
+		classes = 6
+		rows    = 4096
+	)
+	rng := rand.New(rand.NewSource(11))
+	X := make([][]float64, nTrain)
+	y := make([]int, nTrain)
+	for i := range X {
+		x := make([]float64, feats)
+		c := i % classes
+		for j := range x {
+			x[j] = rng.NormFloat64() + float64(c)*0.5
+		}
+		X[i], y[i] = x, c
+	}
+	f, err := forest.Fit(X, y, classes, forest.Options{NumTrees: 20, Seed: 11})
+	if err != nil {
+		return err
+	}
+	c, err := f.Compile()
+	if err != nil {
+		return err
+	}
+	m := ml.NewMatrix(rows, feats)
+	for r := 0; r < rows; r++ {
+		m.SetRow(r, X[r%nTrain])
+	}
+	out := make([]float64, rows*classes)
+	rowsPerSec := func(p forest.Predictor) float64 {
+		pr := bestOf(best, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.PredictProbaMatrix(m, out)
+			}
+		})
+		return float64(rows) / (float64(pr.NsPerOp) / 1e9)
+	}
+	snap.PredictPath.Rows = rows
+	snap.PredictPath.CompiledRowsPerSec = rowsPerSec(c)
+	snap.PredictPath.PointerRowsPerSec = rowsPerSec(f)
+	return nil
+}
+
+// measureModelLoad benchmarks full-model deserialization from memory in
+// both encodings — the cold-start cost a serving tier pays before its
+// first annotation (LoadModel also compiles the flattened engines, so that
+// cost is included).
+func measureModelLoad(snap *snapshot, model *strudel.Model, best int) error {
+	var jbuf, bbuf bytes.Buffer
+	if err := model.Save(&jbuf, strudel.FormatJSON); err != nil {
+		return err
+	}
+	if err := model.Save(&bbuf, strudel.FormatBinary); err != nil {
+		return err
+	}
+	load := func(data []byte) (int64, error) {
+		var lerr error
+		pr := bestOf(best, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strudel.LoadModel(bytes.NewReader(data)); err != nil {
+					lerr = err
+					b.FailNow()
+				}
+			}
+		})
+		return pr.NsPerOp, lerr
+	}
+	var err error
+	if snap.ModelLoad.JSONNsPerOp, err = load(jbuf.Bytes()); err != nil {
+		return err
+	}
+	if snap.ModelLoad.BinaryNsPerOp, err = load(bbuf.Bytes()); err != nil {
+		return err
+	}
+	snap.ModelLoad.JSONBytes = jbuf.Len()
+	snap.ModelLoad.BinaryBytes = bbuf.Len()
+	return nil
 }
 
 // bestOf runs a benchmark n times and keeps the fastest run (lowest
@@ -291,5 +419,17 @@ func compareSnapshots(cur, base *snapshot, tolerance float64) []string {
 	check("annotate_all_serial files/s", cur.AnnotateAllSerial.FilesPerSec, base.AnnotateAllSerial.FilesPerSec)
 	check("annotate_all_parallel files/s", cur.AnnotateAllParallel.FilesPerSec, base.AnnotateAllParallel.FilesPerSec)
 	check("annotate_stream MB/s", cur.AnnotateStream.MBPerSec, base.AnnotateStream.MBPerSec)
+	check("predict_path compiled rows/s", cur.PredictPath.CompiledRowsPerSec, base.PredictPath.CompiledRowsPerSec)
+	check("predict_path pointer rows/s", cur.PredictPath.PointerRowsPerSec, base.PredictPath.PointerRowsPerSec)
+	// Load cost is gated as a rate so "higher is better" holds like the
+	// other metrics; ns==0 (pre-PR-10 baselines) maps to an absent metric.
+	persec := func(ns int64) float64 {
+		if ns <= 0 {
+			return 0
+		}
+		return 1e9 / float64(ns)
+	}
+	check("model_load json loads/s", persec(cur.ModelLoad.JSONNsPerOp), persec(base.ModelLoad.JSONNsPerOp))
+	check("model_load binary loads/s", persec(cur.ModelLoad.BinaryNsPerOp), persec(base.ModelLoad.BinaryNsPerOp))
 	return regs
 }

@@ -43,8 +43,13 @@ func run() int {
 		scale    = flag.Float64("scale", 1.0, "scale factor for built-in corpora")
 		maxCells = flag.Int("max-cells", 2000, "per-file training cell cap (0 = unlimited)")
 		lineOnly = flag.Bool("line-only", false, "train only the line model")
+		format   = flag.String("model-format", "json", "model serialization format: json (interchange) or binary (fast cold start)")
 	)
 	flag.Parse()
+	modelFormat, err := strudel.ParseFormat(*format)
+	if err != nil {
+		return fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -91,14 +96,14 @@ func run() int {
 		return fatal(err)
 	}
 	fmt.Printf("trained on %d files in %v\n", len(files), time.Since(start).Round(time.Millisecond))
-	if err := model.SaveFile(*out); err != nil {
+	if err := model.SaveFile(*out, modelFormat); err != nil {
 		return fatal(err)
 	}
 	info, err := os.Stat(*out)
 	if err != nil {
 		return fatal(err)
 	}
-	fmt.Printf("saved %s (%.1f MB)\n", *out, float64(info.Size())/1e6)
+	fmt.Printf("saved %s (%s, %.1f MB)\n", *out, modelFormat, float64(info.Size())/1e6)
 	return 0
 }
 

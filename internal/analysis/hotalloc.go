@@ -10,9 +10,10 @@ import (
 // transitively reachable — over the module-wide call graph, callback edges
 // included — from the inference and streaming roots:
 //
-//	(*Model).annotate          the per-file annotation pass
-//	(*Forest).PredictProba     \ per-row tree inference
-//	(*Tree).PredictProba       /
+//	(*Model).annotate               the per-file annotation pass
+//	(*Forest).PredictProba          \
+//	(*Tree).PredictProba            | per-row tree inference
+//	(*Compiled).PredictProbaMatrix  /  (flattened matrix kernel)
 //	(*Scanner).Scan            the per-line streaming ingest step
 //	(*Splitter).Write/Next     the per-line incremental tokenizer
 //
@@ -55,6 +56,7 @@ var hotRoots = []hotRoot{
 	{"strudel", "Model", "annotate"},
 	{"forest", "Forest", "PredictProba"},
 	{"forest", "Forest", "PredictProbaBatch"},
+	{"forest", "Compiled", "PredictProbaMatrix"},
 	{"tree", "Tree", "PredictProba"},
 	{"ingest", "Scanner", "Scan"},
 	{"dialect", "Splitter", "Write"},

@@ -1,6 +1,7 @@
 // Package modelcheck statically verifies serialized model artifacts — the
-// forest/tree JSON files strudel trains and ships — against the structural
-// invariants prediction relies on: split feature indices inside
+// forest/model files strudel trains and ships, in either the JSON
+// interchange encoding or the binary cold-start encoding — against the
+// structural invariants prediction relies on: split feature indices inside
 // [0, NumFeats), class dimensions matching NumClasses, finite thresholds,
 // leaf probability vectors that are finite, non-negative, and sum to
 // 1±1e-9, and Left/Right links forming a single acyclic, fully reachable
@@ -21,12 +22,14 @@
 package modelcheck
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"strudel"
 	"strudel/internal/core"
 	"strudel/internal/ml/forest"
 )
@@ -76,6 +79,25 @@ func VerifyFile(path string) []Finding {
 }
 
 func verifyBytes(path string, data []byte) []Finding {
+	// Binary artifacts announce themselves with a 4-byte magic (JSON
+	// cannot: it opens with '{'). Both binary decoders run the same
+	// structural verifier the JSON shapes get below, so decoding IS the
+	// verification; the decode error names the violated invariant.
+	if len(data) >= 4 {
+		switch [4]byte(data[:4]) {
+		case forest.ForestMagic:
+			f, err := forest.DecodeBinary(bytes.NewReader(data))
+			if err != nil {
+				return []Finding{{File: path, Message: fmt.Sprintf("invalid binary forest artifact: %v", err)}}
+			}
+			return verifyForest(path, "", f)
+		case strudel.ModelMagic:
+			if _, err := strudel.LoadModel(bytes.NewReader(data)); err != nil {
+				return []Finding{{File: path, Message: fmt.Sprintf("invalid binary model artifact: %v", err)}}
+			}
+			return nil
+		}
+	}
 	var probe artifactProbe
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return []Finding{{File: path, Message: fmt.Sprintf("not a JSON model artifact: %v", err)}}

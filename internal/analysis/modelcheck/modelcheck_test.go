@@ -1,10 +1,15 @@
 package modelcheck
 
 import (
+	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"strudel"
+	"strudel/internal/ml/forest"
 )
 
 // modelsDir is the shared corrupt/valid artifact corpus also used by
@@ -120,6 +125,59 @@ func TestVerifyGlobs(t *testing.T) {
 func TestVerifyGlobsRejectsEmptyMatch(t *testing.T) {
 	if _, err := VerifyGlobs([]string{filepath.Join(modelsDir, "no_such_*.json")}); err == nil {
 		t.Fatal("empty glob match did not error")
+	}
+}
+
+func TestVerifyBinaryModelArtifact(t *testing.T) {
+	files, err := strudel.GenerateCorpus("saus", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := strudel.Train(files, strudel.TrainOptions{Trees: 3, Seed: 1, MaxCellsPerFile: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf, strudel.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	good := writeTemp(t, "model.bin", buf.String())
+	if findings := VerifyFile(good); len(findings) != 0 {
+		t.Errorf("valid binary model flagged: %v", findings)
+	}
+
+	// Flip the first forest blob's magic byte: the artifact must be
+	// rejected with a finding, not verified clean or panicked on.
+	data := append([]byte(nil), buf.Bytes()...)
+	headerLen := binary.LittleEndian.Uint32(data[8:12])
+	data[12+headerLen] ^= 0xFF
+	bad := writeTemp(t, "model_bad.bin", string(data))
+	findings := VerifyFile(bad)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "invalid binary model artifact") {
+		t.Fatalf("got %v, want one invalid-binary-model finding", findings)
+	}
+}
+
+func TestVerifyBinaryForestArtifact(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}, {0.2, 0.8}, {0.9, 0.1}}
+	y := []int{0, 1, 0, 1, 0, 1}
+	f, err := forest.Fit(X, y, 2, forest.Options{NumTrees: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := writeTemp(t, "forest.bin", buf.String())
+	if findings := VerifyFile(good); len(findings) != 0 {
+		t.Errorf("valid binary forest flagged: %v", findings)
+	}
+
+	truncated := writeTemp(t, "forest_trunc.bin", buf.String()[:buf.Len()/2])
+	findings := VerifyFile(truncated)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "invalid binary forest artifact") {
+		t.Fatalf("got %v, want one invalid-binary-forest finding", findings)
 	}
 }
 

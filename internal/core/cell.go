@@ -27,6 +27,10 @@ type CellModel struct {
 	// PostProcess applies the Koci-style misclassification repair to
 	// Classify results.
 	PostProcess bool
+
+	// compiled is the flattened SoA inference engine built from Forest;
+	// unexported so it never serializes (see LineModel.compiled).
+	compiled *forest.Compiled
 }
 
 // CellTrainOptions configures Strudel^C training.
@@ -149,10 +153,14 @@ func TrainCellContext(ctx context.Context, tables []*table.Table, opts CellTrain
 	if err != nil {
 		return nil, err
 	}
-	return &CellModel{
+	m := &CellModel{
 		Forest: f, Line: lineModel, Opts: opts.Features, Mask: opts.FeatureMask,
 		Column: colModel, PostProcess: opts.PostProcess,
-	}, nil
+	}
+	if err := m.Compile(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // sampleSeed derives a decorrelated per-file sampling seed from the master
@@ -264,11 +272,11 @@ func (m *CellModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][][]floa
 				out[r][c] = make([]float64, table.NumClasses)
 				continue
 			}
-			batch = append(batch, maskVector(fs[r][c], mask))
+			batch = append(batch, fs[r][c])
 			cells = append(cells, pos{r, c})
 		}
 	}
-	probs := m.Forest.PredictProbaBatch(batch)
+	probs := predictRows(a, m.predictor(), batch, mask)
 	for i, p := range cells {
 		out[p.r][p.c] = probs[i]
 	}
@@ -280,7 +288,7 @@ func (m *CellModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][][]floa
 // column probabilities.
 func (m *CellModel) computeCellFeatures(a *pipeline.Artifacts) [][][]float64 {
 	lineProbs := m.Line.ProbabilitiesWithArtifacts(a)
-	fs := features.CellFeatures(a.Table, lineProbs, m.Opts)
+	fs := a.Shared().CellFeatures(lineProbs, m.Opts)
 	if m.Column != nil {
 		appendColumnProbs(a, fs, m.Column)
 	}

@@ -17,6 +17,10 @@ import (
 type ColumnModel struct {
 	Forest *forest.Forest
 	Opts   features.CellOptions
+
+	// compiled is the flattened SoA inference engine built from Forest;
+	// unexported so it never serializes (see LineModel.compiled).
+	compiled *forest.Compiled
 }
 
 // ColumnGold returns the majority cell class per column of an annotated
@@ -74,7 +78,11 @@ func TrainColumn(tables []*table.Table, fopts features.CellOptions, forestOpts f
 	if err != nil {
 		return nil, err
 	}
-	return &ColumnModel{Forest: f, Opts: fopts}, nil
+	m := &ColumnModel{Forest: f, Opts: fopts}
+	if err := m.Compile(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Probabilities returns one class probability vector per column.
@@ -87,8 +95,8 @@ func (m *ColumnModel) Probabilities(t *table.Table) [][]float64 {
 // artifact (Strudel^C consults it for every cell of the table).
 func (m *ColumnModel) ProbabilitiesWithArtifacts(a *pipeline.Artifacts) [][]float64 {
 	return a.ColumnProbabilities(m, func(a *pipeline.Artifacts) [][]float64 {
-		fs := features.ColumnFeatures(a.Table, m.Opts)
-		return m.Forest.PredictProbaBatch(fs)
+		fs := a.Shared().ColumnFeatures(m.Opts)
+		return predictRows(a, m.predictor(), fs, nil)
 	})
 }
 

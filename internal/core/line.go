@@ -28,6 +28,11 @@ type LineModel struct {
 	Opts features.LineOptions
 	// Mask selects a subset of line features (for ablations); nil = all.
 	Mask []int
+
+	// compiled is the flattened SoA inference engine built from Forest
+	// (see forest.Compiled). Unexported so it never serializes; Compile
+	// populates it and predictor() falls back to Forest when it is nil.
+	compiled *forest.Compiled
 }
 
 // LineTrainOptions configures Strudel^L training.
@@ -101,7 +106,11 @@ func TrainLineContext(ctx context.Context, tables []*table.Table, opts LineTrain
 	if err != nil {
 		return nil, err
 	}
-	return &LineModel{Forest: f, Opts: opts.Features, Mask: opts.FeatureMask}, nil
+	m := &LineModel{Forest: f, Opts: opts.Features, Mask: opts.FeatureMask}
+	if err := m.Compile(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Probabilities returns one class probability vector per line of t. Empty
@@ -131,10 +140,10 @@ func (m *LineModel) computeProbabilities(a *pipeline.Artifacts) [][]float64 {
 			out[r] = make([]float64, table.NumClasses)
 			continue
 		}
-		batch = append(batch, maskVector(fs[r], m.Mask))
+		batch = append(batch, fs[r])
 		rows = append(rows, r)
 	}
-	probs := m.Forest.PredictProbaBatch(batch)
+	probs := predictRows(a, m.predictor(), batch, m.Mask)
 	for i, r := range rows {
 		out[r] = probs[i]
 	}

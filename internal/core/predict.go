@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strudel/internal/ml/forest"
+	"strudel/internal/pipeline"
+)
+
+// predictRows is the one columnar scoring path every core stage funnels
+// through: the raw feature rows are staged (mask applied in place) into the
+// artifact's reusable feature block, classified in a single
+// PredictProbaMatrix pass, and returned as per-row views into one freshly
+// allocated probability slab. The slab is long-lived — stages cache and
+// publish these vectors — so only the staging matrix is recycled.
+//
+// A nil mask stages each row verbatim; a non-nil mask projects the
+// selected feature indices during the fill, so ablation models pay no
+// per-row projection copies.
+func predictRows(a *pipeline.Artifacts, p forest.Predictor, rows [][]float64, mask []int) [][]float64 {
+	out := make([][]float64, len(rows))
+	if len(rows) == 0 {
+		return out
+	}
+	cols := len(rows[0])
+	if mask != nil {
+		cols = len(mask)
+	}
+	m := a.FeatureMatrix(len(rows), cols)
+	if mask == nil {
+		m.FillRows(rows)
+	} else {
+		for r, x := range rows {
+			m.SetRowMasked(r, x, mask)
+		}
+	}
+	k := p.Classes()
+	slab := make([]float64, len(rows)*k)
+	p.PredictProbaMatrix(m, slab)
+	for r := range out {
+		out[r] = slab[r*k : (r+1)*k : (r+1)*k]
+	}
+	return out
+}
+
+// predictor returns the model's compiled inference engine when one has
+// been built (training and LoadModel compile eagerly) and otherwise the
+// pointer-walking forest — same Predictor contract, float-identical
+// output, just slower.
+func (m *LineModel) predictor() forest.Predictor {
+	if m.compiled != nil {
+		return m.compiled
+	}
+	return m.Forest
+}
+
+// Compile builds the flattened SoA inference engine for the model's
+// forest. Training and model loading call it eagerly so every prediction
+// after construction runs the compiled path.
+func (m *LineModel) Compile() error {
+	c, err := m.Forest.Compile()
+	if err != nil {
+		return err
+	}
+	m.compiled = c
+	return nil
+}
+
+// ClearCompiled drops the compiled engine, forcing predictions back onto
+// the pointer-walking path — the lever the float-identity equivalence
+// tests pull to compare both engines on identical inputs.
+func (m *LineModel) ClearCompiled() { m.compiled = nil }
+
+func (m *CellModel) predictor() forest.Predictor {
+	if m.compiled != nil {
+		return m.compiled
+	}
+	return m.Forest
+}
+
+// Compile builds the flattened inference engines for the cell forest and,
+// when column probabilities are enabled, the column forest. The embedded
+// line model compiles separately (it is stored once per model file).
+func (m *CellModel) Compile() error {
+	c, err := m.Forest.Compile()
+	if err != nil {
+		return err
+	}
+	m.compiled = c
+	if m.Column != nil {
+		return m.Column.Compile()
+	}
+	return nil
+}
+
+// ClearCompiled drops the compiled engines of the cell forest and the
+// optional column forest (not the embedded line model's).
+func (m *CellModel) ClearCompiled() {
+	m.compiled = nil
+	if m.Column != nil {
+		m.Column.ClearCompiled()
+	}
+}
+
+func (m *ColumnModel) predictor() forest.Predictor {
+	if m.compiled != nil {
+		return m.compiled
+	}
+	return m.Forest
+}
+
+// Compile builds the flattened SoA inference engine for the column forest.
+func (m *ColumnModel) Compile() error {
+	c, err := m.Forest.Compile()
+	if err != nil {
+		return err
+	}
+	m.compiled = c
+	return nil
+}
+
+// ClearCompiled drops the compiled engine (see LineModel.ClearCompiled).
+func (m *ColumnModel) ClearCompiled() { m.compiled = nil }

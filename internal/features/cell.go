@@ -90,6 +90,13 @@ func DefaultCellOptions() CellOptions {
 // (the Strudel^L output, Section 5.4); nil leaves the LineClassProbability
 // components at zero. The result is indexed [row][col][feature].
 func CellFeatures(t *table.Table, lineProbs [][]float64, opts CellOptions) [][][]float64 {
+	return NewShared(t).CellFeatures(lineProbs, opts)
+}
+
+// CellFeatures is the memoized form: the type grid, block sizes, and
+// derived-cell grid come from the shared per-table cache.
+func (s *Shared) CellFeatures(lineProbs [][]float64, opts CellOptions) [][][]float64 {
+	t := s.t
 	h, w := t.Height(), t.Width()
 	out := make([][][]float64, h)
 	for r := range out {
@@ -103,19 +110,19 @@ func CellFeatures(t *table.Table, lineProbs [][]float64, opts CellOptions) [][][
 		return out
 	}
 
-	// Per-table precomputation shared across cells.
-	typeGrid := make([][]types.Type, h)
+	// Per-table precomputation shared across cells (and, via the memo,
+	// across extractors).
+	typeGrid := s.TypeGrid()
 	maxLen := 1
 	for r := 0; r < h; r++ {
-		typeGrid[r] = types.RowTypes(t.Row(r))
 		for _, v := range t.Row(r) {
 			if len(v) > maxLen {
 				maxLen = len(v)
 			}
 		}
 	}
-	blocks := BlockSizes(t)
-	derived := DetectDerived(t, opts.Derived)
+	blocks := s.BlockSizes()
+	derived := s.Derived(opts.Derived)
 
 	rowHasKw := make([]bool, h)
 	colHasKw := make([]bool, w)

@@ -30,6 +30,13 @@ var NumColumnFeatures = len(ColumnFeatureNames)
 
 // ColumnFeatures extracts one feature vector per column of t.
 func ColumnFeatures(t *table.Table, opts CellOptions) [][]float64 {
+	return NewShared(t).ColumnFeatures(opts)
+}
+
+// ColumnFeatures is the memoized form: the type grid and derived-cell grid
+// come from the shared per-table cache.
+func (s *Shared) ColumnFeatures(opts CellOptions) [][]float64 {
+	t := s.t
 	h, w := t.Height(), t.Width()
 	out := make([][]float64, w)
 	backing := make([]float64, w*NumColumnFeatures)
@@ -40,17 +47,16 @@ func ColumnFeatures(t *table.Table, opts CellOptions) [][]float64 {
 		return out
 	}
 
-	typeGrid := make([][]types.Type, h)
+	typeGrid := s.TypeGrid()
 	maxLen := 1
 	for r := 0; r < h; r++ {
-		typeGrid[r] = types.RowTypes(t.Row(r))
 		for _, v := range t.Row(r) {
 			if len(v) > maxLen {
 				maxLen = len(v)
 			}
 		}
 	}
-	derived := DetectDerived(t, opts.Derived)
+	derived := s.Derived(opts.Derived)
 
 	for c := 0; c < w; c++ {
 		f := out[c]

@@ -65,6 +65,13 @@ func DefaultLineOptions() LineOptions {
 // only non-empty lines). The returned matrix has t.Height() rows of
 // NumLineFeatures columns.
 func LineFeatures(t *table.Table, opts LineOptions) [][]float64 {
+	return NewShared(t).LineFeatures(opts)
+}
+
+// LineFeatures is the memoized form: the type grid and derived-cell grid
+// come from the shared per-table cache instead of being recomputed.
+func (s *Shared) LineFeatures(opts LineOptions) [][]float64 {
+	t := s.t
 	h, w := t.Height(), t.Width()
 	out := make([][]float64, h)
 	backing := make([]float64, h*NumLineFeatures)
@@ -75,12 +82,8 @@ func LineFeatures(t *table.Table, opts LineOptions) [][]float64 {
 		return out
 	}
 
-	// Shared per-table precomputation.
-	typeGrid := make([][]types.Type, h)
-	for r := 0; r < h; r++ {
-		typeGrid[r] = types.RowTypes(t.Row(r))
-	}
-	derived := DetectDerived(t, opts.Derived)
+	typeGrid := s.TypeGrid()
+	derived := s.Derived(opts.Derived)
 
 	wordCounts := make([]float64, h)
 	maxWords := 0.0

@@ -1,0 +1,69 @@
+package features
+
+import (
+	"strudel/internal/table"
+	"strudel/internal/types"
+)
+
+// Shared memoizes the per-table precomputation that the line, cell, and
+// column extractors all rebuild from scratch when called directly: the cell
+// type grid, the Algorithm 1 block-size grid, and the Algorithm 2 derived-
+// cell grids (keyed by their options, which differ between stage configs).
+// The full pipeline runs two or three extractors over the same table, and
+// these grids are its single most expensive shared input — profiling the
+// annotation hot path shows type inference and derived-cell detection
+// duplicated across stages costing more than the classifier walks
+// themselves.
+//
+// Each extractor is available as a method on Shared; the free functions
+// (LineFeatures, CellFeatures, ColumnFeatures) remain as one-shot wrappers
+// that build a private memo. Like pipeline.Artifacts — which caches one
+// Shared per table — a Shared value is NOT safe for concurrent use.
+type Shared struct {
+	t        *table.Table
+	typeGrid [][]types.Type
+	blocks   [][]float64
+	derived  map[DerivedOptions][][]bool
+}
+
+// NewShared returns an empty memo for t. Grids are computed lazily on
+// first use.
+func NewShared(t *table.Table) *Shared { return &Shared{t: t} }
+
+// Table returns the table the memo describes.
+func (s *Shared) Table() *table.Table { return s.t }
+
+// TypeGrid returns the inferred type of every cell, computed once.
+func (s *Shared) TypeGrid() [][]types.Type {
+	if s.typeGrid == nil {
+		h := s.t.Height()
+		s.typeGrid = make([][]types.Type, h)
+		for r := 0; r < h; r++ {
+			s.typeGrid[r] = types.RowTypes(s.t.Row(r))
+		}
+	}
+	return s.typeGrid
+}
+
+// BlockSizes returns the Algorithm 1 block-size grid, computed once.
+func (s *Shared) BlockSizes() [][]float64 {
+	if s.blocks == nil {
+		s.blocks = BlockSizes(s.t)
+	}
+	return s.blocks
+}
+
+// Derived returns the Algorithm 2 derived-cell grid for opts. Results are
+// cached per distinct option set, so stages configured identically (the
+// default) share one detection pass.
+func (s *Shared) Derived(opts DerivedOptions) [][]bool {
+	if d, ok := s.derived[opts]; ok {
+		return d
+	}
+	d := DetectDerived(s.t, opts)
+	if s.derived == nil {
+		s.derived = make(map[DerivedOptions][][]bool, 1)
+	}
+	s.derived[opts] = d
+	return d
+}

@@ -1,0 +1,108 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+
+	"strudel/internal/ml"
+)
+
+// benchSetup trains one mid-sized ensemble and stages a feature matrix of
+// the given row count for the predict-path benchmarks.
+func benchSetup(b *testing.B, rows int) (*Forest, *Compiled, *ml.Matrix) {
+	b.Helper()
+	X, y := blobs(1, 6, 400)
+	f, err := Fit(X, y, 6, Options{NumTrees: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := f.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ml.NewMatrix(rows, f.NumFeats)
+	for r := 0; r < rows; r++ {
+		m.SetRow(r, X[r%len(X)])
+	}
+	return f, c, m
+}
+
+// BenchmarkPredictMatrix compares the flattened SoA kernel against the
+// pointer-walking forest on the same staged feature block. `make
+// bench-predict` runs this pair; strudel-perf records the compiled/pointer
+// rows-per-second ratio in the BENCH snapshot.
+func BenchmarkPredictMatrix(b *testing.B) {
+	const rows = 4096
+	f, c, m := benchSetup(b, rows)
+	out := make([]float64, rows*f.NumClasses)
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.PredictProbaMatrix(m, out)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.PredictProbaMatrix(m, out)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkPredictRow measures the single-row path both ways: the shape
+// the streaming annotator hits when a window holds only a few lines.
+func BenchmarkPredictRow(b *testing.B) {
+	f, c, m := benchSetup(b, 1)
+	row := make([]float64, f.NumFeats)
+	for j := 0; j < f.NumFeats; j++ {
+		row[j] = m.At(0, j)
+	}
+	probs := make([]float64, f.NumClasses)
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.PredictProba(row)
+		}
+	})
+	b.Run("pointer_into", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.PredictProbaInto(row, probs)
+		}
+	})
+}
+
+// BenchmarkForestDecode compares cold-start decoding of the two model
+// serializations for one ensemble: the motivation for the binary format.
+func BenchmarkForestDecode(b *testing.B) {
+	X, y := blobs(2, 6, 400)
+	f, err := Fit(X, y, 6, Options{NumTrees: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jsonBuf, binBuf bytes.Buffer
+	if err := f.Save(&jsonBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.EncodeBinary(&binBuf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("json", func(b *testing.B) {
+		b.SetBytes(int64(jsonBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := Load(bytes.NewReader(jsonBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.SetBytes(int64(binBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := Load(bytes.NewReader(binBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,330 @@
+package forest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"strudel/internal/ml/tree"
+)
+
+// Binary forest encoding. JSON stays the interchange format; the binary
+// form exists for fast cold start — decoding is a single linear scan with
+// no tokenizer — and is validated by the same structural verifier as JSON
+// on every load. Layout (all integers little-endian):
+//
+//	magic   "SBF1" (4 bytes)
+//	u32     format version (binaryForestVersion)
+//	i32     num_classes
+//	i32     num_features
+//	u32     num_trees
+//	per tree:
+//	  i32   tree num_classes
+//	  u32   num_nodes
+//	  u32   importance length
+//	  per node: i32 feature, f64 threshold, i32 left, i32 right,
+//	            u32 prob length, f64×len probs
+//	  f64×len importance
+//
+// Every field of the in-memory model is carried verbatim (signed counts
+// included), so any JSON artifact that decodes — valid or structurally
+// corrupt — re-encodes to binary losslessly and trips the same validator
+// invariant on load. Encoding is deterministic: the same forest always
+// produces the same bytes.
+
+// ForestMagic is the 4-byte prefix of a binary forest artifact.
+var ForestMagic = [4]byte{'S', 'B', 'F', '1'}
+
+const binaryForestVersion = 1
+
+// Binary-format rejection sentinels. All wrap ErrInvalidModel so one
+// errors.Is check covers JSON and binary artifacts alike.
+var (
+	// ErrBadMagic marks a blob that does not start with the expected magic.
+	ErrBadMagic = fmt.Errorf("%w: bad binary magic", ErrInvalidModel)
+	// ErrBadVersion marks a binary artifact with an unsupported format
+	// version.
+	ErrBadVersion = fmt.Errorf("%w: unsupported binary format version", ErrInvalidModel)
+	// ErrTruncated marks a binary artifact that ends before its declared
+	// contents do (or declares more contents than its bytes could hold).
+	ErrTruncated = fmt.Errorf("%w: truncated binary artifact", ErrInvalidModel)
+)
+
+// binarySize returns the exact encoded size in bytes, so AppendBinary
+// allocates once.
+func (f *Forest) binarySize() int {
+	n := 4 + 4 + 4 + 4 + 4 // magic, version, classes, features, numTrees
+	for _, t := range f.Trees {
+		n += 4 + 4 + 4 // tree classes, numNodes, importanceLen
+		for i := range t.Nodes {
+			n += 4 + 8 + 4 + 4 + 4 + 8*len(t.Nodes[i].Probs)
+		}
+		n += 8 * len(t.Importance)
+	}
+	return n
+}
+
+// AppendBinary appends the forest's binary encoding to buf and returns the
+// extended slice. It fails only when a count falls outside the format's
+// 32-bit fields.
+func (f *Forest) AppendBinary(buf []byte) ([]byte, error) {
+	if err := checkI32("num_classes", f.NumClasses); err != nil {
+		return nil, err
+	}
+	if err := checkI32("num_features", f.NumFeats); err != nil {
+		return nil, err
+	}
+	buf = append(buf, ForestMagic[:]...)
+	buf = appendU32(buf, binaryForestVersion)
+	buf = appendU32(buf, uint32(int32(f.NumClasses)))
+	buf = appendU32(buf, uint32(int32(f.NumFeats)))
+	buf = appendU32(buf, uint32(len(f.Trees)))
+	for ti, t := range f.Trees {
+		if t == nil {
+			return nil, fmt.Errorf("forest: encode: trees[%d] is nil", ti)
+		}
+		if err := checkI32("tree num_classes", t.NumClasses); err != nil {
+			return nil, err
+		}
+		buf = appendU32(buf, uint32(int32(t.NumClasses)))
+		buf = appendU32(buf, uint32(len(t.Nodes)))
+		buf = appendU32(buf, uint32(len(t.Importance)))
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if err := checkI32("node feature", n.Feature); err != nil {
+				return nil, err
+			}
+			buf = appendU32(buf, uint32(int32(n.Feature)))
+			buf = appendU64(buf, math.Float64bits(n.Threshold))
+			buf = appendU32(buf, uint32(n.Left))
+			buf = appendU32(buf, uint32(n.Right))
+			buf = appendU32(buf, uint32(len(n.Probs)))
+			for _, p := range n.Probs {
+				buf = appendU64(buf, math.Float64bits(p))
+			}
+		}
+		for _, v := range t.Importance {
+			buf = appendU64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// EncodeBinary writes the forest's binary encoding to w. Unlike Save (the
+// JSON interchange writer) the output is a fixed-layout blob; pair it with
+// DecodeBinary or the auto-detecting Load.
+func (f *Forest) EncodeBinary(w io.Writer) error {
+	buf, err := f.AppendBinary(make([]byte, 0, f.binarySize()))
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// DecodeBinary reads a binary forest from r, requiring the reader to hold
+// exactly one artifact. The decoded forest is validated like a JSON load:
+// corrupt artifacts fail with a typed ErrInvalidModel-wrapped error.
+func DecodeBinary(r io.Reader) (*Forest, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("forest: decode binary: %w", err)
+	}
+	f, rest, err := DecodeBinaryBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("forest: decode binary: %w: %d trailing bytes", ErrInvalidModel, len(rest))
+	}
+	return f, nil
+}
+
+// DecodeBinaryBytes decodes one binary forest from the front of data and
+// returns the remaining bytes — the container formats concatenate several
+// forests after one header. Declared counts are bounds-checked against the
+// bytes actually present before any allocation, so a hostile header cannot
+// force a huge allocation; the decoded forest is then run through Validate.
+func DecodeBinaryBytes(data []byte) (*Forest, []byte, error) {
+	c := &bcur{data: data}
+	magic, err := c.take(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if [4]byte(magic) != ForestMagic {
+		return nil, nil, fmt.Errorf("forest: decode binary: %w", ErrBadMagic)
+	}
+	version, err := c.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if version != binaryForestVersion {
+		return nil, nil, fmt.Errorf("forest: decode binary: %w: got version %d", ErrBadVersion, version)
+	}
+	f := &Forest{}
+	if f.NumClasses, err = c.i32(); err != nil {
+		return nil, nil, err
+	}
+	if f.NumFeats, err = c.i32(); err != nil {
+		return nil, nil, err
+	}
+	numTrees, err := c.count(minTreeBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.Trees = make([]*tree.Tree, 0, numTrees)
+	for ti := 0; ti < numTrees; ti++ {
+		t, err := c.decodeTree()
+		if err != nil {
+			return nil, nil, fmt.Errorf("trees[%d]: %w", ti, err)
+		}
+		f.Trees = append(f.Trees, t)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("forest: %w", err)
+	}
+	return f, c.data[c.off:], nil
+}
+
+// minTreeBytes and minNodeBytes are the smallest possible encodings of a
+// tree/node — the divisors that cap how many elements a declared count may
+// promise given the bytes remaining.
+const (
+	minTreeBytes = 12
+	minNodeBytes = 24
+)
+
+// bcur is a bounds-checked cursor over a binary artifact. Every read that
+// would pass the end returns ErrTruncated instead of panicking.
+type bcur struct {
+	data []byte
+	off  int
+}
+
+func (c *bcur) take(n int) ([]byte, error) {
+	if n < 0 || len(c.data)-c.off < n {
+		return nil, fmt.Errorf("forest: decode binary: %w", ErrTruncated)
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *bcur) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// i32 reads a signed 32-bit count (negative values survive the round trip
+// so the validator sees exactly what the source artifact declared).
+func (c *bcur) i32() (int, error) {
+	v, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	return int(int32(v)), nil
+}
+
+// count reads an element count and verifies the remaining bytes could hold
+// that many elements of at least minBytes each — the pre-allocation guard.
+func (c *bcur) count(minBytes int) (int, error) {
+	v, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n > (len(c.data)-c.off)/minBytes {
+		return 0, fmt.Errorf("forest: decode binary: %w: %d elements declared with %d bytes left",
+			ErrTruncated, n, len(c.data)-c.off)
+	}
+	return n, nil
+}
+
+func (c *bcur) f64s(n int) ([]float64, error) {
+	if n == 0 {
+		return nil, nil // keep nil so JSON re-encoding (omitempty) is byte-identical
+	}
+	b, err := c.take(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+func (c *bcur) decodeTree() (*tree.Tree, error) {
+	t := &tree.Tree{}
+	var err error
+	if t.NumClasses, err = c.i32(); err != nil {
+		return nil, err
+	}
+	numNodes, err := c.count(minNodeBytes)
+	if err != nil {
+		return nil, err
+	}
+	importanceLen, err := c.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if numNodes > 0 {
+		t.Nodes = make([]tree.Node, numNodes)
+	}
+	for i := 0; i < numNodes; i++ {
+		n := &t.Nodes[i]
+		feature, err := c.i32()
+		if err != nil {
+			return nil, err
+		}
+		n.Feature = feature
+		thr, err := c.take(8)
+		if err != nil {
+			return nil, err
+		}
+		n.Threshold = math.Float64frombits(binary.LittleEndian.Uint64(thr))
+		left, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		n.Left = int32(left)
+		right, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		n.Right = int32(right)
+		probLen, err := c.count(8)
+		if err != nil {
+			return nil, err
+		}
+		if n.Probs, err = c.f64s(probLen); err != nil {
+			return nil, err
+		}
+	}
+	if t.Importance, err = c.f64s(importanceLen); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func checkI32(what string, v int) error {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return fmt.Errorf("forest: encode: %s %d outside the format's 32-bit range", what, v)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// encodeToBytes is the test-side shorthand for one binary encoding.
+func encodeToBytes(t *testing.T, f *Forest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// jsonBytes renders a forest through the canonical JSON writer.
+func jsonBytes(t *testing.T, f *Forest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryRoundTripValidCorpus proves every valid_* fixture survives
+// JSON → binary → JSON bit-exactly: the binary form carries every field,
+// so the re-rendered JSON is byte-identical to the original rendering.
+func TestBinaryRoundTripValidCorpus(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join(modelsDir, "valid_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no valid fixtures found")
+	}
+	for _, path := range matches {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Load(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin := encodeToBytes(t, f)
+			got, err := DecodeBinary(bytes.NewReader(bin))
+			if err != nil {
+				t.Fatalf("binary decode failed: %v", err)
+			}
+			if !bytes.Equal(jsonBytes(t, f), jsonBytes(t, got)) {
+				t.Error("binary round trip changed the JSON rendering")
+			}
+			// Load must auto-detect the binary form and agree with it.
+			auto, err := Load(bytes.NewReader(bin))
+			if err != nil {
+				t.Fatalf("auto-detecting Load rejected binary: %v", err)
+			}
+			if !bytes.Equal(jsonBytes(t, got), jsonBytes(t, auto)) {
+				t.Error("auto-detected load differs from DecodeBinary")
+			}
+		})
+	}
+}
+
+// TestBinaryRoundTripTrainedForest does the same for a real trained
+// ensemble (probability leaves with non-trivial fractions, importance
+// vectors) and checks predictions survive.
+func TestBinaryRoundTripTrainedForest(t *testing.T) {
+	f, X := trainedForest(t, 17, 4, 40, 12)
+	got, err := DecodeBinary(bytes.NewReader(encodeToBytes(t, f)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonBytes(t, f), jsonBytes(t, got)) {
+		t.Error("binary round trip changed the JSON rendering")
+	}
+	for i, x := range X[:20] {
+		if !bitsEqual(f.PredictProba(x), got.PredictProba(x)) {
+			t.Fatalf("row %d: decoded forest predicts differently", i)
+		}
+	}
+	// Determinism: encoding twice yields identical bytes.
+	if !bytes.Equal(encodeToBytes(t, f), encodeToBytes(t, f)) {
+		t.Error("binary encoding is not deterministic")
+	}
+}
+
+// TestBinaryRejectsCorruptCorpus re-encodes every corrupt_* fixture that
+// still parses as JSON (the deliberately unparseable ones cannot reach the
+// encoder) and demands the binary load rejects it too: the structural
+// invariants are format-independent.
+func TestBinaryRejectsCorruptCorpus(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join(modelsDir, "corrupt_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 10 {
+		t.Fatalf("corrupt corpus too small: %d files", len(matches))
+	}
+	reencoded := 0
+	for _, path := range matches {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Lenient decode: Load would already reject these, but the
+			// invariant under test is that the *binary* form is rejected
+			// as well, so the corrupt structure must first be smuggled
+			// through the encoder.
+			var f Forest
+			if err := json.Unmarshal(data, &f); err != nil {
+				t.Skipf("not JSON-decodable (%v): nothing to re-encode", err)
+			}
+			bin, err := f.AppendBinary(nil)
+			if err != nil {
+				// Counts beyond the 32-bit fields cannot be encoded at
+				// all — rejection at encode time is rejection too.
+				return
+			}
+			reencoded++
+			if _, _, err := DecodeBinaryBytes(bin); !errors.Is(err, ErrInvalidModel) {
+				t.Errorf("binary load of corrupt artifact returned %v, want ErrInvalidModel", err)
+			}
+		})
+	}
+	if reencoded < 8 {
+		t.Errorf("only %d corrupt fixtures exercised the binary decoder", reencoded)
+	}
+}
+
+// TestBinaryRejectsTruncation chops a valid encoding at every length and
+// demands a typed error — never a success, never a panic.
+func TestBinaryRejectsTruncation(t *testing.T) {
+	f, _ := trainedForest(t, 19, 2, 20, 3)
+	bin := encodeToBytes(t, f)
+	step := len(bin)/64 + 1
+	for n := 0; n < len(bin); n += step {
+		if _, _, err := DecodeBinaryBytes(bin[:n]); !errors.Is(err, ErrInvalidModel) {
+			t.Fatalf("truncation at %d/%d bytes returned %v, want ErrInvalidModel", n, len(bin), err)
+		}
+	}
+	// Trailing garbage after a complete artifact is equally invalid for the
+	// single-artifact reader.
+	if _, err := DecodeBinary(bytes.NewReader(append(bin, 0xFF))); !errors.Is(err, ErrInvalidModel) {
+		t.Error("trailing bytes accepted by DecodeBinary")
+	}
+}
+
+func TestBinaryRejectsBadMagicAndVersion(t *testing.T) {
+	f, _ := trainedForest(t, 23, 2, 20, 3)
+	bin := encodeToBytes(t, f)
+
+	bad := append([]byte(nil), bin...)
+	bad[0] = 'X'
+	if _, _, err := DecodeBinaryBytes(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic returned %v, want ErrBadMagic", err)
+	}
+
+	wrongVer := append([]byte(nil), bin...)
+	binary.LittleEndian.PutUint32(wrongVer[4:], 999)
+	if _, _, err := DecodeBinaryBytes(wrongVer); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("wrong version returned %v, want ErrBadVersion", err)
+	}
+
+	if !errors.Is(ErrBadMagic, ErrInvalidModel) || !errors.Is(ErrBadVersion, ErrInvalidModel) ||
+		!errors.Is(ErrTruncated, ErrInvalidModel) {
+		t.Error("binary sentinels must wrap ErrInvalidModel")
+	}
+}
+
+// TestBinaryAllocationGuard hand-builds a header that declares an absurd
+// tree count with almost no payload: the decoder must fail on the count
+// check instead of attempting the allocation.
+func TestBinaryAllocationGuard(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(ForestMagic[:])
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryForestVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], 2)           // num_classes
+	binary.LittleEndian.PutUint32(hdr[8:], 2)           // num_features
+	binary.LittleEndian.PutUint32(hdr[12:], 0xFFFFFFF0) // num_trees
+	buf.Write(hdr)
+	if _, _, err := DecodeBinaryBytes(buf.Bytes()); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("hostile tree count returned %v, want ErrTruncated", err)
+	}
+}

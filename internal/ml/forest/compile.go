@@ -1,0 +1,226 @@
+package forest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"strudel/internal/ml"
+)
+
+// Compiled is a forest flattened for the prediction hot path. Every tree's
+// nodes are concatenated into one contiguous node array — a flat slab of
+// 16-byte packed records indexed by a global node id — and all leaf
+// probability vectors are pooled into a single shared slab, deduplicated,
+// and referenced by offset. The layout carries zero per-node pointers:
+// traversal is integer index chasing through one flat array, and identical
+// leaves (pure leaves dominate a trained forest) share one slab entry, so
+// the whole ensemble's working set is a few cache-resident slices instead
+// of thousands of heap objects.
+//
+// Each packed record folds the node's feature index and child/leaf offset
+// into one word next to its threshold, and the flattener renumbers nodes
+// so every internal node's children are adjacent (right = left+1). A walk
+// step therefore reads exactly one 16-byte record — one cache line —
+// where the pointer path reads a 48-byte tree.Node and the naive
+// four-parallel-arrays layout touched three lines per step.
+//
+// A Compiled value is immutable after Compile and safe for concurrent use.
+// Its predictions are float-identical to the source forest's: the matrix
+// kernel accumulates trees in the same order and divides by the same count
+// as Forest.PredictProba.
+type Compiled struct {
+	classes int
+	feats   int
+	trees   int
+	// roots[t] is the flat index of tree t's root node.
+	roots []int32
+	// nodes is the flattened node slab (see packedNode).
+	nodes []packedNode
+	// probs is the pooled leaf-probability slab: a leaf's vector is
+	// probs[off : off+classes] where off is the leaf record's low word.
+	// Identical vectors are stored once.
+	probs []float64
+}
+
+// packedNode is one flattened tree node. bits holds the split feature in
+// the high 32 bits (leafSentinel for a leaf) and in the low 32 bits the
+// flat index of the left child — the right child is always left+1 by
+// construction — or, for a leaf, the node's offset into the probability
+// slab. thresh is the split threshold (unused for leaves).
+type packedNode struct {
+	bits   uint64
+	thresh float64
+}
+
+func packNode(feature, leftOrOff int32) uint64 {
+	return uint64(uint32(feature))<<32 | uint64(uint32(leftOrOff))
+}
+
+// leafSentinel marks a leaf in the packed feature word (mirroring the
+// Feature == -1 convention of tree.Node).
+const leafSentinel = int32(-1)
+
+// Compile flattens the forest into its packed prediction form. The forest
+// is validated first — the flattener trusts node links and leaf shapes —
+// so a corrupt ensemble fails here with a typed ErrInvalidModel error
+// rather than compiling into an engine that walks out of bounds.
+func (f *Forest) Compile() (*Compiled, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: compile: %w", err)
+	}
+	total := 0
+	for _, t := range f.Trees {
+		total += len(t.Nodes)
+	}
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("forest: compile: %d nodes exceed the flat index range", total)
+	}
+	c := &Compiled{
+		classes: f.NumClasses,
+		feats:   f.NumFeats,
+		trees:   len(f.Trees),
+		roots:   make([]int32, len(f.Trees)),
+		nodes:   make([]packedNode, total),
+	}
+	// Leaf probability pooling: the dedup map only answers "seen before?";
+	// slab layout is decided by deterministic node order, so compiling the
+	// same forest always produces the same arrays.
+	pool := make(map[string]int32)
+	key := make([]byte, 8*f.NumClasses)
+	base := int32(0)
+	for ti, t := range f.Trees {
+		c.roots[ti] = base
+		// order maps the tree's original node indices to flat slots. Nodes
+		// are renumbered breadth-first with sibling pairs placed adjacently,
+		// which is what lets a record store only the left-child index.
+		order := make([]int32, len(t.Nodes))
+		// BFS pair allocation: slot 0 is the root; every dequeued internal
+		// node claims the next two slots for its children.
+		queue := make([]int32, 0, len(t.Nodes))
+		queue = append(queue, 0)
+		order[0] = 0
+		next := int32(1)
+		for qi := 0; qi < len(queue); qi++ {
+			oi := queue[qi]
+			n := &t.Nodes[oi]
+			if n.Feature < 0 {
+				continue
+			}
+			order[n.Left] = next
+			order[n.Right] = next + 1
+			next += 2
+			queue = append(queue, n.Left, n.Right)
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			oi := queue[qi]
+			n := &t.Nodes[oi]
+			i := base + order[oi]
+			if n.Feature < 0 {
+				for j, p := range n.Probs {
+					binary.LittleEndian.PutUint64(key[8*j:], math.Float64bits(p))
+				}
+				off, ok := pool[string(key)]
+				if !ok {
+					off = int32(len(c.probs))
+					pool[string(key)] = off
+					c.probs = append(c.probs, n.Probs...)
+				}
+				c.nodes[i] = packedNode{bits: packNode(leafSentinel, off)}
+				continue
+			}
+			c.nodes[i] = packedNode{
+				bits:   packNode(int32(n.Feature), base+order[n.Left]),
+				thresh: n.Threshold,
+			}
+		}
+		base += int32(len(t.Nodes))
+	}
+	return c, nil
+}
+
+// Classes returns the number of classes.
+func (c *Compiled) Classes() int { return c.classes }
+
+// NumFeatures returns the feature-vector width the forest was trained on.
+func (c *Compiled) NumFeatures() int { return c.feats }
+
+// NumTrees returns the ensemble size.
+func (c *Compiled) NumTrees() int { return c.trees }
+
+// NumNodes returns the total node count across all flattened trees.
+func (c *Compiled) NumNodes() int { return len(c.nodes) }
+
+// SlabLen returns the pooled probability slab length — with deduplication
+// this is typically far below leaves×classes.
+func (c *Compiled) SlabLen() int { return len(c.probs) }
+
+// PredictProba returns the class probability vector for one row, averaged
+// over all trees. Float-identical to Forest.PredictProba.
+func (c *Compiled) PredictProba(x []float64) []float64 {
+	out := make([]float64, c.classes)
+	c.accumulate(x, out)
+	n := float64(c.trees)
+	for j := range out {
+		out[j] /= n
+	}
+	return out
+}
+
+// accumulate adds every tree's leaf vector for x into acc (no divide).
+func (c *Compiled) accumulate(x []float64, acc []float64) {
+	nodes := c.nodes
+	for _, root := range c.roots {
+		ni := int(root)
+		for uint(ni) < uint(len(nodes)) { // always true: Compile validates links
+			nd := nodes[ni]
+			f := int(int32(nd.bits >> 32))
+			if f < 0 {
+				off := int(uint32(nd.bits))
+				p := c.probs[off : off+c.classes]
+				p = p[:len(acc)]
+				for j := range acc {
+					acc[j] += p[j]
+				}
+				break
+			}
+			if uint(f) >= uint(len(x)) { // always false: features validated
+				break
+			}
+			ni = int(uint32(nd.bits))
+			if x[f] > nd.thresh {
+				ni++
+			}
+		}
+	}
+}
+
+// PredictProbaMatrix classifies every row of the staged feature block x
+// into the caller-owned slab out (length ≥ x.Rows*Classes()), fanning
+// contiguous row chunks across GOMAXPROCS goroutines. Chunks write disjoint
+// output regions and per-row arithmetic never crosses rows, so the slab is
+// bit-identical at every parallelism level.
+func (c *Compiled) PredictProbaMatrix(x *ml.Matrix, out []float64) {
+	runMatrix(c, x, out)
+}
+
+// predictRows is the serial kernel over rows [lo, hi). Each row is a
+// zero-copy contiguous view into the row-major block that stays L1-resident
+// across every tree walk; trees accumulate in ascending index order —
+// matching the pointer path's averaging order exactly — and the final
+// divide uses the same ensemble count, so the output is float-identical to
+// Forest.PredictProba.
+func (c *Compiled) predictRows(x *ml.Matrix, out []float64, lo, hi int) {
+	k := c.classes
+	nTrees := float64(c.trees)
+	for r := lo; r < hi; r++ {
+		o := out[r*k : r*k+k]
+		for j := range o {
+			o[j] = 0
+		}
+		c.accumulate(x.Row(r), o)
+		for j := range o {
+			o[j] /= nTrees
+		}
+	}
+}

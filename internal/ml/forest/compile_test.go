@@ -1,0 +1,165 @@
+package forest
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"strudel/internal/ml"
+	"strudel/internal/ml/tree"
+)
+
+// bitsEqual compares two probability vectors for exact bit identity —
+// the contract between the pointer and compiled paths is float-identical,
+// not merely close.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func trainedForest(t *testing.T, seed int64, classes, perClass, trees int) (*Forest, [][]float64) {
+	t.Helper()
+	X, y := blobs(seed, classes, perClass)
+	f, err := Fit(X, y, classes, Options{NumTrees: trees, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, X
+}
+
+func TestCompileMatchesPointerPredictions(t *testing.T) {
+	f, X := trainedForest(t, 7, 4, 40, 25)
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Classes() != f.NumClasses || c.NumFeatures() != f.NumFeats || c.NumTrees() != len(f.Trees) {
+		t.Fatalf("compiled dims (%d,%d,%d) != forest (%d,%d,%d)",
+			c.Classes(), c.NumFeatures(), c.NumTrees(), f.NumClasses, f.NumFeats, len(f.Trees))
+	}
+	for i, x := range X {
+		want := f.PredictProba(x)
+		got := c.PredictProba(x)
+		if !bitsEqual(want, got) {
+			t.Fatalf("row %d: compiled %v != pointer %v", i, got, want)
+		}
+	}
+}
+
+func TestCompiledMatrixMatchesRowPath(t *testing.T) {
+	f, X := trainedForest(t, 3, 3, 60, 15) // 180 rows: well past the parallel threshold
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ml.NewMatrix(len(X), f.NumFeats)
+	m.FillRows(X)
+	k := f.NumClasses
+
+	compiled := make([]float64, len(X)*k)
+	c.PredictProbaMatrix(m, compiled)
+	pointer := make([]float64, len(X)*k)
+	f.PredictProbaMatrix(m, pointer)
+	serial := make([]float64, len(X)*k)
+	c.predictRows(m, serial, 0, len(X))
+
+	if !bitsEqual(compiled, pointer) {
+		t.Error("compiled matrix kernel differs from pointer matrix kernel")
+	}
+	if !bitsEqual(compiled, serial) {
+		t.Error("parallel matrix kernel differs from the serial sweep")
+	}
+	for i, x := range X {
+		if !bitsEqual(compiled[i*k:(i+1)*k], f.PredictProba(x)) {
+			t.Fatalf("row %d: matrix path differs from row-at-a-time PredictProba", i)
+		}
+	}
+}
+
+func TestPredictorBatchWrappersEquivalent(t *testing.T) {
+	f, X := trainedForest(t, 11, 3, 30, 10)
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaForest := f.PredictProbaBatch(X)
+	viaCompiled := PredictorBatch(c, X)
+	for i := range X {
+		if !bitsEqual(viaForest[i], viaCompiled[i]) {
+			t.Fatalf("row %d: PredictProbaBatch %v != compiled batch %v", i, viaForest[i], viaCompiled[i])
+		}
+	}
+	if !reflect.DeepEqual(f.PredictBatch(X), PredictorClasses(c, X)) {
+		t.Error("PredictBatch labels differ between engines")
+	}
+	if got := PredictorBatch(c, nil); len(got) != 0 {
+		t.Errorf("empty batch produced %d rows", len(got))
+	}
+}
+
+// TestCompileDedupsLeafSlab pins the slab pooling: a trained forest has
+// many identical (mostly pure) leaves, so the pooled slab must be strictly
+// smaller than leaves×classes, and compiling twice must produce identical
+// arrays (deterministic layout).
+func TestCompileDedupsLeafSlab(t *testing.T) {
+	f, _ := trainedForest(t, 5, 3, 50, 20)
+	leaves := 0
+	for _, tr := range f.Trees {
+		leaves += tr.NumLeaves()
+	}
+	c1, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.SlabLen() >= leaves*f.NumClasses {
+		t.Errorf("slab %d floats for %d leaves × %d classes: no deduplication happened",
+			c1.SlabLen(), leaves, f.NumClasses)
+	}
+	c2, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("compiling the same forest twice produced different layouts")
+	}
+	if c1.NumNodes() == 0 {
+		t.Error("compiled forest reports zero nodes")
+	}
+}
+
+func TestCompileRejectsInvalidForest(t *testing.T) {
+	bad := &Forest{
+		Trees:      []*tree.Tree{{Nodes: []tree.Node{{Feature: 9, Left: 0, Right: 0}}, NumClasses: 2}},
+		NumClasses: 2,
+		NumFeats:   2,
+	}
+	if _, err := bad.Compile(); !errors.Is(err, ErrInvalidModel) {
+		t.Fatalf("compiling a corrupt forest returned %v, want ErrInvalidModel", err)
+	}
+	empty := &Forest{NumClasses: 2, NumFeats: 2}
+	if _, err := empty.Compile(); !errors.Is(err, ErrNoTrees) {
+		t.Fatalf("compiling an empty ensemble returned %v, want ErrNoTrees", err)
+	}
+}
+
+// TestPredictProbaIntoNoAlloc pins the satellite fix: the pointer path
+// accumulates into the caller's buffer with zero allocations per call.
+func TestPredictProbaIntoNoAlloc(t *testing.T) {
+	f, X := trainedForest(t, 13, 3, 30, 10)
+	probs := make([]float64, f.NumClasses)
+	x := X[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		f.PredictProbaInto(x, probs)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictProbaInto allocates %v times per call, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@
 package forest
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 
+	"strudel/internal/ml"
 	"strudel/internal/ml/tree"
 )
 
@@ -164,6 +166,14 @@ func FitContext(ctx context.Context, X [][]float64, y []int, numClasses int, opt
 	return f, nil
 }
 
+// Classes returns the number of classes (the Predictor spelling of the
+// serialized NumClasses field).
+func (f *Forest) Classes() int { return f.NumClasses }
+
+// NumFeatures returns the feature-vector width the forest was trained on
+// (the Predictor spelling of the serialized NumFeats field).
+func (f *Forest) NumFeatures() int { return f.NumFeats }
+
 // PredictProba returns the class probability vector for x, averaged over
 // all trees.
 func (f *Forest) PredictProba(x []float64) []float64 {
@@ -172,15 +182,21 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 	return probs
 }
 
+// PredictProbaInto writes the class probability vector for x into probs
+// (length NumClasses) without allocating.
+func (f *Forest) PredictProbaInto(x []float64, probs []float64) {
+	f.predictProbaInto(x, probs)
+}
+
+// predictProbaInto accumulates every tree's leaf vector directly into the
+// caller's buffer (tree.AccumulateProba), then divides once — no per-tree
+// temporaries on the pointer path either.
 func (f *Forest) predictProbaInto(x []float64, probs []float64) {
 	for i := range probs {
 		probs[i] = 0
 	}
 	for _, t := range f.Trees {
-		p := t.PredictProba(x)
-		for c := range probs {
-			probs[c] += p[c]
-		}
+		t.AccumulateProba(x, probs)
 	}
 	n := float64(len(f.Trees))
 	for c := range probs {
@@ -193,54 +209,36 @@ func (f *Forest) Predict(x []float64) int {
 	return tree.ArgMax(f.PredictProba(x))
 }
 
-// PredictProbaBatch predicts probability vectors for many rows, spreading
-// the work over GOMAXPROCS goroutines.
-func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
-	out := make([][]float64, len(X))
-	jobs := runtime.GOMAXPROCS(0)
-	if jobs > len(X) {
-		jobs = len(X)
-	}
-	if jobs <= 1 {
-		for i, x := range X {
-			out[i] = f.PredictProba(x)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(X) + jobs - 1) / jobs
-	for w := 0; w < jobs; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(X) {
-			hi = len(X)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		//lint:ignore hotalloc one closure per worker per batch, not per row; the goroutine body is the hot loop, its allocation is not
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				probs := make([]float64, f.NumClasses)
-				f.predictProbaInto(X[i], probs)
-				out[i] = probs
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+// PredictProbaMatrix classifies every row of the staged feature block x
+// into the caller-owned slab out (length ≥ x.Rows*NumClasses), walking the
+// pointer trees row by row with contiguous row chunks spread across
+// GOMAXPROCS goroutines. This is the pointer-path implementation of the
+// Predictor surface; Compile() yields the flattened engine with the same
+// (float-identical) contract.
+func (f *Forest) PredictProbaMatrix(x *ml.Matrix, out []float64) {
+	runMatrix(f, x, out)
 }
 
-// PredictBatch predicts class labels for many rows.
-func (f *Forest) PredictBatch(X [][]float64) []int {
-	probs := f.PredictProbaBatch(X)
-	out := make([]int, len(X))
-	for i, p := range probs {
-		out[i] = tree.ArgMax(p)
+// predictRows predicts each staged row — a zero-copy contiguous view in
+// the row-major block — into the row's slab region.
+func (f *Forest) predictRows(x *ml.Matrix, out []float64, lo, hi int) {
+	k := f.NumClasses
+	for r := lo; r < hi; r++ {
+		f.predictProbaInto(x.Row(r), out[r*k:r*k+k])
 	}
-	return out
+}
+
+// PredictProbaBatch predicts probability vectors for many rows. It is a
+// thin wrapper over the Predictor surface: rows are staged into one
+// feature block and classified in a single PredictProbaMatrix pass.
+func (f *Forest) PredictProbaBatch(X [][]float64) [][]float64 {
+	return PredictorBatch(f, X)
+}
+
+// PredictBatch predicts class labels for many rows (a thin wrapper over
+// PredictorClasses).
+func (f *Forest) PredictBatch(X [][]float64) []int {
+	return PredictorClasses(f, X)
 }
 
 // Save writes the forest as JSON.
@@ -248,13 +246,19 @@ func (f *Forest) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(f)
 }
 
-// Load reads a forest saved by Save. The decoded artifact is verified
-// against the structural invariants prediction relies on (see Validate), so
-// a corrupt or truncated file is a typed ErrInvalidModel-wrapped error
-// instead of a silent mispredictor or a panic at first Predict.
+// Load reads a forest saved by Save or EncodeBinary, auto-detecting the
+// format from the leading bytes (binary artifacts start with ForestMagic;
+// JSON cannot). Either way the decoded artifact is verified against the
+// structural invariants prediction relies on (see Validate), so a corrupt
+// or truncated file is a typed ErrInvalidModel-wrapped error instead of a
+// silent mispredictor or a panic at first Predict.
 func Load(r io.Reader) (*Forest, error) {
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(4); err == nil && [4]byte(head) == ForestMagic {
+		return DecodeBinary(br)
+	}
 	var f Forest
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
+	if err := json.NewDecoder(br).Decode(&f); err != nil {
 		return nil, fmt.Errorf("forest: decode: %w: %w", ErrInvalidModel, err)
 	}
 	if err := f.Validate(); err != nil {

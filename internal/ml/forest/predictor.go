@@ -1,0 +1,121 @@
+package forest
+
+import (
+	"runtime"
+	"sync"
+
+	"strudel/internal/ml"
+	"strudel/internal/ml/tree"
+)
+
+// Predictor is the consolidated prediction surface: both the
+// pointer-walking *Forest and the flattened *Compiled implement it, so the
+// pipeline scores feature blocks without knowing which engine is behind
+// them. PredictProbaMatrix is the primary entry point — one staged
+// block in, one caller-owned probability slab out; PredictProba is the
+// single-row convenience the baselines and tools use.
+//
+// The class-count method is named Classes (not NumClasses as on the
+// serialized Forest struct) because Go forbids a field and a method sharing
+// a name; Classes/NumFeatures are the interface spellings of the
+// NumClasses/NumFeats fields.
+type Predictor interface {
+	// Classes returns the number of classes, i.e. the length of every
+	// probability vector the predictor produces.
+	Classes() int
+	// NumFeatures returns the feature-vector width the predictor was
+	// trained on.
+	NumFeatures() int
+	// PredictProba returns the class probability vector for one row.
+	PredictProba(x []float64) []float64
+	// PredictProbaMatrix classifies every row of the staged feature block x,
+	// writing row r's probabilities into out[r*Classes() : (r+1)*Classes()].
+	// out must have length at least x.Rows*Classes(). Rows are independent,
+	// so implementations parallelize over disjoint row ranges with output
+	// identical to a serial sweep.
+	PredictProbaMatrix(x *ml.Matrix, out []float64)
+}
+
+var (
+	_ Predictor = (*Forest)(nil)
+	_ Predictor = (*Compiled)(nil)
+)
+
+// PredictorBatch adapts the row-oriented batch API onto any Predictor: the
+// rows are staged into one feature block, classified in a single
+// PredictProbaMatrix pass, and returned as per-row views into one shared
+// probability slab. All rows must have the same length (the predictor's
+// feature width); the returned vectors are capacity-capped so appending to
+// one cannot bleed into its neighbor.
+func PredictorBatch(p Predictor, X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	if len(X) == 0 {
+		return out
+	}
+	m := ml.NewMatrix(len(X), p.NumFeatures())
+	m.FillRows(X)
+	k := p.Classes()
+	slab := make([]float64, len(X)*k)
+	p.PredictProbaMatrix(m, slab)
+	for i := range out {
+		out[i] = slab[i*k : (i+1)*k : (i+1)*k]
+	}
+	return out
+}
+
+// PredictorClasses is PredictorBatch reduced to hard labels.
+func PredictorClasses(p Predictor, X [][]float64) []int {
+	probs := PredictorBatch(p, X)
+	out := make([]int, len(X))
+	for i, pr := range probs {
+		out[i] = tree.ArgMax(pr)
+	}
+	return out
+}
+
+// rowPredictor is the internal kernel contract behind the shared parallel
+// driver: predict rows [lo, hi) of x into the matching region of out.
+type rowPredictor interface {
+	predictRows(x *ml.Matrix, out []float64, lo, hi int)
+}
+
+// minParallelRows is the batch size below which fanning out goroutines
+// costs more than the prediction work they would split.
+const minParallelRows = 32
+
+// runMatrix drives a kernel over x, splitting the rows into contiguous
+// chunks across GOMAXPROCS goroutines. Each chunk writes a disjoint region
+// of out and per-row arithmetic is independent of the chunking, so the
+// result is bit-identical at every parallelism level.
+func runMatrix(p rowPredictor, x *ml.Matrix, out []float64) {
+	rows := x.Rows
+	if rows == 0 {
+		return
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs > rows {
+		jobs = rows
+	}
+	if jobs <= 1 || rows < minParallelRows {
+		p.predictRows(x, out, 0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + jobs - 1) / jobs
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go runChunk(&wg, p, x, out, lo, hi)
+	}
+	wg.Wait()
+}
+
+// runChunk is the named goroutine body of runMatrix (no captured loop
+// state: every per-chunk value arrives as an argument).
+func runChunk(wg *sync.WaitGroup, p rowPredictor, x *ml.Matrix, out []float64, lo, hi int) {
+	defer wg.Done()
+	p.predictRows(x, out, lo, hi)
+}

@@ -1,0 +1,87 @@
+// Package ml holds the small numeric containers shared between the
+// classifier backends and the pipeline. Its centerpiece is Matrix, the
+// dense feature block the prediction hot path operates on: the pipeline
+// stages fill one Matrix per table or window and the forest engines sweep
+// it row by row, so a batch is classified with sequential memory access
+// instead of one heap-allocated projected vector per row.
+package ml
+
+// Matrix is a dense row-major feature block: element (r, c) lives at
+// Data[r*Cols+c], so Row(r) is a zero-copy contiguous view. Tree ensembles
+// traverse feature vectors one sample at a time — every node of every tree
+// probes the same row — which makes the row the unit of locality: storing
+// by row keeps the active sample in one or two cache lines for the entire
+// ensemble walk, where a column-major layout would turn both the staging
+// fill and every per-node probe into Rows-strided accesses. (Column-major
+// pays off only for kernels that stream one feature across the whole
+// batch, e.g. vectorized linear scoring; the forest engines have no such
+// sweep.)
+//
+// The zero value is an empty matrix ready for Reset. A Matrix is not safe
+// for concurrent mutation; the prediction kernels only read it.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Reset resizes the matrix to rows×cols, reusing the backing array when it
+// is large enough. This is how the pipeline's staging matrix is recycled
+// across stages and files without reallocating. Element contents after
+// Reset are unspecified — the staging fills (FillRows, SetRowMasked)
+// overwrite every element, so zeroing here would be a second full pass
+// over the block for nothing.
+func (m *Matrix) Reset(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the backing slice of row r: a length-Cols view shared with
+// the matrix. This is the view the forest kernels walk, so a staged row is
+// classified without any copy.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// SetRow copies the vector x into row r. Only min(len(x), Cols) components
+// are written.
+func (m *Matrix) SetRow(r int, x []float64) {
+	row := m.Row(r)
+	n := len(x)
+	if n > len(row) {
+		n = len(row)
+	}
+	copy(row[:n], x)
+}
+
+// SetRowMasked writes the selected components of x into row r: column i of
+// the matrix receives x[mask[i]]. This is how feature-ablation masks are
+// applied during the staging fill without allocating a projected copy of
+// each row.
+func (m *Matrix) SetRowMasked(r int, x []float64, mask []int) {
+	row := m.Row(r)
+	for c, f := range mask {
+		row[c] = x[f]
+	}
+}
+
+// FillRows stages a row-major batch into the matrix: row r of the matrix
+// receives X[r]. The matrix must already be sized len(X)×Cols.
+func (m *Matrix) FillRows(X [][]float64) {
+	for r, x := range X {
+		m.SetRow(r, x)
+	}
+}

@@ -288,6 +288,28 @@ func (t *Tree) PredictProba(x []float64) []float64 {
 	}
 }
 
+// AccumulateProba adds the probability vector of the leaf reached by x
+// into acc, which must have length NumClasses. The forest's averaging loop
+// accumulates every tree into one caller-owned buffer this way, so the
+// pointer-walking prediction path allocates nothing per tree.
+func (t *Tree) AccumulateProba(x []float64, acc []float64) {
+	n := int32(0)
+	for {
+		node := &t.Nodes[n]
+		if node.Feature < 0 {
+			for c, p := range node.Probs {
+				acc[c] += p
+			}
+			return
+		}
+		if x[node.Feature] <= node.Threshold {
+			n = node.Left
+		} else {
+			n = node.Right
+		}
+	}
+}
+
 // Predict returns the most probable class for x.
 func (t *Tree) Predict(x []float64) int {
 	return ArgMax(t.PredictProba(x))

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"strudel/internal/features"
+	"strudel/internal/ml"
 	"strudel/internal/obs"
 	"strudel/internal/table"
 )
@@ -57,10 +58,32 @@ type Artifacts struct {
 
 	colProbs      [][]float64
 	colProbsOwner any
+
+	// scratch is the reusable staging block the prediction stages fill
+	// before calling PredictProbaMatrix; see FeatureMatrix. It is drawn
+	// from a package-level pool on first use and handed back by
+	// ReleaseScratch, so the annotate loop recycles one backing array
+	// across files instead of growing a fresh one per table.
+	scratch *ml.Matrix
+
+	// shared memoizes the per-table grids (types, block sizes, derived
+	// cells) the feature extractors all need; see Shared.
+	shared *features.Shared
 }
 
 // New returns an empty artifact object for t.
 func New(t *table.Table) *Artifacts { return &Artifacts{Table: t} }
+
+// Shared returns the per-table feature precomputation memo, creating it on
+// first use. Stages extract through it (a.Shared().CellFeatures(...)) so
+// the type grid and derived-cell detection are computed once per table
+// instead of once per extractor.
+func (a *Artifacts) Shared() *features.Shared {
+	if a.shared == nil {
+		a.shared = features.NewShared(a.Table)
+	}
+	return a.shared
+}
 
 // LineFeatures returns the memoized line feature matrix, extracting it on
 // first use. A call with different options than the cached extraction
@@ -69,7 +92,7 @@ func New(t *table.Table) *Artifacts { return &Artifacts{Table: t} }
 func (a *Artifacts) LineFeatures(opts features.LineOptions) [][]float64 {
 	if !a.haveLineFeats || a.lineOpts != opts {
 		start := a.Obs.SpanStart(obs.StageLineFeatures)
-		a.lineFeats = features.LineFeatures(a.Table, opts)
+		a.lineFeats = a.Shared().LineFeatures(opts)
 		a.Obs.SpanEnd(obs.StageLineFeatures, start)
 		a.lineOpts = opts
 		a.haveLineFeats = true
@@ -118,6 +141,36 @@ func (a *Artifacts) ColumnProbabilities(owner any, compute func(*Artifacts) [][]
 		counters.ColumnProbabilities.Add(1)
 	}
 	return a.colProbs
+}
+
+// scratchPool recycles staging blocks across Artifacts. Pool identity
+// never influences outputs: every stage overwrites the block completely
+// before reading it.
+var scratchPool = sync.Pool{New: func() any { return new(ml.Matrix) }}
+
+// FeatureMatrix returns the artifact's reusable staging block, resized to
+// rows×cols. Its contents on return are unspecified and transient: each
+// prediction stage (line, cell, column) overwrites it completely in turn,
+// so a stage must finish its PredictProbaMatrix call before the next stage
+// fills it. Probability outputs never alias the block — they are written
+// into fresh slabs — so the memoized artifact caches stay valid across
+// reuse. Like the Artifacts itself, the block is single-goroutine.
+func (a *Artifacts) FeatureMatrix(rows, cols int) *ml.Matrix {
+	if a.scratch == nil {
+		a.scratch = scratchPool.Get().(*ml.Matrix)
+	}
+	a.scratch.Reset(rows, cols)
+	return a.scratch
+}
+
+// ReleaseScratch hands the staging block back to the package pool. The
+// annotate loop calls it once per table after all stages finish; skipping
+// the call is harmless (the block is then simply collected).
+func (a *Artifacts) ReleaseScratch() {
+	if a.scratch != nil {
+		scratchPool.Put(a.scratch)
+		a.scratch = nil
+	}
 }
 
 // Counters tallies how often each expensive pipeline stage actually ran

@@ -1,6 +1,8 @@
 package strudel
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,14 +14,55 @@ import (
 
 // ErrInvalidModel is the root of the model-artifact error taxonomy: every
 // structural defect LoadModel detects — undecodable JSON, missing forests,
-// broken tree links, dimension mismatches, malformed leaf probabilities —
-// satisfies errors.Is(err, ErrInvalidModel). See internal/ml/tree for the
+// broken tree links, dimension mismatches, malformed leaf probabilities,
+// and for binary artifacts bad magic/version/truncation — satisfies
+// errors.Is(err, ErrInvalidModel). See internal/ml/tree for the
 // finer-grained sentinels and strudel-lint -models for the offline
 // verifier over the same invariants.
 var ErrInvalidModel = forest.ErrInvalidModel
 
-// modelFile is the on-disk model format. The cell model's embedded line
-// model is stored once, in the Line field, and re-attached on load.
+// Format selects a model serialization format for Model.Save.
+type Format int
+
+const (
+	// FormatJSON is the interchange format: human-inspectable, stable,
+	// what strudel-lint -models verifies offline.
+	FormatJSON Format = iota
+	// FormatBinary is the compact cold-start format: a magic+version
+	// header, the JSON metadata header, then each forest as a flat binary
+	// blob. Loading skips JSON tokenization of the tree payloads entirely;
+	// the same structural verifier still runs on every load.
+	FormatBinary
+)
+
+// String returns "json" or "binary".
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// ParseFormat converts a CLI-style format name ("json" or "binary") to a
+// Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "json":
+		return FormatJSON, nil
+	case "binary":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("strudel: unknown model format %q (want json or binary)", s)
+}
+
+// modelFile is the on-disk model metadata. The cell model's embedded line
+// model is stored once, in the Line field, and re-attached on load. In the
+// binary format the same structure serves as the JSON header with every
+// Forest field nil; the forests follow as binary blobs in line, cell,
+// cell.Column order.
 type modelFile struct {
 	Version int             `json:"version"`
 	Line    *core.LineModel `json:"line"`
@@ -28,8 +71,24 @@ type modelFile struct {
 
 const modelVersion = 1
 
-// Save writes the model as JSON.
-func (m *Model) Save(w io.Writer) error {
+// Save writes the model to w in the given format.
+func (m *Model) Save(w io.Writer, format Format) error {
+	switch format {
+	case FormatJSON:
+		return m.saveJSON(w)
+	case FormatBinary:
+		return m.saveBinary(w)
+	}
+	return fmt.Errorf("strudel: save: unknown model format %v", format)
+}
+
+// SaveJSON writes the model as JSON.
+//
+// Deprecated: Use Save with FormatJSON, which produces byte-identical
+// output; this shim remains for callers of the pre-Format signature.
+func (m *Model) SaveJSON(w io.Writer) error { return m.saveJSON(w) }
+
+func (m *Model) saveJSON(w io.Writer) error {
 	mf := modelFile{Version: modelVersion, Line: m.line}
 	if m.cell != nil {
 		cell := *m.cell
@@ -40,24 +99,36 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(&mf)
 }
 
-// SaveFile writes the model to a file.
-func (m *Model) SaveFile(path string) error {
+// SaveFile writes the model to a file in the given format.
+func (m *Model) SaveFile(path string, format Format) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := m.Save(f); err != nil {
+	if err := m.Save(f, format); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadModel reads a model written by Save. Every embedded forest is
-// validated against the structural invariants prediction relies on (see
-// forest.Validate); a defective artifact fails here, wrapped in
-// ErrInvalidModel, instead of mispredicting or panicking at first use.
+// LoadModel reads a model written by Save in either format, auto-detecting
+// binary artifacts by their leading magic (JSON cannot begin with those
+// bytes). Every embedded forest is validated against the structural
+// invariants prediction relies on (see forest.Validate); a defective
+// artifact fails here, wrapped in ErrInvalidModel, instead of
+// mispredicting or panicking at first use. The loaded model's forests are
+// compiled eagerly into their flattened inference form, so the first
+// annotation after LoadModel already runs the fast path.
 func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(len(ModelMagic)); err == nil && bytes.Equal(head, ModelMagic[:]) {
+		return loadModelBinary(br)
+	}
+	return loadModelJSON(br)
+}
+
+func loadModelJSON(r io.Reader) (*Model, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
 		return nil, fmt.Errorf("strudel: decode model: %w: %w", ErrInvalidModel, err)
@@ -84,7 +155,25 @@ func LoadModel(r io.Reader) (*Model, error) {
 		mf.Cell.Line = mf.Line
 		m.cell = mf.Cell
 	}
+	if err := m.compile(); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// compile builds the flattened inference engines for every forest in the
+// model. Train and LoadModel both end here, so a constructed Model always
+// predicts through the compiled path.
+func (m *Model) compile() error {
+	if err := m.line.Compile(); err != nil {
+		return fmt.Errorf("strudel: compile line model: %w", err)
+	}
+	if m.cell != nil {
+		if err := m.cell.Compile(); err != nil {
+			return fmt.Errorf("strudel: compile cell model: %w", err)
+		}
+	}
+	return nil
 }
 
 // validateModelForest checks one embedded forest, naming its location in
@@ -99,7 +188,7 @@ func validateModelForest(path string, f *forest.Forest) error {
 	return nil
 }
 
-// LoadModelFile reads a model from a file.
+// LoadModelFile reads a model from a file (either format; see LoadModel).
 func LoadModelFile(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,0 +1,150 @@
+package strudel
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"strudel/internal/ml/forest"
+)
+
+// Binary model container. Layout (integers little-endian):
+//
+//	magic   "SBM1" (4 bytes)
+//	u32     container version (binaryModelVersion)
+//	u32     header length
+//	bytes   header: the modelFile metadata as JSON with every Forest nil
+//	blobs   each forest in forest binary encoding (self-delimiting),
+//	        in fixed order: line, cell (if present), cell.Column (if
+//	        present)
+//
+// Keeping the metadata as a JSON header means the container never needs a
+// schema migration when model options grow a field; only the bulky tree
+// payloads — the part JSON decodes slowly — move to the flat binary form.
+
+// ModelMagic is the 4-byte prefix of a binary model artifact, the
+// counterpart of forest.ForestMagic one container level up. Exported so
+// offline tooling (strudel-lint -models) can sniff the encoding the same
+// way LoadModel does.
+var ModelMagic = [4]byte{'S', 'B', 'M', '1'}
+
+const binaryModelVersion = 1
+
+// maxModelHeaderLen bounds the declared JSON header size (the options
+// metadata is tiny; forests live outside the header), so a hostile length
+// field cannot force a giant allocation.
+const maxModelHeaderLen = 1 << 20
+
+func (m *Model) saveBinary(w io.Writer) error {
+	mf := modelFile{Version: modelVersion}
+	lineCopy := *m.line
+	lineCopy.Forest = nil
+	mf.Line = &lineCopy
+	if m.cell != nil {
+		cellCopy := *m.cell
+		cellCopy.Forest = nil
+		cellCopy.Line = nil // stored once via mf.Line
+		if cellCopy.Column != nil {
+			colCopy := *cellCopy.Column
+			colCopy.Forest = nil
+			cellCopy.Column = &colCopy
+		}
+		mf.Cell = &cellCopy
+	}
+	header, err := json.Marshal(&mf)
+	if err != nil {
+		return err
+	}
+	pre := make([]byte, 0, len(ModelMagic)+8+len(header))
+	pre = append(pre, ModelMagic[:]...)
+	pre = binary.LittleEndian.AppendUint32(pre, binaryModelVersion)
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(header)))
+	pre = append(pre, header...)
+	if _, err := w.Write(pre); err != nil {
+		return err
+	}
+	if err := m.line.Forest.EncodeBinary(w); err != nil {
+		return err
+	}
+	if m.cell != nil {
+		if err := m.cell.Forest.EncodeBinary(w); err != nil {
+			return err
+		}
+		if m.cell.Column != nil {
+			if err := m.cell.Column.Forest.EncodeBinary(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadModelBinary(r io.Reader) (*Model, error) {
+	var fixed [12]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("strudel: decode model: %w: %w", forest.ErrTruncated, err)
+	}
+	if [4]byte(fixed[:4]) != ModelMagic {
+		return nil, fmt.Errorf("strudel: decode model: %w", forest.ErrBadMagic)
+	}
+	if v := binary.LittleEndian.Uint32(fixed[4:8]); v != binaryModelVersion {
+		return nil, fmt.Errorf("strudel: decode model: %w: got container version %d", forest.ErrBadVersion, v)
+	}
+	headerLen := binary.LittleEndian.Uint32(fixed[8:12])
+	if headerLen > maxModelHeaderLen {
+		return nil, fmt.Errorf("strudel: decode model: %w: %d-byte header exceeds the %d limit",
+			ErrInvalidModel, headerLen, maxModelHeaderLen)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("strudel: decode model: %w: %w", forest.ErrTruncated, err)
+	}
+	var mf modelFile
+	if err := json.Unmarshal(header, &mf); err != nil {
+		return nil, fmt.Errorf("strudel: decode model header: %w: %w", ErrInvalidModel, err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("strudel: unsupported model version %d", mf.Version)
+	}
+	if mf.Line == nil {
+		return nil, fmt.Errorf("strudel: corrupt model: %w: missing line model", ErrInvalidModel)
+	}
+	blobs, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("strudel: decode model: %w", err)
+	}
+	if mf.Line.Forest, blobs, err = decodeModelForest("line", blobs); err != nil {
+		return nil, err
+	}
+	m := &Model{line: mf.Line}
+	if mf.Cell != nil {
+		if mf.Cell.Forest, blobs, err = decodeModelForest("cell", blobs); err != nil {
+			return nil, err
+		}
+		if mf.Cell.Column != nil {
+			if mf.Cell.Column.Forest, blobs, err = decodeModelForest("cell.Column", blobs); err != nil {
+				return nil, err
+			}
+		}
+		mf.Cell.Line = mf.Line
+		m.cell = mf.Cell
+	}
+	if len(blobs) != 0 {
+		return nil, fmt.Errorf("strudel: decode model: %w: %d trailing bytes", ErrInvalidModel, len(blobs))
+	}
+	if err := m.compile(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeModelForest decodes (and structurally validates) one forest blob,
+// naming its location in the model file on failure.
+func decodeModelForest(path string, blobs []byte) (*forest.Forest, []byte, error) {
+	f, rest, err := forest.DecodeBinaryBytes(blobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("strudel: corrupt model: %s: %w", path, err)
+	}
+	return f, rest, nil
+}

@@ -1,0 +1,232 @@
+package strudel
+
+// Tests for the PR 10 model-format redesign: the binary container must
+// round-trip against JSON bit-exactly, reject truncated/forged artifacts
+// with typed errors, and the compiled inference engines every constructed
+// model carries must be float-identical to the pointer-walking forests
+// over the real testdata corpus at one worker and at every CPU.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+
+	"strudel/internal/core"
+	"strudel/internal/ml/forest"
+)
+
+// saveBytes renders m in the given format.
+func saveBytes(t *testing.T, m *Model, format Format) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf, format); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// columnModel trains a model whose cell forest also carries the optional
+// column classifier, covering the third forest slot of the container.
+func columnModel(t *testing.T) *Model {
+	t.Helper()
+	files, err := GenerateCorpus("saus", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultCellTrainOptions()
+	opts.Forest.NumTrees = 5
+	opts.Forest.Seed = 9
+	opts.MaxCellsPerFile = 120
+	opts.UseColumnProbs = true
+	cm, err := core.TrainCell(files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Model{line: cm.Line, cell: cm}
+}
+
+// TestModelBinaryRoundTripBitExact proves JSON → binary → JSON is the
+// identity on the serialized bytes, for a plain line+cell model and for
+// one carrying the optional column forest.
+func TestModelBinaryRoundTripBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		model func(*testing.T) *Model
+	}{
+		{"line_cell", trainedModel},
+		{"with_column_forest", columnModel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.model(t)
+			wantJSON := saveBytes(t, m, FormatJSON)
+			bin := saveBytes(t, m, FormatBinary)
+			loaded, err := LoadModel(bytes.NewReader(bin))
+			if err != nil {
+				t.Fatalf("binary load failed: %v", err)
+			}
+			if gotJSON := saveBytes(t, loaded, FormatJSON); !bytes.Equal(wantJSON, gotJSON) {
+				t.Error("binary round trip changed the JSON rendering")
+			}
+			// And the binary rendering itself is stable across a round trip.
+			if gotBin := saveBytes(t, loaded, FormatBinary); !bytes.Equal(bin, gotBin) {
+				t.Error("binary rendering not stable across a load/save cycle")
+			}
+		})
+	}
+}
+
+// TestLoadModelAutoDetect loads the same model through both serializations
+// and demands byte-identical annotations.
+func TestLoadModelAutoDetect(t *testing.T) {
+	m := trainedModel(t)
+	fromJSON, err := LoadModel(bytes.NewReader(saveBytes(t, m, FormatJSON)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := LoadModel(bytes.NewReader(saveBytes(t, m, FormatBinary)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*Table
+	for _, p := range testdataPaths(t) {
+		tbl, _, err := LoadFile(p, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, tbl)
+	}
+	serialize := func(m *Model) []byte {
+		b, err := json.Marshal(m.AnnotateAll(files, BatchOptions{Parallelism: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b, c := serialize(m), serialize(fromJSON), serialize(fromBin)
+	if !bytes.Equal(a, b) {
+		t.Error("JSON-loaded model annotates differently from the trained one")
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("binary-loaded model annotates differently from the trained one")
+	}
+}
+
+// TestModelBinaryRejection drives the typed rejection paths of the binary
+// container: truncation at every region boundary, forged magic, and an
+// unsupported container version.
+func TestModelBinaryRejection(t *testing.T) {
+	m := trainedModel(t)
+	bin := saveBytes(t, m, FormatBinary)
+
+	t.Run("truncated", func(t *testing.T) {
+		// Cut inside the fixed header, inside the JSON header, and inside
+		// the forest blobs.
+		for _, n := range []int{0, 3, 8, 11, 40, len(bin) / 2, len(bin) - 1} {
+			if _, err := LoadModel(bytes.NewReader(bin[:n])); !errors.Is(err, ErrInvalidModel) {
+				t.Errorf("truncation at %d bytes returned %v, want ErrInvalidModel", n, err)
+			}
+		}
+	})
+	t.Run("trailing_garbage", func(t *testing.T) {
+		grown := append(append([]byte(nil), bin...), 0xAB)
+		if _, err := LoadModel(bytes.NewReader(grown)); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("trailing bytes returned %v, want ErrInvalidModel", err)
+		}
+	})
+	t.Run("bad_version", func(t *testing.T) {
+		forged := append([]byte(nil), bin...)
+		forged[4] = 0xEE
+		if _, err := LoadModel(bytes.NewReader(forged)); !errors.Is(err, forest.ErrBadVersion) {
+			t.Errorf("forged container version returned %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("corrupt_forest_blob", func(t *testing.T) {
+		forged := append([]byte(nil), bin...)
+		// The first forest blob starts right after the fixed header and the
+		// JSON header; smashing its magic must surface as a corrupt model.
+		headerLen := binary.LittleEndian.Uint32(forged[8:12])
+		forged[12+headerLen] ^= 0xFF
+		if _, err := LoadModel(bytes.NewReader(forged)); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("corrupted forest blob returned %v, want ErrInvalidModel", err)
+		}
+	})
+}
+
+// TestCompiledMatchesPointerAcrossCorpus is the tentpole's float-identity
+// proof: annotations from the compiled engines must be byte-identical
+// (through JSON serialization, which renders every float exactly) to the
+// pointer-walking forests across the full testdata corpus, at Parallelism
+// 1 and NumCPU, on both the batch and streaming paths.
+func TestCompiledMatchesPointerAcrossCorpus(t *testing.T) {
+	m := trainedModel(t)
+	var files []*Table
+	for _, p := range testdataPaths(t) {
+		tbl, _, err := LoadFile(p, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, tbl)
+	}
+	serialize := func(workers int) []byte {
+		b, err := json.Marshal(m.AnnotateAll(files, BatchOptions{Parallelism: workers}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	compiledSerial := serialize(1)
+	compiledParallel := serialize(runtime.NumCPU())
+
+	// Drop the compiled engines: predictions fall back to pointer walking.
+	m.line.ClearCompiled()
+	if m.cell != nil {
+		m.cell.ClearCompiled()
+	}
+	pointerSerial := serialize(1)
+	pointerParallel := serialize(runtime.NumCPU())
+
+	if !bytes.Equal(compiledSerial, pointerSerial) {
+		t.Error("serial: compiled annotations differ from pointer-path annotations")
+	}
+	if !bytes.Equal(compiledSerial, compiledParallel) {
+		t.Error("compiled path differs between 1 worker and NumCPU")
+	}
+	if !bytes.Equal(pointerSerial, pointerParallel) {
+		t.Error("pointer path differs between 1 worker and NumCPU")
+	}
+}
+
+// TestCompiledMatchesPointerStreaming extends the identity proof to the
+// windowed streaming path, which funnels through the same predictors via
+// Model.annotate per window.
+func TestCompiledMatchesPointerStreaming(t *testing.T) {
+	m := trainedModel(t)
+	data := bytes.Repeat([]byte("name,count,city\nalice,3,berlin\nbob,5,paris\n,,\ntotal,8,\n"), 200)
+	collect := func() []byte {
+		var anns []LineAnnotation
+		_, err := m.AnnotateStream(context.Background(), bytes.NewReader(data), StreamOptions{},
+			func(a LineAnnotation) error { anns = append(anns, a); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(anns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	compiled := collect()
+	m.line.ClearCompiled()
+	if m.cell != nil {
+		m.cell.ClearCompiled()
+	}
+	pointer := collect()
+	if !bytes.Equal(compiled, pointer) {
+		t.Error("streaming annotations differ between compiled and pointer engines")
+	}
+}

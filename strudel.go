@@ -425,6 +425,10 @@ func (m *Model) annotate(a *pipeline.Artifacts) *Annotation {
 	if hook := annotateTestHook.Load(); hook != nil {
 		(*hook)(a.Table)
 	}
+	// The staging block never outlives the stages (probabilities are
+	// written to fresh slabs), so it can go back to the pool as soon as
+	// every stage has run.
+	defer a.ReleaseScratch()
 	lines := m.line.ClassifyWithArtifacts(a)
 	var cells [][]Class
 	// The cell_classify span covers the whole cell stage, so the nested

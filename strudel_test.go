@@ -134,7 +134,7 @@ func TestLineOnlyModel(t *testing.T) {
 func TestModelSaveLoadRoundTrip(t *testing.T) {
 	m := trainedModel(t)
 	var buf bytes.Buffer
-	if err := m.Save(&buf); err != nil {
+	if err := m.Save(&buf, FormatJSON); err != nil {
 		t.Fatal(err)
 	}
 	m2, err := LoadModel(&buf)
@@ -163,7 +163,7 @@ func TestModelSaveLoadFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "m.model")
-	if err := m.SaveFile(path); err != nil {
+	if err := m.SaveFile(path, FormatJSON); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadModelFile(path); err != nil {
@@ -197,7 +197,7 @@ func TestLoadModelCorrupt(t *testing.T) {
 func TestLoadModelRejectsInconsistentForest(t *testing.T) {
 	m := trainedModel(t)
 	var buf bytes.Buffer
-	if err := m.Save(&buf); err != nil {
+	if err := m.Save(&buf, FormatJSON); err != nil {
 		t.Fatal(err)
 	}
 	var raw map[string]json.RawMessage
